@@ -1,0 +1,202 @@
+//! BERT4Rec (Sun et al., CIKM 2019): bidirectional transformer trained with
+//! the cloze (masked item) objective; inference appends a `[mask]` token and
+//! reads its hidden state.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use slime4rec::{evaluate_split, NextItemModel, TrainConfig};
+use slime_data::batch::pad_truncate;
+use slime_data::{SeqDataset, Split};
+use slime_metrics::MetricSet;
+use slime_nn::{Module, ParamCollector, TrainContext};
+use slime_tensor::optim::{Adam, Optimizer};
+use slime_tensor::{ops, Tensor};
+
+use crate::transformer::{EncoderConfig, TransformerRec};
+
+/// Bidirectional masked-item recommender.
+pub struct Bert4Rec {
+    enc: TransformerRec,
+    mask_token: usize,
+}
+
+impl Bert4Rec {
+    /// Build on a bidirectional encoder with one extra `[mask]` vocabulary
+    /// row.
+    pub fn new(cfg: EncoderConfig) -> Self {
+        let mask_token = cfg.vocab_size(); // one past the real vocab
+        Bert4Rec {
+            enc: TransformerRec::bidirectional(cfg, 1),
+            mask_token,
+        }
+    }
+
+    /// The `[mask]` token id.
+    pub fn mask_token(&self) -> usize {
+        self.mask_token
+    }
+
+    /// Cloze training loss for a batch of padded sequences: mask a fraction
+    /// of non-pad positions and predict the originals.
+    fn cloze_loss(
+        &self,
+        padded: &[usize],
+        batch: usize,
+        mask_prob: f64,
+        ctx: &mut TrainContext,
+    ) -> Option<Tensor> {
+        let n = self.enc.cfg.max_len;
+        let mut corrupted = padded.to_vec();
+        let mut positions = Vec::new();
+        let mut labels = Vec::new();
+        for b in 0..batch {
+            for t in 0..n {
+                let idx = b * n + t;
+                let v = padded[idx];
+                if v == 0 {
+                    continue;
+                }
+                // Always mask the final position of each sequence with some
+                // probability too — that is the position used at inference.
+                if ctx.rng.gen_bool(mask_prob) {
+                    corrupted[idx] = self.mask_token;
+                    positions.push((b, t));
+                    labels.push(v);
+                }
+            }
+        }
+        if positions.is_empty() {
+            return None;
+        }
+        let hidden = self
+            .enc
+            .encode_positions(&corrupted, batch, &positions, ctx);
+        let logits = self.enc.score_all(&hidden);
+        Some(ops::cross_entropy(&logits, &labels))
+    }
+}
+
+impl Module for Bert4Rec {
+    fn collect(&self, out: &mut ParamCollector) {
+        out.child("enc", &self.enc);
+    }
+}
+
+impl NextItemModel for Bert4Rec {
+    fn max_len(&self) -> usize {
+        self.enc.cfg.max_len
+    }
+
+    /// Shift the padded history left by one slot and append `[mask]`; the
+    /// mask position's hidden state is the user representation.
+    fn user_repr(&self, inputs: &[usize], batch: usize, ctx: &mut TrainContext) -> Tensor {
+        let n = self.enc.cfg.max_len;
+        let mut shifted = Vec::with_capacity(inputs.len());
+        for b in 0..batch {
+            let row = &inputs[b * n..(b + 1) * n];
+            shifted.extend_from_slice(&row[1..]);
+            shifted.push(self.mask_token);
+        }
+        let h = self.enc.encode(&shifted, batch, ctx);
+        ops::index_axis(&h, 1, n - 1)
+    }
+
+    fn score_all(&self, repr: &Tensor) -> Tensor {
+        self.enc.score_all(repr)
+    }
+}
+
+/// Train BERT4Rec with the cloze objective over whole training sequences
+/// and return test metrics.
+pub fn run_bert4rec(
+    ds: &SeqDataset,
+    cfg: &EncoderConfig,
+    tc: &TrainConfig,
+    mask_prob: f64,
+) -> (Bert4Rec, MetricSet) {
+    let model = Bert4Rec::new(cfg.clone());
+    let mut opt = Adam::new(model.parameters(), tc.lr);
+    let mut ctx = TrainContext::train(tc.seed);
+    let mut order_rng = StdRng::seed_from_u64(tc.seed ^ 0xbe47);
+    let n = cfg.max_len;
+
+    let padded: Vec<Vec<usize>> = (0..ds.num_users())
+        .map(|u| pad_truncate(ds.train_seq(u), n))
+        .filter(|s| s.iter().any(|&v| v != 0))
+        .collect();
+    assert!(!padded.is_empty(), "no trainable sequences");
+
+    for _ in 0..tc.epochs {
+        use rand::seq::SliceRandom;
+        let mut order: Vec<usize> = (0..padded.len()).collect();
+        order.shuffle(&mut order_rng);
+        for chunk in order.chunks(tc.batch_size) {
+            let mut flat = Vec::with_capacity(chunk.len() * n);
+            for &i in chunk {
+                flat.extend_from_slice(&padded[i]);
+            }
+            if let Some(loss) = model.cloze_loss(&flat, chunk.len(), mask_prob, &mut ctx) {
+                opt.zero_grad();
+                loss.backward();
+                opt.step();
+            }
+        }
+    }
+    let test = evaluate_split(&model, ds, Split::Test, tc);
+    (model, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::tiny_ds;
+
+    fn tiny_cfg(ds: &SeqDataset) -> EncoderConfig {
+        EncoderConfig {
+            hidden: 16,
+            max_len: 10,
+            layers: 1,
+            heads: 2,
+            ..EncoderConfig::new(ds.num_items())
+        }
+    }
+
+    #[test]
+    fn mask_token_is_outside_real_vocab() {
+        let ds = tiny_ds();
+        let m = Bert4Rec::new(tiny_cfg(&ds));
+        assert_eq!(m.mask_token(), ds.num_items() + 1);
+    }
+
+    #[test]
+    fn user_repr_appends_mask() {
+        let ds = tiny_ds();
+        let m = Bert4Rec::new(tiny_cfg(&ds));
+        let mut ctx = TrainContext::eval();
+        let inputs = pad_truncate(&[1, 2, 3], 10);
+        let r = m.user_repr(&inputs, 1, &mut ctx);
+        assert_eq!(r.shape(), vec![1, 16]);
+        let s = m.score_all(&r);
+        assert_eq!(s.shape(), vec![1, ds.num_items() + 1]);
+    }
+
+    #[test]
+    fn cloze_training_improves() {
+        let ds = tiny_ds();
+        let cfg = tiny_cfg(&ds);
+        let tc = TrainConfig {
+            epochs: 4,
+            batch_size: 32,
+            ..TrainConfig::default()
+        };
+        let untrained = Bert4Rec::new(cfg.clone());
+        let before = evaluate_split(&untrained, &ds, Split::Test, &tc);
+        let (_, after) = run_bert4rec(&ds, &cfg, &tc, 0.3);
+        assert!(
+            after.ndcg(10) > before.ndcg(10),
+            "{} !> {}",
+            after.ndcg(10),
+            before.ndcg(10)
+        );
+    }
+}

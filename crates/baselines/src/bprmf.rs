@@ -1,0 +1,188 @@
+//! BPR-MF (Rendle et al., 2009): non-sequential matrix factorization
+//! optimized with the pairwise Bayesian Personalized Ranking loss.
+//!
+//! The paper's weakest baseline: it ignores sequence order entirely, which
+//! is exactly why it anchors the bottom of Table II.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use slime4rec::TrainConfig;
+use slime_data::{SeqDataset, Split};
+use slime_metrics::{MetricAccumulator, MetricSet};
+use slime_tensor::optim::{Adam, Optimizer};
+use slime_tensor::{init, ops, Tensor};
+
+/// BPR-MF hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct BprMfConfig {
+    /// Latent dimension.
+    pub hidden: usize,
+    /// Negative samples per positive, per epoch pass.
+    pub seed: u64,
+}
+
+impl BprMfConfig {
+    /// Default latent size 64.
+    pub fn new() -> Self {
+        BprMfConfig {
+            hidden: 64,
+            seed: 42,
+        }
+    }
+}
+
+impl Default for BprMfConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Learned user/item factor matrices.
+pub struct BprMf {
+    /// `[num_users, d]`.
+    pub user_emb: Tensor,
+    /// `[num_items + 1, d]` (row 0 unused).
+    pub item_emb: Tensor,
+    num_items: usize,
+}
+
+impl BprMf {
+    /// Initialize factors for a dataset.
+    pub fn new(ds: &SeqDataset, cfg: &BprMfConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        BprMf {
+            user_emb: Tensor::param(init::normal(
+                vec![ds.num_users(), cfg.hidden],
+                0.02,
+                &mut rng,
+            )),
+            item_emb: Tensor::param(init::normal(
+                vec![ds.num_items() + 1, cfg.hidden],
+                0.02,
+                &mut rng,
+            )),
+            num_items: ds.num_items(),
+        }
+    }
+
+    /// Scores of all items for one user (row of `U I^T`).
+    pub fn scores_for_user(&self, u: usize) -> Vec<f32> {
+        let ue = self.user_emb.value();
+        let ie = self.item_emb.value();
+        let d = ue.shape()[1];
+        let urow = &ue.data()[u * d..(u + 1) * d];
+        (0..=self.num_items)
+            .map(|v| {
+                let irow = &ie.data()[v * d..(v + 1) * d];
+                urow.iter().zip(irow).map(|(a, b)| a * b).sum()
+            })
+            .collect()
+    }
+
+    /// Full-ranking evaluation on a split (knows user identity, unlike the
+    /// sequence models, because MF scores depend on the user id).
+    pub fn evaluate(&self, ds: &SeqDataset, split: Split, cutoffs: &[usize]) -> MetricSet {
+        let mut acc = MetricAccumulator::new(cutoffs);
+        for u in 0..ds.num_users() {
+            let Some((_, target)) = ds.eval_example(u, split) else {
+                continue;
+            };
+            let scores = self.scores_for_user(u);
+            // Competition rank against items 1..=V (pad column skipped).
+            let ts = scores[target];
+            let mut rank = 0usize;
+            for (i, &s) in scores.iter().enumerate().skip(1) {
+                if i != target && (s > ts || (s == ts && i < target)) {
+                    rank += 1;
+                }
+            }
+            acc.add_rank(rank);
+        }
+        acc.finish()
+    }
+}
+
+/// Train BPR-MF with uniform negative sampling over the training
+/// interactions and return test metrics.
+pub fn run_bprmf(ds: &SeqDataset, cfg: &BprMfConfig, tc: &TrainConfig) -> (BprMf, MetricSet) {
+    let model = BprMf::new(ds, cfg);
+    let mut opt = Adam::new(vec![model.user_emb.clone(), model.item_emb.clone()], tc.lr);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xb9);
+
+    // All (user, positive) pairs from train splits.
+    let mut pairs = Vec::new();
+    for u in 0..ds.num_users() {
+        for &v in ds.train_seq(u) {
+            pairs.push((u, v));
+        }
+    }
+    assert!(!pairs.is_empty(), "no training interactions");
+
+    for _ in 0..tc.epochs {
+        // One uniform pass over shuffled pairs, chunked into batches.
+        use rand::seq::SliceRandom;
+        pairs.shuffle(&mut rng);
+        for chunk in pairs.chunks(tc.batch_size) {
+            let users: Vec<usize> = chunk.iter().map(|&(u, _)| u).collect();
+            let pos: Vec<usize> = chunk.iter().map(|&(_, v)| v).collect();
+            let neg: Vec<usize> = chunk
+                .iter()
+                .map(|&(u, _)| loop {
+                    let cand = 1 + rng.gen_range(0..ds.num_items());
+                    if !ds.user(u).contains(&cand) {
+                        break cand;
+                    }
+                })
+                .collect();
+            opt.zero_grad();
+            let b = chunk.len();
+            let ue = ops::embedding(&model.user_emb, &users, &[b]);
+            let pe = ops::embedding(&model.item_emb, &pos, &[b]);
+            let ne = ops::embedding(&model.item_emb, &neg, &[b]);
+            let pos_s = ops::sum_axis(&ops::mul(&ue, &pe), 1);
+            let neg_s = ops::sum_axis(&ops::mul(&ue, &ne), 1);
+            // -log sigmoid(pos - neg) == softplus(neg - pos)
+            let loss = ops::mean_all(&ops::softplus(&ops::sub(&neg_s, &pos_s)));
+            loss.backward();
+            opt.step();
+        }
+    }
+    let test = model.evaluate(ds, Split::Test, &tc.cutoffs);
+    (model, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::tiny_ds;
+
+    #[test]
+    fn training_improves_over_random_init() {
+        let ds = tiny_ds();
+        let cfg = BprMfConfig {
+            hidden: 16,
+            seed: 1,
+        };
+        let tc = TrainConfig {
+            epochs: 5,
+            batch_size: 64,
+            ..TrainConfig::default()
+        };
+        let untrained = BprMf::new(&ds, &cfg);
+        let before = untrained.evaluate(&ds, Split::Test, &tc.cutoffs);
+        let (_, after) = run_bprmf(&ds, &cfg, &tc);
+        assert!(
+            after.ndcg(10) > before.ndcg(10),
+            "{} !> {}",
+            after.ndcg(10),
+            before.ndcg(10)
+        );
+    }
+
+    #[test]
+    fn scores_have_full_vocab_width() {
+        let ds = tiny_ds();
+        let m = BprMf::new(&ds, &BprMfConfig::new());
+        assert_eq!(m.scores_for_user(0).len(), ds.num_items() + 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Caser (Tang & Wang, WSDM 2018): horizontal and vertical convolutions
+//! over the embedding "image" of the recent sequence.
+//!
+//! This is the sequence-only variant (no user embedding), matching how the
+//! paper's evaluation feeds every model the same leave-one-out sequences.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use slime4rec::NextItemModel;
+use slime_nn::{
+    dropout, Embedding, HorizontalConv, Linear, Module, ParamCollector, TrainContext,
+    VerticalConv,
+};
+use slime_tensor::{ops, Tensor};
+
+/// CNN-based sequential recommender.
+pub struct Caser {
+    /// Item table; also the scoring head.
+    pub item_emb: Embedding,
+    hconv: HorizontalConv,
+    vconv: VerticalConv,
+    fc: Linear,
+    max_len: usize,
+    p_drop: f32,
+}
+
+impl Caser {
+    /// Build with `filters` filters per horizontal height `{2, 3, 4}` and
+    /// `filters` vertical filters.
+    pub fn new(
+        num_items: usize,
+        hidden: usize,
+        max_len: usize,
+        filters: usize,
+        dropout: f32,
+        seed: u64,
+    ) -> Self {
+        assert!(max_len >= 4, "Caser windows need max_len >= 4");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let item_emb = Embedding::new(num_items + 1, hidden, &mut rng);
+        let heights = [2usize, 3, 4];
+        let hconv = HorizontalConv::new(hidden, &heights, filters, &mut rng);
+        let vconv = VerticalConv::new(max_len, filters, &mut rng);
+        let feat = hconv.out_dim() + vconv.out_dim(hidden);
+        let fc = Linear::new(feat, hidden, &mut rng);
+        Caser {
+            item_emb,
+            hconv,
+            vconv,
+            fc,
+            max_len,
+            p_drop: dropout,
+        }
+    }
+}
+
+impl Module for Caser {
+    fn collect(&self, out: &mut ParamCollector) {
+        out.child("item_emb", &self.item_emb);
+        out.child("hconv", &self.hconv);
+        out.child("vconv", &self.vconv);
+        out.child("fc", &self.fc);
+    }
+}
+
+impl NextItemModel for Caser {
+    fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    fn user_repr(&self, inputs: &[usize], batch: usize, ctx: &mut TrainContext) -> Tensor {
+        let e = self.item_emb.forward(inputs, &[batch, self.max_len]);
+        let h = self.hconv.forward(&e);
+        let v = self.vconv.forward(&e);
+        let feat = dropout(&ops::concat(&[h, v], 1), self.p_drop, ctx);
+        ops::relu(&self.fc.forward(&feat))
+    }
+
+    fn score_all(&self, repr: &Tensor) -> Tensor {
+        ops::matmul(repr, &ops::permute(&self.item_emb.weight, &[1, 0]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::tiny_ds;
+    use slime4rec::{evaluate_split, train_model, TrainConfig, ViewStrategy};
+    use slime_data::{Split, TrainSet};
+
+    #[test]
+    fn shapes() {
+        let m = Caser::new(20, 8, 6, 4, 0.0, 1);
+        let mut ctx = TrainContext::eval();
+        let r = m.user_repr(&[0, 0, 1, 2, 3, 4], 1, &mut ctx);
+        assert_eq!(r.shape(), vec![1, 8]);
+        assert_eq!(m.score_all(&r).shape(), vec![1, 21]);
+    }
+
+    #[test]
+    fn training_improves() {
+        let ds = tiny_ds();
+        let tc = TrainConfig {
+            epochs: 3,
+            batch_size: 32,
+            ..TrainConfig::default()
+        };
+        let model = Caser::new(ds.num_items(), 16, 10, 4, 0.1, 3);
+        let before = evaluate_split(&model, &ds, Split::Test, &tc);
+        let ts = TrainSet::new(&ds, 1);
+        train_model(&model, &ds, &ts, &tc, 0.0, 1.0, ViewStrategy::None);
+        let after = evaluate_split(&model, &ds, Split::Test, &tc);
+        assert!(after.ndcg(10) > before.ndcg(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_len")]
+    fn rejects_tiny_max_len() {
+        Caser::new(10, 8, 3, 2, 0.0, 1);
+    }
+}

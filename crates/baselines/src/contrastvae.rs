@@ -1,0 +1,184 @@
+//! ContrastVAE (Wang et al., CIKM 2022): a transformer encoder whose user
+//! representation is a Gaussian latent; two reparameterized samples of the
+//! same posterior form the contrastive views ("variational augmentation"),
+//! trained with CE + KL + InfoNCE.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use slime4rec::contrastive::info_nce_with_targets;
+use slime4rec::{evaluate_split, NextItemModel, TrainConfig};
+use slime_data::{SeqDataset, Split, TrainSet};
+use slime_metrics::MetricSet;
+use slime_nn::{Linear, Module, ParamCollector, TrainContext};
+use slime_tensor::optim::{Adam, Optimizer};
+use slime_tensor::{init, ops, Tensor};
+
+use crate::transformer::{EncoderConfig, TransformerRec};
+
+/// VAE-augmented transformer recommender.
+pub struct ContrastVae {
+    enc: TransformerRec,
+    mu: Linear,
+    logvar: Linear,
+}
+
+impl ContrastVae {
+    /// Build on a causal transformer encoder.
+    pub fn new(cfg: EncoderConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7ae5);
+        let d = cfg.hidden;
+        ContrastVae {
+            enc: TransformerRec::sasrec(cfg),
+            mu: Linear::new(d, d, &mut rng),
+            logvar: Linear::new(d, d, &mut rng),
+        }
+    }
+
+    /// Posterior parameters `(mu, logvar)` for a batch.
+    fn posterior(
+        &self,
+        inputs: &[usize],
+        batch: usize,
+        ctx: &mut TrainContext,
+    ) -> (Tensor, Tensor) {
+        let h = self.enc.user_repr(inputs, batch, ctx);
+        (self.mu.forward(&h), self.logvar.forward(&h))
+    }
+
+    /// Reparameterized sample `z = mu + exp(logvar / 2) * eps`.
+    fn sample(&self, mu: &Tensor, logvar: &Tensor, ctx: &mut TrainContext) -> Tensor {
+        let std = ops::exp(&ops::scale(logvar, 0.5));
+        let eps = Tensor::constant(init::normal(mu.shape(), 1.0, &mut ctx.rng));
+        ops::add(mu, &ops::mul(&std, &eps))
+    }
+
+    /// KL(q || N(0, I)) averaged over the batch:
+    /// `-0.5 * mean(1 + logvar - mu^2 - exp(logvar))`.
+    fn kl(&self, mu: &Tensor, logvar: &Tensor) -> Tensor {
+        let term = ops::sub(
+            &ops::add(&ops::add_scalar(logvar, 1.0), &ops::neg(&ops::mul(mu, mu))),
+            &ops::exp(logvar),
+        );
+        ops::scale(&ops::mean_all(&term), -0.5)
+    }
+}
+
+impl Module for ContrastVae {
+    fn collect(&self, out: &mut ParamCollector) {
+        out.child("enc", &self.enc);
+        out.child("mu", &self.mu);
+        out.child("logvar", &self.logvar);
+    }
+}
+
+impl NextItemModel for ContrastVae {
+    fn max_len(&self) -> usize {
+        self.enc.cfg.max_len
+    }
+
+    /// Deterministic evaluation uses the posterior mean.
+    fn user_repr(&self, inputs: &[usize], batch: usize, ctx: &mut TrainContext) -> Tensor {
+        let (mu, _) = self.posterior(inputs, batch, ctx);
+        mu
+    }
+
+    fn score_all(&self, repr: &Tensor) -> Tensor {
+        self.enc.score_all(repr)
+    }
+}
+
+/// Train ContrastVAE: `CE(z1) + kl_weight * KL + lambda * InfoNCE(z1, z2)`.
+pub fn run_contrastvae(
+    ds: &SeqDataset,
+    cfg: &EncoderConfig,
+    tc: &TrainConfig,
+    lambda: f32,
+    kl_weight: f32,
+) -> (ContrastVae, MetricSet) {
+    let model = ContrastVae::new(cfg.clone());
+    let ts = TrainSet::with_stride(ds, 1, tc.example_stride);
+    assert!(!ts.is_empty(), "no training examples");
+    let mut opt = Adam::new(model.parameters(), tc.lr);
+    let mut batch_rng = StdRng::seed_from_u64(tc.seed ^ 0xcae);
+    let mut ctx = TrainContext::train(tc.seed);
+    let n = cfg.max_len;
+
+    for _ in 0..tc.epochs {
+        for batch in ts.epoch_batches(n, tc.batch_size, &mut batch_rng) {
+            opt.zero_grad();
+            let (mu, logvar) = model.posterior(&batch.inputs, batch.batch, &mut ctx);
+            let z1 = model.sample(&mu, &logvar, &mut ctx);
+            let logits = model.score_all(&z1);
+            let rec = ops::cross_entropy(&logits, &batch.targets);
+            let kl = ops::scale(&model.kl(&mu, &logvar), kl_weight);
+            let mut loss = ops::add(&rec, &kl);
+            if batch.batch >= 2 && lambda > 0.0 {
+                let z2 = model.sample(&mu, &logvar, &mut ctx);
+                let cl = info_nce_with_targets(&z1, &z2, &batch.targets, 1.0);
+                loss = ops::add(&loss, &ops::scale(&cl, lambda));
+            }
+            loss.backward();
+            opt.step();
+        }
+    }
+    let test = evaluate_split(&model, ds, Split::Test, tc);
+    (model, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::tiny_ds;
+
+    fn tiny_cfg(ds: &SeqDataset) -> EncoderConfig {
+        EncoderConfig {
+            hidden: 16,
+            max_len: 10,
+            layers: 1,
+            heads: 2,
+            ..EncoderConfig::new(ds.num_items())
+        }
+    }
+
+    #[test]
+    fn samples_differ_but_share_mean() {
+        let ds = tiny_ds();
+        let m = ContrastVae::new(tiny_cfg(&ds));
+        let mut ctx = TrainContext::train(3);
+        let inputs: Vec<usize> = vec![1; 10];
+        let (mu, logvar) = m.posterior(&inputs, 1, &mut ctx);
+        let z1 = m.sample(&mu, &logvar, &mut ctx).value();
+        let z2 = m.sample(&mu, &logvar, &mut ctx).value();
+        let diff: f32 = z1
+            .data()
+            .iter()
+            .zip(z2.data())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-6, "two samples must differ");
+    }
+
+    #[test]
+    fn kl_is_zero_at_standard_normal() {
+        let ds = tiny_ds();
+        let m = ContrastVae::new(tiny_cfg(&ds));
+        let mu = Tensor::constant(slime_tensor::NdArray::zeros(vec![2, 4]));
+        let logvar = Tensor::constant(slime_tensor::NdArray::zeros(vec![2, 4]));
+        assert!(m.kl(&mu, &logvar).item().abs() < 1e-6);
+        // And positive away from it.
+        let mu2 = Tensor::constant(slime_tensor::NdArray::full(vec![2, 4], 2.0));
+        assert!(m.kl(&mu2, &logvar).item() > 0.5);
+    }
+
+    #[test]
+    fn trains_and_evaluates() {
+        let ds = tiny_ds();
+        let tc = TrainConfig {
+            epochs: 1,
+            batch_size: 32,
+            ..TrainConfig::default()
+        };
+        let (_, test) = run_contrastvae(&ds, &tiny_cfg(&ds), &tc, 0.1, 0.01);
+        assert!(test.hr(10) >= 0.0);
+    }
+}

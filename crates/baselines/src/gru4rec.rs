@@ -1,0 +1,92 @@
+//! GRU4Rec (Hidasi et al. / Jannach & Ludewig, RecSys 2017): item
+//! embeddings fed through a GRU; the final hidden state is the user
+//! representation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use slime4rec::NextItemModel;
+use slime_nn::{dropout, Embedding, Gru, Linear, Module, ParamCollector, TrainContext};
+use slime_tensor::{ops, Tensor};
+
+/// GRU-based sequential recommender.
+pub struct Gru4Rec {
+    /// Item table; also the scoring head.
+    pub item_emb: Embedding,
+    gru: Gru,
+    /// Projects the GRU state back to embedding space for scoring.
+    head: Linear,
+    max_len: usize,
+    p_drop: f32,
+}
+
+impl Gru4Rec {
+    /// Build with embedding size = GRU hidden size = `hidden`.
+    pub fn new(num_items: usize, hidden: usize, max_len: usize, dropout: f32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Gru4Rec {
+            item_emb: Embedding::new(num_items + 1, hidden, &mut rng),
+            gru: Gru::new(hidden, hidden, &mut rng),
+            head: Linear::new(hidden, hidden, &mut rng),
+            max_len,
+            p_drop: dropout,
+        }
+    }
+}
+
+impl Module for Gru4Rec {
+    fn collect(&self, out: &mut ParamCollector) {
+        out.child("item_emb", &self.item_emb);
+        out.child("gru", &self.gru);
+        out.child("head", &self.head);
+    }
+}
+
+impl NextItemModel for Gru4Rec {
+    fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    fn user_repr(&self, inputs: &[usize], batch: usize, ctx: &mut TrainContext) -> Tensor {
+        let e = self.item_emb.forward(inputs, &[batch, self.max_len]);
+        let e = dropout(&e, self.p_drop, ctx);
+        let h = self.gru.forward_last(&e);
+        self.head.forward(&h)
+    }
+
+    fn score_all(&self, repr: &Tensor) -> Tensor {
+        ops::matmul(repr, &ops::permute(&self.item_emb.weight, &[1, 0]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::tiny_ds;
+    use slime4rec::{evaluate_split, train_model, TrainConfig, ViewStrategy};
+    use slime_data::{Split, TrainSet};
+
+    #[test]
+    fn shapes() {
+        let m = Gru4Rec::new(20, 8, 6, 0.0, 1);
+        let mut ctx = TrainContext::eval();
+        let r = m.user_repr(&[0, 0, 1, 2, 3, 4], 1, &mut ctx);
+        assert_eq!(r.shape(), vec![1, 8]);
+        assert_eq!(m.score_all(&r).shape(), vec![1, 21]);
+    }
+
+    #[test]
+    fn training_improves() {
+        let ds = tiny_ds();
+        let tc = TrainConfig {
+            epochs: 3,
+            batch_size: 32,
+            ..TrainConfig::default()
+        };
+        let model = Gru4Rec::new(ds.num_items(), 16, 10, 0.1, 3);
+        let before = evaluate_split(&model, &ds, Split::Test, &tc);
+        let ts = TrainSet::new(&ds, 1);
+        train_model(&model, &ds, &ts, &tc, 0.0, 1.0, ViewStrategy::None);
+        let after = evaluate_split(&model, &ds, Split::Test, &tc);
+        assert!(after.ndcg(10) > before.ndcg(10));
+    }
+}

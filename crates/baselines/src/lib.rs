@@ -1,0 +1,64 @@
+//! # slime-baselines
+//!
+//! The ten baselines of the paper's Table II, implemented on the same
+//! substrate (`slime-tensor` / `slime-nn`) and evaluated through the same
+//! trainer/evaluator (`slime4rec::train_model` / `evaluate`) as SLIME4Rec:
+//!
+//! | Model | Family | Here |
+//! |---|---|---|
+//! | BPR-MF | matrix factorization, pairwise BPR loss | [`BprMf`] |
+//! | GRU4Rec | RNN | [`Gru4Rec`] |
+//! | Caser | CNN (horizontal + vertical convolutions) | [`Caser`] |
+//! | SASRec | causal transformer | [`TransformerRec`] (causal) |
+//! | BERT4Rec | bidirectional transformer, masked-item training | [`Bert4Rec`] |
+//! | FMLP-Rec | frequency-domain MLP, one global filter | [`fmlp_config`] (SLIME4Rec with `alpha = 1`, no SFS/CL — the reduction the paper itself notes) |
+//! | CL4SRec | SASRec + crop/mask/reorder contrastive views | [`run_cl4srec`] |
+//! | ContrastVAE | transformer VAE + variational contrastive views | [`ContrastVae`] |
+//! | CoSeRec | SASRec + similarity-guided substitute/insert views | [`run_coserec`] |
+//! | DuoRec | SASRec + dropout & same-target contrastive views | [`run_duorec`] |
+//!
+//! [`runner::run_baseline`] dispatches on a model name so the reproduction
+//! harness can sweep all of them uniformly.
+
+mod bert4rec;
+mod bprmf;
+mod caser;
+mod cl4srec;
+mod contrastvae;
+mod fmlp;
+mod gru4rec;
+pub mod runner;
+mod transformer;
+
+pub use bert4rec::{run_bert4rec, Bert4Rec};
+pub use bprmf::{run_bprmf, BprMf, BprMfConfig};
+pub use caser::Caser;
+pub use cl4srec::{run_cl4srec, run_coserec, AugPairKind};
+pub use contrastvae::{run_contrastvae, ContrastVae};
+pub use fmlp::fmlp_config;
+pub use gru4rec::Gru4Rec;
+pub use transformer::{run_duorec, run_sasrec, EncoderConfig, TransformerRec};
+
+#[cfg(test)]
+mod tests {
+    use slime_data::synthetic::{generate_with_core, SyntheticConfig};
+    use slime_data::SeqDataset;
+
+    /// Shared tiny dataset for the per-model smoke tests.
+    pub(crate) fn tiny_ds() -> SeqDataset {
+        let cfg = SyntheticConfig {
+            name: "baseline-test".into(),
+            users: 50,
+            clusters: 4,
+            items_per_cluster: 5,
+            noise_items: 4,
+            min_len: 8,
+            max_len: 14,
+            low_period: 5,
+            high_cycle: 3,
+            p_high: 0.6,
+            p_noise: 0.1,
+        };
+        generate_with_core(&cfg, 13, 0)
+    }
+}

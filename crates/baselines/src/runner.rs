@@ -1,0 +1,221 @@
+//! Uniform dispatch over every model in the paper's Table II, so the
+//! reproduction harness can sweep them with one loop.
+
+use slime4rec::{run_slime, ContrastiveMode, SlimeConfig, TrainConfig};
+use slime_data::SeqDataset;
+use slime_metrics::MetricSet;
+
+use crate::bert4rec::run_bert4rec;
+use crate::bprmf::{run_bprmf, BprMfConfig};
+use crate::caser::Caser;
+use crate::cl4srec::{run_cl4srec, run_coserec};
+use crate::contrastvae::run_contrastvae;
+use crate::fmlp::fmlp_config;
+use crate::gru4rec::Gru4Rec;
+use crate::transformer::{run_duorec, run_sasrec, EncoderConfig, TransformerRec};
+use slime4rec::{evaluate_split, train_model, ViewStrategy};
+use slime_data::{Split, TrainSet};
+
+/// Architecture-agnostic hyper-parameters used by [`run_baseline`].
+#[derive(Debug, Clone)]
+pub struct BaselineSpec {
+    /// Hidden size for every model.
+    pub hidden: usize,
+    /// Fixed input length.
+    pub max_len: usize,
+    /// Encoder depth (where applicable).
+    pub layers: usize,
+    /// Attention heads (transformer models).
+    pub heads: usize,
+    /// Dropout.
+    pub dropout: f32,
+    /// Contrastive loss weight (contrastive models).
+    pub lambda: f32,
+    /// InfoNCE temperature.
+    pub temperature: f32,
+    /// SLIME4Rec's dynamic filter ratio.
+    pub alpha: f32,
+    /// Init seed.
+    pub seed: u64,
+    /// Layer-noise amplitude for the robustness experiment.
+    pub noise_eps: f32,
+}
+
+impl BaselineSpec {
+    /// Small, fast defaults used by the reproduction harness.
+    pub fn small() -> Self {
+        BaselineSpec {
+            hidden: 32,
+            max_len: 20,
+            layers: 2,
+            heads: 2,
+            dropout: 0.2,
+            lambda: 0.1,
+            temperature: 0.2,
+            alpha: 0.4,
+            seed: 42,
+            noise_eps: 0.0,
+        }
+    }
+
+    fn encoder_cfg(&self, ds: &SeqDataset) -> EncoderConfig {
+        EncoderConfig {
+            num_items: ds.num_items(),
+            hidden: self.hidden,
+            max_len: self.max_len,
+            layers: self.layers,
+            heads: self.heads,
+            dropout: self.dropout,
+            noise_eps: self.noise_eps,
+            seed: self.seed,
+        }
+    }
+
+    /// The SLIME4Rec configuration equivalent to this spec.
+    pub fn slime_cfg(&self, ds: &SeqDataset) -> SlimeConfig {
+        let mut cfg = SlimeConfig::new(ds.num_items());
+        cfg.hidden = self.hidden;
+        cfg.max_len = self.max_len;
+        cfg.layers = self.layers;
+        cfg.alpha = self.alpha;
+        cfg.lambda = self.lambda;
+        cfg.temperature = self.temperature;
+        cfg.dropout_emb = self.dropout;
+        cfg.dropout_block = self.dropout;
+        cfg.contrastive = ContrastiveMode::Supervised;
+        cfg.noise_eps = self.noise_eps;
+        cfg.seed = self.seed;
+        cfg
+    }
+}
+
+/// All model names accepted by [`run_baseline`], in Table II column order.
+pub const MODEL_NAMES: [&str; 11] = [
+    "bprmf",
+    "gru4rec",
+    "caser",
+    "sasrec",
+    "bert4rec",
+    "fmlp",
+    "cl4srec",
+    "contrastvae",
+    "coserec",
+    "duorec",
+    "slime4rec",
+];
+
+/// Train and test the named model on `ds`.
+///
+/// # Panics
+/// Panics on an unknown model name (see [`MODEL_NAMES`]).
+pub fn run_baseline(
+    name: &str,
+    ds: &SeqDataset,
+    spec: &BaselineSpec,
+    tc: &TrainConfig,
+) -> MetricSet {
+    match name {
+        "bprmf" => {
+            let cfg = BprMfConfig {
+                hidden: spec.hidden,
+                seed: spec.seed,
+            };
+            run_bprmf(ds, &cfg, tc).1
+        }
+        "gru4rec" => {
+            let model = Gru4Rec::new(
+                ds.num_items(),
+                spec.hidden,
+                spec.max_len,
+                spec.dropout,
+                spec.seed,
+            );
+            let ts = TrainSet::with_stride(ds, 1, tc.example_stride);
+            train_model(&model, ds, &ts, tc, 0.0, 1.0, ViewStrategy::None);
+            evaluate_split(&model, ds, Split::Test, tc)
+        }
+        "caser" => {
+            let model = Caser::new(
+                ds.num_items(),
+                spec.hidden,
+                spec.max_len,
+                4,
+                spec.dropout,
+                spec.seed,
+            );
+            let ts = TrainSet::with_stride(ds, 1, tc.example_stride);
+            train_model(&model, ds, &ts, tc, 0.0, 1.0, ViewStrategy::None);
+            evaluate_split(&model, ds, Split::Test, tc)
+        }
+        "sasrec" => run_sasrec(ds, &spec.encoder_cfg(ds), tc).1,
+        "bert4rec" => run_bert4rec(ds, &spec.encoder_cfg(ds), tc, 0.3).1,
+        "fmlp" => {
+            let cfg = fmlp_config(
+                ds.num_items(),
+                spec.hidden,
+                spec.max_len,
+                spec.layers,
+                spec.dropout,
+                spec.seed,
+            );
+            run_slime(ds, &cfg, tc).2
+        }
+        "cl4srec" => {
+            run_cl4srec(ds, &spec.encoder_cfg(ds), tc, spec.lambda, spec.temperature).1
+        }
+        "contrastvae" => run_contrastvae(ds, &spec.encoder_cfg(ds), tc, spec.lambda, 0.01).1,
+        "coserec" => {
+            run_coserec(ds, &spec.encoder_cfg(ds), tc, spec.lambda, spec.temperature).1
+        }
+        "duorec" => run_duorec(ds, &spec.encoder_cfg(ds), tc, spec.lambda, spec.temperature).1,
+        "slime4rec" => run_slime(ds, &spec.slime_cfg(ds), tc).2,
+        other => panic!("unknown model {other:?}; known: {MODEL_NAMES:?}"),
+    }
+}
+
+/// Train DuoRec and return the model handle (used by experiments that need
+/// the baseline under layer noise).
+pub fn duorec_model(
+    ds: &SeqDataset,
+    spec: &BaselineSpec,
+    tc: &TrainConfig,
+) -> (TransformerRec, MetricSet) {
+    run_duorec(ds, &spec.encoder_cfg(ds), tc, spec.lambda, spec.temperature)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::tiny_ds;
+
+    #[test]
+    fn every_model_name_runs_one_epoch() {
+        let ds = tiny_ds();
+        let mut spec = BaselineSpec::small();
+        spec.hidden = 16;
+        spec.max_len = 8;
+        spec.layers = 1;
+        let tc = TrainConfig {
+            epochs: 1,
+            batch_size: 32,
+            ..TrainConfig::default()
+        };
+        for name in MODEL_NAMES {
+            let m = run_baseline(name, &ds, &spec, &tc);
+            assert!(m.hr(10) >= 0.0 && m.hr(10) <= 1.0, "{name}");
+            assert!(m.count > 0, "{name} evaluated nothing");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown model")]
+    fn unknown_name_panics() {
+        let ds = tiny_ds();
+        run_baseline(
+            "netflix-prize",
+            &ds,
+            &BaselineSpec::small(),
+            &TrainConfig::default(),
+        );
+    }
+}

@@ -1,0 +1,326 @@
+//! Transformer-based sequence encoders: SASRec (causal) and the backbone
+//! shared by BERT4Rec / CL4SRec / CoSeRec / DuoRec.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use slime4rec::{evaluate_split, train_model, NextItemModel, TrainConfig, ViewStrategy};
+use slime_data::augment::SameTargetIndex;
+use slime_data::{SeqDataset, Split, TrainSet};
+use slime_metrics::MetricSet;
+use slime_nn::{
+    dropout, Embedding, FeedForward, LayerNorm, Module, MultiHeadAttention, ParamCollector,
+    PositionalEmbedding, TrainContext,
+};
+use slime_tensor::{ops, NdArray, Tensor};
+
+/// Shared hyper-parameters of the transformer baselines.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EncoderConfig {
+    /// Number of real items (`1..=num_items`; 0 pads).
+    pub num_items: usize,
+    /// Hidden size.
+    pub hidden: usize,
+    /// Fixed input length.
+    pub max_len: usize,
+    /// Encoder depth.
+    pub layers: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Dropout everywhere (embedding, attention, FFN).
+    pub dropout: f32,
+    /// Uniform layer-input noise amplitude (Fig. 6's epsilon; 0 = off).
+    pub noise_eps: f32,
+    /// Init seed.
+    pub seed: u64,
+}
+
+impl EncoderConfig {
+    /// Defaults matching the paper's baseline setups (d=64, 2 layers,
+    /// 2 heads).
+    pub fn new(num_items: usize) -> Self {
+        EncoderConfig {
+            num_items,
+            hidden: 64,
+            max_len: 50,
+            layers: 2,
+            heads: 2,
+            dropout: 0.2,
+            noise_eps: 0.0,
+            seed: 42,
+        }
+    }
+
+    /// Small config for tests/quick runs.
+    pub fn small(num_items: usize) -> Self {
+        EncoderConfig {
+            hidden: 32,
+            max_len: 20,
+            ..Self::new(num_items)
+        }
+    }
+
+    /// Items + padding (and, for BERT4Rec, callers add the mask token on
+    /// top of this).
+    pub fn vocab_size(&self) -> usize {
+        self.num_items + 1
+    }
+}
+
+struct EncoderBlock {
+    attn: MultiHeadAttention,
+    ln1: LayerNorm,
+    ffn: FeedForward,
+    ln2: LayerNorm,
+    p: f32,
+}
+
+impl EncoderBlock {
+    fn forward(&self, h: &Tensor, mask: Option<&NdArray>, ctx: &mut TrainContext) -> Tensor {
+        let a = self.attn.forward(h, mask, ctx);
+        let h1 = self.ln1.forward(&ops::add(h, &dropout(&a, self.p, ctx)));
+        let f = self.ffn.forward(&h1, ctx);
+        self.ln2.forward(&ops::add(&h1, &dropout(&f, self.p, ctx)))
+    }
+}
+
+impl Module for EncoderBlock {
+    fn collect(&self, out: &mut ParamCollector) {
+        out.child("attn", &self.attn);
+        out.child("ln1", &self.ln1);
+        out.child("ffn", &self.ffn);
+        out.child("ln2", &self.ln2);
+    }
+}
+
+/// A SASRec-style transformer recommender. With `causal = true` this is
+/// SASRec (and the backbone DuoRec/CL4SRec/CoSeRec train contrastively);
+/// with `causal = false` it is the bidirectional encoder of BERT4Rec.
+pub struct TransformerRec {
+    /// Configuration.
+    pub cfg: EncoderConfig,
+    /// Item table (`vocab + extra_tokens` rows); also the output head.
+    pub item_emb: Embedding,
+    pos_emb: PositionalEmbedding,
+    emb_ln: LayerNorm,
+    blocks: Vec<EncoderBlock>,
+    causal: bool,
+    num_scored: usize,
+}
+
+impl TransformerRec {
+    /// Causal (SASRec) encoder.
+    pub fn sasrec(cfg: EncoderConfig) -> Self {
+        Self::build(cfg, true, 0)
+    }
+
+    /// Bidirectional encoder with `extra_tokens` additional vocabulary rows
+    /// (BERT4Rec's `[mask]`).
+    pub fn bidirectional(cfg: EncoderConfig, extra_tokens: usize) -> Self {
+        Self::build(cfg, false, extra_tokens)
+    }
+
+    fn build(cfg: EncoderConfig, causal: bool, extra_tokens: usize) -> Self {
+        assert!(cfg.hidden.is_multiple_of(cfg.heads), "heads must divide hidden");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let vocab = cfg.vocab_size() + extra_tokens;
+        let item_emb = Embedding::new(vocab, cfg.hidden, &mut rng);
+        let pos_emb = PositionalEmbedding::new(cfg.max_len, cfg.hidden, &mut rng);
+        let emb_ln = LayerNorm::new(cfg.hidden);
+        let blocks = (0..cfg.layers)
+            .map(|_| EncoderBlock {
+                attn: MultiHeadAttention::new(cfg.hidden, cfg.heads, cfg.dropout, &mut rng),
+                ln1: LayerNorm::new(cfg.hidden),
+                ffn: FeedForward::new(cfg.hidden, cfg.dropout, &mut rng),
+                ln2: LayerNorm::new(cfg.hidden),
+                p: cfg.dropout,
+            })
+            .collect();
+        let num_scored = cfg.vocab_size();
+        TransformerRec {
+            cfg,
+            item_emb,
+            pos_emb,
+            emb_ln,
+            blocks,
+            causal,
+            num_scored,
+        }
+    }
+
+    /// Encode `[batch * max_len]` ids into `[batch, max_len, d]`.
+    pub fn encode(&self, inputs: &[usize], batch: usize, ctx: &mut TrainContext) -> Tensor {
+        let n = self.cfg.max_len;
+        assert_eq!(inputs.len(), batch * n);
+        let e = self.item_emb.forward(inputs, &[batch, n]);
+        let p = self.pos_emb.forward(n);
+        let mut h = dropout(
+            &self.emb_ln.forward(&ops::add(&e, &p)),
+            self.cfg.dropout,
+            ctx,
+        );
+        let mask = self
+            .causal
+            .then(|| MultiHeadAttention::causal_mask(n));
+        for block in &self.blocks {
+            if self.cfg.noise_eps > 0.0 {
+                h = ops::add(&h, &layer_noise(h.shape(), self.cfg.noise_eps, ctx));
+            }
+            h = block.forward(&h, mask.as_ref(), ctx);
+        }
+        h
+    }
+
+    /// Hidden states of explicit positions (BERT4Rec's masked-position
+    /// training).
+    pub fn encode_positions(
+        &self,
+        inputs: &[usize],
+        batch: usize,
+        positions: &[(usize, usize)],
+        ctx: &mut TrainContext,
+    ) -> Tensor {
+        let h = self.encode(inputs, batch, ctx);
+        ops::gather_positions(&h, positions)
+    }
+}
+
+pub(crate) fn layer_noise(shape: Vec<usize>, eps: f32, ctx: &mut TrainContext) -> Tensor {
+    let n: usize = shape.iter().product();
+    let data: Vec<f32> = (0..n).map(|_| ctx.rng.gen_range(-eps..=eps)).collect();
+    Tensor::constant(NdArray::from_vec(shape, data))
+}
+
+impl Module for TransformerRec {
+    fn collect(&self, out: &mut ParamCollector) {
+        out.child("item_emb", &self.item_emb);
+        out.child("pos_emb", &self.pos_emb);
+        out.child("emb_ln", &self.emb_ln);
+        for (l, b) in self.blocks.iter().enumerate() {
+            out.child(&format!("block{l}"), b);
+        }
+    }
+}
+
+impl NextItemModel for TransformerRec {
+    fn max_len(&self) -> usize {
+        self.cfg.max_len
+    }
+
+    fn user_repr(&self, inputs: &[usize], batch: usize, ctx: &mut TrainContext) -> Tensor {
+        let h = self.encode(inputs, batch, ctx);
+        ops::index_axis(&h, 1, self.cfg.max_len - 1)
+    }
+
+    fn score_all(&self, repr: &Tensor) -> Tensor {
+        // Score only real vocabulary rows (exclude BERT's mask token row).
+        let w = ops::slice_axis(&self.item_emb.weight, 0, 0, self.num_scored);
+        ops::matmul(repr, &ops::permute(&w, &[1, 0]))
+    }
+}
+
+/// Train and test SASRec (plain next-item objective, no contrastive task).
+pub fn run_sasrec(
+    ds: &SeqDataset,
+    cfg: &EncoderConfig,
+    tc: &TrainConfig,
+) -> (TransformerRec, MetricSet) {
+    let model = TransformerRec::sasrec(cfg.clone());
+    let ts = TrainSet::with_stride(ds, 1, tc.example_stride);
+    train_model(&model, ds, &ts, tc, 0.0, 1.0, ViewStrategy::None);
+    let test = evaluate_split(&model, ds, Split::Test, tc);
+    (model, test)
+}
+
+/// Train and test DuoRec: SASRec backbone + unsupervised dropout views and
+/// supervised same-target views (Qiu et al., WSDM 2022 — the paper's
+/// strongest baseline).
+pub fn run_duorec(
+    ds: &SeqDataset,
+    cfg: &EncoderConfig,
+    tc: &TrainConfig,
+    lambda: f32,
+    temperature: f32,
+) -> (TransformerRec, MetricSet) {
+    let model = TransformerRec::sasrec(cfg.clone());
+    let ts = TrainSet::with_stride(ds, 1, tc.example_stride);
+    let index = SameTargetIndex::new(&ts);
+    train_model(
+        &model,
+        ds,
+        &ts,
+        tc,
+        lambda,
+        temperature,
+        ViewStrategy::Supervised(&index),
+    );
+    let test = evaluate_split(&model, ds, Split::Test, tc);
+    (model, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::tiny_ds;
+
+    fn tiny_cfg(ds: &SeqDataset) -> EncoderConfig {
+        EncoderConfig {
+            hidden: 16,
+            max_len: 10,
+            layers: 1,
+            heads: 2,
+            ..EncoderConfig::new(ds.num_items())
+        }
+    }
+
+    #[test]
+    fn sasrec_shapes_and_scoring() {
+        let ds = tiny_ds();
+        let m = TransformerRec::sasrec(tiny_cfg(&ds));
+        let mut ctx = TrainContext::eval();
+        let inputs: Vec<usize> = (0..20).map(|i| i % ds.num_items() + 1).collect();
+        let r = m.user_repr(&inputs, 2, &mut ctx);
+        assert_eq!(r.shape(), vec![2, 16]);
+        let s = m.score_all(&r);
+        assert_eq!(s.shape(), vec![2, ds.num_items() + 1]);
+    }
+
+    #[test]
+    fn bidirectional_scores_exclude_mask_token() {
+        let ds = tiny_ds();
+        let m = TransformerRec::bidirectional(tiny_cfg(&ds), 1);
+        let mut ctx = TrainContext::eval();
+        let inputs: Vec<usize> = vec![1; 10];
+        let r = m.user_repr(&inputs, 1, &mut ctx);
+        let s = m.score_all(&r);
+        // vocab rows + pad, but not the extra mask row
+        assert_eq!(s.shape(), vec![1, ds.num_items() + 1]);
+    }
+
+    #[test]
+    fn sasrec_training_improves_over_init() {
+        let ds = tiny_ds();
+        let cfg = tiny_cfg(&ds);
+        let tc = TrainConfig {
+            epochs: 3,
+            batch_size: 32,
+            ..TrainConfig::default()
+        };
+        let untrained = TransformerRec::sasrec(cfg.clone());
+        let before = evaluate_split(&untrained, &ds, Split::Test, &tc);
+        let (_, after) = run_sasrec(&ds, &cfg, &tc);
+        assert!(after.ndcg(10) > before.ndcg(10));
+    }
+
+    #[test]
+    fn duorec_trains() {
+        let ds = tiny_ds();
+        let tc = TrainConfig {
+            epochs: 1,
+            batch_size: 32,
+            ..TrainConfig::default()
+        };
+        let (_, test) = run_duorec(&ds, &tiny_cfg(&ds), &tc, 0.1, 1.0);
+        assert!(test.hr(10) >= 0.0);
+    }
+}

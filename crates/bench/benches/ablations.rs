@@ -1,0 +1,158 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! one vs two filter branches, windowed vs global masks, and
+//! power-of-two vs Bluestein (odd-length) sequence costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slime4rec::{ContrastiveMode, NextItemModel, Slime4Rec, SlimeConfig};
+use slime_nn::TrainContext;
+use slime_tensor::{ops, NdArray, Tensor};
+use std::hint::black_box;
+
+const BATCH: usize = 16;
+const HIDDEN: usize = 32;
+
+fn input(n: usize) -> Tensor {
+    let data: Vec<f32> = (0..BATCH * n * HIDDEN)
+        .map(|i| (i as f32 * 0.137).sin())
+        .collect();
+    Tensor::param(NdArray::from_vec(vec![BATCH, n, HIDDEN], data))
+}
+
+fn branch(m: usize, mask: Vec<f32>, coef: f32) -> ops::SpectralBranch {
+    ops::SpectralBranch {
+        w_re: Tensor::param(NdArray::full(vec![m, HIDDEN], 0.02)),
+        w_im: Tensor::param(NdArray::full(vec![m, HIDDEN], 0.01)),
+        mask,
+        coef,
+    }
+}
+
+fn bench_branch_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral_branch_count");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let n = 50;
+    let m = n / 2 + 1;
+    let x = input(n);
+    let one = [branch(m, vec![1.0; m], 1.0)];
+    let two = [
+        branch(m, vec![1.0; m], 0.5),
+        branch(m, vec![1.0; m], 0.5),
+    ];
+    group.bench_function("one_branch", |b| {
+        b.iter(|| black_box(ops::spectral_filter_mix(black_box(&x), &one)))
+    });
+    group.bench_function("two_branches_dfs_plus_sfs", |b| {
+        b.iter(|| black_box(ops::spectral_filter_mix(black_box(&x), &two)))
+    });
+    group.finish();
+}
+
+fn bench_mask_width(c: &mut Criterion) {
+    // Windowed masks skip work in the filter application; global masks are
+    // the FMLP configuration. The FFT dominates, so the gap should be small
+    // — that is itself the finding worth recording.
+    let mut group = c.benchmark_group("mask_width");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let n = 50;
+    let m = n / 2 + 1;
+    let x = input(n);
+    let mut narrow = vec![0.0f32; m];
+    for v in narrow.iter_mut().take(m / 5) {
+        *v = 1.0;
+    }
+    let global = [branch(m, vec![1.0; m], 1.0)];
+    let windowed = [branch(m, narrow, 1.0)];
+    group.bench_function("global_mask_alpha_1", |b| {
+        b.iter(|| black_box(ops::spectral_filter_mix(black_box(&x), &global)))
+    });
+    group.bench_function("windowed_mask_alpha_0.2", |b| {
+        b.iter(|| black_box(ops::spectral_filter_mix(black_box(&x), &windowed)))
+    });
+    group.finish();
+}
+
+fn bench_sequence_length_kind(c: &mut Criterion) {
+    // Powers of two use the radix-2 path; other lengths go through
+    // Bluestein's algorithm with a larger internal transform.
+    let mut group = c.benchmark_group("fft_length_kind");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [32usize, 50, 64, 100, 128] {
+        let m = n / 2 + 1;
+        let x = input(n);
+        let br = [branch(m, vec![1.0; m], 1.0)];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(ops::spectral_filter_mix(black_box(&x), &br)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral_backward");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let n = 50;
+    let m = n / 2 + 1;
+    group.bench_function("forward_plus_backward", |b| {
+        b.iter(|| {
+            let x = input(n);
+            let br = [branch(m, vec![1.0; m], 1.0)];
+            let y = ops::spectral_filter_mix(&x, &br);
+            ops::mean_all(&ops::mul(&y, &y)).backward();
+            black_box(x.grad())
+        })
+    });
+    group.finish();
+}
+
+fn bench_learnable_gamma(c: &mut Criterion) {
+    // Fixed gamma uses the fused two-branch op; learnable gamma runs each
+    // branch separately and mixes in-graph (one extra FFT/iFFT pair per
+    // block). This bench records the cost of the extension.
+    let mut group = c.benchmark_group("gamma_mode");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let build = |learnable: bool| {
+        let mut cfg = SlimeConfig::new(200);
+        cfg.hidden = HIDDEN;
+        cfg.max_len = 20;
+        cfg.layers = 2;
+        cfg.contrastive = ContrastiveMode::None;
+        cfg.learnable_gamma = learnable;
+        Slime4Rec::new(cfg)
+    };
+    let inputs = slime_bench::random_inputs(BATCH, 20, 200, 9);
+    let fixed = build(false);
+    group.bench_function("fixed_gamma_fused", |b| {
+        b.iter(|| {
+            let mut ctx = TrainContext::eval();
+            black_box(fixed.user_repr(black_box(&inputs), BATCH, &mut ctx))
+        })
+    });
+    let learn = build(true);
+    group.bench_function("learnable_gamma_two_pass", |b| {
+        b.iter(|| {
+            let mut ctx = TrainContext::eval();
+            black_box(learn.user_repr(black_box(&inputs), BATCH, &mut ctx))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_branch_count,
+    bench_mask_width,
+    bench_sequence_length_kind,
+    bench_backward,
+    bench_learnable_gamma
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! FFT benchmarks: fast transforms vs the naive DFT oracle, real FFTs, and
+//! plan reuse, across the sequence lengths the paper searches
+//! ({25, 50, 75, 100}) plus powers of two.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slime_fft::{dft, fft, rfft, Complex32, FftPlan};
+use std::hint::black_box;
+
+fn signal(n: usize) -> Vec<Complex32> {
+    (0..n)
+        .map(|i| Complex32::new((i as f32 * 0.31).sin(), (i as f32 * 0.17).cos()))
+        .collect()
+}
+
+fn bench_fft_vs_dft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_vs_naive_dft");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [25usize, 50, 64, 100, 128] {
+        let x = signal(n);
+        group.bench_with_input(BenchmarkId::new("fft", n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = x.clone();
+                fft(black_box(&mut buf));
+                buf
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive_dft", n), &n, |b, _| {
+            b.iter(|| dft(black_box(&x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rfft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rfft");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [25usize, 50, 75, 100] {
+        let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.7).sin()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| rfft(black_box(&x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_reuse");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let n = 50;
+    let x = signal(n);
+    group.bench_function("fresh_plan_per_call", |b| {
+        b.iter(|| {
+            let plan = FftPlan::new(n);
+            let mut buf = x.clone();
+            plan.forward(&mut buf);
+            buf
+        })
+    });
+    let plan = FftPlan::new(n);
+    group.bench_function("reused_plan", |b| {
+        b.iter(|| {
+            let mut buf = x.clone();
+            plan.forward(&mut buf);
+            buf
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft_vs_dft, bench_rfft, bench_plan_reuse);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! The paper's complexity claim (Section III-F): the filter mixer costs
+//! O(n log n) per layer where self-attention costs O(n^2 d). This bench
+//! sweeps the sequence length n at fixed batch and hidden size and times
+//! one forward pass of each block family — the crossover and growth rates
+//! are the quantities of interest.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slime4rec::{ContrastiveMode, NextItemModel, Slime4Rec, SlimeConfig};
+use slime_baselines::{EncoderConfig, TransformerRec};
+use slime_bench::random_inputs;
+use slime_nn::TrainContext;
+use std::hint::black_box;
+
+const BATCH: usize = 16;
+const HIDDEN: usize = 32;
+const VOCAB: usize = 200;
+
+fn slime_model(n: usize) -> Slime4Rec {
+    let mut cfg = SlimeConfig::new(VOCAB);
+    cfg.hidden = HIDDEN;
+    cfg.max_len = n;
+    cfg.layers = 2;
+    cfg.alpha = 0.4;
+    cfg.dropout_emb = 0.0;
+    cfg.dropout_block = 0.0;
+    cfg.contrastive = ContrastiveMode::None;
+    Slime4Rec::new(cfg)
+}
+
+fn sasrec_model(n: usize) -> TransformerRec {
+    TransformerRec::sasrec(EncoderConfig {
+        num_items: VOCAB,
+        hidden: HIDDEN,
+        max_len: n,
+        layers: 2,
+        heads: 2,
+        dropout: 0.0,
+        noise_eps: 0.0,
+        seed: 1,
+    })
+}
+
+fn bench_forward_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward_scaling_in_n");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [16usize, 32, 64, 128] {
+        let inputs = random_inputs(BATCH, n, VOCAB, 7);
+        let slime = slime_model(n);
+        group.bench_with_input(BenchmarkId::new("filter_mixer", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ctx = TrainContext::eval();
+                black_box(slime.user_repr(black_box(&inputs), BATCH, &mut ctx))
+            })
+        });
+        let sasrec = sasrec_model(n);
+        group.bench_with_input(BenchmarkId::new("self_attention", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ctx = TrainContext::eval();
+                black_box(sasrec.user_repr(black_box(&inputs), BATCH, &mut ctx))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward_scaling);
+criterion_main!(benches);

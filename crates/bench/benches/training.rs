@@ -1,0 +1,98 @@
+//! End-to-end throughput: one optimizer step (forward + backward + Adam)
+//! and full-ranking inference, for SLIME4Rec vs SASRec vs FMLP-Rec.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slime4rec::{ContrastiveMode, NextItemModel, Slime4Rec, SlimeConfig};
+use slime_baselines::{fmlp_config, EncoderConfig, TransformerRec};
+use slime_bench::random_inputs;
+use slime_nn::{Module, TrainContext};
+use slime_tensor::optim::{Adam, Optimizer};
+use slime_tensor::ops;
+use std::hint::black_box;
+
+const BATCH: usize = 32;
+const N: usize = 20;
+const HIDDEN: usize = 32;
+const VOCAB: usize = 300;
+
+fn train_step<M: NextItemModel>(
+    model: &M,
+    opt: &mut Adam,
+    inputs: &[usize],
+    targets: &[usize],
+    ctx: &mut TrainContext,
+) {
+    opt.zero_grad();
+    let repr = model.user_repr(inputs, BATCH, ctx);
+    let loss = ops::cross_entropy(&model.score_all(&repr), targets);
+    loss.backward();
+    opt.step();
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let inputs = random_inputs(BATCH, N, VOCAB, 3);
+    let targets: Vec<usize> = random_inputs(BATCH, 1, VOCAB, 4);
+
+    let mut slime_cfg = SlimeConfig::new(VOCAB);
+    slime_cfg.hidden = HIDDEN;
+    slime_cfg.max_len = N;
+    slime_cfg.contrastive = ContrastiveMode::None;
+    let slime = Slime4Rec::new(slime_cfg);
+    let mut slime_opt = Adam::new(slime.parameters(), 1e-3);
+    group.bench_function("slime4rec", |b| {
+        let mut ctx = TrainContext::train(1);
+        b.iter(|| train_step(&slime, &mut slime_opt, black_box(&inputs), &targets, &mut ctx))
+    });
+
+    let sasrec = TransformerRec::sasrec(EncoderConfig {
+        num_items: VOCAB,
+        hidden: HIDDEN,
+        max_len: N,
+        layers: 2,
+        heads: 2,
+        dropout: 0.2,
+        noise_eps: 0.0,
+        seed: 1,
+    });
+    let mut sasrec_opt = Adam::new(sasrec.parameters(), 1e-3);
+    group.bench_function("sasrec", |b| {
+        let mut ctx = TrainContext::train(1);
+        b.iter(|| train_step(&sasrec, &mut sasrec_opt, black_box(&inputs), &targets, &mut ctx))
+    });
+
+    let fmlp = Slime4Rec::new(fmlp_config(VOCAB, HIDDEN, N, 2, 0.2, 1));
+    let mut fmlp_opt = Adam::new(fmlp.parameters(), 1e-3);
+    group.bench_function("fmlp", |b| {
+        let mut ctx = TrainContext::train(1);
+        b.iter(|| train_step(&fmlp, &mut fmlp_opt, black_box(&inputs), &targets, &mut ctx))
+    });
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_ranking_inference");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let inputs = random_inputs(BATCH, N, VOCAB, 5);
+    let mut cfg = SlimeConfig::new(VOCAB);
+    cfg.hidden = HIDDEN;
+    cfg.max_len = N;
+    cfg.contrastive = ContrastiveMode::None;
+    let slime = Slime4Rec::new(cfg);
+    group.bench_function("slime4rec_score_all", |b| {
+        b.iter(|| {
+            let mut ctx = TrainContext::eval();
+            let repr = slime.user_repr(black_box(&inputs), BATCH, &mut ctx);
+            black_box(slime.score_all(&repr).value())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_step, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! # slime-bench
+//!
+//! Criterion microbenchmarks backing the paper's complexity claims
+//! (Section III-F) and the ablation benches DESIGN.md calls out:
+//!
+//! * `fft` — fast transforms vs the naive DFT oracle; plan reuse.
+//! * `mixer_vs_attention` — filter-mixer block (O(n log n)) vs
+//!   self-attention block (O(n^2 d)) forward cost across sequence lengths.
+//! * `training` — end-to-end train-step and full-ranking inference
+//!   throughput for SLIME4Rec, SASRec, and FMLP-Rec.
+//! * `ablations` — one- vs two-branch mixers, windowed vs global masks,
+//!   power-of-two vs Bluestein sequence lengths.
+//!
+//! Shared fixture builders live here so benches stay declarative.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use slime_data::synthetic::{generate_with_core, SyntheticConfig};
+use slime_data::SeqDataset;
+
+/// A deterministic benchmark dataset sized for fast iteration.
+pub fn bench_dataset(users: usize, seed: u64) -> SeqDataset {
+    let cfg = SyntheticConfig {
+        name: "bench".into(),
+        users,
+        clusters: 8,
+        items_per_cluster: 10,
+        noise_items: 20,
+        min_len: 10,
+        max_len: 24,
+        low_period: 6,
+        high_cycle: 3,
+        p_high: 0.5,
+        p_noise: 0.15,
+    };
+    generate_with_core(&cfg, seed, 0)
+}
+
+/// A flat `[batch * n]` id buffer over `vocab` items (id 0 excluded).
+pub fn random_inputs(batch: usize, n: usize, vocab: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..batch * n).map(|_| 1 + rng.gen_range(0..vocab)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(
+            bench_dataset(20, 1).sequences(),
+            bench_dataset(20, 1).sequences()
+        );
+        assert_eq!(random_inputs(2, 4, 10, 3), random_inputs(2, 4, 10, 3));
+        for v in random_inputs(2, 4, 10, 3) {
+            assert!((1..=10).contains(&v));
+        }
+    }
+}

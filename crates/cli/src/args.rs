@@ -1,0 +1,133 @@
+//! Minimal `--key value` argument parsing (no external parser crate).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// First positional token.
+    pub command: String,
+    options: BTreeMap<String, String>,
+}
+
+/// Parsing failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse `argv[1..]`: the first token is the subcommand, the rest must
+    /// be `--key value` pairs.
+    pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
+        let mut it = argv.iter();
+        let command = it
+            .next()
+            .ok_or_else(|| ArgError("missing subcommand".into()))?
+            .clone();
+        if command.starts_with("--") {
+            return Err(ArgError(format!(
+                "expected a subcommand before options, got {command:?}"
+            )));
+        }
+        let mut options = BTreeMap::new();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(ArgError(format!("expected --option, got {key:?}")));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError(format!("--{name} requires a value")))?;
+            if options.insert(name.to_string(), value.clone()).is_some() {
+                return Err(ArgError(format!("--{name} given twice")));
+            }
+        }
+        Ok(Args { command, options })
+    }
+
+    /// A string option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(|s| s.as_str())
+    }
+
+    /// A required string option.
+    pub fn require(&self, name: &str) -> Result<&str, ArgError> {
+        self.get(name)
+            .ok_or_else(|| ArgError(format!("missing required option --{name}")))
+    }
+
+    /// A typed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{name}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// Names of options that were provided.
+    pub fn provided(&self) -> impl Iterator<Item = &str> {
+        self.options.keys().map(|s| s.as_str())
+    }
+
+    /// Error if any provided option is not in `allowed`.
+    pub fn reject_unknown(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for name in self.provided() {
+            if !allowed.contains(&name) {
+                return Err(ArgError(format!(
+                    "unknown option --{name} for {:?} (allowed: {allowed:?})",
+                    self.command
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_options() {
+        let a = Args::parse(&argv("train --data d.json --epochs 5")).unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.get("data"), Some("d.json"));
+        assert_eq!(a.get_or("epochs", 0usize).unwrap(), 5);
+        assert_eq!(a.get_or("batch", 128usize).unwrap(), 128);
+    }
+
+    #[test]
+    fn rejects_missing_value_and_duplicates() {
+        assert!(Args::parse(&argv("train --data")).is_err());
+        assert!(Args::parse(&argv("train --x 1 --x 2")).is_err());
+        assert!(Args::parse(&argv("--data d.json")).is_err());
+        assert!(Args::parse(&[]).is_err());
+    }
+
+    #[test]
+    fn require_and_reject_unknown() {
+        let a = Args::parse(&argv("evaluate --data d.json")).unwrap();
+        assert!(a.require("data").is_ok());
+        assert!(a.require("model").is_err());
+        assert!(a.reject_unknown(&["data", "model"]).is_ok());
+        assert!(a.reject_unknown(&["model"]).is_err());
+    }
+
+    #[test]
+    fn typed_parse_errors_are_reported() {
+        let a = Args::parse(&argv("train --epochs five")).unwrap();
+        assert!(a.get_or("epochs", 1usize).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! `slime4rec` — command-line interface for the SLIME4Rec reproduction:
+//! generate synthetic datasets, train models, evaluate with the paper's
+//! protocol, and serve top-K recommendations.
+//!
+//! ```text
+//! slime4rec generate  --profile beauty --out data.json
+//! slime4rec train     --data data.json --out model/ --epochs 8
+//! slime4rec evaluate  --data data.json --model model/
+//! slime4rec recommend --data data.json --model model/ --user 0 --k 10
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::Args::parse(&argv) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(lines) => {
+            for line in lines {
+                println!("{line}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

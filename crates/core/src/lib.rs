@@ -1,0 +1,63 @@
+//! # slime4rec
+//!
+//! A from-scratch Rust implementation of **SLIME4Rec** — "Contrastive
+//! Enhanced Slide Filter Mixer for Sequential Recommendation" (ICDE 2023).
+//!
+//! The model replaces self-attention with a frequency-domain *filter mixer*:
+//! each block FFTs the hidden sequence, multiplies it by two masked
+//! learnable complex filters — a **Dynamic Frequency Selection** window that
+//! slides across the spectrum with depth (the frequency ramp) and a
+//! **Static Frequency Split** band that tiles the spectrum evenly — mixes
+//! them, and inverse-FFTs back. Training jointly optimizes next-item
+//! cross-entropy and an InfoNCE contrastive loss over dropout-and-semantic
+//! augmented views.
+//!
+//! ```
+//! use slime4rec::{run_slime, SlimeConfig, TrainConfig};
+//! use slime_data::synthetic::{generate, profile};
+//!
+//! let ds = generate(&profile("beauty", 0.15), 1);
+//! let mut cfg = SlimeConfig::small(ds.num_items());
+//! cfg.layers = 2;
+//! let tc = TrainConfig { epochs: 1, ..TrainConfig::default() };
+//! let (_model, report, test) = run_slime(&ds, &cfg, &tc);
+//! assert!(report.epoch_losses[0].is_finite());
+//! assert!(test.hr(10) >= 0.0);
+//! ```
+
+mod config;
+pub mod contrastive;
+mod model;
+pub mod ramp;
+pub mod recommend;
+mod trainer;
+
+pub use config::{ContrastiveMode, SlideDirection, SlideMode, SlimeConfig, TrainConfig};
+pub use model::{FilterMixerBlock, Slime4Rec};
+pub use trainer::{
+    evaluate, evaluate_split, run_slime, train_model, TrainReport, ViewStrategy,
+};
+
+use slime_nn::TrainContext;
+use slime_nn::Module;
+use slime_tensor::Tensor;
+
+/// A sequential recommender trained on next-item prediction: encodes an item
+/// sequence into a user representation and scores every candidate item.
+///
+/// Implemented by [`Slime4Rec`] and every baseline in `slime-baselines`,
+/// which lets one trainer ([`train_model`]) and one evaluator
+/// ([`evaluate`]) serve all models — the same experimental control the
+/// paper gets from RecBole.
+pub trait NextItemModel: Module {
+    /// Fixed input length `N` the model was built for.
+    fn max_len(&self) -> usize;
+
+    /// Encode a flattened `[batch * max_len]` id buffer (0-padded on the
+    /// left) into `[batch, d]` user representations.
+    fn user_repr(&self, inputs: &[usize], batch: usize, ctx: &mut TrainContext) -> Tensor;
+
+    /// Score every item (including the padding column 0, which evaluators
+    /// must ignore): `[batch, d] -> [batch, vocab]`.
+    fn score_all(&self, repr: &Tensor) -> Tensor;
+}

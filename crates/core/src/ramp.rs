@@ -1,0 +1,219 @@
+//! The frequency ramp structure (paper Section III-B.2/3, Eqs. 16–25):
+//! per-layer indicator windows that make the learnable filters *slide*
+//! across the spectrum with depth.
+//!
+//! Windows are computed in floating point and rasterized to per-bin `{0,1}`
+//! masks over the `M = N/2 + 1` retained rfft bins. A bin `k` is active when
+//! `i <= k < j` for the layer's `[i, j)` window (the half-open convention
+//! keeps adjacent static windows disjoint and their union exactly the full
+//! spectrum).
+
+use crate::config::SlideDirection;
+
+/// `[i, j)` window of the Dynamic Frequency Selection filter at layer `l`
+/// (Eqs. 17–20), in bins.
+///
+/// With `direction = HighToLow` layer 0 covers the highest `alpha*M` bins
+/// and the window slides down by `step = (1 - alpha) * M / (L - 1)` per
+/// layer, reaching the bottom at layer `L-1`. `LowToHigh` is the exact
+/// mirror (`sigma_-> = inverse(sigma_<-)`, as the paper proves).
+pub fn dfs_window(
+    layer: usize,
+    layers: usize,
+    m: usize,
+    alpha: f32,
+    direction: SlideDirection,
+) -> (f64, f64) {
+    assert!(layer < layers, "layer out of range");
+    assert!(alpha > 0.0 && alpha <= 1.0);
+    let mf = m as f64;
+    let a = alpha as f64;
+    let step = if layers > 1 {
+        (1.0 - a) * mf / (layers - 1) as f64
+    } else {
+        0.0
+    };
+    let l = match direction {
+        SlideDirection::HighToLow => layer as f64,
+        SlideDirection::LowToHigh => (layers - 1 - layer) as f64,
+    };
+    let i = (mf * (1.0 - a) - l * step).max(0.0);
+    let j = (mf - l * step).min(mf);
+    (i, j)
+}
+
+/// `[i, j)` window of the Static Frequency Split filter at layer `l`
+/// (Eqs. 22–24): the spectrum divided evenly into `L` bands of size
+/// `M / L`, assigned to layers in slide order.
+pub fn sfs_window(
+    layer: usize,
+    layers: usize,
+    m: usize,
+    direction: SlideDirection,
+) -> (f64, f64) {
+    assert!(layer < layers, "layer out of range");
+    let mf = m as f64;
+    let beta = 1.0 / layers as f64;
+    let s = beta * mf;
+    let l = match direction {
+        SlideDirection::HighToLow => layer as f64,
+        SlideDirection::LowToHigh => (layers - 1 - layer) as f64,
+    };
+    let i = (mf * (1.0 - beta) - l * s).max(0.0);
+    let j = (mf - l * s).min(mf);
+    (i, j)
+}
+
+/// Rasterize a float window to a per-bin indicator mask of length `m`.
+///
+/// A bin is active iff `i - EPS <= k < j - EPS`; the shared epsilon keeps
+/// integer bins that land exactly on a band boundary assigned to exactly one
+/// band despite floating-point residue in the window arithmetic.
+pub fn window_mask(window: (f64, f64), m: usize) -> Vec<f32> {
+    const EPS: f64 = 1e-6;
+    let (i, j) = window;
+    (0..m)
+        .map(|k| {
+            let kf = k as f64;
+            if kf >= i - EPS && kf < j - EPS {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Convenience: DFS masks for every layer.
+pub fn dfs_masks(layers: usize, m: usize, alpha: f32, dir: SlideDirection) -> Vec<Vec<f32>> {
+    (0..layers)
+        .map(|l| window_mask(dfs_window(l, layers, m, alpha, dir), m))
+        .collect()
+}
+
+/// Convenience: SFS masks for every layer.
+pub fn sfs_masks(layers: usize, m: usize, dir: SlideDirection) -> Vec<Vec<f32>> {
+    (0..layers)
+        .map(|l| window_mask(sfs_window(l, layers, m, dir), m))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SlideDirection::{HighToLow, LowToHigh};
+
+    #[test]
+    fn dfs_window_hand_computed_example() {
+        // M = 26 (N = 50), L = 4, alpha = 0.2 -> step = 0.8*26/3 = 6.9333.
+        let (i0, j0) = dfs_window(0, 4, 26, 0.2, HighToLow);
+        assert!((i0 - 20.8).abs() < 1e-5);
+        assert!((j0 - 26.0).abs() < 1e-5);
+        let (i3, j3) = dfs_window(3, 4, 26, 0.2, HighToLow);
+        assert!(i3.abs() < 1e-5);
+        assert!((j3 - 5.2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn alpha_one_reproduces_fmlp_global_filter() {
+        // alpha = 1 -> step = 0, every layer covers the full spectrum
+        // (the paper notes this reduces SLIME4Rec's DFS to FMLP-Rec).
+        for l in 0..4 {
+            let mask = window_mask(dfs_window(l, 4, 13, 1.0, HighToLow), 13);
+            assert!(mask.iter().all(|&v| v == 1.0), "layer {l}: {mask:?}");
+        }
+    }
+
+    #[test]
+    fn directions_are_mirrors() {
+        // sigma_->(l) == sigma_<-(L-1-l), the inverse() identity of the paper.
+        let (layers, m, alpha) = (4usize, 26usize, 0.3f32);
+        for l in 0..layers {
+            let fwd = window_mask(dfs_window(l, layers, m, alpha, LowToHigh), m);
+            let bwd = window_mask(
+                dfs_window(layers - 1 - l, layers, m, alpha, HighToLow),
+                m,
+            );
+            assert_eq!(fwd, bwd, "layer {l}");
+        }
+    }
+
+    #[test]
+    fn sfs_partitions_the_spectrum_exactly() {
+        // Static windows must tile the spectrum: disjoint, union = all bins.
+        for (layers, m) in [(2usize, 26usize), (4, 26), (8, 26), (3, 13), (5, 11)] {
+            let masks = sfs_masks(layers, m, HighToLow);
+            for k in 0..m {
+                let covered: f32 = masks.iter().map(|msk| msk[k]).sum();
+                assert_eq!(covered, 1.0, "bin {k} covered {covered} times (L={layers}, M={m})");
+            }
+        }
+    }
+
+    #[test]
+    fn dfs_misses_bins_when_alpha_below_one_over_l() {
+        // The motivating gap for SFS (Section III-B.3): with alpha < 1/L the
+        // dynamic windows cannot cover the whole spectrum.
+        let (layers, m, alpha) = (4usize, 26usize, 0.1f32);
+        let masks = dfs_masks(layers, m, alpha, HighToLow);
+        let mut uncovered = 0;
+        for k in 0..m {
+            if masks.iter().all(|msk| msk[k] == 0.0) {
+                uncovered += 1;
+            }
+        }
+        assert!(uncovered > 0, "expected coverage gaps at alpha < 1/L");
+        // And SFS recaptures them (Fig. 7c).
+        let sfs = sfs_masks(layers, m, HighToLow);
+        for k in 0..m {
+            let any = masks.iter().chain(sfs.iter()).any(|msk| msk[k] == 1.0);
+            assert!(any, "bin {k} missed by both branches");
+        }
+    }
+
+    #[test]
+    fn dfs_covers_everything_when_alpha_at_least_one_over_l() {
+        let (layers, m, alpha) = (4usize, 26usize, 0.3f32); // 0.3 > 1/4
+        let masks = dfs_masks(layers, m, alpha, HighToLow);
+        for k in 0..m {
+            let any = masks.iter().any(|msk| msk[k] == 1.0);
+            assert!(any, "bin {k} uncovered despite alpha >= 1/L");
+        }
+    }
+
+    #[test]
+    fn single_layer_windows() {
+        let (i, j) = dfs_window(0, 1, 10, 0.5, HighToLow);
+        assert!((i - 5.0).abs() < 1e-9 && (j - 10.0).abs() < 1e-9);
+        let (si, sj) = sfs_window(0, 1, 10, HighToLow);
+        assert!(si.abs() < 1e-9 && (sj - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_sizes_match_alpha_fraction() {
+        let (layers, m) = (4usize, 26usize);
+        for alpha in [0.2f32, 0.4, 0.7] {
+            for l in 0..layers {
+                let mask = window_mask(dfs_window(l, layers, m, alpha, HighToLow), m);
+                let size: f32 = mask.iter().sum();
+                let expected = alpha * m as f32;
+                assert!(
+                    (size - expected).abs() <= 1.0,
+                    "layer {l} alpha {alpha}: window {size} vs {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn layer0_is_high_band_under_high_to_low() {
+        let m = 26;
+        let mask = window_mask(dfs_window(0, 4, m, 0.3, HighToLow), m);
+        // Active bins must be the top of the spectrum.
+        assert_eq!(mask[m - 1], 1.0);
+        assert_eq!(mask[0], 0.0);
+        let mask_last = window_mask(dfs_window(3, 4, m, 0.3, HighToLow), m);
+        assert_eq!(mask_last[0], 1.0);
+        assert_eq!(mask_last[m - 1], 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Convenience inference API: top-K recommendations from raw histories.
+
+use slime_data::batch::pad_truncate;
+use slime_nn::TrainContext;
+
+use crate::NextItemModel;
+
+/// One scored recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// Item id (1-based; 0 is never recommended).
+    pub item: usize,
+    /// Raw model score (higher = better; not a probability).
+    pub score: f32,
+}
+
+/// Top-K next-item recommendations for a single interaction history.
+///
+/// `exclude_history` removes items the user has already consumed — the
+/// usual serving-time behaviour; the paper's *evaluation* keeps them
+/// (full unfiltered ranking), so the evaluator does not use this path.
+pub fn recommend_top_k<M: NextItemModel>(
+    model: &M,
+    history: &[usize],
+    k: usize,
+    exclude_history: bool,
+) -> Vec<Recommendation> {
+    let batch = recommend_batch(model, &[history], k, exclude_history);
+    batch.into_iter().next().unwrap_or_default()
+}
+
+/// Top-K recommendations for several histories in one forward pass.
+pub fn recommend_batch<M: NextItemModel>(
+    model: &M,
+    histories: &[&[usize]],
+    k: usize,
+    exclude_history: bool,
+) -> Vec<Vec<Recommendation>> {
+    assert!(k >= 1, "k must be positive");
+    if histories.is_empty() {
+        return Vec::new();
+    }
+    let n = model.max_len();
+    let mut inputs = Vec::with_capacity(histories.len() * n);
+    for h in histories {
+        inputs.extend(pad_truncate(h, n));
+    }
+    let mut ctx = TrainContext::eval();
+    let repr = model.user_repr(&inputs, histories.len(), &mut ctx);
+    let scores = model.score_all(&repr);
+    let v = scores.value();
+    let vocab = v.shape()[1];
+
+    histories
+        .iter()
+        .enumerate()
+        .map(|(row, history)| {
+            let slice = &v.data()[row * vocab..(row + 1) * vocab];
+            let mut ranked: Vec<Recommendation> = slice
+                .iter()
+                .enumerate()
+                .skip(1) // never recommend the padding pseudo-item
+                .filter(|(item, _)| !exclude_history || !history.contains(item))
+                .map(|(item, &score)| Recommendation { item, score })
+                .collect();
+            ranked.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.item.cmp(&b.item))
+            });
+            ranked.truncate(k);
+            ranked
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ContrastiveMode, Slime4Rec, SlimeConfig};
+
+    fn tiny_model() -> Slime4Rec {
+        let mut cfg = SlimeConfig::small(12);
+        cfg.hidden = 8;
+        cfg.max_len = 6;
+        cfg.layers = 1;
+        cfg.contrastive = ContrastiveMode::None;
+        Slime4Rec::new(cfg)
+    }
+
+    #[test]
+    fn returns_k_sorted_unique_items() {
+        let m = tiny_model();
+        let recs = recommend_top_k(&m, &[1, 2, 3], 5, false);
+        assert_eq!(recs.len(), 5);
+        for w in recs.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        let mut items: Vec<usize> = recs.iter().map(|r| r.item).collect();
+        items.dedup();
+        assert_eq!(items.len(), 5);
+        assert!(items.iter().all(|&i| (1..=12).contains(&i)));
+    }
+
+    #[test]
+    fn exclude_history_filters_consumed_items() {
+        let m = tiny_model();
+        let history = [1usize, 2, 3, 4, 5, 6, 7];
+        let recs = recommend_top_k(&m, &history, 5, true);
+        for r in &recs {
+            assert!(!history.contains(&r.item), "recommended consumed {}", r.item);
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_queries() {
+        let m = tiny_model();
+        let h1: &[usize] = &[1, 2, 3];
+        let h2: &[usize] = &[4, 5];
+        let batch = recommend_batch(&m, &[h1, h2], 3, false);
+        assert_eq!(batch[0], recommend_top_k(&m, h1, 3, false));
+        assert_eq!(batch[1], recommend_top_k(&m, h2, 3, false));
+    }
+
+    #[test]
+    fn k_larger_than_vocab_is_clamped_by_reality() {
+        let m = tiny_model();
+        let recs = recommend_top_k(&m, &[1], 100, false);
+        assert_eq!(recs.len(), 12); // full vocab minus the pad item
+    }
+
+    #[test]
+    fn empty_history_still_recommends() {
+        let m = tiny_model();
+        let recs = recommend_top_k(&m, &[], 3, false);
+        assert_eq!(recs.len(), 3);
+    }
+}

@@ -1,0 +1,25 @@
+//! Finite-difference check of the InfoNCE objective in isolation.
+
+use slime4rec::contrastive::info_nce;
+use slime_tensor::gradcheck::check_gradient;
+use slime_tensor::{NdArray, Tensor};
+
+#[test]
+fn info_nce_matches_finite_differences() {
+    let a = Tensor::param(NdArray::from_vec(
+        vec![3, 4],
+        vec![
+            0.5, -0.2, 0.3, 0.9, -0.7, 0.1, 0.4, -0.3, 0.2, 0.8, -0.5, 0.6,
+        ],
+    ));
+    let b = Tensor::param(NdArray::from_vec(
+        vec![3, 4],
+        vec![
+            0.4, -0.1, 0.2, 1.0, -0.6, 0.2, 0.3, -0.2, 0.1, 0.7, -0.4, 0.5,
+        ],
+    ));
+    for t in [&a, &b] {
+        let r = check_gradient(t, || info_nce(&a, &b, 0.7), 1e-3);
+        assert!(r.max_rel_diff < 2e-2, "rel {} abs {}", r.max_rel_diff, r.max_abs_diff);
+    }
+}

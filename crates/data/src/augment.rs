@@ -1,0 +1,247 @@
+//! Sequence augmentations used by the contrastive baselines.
+//!
+//! * CL4SRec (Xie et al., ICDE 2022): [`crop`], [`mask`], [`reorder`].
+//! * CoSeRec (Liu et al., 2021): [`substitute`], [`insert`] guided by an
+//!   item co-occurrence [`ItemSimilarity`] model.
+//! * DuoRec (Qiu et al., WSDM 2022): [`SameTargetIndex`] — supervised
+//!   semantic positives are other training sequences sharing the same
+//!   target item (the paper adopts this in Section III-E).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::batch::TrainSet;
+
+/// Crop: keep a random contiguous sub-sequence of ratio `eta`.
+pub fn crop(seq: &[usize], eta: f64, rng: &mut impl Rng) -> Vec<usize> {
+    if seq.is_empty() {
+        return Vec::new();
+    }
+    let keep = ((seq.len() as f64 * eta).ceil() as usize).clamp(1, seq.len());
+    let start = rng.gen_range(0..=seq.len() - keep);
+    seq[start..start + keep].to_vec()
+}
+
+/// Mask: replace each item with the padding id 0 with probability `gamma`.
+pub fn mask(seq: &[usize], gamma: f64, rng: &mut impl Rng) -> Vec<usize> {
+    seq.iter()
+        .map(|&v| if rng.gen_bool(gamma) { 0 } else { v })
+        .collect()
+}
+
+/// Reorder: shuffle a random contiguous window of ratio `beta`.
+pub fn reorder(seq: &[usize], beta: f64, rng: &mut impl Rng) -> Vec<usize> {
+    let mut out = seq.to_vec();
+    if seq.len() < 2 {
+        return out;
+    }
+    let w = ((seq.len() as f64 * beta).ceil() as usize).clamp(2, seq.len());
+    let start = rng.gen_range(0..=seq.len() - w);
+    out[start..start + w].shuffle(rng);
+    out
+}
+
+/// Item-to-item similarity from training co-occurrence (items appearing
+/// within a window of each other in the same user sequence).
+///
+/// This is the "item correlation" signal CoSeRec uses to build informative
+/// substitutions/insertions.
+#[derive(Debug, Clone)]
+pub struct ItemSimilarity {
+    /// `most_similar[v]` is the strongest co-occurring item of `v` (or 0).
+    most_similar: Vec<usize>,
+}
+
+impl ItemSimilarity {
+    /// Build from raw sequences over an item space of size `num_items`
+    /// (ids `1..=num_items`), counting co-occurrences within `window`.
+    pub fn from_sequences(sequences: &[Vec<usize>], num_items: usize, window: usize) -> Self {
+        use std::collections::HashMap;
+        let mut counts: Vec<HashMap<usize, u32>> = vec![HashMap::new(); num_items + 1];
+        for s in sequences {
+            for i in 0..s.len() {
+                let hi = (i + window).min(s.len().saturating_sub(1));
+                for j in (i + 1)..=hi {
+                    if s[i] != s[j] {
+                        *counts[s[i]].entry(s[j]).or_default() += 1;
+                        *counts[s[j]].entry(s[i]).or_default() += 1;
+                    }
+                }
+            }
+        }
+        let most_similar = counts
+            .iter()
+            .map(|m| {
+                m.iter()
+                    .max_by_key(|(item, c)| (**c, std::cmp::Reverse(**item)))
+                    .map(|(item, _)| *item)
+                    .unwrap_or(0)
+            })
+            .collect();
+        ItemSimilarity { most_similar }
+    }
+
+    /// The most similar item to `v`, if any.
+    pub fn most_similar(&self, v: usize) -> Option<usize> {
+        match self.most_similar.get(v) {
+            Some(&s) if s != 0 => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Substitute: replace each item with its most similar item with
+/// probability `rho` (CoSeRec's informative substitution).
+pub fn substitute(
+    seq: &[usize],
+    sim: &ItemSimilarity,
+    rho: f64,
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    seq.iter()
+        .map(|&v| {
+            if rng.gen_bool(rho) {
+                sim.most_similar(v).unwrap_or(v)
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+/// Insert: after a fraction `rho` of positions, insert the most similar item
+/// (CoSeRec's informative insertion).
+pub fn insert(seq: &[usize], sim: &ItemSimilarity, rho: f64, rng: &mut impl Rng) -> Vec<usize> {
+    let mut out = Vec::with_capacity(seq.len() * 2);
+    for &v in seq {
+        out.push(v);
+        if rng.gen_bool(rho) {
+            if let Some(s) = sim.most_similar(v) {
+                out.push(s);
+            }
+        }
+    }
+    out
+}
+
+/// Index from target item to the training examples that share it, for
+/// DuoRec's supervised positive sampling.
+#[derive(Debug, Clone)]
+pub struct SameTargetIndex {
+    by_target: std::collections::HashMap<usize, Vec<usize>>,
+}
+
+impl SameTargetIndex {
+    /// Build over all examples of a [`TrainSet`].
+    pub fn new(ts: &TrainSet) -> Self {
+        let mut by_target: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for i in 0..ts.len() {
+            by_target.entry(ts.target(i)).or_default().push(i);
+        }
+        SameTargetIndex { by_target }
+    }
+
+    /// Sample a *different* example with the same target as example `i`
+    /// (falls back to `i` itself when it is the only one — DuoRec then
+    /// degenerates to the unsupervised dropout pair for that sample).
+    pub fn sample_positive(&self, ts: &TrainSet, i: usize, rng: &mut impl Rng) -> usize {
+        let target = ts.target(i);
+        let candidates = &self.by_target[&target];
+        if candidates.len() <= 1 {
+            return i;
+        }
+        loop {
+            let pick = candidates[rng.gen_range(0..candidates.len())];
+            if pick != i {
+                return pick;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SeqDataset;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn crop_preserves_contiguity_and_ratio() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let seq: Vec<usize> = (1..=10).collect();
+        for _ in 0..20 {
+            let c = crop(&seq, 0.5, &mut rng);
+            assert_eq!(c.len(), 5);
+            // contiguous: each next = prev + 1 in this synthetic sequence
+            for w in c.windows(2) {
+                assert_eq!(w[1], w[0] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn mask_rate_is_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let seq = vec![7usize; 10_000];
+        let m = mask(&seq, 0.3, &mut rng);
+        let masked = m.iter().filter(|&&v| v == 0).count();
+        assert!((2_700..3_300).contains(&masked), "{masked}");
+    }
+
+    #[test]
+    fn reorder_is_a_permutation_of_a_window() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let seq: Vec<usize> = (1..=10).collect();
+        let r = reorder(&seq, 0.4, &mut rng);
+        assert_eq!(r.len(), seq.len());
+        let mut a = r.clone();
+        let mut b = seq.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "multiset must be preserved");
+    }
+
+    #[test]
+    fn similarity_finds_co_occurring_items() {
+        // Items 1 and 2 always adjacent; 3 is isolated from them.
+        let seqs = vec![vec![1, 2, 1, 2, 1, 2], vec![3, 4, 3, 4]];
+        let sim = ItemSimilarity::from_sequences(&seqs, 4, 1);
+        assert_eq!(sim.most_similar(1), Some(2));
+        assert_eq!(sim.most_similar(2), Some(1));
+        assert_eq!(sim.most_similar(3), Some(4));
+    }
+
+    #[test]
+    fn substitute_and_insert_use_similarity() {
+        let seqs = vec![vec![1, 2, 1, 2, 1, 2]];
+        let sim = ItemSimilarity::from_sequences(&seqs, 2, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = substitute(&[1, 1, 1, 1], &sim, 1.0, &mut rng);
+        assert_eq!(s, vec![2, 2, 2, 2]);
+        let ins = insert(&[1, 2], &sim, 1.0, &mut rng);
+        assert_eq!(ins, vec![1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn same_target_sampling_returns_partner_with_same_target() {
+        let ds = SeqDataset::new(
+            "st",
+            vec![vec![1, 2, 9, 8, 7], vec![3, 2, 9, 6, 5], vec![4, 2, 9, 1, 3]],
+            9,
+        );
+        // train seqs: [1,2,9], [3,2,9], [4,2,9] -> examples with target 2 and 9.
+        let ts = TrainSet::new(&ds, 1);
+        let idx = SameTargetIndex::new(&ts);
+        let mut rng = StdRng::seed_from_u64(4);
+        for i in 0..ts.len() {
+            let j = idx.sample_positive(&ts, i, &mut rng);
+            assert_eq!(ts.target(i), ts.target(j));
+            if ts.target(i) == 9 || ts.target(i) == 2 {
+                // Three candidates exist, so a different one must be found.
+                assert_ne!(i, j);
+            }
+        }
+    }
+}

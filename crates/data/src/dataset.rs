@@ -1,0 +1,276 @@
+//! Sequence datasets, preprocessing, and the leave-one-out split.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics in the format of the paper's Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of users (sequences).
+    pub users: usize,
+    /// Number of distinct items appearing in the data.
+    pub items: usize,
+    /// Mean sequence length.
+    pub avg_length: f64,
+    /// Total number of interactions.
+    pub actions: usize,
+    /// `1 - actions / (users * items)`.
+    pub sparsity: f64,
+}
+
+/// Which portion of each user's sequence an access refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Split {
+    /// All but the last two interactions.
+    Train,
+    /// Input = all but last two; target = second-to-last item.
+    Valid,
+    /// Input = all but last; target = last item.
+    Test,
+}
+
+/// A sequential-recommendation dataset: one chronologically ordered item
+/// sequence per user. Item ids are `1..=num_items`; 0 is reserved for
+/// padding.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeqDataset {
+    /// Human-readable name (e.g. "beauty-sim").
+    pub name: String,
+    sequences: Vec<Vec<usize>>,
+    num_items: usize,
+}
+
+impl SeqDataset {
+    /// Build a dataset from raw sequences.
+    ///
+    /// # Panics
+    /// Panics if any item id is 0 or exceeds `num_items`.
+    pub fn new(name: impl Into<String>, sequences: Vec<Vec<usize>>, num_items: usize) -> Self {
+        for s in &sequences {
+            for &v in s {
+                assert!(v >= 1 && v <= num_items, "item id {v} out of 1..={num_items}");
+            }
+        }
+        SeqDataset {
+            name: name.into(),
+            sequences,
+            num_items,
+        }
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Number of items in the id space (padding id 0 not included).
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Model vocabulary size: items plus the padding id.
+    pub fn vocab_size(&self) -> usize {
+        self.num_items + 1
+    }
+
+    /// All user sequences.
+    pub fn sequences(&self) -> &[Vec<usize>] {
+        &self.sequences
+    }
+
+    /// The sequence of one user.
+    pub fn user(&self, u: usize) -> &[usize] {
+        &self.sequences[u]
+    }
+
+    /// Apply the paper's 5-core preprocessing: iteratively drop users with
+    /// fewer than `k` interactions and items with fewer than `k` occurrences,
+    /// then compact item ids to `1..=remaining`.
+    pub fn k_core(&self, k: usize) -> SeqDataset {
+        let mut seqs = self.sequences.clone();
+        loop {
+            // Count item occurrences.
+            let mut item_count = vec![0usize; self.num_items + 1];
+            for s in &seqs {
+                for &v in s {
+                    item_count[v] += 1;
+                }
+            }
+            let mut changed = false;
+            // Drop rare items from sequences.
+            for s in seqs.iter_mut() {
+                let before = s.len();
+                s.retain(|&v| item_count[v] >= k);
+                changed |= s.len() != before;
+            }
+            // Drop short users.
+            let before_users = seqs.len();
+            seqs.retain(|s| s.len() >= k);
+            changed |= seqs.len() != before_users;
+            if !changed {
+                break;
+            }
+        }
+        // Compact item ids.
+        let mut remap = vec![0usize; self.num_items + 1];
+        let mut next = 1usize;
+        for s in &seqs {
+            for &v in s {
+                if remap[v] == 0 {
+                    remap[v] = next;
+                    next += 1;
+                }
+            }
+        }
+        let remapped: Vec<Vec<usize>> = seqs
+            .into_iter()
+            .map(|s| s.into_iter().map(|v| remap[v]).collect())
+            .collect();
+        SeqDataset {
+            name: self.name.clone(),
+            sequences: remapped,
+            num_items: next - 1,
+        }
+    }
+
+    /// Table-I style statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let users = self.sequences.len();
+        let actions: usize = self.sequences.iter().map(Vec::len).sum();
+        let avg = if users == 0 {
+            0.0
+        } else {
+            actions as f64 / users as f64
+        };
+        let denom = (users * self.num_items) as f64;
+        DatasetStats {
+            users,
+            items: self.num_items,
+            avg_length: avg,
+            actions,
+            sparsity: if denom > 0.0 {
+                1.0 - actions as f64 / denom
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// The training portion of user `u`'s sequence (all but the last two
+    /// interactions). May be empty for very short sequences.
+    pub fn train_seq(&self, u: usize) -> &[usize] {
+        let s = &self.sequences[u];
+        &s[..s.len().saturating_sub(2)]
+    }
+
+    /// `(input, target)` for evaluation under `split`.
+    ///
+    /// Returns `None` if the user is too short for the split.
+    pub fn eval_example(&self, u: usize, split: Split) -> Option<(&[usize], usize)> {
+        let s = &self.sequences[u];
+        match split {
+            Split::Train => None,
+            Split::Valid => {
+                if s.len() < 3 {
+                    None
+                } else {
+                    Some((&s[..s.len() - 2], s[s.len() - 2]))
+                }
+            }
+            Split::Test => {
+                if s.len() < 2 {
+                    None
+                } else {
+                    Some((&s[..s.len() - 1], s[s.len() - 1]))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SeqDataset {
+        SeqDataset::new(
+            "tiny",
+            vec![vec![1, 2, 3, 4, 5], vec![2, 3, 4], vec![5, 1, 2, 3, 4, 5]],
+            5,
+        )
+    }
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let d = tiny();
+        let s = d.stats();
+        assert_eq!(s.users, 3);
+        assert_eq!(s.items, 5);
+        assert_eq!(s.actions, 14);
+        assert!((s.avg_length - 14.0 / 3.0).abs() < 1e-9);
+        assert!((s.sparsity - (1.0 - 14.0 / 15.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn rejects_zero_item_id() {
+        SeqDataset::new("bad", vec![vec![0, 1]], 2);
+    }
+
+    #[test]
+    fn leave_one_out_split() {
+        let d = tiny();
+        let (input, target) = d.eval_example(0, Split::Test).unwrap();
+        assert_eq!(input, &[1, 2, 3, 4]);
+        assert_eq!(target, 5);
+        let (vin, vtarget) = d.eval_example(0, Split::Valid).unwrap();
+        assert_eq!(vin, &[1, 2, 3]);
+        assert_eq!(vtarget, 4);
+        assert_eq!(d.train_seq(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn short_sequences_yield_none() {
+        let d = SeqDataset::new("short", vec![vec![1], vec![1, 2]], 2);
+        assert!(d.eval_example(0, Split::Test).is_none());
+        assert!(d.eval_example(1, Split::Valid).is_none());
+        assert!(d.eval_example(1, Split::Test).is_some());
+    }
+
+    #[test]
+    fn k_core_removes_rare_users_and_items() {
+        // Item 9 appears once; user 2 has 2 interactions.
+        let d = SeqDataset::new(
+            "kc",
+            vec![
+                vec![1, 2, 3, 1, 2, 3, 9],
+                vec![1, 2, 3, 1, 2, 3],
+                vec![1, 2],
+            ],
+            9,
+        );
+        let c = d.k_core(3);
+        assert_eq!(c.num_users(), 2);
+        assert_eq!(c.num_items(), 3); // items compacted to 1..=3
+        for s in c.sequences() {
+            assert!(s.len() >= 3);
+            for &v in s {
+                assert!((1..=3).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn k_core_iterates_to_fixpoint() {
+        // Removing user 1 drops item 4 below threshold, which shortens user 0.
+        let d = SeqDataset::new(
+            "fp",
+            vec![vec![1, 1, 4, 4], vec![4, 2], vec![1, 1, 1]],
+            4,
+        );
+        let c = d.k_core(3);
+        // item 4 appears 3 times initially, but user 1 (len 2) is dropped ->
+        // item 4 falls to 2 -> removed -> user 0 falls to [1,1] -> dropped.
+        assert_eq!(c.num_users(), 1);
+        assert_eq!(c.num_items(), 1);
+    }
+}

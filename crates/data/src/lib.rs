@@ -1,0 +1,43 @@
+//! # slime-data
+//!
+//! Dataset tooling for the SLIME4Rec reproduction:
+//!
+//! * [`SeqDataset`] — user interaction sequences with 5-core filtering and
+//!   the paper's leave-one-out split (Section IV-B).
+//! * [`synthetic`] — generators that *plant* the frequency structure the
+//!   paper exploits (low-frequency interest drift + high-frequency periodic
+//!   repeats + uniform noise), one profile per paper dataset, scaled to run
+//!   on a single CPU. This substitutes for the Amazon/ML-1M/Yelp downloads
+//!   (see DESIGN.md §1).
+//! * [`batch`] — left-padded fixed-length batching and prefix-augmented
+//!   training examples.
+//! * [`augment`] — the data augmentations of the contrastive baselines
+//!   (CL4SRec crop/mask/reorder, CoSeRec substitute/insert) and DuoRec's
+//!   same-target semantic positives.
+//! * [`noise`] — sequence corruption used by the robustness experiment.
+//!
+//! Items are 1-based; index 0 is the padding item everywhere.
+//!
+//! ```
+//! use slime_data::synthetic::{generate, profile};
+//! use slime_data::{Split, TrainSet};
+//!
+//! let ds = generate(&profile("beauty", 0.15), 7);
+//! assert!(ds.num_users() > 0);
+//! let ts = TrainSet::new(&ds, 1);
+//! let (prefix, target) = ts.example(0);
+//! assert!(!prefix.is_empty() && target >= 1);
+//! let (input, held_out) = ds.eval_example(0, Split::Test).unwrap();
+//! assert_eq!(input.len() + 1, ds.user(0).len());
+//! assert_eq!(held_out, *ds.user(0).last().unwrap());
+//! ```
+
+pub mod augment;
+pub mod batch;
+mod dataset;
+pub mod noise;
+pub mod spectrum;
+pub mod synthetic;
+
+pub use batch::{eval_batches, Batch, EvalBatch, TrainSet};
+pub use dataset::{DatasetStats, SeqDataset, Split};

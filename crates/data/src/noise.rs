@@ -1,0 +1,71 @@
+//! Synthetic-noise corruption for the robustness experiment (paper Fig. 6).
+//!
+//! The paper adds "random uniform noises ... to the original representations
+//! at each layer"; the representation-level injection lives in the models
+//! (a `noise_eps` config knob). This module provides the complementary
+//! *data-level* corruption — replacing a fraction of interactions with
+//! random items — used to study robustness from the input side.
+
+use rand::Rng;
+
+use crate::dataset::SeqDataset;
+
+/// Replace each item with a uniformly random item with probability `p`.
+pub fn corrupt_sequence(seq: &[usize], num_items: usize, p: f64, rng: &mut impl Rng) -> Vec<usize> {
+    assert!(num_items >= 1);
+    seq.iter()
+        .map(|&v| {
+            if rng.gen_bool(p) {
+                1 + rng.gen_range(0..num_items)
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+/// Corrupt an entire dataset's training interactions (targets held out by
+/// the split are *not* protected — the paper corrupts inputs only, so use
+/// this on training data and evaluate on the clean split).
+pub fn corrupt_dataset(ds: &SeqDataset, p: f64, rng: &mut impl Rng) -> SeqDataset {
+    let sequences = ds
+        .sequences()
+        .iter()
+        .map(|s| corrupt_sequence(s, ds.num_items(), p, rng))
+        .collect();
+    SeqDataset::new(format!("{}+noise{p}", ds.name), sequences, ds.num_items())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_probability_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let seq = vec![1, 2, 3, 4];
+        assert_eq!(corrupt_sequence(&seq, 10, 0.0, &mut rng), seq);
+    }
+
+    #[test]
+    fn corruption_rate_matches_p() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let seq = vec![5usize; 10_000];
+        let c = corrupt_sequence(&seq, 1_000, 0.25, &mut rng);
+        let changed = c.iter().filter(|&&v| v != 5).count();
+        assert!((2_200..2_800).contains(&changed), "{changed}");
+    }
+
+    #[test]
+    fn corrupted_dataset_keeps_shape() {
+        let ds = SeqDataset::new("d", vec![vec![1, 2, 3], vec![2, 3, 1, 2]], 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = corrupt_dataset(&ds, 0.5, &mut rng);
+        assert_eq!(c.num_users(), 2);
+        assert_eq!(c.num_items(), 3);
+        assert_eq!(c.user(0).len(), 3);
+        assert_eq!(c.user(1).len(), 4);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests over the data pipeline invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use slime_data::augment::{crop, mask, reorder, ItemSimilarity};
+use slime_data::batch::{pad_truncate, TrainSet};
+use slime_data::synthetic::{generate_with_core, SyntheticConfig};
+use slime_data::SeqDataset;
+
+fn arb_seq() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..50, 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pad_truncate_always_exact_length(seq in arb_seq(), n in 1usize..30) {
+        let out = pad_truncate(&seq, n);
+        prop_assert_eq!(out.len(), n);
+        // The suffix of the original is preserved in order at the right end.
+        let take = seq.len().min(n);
+        prop_assert_eq!(&out[n - take..], &seq[seq.len() - take..]);
+        // Left side is all padding.
+        prop_assert!(out[..n - take].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn crop_is_contiguous_subsequence(seq in arb_seq(), eta in 0.1f64..1.0, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = crop(&seq, eta, &mut rng);
+        prop_assert!(!c.is_empty());
+        prop_assert!(c.len() <= seq.len());
+        // c must appear as a window of seq.
+        let found = seq.windows(c.len()).any(|w| w == c.as_slice());
+        prop_assert!(found, "crop {:?} not a window of {:?}", c, seq);
+    }
+
+    #[test]
+    fn mask_only_zeroes_and_preserves_length(seq in arb_seq(), gamma in 0.0f64..1.0, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = mask(&seq, gamma, &mut rng);
+        prop_assert_eq!(m.len(), seq.len());
+        for (a, b) in m.iter().zip(&seq) {
+            prop_assert!(*a == 0 || a == b);
+        }
+    }
+
+    #[test]
+    fn reorder_preserves_multiset(seq in arb_seq(), beta in 0.0f64..1.0, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = reorder(&seq, beta, &mut rng);
+        let mut a = r.clone();
+        let mut b = seq.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn train_set_stride_examples_are_subset_with_latest_kept(
+        stride in 1usize..6,
+        lens in prop::collection::vec(4usize..20, 1..8),
+    ) {
+        let sequences: Vec<Vec<usize>> = lens
+            .iter()
+            .enumerate()
+            .map(|(u, &l)| (0..l).map(|t| 1 + (u * 7 + t) % 30).collect())
+            .collect();
+        let ds = SeqDataset::new("p", sequences, 30);
+        let full = TrainSet::new(&ds, 1);
+        let thin = TrainSet::with_stride(&ds, 1, stride);
+        prop_assert!(thin.len() <= full.len());
+        prop_assert!(thin.len() >= ds.num_users().min(full.len()).saturating_sub(0));
+        // Every thinned example exists in the full enumeration.
+        let full_set: std::collections::HashSet<(Vec<usize>, usize)> = (0..full.len())
+            .map(|i| {
+                let (p, t) = full.example(i);
+                (p.to_vec(), t)
+            })
+            .collect();
+        for i in 0..thin.len() {
+            let (p, t) = thin.example(i);
+            prop_assert!(full_set.contains(&(p.to_vec(), t)));
+        }
+        // The most recent prefix of each user must be kept.
+        for u in 0..ds.num_users() {
+            let s = ds.train_seq(u);
+            if s.len() >= 2 {
+                let latest = (&s[..s.len() - 1], s[s.len() - 1]);
+                let kept = (0..thin.len()).any(|i| thin.example(i) == latest);
+                prop_assert!(kept, "latest prefix of user {u} dropped");
+            }
+        }
+    }
+
+    #[test]
+    fn k_core_output_satisfies_k_core(seed in 0u64..200, k in 2usize..5) {
+        let cfg = SyntheticConfig {
+            name: "prop".into(),
+            users: 40,
+            clusters: 4,
+            items_per_cluster: 4,
+            noise_items: 12,
+            min_len: 4,
+            max_len: 10,
+            low_period: 4,
+            high_cycle: 2,
+            p_high: 0.4,
+            p_noise: 0.4,
+        };
+        let ds = generate_with_core(&cfg, seed, 0).k_core(k);
+        let mut item_counts = vec![0usize; ds.num_items() + 1];
+        for s in ds.sequences() {
+            prop_assert!(s.len() >= k, "user below {k}-core");
+            for &v in s {
+                prop_assert!(v >= 1 && v <= ds.num_items());
+                item_counts[v] += 1;
+            }
+        }
+        for (i, &c) in item_counts.iter().enumerate().skip(1) {
+            prop_assert!(c == 0 || c >= k, "item {i} occurs {c} < {k}");
+        }
+    }
+
+    #[test]
+    fn similarity_is_within_vocab(seed in 0u64..100) {
+        let cfg = SyntheticConfig {
+            name: "sim".into(),
+            users: 20,
+            clusters: 3,
+            items_per_cluster: 4,
+            noise_items: 4,
+            min_len: 5,
+            max_len: 9,
+            low_period: 4,
+            high_cycle: 2,
+            p_high: 0.5,
+            p_noise: 0.2,
+        };
+        let ds = generate_with_core(&cfg, seed, 0);
+        let sim = ItemSimilarity::from_sequences(ds.sequences(), ds.num_items(), 2);
+        for v in 1..=ds.num_items() {
+            if let Some(s) = sim.most_similar(v) {
+                prop_assert!(s >= 1 && s <= ds.num_items());
+                prop_assert!(s != v, "an item cannot be its own neighbour");
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! A minimal single-precision complex number.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f32` components.
+///
+/// Only the operations needed by the FFT kernels and the spectral-filter
+/// autodiff op are implemented; this is intentionally not a general-purpose
+/// complex library.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex32 {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Complex32 {
+    /// The additive identity.
+    pub const ZERO: Complex32 = Complex32 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex32 = Complex32 { re: 1.0, im: 0.0 };
+
+    /// Create a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f32, im: f32) -> Self {
+        Complex32 { re, im }
+    }
+
+    /// `e^{i theta}` = `cos(theta) + i sin(theta)`.
+    ///
+    /// Computed in `f64` for accuracy (twiddle factors accumulate error in
+    /// long transforms).
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex32 {
+            re: theta.cos() as f32,
+            im: theta.sin() as f32,
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex32 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Magnitude (absolute value).
+    #[inline]
+    pub fn abs(self) -> f32 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Multiply by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f32) -> Self {
+        Complex32 {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn add(self, rhs: Complex32) -> Complex32 {
+        Complex32::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex32 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex32) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn sub(self, rhs: Complex32) -> Complex32 {
+        Complex32::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex32 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex32) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn mul(self, rhs: Complex32) -> Complex32 {
+        Complex32::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex32 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex32) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div<f32> for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn div(self, rhs: f32) -> Complex32 {
+        Complex32::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn neg(self) -> Complex32 {
+        Complex32::new(-self.re, -self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex32::new(1.5, -2.0);
+        let b = Complex32::new(-0.5, 3.0);
+        assert_eq!(a + b, Complex32::new(1.0, 1.0));
+        assert_eq!(a - b, Complex32::new(2.0, -5.0));
+        // (1.5 - 2i)(-0.5 + 3i) = -0.75 + 4.5i + 1i + 6 = 5.25 + 5.5i
+        assert_eq!(a * b, Complex32::new(5.25, 5.5));
+        assert_eq!(a * Complex32::ONE, a);
+        assert_eq!(a + Complex32::ZERO, a);
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = Complex32::new(3.0, 4.0);
+        assert_eq!(a.conj(), Complex32::new(3.0, -4.0));
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+        let p = a * a.conj();
+        assert!((p.re - 25.0).abs() < 1e-6 && p.im.abs() < 1e-6);
+    }
+
+    #[test]
+    fn cis_unit_circle() {
+        let c = Complex32::cis(std::f64::consts::PI / 2.0);
+        assert!(c.re.abs() < 1e-6);
+        assert!((c.im - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,81 @@
+//! Naive `O(N^2)` discrete Fourier transform, used as a test oracle and for
+//! tiny transforms where planning overhead is not worthwhile.
+
+use crate::complex::Complex32;
+
+/// Forward DFT: `X_k = sum_n x_n e^{-2 pi i k n / N}` (paper Eq. 3).
+///
+/// Twiddles are computed in `f64` so this is a trustworthy oracle for the
+/// fast transforms.
+pub fn dft(x: &[Complex32]) -> Vec<Complex32> {
+    let n = x.len();
+    let mut out = vec![Complex32::ZERO; n];
+    if n == 0 {
+        return out;
+    }
+    let step = -2.0 * std::f64::consts::PI / n as f64;
+    for (k, slot) in out.iter_mut().enumerate() {
+        let mut acc_re = 0.0f64;
+        let mut acc_im = 0.0f64;
+        for (i, v) in x.iter().enumerate() {
+            let theta = step * (k * i % n) as f64;
+            let (s, c) = theta.sin_cos();
+            acc_re += v.re as f64 * c - v.im as f64 * s;
+            acc_im += v.re as f64 * s + v.im as f64 * c;
+        }
+        *slot = Complex32::new(acc_re as f32, acc_im as f32);
+    }
+    out
+}
+
+/// Inverse DFT: `x_n = (1/N) sum_k X_k e^{+2 pi i k n / N}` (paper Eq. 5).
+pub fn idft(x: &[Complex32]) -> Vec<Complex32> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // IDFT(x) = conj(DFT(conj(x))) / N
+    let conj: Vec<Complex32> = x.iter().map(|c| c.conj()).collect();
+    dft(&conj)
+        .into_iter()
+        .map(|c| c.conj() / n as f32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idft_inverts_dft() {
+        let x: Vec<Complex32> = (0..7)
+            .map(|i| Complex32::new(i as f32, (i * i) as f32 * 0.1))
+            .collect();
+        let back = idft(&dft(&x));
+        for (a, b) in back.iter().zip(x.iter()) {
+            assert!((a.re - b.re).abs() < 1e-4);
+            assert!((a.im - b.im).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn dft_of_constant_is_impulse() {
+        let x = vec![Complex32::new(2.0, 0.0); 8];
+        let spec = dft(&x);
+        assert!((spec[0].re - 16.0).abs() < 1e-4);
+        for c in &spec[1..] {
+            assert!(c.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let x: Vec<Complex32> = (0..9)
+            .map(|i| Complex32::new((i as f32).sin(), (i as f32).cos()))
+            .collect();
+        let spec = dft(&x);
+        let time_energy: f32 = x.iter().map(|c| c.norm_sqr()).sum();
+        let freq_energy: f32 = spec.iter().map(|c| c.norm_sqr()).sum::<f32>() / x.len() as f32;
+        assert!((time_energy - freq_energy).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,166 @@
+//! # slime-fft
+//!
+//! A small, dependency-free FFT library used by the SLIME4Rec reproduction.
+//!
+//! It provides:
+//!
+//! * [`Complex32`] — a minimal complex number type.
+//! * [`FftPlan`] — a reusable plan for forward/inverse complex FFTs of any
+//!   length (radix-2 for powers of two, Bluestein's algorithm otherwise).
+//! * [`rfft`] / [`irfft`] — real FFTs with the same conventions as
+//!   `torch.fft.rfft` / `torch.fft.irfft`: an unnormalized forward transform
+//!   and a `1/N`-scaled inverse, returning `N/2 + 1` frequency bins.
+//! * [`dft`] — a naive `O(N^2)` reference implementation used for testing.
+//!
+//! The paper (Section II-B) relies on the conjugate-symmetry of the DFT of a
+//! real signal: the first `floor(N/2) + 1` bins carry the full information.
+//! (The paper's Eq. 13 writes `M = ceil(N/2) + 1`; for the even sequence
+//! lengths used throughout the paper this equals `N/2 + 1`, which is the
+//! standard `rfft` output length we use for all `N`.)
+//!
+//! ```
+//! use slime_fft::{irfft, rfft};
+//!
+//! let x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+//! let spectrum = rfft(&x);           // floor(5/2) + 1 = 3 bins
+//! assert_eq!(spectrum.len(), 3);
+//! let back = irfft(&spectrum, 5);
+//! for (a, b) in back.iter().zip(&x) {
+//!     assert!((a - b).abs() < 1e-4);
+//! }
+//! ```
+
+mod complex;
+mod dft;
+mod plan;
+mod real;
+
+pub use complex::Complex32;
+pub use dft::{dft, idft};
+pub use plan::FftPlan;
+pub use real::{irfft, rfft, rfft_len};
+
+/// Compute an in-place forward FFT (negative-exponent convention, unnormalized).
+///
+/// Convenience wrapper that builds (or fetches from a thread-local cache) a
+/// plan for `buf.len()`.
+pub fn fft(buf: &mut [Complex32]) {
+    plan::with_cached_plan(buf.len(), |p| p.forward(buf));
+}
+
+/// Compute an in-place inverse FFT (positive-exponent convention, scaled by `1/N`).
+pub fn ifft(buf: &mut [Complex32]) {
+    plan::with_cached_plan(buf.len(), |p| p.inverse(buf));
+}
+
+/// Compute an in-place **unnormalized** inverse FFT (positive exponent, no `1/N`).
+///
+/// This is the adjoint of [`fft`] and is used by the autodiff backward pass of
+/// the spectral-filter op in `slime-tensor`.
+pub fn ifft_unscaled(buf: &mut [Complex32]) {
+    plan::with_cached_plan(buf.len(), |p| p.inverse_unscaled(buf));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Complex32, b: Complex32, tol: f32) {
+        assert!(
+            (a.re - b.re).abs() < tol && (a.im - b.im).abs() < tol,
+            "{a:?} != {b:?}"
+        );
+    }
+
+    #[test]
+    fn fft_matches_dft_power_of_two() {
+        let x: Vec<Complex32> = (0..16)
+            .map(|i| Complex32::new((i as f32).sin(), (i as f32 * 0.3).cos()))
+            .collect();
+        let reference = dft(&x);
+        let mut buf = x.clone();
+        fft(&mut buf);
+        for (a, b) in buf.iter().zip(reference.iter()) {
+            assert_close(*a, *b, 1e-4);
+        }
+    }
+
+    #[test]
+    fn fft_matches_dft_non_power_of_two() {
+        for n in [3usize, 5, 6, 7, 12, 25, 50, 75, 100] {
+            let x: Vec<Complex32> = (0..n)
+                .map(|i| Complex32::new((i as f32 * 0.7).sin(), (i as f32 * 0.11).cos()))
+                .collect();
+            let reference = dft(&x);
+            let mut buf = x.clone();
+            fft(&mut buf);
+            for (a, b) in buf.iter().zip(reference.iter()) {
+                assert_close(*a, *b, 2e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        for n in [8usize, 25, 50, 64, 100] {
+            let x: Vec<Complex32> = (0..n)
+                .map(|i| Complex32::new((i as f32 * 1.3).cos(), (i as f32 * 0.9).sin()))
+                .collect();
+            let mut buf = x.clone();
+            fft(&mut buf);
+            ifft(&mut buf);
+            for (a, b) in buf.iter().zip(x.iter()) {
+                assert_close(*a, *b, 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn ifft_unscaled_is_n_times_ifft() {
+        let n = 12;
+        let x: Vec<Complex32> = (0..n)
+            .map(|i| Complex32::new(i as f32, -(i as f32) * 0.5))
+            .collect();
+        let mut a = x.clone();
+        let mut b = x.clone();
+        ifft(&mut a);
+        ifft_unscaled(&mut b);
+        for (u, v) in a.iter().zip(b.iter()) {
+            assert_close(Complex32::new(u.re * n as f32, u.im * n as f32), *v, 1e-3);
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut buf = vec![Complex32::ZERO; 32];
+        buf[0] = Complex32::new(1.0, 0.0);
+        fft(&mut buf);
+        for c in &buf {
+            assert_close(*c, Complex32::new(1.0, 0.0), 1e-5);
+        }
+    }
+
+    #[test]
+    fn single_tone_concentrates_energy() {
+        // A pure cosine at bin k should put all energy at bins k and N-k.
+        let n = 64;
+        let k = 5;
+        let mut buf: Vec<Complex32> = (0..n)
+            .map(|i| {
+                Complex32::new(
+                    (2.0 * std::f32::consts::PI * k as f32 * i as f32 / n as f32).cos(),
+                    0.0,
+                )
+            })
+            .collect();
+        fft(&mut buf);
+        for (i, c) in buf.iter().enumerate() {
+            let mag = c.abs();
+            if i == k || i == n - k {
+                assert!((mag - n as f32 / 2.0).abs() < 1e-2, "bin {i}: {mag}");
+            } else {
+                assert!(mag < 1e-2, "bin {i}: {mag}");
+            }
+        }
+    }
+}

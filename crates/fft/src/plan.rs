@@ -1,0 +1,297 @@
+//! FFT plans: radix-2 Cooley-Tukey for powers of two, Bluestein's chirp-z
+//! algorithm for every other length, and a thread-local plan cache.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::complex::Complex32;
+
+/// A reusable plan for complex FFTs of a fixed length.
+///
+/// Plans own their twiddle tables, so repeated transforms of the same length
+/// (the common case: the model applies an FFT per layer per batch) cost no
+/// trigonometry. The forward transform uses the negative-exponent convention
+/// of the paper's Eq. 3 and is unnormalized; the inverse applies `1/N`.
+pub struct FftPlan {
+    n: usize,
+    kind: PlanKind,
+}
+
+enum PlanKind {
+    /// Degenerate lengths 0 and 1.
+    Trivial,
+    Radix2 {
+        /// Bit-reversal permutation table.
+        rev: Vec<u32>,
+        /// `e^{-2 pi i j / len}` for each butterfly stage, flattened.
+        twiddles: Vec<Complex32>,
+    },
+    Bluestein {
+        /// Power-of-two convolution length (`>= 2n - 1`).
+        m: usize,
+        /// `w_k = e^{-i pi k^2 / n}` for `k in 0..n`.
+        chirp: Vec<Complex32>,
+        /// Forward FFT (length `m`) of the padded conjugate-chirp kernel.
+        kernel_fft: Vec<Complex32>,
+        /// Inner power-of-two plan of length `m`.
+        inner: Box<FftPlan>,
+    },
+}
+
+impl FftPlan {
+    /// Build a plan for transforms of length `n`.
+    pub fn new(n: usize) -> Self {
+        if n <= 1 {
+            return FftPlan {
+                n,
+                kind: PlanKind::Trivial,
+            };
+        }
+        if n.is_power_of_two() {
+            FftPlan {
+                n,
+                kind: PlanKind::Radix2 {
+                    rev: bit_reversal_table(n),
+                    twiddles: stage_twiddles(n),
+                },
+            }
+        } else {
+            let m = (2 * n - 1).next_power_of_two();
+            // chirp[k] = e^{-i pi k^2 / n}; compute k^2 mod 2n to keep the
+            // angle argument small and accurate for large k.
+            let chirp: Vec<Complex32> = (0..n)
+                .map(|k| {
+                    let k2 = (k * k) % (2 * n);
+                    Complex32::cis(-std::f64::consts::PI * k2 as f64 / n as f64)
+                })
+                .collect();
+            // Kernel b[j] = conj(chirp[|j|]) wrapped into length m.
+            let mut kernel = vec![Complex32::ZERO; m];
+            for k in 0..n {
+                let c = chirp[k].conj();
+                kernel[k] = c;
+                if k != 0 {
+                    kernel[m - k] = c;
+                }
+            }
+            let inner = Box::new(FftPlan::new(m));
+            inner.forward(&mut kernel);
+            FftPlan {
+                n,
+                kind: PlanKind::Bluestein {
+                    m,
+                    chirp,
+                    kernel_fft: kernel,
+                    inner,
+                },
+            }
+        }
+    }
+
+    /// The transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether this plan is for the empty transform.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward FFT (unnormalized, negative exponent).
+    ///
+    /// # Panics
+    /// Panics if `buf.len() != self.len()`.
+    pub fn forward(&self, buf: &mut [Complex32]) {
+        assert_eq!(buf.len(), self.n, "buffer length mismatch");
+        match &self.kind {
+            PlanKind::Trivial => {}
+            PlanKind::Radix2 { rev, twiddles } => radix2_inplace(buf, rev, twiddles),
+            PlanKind::Bluestein {
+                m,
+                chirp,
+                kernel_fft,
+                inner,
+            } => {
+                let n = self.n;
+                let mut a = vec![Complex32::ZERO; *m];
+                for k in 0..n {
+                    a[k] = buf[k] * chirp[k];
+                }
+                inner.forward(&mut a);
+                for (ai, ki) in a.iter_mut().zip(kernel_fft.iter()) {
+                    *ai *= *ki;
+                }
+                inner.inverse(&mut a);
+                for k in 0..n {
+                    buf[k] = a[k] * chirp[k];
+                }
+            }
+        }
+    }
+
+    /// In-place inverse FFT (positive exponent, scaled by `1/N`).
+    pub fn inverse(&self, buf: &mut [Complex32]) {
+        self.inverse_unscaled(buf);
+        let scale = 1.0 / self.n.max(1) as f32;
+        for c in buf.iter_mut() {
+            *c = c.scale(scale);
+        }
+    }
+
+    /// In-place inverse FFT without the `1/N` factor (the adjoint of
+    /// [`FftPlan::forward`]).
+    pub fn inverse_unscaled(&self, buf: &mut [Complex32]) {
+        // IDFT_unscaled(x) = conj(DFT(conj(x)))
+        for c in buf.iter_mut() {
+            *c = c.conj();
+        }
+        self.forward(buf);
+        for c in buf.iter_mut() {
+            *c = c.conj();
+        }
+    }
+}
+
+/// Bit-reversal permutation for a power-of-two `n`.
+fn bit_reversal_table(n: usize) -> Vec<u32> {
+    let bits = n.trailing_zeros();
+    (0..n as u32)
+        .map(|i| i.reverse_bits() >> (32 - bits))
+        .collect()
+}
+
+/// Twiddle factors for every butterfly stage of a radix-2 transform,
+/// concatenated: stage with half-size `h` contributes `h` factors
+/// `e^{-pi i j / h}`, `j in 0..h`.
+fn stage_twiddles(n: usize) -> Vec<Complex32> {
+    let mut tw = Vec::with_capacity(n.max(1) - 1);
+    let mut half = 1usize;
+    while half < n {
+        for j in 0..half {
+            tw.push(Complex32::cis(
+                -std::f64::consts::PI * j as f64 / half as f64,
+            ));
+        }
+        half *= 2;
+    }
+    tw
+}
+
+/// Iterative in-place radix-2 Cooley-Tukey with precomputed tables.
+#[allow(clippy::needless_range_loop)] // index math mirrors the textbook butterfly
+fn radix2_inplace(buf: &mut [Complex32], rev: &[u32], twiddles: &[Complex32]) {
+    let n = buf.len();
+    for i in 0..n {
+        let j = rev[i] as usize;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+    let mut half = 1usize;
+    let mut tw_offset = 0usize;
+    while half < n {
+        let step = half * 2;
+        let tw = &twiddles[tw_offset..tw_offset + half];
+        let mut start = 0;
+        while start < n {
+            for j in 0..half {
+                let u = buf[start + j];
+                let v = buf[start + j + half] * tw[j];
+                buf[start + j] = u + v;
+                buf[start + j + half] = u - v;
+            }
+            start += step;
+        }
+        tw_offset += half;
+        half = step;
+    }
+}
+
+thread_local! {
+    static PLAN_CACHE: RefCell<HashMap<usize, Rc<FftPlan>>> = RefCell::new(HashMap::new());
+}
+
+/// Run `f` with a cached plan for length `n`, creating it on first use.
+pub fn with_cached_plan<R>(n: usize, f: impl FnOnce(&FftPlan) -> R) -> R {
+    let plan = PLAN_CACHE.with(|cache| {
+        cache
+            .borrow_mut()
+            .entry(n)
+            .or_insert_with(|| Rc::new(FftPlan::new(n)))
+            .clone()
+    });
+    f(&plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft;
+
+    #[test]
+    fn bit_reversal_is_an_involution() {
+        for n in [2usize, 8, 64, 256] {
+            let rev = bit_reversal_table(n);
+            for i in 0..n {
+                assert_eq!(rev[rev[i] as usize] as usize, i);
+            }
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_dft_prime_lengths() {
+        for n in [3usize, 7, 11, 13, 31, 97] {
+            let x: Vec<Complex32> = (0..n)
+                .map(|i| Complex32::new((i as f32 * 0.37).sin(), (i as f32 * 1.7).cos()))
+                .collect();
+            let plan = FftPlan::new(n);
+            let mut buf = x.clone();
+            plan.forward(&mut buf);
+            let reference = dft(&x);
+            for (a, b) in buf.iter().zip(reference.iter()) {
+                assert!((a.re - b.re).abs() < 3e-3, "n={n}: {a:?} vs {b:?}");
+                assert!((a.im - b.im).abs() < 3e-3, "n={n}: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_lengths() {
+        let plan0 = FftPlan::new(0);
+        plan0.forward(&mut []);
+        let plan1 = FftPlan::new(1);
+        let mut one = [Complex32::new(4.0, -2.0)];
+        plan1.forward(&mut one);
+        assert_eq!(one[0], Complex32::new(4.0, -2.0));
+        plan1.inverse(&mut one);
+        assert_eq!(one[0], Complex32::new(4.0, -2.0));
+    }
+
+    #[test]
+    fn plan_cache_reuses_plans() {
+        let a = with_cached_plan(40, |p| p as *const FftPlan as usize);
+        let b = with_cached_plan(40, |p| p as *const FftPlan as usize);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn linearity_of_forward() {
+        let n = 20;
+        let x: Vec<Complex32> = (0..n).map(|i| Complex32::new(i as f32, 0.0)).collect();
+        let y: Vec<Complex32> = (0..n).map(|i| Complex32::new(0.0, -(i as f32))).collect();
+        let plan = FftPlan::new(n);
+        let mut fx = x.clone();
+        plan.forward(&mut fx);
+        let mut fy = y.clone();
+        plan.forward(&mut fy);
+        let mut fxy: Vec<Complex32> = x.iter().zip(&y).map(|(a, b)| *a + *b).collect();
+        plan.forward(&mut fxy);
+        for ((a, b), s) in fx.iter().zip(fy.iter()).zip(fxy.iter()) {
+            let sum = *a + *b;
+            assert!((sum.re - s.re).abs() < 1e-2);
+            assert!((sum.im - s.im).abs() < 1e-2);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Real FFTs with `torch.fft.rfft` / `irfft` conventions.
+
+use crate::complex::Complex32;
+use crate::plan::with_cached_plan;
+
+/// Number of frequency bins returned by [`rfft`] for a length-`n` signal:
+/// `floor(n/2) + 1`.
+///
+/// This is the `M` of the paper's Eq. 13 for the even sequence lengths the
+/// paper uses (`{25, 50, 75, 100}` → for even `N`, `ceil(N/2)+1 = N/2+1`).
+#[inline]
+pub fn rfft_len(n: usize) -> usize {
+    n / 2 + 1
+}
+
+/// Forward real FFT: returns the first `floor(n/2) + 1` bins of the DFT of
+/// `x` (unnormalized, negative exponent). The remaining bins are the complex
+/// conjugates of these by symmetry (`X_k = conj(X_{N-k})`, Section II-B).
+pub fn rfft(x: &[f32]) -> Vec<Complex32> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut buf: Vec<Complex32> = x.iter().map(|&v| Complex32::new(v, 0.0)).collect();
+    with_cached_plan(n, |p| p.forward(&mut buf));
+    buf.truncate(rfft_len(n));
+    buf
+}
+
+/// Inverse real FFT: reconstructs a length-`n` real signal from the half
+/// spectrum `spec` (length `floor(n/2)+1`), applying the `1/n` normalization.
+///
+/// Like `torch.fft.irfft`, the imaginary parts of bins `0` and (for even `n`)
+/// `n/2` are ignored — a valid half-spectrum of a real signal has real values
+/// there, and the spectral-filter op can produce inconsistent values that
+/// must be projected away.
+///
+/// # Panics
+/// Panics if `spec.len() != rfft_len(n)`.
+pub fn irfft(spec: &[Complex32], n: usize) -> Vec<f32> {
+    if n == 0 {
+        assert!(spec.is_empty(), "nonempty spectrum for empty signal");
+        return Vec::new();
+    }
+    let m = rfft_len(n);
+    assert_eq!(spec.len(), m, "half-spectrum length mismatch for n={n}");
+    let mut full = vec![Complex32::ZERO; n];
+    full[0] = Complex32::new(spec[0].re, 0.0);
+    for k in 1..m {
+        let v = if n.is_multiple_of(2) && k == n / 2 {
+            Complex32::new(spec[k].re, 0.0)
+        } else {
+            spec[k]
+        };
+        full[k] = v;
+        full[n - k] = v.conj();
+    }
+    with_cached_plan(n, |p| p.inverse(&mut full));
+    full.into_iter().map(|c| c.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfft_len_values() {
+        assert_eq!(rfft_len(1), 1);
+        assert_eq!(rfft_len(2), 2);
+        assert_eq!(rfft_len(50), 26);
+        assert_eq!(rfft_len(51), 26);
+        assert_eq!(rfft_len(100), 51);
+    }
+
+    #[test]
+    fn irfft_inverts_rfft_even_and_odd() {
+        for n in [2usize, 5, 8, 25, 50, 75, 100] {
+            let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.31).sin() + 0.2).collect();
+            let spec = rfft(&x);
+            assert_eq!(spec.len(), rfft_len(n));
+            let back = irfft(&spec, n);
+            for (a, b) in back.iter().zip(x.iter()) {
+                assert!((a - b).abs() < 2e-3, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn rfft_matches_full_dft_prefix() {
+        let n = 12;
+        let x: Vec<f32> = (0..n).map(|i| (i * i) as f32 * 0.01 - 0.3).collect();
+        let full: Vec<Complex32> = crate::dft::dft(
+            &x.iter()
+                .map(|&v| Complex32::new(v, 0.0))
+                .collect::<Vec<_>>(),
+        );
+        let half = rfft(&x);
+        for (a, b) in half.iter().zip(full.iter()) {
+            assert!((a.re - b.re).abs() < 1e-3);
+            assert!((a.im - b.im).abs() < 1e-3);
+        }
+        // Conjugate symmetry of the discarded half.
+        for k in 1..n / 2 {
+            let c = full[n - k];
+            assert!((c.re - half[k].re).abs() < 1e-3);
+            assert!((c.im + half[k].im).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn irfft_ignores_inconsistent_imag_at_dc_and_nyquist() {
+        let n = 8;
+        let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let mut spec = rfft(&x);
+        spec[0].im = 99.0;
+        spec[n / 2].im = -7.0;
+        let back = irfft(&spec, n);
+        for (a, b) in back.iter().zip(x.iter()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn constant_signal_has_only_dc() {
+        let x = vec![3.0f32; 10];
+        let spec = rfft(&x);
+        assert!((spec[0].re - 30.0).abs() < 1e-3);
+        for c in &spec[1..] {
+            assert!(c.abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn empty_signal() {
+        assert!(rfft(&[]).is_empty());
+        assert!(irfft(&[], 0).is_empty());
+    }
+}

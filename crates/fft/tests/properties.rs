@@ -1,0 +1,88 @@
+//! Property-based validation of the FFT library against its naive oracle
+//! and its algebraic identities.
+
+use proptest::prelude::*;
+use slime_fft::{dft, fft, ifft, irfft, rfft, rfft_len, Complex32};
+
+fn signal(n: usize, seed: u64) -> Vec<Complex32> {
+    (0..n)
+        .map(|i| {
+            let x = (i as f64 * 0.7310 + seed as f64 * 1.3).sin() as f32;
+            let y = (i as f64 * 1.1709 + seed as f64 * 0.7).cos() as f32;
+            Complex32::new(x, y)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The fast transform agrees with the O(N^2) oracle for every length,
+    /// power-of-two or not.
+    #[test]
+    fn fft_matches_oracle(n in 1usize..96, seed in 0u64..100) {
+        let x = signal(n, seed);
+        let mut fast = x.clone();
+        fft(&mut fast);
+        let slow = dft(&x);
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            prop_assert!((a.re - b.re).abs() < 5e-3, "n={n}: {a:?} vs {b:?}");
+            prop_assert!((a.im - b.im).abs() < 5e-3, "n={n}: {a:?} vs {b:?}");
+        }
+    }
+
+    /// ifft(fft(x)) == x.
+    #[test]
+    fn roundtrip_identity(n in 1usize..96, seed in 0u64..100) {
+        let x = signal(n, seed);
+        let mut buf = x.clone();
+        fft(&mut buf);
+        ifft(&mut buf);
+        for (a, b) in buf.iter().zip(x.iter()) {
+            prop_assert!((a.re - b.re).abs() < 5e-3);
+            prop_assert!((a.im - b.im).abs() < 5e-3);
+        }
+    }
+
+    /// Parseval: energy is preserved up to 1/N.
+    #[test]
+    fn parseval(n in 1usize..96, seed in 0u64..100) {
+        let x = signal(n, seed);
+        let mut buf = x.clone();
+        fft(&mut buf);
+        let time: f64 = x.iter().map(|c| c.norm_sqr() as f64).sum();
+        let freq: f64 = buf.iter().map(|c| c.norm_sqr() as f64).sum::<f64>() / n as f64;
+        prop_assert!((time - freq).abs() < 1e-2 * time.max(1.0), "{time} vs {freq}");
+    }
+
+    /// irfft(rfft(x)) == x for real signals of any length.
+    #[test]
+    fn real_roundtrip(n in 1usize..96, seed in 0u64..100) {
+        let x: Vec<f32> = signal(n, seed).iter().map(|c| c.re).collect();
+        let spec = rfft(&x);
+        prop_assert_eq!(spec.len(), rfft_len(n));
+        let back = irfft(&spec, n);
+        for (a, b) in back.iter().zip(x.iter()) {
+            prop_assert!((a - b).abs() < 5e-3);
+        }
+    }
+
+    /// Time shift <-> phase rotation: shifting a signal circularly by s
+    /// multiplies bin k by e^{-2 pi i k s / N}.
+    #[test]
+    fn shift_theorem(n in 2usize..48, shift in 1usize..8, seed in 0u64..100) {
+        let s = shift % n;
+        let x = signal(n, seed);
+        let shifted: Vec<Complex32> = (0..n).map(|i| x[(i + n - s) % n]).collect();
+        let mut fx = x.clone();
+        fft(&mut fx);
+        let mut fs = shifted;
+        fft(&mut fs);
+        for k in 0..n {
+            let phase = Complex32::cis(-2.0 * std::f64::consts::PI * (k * s) as f64 / n as f64);
+            let expected = fx[k] * phase;
+            prop_assert!((expected.re - fs[k].re).abs() < 1e-2, "k={k}");
+            prop_assert!((expected.im - fs[k].im).abs() < 1e-2, "k={k}");
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Accumulation of HR@K / NDCG@K over a stream of scored queries.
+
+use std::collections::BTreeMap;
+
+use crate::ranking::{ndcg_at_k, rank_of_target, recall_at_k, reciprocal_rank};
+
+/// Final averaged metrics for a set of cutoffs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSet {
+    hr: BTreeMap<usize, f64>,
+    ndcg: BTreeMap<usize, f64>,
+    mrr: f64,
+    /// Number of evaluated queries.
+    pub count: usize,
+}
+
+impl MetricSet {
+    /// HR@k (panics if `k` was not requested at accumulation time).
+    pub fn hr(&self, k: usize) -> f64 {
+        *self.hr.get(&k).expect("cutoff not tracked")
+    }
+
+    /// NDCG@k (panics if `k` was not requested at accumulation time).
+    pub fn ndcg(&self, k: usize) -> f64 {
+        *self.ndcg.get(&k).expect("cutoff not tracked")
+    }
+
+    /// Mean reciprocal rank (no cutoff).
+    pub fn mrr(&self) -> f64 {
+        self.mrr
+    }
+
+    /// The tracked cutoffs, ascending.
+    pub fn cutoffs(&self) -> Vec<usize> {
+        self.hr.keys().copied().collect()
+    }
+
+    /// Compact one-line rendering, e.g. for experiment tables.
+    pub fn render(&self) -> String {
+        let mut parts = Vec::new();
+        for k in self.cutoffs() {
+            parts.push(format!("HR@{k}={:.4}", self.hr(k)));
+            parts.push(format!("NDCG@{k}={:.4}", self.ndcg(k)));
+        }
+        parts.join(" ")
+    }
+}
+
+/// Streaming accumulator: feed one score vector + target per query.
+#[derive(Debug, Clone)]
+pub struct MetricAccumulator {
+    cutoffs: Vec<usize>,
+    hr_sums: Vec<f64>,
+    ndcg_sums: Vec<f64>,
+    mrr_sum: f64,
+    count: usize,
+}
+
+impl MetricAccumulator {
+    /// Track the given cutoffs (the paper uses `[5, 10]`).
+    pub fn new(cutoffs: &[usize]) -> Self {
+        assert!(!cutoffs.is_empty(), "need at least one cutoff");
+        MetricAccumulator {
+            cutoffs: cutoffs.to_vec(),
+            hr_sums: vec![0.0; cutoffs.len()],
+            ndcg_sums: vec![0.0; cutoffs.len()],
+            mrr_sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Add one query by full score vector (ranked against *all* items).
+    pub fn add_scores(&mut self, scores: &[f32], target: usize) {
+        self.add_rank(rank_of_target(scores, target));
+    }
+
+    /// Add one query by its precomputed 0-based target rank.
+    pub fn add_rank(&mut self, rank: usize) {
+        for (i, &k) in self.cutoffs.iter().enumerate() {
+            self.hr_sums[i] += recall_at_k(rank, k);
+            self.ndcg_sums[i] += ndcg_at_k(rank, k);
+        }
+        self.mrr_sum += reciprocal_rank(rank);
+        self.count += 1;
+    }
+
+    /// Merge another accumulator (same cutoffs) into this one.
+    pub fn merge(&mut self, other: &MetricAccumulator) {
+        assert_eq!(self.cutoffs, other.cutoffs, "cutoff mismatch");
+        for i in 0..self.cutoffs.len() {
+            self.hr_sums[i] += other.hr_sums[i];
+            self.ndcg_sums[i] += other.ndcg_sums[i];
+        }
+        self.mrr_sum += other.mrr_sum;
+        self.count += other.count;
+    }
+
+    /// Average into a [`MetricSet`].
+    pub fn finish(&self) -> MetricSet {
+        let denom = self.count.max(1) as f64;
+        let mut hr = BTreeMap::new();
+        let mut ndcg = BTreeMap::new();
+        for (i, &k) in self.cutoffs.iter().enumerate() {
+            hr.insert(k, self.hr_sums[i] / denom);
+            ndcg.insert(k, self.ndcg_sums[i] / denom);
+        }
+        MetricSet {
+            hr,
+            ndcg,
+            mrr: self.mrr_sum / denom,
+            count: self.count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranker_scores_one() {
+        let mut acc = MetricAccumulator::new(&[1, 5]);
+        for _ in 0..10 {
+            acc.add_rank(0);
+        }
+        let m = acc.finish();
+        assert_eq!(m.hr(1), 1.0);
+        assert_eq!(m.ndcg(5), 1.0);
+        assert_eq!(m.mrr(), 1.0);
+        assert_eq!(m.count, 10);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut a = MetricAccumulator::new(&[5]);
+        let mut b = MetricAccumulator::new(&[5]);
+        a.add_rank(0);
+        a.add_rank(7);
+        b.add_rank(2);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut seq = MetricAccumulator::new(&[5]);
+        seq.add_rank(0);
+        seq.add_rank(7);
+        seq.add_rank(2);
+        assert_eq!(merged.finish(), seq.finish());
+    }
+
+    #[test]
+    fn render_mentions_all_cutoffs() {
+        let mut acc = MetricAccumulator::new(&[5, 10]);
+        acc.add_rank(3);
+        let s = acc.finish().render();
+        assert!(s.contains("HR@5") && s.contains("NDCG@10"));
+    }
+
+    #[test]
+    fn empty_accumulator_finishes_to_zero() {
+        let m = MetricAccumulator::new(&[5]).finish();
+        assert_eq!(m.hr(5), 0.0);
+        assert_eq!(m.count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff mismatch")]
+    fn merge_rejects_different_cutoffs() {
+        let mut a = MetricAccumulator::new(&[5]);
+        let b = MetricAccumulator::new(&[10]);
+        a.merge(&b);
+    }
+}

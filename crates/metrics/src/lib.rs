@@ -1,0 +1,42 @@
+//! # slime-metrics
+//!
+//! Top-K ranking metrics for sequential recommendation under the paper's
+//! protocol (Section IV-B): leave-one-out, **full ranking over the entire
+//! item set** (no sampled negatives, following Krichene & Rendle, KDD 2020),
+//! HR@K and NDCG@K.
+//!
+//! ```
+//! use slime_metrics::MetricAccumulator;
+//!
+//! let mut acc = MetricAccumulator::new(&[5, 10]);
+//! acc.add_scores(&[0.1, 0.9, 0.3], 1); // target ranked first
+//! acc.add_rank(7);                     // another query, rank known
+//! let m = acc.finish();
+//! assert_eq!(m.hr(5), 0.5);
+//! assert!(m.ndcg(10) > 0.5);
+//! ```
+
+mod evaluator;
+mod ranking;
+
+pub use evaluator::{MetricAccumulator, MetricSet};
+pub use ranking::{ndcg_at_k, rank_of_target, recall_at_k};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_two_users() {
+        // User A: target ranked 1st; user B: target 0.2 beaten by 7 items.
+        let mut acc = MetricAccumulator::new(&[5, 10]);
+        acc.add_scores(&[9.0, 1.0, 2.0, 0.5, 0.0, 3.0, 2.5, 1.5, 0.2, 0.1], 0);
+        acc.add_scores(&[9.0, 1.0, 2.0, 0.5, 0.0, 3.0, 2.5, 1.5, 0.2, 0.1], 8);
+        let m = acc.finish();
+        assert!((m.hr(5) - 0.5).abs() < 1e-9); // only user A in top-5
+        assert!((m.hr(10) - 1.0).abs() < 1e-9);
+        // NDCG@10 = (1 + 1/log2(7+2)) / 2 — target B at 0-based rank 7.
+        let expected = (1.0 + 1.0 / (9.0f64).log2()) / 2.0;
+        assert!((m.ndcg(10) - expected).abs() < 1e-9, "{}", m.ndcg(10));
+    }
+}

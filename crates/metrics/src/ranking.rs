@@ -1,0 +1,92 @@
+//! Per-query ranking primitives.
+
+/// 0-based rank of `target` under `scores` (competition ranking: the number
+/// of items scoring strictly higher, with ties broken *against* the target —
+/// the conservative convention, so a model cannot win by scoring everything
+/// equal).
+///
+/// # Panics
+/// Panics if `target >= scores.len()`.
+pub fn rank_of_target(scores: &[f32], target: usize) -> usize {
+    assert!(target < scores.len(), "target out of range");
+    let ts = scores[target];
+    let mut rank = 0usize;
+    for (i, &s) in scores.iter().enumerate() {
+        if i == target {
+            continue;
+        }
+        if s > ts || (s == ts && i < target) {
+            rank += 1;
+        }
+    }
+    rank
+}
+
+/// HR@K (a.k.a. Recall@K with one relevant item): 1 if the 0-based `rank`
+/// falls within the top `k`.
+pub fn recall_at_k(rank: usize, k: usize) -> f64 {
+    if rank < k {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// NDCG@K with a single relevant item: `1 / log2(rank + 2)` if ranked within
+/// top `k`, else 0. (The ideal DCG is 1, so DCG = NDCG here.)
+pub fn ndcg_at_k(rank: usize, k: usize) -> f64 {
+    if rank < k {
+        1.0 / ((rank + 2) as f64).log2()
+    } else {
+        0.0
+    }
+}
+
+/// Reciprocal rank: `1 / (rank + 1)` (unbounded cutoff).
+pub fn reciprocal_rank(rank: usize) -> f64 {
+    1.0 / (rank + 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_counts_strictly_better() {
+        let scores = [0.1, 0.9, 0.5, 0.7];
+        assert_eq!(rank_of_target(&scores, 1), 0);
+        assert_eq!(rank_of_target(&scores, 3), 1);
+        assert_eq!(rank_of_target(&scores, 2), 2);
+        assert_eq!(rank_of_target(&scores, 0), 3);
+    }
+
+    #[test]
+    fn ties_hurt_the_target() {
+        let scores = [0.5, 0.5, 0.5];
+        assert_eq!(rank_of_target(&scores, 2), 2);
+        assert_eq!(rank_of_target(&scores, 0), 0);
+    }
+
+    #[test]
+    fn recall_threshold() {
+        assert_eq!(recall_at_k(4, 5), 1.0);
+        assert_eq!(recall_at_k(5, 5), 0.0);
+    }
+
+    #[test]
+    fn ndcg_values() {
+        assert!((ndcg_at_k(0, 10) - 1.0).abs() < 1e-12);
+        assert!((ndcg_at_k(1, 10) - 1.0 / 3.0f64.log2()).abs() < 1e-12);
+        assert_eq!(ndcg_at_k(10, 10), 0.0);
+    }
+
+    #[test]
+    fn ndcg_decreases_with_rank() {
+        let mut prev = 2.0;
+        for r in 0..10 {
+            let v = ndcg_at_k(r, 10);
+            assert!(v < prev);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Caser-style convolutions over the item-embedding "image" `[B, N, D]`.
+
+use rand::Rng;
+use slime_tensor::{ops, Tensor};
+
+use crate::linear::Linear;
+use crate::module::{Module, ParamCollector};
+
+/// Horizontal convolution: for each window height `h`, slide a full-width
+/// filter over time, ReLU, then max-pool over the time axis — producing one
+/// scalar per (filter, height). Output `[B, heights * filters]`.
+///
+/// Max pooling is approximated by mean pooling here: the autodiff engine has
+/// no max-reduce op, and Caser's own ablations show pooling choice is not
+/// load-bearing; what matters is the local pattern detection, which the
+/// sliding window provides.
+pub struct HorizontalConv {
+    layers: Vec<(usize, Linear)>,
+    filters: usize,
+}
+
+impl HorizontalConv {
+    /// One bank of `filters` filters per window height in `heights`.
+    pub fn new(dim: usize, heights: &[usize], filters: usize, rng: &mut impl Rng) -> Self {
+        HorizontalConv {
+            layers: heights
+                .iter()
+                .map(|&h| (h, Linear::new(h * dim, filters, rng)))
+                .collect(),
+            filters,
+        }
+    }
+
+    /// Output feature width (`heights.len() * filters`).
+    pub fn out_dim(&self) -> usize {
+        self.layers.len() * self.filters
+    }
+
+    /// Apply to `[B, N, D]`, returning `[B, out_dim]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let n = x.shape()[1];
+        let mut feats = Vec::with_capacity(self.layers.len());
+        for (h, lin) in &self.layers {
+            assert!(*h <= n, "conv window larger than sequence");
+            let windows = ops::unfold_time(x, *h); // [B, N-h+1, h*D]
+            let act = ops::relu(&lin.forward(&windows)); // [B, steps, F]
+            feats.push(ops::mean_axis(&act, 1)); // [B, F]
+        }
+        ops::concat(&feats, 1)
+    }
+}
+
+impl Module for HorizontalConv {
+    fn collect(&self, out: &mut ParamCollector) {
+        for (h, lin) in &self.layers {
+            out.child(&format!("h{h}"), lin);
+        }
+    }
+}
+
+/// Vertical convolution: `filters` learned weightings over the N time steps,
+/// applied per embedding dimension. Output `[B, filters * D]`.
+pub struct VerticalConv {
+    /// Weights `[N, filters]` — each column is one temporal filter.
+    pub w: Tensor,
+    n: usize,
+    filters: usize,
+}
+
+impl VerticalConv {
+    /// `filters` temporal filters over sequences of length `n`.
+    pub fn new(n: usize, filters: usize, rng: &mut impl Rng) -> Self {
+        VerticalConv {
+            w: Tensor::param(slime_tensor::init::xavier_uniform(n, filters, rng)),
+            n,
+            filters,
+        }
+    }
+
+    /// Output feature width (`filters * D` for `[B, N, D]` input).
+    pub fn out_dim(&self, d: usize) -> usize {
+        self.filters * d
+    }
+
+    /// Apply to `[B, N, D]`, returning `[B, filters * D]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let shape = x.shape();
+        assert_eq!(shape[1], self.n, "vertical conv expects fixed N");
+        let (b, _n, d) = (shape[0], shape[1], shape[2]);
+        // [B,N,D] -> [B,D,N] then bmm with broadcast weights [N,F] per batch.
+        let xt = ops::permute(x, &[0, 2, 1]); // [B, D, N]
+        let flat = ops::reshape(&xt, vec![b * d, self.n]);
+        let conv = ops::matmul(&flat, &self.w); // [B*D, F]
+        let back = ops::permute(&ops::reshape(&conv, vec![b, d, self.filters]), &[0, 2, 1]);
+        ops::reshape(&back, vec![b, self.filters * d])
+    }
+}
+
+impl Module for VerticalConv {
+    fn collect(&self, out: &mut ParamCollector) {
+        out.push("weight", &self.w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use slime_tensor::NdArray;
+
+    #[test]
+    fn horizontal_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = HorizontalConv::new(4, &[1, 2, 3], 5, &mut rng);
+        assert_eq!(conv.out_dim(), 15);
+        let x = Tensor::constant(NdArray::ones(vec![2, 6, 4]));
+        assert_eq!(conv.forward(&x).shape(), vec![2, 15]);
+    }
+
+    #[test]
+    fn vertical_shapes_and_known_values() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = VerticalConv::new(3, 1, &mut rng);
+        conv.w = Tensor::param(NdArray::from_vec(vec![3, 1], vec![1.0, 1.0, 1.0]));
+        // x[b, t, d] with D=2: the single all-ones temporal filter sums over t.
+        let x = Tensor::constant(NdArray::from_vec(
+            vec![1, 3, 2],
+            vec![1., 10., 2., 20., 3., 30.],
+        ));
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), vec![1, 2]);
+        assert_eq!(y.value().data(), &[6., 60.]);
+    }
+
+    #[test]
+    fn gradients_flow() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hconv = HorizontalConv::new(3, &[2], 4, &mut rng);
+        let x = Tensor::param(NdArray::ones(vec![2, 5, 3]));
+        ops::mean_all(&hconv.forward(&x)).backward();
+        assert!(x.grad().is_some());
+    }
+}

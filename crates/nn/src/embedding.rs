@@ -1,0 +1,133 @@
+//! Item and positional embeddings (paper Eqs. 9–10).
+
+use rand::Rng;
+use slime_tensor::{init, ops, Tensor};
+
+use crate::module::{Module, ParamCollector};
+
+/// A learned lookup table `[vocab, dim]`.
+///
+/// Index 0 is conventionally the padding item (sequences are left-padded to
+/// the maximum length, Section II-A).
+pub struct Embedding {
+    /// The table.
+    pub weight: Tensor,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Normal(0, 0.02)-initialized embedding table.
+    pub fn new(vocab: usize, dim: usize, rng: &mut impl Rng) -> Self {
+        Embedding {
+            weight: Tensor::param(init::embedding_init(vocab, dim, rng)),
+            vocab,
+            dim,
+        }
+    }
+
+    /// Look up a batch of index sequences, producing `[B, N, dim]`.
+    pub fn forward(&self, indices: &[usize], batch_shape: &[usize]) -> Tensor {
+        ops::embedding(&self.weight, indices, batch_shape)
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl Module for Embedding {
+    fn collect(&self, out: &mut ParamCollector) {
+        out.push("weight", &self.weight);
+    }
+}
+
+/// Learned absolute positional embedding `P` of shape `[max_len, dim]`,
+/// added to the item embeddings (paper Eq. 10).
+pub struct PositionalEmbedding {
+    /// The table `[max_len, dim]`.
+    pub weight: Tensor,
+    max_len: usize,
+}
+
+impl PositionalEmbedding {
+    /// Normal(0, 0.02)-initialized positional table.
+    pub fn new(max_len: usize, dim: usize, rng: &mut impl Rng) -> Self {
+        PositionalEmbedding {
+            weight: Tensor::param(init::embedding_init(max_len, dim, rng)),
+            max_len,
+        }
+    }
+
+    /// The first `n` position rows as `[n, dim]` — broadcastable over a
+    /// `[B, n, dim]` batch.
+    pub fn forward(&self, n: usize) -> Tensor {
+        assert!(n <= self.max_len, "sequence longer than positional table");
+        if n == self.max_len {
+            // Identity slice still records a graph edge.
+            ops::slice_axis(&self.weight, 0, 0, n)
+        } else {
+            ops::slice_axis(&self.weight, 0, 0, n)
+        }
+    }
+}
+
+impl Module for PositionalEmbedding {
+    fn collect(&self, out: &mut ParamCollector) {
+        out.push("weight", &self.weight);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn embedding_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = Embedding::new(10, 4, &mut rng);
+        let out = e.forward(&[1, 2, 3, 4, 5, 6], &[2, 3]);
+        assert_eq!(out.shape(), vec![2, 3, 4]);
+        assert_eq!(e.vocab(), 10);
+        assert_eq!(e.dim(), 4);
+    }
+
+    #[test]
+    fn positional_broadcast_add() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = Embedding::new(10, 4, &mut rng);
+        let p = PositionalEmbedding::new(8, 4, &mut rng);
+        let items = e.forward(&[1, 2, 3, 1, 2, 3], &[2, 3]);
+        let pos = p.forward(3);
+        let sum = ops::add(&items, &pos);
+        assert_eq!(sum.shape(), vec![2, 3, 4]);
+        // Both batch rows got the same positional offsets.
+        let s = sum.value();
+        let i = items.value();
+        for b in 0..2 {
+            for t in 0..3 {
+                for d in 0..4 {
+                    let idx = (b * 3 + t) * 4 + d;
+                    let diff = s.data()[idx] - i.data()[idx];
+                    let pv = pos.value().data()[t * 4 + d];
+                    assert!((diff - pv).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than positional table")]
+    fn positional_rejects_overlong() {
+        let mut rng = StdRng::seed_from_u64(0);
+        PositionalEmbedding::new(4, 2, &mut rng).forward(5);
+    }
+}

@@ -1,0 +1,87 @@
+//! Point-wise feed-forward network (paper Eq. 29).
+
+use rand::Rng;
+use slime_tensor::{ops, Tensor};
+
+use crate::linear::Linear;
+use crate::module::{Module, ParamCollector, TrainContext};
+
+/// Two-layer point-wise MLP with GELU activation and internal dropout:
+/// `FFN(x) = GELU(x W1 + b1) W2 + b2` (paper Eq. 29, with dropout above each
+/// hidden layer as in Section III-C).
+pub struct FeedForward {
+    /// First projection `[d, hidden]`.
+    pub w1: Linear,
+    /// Second projection `[hidden, d]`.
+    pub w2: Linear,
+    dropout: f32,
+}
+
+impl FeedForward {
+    /// The paper's FFN uses `hidden == d` (`W1, W2 in R^{d x d}`).
+    pub fn new(dim: usize, dropout: f32, rng: &mut impl Rng) -> Self {
+        Self::with_hidden(dim, dim, dropout, rng)
+    }
+
+    /// FFN with an explicit hidden width.
+    pub fn with_hidden(dim: usize, hidden: usize, dropout: f32, rng: &mut impl Rng) -> Self {
+        FeedForward {
+            w1: Linear::new(dim, hidden, rng),
+            w2: Linear::new(hidden, dim, rng),
+            dropout,
+        }
+    }
+
+    /// Apply the MLP position-wise.
+    pub fn forward(&self, x: &Tensor, ctx: &mut TrainContext) -> Tensor {
+        let h = ops::gelu(&self.w1.forward(x));
+        let h = crate::dropout(&h, self.dropout, ctx);
+        self.w2.forward(&h)
+    }
+}
+
+impl Module for FeedForward {
+    fn collect(&self, out: &mut ParamCollector) {
+        out.child("w1", &self.w1);
+        out.child("w2", &self.w2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use slime_tensor::NdArray;
+
+    #[test]
+    fn preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let ffn = FeedForward::new(6, 0.0, &mut rng);
+        let x = Tensor::constant(NdArray::ones(vec![2, 3, 6]));
+        let y = ffn.forward(&x, &mut TrainContext::eval());
+        assert_eq!(y.shape(), vec![2, 3, 6]);
+    }
+
+    #[test]
+    fn is_pointwise() {
+        // Same input row -> same output row, regardless of position.
+        let mut rng = StdRng::seed_from_u64(1);
+        let ffn = FeedForward::new(4, 0.0, &mut rng);
+        let row: Vec<f32> = vec![0.1, -0.5, 0.3, 0.9];
+        let mut data = row.clone();
+        data.extend_from_slice(&row);
+        let x = Tensor::constant(NdArray::from_vec(vec![1, 2, 4], data));
+        let y = ffn.forward(&x, &mut TrainContext::eval()).value();
+        for d in 0..4 {
+            assert!((y.data()[d] - y.data()[4 + d]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn hidden_width_param_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ffn = FeedForward::with_hidden(4, 8, 0.0, &mut rng);
+        assert_eq!(ffn.num_parameters(), 4 * 8 + 8 + 8 * 4 + 4);
+    }
+}

@@ -1,0 +1,43 @@
+//! # slime-nn
+//!
+//! Neural-network layers on top of [`slime_tensor`]: the building blocks
+//! shared by SLIME4Rec and every baseline in the paper's evaluation
+//! (linear/embedding/layer-norm layers, the transformer encoder used by
+//! SASRec/BERT4Rec/DuoRec/CL4SRec, a GRU for GRU4Rec, and the
+//! horizontal/vertical convolutions of Caser).
+//!
+//! Layers take an explicit [`TrainContext`] (RNG + training flag) so that
+//! dropout is reproducible and evaluation mode is explicit — the paper's
+//! contrastive task depends on *independent* dropout masks across two
+//! forward passes of the same batch (Section III-E), which falls out
+//! naturally from threading one RNG through both passes.
+
+mod attention;
+mod conv;
+mod embedding;
+mod feedforward;
+mod gru;
+mod linear;
+mod module;
+mod norm;
+
+pub use attention::MultiHeadAttention;
+pub use conv::{HorizontalConv, VerticalConv};
+pub use embedding::{Embedding, PositionalEmbedding};
+pub use feedforward::FeedForward;
+pub use gru::Gru;
+pub use linear::Linear;
+pub use module::{Module, ParamCollector, TrainContext};
+pub use norm::LayerNorm;
+
+use slime_tensor::Tensor;
+
+/// Apply dropout through a [`TrainContext`]: active (with the context's RNG)
+/// in training mode, identity in eval mode.
+pub fn dropout(x: &Tensor, p: f32, ctx: &mut TrainContext) -> Tensor {
+    if ctx.training && p > 0.0 {
+        slime_tensor::ops::dropout(x, p, &mut ctx.rng)
+    } else {
+        x.clone()
+    }
+}

@@ -1,0 +1,108 @@
+//! Fully-connected layer.
+
+use rand::Rng;
+use slime_tensor::{init, ops, Tensor};
+
+use crate::module::{Module, ParamCollector};
+
+/// A dense layer `y = x W + b` applied over the last dimension of an input
+/// of any rank.
+pub struct Linear {
+    /// Weight `[in, out]`.
+    pub w: Tensor,
+    /// Optional bias `[out]`.
+    pub b: Option<Tensor>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Xavier-initialized dense layer with bias.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Self::with_bias(in_dim, out_dim, true, rng)
+    }
+
+    /// Dense layer with or without bias.
+    pub fn with_bias(in_dim: usize, out_dim: usize, bias: bool, rng: &mut impl Rng) -> Self {
+        Linear {
+            w: Tensor::param(init::xavier_uniform(in_dim, out_dim, rng)),
+            b: bias.then(|| Tensor::param(slime_tensor::NdArray::zeros(vec![out_dim]))),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Apply the layer to `x` of shape `[..., in]`, returning `[..., out]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let shape = x.shape();
+        assert_eq!(
+            *shape.last().expect("linear input needs >= 1 dim"),
+            self.in_dim,
+            "linear input dim mismatch"
+        );
+        let rows: usize = shape[..shape.len() - 1].iter().product();
+        let flat = ops::reshape(x, vec![rows, self.in_dim]);
+        let mut y = ops::matmul(&flat, &self.w);
+        if let Some(b) = &self.b {
+            y = ops::add(&y, b);
+        }
+        let mut out_shape = shape;
+        *out_shape.last_mut().unwrap() = self.out_dim;
+        ops::reshape(&y, out_shape)
+    }
+}
+
+impl Module for Linear {
+    fn collect(&self, out: &mut ParamCollector) {
+        out.push("weight", &self.w);
+        if let Some(b) = &self.b {
+            out.push("bias", b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use slime_tensor::NdArray;
+
+    #[test]
+    fn forward_shape_any_rank() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new(4, 3, &mut rng);
+        let x = Tensor::constant(NdArray::ones(vec![2, 5, 4]));
+        let y = l.forward(&x);
+        assert_eq!(y.shape(), vec![2, 5, 3]);
+    }
+
+    #[test]
+    fn known_weights_known_output() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new(2, 1, &mut rng);
+        l.w = Tensor::param(NdArray::from_vec(vec![2, 1], vec![2.0, 3.0]));
+        l.b = Some(Tensor::param(NdArray::from_vec(vec![1], vec![0.5])));
+        let x = Tensor::constant(NdArray::from_vec(vec![1, 2], vec![1.0, 1.0]));
+        assert_eq!(l.forward(&x).value().data(), &[5.5]);
+    }
+
+    #[test]
+    fn params_are_collected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new(3, 2, &mut rng);
+        assert_eq!(l.num_parameters(), 3 * 2 + 2);
+        let l2 = Linear::with_bias(3, 2, false, &mut rng);
+        assert_eq!(l2.num_parameters(), 6);
+    }
+
+    #[test]
+    fn gradients_reach_weights() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new(2, 2, &mut rng);
+        let x = Tensor::constant(NdArray::ones(vec![3, 2]));
+        ops::mean_all(&l.forward(&x)).backward();
+        assert!(l.w.grad().is_some());
+        assert!(l.b.as_ref().unwrap().grad().is_some());
+    }
+}

@@ -1,0 +1,66 @@
+//! Layer normalization module.
+
+use slime_tensor::{ops, NdArray, Tensor};
+
+use crate::module::{Module, ParamCollector};
+
+/// Layer normalization over the last dimension with learned affine
+/// parameters (paper Eqs. 10, 28, 30).
+pub struct LayerNorm {
+    /// Scale `[dim]`, initialized to ones.
+    pub gamma: Tensor,
+    /// Shift `[dim]`, initialized to zeros.
+    pub beta: Tensor,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Layer norm over a `dim`-sized last axis with eps `1e-12`
+    /// (the convention of the FMLP-Rec/DuoRec code bases).
+    pub fn new(dim: usize) -> Self {
+        Self::with_eps(dim, 1e-12)
+    }
+
+    /// Layer norm with an explicit epsilon.
+    pub fn with_eps(dim: usize, eps: f32) -> Self {
+        LayerNorm {
+            gamma: Tensor::param(NdArray::ones(vec![dim])),
+            beta: Tensor::param(NdArray::zeros(vec![dim])),
+            eps,
+        }
+    }
+
+    /// Normalize `x` over its last dimension.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        ops::layer_norm(x, &self.gamma, &self.beta, self.eps)
+    }
+}
+
+impl Module for LayerNorm {
+    fn collect(&self, out: &mut ParamCollector) {
+        out.push("gamma", &self.gamma);
+        out.push("beta", &self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_rows() {
+        let ln = LayerNorm::new(3);
+        let x = Tensor::constant(NdArray::from_vec(vec![2, 3], vec![1., 2., 3., 10., 20., 30.]));
+        let y = ln.forward(&x).value();
+        for r in 0..2 {
+            let row = &y.data()[r * 3..(r + 1) * 3];
+            assert!(row.iter().sum::<f32>().abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn collects_two_params() {
+        let ln = LayerNorm::new(5);
+        assert_eq!(ln.num_parameters(), 10);
+    }
+}

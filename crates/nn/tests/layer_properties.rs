@@ -1,0 +1,103 @@
+//! Property-style tests of layer-level invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use slime_nn::{
+    dropout, FeedForward, LayerNorm, Module, MultiHeadAttention, TrainContext,
+};
+use slime_tensor::{NdArray, Tensor};
+
+fn rand_tensor(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n: usize = shape.iter().product();
+    let data: Vec<f32> = (0..n).map(|_| rand::Rng::gen_range(&mut rng, -1.0..1.0)).collect();
+    Tensor::constant(NdArray::from_vec(shape.to_vec(), data))
+}
+
+#[test]
+fn dropout_is_identity_in_eval_mode() {
+    let x = rand_tensor(&[4, 5], 1);
+    let mut ctx = TrainContext::eval();
+    let y = dropout(&x, 0.5, &mut ctx);
+    assert_eq!(y.value().data(), x.value().data());
+}
+
+#[test]
+fn unmasked_attention_is_permutation_equivariant() {
+    // Self-attention without positional information or mask commutes with
+    // time permutations: permuting inputs permutes outputs identically.
+    let mut rng = StdRng::seed_from_u64(2);
+    let mha = MultiHeadAttention::new(6, 2, 0.0, &mut rng);
+    let mut ctx = TrainContext::eval();
+    let (n, d) = (4usize, 6usize);
+    let base = rand_tensor(&[1, n, d], 3);
+    let perm = [2usize, 0, 3, 1];
+
+    // Build the permuted input.
+    let bd = base.value();
+    let mut permuted = vec![0.0f32; n * d];
+    for (dst, &src) in perm.iter().enumerate() {
+        permuted[dst * d..(dst + 1) * d].copy_from_slice(&bd.data()[src * d..(src + 1) * d]);
+    }
+    let permuted = Tensor::constant(NdArray::from_vec(vec![1, n, d], permuted));
+
+    let y1 = mha.forward(&base, None, &mut ctx).value();
+    let y2 = mha.forward(&permuted, None, &mut ctx).value();
+    for (dst, &src) in perm.iter().enumerate() {
+        for c in 0..d {
+            let a = y1.data()[src * d + c];
+            let b = y2.data()[dst * d + c];
+            assert!((a - b).abs() < 1e-4, "pos {src}->{dst} dim {c}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn layer_norm_is_scale_invariant() {
+    // LayerNorm(c * x) == LayerNorm(x) for c > 0 (mean/std both scale).
+    let ln = LayerNorm::new(6);
+    let x = rand_tensor(&[3, 6], 4);
+    let scaled = Tensor::constant(x.value().map(|v| v * 7.5));
+    let a = ln.forward(&x).value();
+    let b = ln.forward(&scaled).value();
+    for (u, v) in a.data().iter().zip(b.data()) {
+        assert!((u - v).abs() < 1e-3, "{u} vs {v}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn ffn_output_is_finite_for_bounded_inputs(seed in 0u64..500, rows in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ffn = FeedForward::new(8, 0.0, &mut rng);
+        let x = rand_tensor(&[rows, 8], seed ^ 99);
+        let y = ffn.forward(&x, &mut TrainContext::eval());
+        for &v in y.value().data() {
+            prop_assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn attention_rows_stay_bounded(seed in 0u64..500) {
+        // Softmax-convex combination of values keeps outputs within the
+        // range spanned by the value projections (loose sanity bound).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mha = MultiHeadAttention::new(4, 1, 0.0, &mut rng);
+        let x = rand_tensor(&[1, 5, 4], seed ^ 7);
+        let y = mha.forward(&x, None, &mut TrainContext::eval()).value();
+        for &v in y.data() {
+            prop_assert!(v.is_finite() && v.abs() < 100.0);
+        }
+    }
+
+    #[test]
+    fn module_param_counts_are_stable(seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mha = MultiHeadAttention::new(8, 2, 0.0, &mut rng);
+        // 4 projections of (8x8 + 8) each.
+        prop_assert_eq!(mha.num_parameters(), 4 * (64 + 8));
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 5(c,d) — hidden size d sweep.
+//!
+//! Paper shape to reproduce: performance rises with d, saturates around a
+//! mid value, and can dip beyond it (overfitting on sparse data).
+
+use slime4rec::run_slime;
+use slime_repro::{ExperimentCtx, ResultsWriter, Table};
+
+fn main() {
+    let ctx = ExperimentCtx::from_env();
+    
+    let mut writer = ResultsWriter::new(&ctx, "fig5_hidden");
+    let mut records = Vec::new();
+
+    // Scaled-down analogue of the paper's d in {16..256}.
+    let dims: Vec<usize> = if ctx.quick {
+        vec![16]
+    } else {
+        vec![8, 16, 32, 64, 128]
+    };
+    let default_keys = ["beauty", "ml-1m"];
+    let keys: Vec<&str> = ctx
+        .dataset_keys()
+        .into_iter()
+        .filter(|k| ctx.datasets.is_some() || default_keys.contains(k))
+        .collect();
+
+    for key in keys {
+        let ds = ctx.dataset(key);
+        let tc = ctx.train_config_for(key, 5);
+        let mut table = Table::new(
+            format!("Fig. 5(c,d) [{key}]: hidden size sweep"),
+            &["d", "HR@5", "NDCG@5"],
+        );
+        for &d in &dims {
+            let mut cfg = ctx.slime_cfg_for(key, &ds);
+            cfg.hidden = d;
+            let (_, _, m) = run_slime(&ds, &cfg, &tc);
+            eprintln!("[{key}] d={d}: {}", m.render());
+            table.push(vec![
+                d.to_string(),
+                format!("{:.4}", m.hr(5)),
+                format!("{:.4}", m.ndcg(5)),
+            ]);
+            records.push((key.to_string(), d, m.hr(5), m.ndcg(5)));
+        }
+        println!("{}", table.render());
+    }
+    writer.add("records", &records);
+    let path = writer.finish();
+    println!("results written to {}", path.display());
+}

@@ -1,0 +1,87 @@
+//! Figure 7 — visualization of the learned slide filters.
+//!
+//! Trains SLIME4Rec on the beauty profile with the paper's Fig. 7 setting
+//! (slide mode 4, alpha = 0.1, L = 4 so beta = 0.25), then prints an ASCII
+//! heat strip of the per-layer dynamic/static filter amplitudes across
+//! frequency bins and writes the raw amplitudes as CSV + JSON.
+//!
+//! Paper shape to reproduce: amplitudes are confined to each layer's band,
+//! the bands slide from high to low frequency with depth, and the static
+//! filter's bands cover the gaps the small dynamic windows leave
+//! (`alpha < 1/L`).
+
+use slime4rec::run_slime;
+use slime_repro::{ExperimentCtx, ResultsWriter};
+
+fn strip(values: &[f32]) -> String {
+    // Map amplitudes to a 5-level ASCII ramp.
+    let max = values.iter().copied().fold(0.0f32, f32::max).max(1e-9);
+    values
+        .iter()
+        .map(|&v| {
+            let levels = [' ', '.', ':', '+', '#'];
+            let idx = ((v / max) * (levels.len() - 1) as f32).round() as usize;
+            levels[idx.min(levels.len() - 1)]
+        })
+        .collect()
+}
+
+fn main() {
+    let ctx = ExperimentCtx::from_env();
+    let key = "beauty";
+    let tc = ctx.train_config_for(key, 5);
+    let ds = ctx.dataset(key);
+
+    let mut cfg = ctx.slime_cfg_for(key, &ds);
+    cfg.layers = 4;
+    cfg.alpha = 0.1; // alpha < beta = 0.25: the regime Fig. 7 visualizes
+    let (model, _, test) = run_slime(&ds, &cfg, &tc);
+    eprintln!("[{key}] trained (alpha=0.1, L=4): {}", test.render());
+
+    let amps = model.filter_amplitudes();
+    let m = cfg.freq_bins();
+    println!("Fig. 7: learned filter amplitudes on [{key}] (bins 0..{} = low..high freq)", m - 1);
+    println!("{:<10}{:<12}heat (low -> high frequency)", "layer", "branch");
+    let mut csv = String::from("layer,branch,bin,amplitude\n");
+    let mut dynamic_cover = vec![false; m];
+    let mut static_cover = vec![false; m];
+    for (l, (dfs, sfs)) in amps.iter().enumerate() {
+        println!("{:<10}{:<12}|{}|", format!("L{l}"), "dynamic", strip(dfs));
+        println!("{:<10}{:<12}|{}|", "", "static", strip(sfs));
+        for (k, &v) in dfs.iter().enumerate() {
+            csv.push_str(&format!("{l},dynamic,{k},{v}\n"));
+            if v > 0.0 {
+                dynamic_cover[k] = true;
+            }
+        }
+        for (k, &v) in sfs.iter().enumerate() {
+            csv.push_str(&format!("{l},static,{k},{v}\n"));
+            if v > 0.0 {
+                static_cover[k] = true;
+            }
+        }
+    }
+    let gaps: Vec<usize> = (0..m).filter(|&k| !dynamic_cover[k]).collect();
+    let recaptured: Vec<usize> = gaps
+        .iter()
+        .copied()
+        .filter(|&k| static_cover[k])
+        .collect();
+    println!(
+        "\nfrequency differential (Fig. 7c): dynamic windows miss {} of {m} bins {gaps:?};\n\
+         the static split recaptures {} of them {recaptured:?}.",
+        gaps.len(),
+        recaptured.len()
+    );
+
+    std::fs::create_dir_all(&ctx.out_dir).expect("results dir");
+    let csv_path = ctx.out_dir.join("fig7_filters.csv");
+    std::fs::write(&csv_path, csv).expect("write csv");
+    let mut w = ResultsWriter::new(&ctx, "fig7_filters");
+    w.add("amplitudes", &amps);
+    w.add("dynamic_gaps", &gaps);
+    w.add("recaptured_by_static", &recaptured);
+    w.add("test_metrics", test.render());
+    let path = w.finish();
+    println!("results written to {} and {}", path.display(), csv_path.display());
+}

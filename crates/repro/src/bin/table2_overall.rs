@@ -1,0 +1,104 @@
+//! Table II — overall recommendation performance: every model on every
+//! dataset, HR@{5,10} and NDCG@{5,10}, printed next to the paper's numbers
+//! with the paper's "Improv." column (SLIME4Rec vs strongest baseline)
+//! recomputed on our measurements.
+
+use std::time::Instant;
+
+use slime_baselines::runner::run_baseline;
+use slime_metrics::MetricSet;
+use slime_repro::harness::improv_pct;
+use slime_repro::paper::{dataset_index, model_index, TABLE2, TABLE2_DISPLAY, TABLE2_MODELS};
+use slime_repro::{ExperimentCtx, ResultsWriter, Table};
+
+fn main() {
+    let ctx = ExperimentCtx::from_env();
+    
+    let mut writer = ResultsWriter::new(&ctx, "table2_overall");
+    let mut all_results: Vec<(String, String, [f64; 4])> = Vec::new();
+
+    for key in ctx.dataset_keys() {
+        let ds = ctx.dataset(key);
+        let spec = ctx.spec_for(key);
+        let tc_base = ctx.train_config_for(key, 8);
+        let di = dataset_index(key).expect("dataset");
+        let mut table = Table::new(
+            format!(
+                "Table II [{key}]: {} users, {} items",
+                ds.num_users(),
+                ds.num_items()
+            ),
+            &[
+                "model", "HR@5", "HR@10", "NDCG@5", "NDCG@10", "", "HR@5(p)", "HR@10(p)",
+                "NDCG@5(p)", "NDCG@10(p)",
+            ],
+        );
+
+        let models: Vec<&str> = TABLE2_MODELS
+            .iter()
+            .copied()
+            .filter(|m| {
+                ctx.models
+                    .as_ref()
+                    .map(|ms| ms.iter().any(|x| x == m))
+                    .unwrap_or(true)
+            })
+            .collect();
+
+        let mut measured: Vec<(&str, MetricSet)> = Vec::new();
+        for name in &models {
+            let tc = tc_base.clone();
+            let start = Instant::now();
+            let m = run_baseline(name, &ds, &spec, &tc);
+            eprintln!(
+                "[{key}] {name}: {} ({:.1}s)",
+                m.render(),
+                start.elapsed().as_secs_f64()
+            );
+            measured.push((name, m));
+        }
+
+        for (name, m) in &measured {
+            let mi = model_index(name).expect("model");
+            let p = TABLE2[di][mi];
+            table.push(vec![
+                TABLE2_DISPLAY[mi].to_string(),
+                format!("{:.4}", m.hr(5)),
+                format!("{:.4}", m.hr(10)),
+                format!("{:.4}", m.ndcg(5)),
+                format!("{:.4}", m.ndcg(10)),
+                "|".into(),
+                format!("{:.4}", p.0),
+                format!("{:.4}", p.1),
+                format!("{:.4}", p.2),
+                format!("{:.4}", p.3),
+            ]);
+            all_results.push((
+                key.to_string(),
+                name.to_string(),
+                [m.hr(5), m.hr(10), m.ndcg(5), m.ndcg(10)],
+            ));
+        }
+
+        // Improvement of SLIME4Rec over the strongest baseline (by HR@10).
+        if let Some(slime) = measured.iter().find(|(n, _)| *n == "slime4rec") {
+            if let Some(best) = measured
+                .iter()
+                .filter(|(n, _)| *n != "slime4rec")
+                .max_by(|a, b| a.1.hr(10).partial_cmp(&b.1.hr(10)).unwrap())
+            {
+                println!(
+                    "[{key}] SLIME4Rec vs strongest baseline ({}): HR@10 {} | NDCG@10 {}",
+                    best.0,
+                    improv_pct(slime.1.hr(10), best.1.hr(10)),
+                    improv_pct(slime.1.ndcg(10), best.1.ndcg(10)),
+                );
+            }
+        }
+        println!("{}", table.render());
+    }
+
+    writer.add("results", &all_results);
+    let path = writer.finish();
+    println!("results written to {}", path.display());
+}

@@ -1,0 +1,64 @@
+//! Table III — the static filter's supporting role when the dynamic window
+//! is too small to tile the spectrum (`alpha < beta = 1/L`): DFS-only vs
+//! DFS+SFS at the paper's `(L, alpha)` grid `{(2, 0.3), (4, 0.2), (8, 0.1)}`.
+//!
+//! Paper shape to reproduce: adding SFS helps at every depth, most at L=8
+//! where the alpha=0.1 windows leave the largest coverage gaps.
+
+use slime4rec::run_slime;
+use slime_repro::paper::{dataset_index, TABLE3};
+use slime_repro::{ExperimentCtx, ResultsWriter, Table};
+
+fn main() {
+    let ctx = ExperimentCtx::from_env();
+    
+    let mut writer = ResultsWriter::new(&ctx, "table3_dfs_sfs");
+    let mut records = Vec::new();
+
+    let grid: [(usize, f32); 3] = [(2, 0.3), (4, 0.2), (8, 0.1)];
+    for key in ctx.dataset_keys() {
+        let ds = ctx.dataset(key);
+        let tc = ctx.train_config_for(key, 5);
+        let di = dataset_index(key).expect("dataset");
+        let mut table = Table::new(
+            format!("Table III [{key}]: DFS vs DFS+SFS (HR@5 / NDCG@5)"),
+            &["L", "alpha", "SFS", "HR@5", "NDCG@5", "", "HR@5(p)", "NDCG@5(p)"],
+        );
+        for &(layers, alpha) in &grid {
+            for sfs in [false, true] {
+                let mut cfg = ctx.slime_cfg_for(key, &ds);
+                cfg.layers = layers;
+                cfg.alpha = alpha;
+                cfg.use_sfs = sfs;
+                let (_, _, m) = run_slime(&ds, &cfg, &tc);
+                let paper = TABLE3
+                    .iter()
+                    .find(|(l, a, s, _)| *l == layers && (*a - alpha).abs() < 1e-6 && *s == sfs)
+                    .map(|(_, _, _, rows)| rows[di]);
+                eprintln!(
+                    "[{key}] L={layers} alpha={alpha} sfs={sfs}: {}",
+                    m.render()
+                );
+                table.push(vec![
+                    layers.to_string(),
+                    format!("{alpha}"),
+                    if sfs {
+                        format!("beta={:.3}", 1.0 / layers as f32)
+                    } else {
+                        "off".into()
+                    },
+                    format!("{:.4}", m.hr(5)),
+                    format!("{:.4}", m.ndcg(5)),
+                    "|".into(),
+                    paper.map(|p| format!("{:.4}", p.0)).unwrap_or_default(),
+                    paper.map(|p| format!("{:.4}", p.1)).unwrap_or_default(),
+                ]);
+                records.push((key.to_string(), layers, alpha, sfs, m.hr(5), m.ndcg(5)));
+            }
+        }
+        println!("{}", table.render());
+    }
+    writer.add("records", &records);
+    let path = writer.finish();
+    println!("results written to {}", path.display());
+}

@@ -1,0 +1,53 @@
+//! Table IV — the four slide-mode combinations of the frequency ramp
+//! (DFS/SFS each sliding high-to-low `<-` or low-to-high `->`).
+//!
+//! Paper shape to reproduce: mode 4 (`<-`, `<-`) wins, mode 3 is second,
+//! the conflicting-direction modes 1/2 trail.
+
+use slime4rec::{run_slime, SlideMode};
+use slime_repro::paper::{dataset_index, TABLE4};
+use slime_repro::{ExperimentCtx, ResultsWriter, Table};
+
+fn main() {
+    let ctx = ExperimentCtx::from_env();
+    
+    let mut writer = ResultsWriter::new(&ctx, "table4_slide_modes");
+    let mut records = Vec::new();
+
+    let modes = [
+        ("Mode 1 (DFS<-, SFS->)", SlideMode::Mode1),
+        ("Mode 2 (DFS->, SFS<-)", SlideMode::Mode2),
+        ("Mode 3 (DFS->, SFS->)", SlideMode::Mode3),
+        ("Mode 4 (DFS<-, SFS<-)", SlideMode::Mode4),
+    ];
+
+    for key in ctx.dataset_keys() {
+        let ds = ctx.dataset(key);
+        let tc = ctx.train_config_for(key, 5);
+        let di = dataset_index(key).expect("dataset");
+        let mut table = Table::new(
+            format!("Table IV [{key}]: slide modes (HR@5 / NDCG@5)"),
+            &["mode", "HR@5", "NDCG@5", "", "HR@5(p)", "NDCG@5(p)"],
+        );
+        for (mi, (name, mode)) in modes.iter().enumerate() {
+            let mut cfg = ctx.slime_cfg_for(key, &ds);
+            cfg.slide_mode = *mode;
+            let (_, _, m) = run_slime(&ds, &cfg, &tc);
+            eprintln!("[{key}] {name}: {}", m.render());
+            let p = TABLE4[mi][di];
+            table.push(vec![
+                name.to_string(),
+                format!("{:.4}", m.hr(5)),
+                format!("{:.4}", m.ndcg(5)),
+                "|".into(),
+                format!("{:.4}", p.0),
+                format!("{:.4}", p.1),
+            ]);
+            records.push((key.to_string(), mi + 1, m.hr(5), m.ndcg(5)));
+        }
+        println!("{}", table.render());
+    }
+    writer.add("records", &records);
+    let path = writer.finish();
+    println!("results written to {}", path.display());
+}

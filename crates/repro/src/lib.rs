@@ -1,0 +1,20 @@
+//! # slime-repro
+//!
+//! The reproduction harness: one binary per table/figure of the SLIME4Rec
+//! paper (see DESIGN.md §4 for the index). This library holds the shared
+//! experiment context, the embedded paper-reference numbers, and table
+//! rendering/serialization helpers.
+//!
+//! Every binary honours these environment variables:
+//!
+//! * `SLIME_SCALE` — multiplies synthetic dataset sizes (default 1.0).
+//! * `SLIME_EPOCHS` — overrides the per-experiment epoch default.
+//! * `SLIME_QUICK=1` — tiny datasets + 1 epoch (CI smoke mode).
+//! * `SLIME_DATASETS` — comma list restricting dataset profiles.
+//! * `SLIME_MODELS` — comma list restricting models (table2 only).
+//! * `SLIME_OUT` — results directory (default `results/`).
+
+pub mod harness;
+pub mod paper;
+
+pub use harness::{ExperimentCtx, ResultsWriter, Table};

@@ -1,0 +1,105 @@
+//! Finite-difference gradient checking.
+//!
+//! Used by the test suites of this crate and every crate built on it to
+//! validate analytic backward passes.
+
+use crate::ndarray::NdArray;
+use crate::tensor::Tensor;
+
+/// Result of a gradient check for one parameter.
+#[derive(Debug)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numeric gradient.
+    pub max_abs_diff: f32,
+    /// Largest relative difference (normalized by magnitudes, floored at 1).
+    pub max_rel_diff: f32,
+}
+
+/// Compare the analytic gradient of `param` (under the scalar loss built by
+/// `f`) against central finite differences.
+///
+/// `f` must rebuild the graph from the *current* parameter values on every
+/// call and must be deterministic (no unseeded dropout).
+///
+/// # Panics
+/// Panics if `f()` is not scalar.
+pub fn check_gradient(
+    param: &Tensor,
+    mut f: impl FnMut() -> Tensor,
+    eps: f32,
+) -> GradCheckReport {
+    // Analytic gradient.
+    param.zero_grad();
+    let loss = f();
+    loss.backward();
+    let analytic = param
+        .grad()
+        .unwrap_or_else(|| NdArray::zeros(param.shape()));
+
+    // Numeric gradient by central differences, one coordinate at a time.
+    let n = param.len();
+    let mut max_abs = 0.0f32;
+    let mut max_rel = 0.0f32;
+    for i in 0..n {
+        let orig = param.value().data()[i];
+        param.with_data_mut(|d| d.data_mut()[i] = orig + eps);
+        let plus = f().item();
+        param.with_data_mut(|d| d.data_mut()[i] = orig - eps);
+        let minus = f().item();
+        param.with_data_mut(|d| d.data_mut()[i] = orig);
+        let numeric = (plus - minus) / (2.0 * eps);
+        let a = analytic.data()[i];
+        let abs = (a - numeric).abs();
+        let rel = abs / a.abs().max(numeric.abs()).max(1.0);
+        max_abs = max_abs.max(abs);
+        max_rel = max_rel.max(rel);
+    }
+    param.zero_grad();
+    GradCheckReport {
+        max_abs_diff: max_abs,
+        max_rel_diff: max_rel,
+    }
+}
+
+/// Assert that the analytic gradient of every parameter matches finite
+/// differences within `tol` (relative, floored-absolute).
+pub fn assert_gradients_match(params: &[&Tensor], mut f: impl FnMut() -> Tensor, tol: f32) {
+    for (i, p) in params.iter().enumerate() {
+        let report = check_gradient(p, &mut f, 1e-2);
+        assert!(
+            report.max_rel_diff < tol,
+            "param {i}: gradient mismatch (max_rel={}, max_abs={})",
+            report.max_rel_diff,
+            report.max_abs_diff
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn passes_on_correct_gradient() {
+        let x = Tensor::param(NdArray::from_vec(vec![3], vec![0.5, -1.0, 2.0]));
+        assert_gradients_match(
+            &[&x],
+            || ops::mean_all(&ops::mul(&x, &x)),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn detects_wrong_gradient() {
+        // scale() with a deliberately wrong constant in the loss rebuild
+        // (the loss value changes between analytic and numeric passes would
+        // not fool the checker; instead check that a zero-grad function vs a
+        // non-constant numeric estimate trips the assertion).
+        let x = Tensor::param(NdArray::from_vec(vec![1], vec![1.0]));
+        // Loss reads x's data but routes it through detach, so analytic grad
+        // is zero while numeric is 2x. The checker must flag this.
+        let report = check_gradient(&x, || ops::mean_all(&ops::mul(&x.detach(), &x.detach())), 1e-2);
+        assert!(report.max_rel_diff > 0.5);
+    }
+}

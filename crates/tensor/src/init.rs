@@ -1,0 +1,92 @@
+//! Weight initializers.
+
+use rand::Rng;
+
+use crate::ndarray::{numel, NdArray};
+
+/// Uniform initialization in `[-bound, bound]`.
+pub fn uniform(shape: impl Into<Vec<usize>>, bound: f32, rng: &mut impl Rng) -> NdArray {
+    let shape = shape.into();
+    let n = numel(&shape);
+    let data = (0..n).map(|_| rng.gen_range(-bound..=bound)).collect();
+    NdArray::from_vec(shape, data)
+}
+
+/// Gaussian initialization with mean 0.
+pub fn normal(shape: impl Into<Vec<usize>>, std: f32, rng: &mut impl Rng) -> NdArray {
+    let shape = shape.into();
+    let n = numel(&shape);
+    // Box-Muller transform; avoids pulling in rand_distr.
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen::<f32>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < n {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    NdArray::from_vec(shape, data)
+}
+
+/// Xavier/Glorot uniform initialization for a 2-D weight `[fan_in, fan_out]`.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> NdArray {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(vec![fan_in, fan_out], bound, rng)
+}
+
+/// Truncated-normal-ish initialization used for embeddings (std 0.02, the
+/// convention of SASRec/BERT4Rec/FMLP-Rec implementations).
+pub fn embedding_init(vocab: usize, dim: usize, rng: &mut impl Rng) -> NdArray {
+    let mut w = normal(vec![vocab, dim], 0.02, rng);
+    w.map_inplace(|v| v.clamp(-0.04, 0.04));
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = uniform(vec![100], 0.5, &mut rng);
+        for &v in w.data() {
+            assert!((-0.5..=0.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normal_has_right_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = normal(vec![20_000], 2.0, &mut rng);
+        let mean = w.mean_all();
+        let var: f32 =
+            w.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / w.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn xavier_bound_shrinks_with_fan() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = xavier_uniform(512, 512, &mut rng);
+        let bound = (6.0f32 / 1024.0).sqrt();
+        for &v in w.data() {
+            assert!(v.abs() <= bound + 1e-6);
+        }
+    }
+
+    #[test]
+    fn embedding_init_is_clamped() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = embedding_init(100, 16, &mut rng);
+        for &v in w.data() {
+            assert!(v.abs() <= 0.04 + 1e-6);
+        }
+    }
+}

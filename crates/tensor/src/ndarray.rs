@@ -1,0 +1,553 @@
+//! Dense row-major n-dimensional array of `f32` with NumPy-style
+//! broadcasting, matrix multiplication kernels, and reductions.
+//!
+//! `NdArray` is the value type of the autodiff engine. Cloning is cheap
+//! (`Rc`-shared buffer, copy-on-write on mutation) so ops can save forward
+//! values for their backward pass without duplicating memory.
+
+use std::rc::Rc;
+
+/// A dense, row-major, `f32` n-dimensional array.
+///
+/// The empty shape `[]` denotes a scalar holding one element.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NdArray {
+    shape: Vec<usize>,
+    data: Rc<Vec<f32>>,
+}
+
+/// Number of elements implied by a shape (empty shape = scalar = 1 element).
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+impl NdArray {
+    /// Create an array from a shape and matching data buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(shape: impl Into<Vec<usize>>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            numel(&shape),
+            data.len(),
+            "shape {shape:?} does not match data length {}",
+            data.len()
+        );
+        NdArray {
+            shape,
+            data: Rc::new(data),
+        }
+    }
+
+    /// An array filled with `value`.
+    pub fn full(shape: impl Into<Vec<usize>>, value: f32) -> Self {
+        let shape = shape.into();
+        let n = numel(&shape);
+        NdArray {
+            shape,
+            data: Rc::new(vec![value; n]),
+        }
+    }
+
+    /// An all-zeros array.
+    pub fn zeros(shape: impl Into<Vec<usize>>) -> Self {
+        Self::full(shape, 0.0)
+    }
+
+    /// An all-ones array.
+    pub fn ones(shape: impl Into<Vec<usize>>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A scalar (shape `[]`).
+    pub fn scalar(value: f32) -> Self {
+        Self::from_vec(Vec::new(), vec![value])
+    }
+
+    /// The scalar value of a single-element array.
+    ///
+    /// # Panics
+    /// Panics if the array has more than one element.
+    pub fn scalar_value(&self) -> f32 {
+        assert_eq!(self.len(), 1, "scalar_value on shape {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Shape of the array.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array holds zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the underlying buffer (row-major).
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer (copy-on-write if shared).
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        Rc::make_mut(&mut self.data).as_mut_slice()
+    }
+
+    /// Reinterpret with a new shape of the same element count.
+    ///
+    /// # Panics
+    /// Panics if element counts differ.
+    pub fn reshape(&self, shape: impl Into<Vec<usize>>) -> NdArray {
+        let shape = shape.into();
+        assert_eq!(
+            numel(&shape),
+            self.len(),
+            "cannot reshape {:?} -> {shape:?}",
+            self.shape
+        );
+        NdArray {
+            shape,
+            data: Rc::clone(&self.data),
+        }
+    }
+
+    /// Apply `f` elementwise, producing a new array.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> NdArray {
+        NdArray {
+            shape: self.shape.clone(),
+            data: Rc::new(self.data.iter().map(|&v| f(v)).collect()),
+        }
+    }
+
+    /// Apply `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in self.data_mut() {
+            *v = f(*v);
+        }
+    }
+
+    /// Combine with `other` elementwise; shapes must match exactly.
+    pub fn zip_map(&self, other: &NdArray, f: impl Fn(f32, f32) -> f32) -> NdArray {
+        assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
+        NdArray {
+            shape: self.shape.clone(),
+            data: Rc::new(
+                self.data
+                    .iter()
+                    .zip(other.data.iter())
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Accumulate `other * scale` into `self`; shapes must match exactly.
+    pub fn add_scaled_assign(&mut self, other: &NdArray, scale: f32) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        let dst = self.data_mut();
+        for (d, s) in dst.iter_mut().zip(other.data.iter()) {
+            *d += s * scale;
+        }
+    }
+
+    /// Broadcast shape of two operands under NumPy rules.
+    ///
+    /// # Panics
+    /// Panics if the shapes are not broadcast-compatible.
+    pub fn broadcast_shape(a: &[usize], b: &[usize]) -> Vec<usize> {
+        let nd = a.len().max(b.len());
+        let mut out = vec![0usize; nd];
+        for i in 0..nd {
+            let da = if i < nd - a.len() { 1 } else { a[i - (nd - a.len())] };
+            let db = if i < nd - b.len() { 1 } else { b[i - (nd - b.len())] };
+            out[i] = if da == db {
+                da
+            } else if da == 1 {
+                db
+            } else if db == 1 {
+                da
+            } else {
+                panic!("incompatible broadcast: {a:?} vs {b:?}");
+            };
+        }
+        out
+    }
+
+    /// Elementwise binary operation with NumPy broadcasting.
+    pub fn broadcast_zip(&self, other: &NdArray, f: impl Fn(f32, f32) -> f32) -> NdArray {
+        if self.shape == other.shape {
+            return self.zip_map(other, f);
+        }
+        let out_shape = Self::broadcast_shape(&self.shape, &other.shape);
+        let n = numel(&out_shape);
+        let sa = broadcast_strides(&self.shape, &out_shape);
+        let sb = broadcast_strides(&other.shape, &out_shape);
+        let mut out = Vec::with_capacity(n);
+        let mut idx = vec![0usize; out_shape.len()];
+        let (mut off_a, mut off_b) = (0usize, 0usize);
+        for _ in 0..n {
+            out.push(f(self.data[off_a], other.data[off_b]));
+            // Odometer increment over the output index space.
+            for d in (0..out_shape.len()).rev() {
+                idx[d] += 1;
+                off_a += sa[d];
+                off_b += sb[d];
+                if idx[d] < out_shape[d] {
+                    break;
+                }
+                off_a -= sa[d] * out_shape[d];
+                off_b -= sb[d] * out_shape[d];
+                idx[d] = 0;
+            }
+        }
+        NdArray::from_vec(out_shape, out)
+    }
+
+    /// Sum this array down to `target` shape (the adjoint of broadcasting).
+    ///
+    /// Used by backward passes of broadcasting ops: the gradient w.r.t. a
+    /// broadcast operand is the output gradient summed over the broadcast
+    /// axes.
+    pub fn reduce_to_shape(&self, target: &[usize]) -> NdArray {
+        if self.shape == target {
+            return self.clone();
+        }
+        assert_eq!(
+            Self::broadcast_shape(target, &self.shape),
+            self.shape,
+            "reduce_to_shape: {target:?} does not broadcast to {:?}",
+            self.shape
+        );
+        let n = self.len();
+        let strides = broadcast_strides(target, &self.shape);
+        let mut out = vec![0.0f32; numel(target)];
+        let mut idx = vec![0usize; self.shape.len()];
+        let mut off = 0usize;
+        for i in 0..n {
+            out[off] += self.data[i];
+            for d in (0..self.shape.len()).rev() {
+                idx[d] += 1;
+                off += strides[d];
+                if idx[d] < self.shape[d] {
+                    break;
+                }
+                off -= strides[d] * self.shape[d];
+                idx[d] = 0;
+            }
+        }
+        NdArray::from_vec(target.to_vec(), out)
+    }
+
+    /// 2-D matrix multiply: `[m, k] x [k, n] -> [m, n]`.
+    pub fn matmul2d(&self, rhs: &NdArray) -> NdArray {
+        assert_eq!(self.ndim(), 2, "matmul2d lhs must be 2-D");
+        assert_eq!(rhs.ndim(), 2, "matmul2d rhs must be 2-D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "matmul2d inner dims: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        matmul_kernel(&self.data, &rhs.data, &mut out, m, k, n);
+        NdArray::from_vec(vec![m, n], out)
+    }
+
+    /// Batched matrix multiply: `[b, m, k] x [b, k, n] -> [b, m, n]`.
+    pub fn bmm(&self, rhs: &NdArray) -> NdArray {
+        assert_eq!(self.ndim(), 3, "bmm lhs must be 3-D");
+        assert_eq!(rhs.ndim(), 3, "bmm rhs must be 3-D");
+        let (b, m, k) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (b2, k2, n) = (rhs.shape[0], rhs.shape[1], rhs.shape[2]);
+        assert_eq!(b, b2, "bmm batch dims");
+        assert_eq!(k, k2, "bmm inner dims");
+        let mut out = vec![0.0f32; b * m * n];
+        for i in 0..b {
+            matmul_kernel(
+                &self.data[i * m * k..(i + 1) * m * k],
+                &rhs.data[i * k * n..(i + 1) * k * n],
+                &mut out[i * m * n..(i + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        NdArray::from_vec(vec![b, m, n], out)
+    }
+
+    /// Transpose the last two dimensions.
+    pub fn transpose_last2(&self) -> NdArray {
+        let nd = self.ndim();
+        assert!(nd >= 2, "transpose_last2 needs >= 2 dims");
+        let mut axes: Vec<usize> = (0..nd).collect();
+        axes.swap(nd - 2, nd - 1);
+        self.permute(&axes)
+    }
+
+    /// Permute dimensions; `axes` must be a permutation of `0..ndim`.
+    pub fn permute(&self, axes: &[usize]) -> NdArray {
+        let nd = self.ndim();
+        assert_eq!(axes.len(), nd, "permute axes length");
+        let mut seen = vec![false; nd];
+        for &a in axes {
+            assert!(a < nd && !seen[a], "invalid permutation {axes:?}");
+            seen[a] = true;
+        }
+        let in_strides = contiguous_strides(&self.shape);
+        let out_shape: Vec<usize> = axes.iter().map(|&a| self.shape[a]).collect();
+        let src_strides: Vec<usize> = axes.iter().map(|&a| in_strides[a]).collect();
+        let n = self.len();
+        let mut out = Vec::with_capacity(n);
+        let mut idx = vec![0usize; nd];
+        let mut off = 0usize;
+        for _ in 0..n {
+            out.push(self.data[off]);
+            for d in (0..nd).rev() {
+                idx[d] += 1;
+                off += src_strides[d];
+                if idx[d] < out_shape[d] {
+                    break;
+                }
+                off -= src_strides[d] * out_shape[d];
+                idx[d] = 0;
+            }
+        }
+        NdArray::from_vec(out_shape, out)
+    }
+
+    /// Sum over one axis, removing it.
+    pub fn sum_axis(&self, axis: usize) -> NdArray {
+        let nd = self.ndim();
+        assert!(axis < nd, "sum_axis out of range");
+        let outer: usize = self.shape[..axis].iter().product();
+        let mid = self.shape[axis];
+        let inner: usize = self.shape[axis + 1..].iter().product();
+        let mut out = vec![0.0f32; outer * inner];
+        for o in 0..outer {
+            for m in 0..mid {
+                let base = (o * mid + m) * inner;
+                let dst = &mut out[o * inner..(o + 1) * inner];
+                for (d, s) in dst.iter_mut().zip(&self.data[base..base + inner]) {
+                    *d += s;
+                }
+            }
+        }
+        let mut shape = self.shape.clone();
+        shape.remove(axis);
+        NdArray::from_vec(shape, out)
+    }
+
+    /// Mean over one axis, removing it.
+    pub fn mean_axis(&self, axis: usize) -> NdArray {
+        let d = self.shape[axis] as f32;
+        let mut s = self.sum_axis(axis);
+        s.map_inplace(|v| v / d);
+        s
+    }
+
+    /// Sum of all elements (scalar).
+    pub fn sum_all(&self) -> f32 {
+        // Pairwise-ish accumulation in f64 for stability on long buffers.
+        self.data.iter().map(|&v| v as f64).sum::<f64>() as f32
+    }
+
+    /// Mean of all elements.
+    pub fn mean_all(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum_all() / self.len() as f32
+        }
+    }
+}
+
+/// Row-major strides for a shape.
+pub fn contiguous_strides(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    strides
+}
+
+/// Strides of `shape` viewed through broadcast `out_shape` (0 where broadcast).
+fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usize> {
+    let nd = out_shape.len();
+    let offset = nd - shape.len();
+    let own = contiguous_strides(shape);
+    let mut strides = vec![0usize; nd];
+    for i in 0..shape.len() {
+        strides[offset + i] = if shape[i] == 1 { 0 } else { own[i] };
+    }
+    strides
+}
+
+/// Cache-friendly `i-k-j` matmul kernel writing into `out` (must be zeroed).
+fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_scalars() {
+        let a = NdArray::zeros(vec![2, 3]);
+        assert_eq!(a.shape(), &[2, 3]);
+        assert_eq!(a.len(), 6);
+        let s = NdArray::scalar(4.5);
+        assert_eq!(s.shape(), &[] as &[usize]);
+        assert_eq!(s.scalar_value(), 4.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn from_vec_rejects_mismatch() {
+        NdArray::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn copy_on_write() {
+        let a = NdArray::from_vec(vec![3], vec![1.0, 2.0, 3.0]);
+        let mut b = a.clone();
+        b.data_mut()[0] = 9.0;
+        assert_eq!(a.data()[0], 1.0);
+        assert_eq!(b.data()[0], 9.0);
+    }
+
+    #[test]
+    fn broadcast_shapes() {
+        assert_eq!(NdArray::broadcast_shape(&[2, 3], &[3]), vec![2, 3]);
+        assert_eq!(NdArray::broadcast_shape(&[4, 1, 3], &[2, 1]), vec![4, 2, 3]);
+        assert_eq!(NdArray::broadcast_shape(&[], &[5]), vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn broadcast_rejects_incompatible() {
+        NdArray::broadcast_shape(&[2, 3], &[4]);
+    }
+
+    #[test]
+    fn broadcast_zip_bias_pattern() {
+        let x = NdArray::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = NdArray::from_vec(vec![3], vec![10., 20., 30.]);
+        let y = x.broadcast_zip(&b, |a, b| a + b);
+        assert_eq!(y.data(), &[11., 22., 33., 14., 25., 36.]);
+    }
+
+    #[test]
+    fn broadcast_zip_middle_axis() {
+        // (2,1,2) * (1,3,1) -> (2,3,2)
+        let a = NdArray::from_vec(vec![2, 1, 2], vec![1., 2., 3., 4.]);
+        let b = NdArray::from_vec(vec![1, 3, 1], vec![1., 10., 100.]);
+        let y = a.broadcast_zip(&b, |x, y| x * y);
+        assert_eq!(y.shape(), &[2, 3, 2]);
+        assert_eq!(
+            y.data(),
+            &[1., 2., 10., 20., 100., 200., 3., 4., 30., 40., 300., 400.]
+        );
+    }
+
+    #[test]
+    fn reduce_to_shape_inverts_broadcast() {
+        let g = NdArray::ones(vec![4, 3]);
+        let r = g.reduce_to_shape(&[3]);
+        assert_eq!(r.data(), &[4., 4., 4.]);
+        let r2 = g.reduce_to_shape(&[4, 3]);
+        assert_eq!(r2.data(), g.data());
+        let r3 = NdArray::ones(vec![2, 3, 4]).reduce_to_shape(&[3, 1]);
+        assert_eq!(r3.shape(), &[3, 1]);
+        assert_eq!(r3.data(), &[8., 8., 8.]);
+    }
+
+    #[test]
+    fn matmul2d_known_values() {
+        let a = NdArray::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = NdArray::from_vec(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul2d(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn bmm_independent_batches() {
+        let a = NdArray::from_vec(vec![2, 1, 2], vec![1., 2., 3., 4.]);
+        let b = NdArray::from_vec(vec![2, 2, 1], vec![5., 6., 7., 8.]);
+        let c = a.bmm(&b);
+        assert_eq!(c.shape(), &[2, 1, 1]);
+        assert_eq!(c.data(), &[17., 53.]);
+    }
+
+    #[test]
+    fn permute_and_transpose() {
+        let a = NdArray::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let t = a.transpose_last2();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.data(), &[1., 4., 2., 5., 3., 6.]);
+        let b = NdArray::from_vec(vec![2, 2, 2], (0..8).map(|v| v as f32).collect());
+        let p = b.permute(&[2, 0, 1]);
+        assert_eq!(p.shape(), &[2, 2, 2]);
+        // p[i,j,k] = b[j,k,i]
+        assert_eq!(p.data(), &[0., 2., 4., 6., 1., 3., 5., 7.]);
+    }
+
+    #[test]
+    fn permute_roundtrip_inverse() {
+        let a = NdArray::from_vec(vec![2, 3, 4], (0..24).map(|v| v as f32).collect());
+        let p = a.permute(&[1, 2, 0]);
+        let back = p.permute(&[2, 0, 1]);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn axis_reductions() {
+        let a = NdArray::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.sum_axis(0).data(), &[5., 7., 9.]);
+        assert_eq!(a.sum_axis(1).data(), &[6., 15.]);
+        assert_eq!(a.mean_axis(1).data(), &[2., 5.]);
+        assert_eq!(a.sum_all(), 21.0);
+        assert!((a.mean_all() - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reshape_shares_and_checks() {
+        let a = NdArray::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = a.reshape(vec![3, 2]);
+        assert_eq!(b.shape(), &[3, 2]);
+        assert_eq!(b.data(), a.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape")]
+    fn reshape_rejects_bad_count() {
+        NdArray::zeros(vec![2, 3]).reshape(vec![4]);
+    }
+}

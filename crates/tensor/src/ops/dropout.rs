@@ -1,0 +1,102 @@
+//! Inverted dropout.
+
+use rand::Rng;
+
+use crate::ndarray::NdArray;
+use crate::tensor::{Op, Tensor};
+
+/// Inverted dropout: zero each element with probability `p` and scale the
+/// survivors by `1/(1-p)` so expectations are preserved.
+///
+/// Dropout is the source of the "model-level augmentation" of the paper's
+/// contrastive task (Section III-E): passing the same sequence through the
+/// network twice with independent dropout masks yields two semantically
+/// similar but numerically different views.
+///
+/// Callers implement eval mode by *not* applying dropout (there is no
+/// internal training flag).
+pub fn dropout(x: &Tensor, p: f32, rng: &mut impl Rng) -> Tensor {
+    assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1)");
+    if p == 0.0 {
+        // Identity but still a graph node, so callers can rely on a fresh tensor.
+        return crate::ops::scale(x, 1.0);
+    }
+    let keep = 1.0 - p;
+    let scale = 1.0 / keep;
+    let data = x.data();
+    let src = data.data();
+    let mut mask = vec![0.0f32; x.len()];
+    let mut out = vec![0.0f32; x.len()];
+    for i in 0..src.len() {
+        if rng.gen::<f32>() < keep {
+            mask[i] = scale;
+            out[i] = src[i] * scale;
+        }
+    }
+    let shape = x.shape();
+    drop(data);
+    Tensor::from_op(
+        NdArray::from_vec(shape.clone(), out),
+        vec![x.clone()],
+        Box::new(DropoutOp {
+            mask: NdArray::from_vec(shape, mask),
+        }),
+    )
+}
+
+struct DropoutOp {
+    mask: NdArray,
+}
+
+impl Op for DropoutOp {
+    fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
+        vec![Some(grad.zip_map(&self.mask, |g, m| g * m))]
+    }
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::sum_all;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_p_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::param(NdArray::from_vec(vec![4], vec![1., 2., 3., 4.]));
+        let y = dropout(&x, 0.0, &mut rng);
+        assert_eq!(y.value().data(), x.value().data());
+    }
+
+    #[test]
+    fn survivors_are_scaled_and_grad_matches_mask() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Tensor::param(NdArray::ones(vec![1000]));
+        let y = dropout(&x, 0.5, &mut rng);
+        let vals = y.value();
+        let kept = vals.data().iter().filter(|&&v| v != 0.0).count();
+        // Expect roughly half kept.
+        assert!((300..700).contains(&kept), "kept {kept}");
+        for &v in vals.data() {
+            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6);
+        }
+        sum_all(&y).backward();
+        let g = x.grad().unwrap();
+        for (gv, yv) in g.data().iter().zip(vals.data()) {
+            assert_eq!(*gv != 0.0, *yv != 0.0);
+        }
+    }
+
+    #[test]
+    fn expectation_roughly_preserved() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let x = Tensor::constant(NdArray::ones(vec![10_000]));
+        let y = dropout(&x, 0.3, &mut rng);
+        let mean = y.value().mean_all();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+}

@@ -1,0 +1,266 @@
+//! Elementwise arithmetic and activation ops (with NumPy broadcasting for
+//! the binary ones).
+
+use super::unary;
+use crate::ndarray::NdArray;
+use crate::tensor::{Op, Tensor};
+
+/// `a + b` with broadcasting.
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    let out = a.data().broadcast_zip(&b.data(), |x, y| x + y);
+    Tensor::from_op(
+        out,
+        vec![a.clone(), b.clone()],
+        Box::new(AddOp {
+            a_shape: a.shape(),
+            b_shape: b.shape(),
+            sign: 1.0,
+        }),
+    )
+}
+
+/// `a - b` with broadcasting.
+pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
+    let out = a.data().broadcast_zip(&b.data(), |x, y| x - y);
+    Tensor::from_op(
+        out,
+        vec![a.clone(), b.clone()],
+        Box::new(AddOp {
+            a_shape: a.shape(),
+            b_shape: b.shape(),
+            sign: -1.0,
+        }),
+    )
+}
+
+struct AddOp {
+    a_shape: Vec<usize>,
+    b_shape: Vec<usize>,
+    /// +1 for add, -1 for sub (applied to `b`'s gradient).
+    sign: f32,
+}
+
+impl Op for AddOp {
+    fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
+        let ga = grad.reduce_to_shape(&self.a_shape);
+        let mut gb = grad.reduce_to_shape(&self.b_shape);
+        if self.sign < 0.0 {
+            gb.map_inplace(|v| -v);
+        }
+        vec![Some(ga), Some(gb)]
+    }
+    fn name(&self) -> &'static str {
+        "add"
+    }
+}
+
+/// `a * b` elementwise with broadcasting.
+pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
+    let out = a.data().broadcast_zip(&b.data(), |x, y| x * y);
+    Tensor::from_op(
+        out,
+        vec![a.clone(), b.clone()],
+        Box::new(MulOp {
+            a: a.value(),
+            b: b.value(),
+        }),
+    )
+}
+
+struct MulOp {
+    a: NdArray,
+    b: NdArray,
+}
+
+impl Op for MulOp {
+    fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
+        let ga = grad
+            .broadcast_zip(&self.b, |g, b| g * b)
+            .reduce_to_shape(self.a.shape());
+        let gb = grad
+            .broadcast_zip(&self.a, |g, a| g * a)
+            .reduce_to_shape(self.b.shape());
+        vec![Some(ga), Some(gb)]
+    }
+    fn name(&self) -> &'static str {
+        "mul"
+    }
+}
+
+/// `-a`.
+pub fn neg(a: &Tensor) -> Tensor {
+    scale(a, -1.0)
+}
+
+/// `c * a` for a constant scalar `c`.
+pub fn scale(a: &Tensor, c: f32) -> Tensor {
+    let out = a.data().map(|v| v * c);
+    unary("scale", a, out, NdArray::scalar(c), |g, saved| {
+        let c = saved.scalar_value();
+        g.map(|v| v * c)
+    })
+}
+
+/// `a + c` for a constant scalar `c`.
+pub fn add_scalar(a: &Tensor, c: f32) -> Tensor {
+    let out = a.data().map(|v| v + c);
+    unary("add_scalar", a, out, NdArray::scalar(0.0), |g, _| g.clone())
+}
+
+/// `exp(a)`.
+pub fn exp(a: &Tensor) -> Tensor {
+    let out = a.data().map(f32::exp);
+    let saved = out.clone();
+    unary("exp", a, out, saved, |g, y| g.zip_map(y, |g, y| g * y))
+}
+
+/// `ln(max(a, 1e-12))` — clamped to keep gradients finite near zero.
+pub fn log(a: &Tensor) -> Tensor {
+    const EPS: f32 = 1e-12;
+    let out = a.data().map(|v| v.max(EPS).ln());
+    unary("log", a, out, a.value(), |g, x| {
+        g.zip_map(x, |g, x| g / x.max(EPS))
+    })
+}
+
+/// Logistic sigmoid `1 / (1 + e^{-a})`.
+pub fn sigmoid(a: &Tensor) -> Tensor {
+    let out = a.data().map(|v| 1.0 / (1.0 + (-v).exp()));
+    let saved = out.clone();
+    unary("sigmoid", a, out, saved, |g, y| {
+        g.zip_map(y, |g, y| g * y * (1.0 - y))
+    })
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(a: &Tensor) -> Tensor {
+    let out = a.data().map(f32::tanh);
+    let saved = out.clone();
+    unary("tanh", a, out, saved, |g, y| {
+        g.zip_map(y, |g, y| g * (1.0 - y * y))
+    })
+}
+
+/// Rectified linear unit.
+pub fn relu(a: &Tensor) -> Tensor {
+    let out = a.data().map(|v| v.max(0.0));
+    unary("relu", a, out, a.value(), |g, x| {
+        g.zip_map(x, |g, x| if x > 0.0 { g } else { 0.0 })
+    })
+}
+
+/// GELU activation (tanh approximation, as used by BERT/the paper's FFN,
+/// Eq. 29).
+pub fn gelu(a: &Tensor) -> Tensor {
+    let out = a.data().map(gelu_scalar);
+    unary("gelu", a, out, a.value(), |g, x| {
+        g.zip_map(x, |g, x| g * gelu_grad_scalar(x))
+    })
+}
+
+const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+const GELU_C: f32 = 0.044_715;
+
+fn gelu_scalar(x: f32) -> f32 {
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + GELU_C * x * x * x)).tanh())
+}
+
+fn gelu_grad_scalar(x: f32) -> f32 {
+    let u = SQRT_2_OVER_PI * (x + GELU_C * x * x * x);
+    let t = u.tanh();
+    let du = SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_C * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+/// Numerically-stable `softplus(a) = ln(1 + e^a)`.
+pub fn softplus(a: &Tensor) -> Tensor {
+    let out = a.data().map(softplus_scalar);
+    unary("softplus", a, out, a.value(), |g, x| {
+        g.zip_map(x, |g, x| g / (1.0 + (-x).exp()))
+    })
+}
+
+fn softplus_scalar(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        (1.0 + x.exp()).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: &[usize], data: &[f32]) -> Tensor {
+        Tensor::param(NdArray::from_vec(shape.to_vec(), data.to_vec()))
+    }
+
+    #[test]
+    fn add_broadcast_backward_reduces() {
+        let a = t(&[2, 3], &[1., 2., 3., 4., 5., 6.]);
+        let b = t(&[3], &[10., 20., 30.]);
+        let y = add(&a, &b);
+        assert_eq!(y.value().data(), &[11., 22., 33., 14., 25., 36.]);
+        let loss = sum_all_helper(&y);
+        loss.backward();
+        assert_eq!(a.grad().unwrap().data(), &[1.; 6]);
+        assert_eq!(b.grad().unwrap().data(), &[2., 2., 2.]);
+    }
+
+    #[test]
+    fn sub_backward_negates_rhs() {
+        let a = t(&[2], &[5., 6.]);
+        let b = t(&[2], &[1., 2.]);
+        let loss = sum_all_helper(&sub(&a, &b));
+        loss.backward();
+        assert_eq!(a.grad().unwrap().data(), &[1., 1.]);
+        assert_eq!(b.grad().unwrap().data(), &[-1., -1.]);
+    }
+
+    #[test]
+    fn mul_broadcast_grads() {
+        let a = t(&[2, 2], &[1., 2., 3., 4.]);
+        let b = t(&[2], &[10., 100.]);
+        let loss = sum_all_helper(&mul(&a, &b));
+        loss.backward();
+        assert_eq!(a.grad().unwrap().data(), &[10., 100., 10., 100.]);
+        assert_eq!(b.grad().unwrap().data(), &[4., 6.]);
+    }
+
+    #[test]
+    fn activation_values() {
+        let x = t(&[3], &[-1.0, 0.0, 2.0]);
+        assert_eq!(relu(&x).value().data(), &[0.0, 0.0, 2.0]);
+        let s = sigmoid(&x).value();
+        assert!((s.data()[1] - 0.5).abs() < 1e-6);
+        let th = tanh(&x).value();
+        assert!((th.data()[2] - 2.0f32.tanh()).abs() < 1e-6);
+        let g = gelu(&x).value();
+        assert!(g.data()[1].abs() < 1e-6); // gelu(0) = 0
+        assert!((g.data()[2] - 1.9545977).abs() < 1e-3); // gelu(2)
+    }
+
+    #[test]
+    fn softplus_extremes_are_stable() {
+        let x = t(&[3], &[-50.0, 0.0, 50.0]);
+        let y = softplus(&x).value();
+        assert!(y.data()[0] >= 0.0 && y.data()[0] < 1e-8);
+        assert!((y.data()[1] - (2.0f32).ln()).abs() < 1e-6);
+        assert!((y.data()[2] - 50.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn log_is_clamped() {
+        let x = t(&[2], &[0.0, 1.0]);
+        let y = log(&x).value();
+        assert!(y.data()[0].is_finite());
+        assert_eq!(y.data()[1], 0.0);
+    }
+
+    fn sum_all_helper(x: &Tensor) -> Tensor {
+        super::super::sum_all(x)
+    }
+}

@@ -1,0 +1,94 @@
+//! Embedding lookup (paper Eq. 9) with scatter-add backward.
+
+use crate::ndarray::NdArray;
+use crate::tensor::{Op, Tensor};
+
+/// Look up rows of `weight` (`[V, D]`) at `indices`, producing a tensor of
+/// shape `batch_shape + [D]`.
+///
+/// `indices.len()` must equal the product of `batch_shape`. The backward pass
+/// scatter-adds the output gradient into the rows of the weight gradient, so
+/// repeated indices accumulate.
+pub fn embedding(weight: &Tensor, indices: &[usize], batch_shape: &[usize]) -> Tensor {
+    let wshape = weight.shape();
+    assert_eq!(wshape.len(), 2, "embedding weight must be [V, D]");
+    let (v, d) = (wshape[0], wshape[1]);
+    let n: usize = batch_shape.iter().product();
+    assert_eq!(indices.len(), n, "indices length vs batch shape");
+    let data = weight.data();
+    let w = data.data();
+    let mut out = Vec::with_capacity(n * d);
+    for &idx in indices {
+        assert!(idx < v, "embedding index {idx} out of vocab {v}");
+        out.extend_from_slice(&w[idx * d..(idx + 1) * d]);
+    }
+    drop(data);
+    let mut out_shape = batch_shape.to_vec();
+    out_shape.push(d);
+    Tensor::from_op(
+        NdArray::from_vec(out_shape, out),
+        vec![weight.clone()],
+        Box::new(EmbeddingOp {
+            v,
+            d,
+            indices: indices.to_vec(),
+        }),
+    )
+}
+
+struct EmbeddingOp {
+    v: usize,
+    d: usize,
+    indices: Vec<usize>,
+}
+
+impl Op for EmbeddingOp {
+    fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
+        let g = grad.data();
+        let mut dw = vec![0.0f32; self.v * self.d];
+        for (row, &idx) in self.indices.iter().enumerate() {
+            let src = row * self.d;
+            let dst = idx * self.d;
+            for j in 0..self.d {
+                dw[dst + j] += g[src + j];
+            }
+        }
+        vec![Some(NdArray::from_vec(vec![self.v, self.d], dw))]
+    }
+    fn name(&self) -> &'static str {
+        "embedding"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::sum_all;
+
+    #[test]
+    fn lookup_shapes_and_values() {
+        let w = Tensor::param(NdArray::from_vec(
+            vec![3, 2],
+            vec![1., 2., 3., 4., 5., 6.],
+        ));
+        let e = embedding(&w, &[2, 0, 2, 1], &[2, 2]);
+        assert_eq!(e.shape(), vec![2, 2, 2]);
+        assert_eq!(e.value().data(), &[5., 6., 1., 2., 5., 6., 3., 4.]);
+    }
+
+    #[test]
+    fn repeated_indices_accumulate_grad() {
+        let w = Tensor::param(NdArray::zeros(vec![3, 2]));
+        let e = embedding(&w, &[1, 1, 0], &[3]);
+        sum_all(&e).backward();
+        let g = w.grad().unwrap();
+        assert_eq!(g.data(), &[1., 1., 2., 2., 0., 0.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocab")]
+    fn rejects_out_of_range_index() {
+        let w = Tensor::param(NdArray::zeros(vec![2, 2]));
+        embedding(&w, &[5], &[1]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Classification losses.
+
+use crate::ndarray::NdArray;
+use crate::tensor::{Op, Tensor};
+
+/// Mean softmax cross-entropy of `logits` (`[B, V]`) against integer
+/// `targets`.
+///
+/// This is the recommendation objective of the paper's Eq. 31–32 (softmax
+/// over the whole item set, negative log-likelihood of the ground-truth
+/// item) and also the InfoNCE objective of Eq. 34 when `logits` are
+/// similarity scores and `targets` index the positive column.
+pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> Tensor {
+    let shape = logits.shape();
+    assert_eq!(shape.len(), 2, "cross_entropy expects [B, V] logits");
+    let (b, v) = (shape[0], shape[1]);
+    assert_eq!(targets.len(), b, "one target per row");
+    let data = logits.data();
+    let src = data.data();
+    let mut loss = 0.0f64;
+    let mut softmax = vec![0.0f32; b * v];
+    for r in 0..b {
+        let row = &src[r * v..(r + 1) * v];
+        let t = targets[r];
+        assert!(t < v, "target {t} out of range {v}");
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for (o, &x) in softmax[r * v..(r + 1) * v].iter_mut().zip(row) {
+            let e = (x - max).exp();
+            *o = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for o in softmax[r * v..(r + 1) * v].iter_mut() {
+            *o *= inv;
+        }
+        let lse = max + sum.ln();
+        loss += (lse - row[t]) as f64;
+    }
+    drop(data);
+    let loss = (loss / b as f64) as f32;
+    Tensor::from_op(
+        NdArray::scalar(loss),
+        vec![logits.clone()],
+        Box::new(CrossEntropyOp {
+            softmax: NdArray::from_vec(vec![b, v], softmax),
+            targets: targets.to_vec(),
+        }),
+    )
+}
+
+struct CrossEntropyOp {
+    softmax: NdArray,
+    targets: Vec<usize>,
+}
+
+impl Op for CrossEntropyOp {
+    fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
+        let g = grad.scalar_value();
+        let shape = self.softmax.shape().to_vec();
+        let (b, v) = (shape[0], shape[1]);
+        let scale = g / b as f32;
+        let mut dx = self.softmax.data().to_vec();
+        for (r, &t) in self.targets.iter().enumerate() {
+            dx[r * v + t] -= 1.0;
+        }
+        for d in dx.iter_mut() {
+            *d *= scale;
+        }
+        vec![Some(NdArray::from_vec(shape, dx))]
+    }
+    fn name(&self) -> &'static str {
+        "cross_entropy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_v() {
+        let logits = Tensor::param(NdArray::zeros(vec![2, 4]));
+        let loss = cross_entropy(&logits, &[0, 3]);
+        assert!((loss.item() - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn perfect_logits_give_near_zero_loss() {
+        let mut data = vec![0.0f32; 8];
+        data[1] = 50.0; // row 0 target 1
+        data[4 + 2] = 50.0; // row 1 target 2
+        let logits = Tensor::param(NdArray::from_vec(vec![2, 4], data));
+        let loss = cross_entropy(&logits, &[1, 2]);
+        assert!(loss.item() < 1e-4);
+    }
+
+    #[test]
+    fn gradient_is_softmax_minus_onehot_over_b() {
+        let logits = Tensor::param(NdArray::zeros(vec![1, 2]));
+        cross_entropy(&logits, &[0]).backward();
+        let g = logits.grad().unwrap();
+        assert!((g.data()[0] + 0.5).abs() < 1e-6);
+        assert!((g.data()[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn loss_decreases_with_one_sgd_step() {
+        let logits = Tensor::param(NdArray::from_vec(vec![1, 3], vec![0.1, 0.0, -0.1]));
+        let before = cross_entropy(&logits, &[2]);
+        before.backward();
+        let g = logits.grad().unwrap();
+        let stepped: Vec<f32> = logits
+            .value()
+            .data()
+            .iter()
+            .zip(g.data())
+            .map(|(v, gv)| v - 1.0 * gv)
+            .collect();
+        let after = cross_entropy(
+            &Tensor::param(NdArray::from_vec(vec![1, 3], stepped)),
+            &[2],
+        );
+        assert!(after.item() < before.item());
+    }
+}

@@ -1,0 +1,96 @@
+//! Matrix-multiplication ops.
+
+use crate::ndarray::NdArray;
+use crate::tensor::{Op, Tensor};
+
+/// 2-D matrix multiply `[m,k] x [k,n] -> [m,n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let out = a.data().matmul2d(&b.data());
+    Tensor::from_op(
+        out,
+        vec![a.clone(), b.clone()],
+        Box::new(MatMulOp {
+            a: a.value(),
+            b: b.value(),
+        }),
+    )
+}
+
+struct MatMulOp {
+    a: NdArray,
+    b: NdArray,
+}
+
+impl Op for MatMulOp {
+    fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
+        // dA = G B^T ; dB = A^T G
+        let ga = grad.matmul2d(&self.b.transpose_last2());
+        let gb = self.a.transpose_last2().matmul2d(grad);
+        vec![Some(ga), Some(gb)]
+    }
+    fn name(&self) -> &'static str {
+        "matmul"
+    }
+}
+
+/// Batched matrix multiply `[b,m,k] x [b,k,n] -> [b,m,n]`.
+pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
+    let out = a.data().bmm(&b.data());
+    Tensor::from_op(
+        out,
+        vec![a.clone(), b.clone()],
+        Box::new(BmmOp {
+            a: a.value(),
+            b: b.value(),
+        }),
+    )
+}
+
+struct BmmOp {
+    a: NdArray,
+    b: NdArray,
+}
+
+impl Op for BmmOp {
+    fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
+        let ga = grad.bmm(&self.b.transpose_last2());
+        let gb = self.a.transpose_last2().bmm(grad);
+        vec![Some(ga), Some(gb)]
+    }
+    fn name(&self) -> &'static str {
+        "bmm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::sum_all;
+
+    #[test]
+    fn matmul_forward_and_grads() {
+        let a = Tensor::param(NdArray::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]));
+        let b = Tensor::param(NdArray::from_vec(
+            vec![3, 2],
+            vec![7., 8., 9., 10., 11., 12.],
+        ));
+        let y = matmul(&a, &b);
+        assert_eq!(y.value().data(), &[58., 64., 139., 154.]);
+        sum_all(&y).backward();
+        // dA = 1s (2x2) @ B^T: each row = [col-sums of B rows] = [15, 19, 23]
+        assert_eq!(a.grad().unwrap().data(), &[15., 19., 23., 15., 19., 23.]);
+        // dB = A^T @ 1s: row i = [sum of A col i] repeated
+        assert_eq!(b.grad().unwrap().data(), &[5., 5., 7., 7., 9., 9.]);
+    }
+
+    #[test]
+    fn bmm_batches_are_independent() {
+        let a = Tensor::param(NdArray::from_vec(vec![2, 1, 2], vec![1., 2., 3., 4.]));
+        let b = Tensor::param(NdArray::from_vec(vec![2, 2, 1], vec![5., 6., 7., 8.]));
+        let y = bmm(&a, &b);
+        assert_eq!(y.value().data(), &[17., 53.]);
+        sum_all(&y).backward();
+        assert_eq!(a.grad().unwrap().data(), &[5., 6., 7., 8.]);
+        assert_eq!(b.grad().unwrap().data(), &[1., 2., 3., 4.]);
+    }
+}

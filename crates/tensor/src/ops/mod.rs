@@ -1,0 +1,63 @@
+//! Differentiable operations.
+//!
+//! Every function here builds a graph node: it computes the forward value
+//! eagerly and records an [`Op`](crate::tensor::Op) whose `backward` produces
+//! the vector-Jacobian products for its parents. All ops are validated
+//! against finite differences in `tests/gradcheck.rs`.
+
+mod dropout;
+mod elementwise;
+mod embedding;
+mod loss;
+mod matmul;
+mod norm;
+mod reduce;
+mod shape;
+mod softmax;
+mod spectral;
+
+pub use dropout::dropout;
+pub use elementwise::{
+    add, add_scalar, exp, gelu, log, mul, neg, relu, scale, sigmoid, softplus, sub, tanh,
+};
+pub use embedding::embedding;
+pub use loss::cross_entropy;
+pub use matmul::{bmm, matmul};
+pub use norm::{l2_normalize, layer_norm};
+pub use reduce::{mean_all, mean_axis, sum_all, sum_axis};
+pub use shape::{concat, gather_positions, index_axis, permute, reshape, slice_axis, unfold_time};
+pub use softmax::{log_softmax, softmax};
+pub use spectral::{spectral_filter, spectral_filter_mix, SpectralBranch};
+
+use crate::ndarray::NdArray;
+use crate::tensor::{Op, Tensor};
+
+/// A unary op saving one array, with the VJP given as a closure
+/// `(grad_out, saved) -> grad_in`.
+pub(crate) struct Unary<F>
+where
+    F: Fn(&NdArray, &NdArray) -> NdArray,
+{
+    name: &'static str,
+    saved: NdArray,
+    vjp: F,
+}
+
+impl<F> Op for Unary<F>
+where
+    F: Fn(&NdArray, &NdArray) -> NdArray,
+{
+    fn backward(&self, grad_out: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
+        vec![Some((self.vjp)(grad_out, &self.saved))]
+    }
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+pub(crate) fn unary<F>(name: &'static str, x: &Tensor, out: NdArray, saved: NdArray, vjp: F) -> Tensor
+where
+    F: Fn(&NdArray, &NdArray) -> NdArray + 'static,
+{
+    Tensor::from_op(out, vec![x.clone()], Box::new(Unary { name, saved, vjp }))
+}

@@ -1,0 +1,222 @@
+//! Normalization ops: layer normalization (paper Eq. 10/28/30) and L2
+//! normalization (used by the contrastive similarity).
+
+use crate::ndarray::NdArray;
+use crate::tensor::{Op, Tensor};
+
+/// Layer normalization over the last dimension:
+/// `y = (x - mean) / sqrt(var + eps) * gamma + beta`.
+///
+/// `gamma` and `beta` must be 1-D of the last-dim size.
+pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
+    let shape = x.shape();
+    let d = *shape.last().expect("layer_norm needs >= 1 dim");
+    assert_eq!(gamma.shape(), vec![d], "gamma shape");
+    assert_eq!(beta.shape(), vec![d], "beta shape");
+    let rows = x.len() / d;
+    let data = x.data();
+    let src = data.data();
+    let gdata = gamma.data();
+    let gw = gdata.data();
+    let bdata = beta.data();
+    let bw = bdata.data();
+    let mut out = vec![0.0f32; x.len()];
+    let mut xhat = vec![0.0f32; x.len()];
+    let mut inv_std = vec![0.0f32; rows];
+    for r in 0..rows {
+        let row = &src[r * d..(r + 1) * d];
+        let mean = row.iter().sum::<f32>() / d as f32;
+        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let istd = 1.0 / (var + eps).sqrt();
+        inv_std[r] = istd;
+        for j in 0..d {
+            let xh = (row[j] - mean) * istd;
+            xhat[r * d + j] = xh;
+            out[r * d + j] = xh * gw[j] + bw[j];
+        }
+    }
+    drop(data);
+    drop(gdata);
+    drop(bdata);
+    Tensor::from_op(
+        NdArray::from_vec(shape.clone(), out),
+        vec![x.clone(), gamma.clone(), beta.clone()],
+        Box::new(LayerNormOp {
+            xhat: NdArray::from_vec(shape, xhat),
+            inv_std,
+            gamma: gamma.value(),
+        }),
+    )
+}
+
+struct LayerNormOp {
+    xhat: NdArray,
+    inv_std: Vec<f32>,
+    gamma: NdArray,
+}
+
+impl Op for LayerNormOp {
+    fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
+        let d = *self.xhat.shape().last().unwrap();
+        let rows = self.xhat.len() / d;
+        let xh = self.xhat.data();
+        let g = grad.data();
+        let gw = self.gamma.data();
+        let mut dx = vec![0.0f32; self.xhat.len()];
+        let mut dgamma = vec![0.0f32; d];
+        let mut dbeta = vec![0.0f32; d];
+        for r in 0..rows {
+            let base = r * d;
+            // dxhat = g * gamma
+            let mut mean_dxhat = 0.0f32;
+            let mut mean_dxhat_xhat = 0.0f32;
+            for j in 0..d {
+                let dxh = g[base + j] * gw[j];
+                mean_dxhat += dxh;
+                mean_dxhat_xhat += dxh * xh[base + j];
+                dgamma[j] += g[base + j] * xh[base + j];
+                dbeta[j] += g[base + j];
+            }
+            mean_dxhat /= d as f32;
+            mean_dxhat_xhat /= d as f32;
+            let istd = self.inv_std[r];
+            for j in 0..d {
+                let dxh = g[base + j] * gw[j];
+                dx[base + j] = istd * (dxh - mean_dxhat - xh[base + j] * mean_dxhat_xhat);
+            }
+        }
+        vec![
+            Some(NdArray::from_vec(self.xhat.shape().to_vec(), dx)),
+            Some(NdArray::from_vec(vec![d], dgamma)),
+            Some(NdArray::from_vec(vec![d], dbeta)),
+        ]
+    }
+    fn name(&self) -> &'static str {
+        "layer_norm"
+    }
+}
+
+/// L2-normalize each row of the last dimension: `y = x / max(||x||, eps)`.
+pub fn l2_normalize(x: &Tensor, eps: f32) -> Tensor {
+    let shape = x.shape();
+    let d = *shape.last().expect("l2_normalize needs >= 1 dim");
+    let rows = x.len() / d;
+    let data = x.data();
+    let src = data.data();
+    let mut out = vec![0.0f32; x.len()];
+    let mut inv_norm = vec![0.0f32; rows];
+    for r in 0..rows {
+        let row = &src[r * d..(r + 1) * d];
+        let norm = row.iter().map(|&v| v * v).sum::<f32>().sqrt().max(eps);
+        let inv = 1.0 / norm;
+        inv_norm[r] = inv;
+        for j in 0..d {
+            out[r * d + j] = row[j] * inv;
+        }
+    }
+    drop(data);
+    let out = NdArray::from_vec(shape, out);
+    let y = out.clone();
+    Tensor::from_op(
+        out,
+        vec![x.clone()],
+        Box::new(L2NormalizeOp { y, inv_norm }),
+    )
+}
+
+struct L2NormalizeOp {
+    y: NdArray,
+    inv_norm: Vec<f32>,
+}
+
+impl Op for L2NormalizeOp {
+    fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
+        // dx = (g - y * (y . g)) / ||x||
+        let d = *self.y.shape().last().unwrap();
+        let rows = self.y.len() / d;
+        let y = self.y.data();
+        let g = grad.data();
+        let mut dx = vec![0.0f32; self.y.len()];
+        for r in 0..rows {
+            let base = r * d;
+            let dot: f32 = (0..d).map(|j| y[base + j] * g[base + j]).sum();
+            let inv = self.inv_norm[r];
+            for j in 0..d {
+                dx[base + j] = (g[base + j] - y[base + j] * dot) * inv;
+            }
+        }
+        vec![Some(NdArray::from_vec(self.y.shape().to_vec(), dx))]
+    }
+    fn name(&self) -> &'static str {
+        "l2_normalize"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::sum_all;
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let x = Tensor::constant(NdArray::from_vec(vec![2, 4], vec![1., 2., 3., 4., -2., 0., 2., 8.]));
+        let gamma = Tensor::constant(NdArray::ones(vec![4]));
+        let beta = Tensor::constant(NdArray::zeros(vec![4]));
+        let y = layer_norm(&x, &gamma, &beta, 1e-5).value();
+        for r in 0..2 {
+            let row = &y.data()[r * 4..(r + 1) * 4];
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn layer_norm_affine_params() {
+        let x = Tensor::constant(NdArray::from_vec(vec![1, 2], vec![0., 2.]));
+        let gamma = Tensor::constant(NdArray::from_vec(vec![2], vec![2.0, 2.0]));
+        let beta = Tensor::constant(NdArray::from_vec(vec![2], vec![1.0, 1.0]));
+        let y = layer_norm(&x, &gamma, &beta, 1e-8).value();
+        // normalized = [-1, 1] -> *2 + 1 = [-1, 3]
+        assert!((y.data()[0] + 1.0).abs() < 1e-3);
+        assert!((y.data()[1] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layer_norm_input_grad_is_orthogonal_to_constants() {
+        // Shifting the input by a constant doesn't change the output, so the
+        // gradient must sum to ~0 per row.
+        let x = Tensor::param(NdArray::from_vec(vec![1, 4], vec![0.5, -1.0, 2.0, 0.3]));
+        let gamma = Tensor::constant(NdArray::from_vec(vec![4], vec![1.5, 0.5, 2.0, 1.0]));
+        let beta = Tensor::constant(NdArray::zeros(vec![4]));
+        let y = layer_norm(&x, &gamma, &beta, 1e-5);
+        // Weighted sum so the grad is nontrivial.
+        let w = Tensor::constant(NdArray::from_vec(vec![1, 4], vec![1.0, -2.0, 0.5, 3.0]));
+        sum_all(&crate::ops::mul(&y, &w)).backward();
+        let g = x.grad().unwrap();
+        let s: f32 = g.data().iter().sum();
+        assert!(s.abs() < 1e-4, "grad sum {s}");
+    }
+
+    #[test]
+    fn l2_normalize_unit_norm() {
+        let x = Tensor::constant(NdArray::from_vec(vec![2, 2], vec![3., 4., 0., 5.]));
+        let y = l2_normalize(&x, 1e-12).value();
+        assert!((y.data()[0] - 0.6).abs() < 1e-6);
+        assert!((y.data()[1] - 0.8).abs() < 1e-6);
+        assert!((y.data()[3] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l2_normalize_grad_orthogonal_to_direction() {
+        // y has constant norm, so gradient of any function through y is
+        // orthogonal to x: x . dx = 0.
+        let x = Tensor::param(NdArray::from_vec(vec![1, 3], vec![1.0, 2.0, -0.5]));
+        let w = Tensor::constant(NdArray::from_vec(vec![1, 3], vec![0.2, -1.0, 0.7]));
+        sum_all(&crate::ops::mul(&l2_normalize(&x, 1e-12), &w)).backward();
+        let g = x.grad().unwrap();
+        let dot = g.data()[0] * 1.0 + g.data()[1] * 2.0 + g.data()[2] * -0.5;
+        assert!(dot.abs() < 1e-5, "x.dx = {dot}");
+    }
+}

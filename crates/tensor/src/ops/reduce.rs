@@ -1,0 +1,146 @@
+//! Reduction ops.
+
+use crate::ndarray::{numel, NdArray};
+use crate::tensor::{Op, Tensor};
+
+/// Sum of all elements (scalar output, shape `[]`).
+pub fn sum_all(x: &Tensor) -> Tensor {
+    let out = NdArray::scalar(x.data().sum_all());
+    Tensor::from_op(
+        out,
+        vec![x.clone()],
+        Box::new(FullReduceOp {
+            shape: x.shape(),
+            scale: 1.0,
+            name: "sum_all",
+        }),
+    )
+}
+
+/// Mean of all elements (scalar output).
+pub fn mean_all(x: &Tensor) -> Tensor {
+    let n = x.len().max(1);
+    let out = NdArray::scalar(x.data().mean_all());
+    Tensor::from_op(
+        out,
+        vec![x.clone()],
+        Box::new(FullReduceOp {
+            shape: x.shape(),
+            scale: 1.0 / n as f32,
+            name: "mean_all",
+        }),
+    )
+}
+
+struct FullReduceOp {
+    shape: Vec<usize>,
+    scale: f32,
+    name: &'static str,
+}
+
+impl Op for FullReduceOp {
+    fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
+        let g = grad.scalar_value() * self.scale;
+        vec![Some(NdArray::full(self.shape.clone(), g))]
+    }
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Sum over `axis`, removing it.
+pub fn sum_axis(x: &Tensor, axis: usize) -> Tensor {
+    let out = x.data().sum_axis(axis);
+    Tensor::from_op(
+        out,
+        vec![x.clone()],
+        Box::new(AxisReduceOp {
+            shape: x.shape(),
+            axis,
+            scale: 1.0,
+            name: "sum_axis",
+        }),
+    )
+}
+
+/// Mean over `axis`, removing it.
+pub fn mean_axis(x: &Tensor, axis: usize) -> Tensor {
+    let out = x.data().mean_axis(axis);
+    let d = x.shape()[axis] as f32;
+    Tensor::from_op(
+        out,
+        vec![x.clone()],
+        Box::new(AxisReduceOp {
+            shape: x.shape(),
+            axis,
+            scale: 1.0 / d,
+            name: "mean_axis",
+        }),
+    )
+}
+
+struct AxisReduceOp {
+    shape: Vec<usize>,
+    axis: usize,
+    scale: f32,
+    name: &'static str,
+}
+
+impl Op for AxisReduceOp {
+    fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
+        // Broadcast the reduced gradient back along the removed axis.
+        let outer: usize = self.shape[..self.axis].iter().product();
+        let mid = self.shape[self.axis];
+        let inner: usize = self.shape[self.axis + 1..].iter().product();
+        let gdata = grad.data();
+        let mut out = vec![0.0f32; numel(&self.shape)];
+        for o in 0..outer {
+            let src = &gdata[o * inner..(o + 1) * inner];
+            for m in 0..mid {
+                let base = (o * mid + m) * inner;
+                for (d, s) in out[base..base + inner].iter_mut().zip(src) {
+                    *d = s * self.scale;
+                }
+            }
+        }
+        vec![Some(NdArray::from_vec(self.shape.clone(), out))]
+    }
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_mean_all() {
+        let x = Tensor::param(NdArray::from_vec(vec![2, 2], vec![1., 2., 3., 4.]));
+        let s = sum_all(&x);
+        assert_eq!(s.item(), 10.0);
+        s.backward();
+        assert_eq!(x.grad().unwrap().data(), &[1.; 4]);
+        x.zero_grad();
+        let m = mean_all(&x);
+        assert_eq!(m.item(), 2.5);
+        m.backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.25; 4]);
+    }
+
+    #[test]
+    fn axis_reductions_and_grads() {
+        let x = Tensor::param(NdArray::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]));
+        let s = sum_axis(&x, 0);
+        assert_eq!(s.value().data(), &[5., 7., 9.]);
+        sum_all(&s).backward();
+        assert_eq!(x.grad().unwrap().data(), &[1.; 6]);
+        x.zero_grad();
+        let m = mean_axis(&x, 1);
+        assert_eq!(m.value().data(), &[2., 5.]);
+        sum_all(&m).backward();
+        for g in x.grad().unwrap().data() {
+            assert!((g - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+}

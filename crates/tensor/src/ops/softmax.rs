@@ -1,0 +1,160 @@
+//! Softmax and log-softmax over the last dimension.
+
+use crate::ndarray::NdArray;
+use crate::tensor::{Op, Tensor};
+
+/// Numerically-stable softmax over the last dimension.
+pub fn softmax(x: &Tensor) -> Tensor {
+    let out = softmax_forward(&x.data());
+    let saved = out.clone();
+    Tensor::from_op(out, vec![x.clone()], Box::new(SoftmaxOp { y: saved }))
+}
+
+pub(crate) fn softmax_forward(x: &NdArray) -> NdArray {
+    let shape = x.shape().to_vec();
+    let d = *shape.last().expect("softmax needs >= 1 dim");
+    let rows = x.len() / d.max(1);
+    let src = x.data();
+    let mut out = vec![0.0f32; x.len()];
+    for r in 0..rows {
+        let row = &src[r * d..(r + 1) * d];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        let dst = &mut out[r * d..(r + 1) * d];
+        for (o, &v) in dst.iter_mut().zip(row) {
+            let e = (v - max).exp();
+            *o = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for o in dst.iter_mut() {
+            *o *= inv;
+        }
+    }
+    NdArray::from_vec(shape, out)
+}
+
+struct SoftmaxOp {
+    y: NdArray,
+}
+
+impl Op for SoftmaxOp {
+    fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
+        // dx = y * (g - sum(g * y, last))
+        let d = *self.y.shape().last().unwrap();
+        let rows = self.y.len() / d;
+        let y = self.y.data();
+        let g = grad.data();
+        let mut out = vec![0.0f32; self.y.len()];
+        for r in 0..rows {
+            let yr = &y[r * d..(r + 1) * d];
+            let gr = &g[r * d..(r + 1) * d];
+            let dot: f32 = yr.iter().zip(gr).map(|(&a, &b)| a * b).sum();
+            for ((o, &yv), &gv) in out[r * d..(r + 1) * d].iter_mut().zip(yr).zip(gr) {
+                *o = yv * (gv - dot);
+            }
+        }
+        vec![Some(NdArray::from_vec(self.y.shape().to_vec(), out))]
+    }
+    fn name(&self) -> &'static str {
+        "softmax"
+    }
+}
+
+/// Numerically-stable log-softmax over the last dimension.
+pub fn log_softmax(x: &Tensor) -> Tensor {
+    let shape = x.shape();
+    let d = *shape.last().expect("log_softmax needs >= 1 dim");
+    let rows = x.len() / d.max(1);
+    let data = x.data();
+    let src = data.data();
+    let mut out = vec![0.0f32; x.len()];
+    for r in 0..rows {
+        let row = &src[r * d..(r + 1) * d];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = max + row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln();
+        for (o, &v) in out[r * d..(r + 1) * d].iter_mut().zip(row) {
+            *o = v - lse;
+        }
+    }
+    drop(data);
+    let out = NdArray::from_vec(shape, out);
+    let softmax = out.map(f32::exp);
+    Tensor::from_op(out, vec![x.clone()], Box::new(LogSoftmaxOp { softmax }))
+}
+
+struct LogSoftmaxOp {
+    softmax: NdArray,
+}
+
+impl Op for LogSoftmaxOp {
+    fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
+        // dx = g - softmax * sum(g, last)
+        let d = *self.softmax.shape().last().unwrap();
+        let rows = self.softmax.len() / d;
+        let s = self.softmax.data();
+        let g = grad.data();
+        let mut out = vec![0.0f32; self.softmax.len()];
+        for r in 0..rows {
+            let gr = &g[r * d..(r + 1) * d];
+            let sr = &s[r * d..(r + 1) * d];
+            let gsum: f32 = gr.iter().sum();
+            for ((o, &gv), &sv) in out[r * d..(r + 1) * d].iter_mut().zip(gr).zip(sr) {
+                *o = gv - sv * gsum;
+            }
+        }
+        vec![Some(NdArray::from_vec(self.softmax.shape().to_vec(), out))]
+    }
+    fn name(&self) -> &'static str {
+        "log_softmax"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::sum_all;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::constant(NdArray::from_vec(vec![2, 3], vec![1., 2., 3., -1., 0., 1.]));
+        let y = softmax(&x).value();
+        for r in 0..2 {
+            let s: f32 = y.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Monotone in logits.
+        assert!(y.data()[0] < y.data()[1] && y.data()[1] < y.data()[2]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::constant(NdArray::from_vec(vec![3], vec![1., 2., 3.]));
+        let b = Tensor::constant(NdArray::from_vec(vec![3], vec![1001., 1002., 1003.]));
+        let ya = softmax(&a).value();
+        let yb = softmax(&b).value();
+        for (u, v) in ya.data().iter().zip(yb.data()) {
+            assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let x = Tensor::constant(NdArray::from_vec(vec![4], vec![0.5, -1.0, 2.0, 0.0]));
+        let ls = log_softmax(&x).value();
+        let s = softmax(&x).value();
+        for (a, b) in ls.data().iter().zip(s.data()) {
+            assert!((a - b.ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_grad_sums_to_zero_per_row() {
+        // d(sum softmax)/dx = 0 because rows always sum to 1.
+        let x = Tensor::param(NdArray::from_vec(vec![1, 3], vec![0.3, -0.2, 1.0]));
+        sum_all(&softmax(&x)).backward();
+        let g = x.grad().unwrap();
+        let s: f32 = g.data().iter().sum();
+        assert!(s.abs() < 1e-5, "grad sum {s}");
+    }
+}

@@ -1,0 +1,440 @@
+//! The fused frequency-domain filter op at the heart of SLIME4Rec.
+//!
+//! Forward (paper Eqs. 12, 21, 25–27):
+//!
+//! ```text
+//! X        = rfft(x)                          x: [B, N, D], X: [B, M, D] complex, M = N/2+1
+//! F[k,c]   = sum_i coef_i * mask_i[k] * W_i[k,c]    (learnable complex filters W_i)
+//! Y[k,c]   = X[k,c] * F[k,c]                  (elementwise complex product)
+//! y        = irfft(Y)                         y: [B, N, D] real
+//! ```
+//!
+//! With two branches — the Dynamic Frequency Selection filter at coefficient
+//! `1 - gamma` and the Static Frequency Split filter at `gamma` — this is
+//! exactly the paper's filter mixer. With one all-ones mask branch it is
+//! FMLP-Rec's global filter.
+//!
+//! Backward (derived from the adjoints of the real FFT pair; all verified by
+//! finite differences in `tests/gradcheck.rs`):
+//!
+//! ```text
+//! G[b,k,c]     = (c_k / N) * rfft(grad_y[b,:,c])[k]   c_k = 1 at k = 0 and k = N/2 (even N), else 2
+//!                with Im(G) zeroed at k = 0 and the even-N Nyquist bin
+//! grad_X       = G * conj(F)
+//! grad_W_i     = coef_i * mask_i[k] * sum_b G * conj(X)
+//! grad_x[b,:,c]= Re( unnormalized-inverse-FFT( zero-pad(grad_X[b,:,c], N) ) )
+//! ```
+
+use slime_fft::{Complex32, FftPlan};
+
+use crate::ndarray::NdArray;
+use crate::tensor::{Op, Tensor};
+
+/// One learnable filter branch of the mixer.
+#[derive(Clone)]
+pub struct SpectralBranch {
+    /// Real part of the complex filter, shape `[M, D]`.
+    pub w_re: Tensor,
+    /// Imaginary part of the complex filter, shape `[M, D]`.
+    pub w_im: Tensor,
+    /// Frequency indicator window `sigma[k]` (paper Eq. 15/16), length `M`.
+    pub mask: Vec<f32>,
+    /// Mixing coefficient (`1 - gamma` for DFS, `gamma` for SFS; Eq. 26).
+    pub coef: f32,
+}
+
+/// Apply a single learnable frequency filter (FMLP-Rec's global filter when
+/// `mask` is all ones).
+pub fn spectral_filter(x: &Tensor, w_re: &Tensor, w_im: &Tensor, mask: &[f32]) -> Tensor {
+    spectral_filter_mix(
+        x,
+        &[SpectralBranch {
+            w_re: w_re.clone(),
+            w_im: w_im.clone(),
+            mask: mask.to_vec(),
+            coef: 1.0,
+        }],
+    )
+}
+
+/// Apply a mixture of masked learnable frequency filters along the time axis
+/// of a `[B, N, D]` tensor.
+#[allow(clippy::needless_range_loop)] // strided gather/scatter over (b, k, c) planes
+pub fn spectral_filter_mix(x: &Tensor, branches: &[SpectralBranch]) -> Tensor {
+    assert!(!branches.is_empty(), "need at least one filter branch");
+    let shape = x.shape();
+    assert_eq!(shape.len(), 3, "spectral filter expects [B, N, D]");
+    let (b, n, d) = (shape[0], shape[1], shape[2]);
+    assert!(n >= 1, "empty time axis");
+    let m = n / 2 + 1;
+    for (i, br) in branches.iter().enumerate() {
+        assert_eq!(br.w_re.shape(), vec![m, d], "branch {i} w_re shape");
+        assert_eq!(br.w_im.shape(), vec![m, d], "branch {i} w_im shape");
+        assert_eq!(br.mask.len(), m, "branch {i} mask length");
+    }
+
+    let plan = FftPlan::new(n);
+
+    // X = rfft(x) along the time axis, stored as [B, M, D] real/imag planes.
+    let data = x.data();
+    let src = data.data();
+    let mut xre = vec![0.0f32; b * m * d];
+    let mut xim = vec![0.0f32; b * m * d];
+    let mut buf = vec![Complex32::ZERO; n];
+    for bi in 0..b {
+        for c in 0..d {
+            for (t, slot) in buf.iter_mut().enumerate() {
+                *slot = Complex32::new(src[(bi * n + t) * d + c], 0.0);
+            }
+            plan.forward(&mut buf);
+            for k in 0..m {
+                xre[(bi * m + k) * d + c] = buf[k].re;
+                xim[(bi * m + k) * d + c] = buf[k].im;
+            }
+        }
+    }
+    drop(data);
+
+    // Effective filter F[k,c].
+    let (fre, fim) = effective_filter(branches, m, d);
+
+    // Y = X * F, then y = irfft(Y).
+    let mut out = vec![0.0f32; b * n * d];
+    for bi in 0..b {
+        for c in 0..d {
+            for k in 0..m {
+                let xi = (bi * m + k) * d + c;
+                let wi = k * d + c;
+                buf[k] = Complex32::new(
+                    xre[xi] * fre[wi] - xim[xi] * fim[wi],
+                    xre[xi] * fim[wi] + xim[xi] * fre[wi],
+                );
+            }
+            // Conjugate-symmetric extension with DC/Nyquist projection.
+            buf[0] = Complex32::new(buf[0].re, 0.0);
+            if n % 2 == 0 {
+                buf[m - 1] = Complex32::new(buf[m - 1].re, 0.0);
+            }
+            for k in 1..m {
+                if n - k >= m {
+                    buf[n - k] = buf[k].conj();
+                }
+            }
+            plan.inverse(&mut buf);
+            for t in 0..n {
+                out[(bi * n + t) * d + c] = buf[t].re;
+            }
+        }
+    }
+
+    let mut parents = Vec::with_capacity(1 + branches.len() * 2);
+    parents.push(x.clone());
+    for br in branches {
+        parents.push(br.w_re.clone());
+        parents.push(br.w_im.clone());
+    }
+    Tensor::from_op(
+        NdArray::from_vec(vec![b, n, d], out),
+        parents,
+        Box::new(SpectralOp {
+            b,
+            n,
+            d,
+            xre,
+            xim,
+            masks: branches.iter().map(|br| br.mask.clone()).collect(),
+            coefs: branches.iter().map(|br| br.coef).collect(),
+        }),
+    )
+}
+
+/// `F[k,c] = sum_i coef_i * mask_i[k] * W_i[k,c]` from branch tensors.
+fn effective_filter_from(
+    masks: &[Vec<f32>],
+    coefs: &[f32],
+    weights: &[(NdArray, NdArray)],
+    m: usize,
+    d: usize,
+) -> (Vec<f32>, Vec<f32>) {
+    let mut fre = vec![0.0f32; m * d];
+    let mut fim = vec![0.0f32; m * d];
+    for ((mask, &coef), (wre, wim)) in masks.iter().zip(coefs).zip(weights) {
+        let wre = wre.data();
+        let wim = wim.data();
+        for k in 0..m {
+            let a = coef * mask[k];
+            if a == 0.0 {
+                continue;
+            }
+            for c in 0..d {
+                fre[k * d + c] += a * wre[k * d + c];
+                fim[k * d + c] += a * wim[k * d + c];
+            }
+        }
+    }
+    (fre, fim)
+}
+
+fn effective_filter(branches: &[SpectralBranch], m: usize, d: usize) -> (Vec<f32>, Vec<f32>) {
+    let masks: Vec<Vec<f32>> = branches.iter().map(|b| b.mask.clone()).collect();
+    let coefs: Vec<f32> = branches.iter().map(|b| b.coef).collect();
+    let weights: Vec<(NdArray, NdArray)> = branches
+        .iter()
+        .map(|b| (b.w_re.value(), b.w_im.value()))
+        .collect();
+    effective_filter_from(&masks, &coefs, &weights, m, d)
+}
+
+struct SpectralOp {
+    b: usize,
+    n: usize,
+    d: usize,
+    /// Saved forward spectrum, `[B, M, D]` planes.
+    xre: Vec<f32>,
+    xim: Vec<f32>,
+    masks: Vec<Vec<f32>>,
+    coefs: Vec<f32>,
+}
+
+impl Op for SpectralOp {
+    #[allow(clippy::needless_range_loop)] // strided gather/scatter over (b, k, c) planes
+    fn backward(&self, grad: &NdArray, parents: &[Tensor]) -> Vec<Option<NdArray>> {
+        let (b, n, d) = (self.b, self.n, self.d);
+        let m = n / 2 + 1;
+        let plan = FftPlan::new(n);
+        let g = grad.data();
+
+        // Recompute F from the (unchanged) parent weights.
+        let weights: Vec<(NdArray, NdArray)> = parents[1..]
+            .chunks(2)
+            .map(|p| (p[0].value(), p[1].value()))
+            .collect();
+        let (fre, fim) = effective_filter_from(&self.masks, &self.coefs, &weights, m, d);
+
+        // Per-bin adjoint weights c_k / N.
+        let mut ck = vec![2.0f32 / n as f32; m];
+        ck[0] = 1.0 / n as f32;
+        if n % 2 == 0 {
+            ck[m - 1] = 1.0 / n as f32;
+        }
+
+        // G = (c_k/N) rfft(grad_y), grad_F accumulator, grad_X, grad_x.
+        let mut gre = vec![0.0f32; b * m * d];
+        let mut gim = vec![0.0f32; b * m * d];
+        let mut buf = vec![Complex32::ZERO; n];
+        for bi in 0..b {
+            for c in 0..d {
+                for (t, slot) in buf.iter_mut().enumerate() {
+                    *slot = Complex32::new(g[(bi * n + t) * d + c], 0.0);
+                }
+                plan.forward(&mut buf);
+                for k in 0..m {
+                    let gi = (bi * m + k) * d + c;
+                    gre[gi] = buf[k].re * ck[k];
+                    gim[gi] = buf[k].im * ck[k];
+                }
+                // Imaginary parts of the DC and even-N Nyquist bins were
+                // discarded by irfft, so no gradient flows to them.
+                gim[(bi * m) * d + c] = 0.0;
+                if n % 2 == 0 {
+                    gim[(bi * m + m - 1) * d + c] = 0.0;
+                }
+            }
+        }
+
+        // grad_F[k,c] = sum_b G * conj(X)
+        let mut dfre = vec![0.0f32; m * d];
+        let mut dfim = vec![0.0f32; m * d];
+        for bi in 0..b {
+            for k in 0..m {
+                for c in 0..d {
+                    let i = (bi * m + k) * d + c;
+                    let w = k * d + c;
+                    dfre[w] += gre[i] * self.xre[i] + gim[i] * self.xim[i];
+                    dfim[w] += gim[i] * self.xre[i] - gre[i] * self.xim[i];
+                }
+            }
+        }
+
+        // grad_x via grad_X = G * conj(F), then the rfft adjoint.
+        let mut dx = vec![0.0f32; b * n * d];
+        for bi in 0..b {
+            for c in 0..d {
+                buf.iter_mut().for_each(|s| *s = Complex32::ZERO);
+                for k in 0..m {
+                    let i = (bi * m + k) * d + c;
+                    let w = k * d + c;
+                    buf[k] = Complex32::new(
+                        gre[i] * fre[w] + gim[i] * fim[w],
+                        gim[i] * fre[w] - gre[i] * fim[w],
+                    );
+                }
+                slime_fft::ifft_unscaled(&mut buf);
+                for t in 0..n {
+                    dx[(bi * n + t) * d + c] = buf[t].re;
+                }
+            }
+        }
+
+        let mut grads: Vec<Option<NdArray>> =
+            vec![Some(NdArray::from_vec(vec![b, n, d], dx))];
+        for (mask, &coef) in self.masks.iter().zip(&self.coefs) {
+            let mut dwre = vec![0.0f32; m * d];
+            let mut dwim = vec![0.0f32; m * d];
+            for k in 0..m {
+                let a = coef * mask[k];
+                if a != 0.0 {
+                    for c in 0..d {
+                        dwre[k * d + c] = a * dfre[k * d + c];
+                        dwim[k * d + c] = a * dfim[k * d + c];
+                    }
+                }
+            }
+            grads.push(Some(NdArray::from_vec(vec![m, d], dwre)));
+            grads.push(Some(NdArray::from_vec(vec![m, d], dwim)));
+        }
+        grads
+    }
+    fn name(&self) -> &'static str {
+        "spectral_filter_mix"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{mul, sum_all};
+
+    fn ones_branch(m: usize, d: usize) -> SpectralBranch {
+        SpectralBranch {
+            w_re: Tensor::param(NdArray::ones(vec![m, d])),
+            w_im: Tensor::param(NdArray::zeros(vec![m, d])),
+            mask: vec![1.0; m],
+            coef: 1.0,
+        }
+    }
+
+    #[test]
+    fn identity_filter_is_identity() {
+        // W = 1 + 0i with full mask leaves the signal unchanged.
+        let (bsz, n, d) = (2, 8, 3);
+        let m = n / 2 + 1;
+        let x = Tensor::param(NdArray::from_vec(
+            vec![bsz, n, d],
+            (0..bsz * n * d).map(|i| (i as f32 * 0.37).sin()).collect(),
+        ));
+        let y = spectral_filter_mix(&x, &[ones_branch(m, d)]);
+        for (a, b) in y.value().data().iter().zip(x.value().data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn zero_mask_zeroes_output() {
+        let (bsz, n, d) = (1, 6, 2);
+        let m = n / 2 + 1;
+        let mut br = ones_branch(m, d);
+        br.mask = vec![0.0; m];
+        let x = Tensor::param(NdArray::ones(vec![bsz, n, d]));
+        let y = spectral_filter_mix(&x, &[br]);
+        for v in y.value().data() {
+            assert!(v.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dc_only_mask_averages() {
+        // Keeping only bin 0 projects each channel onto its mean.
+        let (bsz, n, d) = (1, 4, 1);
+        let m = n / 2 + 1;
+        let mut br = ones_branch(m, d);
+        br.mask = vec![1.0, 0.0, 0.0];
+        let x = Tensor::param(NdArray::from_vec(vec![bsz, n, d], vec![1., 2., 3., 6.]));
+        let y = spectral_filter_mix(&x, &[br]);
+        for v in y.value().data() {
+            assert!((v - 3.0).abs() < 1e-4, "{v}");
+        }
+    }
+
+    #[test]
+    fn two_branch_mix_is_linear() {
+        let (bsz, n, d) = (1, 8, 2);
+        let m = n / 2 + 1;
+        let x = Tensor::param(NdArray::from_vec(
+            vec![bsz, n, d],
+            (0..bsz * n * d).map(|i| (i as f32 * 0.9).cos()).collect(),
+        ));
+        let gamma = 0.25;
+        let b1 = SpectralBranch {
+            coef: 1.0 - gamma,
+            ..ones_branch(m, d)
+        };
+        let b2 = SpectralBranch {
+            coef: gamma,
+            ..ones_branch(m, d)
+        };
+        let mixed = spectral_filter_mix(&x, &[b1.clone(), b2]);
+        let only1 = spectral_filter_mix(&x, &[SpectralBranch { coef: 1.0, ..b1 }]);
+        // Since both filters are identical, the gamma-mix equals either branch alone.
+        for (a, b) in mixed.value().data().iter().zip(only1.value().data()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gradients_flow_to_weights_and_input() {
+        let (bsz, n, d) = (2, 6, 2);
+        let m = n / 2 + 1;
+        let br = ones_branch(m, d);
+        let x = Tensor::param(NdArray::from_vec(
+            vec![bsz, n, d],
+            (0..bsz * n * d).map(|i| (i as f32 * 0.21).sin()).collect(),
+        ));
+        let w = Tensor::constant(NdArray::from_vec(
+            vec![bsz, n, d],
+            (0..bsz * n * d).map(|i| (i as f32 * 1.7).cos()).collect(),
+        ));
+        let y = spectral_filter_mix(&x, std::slice::from_ref(&br));
+        sum_all(&mul(&y, &w)).backward();
+        assert!(x.grad().is_some());
+        assert!(br.w_re.grad().is_some());
+        assert!(br.w_im.grad().is_some());
+        let gw = br.w_re.grad().unwrap();
+        assert!(gw.data().iter().any(|v| v.abs() > 1e-6));
+    }
+
+    #[test]
+    fn masked_bins_receive_no_weight_gradient() {
+        let (bsz, n, d) = (1, 8, 1);
+        let m = n / 2 + 1;
+        let mut br = ones_branch(m, d);
+        br.mask = vec![0.0, 1.0, 1.0, 0.0, 0.0];
+        let x = Tensor::param(NdArray::from_vec(
+            vec![bsz, n, d],
+            (0..n).map(|i| (i as f32).sin()).collect(),
+        ));
+        let y = spectral_filter_mix(&x, std::slice::from_ref(&br));
+        sum_all(&mul(&y, &y)).backward();
+        let g = br.w_re.grad().unwrap();
+        assert_eq!(g.data()[0], 0.0);
+        assert_eq!(g.data()[3], 0.0);
+        assert_eq!(g.data()[4], 0.0);
+        assert!(g.data()[1].abs() > 0.0 || g.data()[2].abs() > 0.0);
+    }
+
+    #[test]
+    fn odd_length_sequences_work() {
+        let (bsz, n, d) = (1, 7, 2);
+        let m = n / 2 + 1;
+        let x = Tensor::param(NdArray::from_vec(
+            vec![bsz, n, d],
+            (0..bsz * n * d).map(|i| i as f32 * 0.1).collect(),
+        ));
+        let y = spectral_filter_mix(&x, &[ones_branch(m, d)]);
+        for (a, b) in y.value().data().iter().zip(x.value().data()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+        sum_all(&y).backward();
+        assert!(x.grad().is_some());
+    }
+}

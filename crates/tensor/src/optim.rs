@@ -1,0 +1,281 @@
+//! Optimizers: SGD (with momentum) and Adam.
+
+use std::collections::HashMap;
+
+use crate::ndarray::NdArray;
+use crate::tensor::Tensor;
+
+/// Rescale all gradients in place so their global L2 norm does not exceed
+/// `max_norm`; returns the pre-clip norm.
+///
+/// Useful for the RNN baselines (GRU BPTT through 40+ steps can spike) and
+/// harmless elsewhere. Parameters without gradients are skipped.
+pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let mut sq = 0.0f64;
+    for p in params {
+        if let Some(g) = p.grad() {
+            sq += g.data().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+        }
+    }
+    let norm = (sq as f32).sqrt();
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        for p in params {
+            if let Some(mut g) = p.grad() {
+                g.map_inplace(|v| v * scale);
+                p.zero_grad();
+                // Re-accumulate the scaled gradient.
+                p.with_grad_mut(|slot| *slot = Some(g));
+            }
+        }
+    }
+    norm
+}
+
+/// A gradient-descent optimizer over a fixed set of leaf parameters.
+pub trait Optimizer {
+    /// Apply one update using the gradients currently accumulated on the
+    /// parameters, then leave the gradients in place (call
+    /// [`Optimizer::zero_grad`] to clear them).
+    fn step(&mut self);
+
+    /// Clear the accumulated gradients of all parameters.
+    fn zero_grad(&self);
+
+    /// The parameters being optimized.
+    fn params(&self) -> &[Tensor];
+}
+
+/// Stochastic gradient descent with optional classical momentum.
+pub struct Sgd {
+    params: Vec<Tensor>,
+    lr: f32,
+    momentum: f32,
+    velocity: HashMap<u64, NdArray>,
+}
+
+impl Sgd {
+    /// Create an SGD optimizer.
+    pub fn new(params: Vec<Tensor>, lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "lr must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum in [0,1)");
+        Sgd {
+            params,
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self) {
+        for p in &self.params {
+            let Some(grad) = p.grad() else { continue };
+            let update = if self.momentum > 0.0 {
+                let v = self
+                    .velocity
+                    .entry(p.id())
+                    .or_insert_with(|| NdArray::zeros(p.shape()));
+                let mut new_v = v.map(|x| x * self.momentum);
+                new_v.add_scaled_assign(&grad, 1.0);
+                *v = new_v.clone();
+                new_v
+            } else {
+                grad
+            };
+            p.with_data_mut(|d| d.add_scaled_assign(&update, -self.lr));
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+}
+
+struct AdamState {
+    m: NdArray,
+    v: NdArray,
+}
+
+/// Adam optimizer with bias correction and optional decoupled weight decay,
+/// the paper's optimizer ("Adam optimizer with a learning rate of 0.001",
+/// Section IV-D).
+pub struct Adam {
+    params: Vec<Tensor>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    state: HashMap<u64, AdamState>,
+}
+
+impl Adam {
+    /// Adam with the paper's defaults: `beta = (0.9, 0.999)`, `eps = 1e-8`,
+    /// no weight decay.
+    pub fn new(params: Vec<Tensor>, lr: f32) -> Self {
+        Self::with_config(params, lr, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    /// Fully configurable Adam.
+    pub fn with_config(
+        params: Vec<Tensor>,
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        weight_decay: f32,
+    ) -> Self {
+        assert!(lr > 0.0, "lr must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        Adam {
+            params,
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            t: 0,
+            state: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for p in &self.params {
+            let Some(grad) = p.grad() else { continue };
+            let st = self.state.entry(p.id()).or_insert_with(|| AdamState {
+                m: NdArray::zeros(p.shape()),
+                v: NdArray::zeros(p.shape()),
+            });
+            let (b1, b2, eps, lr, wd) =
+                (self.beta1, self.beta2, self.eps, self.lr, self.weight_decay);
+            st.m = st.m.zip_map(&grad, |m, g| b1 * m + (1.0 - b1) * g);
+            st.v = st.v.zip_map(&grad, |v, g| b2 * v + (1.0 - b2) * g * g);
+            let m_hat = st.m.map(|m| m / bc1);
+            let v_hat = st.v.map(|v| v / bc2);
+            p.with_data_mut(|d| {
+                let dst = d.data_mut();
+                for ((x, m), v) in dst.iter_mut().zip(m_hat.data()).zip(v_hat.data()) {
+                    let decayed = if wd > 0.0 { *x * wd } else { 0.0 };
+                    *x -= lr * (m / (v.sqrt() + eps) + decayed);
+                }
+            });
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    fn quadratic_loss(p: &Tensor) -> Tensor {
+        // loss = mean((p - 3)^2)
+        let diff = ops::add_scalar(p, -3.0);
+        ops::mean_all(&ops::mul(&diff, &diff))
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let p = Tensor::param(NdArray::from_vec(vec![2], vec![0.0, 10.0]));
+        let mut opt = Sgd::new(vec![p.clone()], 0.4, 0.0);
+        for _ in 0..100 {
+            opt.zero_grad();
+            quadratic_loss(&p).backward();
+            opt.step();
+        }
+        for v in p.value().data() {
+            assert!((v - 3.0).abs() < 1e-3, "{v}");
+        }
+    }
+
+    #[test]
+    fn sgd_momentum_also_converges() {
+        let p = Tensor::param(NdArray::from_vec(vec![1], vec![-5.0]));
+        let mut opt = Sgd::new(vec![p.clone()], 0.1, 0.9);
+        for _ in 0..200 {
+            opt.zero_grad();
+            quadratic_loss(&p).backward();
+            opt.step();
+        }
+        assert!((p.value().data()[0] - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let p = Tensor::param(NdArray::from_vec(vec![3], vec![10.0, -10.0, 0.0]));
+        let mut opt = Adam::new(vec![p.clone()], 0.3);
+        for _ in 0..300 {
+            opt.zero_grad();
+            quadratic_loss(&p).backward();
+            opt.step();
+        }
+        for v in p.value().data() {
+            assert!((v - 3.0).abs() < 1e-2, "{v}");
+        }
+    }
+
+    #[test]
+    fn adam_first_step_magnitude_is_lr() {
+        // With bias correction, |first update| ~= lr regardless of grad scale.
+        let p = Tensor::param(NdArray::from_vec(vec![1], vec![0.0]));
+        let mut opt = Adam::new(vec![p.clone()], 0.01);
+        let loss = ops::scale(&p, 1000.0);
+        loss.backward();
+        opt.step();
+        let v = p.value().data()[0];
+        assert!((v.abs() - 0.01).abs() < 1e-4, "{v}");
+    }
+
+    #[test]
+    fn clip_grad_norm_rescales_only_when_needed() {
+        let a = Tensor::param(NdArray::from_vec(vec![2], vec![0.0, 0.0]));
+        let b = Tensor::param(NdArray::from_vec(vec![1], vec![0.0]));
+        // Fabricate grads: [3, 0] and [4] -> global norm 5.
+        ops::scale(&a, 3.0).backward_with(NdArray::from_vec(vec![2], vec![1.0, 0.0]));
+        ops::scale(&b, 4.0).backward_with(NdArray::from_vec(vec![1], vec![1.0]));
+        let norm = clip_grad_norm(&[a.clone(), b.clone()], 1.0);
+        assert!((norm - 5.0).abs() < 1e-5);
+        let ga = a.grad().unwrap();
+        let gb = b.grad().unwrap();
+        assert!((ga.data()[0] - 0.6).abs() < 1e-6);
+        assert!((gb.data()[0] - 0.8).abs() < 1e-6);
+        // Already-small gradients are untouched.
+        let before = a.grad().unwrap();
+        let n2 = clip_grad_norm(std::slice::from_ref(&a), 10.0);
+        assert!(n2 < 10.0);
+        assert_eq!(a.grad().unwrap().data(), before.data());
+    }
+
+    #[test]
+    fn step_skips_params_without_grad() {
+        let p = Tensor::param(NdArray::from_vec(vec![1], vec![7.0]));
+        let mut opt = Adam::new(vec![p.clone()], 0.1);
+        opt.step();
+        assert_eq!(p.value().data()[0], 7.0);
+    }
+}

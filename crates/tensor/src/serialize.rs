@@ -1,0 +1,138 @@
+//! Checkpoint serialization: a named map of parameter arrays, stored as JSON.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ndarray::NdArray;
+use crate::tensor::Tensor;
+
+/// One serialized array.
+#[derive(Serialize, Deserialize, Clone, Debug, PartialEq)]
+pub struct ArrayRecord {
+    /// Shape of the array.
+    pub shape: Vec<usize>,
+    /// Row-major data.
+    pub data: Vec<f32>,
+}
+
+/// A named collection of parameter values (like a PyTorch `state_dict`).
+#[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
+pub struct StateDict {
+    entries: BTreeMap<String, ArrayRecord>,
+}
+
+impl StateDict {
+    /// Empty state dict.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored arrays.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dict holds no arrays.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert a tensor's current value under `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already present (duplicate parameter names are
+    /// always a wiring bug).
+    pub fn insert(&mut self, name: &str, t: &Tensor) {
+        let v = t.value();
+        let prev = self.entries.insert(
+            name.to_string(),
+            ArrayRecord {
+                shape: v.shape().to_vec(),
+                data: v.data().to_vec(),
+            },
+        );
+        assert!(prev.is_none(), "duplicate parameter name {name:?}");
+    }
+
+    /// Copy the stored value for `name` into tensor `t`.
+    ///
+    /// # Panics
+    /// Panics if `name` is missing or shapes mismatch.
+    pub fn load_into(&self, name: &str, t: &Tensor) {
+        let rec = self
+            .entries
+            .get(name)
+            .unwrap_or_else(|| panic!("missing parameter {name:?} in checkpoint"));
+        t.set_data(NdArray::from_vec(rec.shape.clone(), rec.data.clone()));
+    }
+
+    /// Names stored in the dict, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(|s| s.as_str())
+    }
+
+    /// Retrieve a raw record.
+    pub fn get(&self, name: &str) -> Option<&ArrayRecord> {
+        self.entries.get(name)
+    }
+
+    /// Serialize to a JSON file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let json = serde_json::to_string(self).map_err(io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Deserialize from a JSON file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_load_roundtrip() {
+        let t = Tensor::param(NdArray::from_vec(vec![2, 2], vec![1., 2., 3., 4.]));
+        let mut sd = StateDict::new();
+        sd.insert("w", &t);
+        let t2 = Tensor::param(NdArray::zeros(vec![2, 2]));
+        sd.load_into("w", &t2);
+        assert_eq!(t2.value().data(), &[1., 2., 3., 4.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_names_rejected() {
+        let t = Tensor::param(NdArray::scalar(1.0));
+        let mut sd = StateDict::new();
+        sd.insert("w", &t);
+        sd.insert("w", &t);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing")]
+    fn missing_name_rejected() {
+        let sd = StateDict::new();
+        sd.load_into("nope", &Tensor::param(NdArray::scalar(0.0)));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("slime_sd_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let t = Tensor::param(NdArray::from_vec(vec![3], vec![0.5, -1.5, 2.5]));
+        let mut sd = StateDict::new();
+        sd.insert("layer.weight", &t);
+        sd.save(&path).unwrap();
+        let loaded = StateDict::load(&path).unwrap();
+        assert_eq!(loaded, sd);
+        std::fs::remove_file(path).ok();
+    }
+}

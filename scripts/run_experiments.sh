@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Reproduction campaign: regenerates every table and figure of the paper.
+#
+# Each step is one `slime-repro` binary. Environment knobs (SLIME_SCALE,
+# SLIME_EPOCHS, SLIME_DATASETS, ...) are documented in crates/repro/src/lib.rs.
+# The defaults here are tuned so the whole campaign fits a single CPU core in
+# about two hours; raise SLIME_SCALE / SLIME_EPOCHS for tighter numbers.
+set -uo pipefail
+
+BIN=target/release
+LOGS=results/logs
+mkdir -p "$LOGS"
+
+run() {
+  local name="$1"; shift
+  echo "=== $name ($(date +%H:%M:%S)) ==="
+  if ! env "$@" "$BIN/$name" >"$LOGS/$name.log" 2>&1; then
+    echo "!!! $name FAILED (see $LOGS/$name.log)"
+  fi
+  tail -3 "$LOGS/$name.log"
+}
+
+# Ordered by importance: headline results first. Contrastive models need
+# ~8 epochs to express their advantage at this scale; sweeps use 6.
+run table1_stats
+run spectrum_analysis
+run table2_overall      SLIME_EPOCHS=8
+run fig3_ablation       SLIME_EPOCHS=8
+run table4_slide_modes  SLIME_EPOCHS=6
+run fig6_noise          SLIME_EPOCHS=6
+run fig7_filters        SLIME_EPOCHS=8
+run table3_dfs_sfs      SLIME_EPOCHS=6 SLIME_DATASETS=beauty,sports,ml-1m
+run table5_depth        SLIME_EPOCHS=6 SLIME_DATASETS=beauty,sports,ml-1m
+run fig4_alpha          SLIME_EPOCHS=6 SLIME_DATASETS=beauty,sports
+run fig5_seqlen         SLIME_EPOCHS=6
+run fig5_hidden         SLIME_EPOCHS=6
+
+echo "=== campaign complete ($(date +%H:%M:%S)) ==="

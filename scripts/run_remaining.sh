@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Trimmed continuation of run_experiments.sh for tight time budgets:
+# the remaining tables/figures at reduced dataset/epoch counts.
+set -uo pipefail
+BIN=target/release
+LOGS=results/logs
+mkdir -p "$LOGS"
+run() {
+  local name="$1"; shift
+  echo "=== $name ($(date +%H:%M:%S)) ==="
+  if ! env "$@" "$BIN/$name" >"$LOGS/$name.log" 2>&1; then
+    echo "!!! $name FAILED (see $LOGS/$name.log)"
+  fi
+  tail -3 "$LOGS/$name.log"
+}
+
+run fig3_ablation       SLIME_EPOCHS=4 SLIME_SCALE=0.5 SLIME_DATASETS=beauty,sports
+run fig7_filters        SLIME_EPOCHS=4 SLIME_SCALE=0.5
+run table4_slide_modes  SLIME_EPOCHS=4 SLIME_SCALE=0.5 SLIME_DATASETS=beauty,sports
+run fig6_noise          SLIME_EPOCHS=4 SLIME_SCALE=0.5 SLIME_DATASETS=beauty
+run table3_dfs_sfs      SLIME_EPOCHS=4 SLIME_SCALE=0.5 SLIME_DATASETS=beauty
+run fig4_alpha          SLIME_EPOCHS=4 SLIME_SCALE=0.5 SLIME_DATASETS=beauty
+run table5_depth        SLIME_EPOCHS=4 SLIME_SCALE=0.5 SLIME_DATASETS=beauty
+run fig5_seqlen         SLIME_EPOCHS=4 SLIME_SCALE=0.5 SLIME_DATASETS=beauty
+run fig5_hidden         SLIME_EPOCHS=4 SLIME_SCALE=0.5 SLIME_DATASETS=beauty
+echo "=== remaining complete ($(date +%H:%M:%S)) ==="

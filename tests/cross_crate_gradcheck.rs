@@ -1,0 +1,118 @@
+//! Cross-crate gradient checks: finite-difference validation of full model
+//! losses (not just individual ops) — SLIME4Rec's joint objective and the
+//! attention/GRU baselines, end to end through every crate boundary.
+
+use slime4rec::contrastive::info_nce;
+use slime4rec::{ContrastiveMode, NextItemModel, Slime4Rec, SlimeConfig};
+use slime_baselines::{EncoderConfig, Gru4Rec, TransformerRec};
+use slime_nn::{Module, ParamCollector, TrainContext};
+use slime_tensor::gradcheck::check_gradient;
+use slime_tensor::{ops, Tensor};
+
+const TOL: f32 = 8e-2; // full-model f32 chains accumulate more error
+
+fn check_params(params: &[(String, Tensor)], mut f: impl FnMut() -> Tensor, picks: &[&str]) {
+    for (name, t) in params {
+        if !picks.iter().any(|p| name.contains(p)) {
+            continue;
+        }
+        let report = check_gradient(t, &mut f, 3e-3);
+        assert!(
+            report.max_rel_diff < TOL,
+            "{name}: rel diff {} (abs {})",
+            report.max_rel_diff,
+            report.max_abs_diff
+        );
+    }
+}
+
+#[test]
+fn slime4rec_recommendation_loss_gradients() {
+    let mut cfg = SlimeConfig::small(8);
+    cfg.hidden = 4;
+    cfg.max_len = 6;
+    cfg.layers = 2;
+    cfg.alpha = 0.5;
+    cfg.dropout_emb = 0.0;
+    cfg.dropout_block = 0.0;
+    cfg.contrastive = ContrastiveMode::None;
+    let model = Slime4Rec::new(cfg);
+    let inputs = vec![0, 1, 2, 3, 4, 5, 0, 0, 6, 7, 8, 1];
+    let targets = [2usize, 5];
+    let f = || {
+        let mut ctx = TrainContext::eval(); // deterministic for FD
+        let repr = model.user_repr(&inputs, 2, &mut ctx);
+        ops::cross_entropy(&model.score_all(&repr), &targets)
+    };
+    let mut pc = ParamCollector::new();
+    model.collect(&mut pc);
+    // Spot-check the paper-specific parameters: both filters (re+im), the
+    // embeddings, and a layer norm.
+    check_params(
+        pc.entries(),
+        f,
+        &["wd_re", "wd_im", "ws_im", "item_emb", "block0.ln_out.gamma"],
+    );
+}
+
+#[test]
+fn slime4rec_contrastive_loss_gradients() {
+    let mut cfg = SlimeConfig::small(8);
+    cfg.hidden = 4;
+    cfg.max_len = 6;
+    cfg.layers = 1;
+    cfg.dropout_emb = 0.0;
+    cfg.dropout_block = 0.0;
+    let model = Slime4Rec::new(cfg);
+    let a = vec![0, 1, 2, 3, 4, 5, 0, 0, 6, 7, 8, 1];
+    let b = vec![0, 2, 3, 1, 5, 4, 0, 0, 8, 6, 7, 2];
+    let f = || {
+        let mut ctx = TrainContext::eval();
+        let h1 = model.user_repr(&a, 2, &mut ctx);
+        let h2 = model.user_repr(&b, 2, &mut ctx);
+        info_nce(&h1, &h2, 0.7)
+    };
+    let mut pc = ParamCollector::new();
+    model.collect(&mut pc);
+    check_params(pc.entries(), f, &["wd_re", "ws_re", "item_emb"]);
+}
+
+#[test]
+fn sasrec_attention_gradients() {
+    let cfg = EncoderConfig {
+        num_items: 8,
+        hidden: 4,
+        max_len: 5,
+        layers: 1,
+        heads: 2,
+        dropout: 0.0,
+        noise_eps: 0.0,
+        seed: 3,
+    };
+    let model = TransformerRec::sasrec(cfg);
+    let inputs = vec![0, 1, 2, 3, 4, 0, 5, 6, 7, 8];
+    let targets = [3usize, 1];
+    let f = || {
+        let mut ctx = TrainContext::eval();
+        let repr = model.user_repr(&inputs, 2, &mut ctx);
+        ops::cross_entropy(&model.score_all(&repr), &targets)
+    };
+    let mut pc = ParamCollector::new();
+    model.collect(&mut pc);
+    check_params(pc.entries(), f, &["wq.weight", "wv.weight", "item_emb"]);
+}
+
+#[test]
+fn gru4rec_bptt_gradients() {
+    let model = Gru4Rec::new(6, 4, 5, 0.0, 4);
+    let inputs = vec![0, 1, 2, 3, 4, 0, 5, 6, 1, 2];
+    let targets = [5usize, 3];
+    let f = || {
+        let mut ctx = TrainContext::eval();
+        let repr = model.user_repr(&inputs, 2, &mut ctx);
+        ops::cross_entropy(&model.score_all(&repr), &targets)
+    };
+    let mut pc = ParamCollector::new();
+    model.collect(&mut pc);
+    check_params(pc.entries(), f, &["gru.wz", "gru.uh", "item_emb"]);
+}

@@ -1,0 +1,63 @@
+//! Determinism: identical seeds produce identical datasets, identical
+//! training trajectories, and identical metrics — the property every
+//! experiment binary relies on for reproducibility.
+
+use slime4rec::{run_slime, SlimeConfig, TrainConfig};
+use slime_baselines::runner::{run_baseline, BaselineSpec};
+use slime_data::synthetic::{generate, profile};
+
+fn tiny_tc(seed: u64) -> TrainConfig {
+    TrainConfig {
+        epochs: 2,
+        batch_size: 64,
+        seed,
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn dataset_generation_is_seed_deterministic() {
+    let a = generate(&profile("sports", 0.15), 99);
+    let b = generate(&profile("sports", 0.15), 99);
+    assert_eq!(a.sequences(), b.sequences());
+    assert_eq!(a.num_items(), b.num_items());
+}
+
+#[test]
+fn slime_training_is_seed_deterministic() {
+    let ds = generate(&profile("beauty", 0.15), 3);
+    let mut cfg = SlimeConfig::small(ds.num_items());
+    cfg.hidden = 16;
+    cfg.max_len = 10;
+    let (_, rep1, m1) = run_slime(&ds, &cfg, &tiny_tc(5));
+    let (_, rep2, m2) = run_slime(&ds, &cfg, &tiny_tc(5));
+    assert_eq!(rep1.epoch_losses, rep2.epoch_losses);
+    assert_eq!(m1.hr(10), m2.hr(10));
+    assert_eq!(m1.ndcg(5), m2.ndcg(5));
+}
+
+#[test]
+fn different_seeds_change_the_trajectory() {
+    let ds = generate(&profile("beauty", 0.15), 3);
+    let mut cfg = SlimeConfig::small(ds.num_items());
+    cfg.hidden = 16;
+    cfg.max_len = 10;
+    let (_, rep1, _) = run_slime(&ds, &cfg, &tiny_tc(5));
+    let (_, rep2, _) = run_slime(&ds, &cfg, &tiny_tc(6));
+    assert_ne!(rep1.epoch_losses, rep2.epoch_losses);
+}
+
+#[test]
+fn baseline_runner_is_deterministic() {
+    let ds = generate(&profile("beauty", 0.15), 3);
+    let mut spec = BaselineSpec::small();
+    spec.hidden = 16;
+    spec.max_len = 10;
+    spec.layers = 1;
+    for name in ["sasrec", "duorec"] {
+        let a = run_baseline(name, &ds, &spec, &tiny_tc(7));
+        let b = run_baseline(name, &ds, &spec, &tiny_tc(7));
+        assert_eq!(a.hr(10), b.hr(10), "{name}");
+        assert_eq!(a.ndcg(10), b.ndcg(10), "{name}");
+    }
+}

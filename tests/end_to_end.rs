@@ -1,0 +1,144 @@
+//! End-to-end integration: train each model family on a tiny planted
+//! dataset and verify it learns — i.e. beats a popularity heuristic the
+//! way a real recommender must.
+
+use slime4rec::{evaluate_split, run_slime, ContrastiveMode, SlimeConfig, TrainConfig};
+use slime_baselines::runner::{run_baseline, BaselineSpec};
+use slime_data::synthetic::{generate_with_core, SyntheticConfig};
+use slime_data::{SeqDataset, Split};
+use slime_metrics::{MetricAccumulator, MetricSet};
+
+fn planted_ds(seed: u64) -> SeqDataset {
+    // Strongly periodic users: models that exploit the structure should do
+    // far better than popularity.
+    let cfg = SyntheticConfig {
+        name: "e2e".into(),
+        users: 220,
+        clusters: 8,
+        items_per_cluster: 10,
+        noise_items: 10,
+        min_len: 12,
+        max_len: 20,
+        low_period: 5,
+        high_cycle: 2,
+        p_high: 0.60,
+        p_noise: 0.10,
+    };
+    generate_with_core(&cfg, seed, 0)
+}
+
+/// HR/NDCG of always recommending the globally most popular items.
+fn popularity_baseline(ds: &SeqDataset) -> MetricSet {
+    let mut counts = vec![0f32; ds.num_items() + 1];
+    for u in 0..ds.num_users() {
+        for &v in ds.train_seq(u) {
+            counts[v] += 1.0;
+        }
+    }
+    let mut acc = MetricAccumulator::new(&[5, 10]);
+    for u in 0..ds.num_users() {
+        if let Some((_, target)) = ds.eval_example(u, Split::Test) {
+            let ts = counts[target];
+            let mut rank = 0;
+            for (i, &c) in counts.iter().enumerate().skip(1) {
+                if i != target && (c > ts || (c == ts && i < target)) {
+                    rank += 1;
+                }
+            }
+            acc.add_rank(rank);
+        }
+    }
+    acc.finish()
+}
+
+fn tiny_tc(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        batch_size: 64,
+        ..TrainConfig::default()
+    }
+}
+
+fn tiny_spec() -> BaselineSpec {
+    let mut spec = BaselineSpec::small();
+    spec.hidden = 16;
+    spec.max_len = 12;
+    spec.layers = 2;
+    spec
+}
+
+#[test]
+fn slime4rec_beats_popularity_on_planted_structure() {
+    let ds = planted_ds(21);
+    let pop = popularity_baseline(&ds);
+    let mut cfg = SlimeConfig::small(ds.num_items());
+    cfg.hidden = 16;
+    cfg.max_len = 12;
+    let (_, report, test) = run_slime(&ds, &cfg, &tiny_tc(10));
+    assert!(
+        report.epoch_losses.last().unwrap() < &report.epoch_losses[0],
+        "loss must decrease: {:?}",
+        report.epoch_losses
+    );
+    assert!(
+        test.ndcg(10) > 1.2 * pop.ndcg(10),
+        "slime {} vs popularity {}",
+        test.ndcg(10),
+        pop.ndcg(10)
+    );
+}
+
+#[test]
+fn sequential_models_beat_popularity() {
+    let ds = planted_ds(22);
+    let pop = popularity_baseline(&ds);
+    let spec = tiny_spec();
+    for name in ["gru4rec", "sasrec", "fmlp"] {
+        let m = run_baseline(name, &ds, &spec, &tiny_tc(5));
+        assert!(
+            m.ndcg(10) > pop.ndcg(10),
+            "{name}: {} !> popularity {}",
+            m.ndcg(10),
+            pop.ndcg(10)
+        );
+    }
+}
+
+#[test]
+fn contrastive_slime_beats_its_ablation_on_average_loss() {
+    // The contrastive term should not break optimization: both configs must
+    // reach a sane loss, and the full model must at least match w/oC on the
+    // planted data's test metric within a generous band.
+    let ds = planted_ds(23);
+    let tc = tiny_tc(4);
+    let mut full = SlimeConfig::small(ds.num_items());
+    full.hidden = 16;
+    full.max_len = 12;
+    let mut ablated = full.clone();
+    ablated.contrastive = ContrastiveMode::None;
+    let (_, rep_full, m_full) = run_slime(&ds, &full, &tc);
+    let (_, rep_abl, m_abl) = run_slime(&ds, &ablated, &tc);
+    assert!(rep_full.epoch_losses.iter().all(|l| l.is_finite()));
+    assert!(rep_abl.epoch_losses.iter().all(|l| l.is_finite()));
+    assert!(
+        m_full.ndcg(10) > 0.5 * m_abl.ndcg(10),
+        "contrastive training collapsed: {} vs {}",
+        m_full.ndcg(10),
+        m_abl.ndcg(10)
+    );
+}
+
+#[test]
+fn evaluation_counts_every_eligible_user() {
+    let ds = planted_ds(24);
+    let mut cfg = SlimeConfig::small(ds.num_items());
+    cfg.hidden = 8;
+    cfg.max_len = 8;
+    let model = slime4rec::Slime4Rec::new(cfg);
+    let tc = tiny_tc(1);
+    let m = evaluate_split(&model, &ds, Split::Test, &tc);
+    let eligible = (0..ds.num_users())
+        .filter(|&u| ds.eval_example(u, Split::Test).is_some())
+        .count();
+    assert_eq!(m.count, eligible);
+}
