@@ -2,13 +2,13 @@
 //! the cloze (masked item) objective; inference appends a `[mask]` token and
 //! reads its hidden state.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use slime4rec::{evaluate_split, NextItemModel, TrainConfig};
 use slime_data::batch::pad_truncate;
 use slime_data::{SeqDataset, Split};
 use slime_metrics::MetricSet;
 use slime_nn::{Module, ParamCollector, TrainContext};
+use slime_rng::rngs::StdRng;
+use slime_rng::{Rng, SeedableRng};
 use slime_tensor::optim::{Adam, Optimizer};
 use slime_tensor::{ops, Tensor};
 
@@ -127,7 +127,7 @@ pub fn run_bert4rec(
     assert!(!padded.is_empty(), "no trainable sequences");
 
     for _ in 0..tc.epochs {
-        use rand::seq::SliceRandom;
+        use slime_rng::seq::SliceRandom;
         let mut order: Vec<usize> = (0..padded.len()).collect();
         order.shuffle(&mut order_rng);
         for chunk in order.chunks(tc.batch_size) {

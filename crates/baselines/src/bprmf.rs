@@ -4,11 +4,11 @@
 //! The paper's weakest baseline: it ignores sequence order entirely, which
 //! is exactly why it anchors the bottom of Table II.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use slime4rec::TrainConfig;
 use slime_data::{SeqDataset, Split};
 use slime_metrics::{MetricAccumulator, MetricSet};
+use slime_rng::rngs::StdRng;
+use slime_rng::{Rng, SeedableRng};
 use slime_tensor::optim::{Adam, Optimizer};
 use slime_tensor::{init, ops, Tensor};
 
@@ -120,7 +120,7 @@ pub fn run_bprmf(ds: &SeqDataset, cfg: &BprMfConfig, tc: &TrainConfig) -> (BprMf
 
     for _ in 0..tc.epochs {
         // One uniform pass over shuffled pairs, chunked into batches.
-        use rand::seq::SliceRandom;
+        use slime_rng::seq::SliceRandom;
         pairs.shuffle(&mut rng);
         for chunk in pairs.chunks(tc.batch_size) {
             let users: Vec<usize> = chunk.iter().map(|&(u, _)| u).collect();

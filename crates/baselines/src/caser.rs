@@ -4,13 +4,12 @@
 //! This is the sequence-only variant (no user embedding), matching how the
 //! paper's evaluation feeds every model the same leave-one-out sequences.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use slime4rec::NextItemModel;
 use slime_nn::{
-    dropout, Embedding, HorizontalConv, Linear, Module, ParamCollector, TrainContext,
-    VerticalConv,
+    dropout, Embedding, HorizontalConv, Linear, Module, ParamCollector, TrainContext, VerticalConv,
 };
+use slime_rng::rngs::StdRng;
+use slime_rng::SeedableRng;
 use slime_tensor::{ops, Tensor};
 
 /// CNN-based sequential recommender.

@@ -3,8 +3,6 @@
 //! augmentation — random crop/mask/reorder for CL4SRec, similarity-guided
 //! substitute/insert for CoSeRec.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use slime4rec::contrastive::info_nce_with_targets;
 use slime4rec::{evaluate_split, NextItemModel, TrainConfig};
 use slime_data::augment::{crop, insert, mask, reorder, substitute, ItemSimilarity};
@@ -12,8 +10,10 @@ use slime_data::batch::pad_truncate;
 use slime_data::{SeqDataset, Split, TrainSet};
 use slime_metrics::MetricSet;
 use slime_nn::{Module, TrainContext};
-use slime_tensor::optim::{Adam, Optimizer};
+use slime_rng::rngs::StdRng;
+use slime_rng::{Rng, SeedableRng};
 use slime_tensor::ops;
+use slime_tensor::optim::{Adam, Optimizer};
 
 use crate::transformer::{EncoderConfig, TransformerRec};
 

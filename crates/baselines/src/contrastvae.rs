@@ -3,13 +3,13 @@
 //! same posterior form the contrastive views ("variational augmentation"),
 //! trained with CE + KL + InfoNCE.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use slime4rec::contrastive::info_nce_with_targets;
 use slime4rec::{evaluate_split, NextItemModel, TrainConfig};
 use slime_data::{SeqDataset, Split, TrainSet};
 use slime_metrics::MetricSet;
 use slime_nn::{Linear, Module, ParamCollector, TrainContext};
+use slime_rng::rngs::StdRng;
+use slime_rng::SeedableRng;
 use slime_tensor::optim::{Adam, Optimizer};
 use slime_tensor::{init, ops, Tensor};
 

@@ -2,10 +2,10 @@
 //! embeddings fed through a GRU; the final hidden state is the user
 //! representation.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use slime4rec::NextItemModel;
 use slime_nn::{dropout, Embedding, Gru, Linear, Module, ParamCollector, TrainContext};
+use slime_rng::rngs::StdRng;
+use slime_rng::SeedableRng;
 use slime_tensor::{ops, Tensor};
 
 /// GRU-based sequential recommender.

@@ -160,13 +160,9 @@ pub fn run_baseline(
             );
             run_slime(ds, &cfg, tc).2
         }
-        "cl4srec" => {
-            run_cl4srec(ds, &spec.encoder_cfg(ds), tc, spec.lambda, spec.temperature).1
-        }
+        "cl4srec" => run_cl4srec(ds, &spec.encoder_cfg(ds), tc, spec.lambda, spec.temperature).1,
         "contrastvae" => run_contrastvae(ds, &spec.encoder_cfg(ds), tc, spec.lambda, 0.01).1,
-        "coserec" => {
-            run_coserec(ds, &spec.encoder_cfg(ds), tc, spec.lambda, spec.temperature).1
-        }
+        "coserec" => run_coserec(ds, &spec.encoder_cfg(ds), tc, spec.lambda, spec.temperature).1,
         "duorec" => run_duorec(ds, &spec.encoder_cfg(ds), tc, spec.lambda, spec.temperature).1,
         "slime4rec" => run_slime(ds, &spec.slime_cfg(ds), tc).2,
         other => panic!("unknown model {other:?}; known: {MODEL_NAMES:?}"),

@@ -1,21 +1,21 @@
 //! Transformer-based sequence encoders: SASRec (causal) and the backbone
 //! shared by BERT4Rec / CL4SRec / CoSeRec / DuoRec.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use slime4rec::{evaluate_split, train_model, NextItemModel, TrainConfig, ViewStrategy};
 use slime_data::augment::SameTargetIndex;
 use slime_data::{SeqDataset, Split, TrainSet};
+use slime_json::{obj, FromJson, JsonError, ToJson, Value};
 use slime_metrics::MetricSet;
 use slime_nn::{
     dropout, Embedding, FeedForward, LayerNorm, Module, MultiHeadAttention, ParamCollector,
     PositionalEmbedding, TrainContext,
 };
+use slime_rng::rngs::StdRng;
+use slime_rng::{Rng, SeedableRng};
 use slime_tensor::{ops, NdArray, Tensor};
 
 /// Shared hyper-parameters of the transformer baselines.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EncoderConfig {
     /// Number of real items (`1..=num_items`; 0 pads).
     pub num_items: usize,
@@ -33,6 +33,36 @@ pub struct EncoderConfig {
     pub noise_eps: f32,
     /// Init seed.
     pub seed: u64,
+}
+
+impl ToJson for EncoderConfig {
+    fn to_json(&self) -> Value {
+        obj([
+            ("num_items", self.num_items.to_json()),
+            ("hidden", self.hidden.to_json()),
+            ("max_len", self.max_len.to_json()),
+            ("layers", self.layers.to_json()),
+            ("heads", self.heads.to_json()),
+            ("dropout", self.dropout.to_json()),
+            ("noise_eps", self.noise_eps.to_json()),
+            ("seed", self.seed.to_json()),
+        ])
+    }
+}
+
+impl FromJson for EncoderConfig {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(EncoderConfig {
+            num_items: FromJson::from_json(v.field("num_items")?)?,
+            hidden: FromJson::from_json(v.field("hidden")?)?,
+            max_len: FromJson::from_json(v.field("max_len")?)?,
+            layers: FromJson::from_json(v.field("layers")?)?,
+            heads: FromJson::from_json(v.field("heads")?)?,
+            dropout: FromJson::from_json(v.field("dropout")?)?,
+            noise_eps: FromJson::from_json(v.field("noise_eps")?)?,
+            seed: FromJson::from_json(v.field("seed")?)?,
+        })
+    }
 }
 
 impl EncoderConfig {
@@ -121,7 +151,10 @@ impl TransformerRec {
     }
 
     fn build(cfg: EncoderConfig, causal: bool, extra_tokens: usize) -> Self {
-        assert!(cfg.hidden.is_multiple_of(cfg.heads), "heads must divide hidden");
+        assert!(
+            cfg.hidden.is_multiple_of(cfg.heads),
+            "heads must divide hidden"
+        );
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let vocab = cfg.vocab_size() + extra_tokens;
         let item_emb = Embedding::new(vocab, cfg.hidden, &mut rng);
@@ -159,9 +192,7 @@ impl TransformerRec {
             self.cfg.dropout,
             ctx,
         );
-        let mask = self
-            .causal
-            .then(|| MultiHeadAttention::causal_mask(n));
+        let mask = self.causal.then(|| MultiHeadAttention::causal_mask(n));
         for block in &self.blocks {
             if self.cfg.noise_eps > 0.0 {
                 h = ops::add(&h, &layer_noise(h.shape(), self.cfg.noise_eps, ctx));

@@ -2,8 +2,9 @@
 //! one vs two filter branches, windowed vs global masks, and
 //! power-of-two vs Bluestein (odd-length) sequence costs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slime4rec::{ContrastiveMode, NextItemModel, Slime4Rec, SlimeConfig};
+use slime_bench::harness::{BenchmarkId, Criterion};
+use slime_bench::{criterion_group, criterion_main};
 use slime_nn::TrainContext;
 use slime_tensor::{ops, NdArray, Tensor};
 use std::hint::black_box;
@@ -36,10 +37,7 @@ fn bench_branch_count(c: &mut Criterion) {
     let m = n / 2 + 1;
     let x = input(n);
     let one = [branch(m, vec![1.0; m], 1.0)];
-    let two = [
-        branch(m, vec![1.0; m], 0.5),
-        branch(m, vec![1.0; m], 0.5),
-    ];
+    let two = [branch(m, vec![1.0; m], 0.5), branch(m, vec![1.0; m], 0.5)];
     group.bench_function("one_branch", |b| {
         b.iter(|| black_box(ops::spectral_filter_mix(black_box(&x), &one)))
     });

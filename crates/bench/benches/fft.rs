@@ -2,7 +2,8 @@
 //! plan reuse, across the sequence lengths the paper searches
 //! ({25, 50, 75, 100}) plus powers of two.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slime_bench::harness::{BenchmarkId, Criterion};
+use slime_bench::{criterion_group, criterion_main};
 use slime_fft::{dft, fft, rfft, Complex32, FftPlan};
 use std::hint::black_box;
 

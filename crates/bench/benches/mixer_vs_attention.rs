@@ -4,10 +4,11 @@
 //! one forward pass of each block family — the crossover and growth rates
 //! are the quantities of interest.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slime4rec::{ContrastiveMode, NextItemModel, Slime4Rec, SlimeConfig};
 use slime_baselines::{EncoderConfig, TransformerRec};
+use slime_bench::harness::{BenchmarkId, Criterion};
 use slime_bench::random_inputs;
+use slime_bench::{criterion_group, criterion_main};
 use slime_nn::TrainContext;
 use std::hint::black_box;
 

@@ -1,13 +1,14 @@
 //! End-to-end throughput: one optimizer step (forward + backward + Adam)
 //! and full-ranking inference, for SLIME4Rec vs SASRec vs FMLP-Rec.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use slime4rec::{ContrastiveMode, NextItemModel, Slime4Rec, SlimeConfig};
 use slime_baselines::{fmlp_config, EncoderConfig, TransformerRec};
+use slime_bench::harness::Criterion;
 use slime_bench::random_inputs;
+use slime_bench::{criterion_group, criterion_main};
 use slime_nn::{Module, TrainContext};
-use slime_tensor::optim::{Adam, Optimizer};
 use slime_tensor::ops;
+use slime_tensor::optim::{Adam, Optimizer};
 use std::hint::black_box;
 
 const BATCH: usize = 32;
@@ -45,7 +46,15 @@ fn bench_train_step(c: &mut Criterion) {
     let mut slime_opt = Adam::new(slime.parameters(), 1e-3);
     group.bench_function("slime4rec", |b| {
         let mut ctx = TrainContext::train(1);
-        b.iter(|| train_step(&slime, &mut slime_opt, black_box(&inputs), &targets, &mut ctx))
+        b.iter(|| {
+            train_step(
+                &slime,
+                &mut slime_opt,
+                black_box(&inputs),
+                &targets,
+                &mut ctx,
+            )
+        })
     });
 
     let sasrec = TransformerRec::sasrec(EncoderConfig {
@@ -61,7 +70,15 @@ fn bench_train_step(c: &mut Criterion) {
     let mut sasrec_opt = Adam::new(sasrec.parameters(), 1e-3);
     group.bench_function("sasrec", |b| {
         let mut ctx = TrainContext::train(1);
-        b.iter(|| train_step(&sasrec, &mut sasrec_opt, black_box(&inputs), &targets, &mut ctx))
+        b.iter(|| {
+            train_step(
+                &sasrec,
+                &mut sasrec_opt,
+                black_box(&inputs),
+                &targets,
+                &mut ctx,
+            )
+        })
     });
 
     let fmlp = Slime4Rec::new(fmlp_config(VOCAB, HIDDEN, N, 2, 0.2, 1));

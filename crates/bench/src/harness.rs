@@ -1,0 +1,226 @@
+//! A minimal, dependency-free stand-in for the slice of the `criterion` API
+//! the benches use (offline-purity: registry dev-dependencies are banned).
+//!
+//! Semantics match criterion closely enough for trend reading: each
+//! benchmark warms up for `warm_up_time`, then collects `sample_size`
+//! samples within `measurement_time`, each sample being a batch of
+//! iterations sized so one sample takes roughly
+//! `measurement_time / sample_size`. Reported numbers are per-iteration
+//! min / median / mean wall-clock times. There is no statistical outlier
+//! analysis — for A/B comparisons of the kind these benches make
+//! (mixer vs attention, plan reuse vs fresh), medians are what matters.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A named benchmark id, optionally parameterized.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/param`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{param}", name.into()),
+        }
+    }
+
+    /// Just the parameter as the label.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Number of samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// How long to run the routine before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total time budget for measurement samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run a benchmark under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            cfg: BenchConfig {
+                sample_size: self.sample_size,
+                warm_up_time: self.warm_up_time,
+                measurement_time: self.measurement_time,
+            },
+            report: None,
+        };
+        f(&mut b);
+        b.print(name);
+        self
+    }
+
+    /// Run a benchmark with an input reference (input shown in the id).
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = id.label.clone();
+        self.bench_function(&label, |b| f(b, input))
+    }
+
+    /// End the group (printing already happened per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+struct BenchConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+/// Per-benchmark timing driver handed to the closure (stand-in for
+/// `criterion::Bencher`).
+pub struct Bencher {
+    cfg: BenchConfig,
+    report: Option<Report>,
+}
+
+struct Report {
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `routine`, discarding its output.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, counting
+        // iterations to size the measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.cfg.warm_up_time {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Size each sample so sample_size samples fill measurement_time.
+        let sample_budget = self.cfg.measurement_time.as_secs_f64() / self.cfg.sample_size as f64;
+        let iters_per_sample = ((sample_budget / per_iter.max(1e-9)) as u64).max(1);
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.cfg.sample_size);
+        let mut total_iters = 0u64;
+        for _ in 0..self.cfg.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            samples.push(t0.elapsed() / iters_per_sample as u32);
+            total_iters += iters_per_sample;
+        }
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        self.report = Some(Report {
+            min,
+            median,
+            mean,
+            iters: total_iters,
+        });
+    }
+
+    fn print(&self, name: &str) {
+        match &self.report {
+            Some(r) => println!(
+                "  {name:<40} min {:>12?}  median {:>12?}  mean {:>12?}  ({} iters)",
+                r.min, r.median, r.mean, r.iters
+            ),
+            None => println!("  {name:<40} (no measurement)"),
+        }
+    }
+}
+
+/// Collect benchmark functions into one runner (stand-in for
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the groups (stand-in for `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut ran = false;
+        group.bench_function("spin", |b| {
+            b.iter(|| std::hint::black_box((0..100).sum::<u64>()));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("fft", 64).label, "fft/64");
+        assert_eq!(BenchmarkId::from_parameter(50).label, "50");
+    }
+}

@@ -11,12 +11,16 @@
 //! * `ablations` — one- vs two-branch mixers, windowed vs global masks,
 //!   power-of-two vs Bluestein sequence lengths.
 //!
-//! Shared fixture builders live here so benches stay declarative.
+//! Shared fixture builders live here so benches stay declarative, and the
+//! [`harness`] module provides the criterion-shaped timing driver they run
+//! under (offline-purity bans the real criterion crate).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+pub mod harness;
+
 use slime_data::synthetic::{generate_with_core, SyntheticConfig};
 use slime_data::SeqDataset;
+use slime_rng::rngs::StdRng;
+use slime_rng::{Rng, SeedableRng};
 
 /// A deterministic benchmark dataset sized for fast iteration.
 pub fn bench_dataset(users: usize, seed: u64) -> SeqDataset {
@@ -39,7 +43,9 @@ pub fn bench_dataset(users: usize, seed: u64) -> SeqDataset {
 /// A flat `[batch * n]` id buffer over `vocab` items (id 0 excluded).
 pub fn random_inputs(batch: usize, n: usize, vocab: usize, seed: u64) -> Vec<usize> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..batch * n).map(|_| 1 + rng.gen_range(0..vocab)).collect()
+    (0..batch * n)
+        .map(|_| 1 + rng.gen_range(0..vocab))
+        .collect()
 }
 
 #[cfg(test)]

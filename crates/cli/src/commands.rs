@@ -44,15 +44,15 @@ pub fn usage() -> String {
 }
 
 fn load_dataset(path: &str) -> Result<SeqDataset, ArgError> {
-    let json = std::fs::read_to_string(path)
-        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
-    serde_json::from_str(&json).map_err(|e| ArgError(format!("bad dataset {path}: {e}")))
+    let json =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    slime_json::from_str(&json).map_err(|e| ArgError(format!("bad dataset {path}: {e}")))
 }
 
 fn load_model(dir: &str) -> Result<(SlimeConfig, Slime4Rec), ArgError> {
     let cfg_path = Path::new(dir).join("config.json");
     let weights_path = Path::new(dir).join("weights.json");
-    let cfg: SlimeConfig = serde_json::from_str(
+    let cfg: SlimeConfig = slime_json::from_str(
         &std::fs::read_to_string(&cfg_path)
             .map_err(|e| ArgError(format!("cannot read {}: {e}", cfg_path.display())))?,
     )
@@ -72,11 +72,8 @@ fn cmd_generate(args: &Args) -> Result<Vec<String>, ArgError> {
     let seed: u64 = args.get_or("seed", 7)?;
     let ds = generate(&profile(key, scale), seed);
     let stats = ds.stats();
-    std::fs::write(
-        out,
-        serde_json::to_string(&ds).map_err(|e| ArgError(e.to_string()))?,
-    )
-    .map_err(|e| ArgError(format!("cannot write {out}: {e}")))?;
+    std::fs::write(out, slime_json::to_string(&ds))
+        .map_err(|e| ArgError(format!("cannot write {out}: {e}")))?;
     Ok(vec![
         format!(
             "generated {key} (scale {scale}, seed {seed}): {} users, {} items, avg len {:.1}",
@@ -88,8 +85,19 @@ fn cmd_generate(args: &Args) -> Result<Vec<String>, ArgError> {
 
 fn cmd_train(args: &Args) -> Result<Vec<String>, ArgError> {
     args.reject_unknown(&[
-        "data", "out", "epochs", "batch", "lr", "hidden", "max-len", "layers", "alpha", "gamma",
-        "lambda", "temperature", "seed",
+        "data",
+        "out",
+        "epochs",
+        "batch",
+        "lr",
+        "hidden",
+        "max-len",
+        "layers",
+        "alpha",
+        "gamma",
+        "lambda",
+        "temperature",
+        "seed",
     ])?;
     let ds = load_dataset(args.require("data")?)?;
     let out = args.require("out")?;
@@ -116,7 +124,7 @@ fn cmd_train(args: &Args) -> Result<Vec<String>, ArgError> {
     std::fs::create_dir_all(out).map_err(|e| ArgError(format!("cannot create {out}: {e}")))?;
     std::fs::write(
         Path::new(out).join("config.json"),
-        serde_json::to_string_pretty(&cfg).map_err(|e| ArgError(e.to_string()))?,
+        slime_json::to_string_pretty(&cfg),
     )
     .map_err(|e| ArgError(e.to_string()))?;
     model
@@ -125,7 +133,10 @@ fn cmd_train(args: &Args) -> Result<Vec<String>, ArgError> {
         .map_err(|e| ArgError(e.to_string()))?;
 
     Ok(vec![
-        format!("trained {} epochs; losses {:?}", tc.epochs, report.epoch_losses),
+        format!(
+            "trained {} epochs; losses {:?}",
+            tc.epochs, report.epoch_losses
+        ),
         format!("test: {}", test.render()),
         format!("saved model to {out}/"),
     ])
@@ -173,7 +184,12 @@ fn cmd_recommend(args: &Args) -> Result<Vec<String>, ArgError> {
         &history[history.len().saturating_sub(10)..]
     )];
     for (i, r) in recs.iter().enumerate() {
-        out.push(format!("  #{:<2} item {:<6} score {:.4}", i + 1, r.item, r.score));
+        out.push(format!(
+            "  #{:<2} item {:<6} score {:.4}",
+            i + 1,
+            r.item,
+            r.score
+        ));
     }
     Ok(out)
 }

@@ -1,12 +1,40 @@
 //! Model and training configuration.
 
-use serde::{Deserialize, Serialize};
+use slime_json::{obj, FromJson, JsonError, ToJson, Value};
+
+/// Serialize a field-less enum as its variant-name string (the format serde
+/// used for these enums, so existing config.json files keep loading).
+macro_rules! unit_enum_json {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl ToJson for $ty {
+            fn to_json(&self) -> Value {
+                Value::Str(
+                    match self {
+                        $($ty::$variant => stringify!($variant),)+
+                    }
+                    .to_string(),
+                )
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(v: &Value) -> Result<Self, JsonError> {
+                match v.as_str() {
+                    $(Some(stringify!($variant)) => Ok($ty::$variant),)+
+                    _ => Err(JsonError(format!(
+                        "invalid {}: {v:?}",
+                        stringify!($ty)
+                    ))),
+                }
+            }
+        }
+    };
+}
 
 /// Which direction each filter bank slides across the spectrum over depth
 /// (paper Table IV). `HighToLow` (`<-`) starts at the high-frequency end in
 /// layer 0 and slides toward low frequencies with depth; `LowToHigh` (`->`)
 /// is the mirror image.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SlideDirection {
     /// `<-`: high frequencies first, low frequencies in deep layers.
     HighToLow,
@@ -14,8 +42,13 @@ pub enum SlideDirection {
     LowToHigh,
 }
 
+unit_enum_json!(SlideDirection {
+    HighToLow,
+    LowToHigh
+});
+
 /// The four slide-mode combinations of Table IV.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SlideMode {
     /// Mode 1: DFS `<-`, SFS `->`.
     Mode1,
@@ -40,9 +73,16 @@ impl SlideMode {
     }
 }
 
+unit_enum_json!(SlideMode {
+    Mode1,
+    Mode2,
+    Mode3,
+    Mode4
+});
+
 /// How the auxiliary contrastive task builds its second view
 /// (Section III-E).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ContrastiveMode {
     /// No contrastive loss (the `SLIME4Rec_w/oC` ablation).
     None,
@@ -55,8 +95,14 @@ pub enum ContrastiveMode {
     Supervised,
 }
 
+unit_enum_json!(ContrastiveMode {
+    None,
+    Unsupervised,
+    Supervised,
+});
+
 /// Full SLIME4Rec hyper-parameter set (defaults follow Section IV-D).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SlimeConfig {
     /// Number of real items (ids `1..=num_items`; 0 pads).
     pub num_items: usize,
@@ -153,10 +199,7 @@ impl SlimeConfig {
             self.alpha > 0.0 && self.alpha <= 1.0,
             "alpha must be in (0, 1]"
         );
-        assert!(
-            (0.0..=1.0).contains(&self.gamma),
-            "gamma must be in [0, 1]"
-        );
+        assert!((0.0..=1.0).contains(&self.gamma), "gamma must be in [0, 1]");
         assert!(self.temperature > 0.0, "temperature must be positive");
         assert!(self.use_dfs || self.use_sfs, "enable at least one branch");
         assert!((0.0..1.0).contains(&self.dropout_emb));
@@ -165,8 +208,56 @@ impl SlimeConfig {
     }
 }
 
+impl ToJson for SlimeConfig {
+    fn to_json(&self) -> Value {
+        obj([
+            ("num_items", self.num_items.to_json()),
+            ("hidden", self.hidden.to_json()),
+            ("max_len", self.max_len.to_json()),
+            ("layers", self.layers.to_json()),
+            ("alpha", self.alpha.to_json()),
+            ("gamma", self.gamma.to_json()),
+            ("learnable_gamma", self.learnable_gamma.to_json()),
+            ("slide_mode", self.slide_mode.to_json()),
+            ("use_dfs", self.use_dfs.to_json()),
+            ("use_sfs", self.use_sfs.to_json()),
+            ("contrastive", self.contrastive.to_json()),
+            ("lambda", self.lambda.to_json()),
+            ("temperature", self.temperature.to_json()),
+            ("dropout_emb", self.dropout_emb.to_json()),
+            ("dropout_block", self.dropout_block.to_json()),
+            ("noise_eps", self.noise_eps.to_json()),
+            ("seed", self.seed.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SlimeConfig {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(SlimeConfig {
+            num_items: FromJson::from_json(v.field("num_items")?)?,
+            hidden: FromJson::from_json(v.field("hidden")?)?,
+            max_len: FromJson::from_json(v.field("max_len")?)?,
+            layers: FromJson::from_json(v.field("layers")?)?,
+            alpha: FromJson::from_json(v.field("alpha")?)?,
+            gamma: FromJson::from_json(v.field("gamma")?)?,
+            learnable_gamma: FromJson::from_json(v.field("learnable_gamma")?)?,
+            slide_mode: FromJson::from_json(v.field("slide_mode")?)?,
+            use_dfs: FromJson::from_json(v.field("use_dfs")?)?,
+            use_sfs: FromJson::from_json(v.field("use_sfs")?)?,
+            contrastive: FromJson::from_json(v.field("contrastive")?)?,
+            lambda: FromJson::from_json(v.field("lambda")?)?,
+            temperature: FromJson::from_json(v.field("temperature")?)?,
+            dropout_emb: FromJson::from_json(v.field("dropout_emb")?)?,
+            dropout_block: FromJson::from_json(v.field("dropout_block")?)?,
+            noise_eps: FromJson::from_json(v.field("noise_eps")?)?,
+            seed: FromJson::from_json(v.field("seed")?)?,
+        })
+    }
+}
+
 /// Optimization/evaluation settings shared by SLIME4Rec and the baselines.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrainConfig {
     /// Number of epochs.
     pub epochs: usize,
@@ -191,6 +282,40 @@ pub struct TrainConfig {
     /// Optional global gradient-norm clip applied before each optimizer
     /// step (useful for RNN baselines; `None` disables).
     pub clip_norm: Option<f32>,
+}
+
+impl ToJson for TrainConfig {
+    fn to_json(&self) -> Value {
+        obj([
+            ("epochs", self.epochs.to_json()),
+            ("batch_size", self.batch_size.to_json()),
+            ("lr", self.lr.to_json()),
+            ("valid_every", self.valid_every.to_json()),
+            ("patience", self.patience.to_json()),
+            ("cutoffs", self.cutoffs.to_json()),
+            ("seed", self.seed.to_json()),
+            ("verbose", self.verbose.to_json()),
+            ("example_stride", self.example_stride.to_json()),
+            ("clip_norm", self.clip_norm.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TrainConfig {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(TrainConfig {
+            epochs: FromJson::from_json(v.field("epochs")?)?,
+            batch_size: FromJson::from_json(v.field("batch_size")?)?,
+            lr: FromJson::from_json(v.field("lr")?)?,
+            valid_every: FromJson::from_json(v.field("valid_every")?)?,
+            patience: FromJson::from_json(v.field("patience")?)?,
+            cutoffs: FromJson::from_json(v.field("cutoffs")?)?,
+            seed: FromJson::from_json(v.field("seed")?)?,
+            verbose: FromJson::from_json(v.field("verbose")?)?,
+            example_stride: FromJson::from_json(v.field("example_stride")?)?,
+            clip_norm: FromJson::from_json(v.field("clip_norm")?)?,
+        })
+    }
 }
 
 impl Default for TrainConfig {

@@ -34,12 +34,10 @@ mod trainer;
 
 pub use config::{ContrastiveMode, SlideDirection, SlideMode, SlimeConfig, TrainConfig};
 pub use model::{FilterMixerBlock, Slime4Rec};
-pub use trainer::{
-    evaluate, evaluate_split, run_slime, train_model, TrainReport, ViewStrategy,
-};
+pub use trainer::{evaluate, evaluate_split, run_slime, train_model, TrainReport, ViewStrategy};
 
-use slime_nn::TrainContext;
 use slime_nn::Module;
+use slime_nn::TrainContext;
 use slime_tensor::Tensor;
 
 /// A sequential recommender trained on next-item prediction: encodes an item

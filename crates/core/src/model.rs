@@ -2,12 +2,12 @@
 //! a stack of filter-mixer blocks (DFS + SFS with the frequency ramp),
 //! point-wise feed-forward networks, and the full-softmax prediction head.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use slime_nn::{
     dropout, Embedding, FeedForward, LayerNorm, Module, ParamCollector, PositionalEmbedding,
     TrainContext,
 };
+use slime_rng::rngs::StdRng;
+use slime_rng::{Rng, SeedableRng};
 use slime_tensor::{init, ops, NdArray, Tensor};
 
 use crate::config::SlimeConfig;
@@ -319,12 +319,8 @@ mod tests {
     fn eval_mode_is_deterministic() {
         let m = Slime4Rec::new(tiny_cfg());
         let inputs = vec![0, 1, 2, 3, 4, 5];
-        let a = m
-            .user_repr(&inputs, 1, &mut TrainContext::eval())
-            .value();
-        let b = m
-            .user_repr(&inputs, 1, &mut TrainContext::eval())
-            .value();
+        let a = m.user_repr(&inputs, 1, &mut TrainContext::eval()).value();
+        let b = m.user_repr(&inputs, 1, &mut TrainContext::eval()).value();
         assert_eq!(a.data(), b.data());
     }
 

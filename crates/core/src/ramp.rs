@@ -45,12 +45,7 @@ pub fn dfs_window(
 /// `[i, j)` window of the Static Frequency Split filter at layer `l`
 /// (Eqs. 22–24): the spectrum divided evenly into `L` bands of size
 /// `M / L`, assigned to layers in slide order.
-pub fn sfs_window(
-    layer: usize,
-    layers: usize,
-    m: usize,
-    direction: SlideDirection,
-) -> (f64, f64) {
+pub fn sfs_window(layer: usize, layers: usize, m: usize, direction: SlideDirection) -> (f64, f64) {
     assert!(layer < layers, "layer out of range");
     let mf = m as f64;
     let beta = 1.0 / layers as f64;
@@ -130,10 +125,7 @@ mod tests {
         let (layers, m, alpha) = (4usize, 26usize, 0.3f32);
         for l in 0..layers {
             let fwd = window_mask(dfs_window(l, layers, m, alpha, LowToHigh), m);
-            let bwd = window_mask(
-                dfs_window(layers - 1 - l, layers, m, alpha, HighToLow),
-                m,
-            );
+            let bwd = window_mask(dfs_window(layers - 1 - l, layers, m, alpha, HighToLow), m);
             assert_eq!(fwd, bwd, "layer {l}");
         }
     }
@@ -145,7 +137,10 @@ mod tests {
             let masks = sfs_masks(layers, m, HighToLow);
             for k in 0..m {
                 let covered: f32 = masks.iter().map(|msk| msk[k]).sum();
-                assert_eq!(covered, 1.0, "bin {k} covered {covered} times (L={layers}, M={m})");
+                assert_eq!(
+                    covered, 1.0,
+                    "bin {k} covered {covered} times (L={layers}, M={m})"
+                );
             }
         }
     }

@@ -109,7 +109,11 @@ mod tests {
         let history = [1usize, 2, 3, 4, 5, 6, 7];
         let recs = recommend_top_k(&m, &history, 5, true);
         for r in &recs {
-            assert!(!history.contains(&r.item), "recommended consumed {}", r.item);
+            assert!(
+                !history.contains(&r.item),
+                "recommended consumed {}",
+                r.item
+            );
         }
     }
 

@@ -1,12 +1,12 @@
 //! Training loops and the full-ranking evaluator shared by SLIME4Rec and
 //! the baselines.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use slime_data::augment::SameTargetIndex;
 use slime_data::{eval_batches, EvalBatch, SeqDataset, Split, TrainSet};
 use slime_metrics::{MetricAccumulator, MetricSet};
 use slime_nn::TrainContext;
+use slime_rng::rngs::StdRng;
+use slime_rng::SeedableRng;
 use slime_tensor::optim::{Adam, Optimizer};
 use slime_tensor::{ops, StateDict};
 
@@ -315,11 +315,7 @@ mod tests {
         let best_epoch = report
             .valid_history
             .iter()
-            .max_by(|a, b| {
-                a.1.ndcg(10)
-                    .partial_cmp(&b.1.ndcg(10))
-                    .unwrap()
-            })
+            .max_by(|a, b| a.1.ndcg(10).partial_cmp(&b.1.ndcg(10)).unwrap())
             .unwrap()
             .0;
         assert_eq!(report.kept_epoch, best_epoch);

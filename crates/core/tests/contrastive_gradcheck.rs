@@ -1,0 +1,67 @@
+//! Finite-difference gradient checks for the contrastive objective, both
+//! directly on leaf representations and end-to-end through the encoder
+//! (two forward passes sharing every parameter).
+//!
+//! FD steps are 1e-3 here: the loss l2-normalizes near-zero init-scale
+//! vectors, so its curvature makes 3e-3 central differences carry >10%
+//! truncation error (see tests/cross_crate_gradcheck.rs).
+
+use slime4rec::contrastive::info_nce;
+use slime4rec::{NextItemModel, Slime4Rec, SlimeConfig};
+use slime_nn::{Module, ParamCollector, TrainContext};
+use slime_tensor::gradcheck::check_gradient;
+use slime_tensor::{NdArray, Tensor};
+
+#[test]
+fn info_nce_direct_gradcheck() {
+    let h1 = Tensor::param(NdArray::from_vec(
+        vec![2, 4],
+        vec![0.3, -0.2, 0.5, 0.1, -0.4, 0.25, 0.05, -0.3],
+    ));
+    let h2 = Tensor::param(NdArray::from_vec(
+        vec![2, 4],
+        vec![0.25, -0.1, 0.45, 0.2, -0.35, 0.3, 0.0, -0.2],
+    ));
+    for p in [&h1, &h2] {
+        let r = check_gradient(p, || info_nce(&h1, &h2, 0.7), 1e-3);
+        assert!(
+            r.max_rel_diff < 2e-2,
+            "rel {} abs {}",
+            r.max_rel_diff,
+            r.max_abs_diff
+        );
+    }
+}
+
+#[test]
+fn info_nce_through_shared_encoder_gradcheck() {
+    let mut cfg = SlimeConfig::small(8);
+    cfg.hidden = 4;
+    cfg.max_len = 6;
+    cfg.layers = 1;
+    cfg.dropout_emb = 0.0;
+    cfg.dropout_block = 0.0;
+    let m = Slime4Rec::new(cfg);
+    let a = vec![0, 1, 2, 3, 4, 5, 0, 0, 6, 7, 8, 1];
+    let b = vec![0, 2, 3, 1, 5, 4, 0, 0, 8, 6, 7, 2];
+    let f = || {
+        let mut ctx = TrainContext::eval();
+        let h1 = m.user_repr(&a, 2, &mut ctx);
+        let h2 = m.user_repr(&b, 2, &mut ctx);
+        info_nce(&h1, &h2, 0.7)
+    };
+    let mut pc = ParamCollector::new();
+    m.collect(&mut pc);
+    for (name, t) in pc.entries() {
+        if !name.contains("item_emb") && !name.contains("pos_emb") {
+            continue;
+        }
+        let r = check_gradient(t, &f, 1e-3);
+        assert!(
+            r.max_rel_diff < 8e-2,
+            "{name}: rel {} abs {}",
+            r.max_rel_diff,
+            r.max_abs_diff
+        );
+    }
+}

@@ -20,6 +20,11 @@ fn info_nce_matches_finite_differences() {
     ));
     for t in [&a, &b] {
         let r = check_gradient(t, || info_nce(&a, &b, 0.7), 1e-3);
-        assert!(r.max_rel_diff < 2e-2, "rel {} abs {}", r.max_rel_diff, r.max_abs_diff);
+        assert!(
+            r.max_rel_diff < 2e-2,
+            "rel {} abs {}",
+            r.max_rel_diff,
+            r.max_abs_diff
+        );
     }
 }

@@ -7,8 +7,8 @@
 //!   semantic positives are other training sequences sharing the same
 //!   target item (the paper adopts this in Section III-E).
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use slime_rng::seq::SliceRandom;
+use slime_rng::Rng;
 
 use crate::batch::TrainSet;
 
@@ -92,12 +92,7 @@ impl ItemSimilarity {
 
 /// Substitute: replace each item with its most similar item with
 /// probability `rho` (CoSeRec's informative substitution).
-pub fn substitute(
-    seq: &[usize],
-    sim: &ItemSimilarity,
-    rho: f64,
-    rng: &mut impl Rng,
-) -> Vec<usize> {
+pub fn substitute(seq: &[usize], sim: &ItemSimilarity, rho: f64, rng: &mut impl Rng) -> Vec<usize> {
     seq.iter()
         .map(|&v| {
             if rng.gen_bool(rho) {
@@ -164,8 +159,8 @@ impl SameTargetIndex {
 mod tests {
     use super::*;
     use crate::dataset::SeqDataset;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use slime_rng::rngs::StdRng;
+    use slime_rng::SeedableRng;
 
     #[test]
     fn crop_preserves_contiguity_and_ratio() {
@@ -228,7 +223,11 @@ mod tests {
     fn same_target_sampling_returns_partner_with_same_target() {
         let ds = SeqDataset::new(
             "st",
-            vec![vec![1, 2, 9, 8, 7], vec![3, 2, 9, 6, 5], vec![4, 2, 9, 1, 3]],
+            vec![
+                vec![1, 2, 9, 8, 7],
+                vec![3, 2, 9, 6, 5],
+                vec![4, 2, 9, 1, 3],
+            ],
             9,
         );
         // train seqs: [1,2,9], [3,2,9], [4,2,9] -> examples with target 2 and 9.

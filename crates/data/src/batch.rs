@@ -1,8 +1,8 @@
 //! Fixed-length batching with left padding/truncation (paper Eq. 1) and
 //! prefix-augmented training examples.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use slime_rng::seq::SliceRandom;
+use slime_rng::Rng;
 
 use crate::dataset::{SeqDataset, Split};
 
@@ -176,8 +176,8 @@ pub fn eval_batches(ds: &SeqDataset, split: Split, n: usize, batch_size: usize) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use slime_rng::rngs::StdRng;
+    use slime_rng::SeedableRng;
 
     fn ds() -> SeqDataset {
         SeqDataset::new(

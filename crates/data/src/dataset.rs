@@ -1,9 +1,9 @@
 //! Sequence datasets, preprocessing, and the leave-one-out split.
 
-use serde::{Deserialize, Serialize};
+use slime_json::{obj, FromJson, JsonError, ToJson, Value};
 
 /// Summary statistics in the format of the paper's Table I.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetStats {
     /// Number of users (sequences).
     pub users: usize,
@@ -15,6 +15,30 @@ pub struct DatasetStats {
     pub actions: usize,
     /// `1 - actions / (users * items)`.
     pub sparsity: f64,
+}
+
+impl ToJson for DatasetStats {
+    fn to_json(&self) -> Value {
+        obj([
+            ("users", self.users.to_json()),
+            ("items", self.items.to_json()),
+            ("avg_length", self.avg_length.to_json()),
+            ("actions", self.actions.to_json()),
+            ("sparsity", self.sparsity.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DatasetStats {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(DatasetStats {
+            users: FromJson::from_json(v.field("users")?)?,
+            items: FromJson::from_json(v.field("items")?)?,
+            avg_length: FromJson::from_json(v.field("avg_length")?)?,
+            actions: FromJson::from_json(v.field("actions")?)?,
+            sparsity: FromJson::from_json(v.field("sparsity")?)?,
+        })
+    }
 }
 
 /// Which portion of each user's sequence an access refers to.
@@ -31,12 +55,44 @@ pub enum Split {
 /// A sequential-recommendation dataset: one chronologically ordered item
 /// sequence per user. Item ids are `1..=num_items`; 0 is reserved for
 /// padding.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SeqDataset {
     /// Human-readable name (e.g. "beauty-sim").
     pub name: String,
     sequences: Vec<Vec<usize>>,
     num_items: usize,
+}
+
+impl ToJson for SeqDataset {
+    fn to_json(&self) -> Value {
+        obj([
+            ("name", self.name.to_json()),
+            ("sequences", self.sequences.to_json()),
+            ("num_items", self.num_items.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SeqDataset {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let name: String = FromJson::from_json(v.field("name")?)?;
+        let sequences: Vec<Vec<usize>> = FromJson::from_json(v.field("sequences")?)?;
+        let num_items: usize = FromJson::from_json(v.field("num_items")?)?;
+        for s in &sequences {
+            for &item in s {
+                if item < 1 || item > num_items {
+                    return Err(JsonError(format!(
+                        "item id {item} out of 1..={num_items} in dataset {name:?}"
+                    )));
+                }
+            }
+        }
+        Ok(SeqDataset {
+            name,
+            sequences,
+            num_items,
+        })
+    }
 }
 
 impl SeqDataset {
@@ -47,7 +103,10 @@ impl SeqDataset {
     pub fn new(name: impl Into<String>, sequences: Vec<Vec<usize>>, num_items: usize) -> Self {
         for s in &sequences {
             for &v in s {
-                assert!(v >= 1 && v <= num_items, "item id {v} out of 1..={num_items}");
+                assert!(
+                    v >= 1 && v <= num_items,
+                    "item id {v} out of 1..={num_items}"
+                );
             }
         }
         SeqDataset {
@@ -262,11 +321,7 @@ mod tests {
     #[test]
     fn k_core_iterates_to_fixpoint() {
         // Removing user 1 drops item 4 below threshold, which shortens user 0.
-        let d = SeqDataset::new(
-            "fp",
-            vec![vec![1, 1, 4, 4], vec![4, 2], vec![1, 1, 1]],
-            4,
-        );
+        let d = SeqDataset::new("fp", vec![vec![1, 1, 4, 4], vec![4, 2], vec![1, 1, 1]], 4);
         let c = d.k_core(3);
         // item 4 appears 3 times initially, but user 1 (len 2) is dropped ->
         // item 4 falls to 2 -> removed -> user 0 falls to [1,1] -> dropped.

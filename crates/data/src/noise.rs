@@ -6,7 +6,7 @@
 //! *data-level* corruption — replacing a fraction of interactions with
 //! random items — used to study robustness from the input side.
 
-use rand::Rng;
+use slime_rng::Rng;
 
 use crate::dataset::SeqDataset;
 
@@ -39,8 +39,8 @@ pub fn corrupt_dataset(ds: &SeqDataset, p: f64, rng: &mut impl Rng) -> SeqDatase
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use slime_rng::rngs::StdRng;
+    use slime_rng::SeedableRng;
 
     #[test]
     fn zero_probability_is_identity() {

@@ -14,7 +14,7 @@
 use crate::dataset::SeqDataset;
 
 /// Aggregated spectral statistics of a dataset's recurrence behaviour.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct SpectrumReport {
     /// Mean magnitude per frequency bin, DC excluded, normalized to sum 1.
     pub mean_spectrum: Vec<f64>,
@@ -26,6 +26,18 @@ pub struct SpectrumReport {
     pub signals: usize,
     /// The signal length all sequences were normalized to.
     pub window: usize,
+}
+
+impl slime_json::ToJson for SpectrumReport {
+    fn to_json(&self) -> slime_json::Value {
+        slime_json::obj([
+            ("mean_spectrum", self.mean_spectrum.to_json()),
+            ("low_band_energy", self.low_band_energy.to_json()),
+            ("high_band_energy", self.high_band_energy.to_json()),
+            ("signals", self.signals.to_json()),
+            ("window", self.window.to_json()),
+        ])
+    }
 }
 
 /// Analyse the recurrence spectrum of a dataset.
@@ -123,11 +135,7 @@ mod tests {
         // An impulse train of period 4 has harmonics at k = 8 and k = 16
         // (Nyquist); the fundamental bin must carry maximal energy and
         // non-harmonic bins none.
-        let max = r
-            .mean_spectrum
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max);
+        let max = r.mean_spectrum.iter().copied().fold(0.0f64, f64::max);
         let fundamental = r.mean_spectrum[window / period - 1];
         assert!(
             (fundamental - max).abs() < 1e-9,

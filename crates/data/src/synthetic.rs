@@ -17,8 +17,8 @@
 //! mirror the relative shapes of the paper's Table I (sparser Amazon-style
 //! sets, a dense ML-1M-style set), scaled to single-CPU budgets.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use slime_rng::rngs::StdRng;
+use slime_rng::{Rng, SeedableRng};
 
 use crate::dataset::SeqDataset;
 

@@ -1,68 +1,91 @@
 //! Property-based tests over the data pipeline invariants.
+//!
+//! Formerly proptest-driven; now plain seeded loops over slime-rng-generated
+//! inputs (offline-purity: no external dev dependencies). Each property runs
+//! at least the 64 random cases proptest used to draw.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use slime_data::augment::{crop, mask, reorder, ItemSimilarity};
 use slime_data::batch::{pad_truncate, TrainSet};
 use slime_data::synthetic::{generate_with_core, SyntheticConfig};
 use slime_data::SeqDataset;
+use slime_rng::rngs::StdRng;
+use slime_rng::{Rng, SeedableRng};
 
-fn arb_seq() -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(1usize..50, 1..40)
+/// An arbitrary sequence of 1..40 items drawn from 1..50.
+fn arb_seq(rng: &mut StdRng) -> Vec<usize> {
+    let len = rng.gen_range(1..40usize);
+    (0..len).map(|_| rng.gen_range(1..50usize)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn pad_truncate_always_exact_length(seq in arb_seq(), n in 1usize..30) {
+#[test]
+fn pad_truncate_always_exact_length() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A_0001);
+    for _ in 0..CASES {
+        let seq = arb_seq(&mut rng);
+        let n = rng.gen_range(1..30usize);
         let out = pad_truncate(&seq, n);
-        prop_assert_eq!(out.len(), n);
+        assert_eq!(out.len(), n);
         // The suffix of the original is preserved in order at the right end.
         let take = seq.len().min(n);
-        prop_assert_eq!(&out[n - take..], &seq[seq.len() - take..]);
+        assert_eq!(&out[n - take..], &seq[seq.len() - take..]);
         // Left side is all padding.
-        prop_assert!(out[..n - take].iter().all(|&v| v == 0));
+        assert!(out[..n - take].iter().all(|&v| v == 0));
     }
+}
 
-    #[test]
-    fn crop_is_contiguous_subsequence(seq in arb_seq(), eta in 0.1f64..1.0, seed in 0u64..500) {
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn crop_is_contiguous_subsequence() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A_0002);
+    for _ in 0..CASES {
+        let seq = arb_seq(&mut rng);
+        let eta = rng.gen_range(0.1f64..1.0);
         let c = crop(&seq, eta, &mut rng);
-        prop_assert!(!c.is_empty());
-        prop_assert!(c.len() <= seq.len());
+        assert!(!c.is_empty());
+        assert!(c.len() <= seq.len());
         // c must appear as a window of seq.
         let found = seq.windows(c.len()).any(|w| w == c.as_slice());
-        prop_assert!(found, "crop {:?} not a window of {:?}", c, seq);
+        assert!(found, "crop {c:?} not a window of {seq:?}");
     }
+}
 
-    #[test]
-    fn mask_only_zeroes_and_preserves_length(seq in arb_seq(), gamma in 0.0f64..1.0, seed in 0u64..500) {
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn mask_only_zeroes_and_preserves_length() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A_0003);
+    for _ in 0..CASES {
+        let seq = arb_seq(&mut rng);
+        let gamma = rng.gen_range(0.0f64..1.0);
         let m = mask(&seq, gamma, &mut rng);
-        prop_assert_eq!(m.len(), seq.len());
+        assert_eq!(m.len(), seq.len());
         for (a, b) in m.iter().zip(&seq) {
-            prop_assert!(*a == 0 || a == b);
+            assert!(*a == 0 || a == b);
         }
     }
+}
 
-    #[test]
-    fn reorder_preserves_multiset(seq in arb_seq(), beta in 0.0f64..1.0, seed in 0u64..500) {
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn reorder_preserves_multiset() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A_0004);
+    for _ in 0..CASES {
+        let seq = arb_seq(&mut rng);
+        let beta = rng.gen_range(0.0f64..1.0);
         let r = reorder(&seq, beta, &mut rng);
         let mut a = r.clone();
         let mut b = seq.clone();
         a.sort_unstable();
         b.sort_unstable();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    #[test]
-    fn train_set_stride_examples_are_subset_with_latest_kept(
-        stride in 1usize..6,
-        lens in prop::collection::vec(4usize..20, 1..8),
-    ) {
+#[test]
+fn train_set_stride_examples_are_subset_with_latest_kept() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A_0005);
+    for _ in 0..CASES {
+        let stride = rng.gen_range(1..6usize);
+        let n_users = rng.gen_range(1..8usize);
+        let lens: Vec<usize> = (0..n_users).map(|_| rng.gen_range(4..20usize)).collect();
         let sequences: Vec<Vec<usize>> = lens
             .iter()
             .enumerate()
@@ -71,8 +94,7 @@ proptest! {
         let ds = SeqDataset::new("p", sequences, 30);
         let full = TrainSet::new(&ds, 1);
         let thin = TrainSet::with_stride(&ds, 1, stride);
-        prop_assert!(thin.len() <= full.len());
-        prop_assert!(thin.len() >= ds.num_users().min(full.len()).saturating_sub(0));
+        assert!(thin.len() <= full.len());
         // Every thinned example exists in the full enumeration.
         let full_set: std::collections::HashSet<(Vec<usize>, usize)> = (0..full.len())
             .map(|i| {
@@ -82,7 +104,7 @@ proptest! {
             .collect();
         for i in 0..thin.len() {
             let (p, t) = thin.example(i);
-            prop_assert!(full_set.contains(&(p.to_vec(), t)));
+            assert!(full_set.contains(&(p.to_vec(), t)));
         }
         // The most recent prefix of each user must be kept.
         for u in 0..ds.num_users() {
@@ -90,13 +112,18 @@ proptest! {
             if s.len() >= 2 {
                 let latest = (&s[..s.len() - 1], s[s.len() - 1]);
                 let kept = (0..thin.len()).any(|i| thin.example(i) == latest);
-                prop_assert!(kept, "latest prefix of user {u} dropped");
+                assert!(kept, "latest prefix of user {u} dropped");
             }
         }
     }
+}
 
-    #[test]
-    fn k_core_output_satisfies_k_core(seed in 0u64..200, k in 2usize..5) {
+#[test]
+fn k_core_output_satisfies_k_core() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A_0006);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0..200u64);
+        let k = rng.gen_range(2..5usize);
         let cfg = SyntheticConfig {
             name: "prop".into(),
             users: 40,
@@ -113,19 +140,21 @@ proptest! {
         let ds = generate_with_core(&cfg, seed, 0).k_core(k);
         let mut item_counts = vec![0usize; ds.num_items() + 1];
         for s in ds.sequences() {
-            prop_assert!(s.len() >= k, "user below {k}-core");
+            assert!(s.len() >= k, "user below {k}-core");
             for &v in s {
-                prop_assert!(v >= 1 && v <= ds.num_items());
+                assert!(v >= 1 && v <= ds.num_items());
                 item_counts[v] += 1;
             }
         }
         for (i, &c) in item_counts.iter().enumerate().skip(1) {
-            prop_assert!(c == 0 || c >= k, "item {i} occurs {c} < {k}");
+            assert!(c == 0 || c >= k, "item {i} occurs {c} < {k}");
         }
     }
+}
 
-    #[test]
-    fn similarity_is_within_vocab(seed in 0u64..100) {
+#[test]
+fn similarity_is_within_vocab() {
+    for seed in 0..CASES {
         let cfg = SyntheticConfig {
             name: "sim".into(),
             users: 20,
@@ -143,8 +172,8 @@ proptest! {
         let sim = ItemSimilarity::from_sequences(ds.sequences(), ds.num_items(), 2);
         for v in 1..=ds.num_items() {
             if let Some(s) = sim.most_similar(v) {
-                prop_assert!(s >= 1 && s <= ds.num_items());
-                prop_assert!(s != v, "an item cannot be its own neighbour");
+                assert!(s >= 1 && s <= ds.num_items());
+                assert!(s != v, "an item cannot be its own neighbour");
             }
         }
     }

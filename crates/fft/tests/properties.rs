@@ -1,7 +1,10 @@
 //! Property-based validation of the FFT library against its naive oracle
 //! and its algebraic identities.
+//!
+//! Formerly proptest-driven; now exhaustive over every length in the range
+//! with a few deterministic seeds each (offline-purity: no external dev
+//! dependencies). The sweep is wider than the 48 random cases proptest drew.
 
-use proptest::prelude::*;
 use slime_fft::{dft, fft, ifft, irfft, rfft, rfft_len, Complex32};
 
 fn signal(n: usize, seed: u64) -> Vec<Complex32> {
@@ -14,75 +17,99 @@ fn signal(n: usize, seed: u64) -> Vec<Complex32> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const SEEDS: [u64; 3] = [0, 17, 83];
 
-    /// The fast transform agrees with the O(N^2) oracle for every length,
-    /// power-of-two or not.
-    #[test]
-    fn fft_matches_oracle(n in 1usize..96, seed in 0u64..100) {
-        let x = signal(n, seed);
-        let mut fast = x.clone();
-        fft(&mut fast);
-        let slow = dft(&x);
-        for (a, b) in fast.iter().zip(slow.iter()) {
-            prop_assert!((a.re - b.re).abs() < 5e-3, "n={n}: {a:?} vs {b:?}");
-            prop_assert!((a.im - b.im).abs() < 5e-3, "n={n}: {a:?} vs {b:?}");
+/// The fast transform agrees with the O(N^2) oracle for every length,
+/// power-of-two or not.
+#[test]
+fn fft_matches_oracle() {
+    for n in 1usize..96 {
+        for seed in SEEDS {
+            let x = signal(n, seed);
+            let mut fast = x.clone();
+            fft(&mut fast);
+            let slow = dft(&x);
+            for (a, b) in fast.iter().zip(slow.iter()) {
+                assert!((a.re - b.re).abs() < 5e-3, "n={n}: {a:?} vs {b:?}");
+                assert!((a.im - b.im).abs() < 5e-3, "n={n}: {a:?} vs {b:?}");
+            }
         }
     }
+}
 
-    /// ifft(fft(x)) == x.
-    #[test]
-    fn roundtrip_identity(n in 1usize..96, seed in 0u64..100) {
-        let x = signal(n, seed);
-        let mut buf = x.clone();
-        fft(&mut buf);
-        ifft(&mut buf);
-        for (a, b) in buf.iter().zip(x.iter()) {
-            prop_assert!((a.re - b.re).abs() < 5e-3);
-            prop_assert!((a.im - b.im).abs() < 5e-3);
+/// ifft(fft(x)) == x.
+#[test]
+fn roundtrip_identity() {
+    for n in 1usize..96 {
+        for seed in SEEDS {
+            let x = signal(n, seed);
+            let mut buf = x.clone();
+            fft(&mut buf);
+            ifft(&mut buf);
+            for (a, b) in buf.iter().zip(x.iter()) {
+                assert!((a.re - b.re).abs() < 5e-3, "n={n}");
+                assert!((a.im - b.im).abs() < 5e-3, "n={n}");
+            }
         }
     }
+}
 
-    /// Parseval: energy is preserved up to 1/N.
-    #[test]
-    fn parseval(n in 1usize..96, seed in 0u64..100) {
-        let x = signal(n, seed);
-        let mut buf = x.clone();
-        fft(&mut buf);
-        let time: f64 = x.iter().map(|c| c.norm_sqr() as f64).sum();
-        let freq: f64 = buf.iter().map(|c| c.norm_sqr() as f64).sum::<f64>() / n as f64;
-        prop_assert!((time - freq).abs() < 1e-2 * time.max(1.0), "{time} vs {freq}");
-    }
-
-    /// irfft(rfft(x)) == x for real signals of any length.
-    #[test]
-    fn real_roundtrip(n in 1usize..96, seed in 0u64..100) {
-        let x: Vec<f32> = signal(n, seed).iter().map(|c| c.re).collect();
-        let spec = rfft(&x);
-        prop_assert_eq!(spec.len(), rfft_len(n));
-        let back = irfft(&spec, n);
-        for (a, b) in back.iter().zip(x.iter()) {
-            prop_assert!((a - b).abs() < 5e-3);
+/// Parseval: energy is preserved up to 1/N.
+#[test]
+fn parseval() {
+    for n in 1usize..96 {
+        for seed in SEEDS {
+            let x = signal(n, seed);
+            let mut buf = x.clone();
+            fft(&mut buf);
+            let time: f64 = x.iter().map(|c| c.norm_sqr() as f64).sum();
+            let freq: f64 = buf.iter().map(|c| c.norm_sqr() as f64).sum::<f64>() / n as f64;
+            assert!(
+                (time - freq).abs() < 1e-2 * time.max(1.0),
+                "n={n}: {time} vs {freq}"
+            );
         }
     }
+}
 
-    /// Time shift <-> phase rotation: shifting a signal circularly by s
-    /// multiplies bin k by e^{-2 pi i k s / N}.
-    #[test]
-    fn shift_theorem(n in 2usize..48, shift in 1usize..8, seed in 0u64..100) {
-        let s = shift % n;
-        let x = signal(n, seed);
-        let shifted: Vec<Complex32> = (0..n).map(|i| x[(i + n - s) % n]).collect();
-        let mut fx = x.clone();
-        fft(&mut fx);
-        let mut fs = shifted;
-        fft(&mut fs);
-        for k in 0..n {
-            let phase = Complex32::cis(-2.0 * std::f64::consts::PI * (k * s) as f64 / n as f64);
-            let expected = fx[k] * phase;
-            prop_assert!((expected.re - fs[k].re).abs() < 1e-2, "k={k}");
-            prop_assert!((expected.im - fs[k].im).abs() < 1e-2, "k={k}");
+/// irfft(rfft(x)) == x for real signals of any length.
+#[test]
+fn real_roundtrip() {
+    for n in 1usize..96 {
+        for seed in SEEDS {
+            let x: Vec<f32> = signal(n, seed).iter().map(|c| c.re).collect();
+            let spec = rfft(&x);
+            assert_eq!(spec.len(), rfft_len(n));
+            let back = irfft(&spec, n);
+            for (a, b) in back.iter().zip(x.iter()) {
+                assert!((a - b).abs() < 5e-3, "n={n}");
+            }
+        }
+    }
+}
+
+/// Time shift <-> phase rotation: shifting a signal circularly by s
+/// multiplies bin k by e^{-2 pi i k s / N}.
+#[test]
+fn shift_theorem() {
+    for n in 2usize..48 {
+        for shift in 1usize..8 {
+            for seed in SEEDS {
+                let s = shift % n;
+                let x = signal(n, seed);
+                let shifted: Vec<Complex32> = (0..n).map(|i| x[(i + n - s) % n]).collect();
+                let mut fx = x.clone();
+                fft(&mut fx);
+                let mut fs = shifted;
+                fft(&mut fs);
+                for k in 0..n {
+                    let phase =
+                        Complex32::cis(-2.0 * std::f64::consts::PI * (k * s) as f64 / n as f64);
+                    let expected = fx[k] * phase;
+                    assert!((expected.re - fs[k].re).abs() < 1e-2, "n={n} k={k}");
+                    assert!((expected.im - fs[k].im).abs() < 1e-2, "n={n} k={k}");
+                }
+            }
         }
     }
 }

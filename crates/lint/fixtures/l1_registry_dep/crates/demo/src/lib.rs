@@ -1,0 +1,10 @@
+// Fixture: both the manifest entry and this import must fire offline-purity.
+use serde::Serialize;
+
+// A workspace-internal import is fine and must NOT fire.
+use demo::helpers;
+
+// An annotated import is tolerated.
+use rand_core::RngCore; // lint-allow(offline-purity): vendored in-tree under src/vendor
+
+pub fn noop() {}

@@ -1,0 +1,2 @@
+// Fixture gradcheck corpus: mentions nothing, so `orphan_scale` is uncovered.
+pub fn check_gradient() {}

@@ -1,0 +1,6 @@
+// Fixture: forward-only op. No `fn backward(` impl, no `unary(` call, and
+// `orphan_scale` appears nowhere in the gradcheck corpus.
+
+pub fn orphan_scale(x: &Tensor, k: f32) -> Tensor {
+    x.map(|v| v * k)
+}

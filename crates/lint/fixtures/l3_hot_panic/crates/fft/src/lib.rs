@@ -1,0 +1,27 @@
+// Fixture: three violations, one tolerated allow, and test code that must
+// be ignored entirely.
+
+pub fn radix2(xs: &mut [f32]) {
+    let first = xs.first().unwrap();
+    if !first.is_finite() {
+        panic!("bad input");
+    }
+    todo!("rest of the butterfly")
+}
+
+pub fn plan(n: usize) -> usize {
+    // lint-allow(panic): n is a power of two by construction in callers
+    n.checked_next_power_of_two().unwrap()
+}
+
+// The string/comment forms must NOT fire: "panic!" and unwrap() here.
+pub const DOC: &str = "never call panic! or .unwrap() in hot loops";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        v.unwrap();
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: `blend` takes two tensors and checks nothing — must fire.
+// `checked_blend` asserts — must not fire. `ramp` is unary — exempt.
+// Both modules register a backward so L4 is isolated from L2 in tests.
+
+pub fn blend(a: &Tensor, b: &Tensor) -> Tensor {
+    unary("blend", a, a.zip(b, |x, y| 0.5 * (x + y)))
+}
+
+pub fn checked_blend(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "blend: shape mismatch");
+    unary("checked_blend", a, a.zip(b, |x, y| 0.5 * (x + y)))
+}
+
+pub fn ramp(x: &Tensor) -> Tensor {
+    unary("ramp", x, x.map(|v| v.max(0.0)))
+}

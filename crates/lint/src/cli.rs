@@ -1,0 +1,77 @@
+//! Command-line front end: `slime-lint check [--json] [--root PATH]`.
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error. CI treats
+//! anything nonzero as a gate failure.
+
+use std::path::PathBuf;
+
+use crate::rules;
+use crate::workspace::Workspace;
+
+const USAGE: &str = "usage: slime-lint check [--json] [--root PATH]\n\
+  check          run all rules over the workspace\n\
+  --json         emit findings as a JSON array instead of text lines\n\
+  --root PATH    workspace root (default: current directory)";
+
+/// Run the CLI with `args` (program name already stripped); returns the
+/// process exit code.
+pub fn run(args: impl Iterator<Item = String>) -> i32 {
+    let args: Vec<String> = args.collect();
+    if args.first().map(String::as_str) != Some("check") {
+        eprintln!("{USAGE}");
+        return 2;
+    }
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root needs a path\n{USAGE}");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+
+    let ws = match Workspace::discover(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("slime-lint: {e}");
+            return 2;
+        }
+    };
+    let findings = rules::run_all(&ws);
+
+    if json {
+        let items: Vec<String> = findings.iter().map(|f| f.to_json()).collect();
+        println!("[{}]", items.join(","));
+    } else {
+        for f in &findings {
+            println!("{}", f.render());
+        }
+        println!(
+            "slime-lint: {} finding{} across {} file{}",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" },
+            ws.rs_files.len() + ws.manifests.len(),
+            if ws.rs_files.len() + ws.manifests.len() == 1 {
+                ""
+            } else {
+                "s"
+            },
+        );
+    }
+    if findings.is_empty() {
+        0
+    } else {
+        1
+    }
+}

@@ -1,0 +1,100 @@
+//! slime-lint: a zero-dependency static-analysis pass for this workspace.
+//!
+//! Four rules, each calibrated against the real tree and enforced in CI
+//! (`scripts/ci.sh`):
+//!
+//! - **offline-purity (L1)** — every dependency in every manifest must
+//!   resolve by workspace path, and every `use`/`extern crate` root in the
+//!   sources must be `std`/`core`/`alloc` or a workspace crate. The build
+//!   must never need a registry.
+//! - **op-coverage (L2)** — each op module in `crates/tensor/src/ops/`
+//!   must register a backward pass, and each public op must be referenced
+//!   by name from the gradcheck corpus.
+//! - **panic (L3)** — `unwrap()`, `expect(`, `panic!`, `todo!`,
+//!   `unimplemented!` are banned on hot paths (tensor ops, FFT, nn
+//!   forward code) unless justified with a `lint-allow`.
+//! - **shape-assert (L4)** — public tensor ops taking multiple tensor
+//!   operands must validate operand shapes before computing.
+//!
+//! Escape hatch: `// lint-allow(<rule>): <reason>` on the offending line,
+//! or on a standalone comment line directly above it. The reason is
+//! mandatory by convention; it is what reviewers audit.
+
+pub mod cli;
+pub mod rules;
+pub mod scan;
+pub mod workspace;
+
+/// One lint finding, pointing at a file/line with a rule name attached.
+#[derive(Debug)]
+pub struct Finding {
+    /// Rule name, e.g. `offline-purity` — the same token `lint-allow` uses.
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// The one-line text rendering: `file:line: [rule] message`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+
+    /// The machine-readable JSON rendering (hand-rolled; the lint stays
+    /// dependency-free on purpose, so it cannot use slime-json either —
+    /// that would make the tool unable to lint its own dependency policy
+    /// from a clean checkout).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            json_escape(self.rule),
+            json_escape(&self.file),
+            self.line,
+            json_escape(&self.message)
+        )
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finding_renders_text_and_json() {
+        let f = Finding {
+            rule: "panic",
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            message: "say \"no\"".into(),
+        };
+        assert_eq!(f.render(), "crates/x/src/lib.rs:7: [panic] say \"no\"");
+        assert_eq!(
+            f.to_json(),
+            "{\"rule\":\"panic\",\"file\":\"crates/x/src/lib.rs\",\"line\":7,\"message\":\"say \\\"no\\\"\"}"
+        );
+    }
+}

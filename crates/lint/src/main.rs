@@ -1,0 +1,3 @@
+fn main() {
+    std::process::exit(slime_lint::cli::run(std::env::args().skip(1)));
+}

@@ -1,0 +1,439 @@
+//! The four lint rules. Each rule is a pure function from a discovered
+//! [`Workspace`] to a list of [`Finding`]s, so the fixture tests can point
+//! a rule at a miniature workspace tree and assert exactly what fires.
+
+use std::collections::HashSet;
+use std::fs;
+use std::path::Path;
+
+use crate::scan::Source;
+use crate::workspace::Workspace;
+use crate::Finding;
+
+/// Run every rule and return the findings sorted by (file, line, rule).
+pub fn run_all(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    out.extend(l1_offline_purity(ws));
+    out.extend(l2_op_coverage(ws));
+    out.extend(l3_panic_freedom(ws));
+    out.extend(l4_shape_assert(ws));
+    out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    out
+}
+
+fn read_source(path: &Path) -> Option<Source> {
+    fs::read_to_string(path).ok().map(|t| Source::scan(&t))
+}
+
+/// Does `name` occur in `haystack` as a whole identifier (not as a
+/// substring of a longer identifier)?
+fn word_in(haystack: &str, name: &str) -> bool {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(name) {
+        let start = from + pos;
+        let end = start + name.len();
+        let before_ok = start == 0 || !haystack[..start].chars().next_back().is_some_and(is_ident);
+        let after_ok = !haystack[end..].chars().next().is_some_and(is_ident);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// L1: offline purity
+// ---------------------------------------------------------------------------
+
+/// Every dependency entry must resolve by workspace path, and every
+/// `use`/`extern crate` root must be `std`/`core`/`alloc` or a workspace
+/// crate. Both halves matter: the manifest check catches deps the sources
+/// never name, the source check catches a path dep pointing outside the
+/// workspace or a stray `extern crate`.
+pub fn l1_offline_purity(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for m in &ws.manifests {
+        for d in &m.deps {
+            if !d.is_path {
+                out.push(Finding {
+                    rule: "offline-purity",
+                    file: ws.rel(&m.path),
+                    line: d.line,
+                    message: format!(
+                        "dependency `{}` in [{}] does not resolve by workspace path; \
+                         registry dependencies are forbidden (the build must work offline)",
+                        d.name, d.section
+                    ),
+                });
+            }
+        }
+    }
+
+    let mut allowed: HashSet<String> = ["std", "core", "alloc", "crate", "self", "super"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    allowed.extend(ws.crate_idents());
+
+    for f in &ws.rs_files {
+        let Some(src) = read_source(f) else { continue };
+        let local = local_decls(&src);
+        for (idx, l) in src.lines.iter().enumerate() {
+            let Some(root) = use_root(&l.code) else {
+                continue;
+            };
+            if root.is_empty() || allowed.contains(root) || local.contains(root) {
+                continue;
+            }
+            if src.allowed("offline-purity", idx + 1) {
+                continue;
+            }
+            out.push(Finding {
+                rule: "offline-purity",
+                file: ws.rel(f),
+                line: idx + 1,
+                message: format!(
+                    "imports non-workspace crate `{root}`; only std and workspace crates \
+                     are available offline"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Names declared in this file that a 2018-edition uniform path may start
+/// with: `mod` children plus local types (`use Direction::*` on a local
+/// enum is legal and must not read as an external crate).
+fn local_decls(src: &Source) -> HashSet<String> {
+    let mut out = HashSet::new();
+    for l in &src.lines {
+        for kw in ["mod ", "enum ", "struct ", "trait ", "type "] {
+            let mut from = 0;
+            while let Some(p) = l.code[from..].find(kw) {
+                let start = from + p;
+                let boundary = start == 0
+                    || !l.code[..start]
+                        .chars()
+                        .next_back()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+                let rest = &l.code[start + kw.len()..];
+                let end = rest
+                    .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+                    .unwrap_or(rest.len());
+                if boundary && end > 0 {
+                    out.insert(rest[..end].to_string());
+                }
+                from = start + kw.len();
+            }
+        }
+    }
+    out
+}
+
+/// Extract the first path segment of a `use`/`pub use`/`extern crate` line.
+fn use_root(code: &str) -> Option<&str> {
+    let t = code.trim_start();
+    let t = if t.starts_with("pub") {
+        // `pub use`, `pub(crate) use`, `pub(in …) use`.
+        match t.find(" use ") {
+            Some(p) => &t[p + 1..],
+            None => t,
+        }
+    } else {
+        t
+    };
+    let rest = t
+        .strip_prefix("use ")
+        .or_else(|| t.strip_prefix("extern crate "))?;
+    let rest = rest.trim_start_matches("::");
+    let end = rest
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    Some(&rest[..end])
+}
+
+// ---------------------------------------------------------------------------
+// Shared: extract non-test `pub fn` items (name, line, signature, body)
+// ---------------------------------------------------------------------------
+
+struct FnItem {
+    name: String,
+    line: usize,
+    signature: String,
+    body: String,
+}
+
+fn public_fns(src: &Source) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < src.lines.len() {
+        let l = &src.lines[i];
+        let pos = match l.code.find("pub fn ") {
+            Some(p) if !l.in_test => p,
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let after = &l.code[pos + "pub fn ".len()..];
+        let name_end = after
+            .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .unwrap_or(after.len());
+        let name = after[..name_end].to_string();
+
+        // Signature runs to the opening brace; body to the matching close.
+        let mut signature = String::new();
+        let mut body = String::new();
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut j = i;
+        'collect: while j < src.lines.len() {
+            for c in src.lines[j].code.chars() {
+                if !opened {
+                    match c {
+                        '{' => {
+                            opened = true;
+                            depth = 1;
+                        }
+                        ';' => break 'collect, // trait method declaration
+                        _ => signature.push(c),
+                    }
+                } else {
+                    match c {
+                        '{' => depth += 1,
+                        '}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break 'collect;
+                            }
+                        }
+                        _ => {}
+                    }
+                    body.push(c);
+                }
+            }
+            if opened {
+                body.push('\n');
+            } else {
+                signature.push('\n');
+            }
+            j += 1;
+        }
+        out.push(FnItem {
+            name,
+            line: i + 1,
+            signature,
+            body,
+        });
+        i = j + 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// L2: op coverage
+// ---------------------------------------------------------------------------
+
+/// Each op module under `crates/tensor/src/ops/` must register a backward
+/// pass (a `fn backward(` impl or a call to the `unary(` helper) and every
+/// public op it exports must be named somewhere in the gradcheck corpus
+/// (`crates/tensor/src/gradcheck.rs`, `crates/tensor/tests/`,
+/// `tests/cross_crate_gradcheck.rs`).
+pub fn l2_op_coverage(ws: &Workspace) -> Vec<Finding> {
+    let mut corpus = String::new();
+    for f in &ws.rs_files {
+        let r = ws.rel(f);
+        if r == "crates/tensor/src/gradcheck.rs"
+            || r.starts_with("crates/tensor/tests/")
+            || r == "tests/cross_crate_gradcheck.rs"
+        {
+            // Only code counts as coverage: an op named solely in a comment
+            // has no gradcheck exercising it.
+            if let Some(src) = read_source(f) {
+                for l in &src.lines {
+                    corpus.push_str(&l.code);
+                    corpus.push('\n');
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for f in &ws.rs_files {
+        let rel = ws.rel(f);
+        if !rel.starts_with("crates/tensor/src/ops/") || rel.ends_with("/mod.rs") {
+            continue;
+        }
+        let Some(src) = read_source(f) else { continue };
+        let registers_backward = src.code_contains("fn backward(") || src.code_contains("unary(");
+        if !registers_backward && !src.allowed("op-coverage", 1) {
+            out.push(Finding {
+                rule: "op-coverage",
+                file: rel.clone(),
+                line: 1,
+                message: "op module registers no backward pass (no `fn backward(` impl \
+                          and no `unary(` call)"
+                    .into(),
+            });
+        }
+        for item in public_fns(&src) {
+            if word_in(&corpus, &item.name) {
+                continue;
+            }
+            if src.allowed("op-coverage", item.line) {
+                continue;
+            }
+            out.push(Finding {
+                rule: "op-coverage",
+                file: rel.clone(),
+                line: item.line,
+                message: format!(
+                    "public op `{}` is never referenced from the gradcheck corpus; \
+                     add a finite-difference test",
+                    item.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// L3: panic freedom on hot paths
+// ---------------------------------------------------------------------------
+
+/// Directories whose code runs inside training/inference inner loops.
+/// `assert!` is deliberately NOT banned here: shape/invariant asserts are
+/// the sanctioned failure mode (see L4); what L3 bans is the lazy kind of
+/// partiality that turns a data bug into an unattributed crash.
+const HOT_PATHS: &[&str] = &[
+    "crates/tensor/src/ops/",
+    "crates/fft/src/",
+    "crates/nn/src/",
+];
+
+const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!", "todo!", "unimplemented!"];
+
+pub fn l3_panic_freedom(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &ws.rs_files {
+        let rel = ws.rel(f);
+        if !HOT_PATHS.iter().any(|p| rel.starts_with(p)) {
+            continue;
+        }
+        let Some(src) = read_source(f) else { continue };
+        for (idx, l) in src.lines.iter().enumerate() {
+            if l.in_test {
+                continue;
+            }
+            for tok in PANIC_TOKENS {
+                if !l.code.contains(tok) {
+                    continue;
+                }
+                if src.allowed("panic", idx + 1) {
+                    continue;
+                }
+                out.push(Finding {
+                    rule: "panic",
+                    file: rel.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "`{tok}` on a hot path; return a Result, restructure to make the \
+                         failure impossible, or justify with `// lint-allow(panic): <why>`"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// L4: shape asserts on multi-operand tensor ops
+// ---------------------------------------------------------------------------
+
+/// Public ops in `crates/tensor/src/ops/` that take two or more tensor
+/// operands must validate operand shapes (any `assert` in the body counts:
+/// `assert!`, `assert_eq!`, or a call into a shared checker like
+/// `assert_broadcastable`). Single-operand ops are exempt — there is no
+/// cross-operand contract to check.
+pub fn l4_shape_assert(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &ws.rs_files {
+        let rel = ws.rel(f);
+        if !rel.starts_with("crates/tensor/src/ops/") || rel.ends_with("/mod.rs") {
+            continue;
+        }
+        let Some(src) = read_source(f) else { continue };
+        for item in public_fns(&src) {
+            let tensor_params = item.signature.matches("&Tensor").count();
+            let multi = tensor_params >= 2
+                || item.signature.contains("&[Tensor]")
+                || item.signature.contains("[&Tensor]");
+            if !multi || item.body.contains("assert") {
+                continue;
+            }
+            if src.allowed("shape-assert", item.line) {
+                continue;
+            }
+            out.push(Finding {
+                rule: "shape-assert",
+                file: rel.clone(),
+                line: item.line,
+                message: format!(
+                    "public op `{}` takes multiple tensor operands but validates no \
+                     shapes; assert the operand contract before computing",
+                    item.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn use_root_extraction() {
+        assert_eq!(use_root("use std::fs;"), Some("std"));
+        assert_eq!(use_root("pub use crate::ops::add;"), Some("crate"));
+        assert_eq!(use_root("pub(crate) use super::unary;"), Some("super"));
+        assert_eq!(use_root("use slime_tensor::Tensor;"), Some("slime_tensor"));
+        assert_eq!(use_root("extern crate serde;"), Some("serde"));
+        assert_eq!(use_root("let x = 1;"), None);
+    }
+
+    #[test]
+    fn word_in_respects_identifier_boundaries() {
+        assert!(word_in("ops::neg(&x)", "neg"));
+        assert!(!word_in("ops::neg_fast(&x)", "neg"));
+        assert!(!word_in("renege", "neg"));
+        assert!(word_in("check(add, sub)", "add"));
+    }
+
+    #[test]
+    fn public_fns_capture_signature_and_body() {
+        let src = Source::scan(
+            "pub fn add(a: &Tensor,\n           b: &Tensor) -> Tensor {\n    assert!(ok);\n    body()\n}\nfn private() {}\n",
+        );
+        let fns = public_fns(&src);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "add");
+        assert_eq!(fns[0].line, 1);
+        assert_eq!(fns[0].signature.matches("&Tensor").count(), 2);
+        assert!(fns[0].body.contains("assert"));
+    }
+
+    #[test]
+    fn trait_method_declarations_have_no_body() {
+        let src = Source::scan("pub fn decl(a: &Tensor, b: &Tensor) -> Tensor;\n");
+        let fns = public_fns(&src);
+        assert_eq!(fns.len(), 1);
+        assert!(fns[0].body.is_empty());
+    }
+}

@@ -1,0 +1,371 @@
+//! A hand-rolled Rust source scanner.
+//!
+//! `syn` is unavailable offline, and the lint rules only need line-level
+//! facts: what each line looks like with comments and string literals
+//! blanked out, which lines sit inside `#[cfg(test)]` modules, and where
+//! `// lint-allow(<rule>): <reason>` escape hatches are.
+//!
+//! The scanner is a small state machine over characters that understands
+//! line comments, nested block comments, string/char literals, and raw
+//! strings (`r"…"`, `r#"…"#`). That is enough to avoid the classic
+//! false-positive sources (a `panic!` inside a doc comment or an error
+//! message) without a full parser.
+
+/// One scanned source line.
+#[derive(Debug)]
+pub struct Line {
+    /// The line with comment bodies and string/char literal contents
+    /// replaced by spaces (delimiters kept). Token searches run on this.
+    pub code: String,
+    /// Comment text on this line (contents of `//…` and `/*…*/` parts).
+    pub comment: String,
+    /// True if the line is inside a `#[cfg(test)]` module.
+    pub in_test: bool,
+}
+
+/// A `lint-allow` annotation.
+#[derive(Debug)]
+pub struct Allow {
+    /// Rule name inside the parentheses, e.g. `panic`.
+    pub rule: String,
+    /// Justification after the colon (may be empty — rules may reject that).
+    pub reason: String,
+    /// 1-based line the annotation appears on.
+    pub line: usize,
+    /// True if the annotation's line has no code of its own, in which case
+    /// it covers the next code line instead.
+    pub standalone: bool,
+}
+
+/// A fully scanned source file.
+#[derive(Debug)]
+pub struct Source {
+    /// Scanned lines, index 0 = line 1.
+    pub lines: Vec<Line>,
+    /// All `lint-allow` annotations in the file.
+    pub allows: Vec<Allow>,
+}
+
+impl Source {
+    /// Scan a source text.
+    pub fn scan(text: &str) -> Source {
+        let (lines, comments) = strip(text);
+        let mut scanned: Vec<Line> = lines
+            .into_iter()
+            .zip(comments)
+            .map(|(code, comment)| Line {
+                code,
+                comment,
+                in_test: false,
+            })
+            .collect();
+        mark_test_regions(&mut scanned);
+        let allows = collect_allows(&scanned);
+        Source {
+            lines: scanned,
+            allows,
+        }
+    }
+
+    /// Is `rule` allowed on 1-based line `n`?
+    ///
+    /// An annotation covers its own line when it shares the line with code,
+    /// and the next code line when it stands alone (possibly with further
+    /// standalone comment lines in between).
+    pub fn allowed(&self, rule: &str, n: usize) -> bool {
+        self.allows.iter().any(|a| {
+            if a.rule != rule && a.rule != "all" {
+                return false;
+            }
+            if !a.standalone {
+                return a.line == n;
+            }
+            // Standalone: covers the first line with code after it.
+            if n <= a.line {
+                return false;
+            }
+            self.lines[a.line..n.saturating_sub(1)]
+                .iter()
+                .all(|l| l.code.trim().is_empty())
+        })
+    }
+
+    /// True if any line's code contains `needle` (ignores comments/strings).
+    pub fn code_contains(&self, needle: &str) -> bool {
+        self.lines.iter().any(|l| l.code.contains(needle))
+    }
+}
+
+/// Blank out comments and literal contents, returning per-line code text
+/// and per-line comment text.
+fn strip(text: &str) -> (Vec<String>, Vec<String>) {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        Line,
+        Block(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let mut st = St::Code;
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut codes = Vec::new();
+    let mut comments = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            if st == St::Line {
+                st = St::Code;
+            }
+            codes.push(std::mem::take(&mut code));
+            comments.push(std::mem::take(&mut comment));
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Code => match (c, next) {
+                ('/', Some('/')) => {
+                    st = St::Line;
+                    i += 2;
+                }
+                ('/', Some('*')) => {
+                    st = St::Block(1);
+                    code.push_str("  ");
+                    i += 2;
+                }
+                ('"', _) => {
+                    st = St::Str;
+                    code.push('"');
+                    i += 1;
+                }
+                ('r', Some('"')) | ('r', Some('#')) => {
+                    // Raw string r"…" or r#"…"# (count the hashes).
+                    let mut hashes = 0u32;
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        st = St::RawStr(hashes);
+                        code.push('"');
+                        i = j + 1;
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+                ('\'', _) => {
+                    // Char literal vs lifetime: a lifetime is '\'' followed by
+                    // an identifier NOT closed by another quote soon after.
+                    let is_char = matches!(
+                        (chars.get(i + 1), chars.get(i + 2), chars.get(i + 3)),
+                        (Some('\\'), _, _)
+                    ) || chars.get(i + 2) == Some(&'\'');
+                    if is_char {
+                        st = St::Char;
+                        code.push('\'');
+                    } else {
+                        code.push('\'');
+                    }
+                    i += 1;
+                }
+                _ => {
+                    code.push(c);
+                    i += 1;
+                }
+            },
+            St::Line => {
+                comment.push(c);
+                i += 1;
+            }
+            St::Block(depth) => match (c, next) {
+                ('*', Some('/')) => {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::Block(depth - 1)
+                    };
+                    i += 2;
+                }
+                ('/', Some('*')) => {
+                    st = St::Block(depth + 1);
+                    i += 2;
+                }
+                _ => {
+                    comment.push(c);
+                    i += 1;
+                }
+            },
+            St::Str => match (c, next) {
+                ('\\', Some(_)) => {
+                    code.push_str("  ");
+                    i += 2;
+                }
+                ('"', _) => {
+                    st = St::Code;
+                    code.push('"');
+                    i += 1;
+                }
+                _ => {
+                    code.push(' ');
+                    i += 1;
+                }
+            },
+            St::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && chars.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        st = St::Code;
+                        code.push('"');
+                        i = j;
+                        continue;
+                    }
+                }
+                code.push(' ');
+                i += 1;
+            }
+            St::Char => match (c, next) {
+                ('\\', Some(_)) => {
+                    code.push_str("  ");
+                    i += 2;
+                }
+                ('\'', _) => {
+                    st = St::Code;
+                    code.push('\'');
+                    i += 1;
+                }
+                _ => {
+                    code.push(' ');
+                    i += 1;
+                }
+            },
+        }
+    }
+    codes.push(code);
+    comments.push(comment);
+    (codes, comments)
+}
+
+/// Mark lines inside `#[cfg(test)] mod … { … }` regions by brace counting
+/// on the stripped code text.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut i = 0usize;
+    while i < lines.len() {
+        if lines[i].code.contains("#[cfg(test)]") {
+            // Find the opening brace of the item that follows.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                for c in lines[j].code.clone().chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                lines[j].in_test = true;
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn collect_allows(lines: &[Line]) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for (idx, l) in lines.iter().enumerate() {
+        let Some(pos) = l.comment.find("lint-allow(") else {
+            continue;
+        };
+        let rest = &l.comment[pos + "lint-allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let after = &rest[close + 1..];
+        let reason = after
+            .strip_prefix(':')
+            .map(|r| r.trim().to_string())
+            .unwrap_or_default();
+        out.push(Allow {
+            rule,
+            reason,
+            line: idx + 1,
+            standalone: l.code.trim().is_empty(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let s = Source::scan("let x = \"panic!\"; // panic!\nlet y = 1; /* unwrap() */");
+        assert!(!s.lines[0].code.contains("panic"));
+        assert!(s.lines[0].comment.contains("panic!"));
+        assert!(!s.lines[1].code.contains("unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let s = Source::scan("let x = r#\"unwrap() \"# ;");
+        assert!(!s.lines[0].code.contains("unwrap"));
+        assert!(s.lines[0].code.contains(';'));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = Source::scan("/* a /* b */ panic! */ let x = 1;");
+        assert!(!s.lines[0].code.contains("panic"));
+        assert!(s.lines[0].code.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let s = Source::scan("fn f<'a>(x: &'a str) { x.unwrap() }");
+        assert!(s.lines[0].code.contains("unwrap"));
+    }
+
+    #[test]
+    fn test_mod_is_marked() {
+        let text = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}";
+        let s = Source::scan(text);
+        assert!(!s.lines[0].in_test);
+        assert!(s.lines[3].in_test);
+        assert!(!s.lines[5].in_test);
+    }
+
+    #[test]
+    fn allow_same_line_and_standalone() {
+        let text = "x.unwrap(); // lint-allow(panic): checked above\n// lint-allow(panic): next line\n\ny.unwrap();";
+        let s = Source::scan(text);
+        assert!(s.allowed("panic", 1));
+        assert!(!s.allowed("panic", 2));
+        assert!(s.allowed("panic", 4));
+        assert!(!s.allowed("other", 1));
+        assert_eq!(s.allows[0].reason, "checked above");
+    }
+}

@@ -1,0 +1,206 @@
+//! Workspace discovery: locate crates, their manifests, and their sources
+//! without any external TOML parser (a line-oriented subset is enough for
+//! the manifests this repo writes).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One dependency entry from a manifest section.
+#[derive(Debug)]
+pub struct Dep {
+    /// Dependency name as written.
+    pub name: String,
+    /// Section it appeared in (`dependencies`, `dev-dependencies`, …).
+    pub section: String,
+    /// True if the entry resolves via a local `path` or `workspace = true`.
+    pub is_path: bool,
+    /// 1-based line in the manifest.
+    pub line: usize,
+}
+
+/// A parsed (subset of a) Cargo manifest.
+#[derive(Debug)]
+pub struct Manifest {
+    /// Manifest path.
+    pub path: PathBuf,
+    /// `package.name`, if present.
+    pub package_name: Option<String>,
+    /// All dependency entries across dependency sections.
+    pub deps: Vec<Dep>,
+}
+
+/// Parse the subset of TOML that Cargo manifests in this workspace use:
+/// `[section]` headers and `key = value` lines, where dependency values are
+/// either a quoted version string or an inline table.
+pub fn parse_manifest(path: &Path, text: &str) -> Manifest {
+    let mut section = String::new();
+    let mut package_name = None;
+    let mut deps = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(h) = line.strip_prefix('[') {
+            section = h.trim_end_matches(']').trim().to_string();
+            continue;
+        }
+        let Some(eq) = line.find('=') else { continue };
+        let key = line[..eq].trim();
+        let value = line[eq + 1..].trim();
+        if section == "package" && key == "name" {
+            package_name = Some(value.trim_matches('"').to_string());
+        }
+        let dep_section = section == "dependencies"
+            || section == "dev-dependencies"
+            || section == "build-dependencies"
+            || section == "workspace.dependencies"
+            || section.ends_with(".dependencies");
+        if dep_section {
+            // `name = { path = "…" }`, `name = "1.0"`, `name.workspace = true`,
+            // or a `[dependencies.name]` sub-table (not used in this repo).
+            let (name, is_path) = if let Some(n) = key.strip_suffix(".workspace") {
+                (n.to_string(), value == "true")
+            } else {
+                let inline_path = value.starts_with('{')
+                    && (value.contains("path") || value.contains("workspace = true"));
+                (key.to_string(), inline_path)
+            };
+            deps.push(Dep {
+                name,
+                section: section.clone(),
+                is_path,
+                line: idx + 1,
+            });
+        }
+    }
+    Manifest {
+        path: path.to_path_buf(),
+        package_name,
+        deps,
+    }
+}
+
+/// The discovered workspace: root, crate manifests, and source files.
+pub struct Workspace {
+    /// Workspace root directory.
+    pub root: PathBuf,
+    /// All manifests: the root virtual manifest plus each crate's.
+    pub manifests: Vec<Manifest>,
+    /// Every `.rs` file in the workspace (crates' `src`/`tests`/`benches`,
+    /// plus the top-level `tests/` and `examples/` directories).
+    pub rs_files: Vec<PathBuf>,
+}
+
+impl Workspace {
+    /// Discover the workspace under `root` (the directory holding the
+    /// top-level `Cargo.toml`).
+    pub fn discover(root: &Path) -> Result<Workspace, String> {
+        let mut manifests = Vec::new();
+        let root_manifest = root.join("Cargo.toml");
+        let text = fs::read_to_string(&root_manifest)
+            .map_err(|e| format!("cannot read {}: {e}", root_manifest.display()))?;
+        manifests.push(parse_manifest(&root_manifest, &text));
+
+        let crates_dir = root.join("crates");
+        let mut crate_dirs: Vec<PathBuf> = match fs::read_dir(&crates_dir) {
+            Ok(rd) => rd
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.join("Cargo.toml").is_file())
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        crate_dirs.sort();
+        for dir in &crate_dirs {
+            let mpath = dir.join("Cargo.toml");
+            let text = fs::read_to_string(&mpath)
+                .map_err(|e| format!("cannot read {}: {e}", mpath.display()))?;
+            manifests.push(parse_manifest(&mpath, &text));
+        }
+
+        let mut rs_files = Vec::new();
+        for dir in &crate_dirs {
+            collect_rs(dir, &mut rs_files);
+        }
+        for top in ["tests", "examples"] {
+            let d = root.join(top);
+            if d.is_dir() {
+                collect_rs(&d, &mut rs_files);
+            }
+        }
+        rs_files.sort();
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            manifests,
+            rs_files,
+        })
+    }
+
+    /// Workspace crate lib names in `use`-path form (dashes → underscores).
+    pub fn crate_idents(&self) -> Vec<String> {
+        self.manifests
+            .iter()
+            .filter_map(|m| m.package_name.as_ref())
+            .map(|n| n.replace('-', "_"))
+            .collect()
+    }
+
+    /// A path rendered relative to the workspace root for reporting.
+    pub fn rel(&self, p: &Path) -> String {
+        p.strip_prefix(&self.root)
+            .unwrap_or(p)
+            .display()
+            .to_string()
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = fs::read_dir(dir) else { return };
+    for e in rd.filter_map(|e| e.ok()) {
+        let p = e.path();
+        if p.is_dir() {
+            // `fixtures` holds deliberately-broken mini workspaces for the
+            // lint's own tests; they must not pollute a real-workspace run.
+            if p.file_name()
+                .is_some_and(|n| n == "target" || n == "fixtures")
+            {
+                continue;
+            }
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_parsing_classifies_deps() {
+        let text = "\
+[package]
+name = \"demo\"
+
+[dependencies]
+slime-fft = { path = \"../fft\" }
+slime-rng.workspace = true
+rand = \"0.8\"
+serde = { version = \"1\", features = [\"derive\"] }
+
+[dev-dependencies]
+proptest = \"1.4\"
+";
+        let m = parse_manifest(Path::new("Cargo.toml"), text);
+        assert_eq!(m.package_name.as_deref(), Some("demo"));
+        let by_name = |n: &str| m.deps.iter().find(|d| d.name == n).unwrap();
+        assert!(by_name("slime-fft").is_path);
+        assert!(by_name("slime-rng").is_path);
+        assert!(!by_name("rand").is_path);
+        assert!(!by_name("serde").is_path);
+        assert!(!by_name("proptest").is_path);
+        assert_eq!(by_name("proptest").section, "dev-dependencies");
+    }
+}

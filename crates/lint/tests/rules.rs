@@ -1,0 +1,107 @@
+//! End-to-end rule tests: each fixture is a miniature broken workspace that
+//! must trip exactly its rule, and the real workspace must come back clean
+//! (the self-check that CI runs via `cargo run -p slime-lint -- check`).
+
+use std::path::PathBuf;
+
+use slime_lint::rules;
+use slime_lint::workspace::Workspace;
+
+fn fixture(name: &str) -> Workspace {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    Workspace::discover(&root).expect("fixture workspace discovers")
+}
+
+#[test]
+fn l1_fires_on_registry_deps_and_external_imports() {
+    let ws = fixture("l1_registry_dep");
+    let findings = rules::l1_offline_purity(&ws);
+    let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    // Two manifest entries (serde, proptest) plus one source import (serde);
+    // the lint-allow'd rand_core import and the workspace-internal import
+    // must not fire.
+    assert_eq!(findings.len(), 3, "got: {msgs:?}");
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("`serde`") && m.contains("[dependencies]")));
+    assert!(msgs.iter().any(|m| m.contains("`proptest`")));
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("imports non-workspace crate `serde`")));
+    assert!(!msgs.iter().any(|m| m.contains("rand_core")));
+    assert!(!msgs.iter().any(|m| m.contains("`demo`")));
+}
+
+#[test]
+fn l2_fires_on_missing_backward_and_uncovered_op() {
+    let ws = fixture("l2_missing_gradcheck");
+    let findings = rules::l2_op_coverage(&ws);
+    let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert_eq!(findings.len(), 2, "got: {msgs:?}");
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("registers no backward pass")));
+    assert!(msgs.iter().any(|m| m.contains("`orphan_scale`")));
+}
+
+#[test]
+fn l3_fires_on_hot_path_panics_only() {
+    let ws = fixture("l3_hot_panic");
+    let findings = rules::l3_panic_freedom(&ws);
+    let msgs: Vec<String> = findings.iter().map(|f| f.render()).collect();
+    // unwrap + panic! + todo! fire; the lint-allow'd unwrap, the string
+    // literal, the comment, and the #[cfg(test)] unwrap do not.
+    assert_eq!(findings.len(), 3, "got: {msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("`.unwrap()`")));
+    assert!(msgs.iter().any(|m| m.contains("`panic!`")));
+    assert!(msgs.iter().any(|m| m.contains("`todo!`")));
+}
+
+#[test]
+fn l4_fires_on_unchecked_multi_operand_op() {
+    let ws = fixture("l4_no_shape_assert");
+    let findings = rules::l4_shape_assert(&ws);
+    let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert_eq!(findings.len(), 1, "got: {msgs:?}");
+    assert!(msgs[0].contains("`blend`"));
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = Workspace::discover(&root).expect("real workspace discovers");
+    // Sanity: discovery actually saw the tree, not an empty directory.
+    assert!(
+        ws.manifests.len() >= 10,
+        "manifests: {}",
+        ws.manifests.len()
+    );
+    assert!(ws.rs_files.len() >= 50, "rs files: {}", ws.rs_files.len());
+    let findings = rules::run_all(&ws);
+    let rendered: Vec<String> = findings.iter().map(|f| f.render()).collect();
+    assert!(
+        findings.is_empty(),
+        "workspace has findings:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn cli_exit_codes() {
+    let fixture_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/l3_hot_panic");
+    let real_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let args = |root: &PathBuf| {
+        vec![
+            "check".to_string(),
+            "--json".to_string(),
+            "--root".to_string(),
+            root.display().to_string(),
+        ]
+        .into_iter()
+    };
+    assert_eq!(slime_lint::cli::run(args(&fixture_root)), 1);
+    assert_eq!(slime_lint::cli::run(args(&real_root)), 0);
+    assert_eq!(slime_lint::cli::run(["bogus".to_string()].into_iter()), 2);
+}

@@ -1,6 +1,6 @@
 //! Multi-head self-attention (SASRec/BERT4Rec/DuoRec backbone).
 
-use rand::Rng;
+use slime_rng::Rng;
 use slime_tensor::{ops, NdArray, Tensor};
 
 use crate::linear::Linear;
@@ -27,7 +27,10 @@ impl MultiHeadAttention {
     /// # Panics
     /// Panics unless `dim % heads == 0`.
     pub fn new(dim: usize, heads: usize, attn_dropout: f32, rng: &mut impl Rng) -> Self {
-        assert!(heads >= 1 && dim.is_multiple_of(heads), "dim must divide by heads");
+        assert!(
+            heads >= 1 && dim.is_multiple_of(heads),
+            "dim must divide by heads"
+        );
         MultiHeadAttention {
             wq: Linear::new(dim, dim, rng),
             wk: Linear::new(dim, dim, rng),
@@ -102,8 +105,8 @@ impl Module for MultiHeadAttention {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use slime_rng::rngs::StdRng;
+    use slime_rng::SeedableRng;
 
     #[test]
     fn output_shape_matches_input() {

@@ -1,6 +1,6 @@
 //! Caser-style convolutions over the item-embedding "image" `[B, N, D]`.
 
-use rand::Rng;
+use slime_rng::Rng;
 use slime_tensor::{ops, Tensor};
 
 use crate::linear::Linear;
@@ -105,8 +105,8 @@ impl Module for VerticalConv {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use slime_rng::rngs::StdRng;
+    use slime_rng::SeedableRng;
     use slime_tensor::NdArray;
 
     #[test]

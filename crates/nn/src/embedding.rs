@@ -1,6 +1,6 @@
 //! Item and positional embeddings (paper Eqs. 9–10).
 
-use rand::Rng;
+use slime_rng::Rng;
 use slime_tensor::{init, ops, Tensor};
 
 use crate::module::{Module, ParamCollector};
@@ -87,8 +87,8 @@ impl Module for PositionalEmbedding {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use slime_rng::rngs::StdRng;
+    use slime_rng::SeedableRng;
 
     #[test]
     fn embedding_shapes() {

@@ -1,6 +1,6 @@
 //! Point-wise feed-forward network (paper Eq. 29).
 
-use rand::Rng;
+use slime_rng::Rng;
 use slime_tensor::{ops, Tensor};
 
 use crate::linear::Linear;
@@ -50,8 +50,8 @@ impl Module for FeedForward {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use slime_rng::rngs::StdRng;
+    use slime_rng::SeedableRng;
     use slime_tensor::NdArray;
 
     #[test]

@@ -1,6 +1,6 @@
 //! Gated recurrent unit (GRU4Rec backbone).
 
-use rand::Rng;
+use slime_rng::Rng;
 use slime_tensor::{ops, NdArray, Tensor};
 
 use crate::linear::Linear;
@@ -84,8 +84,8 @@ impl Module for Gru {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use slime_rng::rngs::StdRng;
+    use slime_rng::SeedableRng;
 
     #[test]
     fn final_state_shape() {

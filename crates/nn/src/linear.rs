@@ -1,6 +1,6 @@
 //! Fully-connected layer.
 
-use rand::Rng;
+use slime_rng::Rng;
 use slime_tensor::{init, ops, Tensor};
 
 use crate::module::{Module, ParamCollector};
@@ -35,8 +35,9 @@ impl Linear {
     /// Apply the layer to `x` of shape `[..., in]`, returning `[..., out]`.
     pub fn forward(&self, x: &Tensor) -> Tensor {
         let shape = x.shape();
+        assert!(!shape.is_empty(), "linear input needs >= 1 dim");
         assert_eq!(
-            *shape.last().expect("linear input needs >= 1 dim"),
+            shape[shape.len() - 1],
             self.in_dim,
             "linear input dim mismatch"
         );
@@ -47,7 +48,8 @@ impl Linear {
             y = ops::add(&y, b);
         }
         let mut out_shape = shape;
-        *out_shape.last_mut().unwrap() = self.out_dim;
+        let last = out_shape.len() - 1;
+        out_shape[last] = self.out_dim;
         ops::reshape(&y, out_shape)
     }
 }
@@ -64,8 +66,8 @@ impl Module for Linear {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use slime_rng::rngs::StdRng;
+    use slime_rng::SeedableRng;
     use slime_tensor::NdArray;
 
     #[test]

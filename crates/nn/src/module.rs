@@ -1,8 +1,8 @@
 //! Module trait, parameter collection, and the training context threaded
 //! through forward passes.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use slime_rng::rngs::StdRng;
+use slime_rng::SeedableRng;
 use slime_tensor::{StateDict, Tensor};
 
 /// RNG + training-mode flag threaded through every forward pass.
@@ -169,7 +169,7 @@ mod tests {
     fn contexts() {
         let mut t = TrainContext::train(3);
         assert!(t.training);
-        let _: f32 = rand::Rng::gen(&mut t.rng);
+        let _: f32 = slime_rng::Rng::gen(&mut t.rng);
         let e = TrainContext::eval();
         assert!(!e.training);
     }

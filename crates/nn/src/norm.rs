@@ -50,7 +50,10 @@ mod tests {
     #[test]
     fn normalizes_rows() {
         let ln = LayerNorm::new(3);
-        let x = Tensor::constant(NdArray::from_vec(vec![2, 3], vec![1., 2., 3., 10., 20., 30.]));
+        let x = Tensor::constant(NdArray::from_vec(
+            vec![2, 3],
+            vec![1., 2., 3., 10., 20., 30.],
+        ));
         let y = ln.forward(&x).value();
         for r in 0..2 {
             let row = &y.data()[r * 3..(r + 1) * 3];

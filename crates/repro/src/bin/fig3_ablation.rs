@@ -11,7 +11,7 @@ use slime_repro::{ExperimentCtx, ResultsWriter, Table};
 
 fn main() {
     let ctx = ExperimentCtx::from_env();
-    
+
     let mut writer = ResultsWriter::new(&ctx, "fig3_ablation");
     let mut records = Vec::new();
 
@@ -37,11 +37,20 @@ fn main() {
             format!("{:.4}", duo.hr(5)),
             format!("{:.4}", duo.ndcg(5)),
         ]);
-        records.push((key.to_string(), "duorec".to_string(), duo.hr(5), duo.ndcg(5)));
+        records.push((
+            key.to_string(),
+            "duorec".to_string(),
+            duo.hr(5),
+            duo.ndcg(5),
+        ));
 
         type Patch = Box<dyn Fn(&mut slime4rec::SlimeConfig)>;
         let variants: [(&str, Patch); 4] = [
-            ("SLIME4Rec w/oC", Box::new(|c: &mut slime4rec::SlimeConfig| c.contrastive = ContrastiveMode::None) as Patch),
+            (
+                "SLIME4Rec w/oC",
+                Box::new(|c: &mut slime4rec::SlimeConfig| c.contrastive = ContrastiveMode::None)
+                    as Patch,
+            ),
             ("SLIME4Rec w/oD", Box::new(|c| c.use_dfs = false)),
             ("SLIME4Rec w/oS", Box::new(|c| c.use_sfs = false)),
             ("SLIME4Rec", Box::new(|_| {})),
@@ -60,9 +69,7 @@ fn main() {
         }
         println!("{}", table.render());
     }
-    println!(
-        "paper shape: full > each single-branch/no-CL variant > DuoRec on every dataset."
-    );
+    println!("paper shape: full > each single-branch/no-CL variant > DuoRec on every dataset.");
     writer.add("records", &records);
     let path = writer.finish();
     println!("results written to {}", path.display());

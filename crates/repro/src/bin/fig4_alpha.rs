@@ -13,7 +13,7 @@ use slime_repro::{ExperimentCtx, ResultsWriter, Table};
 
 fn main() {
     let ctx = ExperimentCtx::from_env();
-    
+
     let mut writer = ResultsWriter::new(&ctx, "fig4_alpha");
     let mut records = Vec::new();
 
@@ -36,8 +36,18 @@ fn main() {
         let (_, duo) = duorec_model(&ds, &ctx.spec_for(key), &tc);
         eprintln!("[{key}] DuoRec baseline: {}", duo.render());
         let mut table = Table::new(
-            format!("Fig. 4 [{key}]: alpha sweep vs DuoRec (HR@5 {:.4}, NDCG@5 {:.4})", duo.hr(5), duo.ndcg(5)),
-            &["alpha", "HR@5", "NDCG@5", "dHR@5 vs DuoRec", "dNDCG@5 vs DuoRec"],
+            format!(
+                "Fig. 4 [{key}]: alpha sweep vs DuoRec (HR@5 {:.4}, NDCG@5 {:.4})",
+                duo.hr(5),
+                duo.ndcg(5)
+            ),
+            &[
+                "alpha",
+                "HR@5",
+                "NDCG@5",
+                "dHR@5 vs DuoRec",
+                "dNDCG@5 vs DuoRec",
+            ],
         );
         for &alpha in &alphas {
             let mut cfg = ctx.slime_cfg_for(key, &ds);
@@ -51,7 +61,14 @@ fn main() {
                 improv_pct(m.hr(5), duo.hr(5)),
                 improv_pct(m.ndcg(5), duo.ndcg(5)),
             ]);
-            records.push((key.to_string(), alpha, m.hr(5), m.ndcg(5), duo.hr(5), duo.ndcg(5)));
+            records.push((
+                key.to_string(),
+                alpha,
+                m.hr(5),
+                m.ndcg(5),
+                duo.hr(5),
+                duo.ndcg(5),
+            ));
         }
         println!("{}", table.render());
     }

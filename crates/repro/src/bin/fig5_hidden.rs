@@ -8,7 +8,7 @@ use slime_repro::{ExperimentCtx, ResultsWriter, Table};
 
 fn main() {
     let ctx = ExperimentCtx::from_env();
-    
+
     let mut writer = ResultsWriter::new(&ctx, "fig5_hidden");
     let mut records = Vec::new();
 

@@ -11,12 +11,16 @@ use slime_repro::{ExperimentCtx, ResultsWriter, Table};
 
 fn main() {
     let ctx = ExperimentCtx::from_env();
-    
+
     let mut writer = ResultsWriter::new(&ctx, "fig5_seqlen");
     let mut records = Vec::new();
 
     // Scaled-down analogue of the paper's N in {25, 50, 75, 100}.
-    let lens: Vec<usize> = if ctx.quick { vec![10] } else { vec![10, 20, 40] };
+    let lens: Vec<usize> = if ctx.quick {
+        vec![10]
+    } else {
+        vec![10, 20, 40]
+    };
     let alphas: Vec<f32> = if ctx.quick { vec![0.3] } else { vec![0.3, 1.0] };
     let default_keys = ["beauty", "ml-1m"];
     let keys: Vec<&str> = ctx

@@ -12,7 +12,7 @@ use slime_repro::{ExperimentCtx, ResultsWriter, Table};
 
 fn main() {
     let ctx = ExperimentCtx::from_env();
-    
+
     let mut writer = ResultsWriter::new(&ctx, "fig6_noise");
     let mut records = Vec::new();
 
@@ -33,7 +33,13 @@ fn main() {
         let tc = ctx.train_config_for(key, 5);
         let mut table = Table::new(
             format!("Fig. 6 [{key}]: layer-noise robustness (HR@5)"),
-            &["epsilon", "DuoRec HR@5", "SLIME4Rec HR@5", "DuoRec NDCG@5", "SLIME4Rec NDCG@5"],
+            &[
+                "epsilon",
+                "DuoRec HR@5",
+                "SLIME4Rec HR@5",
+                "DuoRec NDCG@5",
+                "SLIME4Rec NDCG@5",
+            ],
         );
         for &eps in &epsilons {
             let mut spec = ctx.spec_for(key);

@@ -40,8 +40,14 @@ fn main() {
 
     let amps = model.filter_amplitudes();
     let m = cfg.freq_bins();
-    println!("Fig. 7: learned filter amplitudes on [{key}] (bins 0..{} = low..high freq)", m - 1);
-    println!("{:<10}{:<12}heat (low -> high frequency)", "layer", "branch");
+    println!(
+        "Fig. 7: learned filter amplitudes on [{key}] (bins 0..{} = low..high freq)",
+        m - 1
+    );
+    println!(
+        "{:<10}{:<12}heat (low -> high frequency)",
+        "layer", "branch"
+    );
     let mut csv = String::from("layer,branch,bin,amplitude\n");
     let mut dynamic_cover = vec![false; m];
     let mut static_cover = vec![false; m];
@@ -62,11 +68,7 @@ fn main() {
         }
     }
     let gaps: Vec<usize> = (0..m).filter(|&k| !dynamic_cover[k]).collect();
-    let recaptured: Vec<usize> = gaps
-        .iter()
-        .copied()
-        .filter(|&k| static_cover[k])
-        .collect();
+    let recaptured: Vec<usize> = gaps.iter().copied().filter(|&k| static_cover[k]).collect();
     println!(
         "\nfrequency differential (Fig. 7c): dynamic windows miss {} of {m} bins {gaps:?};\n\
          the static split recaptures {} of them {recaptured:?}.",
@@ -83,5 +85,9 @@ fn main() {
     w.add("recaptured_by_static", &recaptured);
     w.add("test_metrics", test.render());
     let path = w.finish();
-    println!("results written to {} and {}", path.display(), csv_path.display());
+    println!(
+        "results written to {} and {}",
+        path.display(),
+        csv_path.display()
+    );
 }

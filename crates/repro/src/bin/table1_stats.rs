@@ -14,8 +14,18 @@ fn main() {
     let mut table = Table::new(
         "Table I: dataset statistics (synthetic stand-in vs paper original)",
         &[
-            "dataset", "users", "items", "avg.len", "actions", "sparsity%", "",
-            "users(p)", "items(p)", "avg.len(p)", "actions(p)", "sparsity%(p)",
+            "dataset",
+            "users",
+            "items",
+            "avg.len",
+            "actions",
+            "sparsity%",
+            "",
+            "users(p)",
+            "items(p)",
+            "avg.len(p)",
+            "actions(p)",
+            "sparsity%(p)",
         ],
     );
     let mut records = Vec::new();

@@ -13,7 +13,7 @@ use slime_repro::{ExperimentCtx, ResultsWriter, Table};
 
 fn main() {
     let ctx = ExperimentCtx::from_env();
-    
+
     let mut writer = ResultsWriter::new(&ctx, "table2_overall");
     let mut all_results: Vec<(String, String, [f64; 4])> = Vec::new();
 
@@ -29,8 +29,16 @@ fn main() {
                 ds.num_items()
             ),
             &[
-                "model", "HR@5", "HR@10", "NDCG@5", "NDCG@10", "", "HR@5(p)", "HR@10(p)",
-                "NDCG@5(p)", "NDCG@10(p)",
+                "model",
+                "HR@5",
+                "HR@10",
+                "NDCG@5",
+                "NDCG@10",
+                "",
+                "HR@5(p)",
+                "HR@10(p)",
+                "NDCG@5(p)",
+                "NDCG@10(p)",
             ],
         );
 

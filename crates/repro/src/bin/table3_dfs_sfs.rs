@@ -11,7 +11,7 @@ use slime_repro::{ExperimentCtx, ResultsWriter, Table};
 
 fn main() {
     let ctx = ExperimentCtx::from_env();
-    
+
     let mut writer = ResultsWriter::new(&ctx, "table3_dfs_sfs");
     let mut records = Vec::new();
 
@@ -22,7 +22,16 @@ fn main() {
         let di = dataset_index(key).expect("dataset");
         let mut table = Table::new(
             format!("Table III [{key}]: DFS vs DFS+SFS (HR@5 / NDCG@5)"),
-            &["L", "alpha", "SFS", "HR@5", "NDCG@5", "", "HR@5(p)", "NDCG@5(p)"],
+            &[
+                "L",
+                "alpha",
+                "SFS",
+                "HR@5",
+                "NDCG@5",
+                "",
+                "HR@5(p)",
+                "NDCG@5(p)",
+            ],
         );
         for &(layers, alpha) in &grid {
             for sfs in [false, true] {
@@ -35,10 +44,7 @@ fn main() {
                     .iter()
                     .find(|(l, a, s, _)| *l == layers && (*a - alpha).abs() < 1e-6 && *s == sfs)
                     .map(|(_, _, _, rows)| rows[di]);
-                eprintln!(
-                    "[{key}] L={layers} alpha={alpha} sfs={sfs}: {}",
-                    m.render()
-                );
+                eprintln!("[{key}] L={layers} alpha={alpha} sfs={sfs}: {}", m.render());
                 table.push(vec![
                     layers.to_string(),
                     format!("{alpha}"),

@@ -12,7 +12,7 @@ use slime_repro::{ExperimentCtx, ResultsWriter, Table};
 
 fn main() {
     let ctx = ExperimentCtx::from_env();
-    
+
     let mut writer = ResultsWriter::new(&ctx, "table5_depth");
     let mut records = Vec::new();
 
@@ -24,8 +24,14 @@ fn main() {
         let mut table = Table::new(
             format!("Table V [{key}]: depth sweep (HR@5 / NDCG@5)"),
             &[
-                "L", "DuoRec HR@5", "DuoRec NDCG@5", "Ours HR@5", "Ours NDCG@5", "",
-                "Duo HR@5(p)", "Ours HR@5(p)",
+                "L",
+                "DuoRec HR@5",
+                "DuoRec NDCG@5",
+                "Ours HR@5",
+                "Ours NDCG@5",
+                "",
+                "Duo HR@5(p)",
+                "Ours HR@5(p)",
             ],
         );
         for (li, &layers) in depths.iter().enumerate() {

@@ -6,11 +6,11 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use serde::Serialize;
 use slime4rec::{SlimeConfig, TrainConfig};
 use slime_baselines::runner::BaselineSpec;
 use slime_data::synthetic::{generate, profile, PROFILE_KEYS};
 use slime_data::SeqDataset;
+use slime_json::{ToJson, Value};
 use slime_metrics::MetricSet;
 
 /// Experiment context resolved from the environment.
@@ -47,7 +47,9 @@ impl ExperimentCtx {
                 .map(|v| v.split(',').map(|s| s.trim().to_string()).collect()),
             models: get("SLIME_MODELS")
                 .map(|v| v.split(',').map(|s| s.trim().to_string()).collect()),
-            out_dir: get("SLIME_OUT").map(PathBuf::from).unwrap_or_else(|| "results".into()),
+            out_dir: get("SLIME_OUT")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| "results".into()),
             seed: get("SLIME_SEED").and_then(|v| v.parse().ok()).unwrap_or(17),
         }
     }
@@ -132,7 +134,7 @@ impl ExperimentCtx {
 }
 
 /// A printable, serializable experiment table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table title.
     pub title: String,
@@ -140,6 +142,16 @@ pub struct Table {
     pub headers: Vec<String>,
     /// Rows of cells.
     pub rows: Vec<Vec<String>>,
+}
+
+impl ToJson for Table {
+    fn to_json(&self) -> Value {
+        slime_json::obj([
+            ("title", self.title.to_json()),
+            ("headers", self.headers.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
 }
 
 impl Table {
@@ -190,7 +202,7 @@ impl Table {
 /// Serializes experiment outputs under the context's results directory.
 pub struct ResultsWriter {
     dir: PathBuf,
-    payload: BTreeMap<String, serde_json::Value>,
+    payload: BTreeMap<String, Value>,
     name: String,
     start: Instant,
 }
@@ -207,21 +219,19 @@ impl ResultsWriter {
     }
 
     /// Attach a serializable value under `key`.
-    pub fn add(&mut self, key: &str, value: impl Serialize) {
-        self.payload
-            .insert(key.to_string(), serde_json::to_value(value).expect("serialize"));
+    pub fn add(&mut self, key: &str, value: impl ToJson) {
+        self.payload.insert(key.to_string(), value.to_json());
     }
 
     /// Write `<out>/<name>.json`, returning the path.
     pub fn finish(mut self) -> PathBuf {
         self.payload.insert(
             "elapsed_seconds".into(),
-            serde_json::json!(self.start.elapsed().as_secs_f64()),
+            self.start.elapsed().as_secs_f64().to_json(),
         );
         std::fs::create_dir_all(&self.dir).expect("create results dir");
         let path = self.dir.join(format!("{}.json", self.name));
-        std::fs::write(&path, serde_json::to_string_pretty(&self.payload).unwrap())
-            .expect("write results");
+        std::fs::write(&path, slime_json::to_string_pretty(&self.payload)).expect("write results");
         path
     }
 }

@@ -284,8 +284,7 @@ pub const TABLE5: [[(f64, f64, f64, f64); 3]; 5] = [
 ];
 
 /// Fig. 4: the paper's best alpha per sparse Amazon dataset.
-pub const FIG4_BEST_ALPHA: [(&str, f32); 3] =
-    [("beauty", 0.4), ("clothing", 0.8), ("sports", 0.3)];
+pub const FIG4_BEST_ALPHA: [(&str, f32); 3] = [("beauty", 0.4), ("clothing", 0.8), ("sports", 0.3)];
 
 #[cfg(test)]
 #[allow(clippy::needless_range_loop)] // index loops over paired const tables
@@ -312,7 +311,10 @@ mod tests {
         for d in 0..5 {
             for mode in 0..3 {
                 assert!(TABLE4[3][d].0 >= TABLE4[mode][d].0, "HR@5 d{d} mode{mode}");
-                assert!(TABLE4[3][d].1 >= TABLE4[mode][d].1, "NDCG@5 d{d} mode{mode}");
+                assert!(
+                    TABLE4[3][d].1 >= TABLE4[mode][d].1,
+                    "NDCG@5 d{d} mode{mode}"
+                );
             }
         }
     }

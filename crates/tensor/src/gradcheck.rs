@@ -23,11 +23,7 @@ pub struct GradCheckReport {
 ///
 /// # Panics
 /// Panics if `f()` is not scalar.
-pub fn check_gradient(
-    param: &Tensor,
-    mut f: impl FnMut() -> Tensor,
-    eps: f32,
-) -> GradCheckReport {
+pub fn check_gradient(param: &Tensor, mut f: impl FnMut() -> Tensor, eps: f32) -> GradCheckReport {
     // Analytic gradient.
     param.zero_grad();
     let loss = f();
@@ -83,11 +79,7 @@ mod tests {
     #[test]
     fn passes_on_correct_gradient() {
         let x = Tensor::param(NdArray::from_vec(vec![3], vec![0.5, -1.0, 2.0]));
-        assert_gradients_match(
-            &[&x],
-            || ops::mean_all(&ops::mul(&x, &x)),
-            1e-2,
-        );
+        assert_gradients_match(&[&x], || ops::mean_all(&ops::mul(&x, &x)), 1e-2);
     }
 
     #[test]
@@ -99,7 +91,11 @@ mod tests {
         let x = Tensor::param(NdArray::from_vec(vec![1], vec![1.0]));
         // Loss reads x's data but routes it through detach, so analytic grad
         // is zero while numeric is 2x. The checker must flag this.
-        let report = check_gradient(&x, || ops::mean_all(&ops::mul(&x.detach(), &x.detach())), 1e-2);
+        let report = check_gradient(
+            &x,
+            || ops::mean_all(&ops::mul(&x.detach(), &x.detach())),
+            1e-2,
+        );
         assert!(report.max_rel_diff > 0.5);
     }
 }

@@ -1,6 +1,6 @@
 //! Weight initializers.
 
-use rand::Rng;
+use slime_rng::Rng;
 
 use crate::ndarray::{numel, NdArray};
 
@@ -48,8 +48,8 @@ pub fn embedding_init(vocab: usize, dim: usize, rng: &mut impl Rng) -> NdArray {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use slime_rng::rngs::StdRng;
+    use slime_rng::SeedableRng;
 
     #[test]
     fn uniform_respects_bounds() {
@@ -65,8 +65,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let w = normal(vec![20_000], 2.0, &mut rng);
         let mean = w.mean_all();
-        let var: f32 =
-            w.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / w.len() as f32;
+        let var: f32 = w
+            .data()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / w.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
     }

@@ -175,8 +175,16 @@ impl NdArray {
         let nd = a.len().max(b.len());
         let mut out = vec![0usize; nd];
         for i in 0..nd {
-            let da = if i < nd - a.len() { 1 } else { a[i - (nd - a.len())] };
-            let db = if i < nd - b.len() { 1 } else { b[i - (nd - b.len())] };
+            let da = if i < nd - a.len() {
+                1
+            } else {
+                a[i - (nd - a.len())]
+            };
+            let db = if i < nd - b.len() {
+                1
+            } else {
+                b[i - (nd - b.len())]
+            };
             out[i] = if da == db {
                 da
             } else if da == 1 {

@@ -1,6 +1,6 @@
 //! Inverted dropout.
 
-use rand::Rng;
+use slime_rng::Rng;
 
 use crate::ndarray::NdArray;
 use crate::tensor::{Op, Tensor};
@@ -61,8 +61,8 @@ impl Op for DropoutOp {
 mod tests {
     use super::*;
     use crate::ops::sum_all;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use slime_rng::rngs::StdRng;
+    use slime_rng::SeedableRng;
 
     #[test]
     fn zero_p_is_identity() {

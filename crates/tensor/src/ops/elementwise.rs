@@ -1,12 +1,13 @@
 //! Elementwise arithmetic and activation ops (with NumPy broadcasting for
 //! the binary ones).
 
-use super::unary;
+use super::{assert_broadcastable, unary};
 use crate::ndarray::NdArray;
 use crate::tensor::{Op, Tensor};
 
 /// `a + b` with broadcasting.
 pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_broadcastable(&a.shape(), &b.shape(), "add");
     let out = a.data().broadcast_zip(&b.data(), |x, y| x + y);
     Tensor::from_op(
         out,
@@ -21,6 +22,7 @@ pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// `a - b` with broadcasting.
 pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_broadcastable(&a.shape(), &b.shape(), "sub");
     let out = a.data().broadcast_zip(&b.data(), |x, y| x - y);
     Tensor::from_op(
         out,
@@ -56,6 +58,7 @@ impl Op for AddOp {
 
 /// `a * b` elementwise with broadcasting.
 pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_broadcastable(&a.shape(), &b.shape(), "mul");
     let out = a.data().broadcast_zip(&b.data(), |x, y| x * y);
     Tensor::from_op(
         out,

@@ -67,10 +67,7 @@ mod tests {
 
     #[test]
     fn lookup_shapes_and_values() {
-        let w = Tensor::param(NdArray::from_vec(
-            vec![3, 2],
-            vec![1., 2., 3., 4., 5., 6.],
-        ));
+        let w = Tensor::param(NdArray::from_vec(vec![3, 2], vec![1., 2., 3., 4., 5., 6.]));
         let e = embedding(&w, &[2, 0, 2, 1], &[2, 2]);
         assert_eq!(e.shape(), vec![2, 2, 2]);
         assert_eq!(e.value().data(), &[5., 6., 1., 2., 5., 6., 3., 4.]);

@@ -117,10 +117,7 @@ mod tests {
             .zip(g.data())
             .map(|(v, gv)| v - 1.0 * gv)
             .collect();
-        let after = cross_entropy(
-            &Tensor::param(NdArray::from_vec(vec![1, 3], stepped)),
-            &[2],
-        );
+        let after = cross_entropy(&Tensor::param(NdArray::from_vec(vec![1, 3], stepped)), &[2]);
         assert!(after.item() < before.item());
     }
 }

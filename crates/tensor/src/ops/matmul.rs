@@ -5,6 +5,11 @@ use crate::tensor::{Op, Tensor};
 
 /// 2-D matrix multiply `[m,k] x [k,n] -> [m,n]`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (sa, sb) = (a.shape(), b.shape());
+    assert!(
+        sa.len() == 2 && sb.len() == 2 && sa[1] == sb[0],
+        "matmul: incompatible shapes {sa:?} x {sb:?}"
+    );
     let out = a.data().matmul2d(&b.data());
     Tensor::from_op(
         out,
@@ -35,6 +40,11 @@ impl Op for MatMulOp {
 
 /// Batched matrix multiply `[b,m,k] x [b,k,n] -> [b,m,n]`.
 pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
+    let (sa, sb) = (a.shape(), b.shape());
+    assert!(
+        sa.len() == 3 && sb.len() == 3 && sa[0] == sb[0] && sa[2] == sb[1],
+        "bmm: incompatible shapes {sa:?} x {sb:?}"
+    );
     let out = a.data().bmm(&b.data());
     Tensor::from_op(
         out,

@@ -32,6 +32,20 @@ pub use spectral::{spectral_filter, spectral_filter_mix, SpectralBranch};
 use crate::ndarray::NdArray;
 use crate::tensor::{Op, Tensor};
 
+/// Assert that two operand shapes are NumPy-broadcast-compatible: aligned
+/// right-to-left, every dimension pair must match or contain a 1.
+pub(crate) fn assert_broadcastable(a: &[usize], b: &[usize], op: &str) {
+    let compatible = a
+        .iter()
+        .rev()
+        .zip(b.iter().rev())
+        .all(|(&x, &y)| x == y || x == 1 || y == 1);
+    assert!(
+        compatible,
+        "{op}: operand shapes {a:?} and {b:?} are not broadcast-compatible"
+    );
+}
+
 /// A unary op saving one array, with the VJP given as a closure
 /// `(grad_out, saved) -> grad_in`.
 pub(crate) struct Unary<F>
@@ -55,7 +69,13 @@ where
     }
 }
 
-pub(crate) fn unary<F>(name: &'static str, x: &Tensor, out: NdArray, saved: NdArray, vjp: F) -> Tensor
+pub(crate) fn unary<F>(
+    name: &'static str,
+    x: &Tensor,
+    out: NdArray,
+    saved: NdArray,
+    vjp: F,
+) -> Tensor
 where
     F: Fn(&NdArray, &NdArray) -> NdArray + 'static,
 {

@@ -10,7 +10,8 @@ use crate::tensor::{Op, Tensor};
 /// `gamma` and `beta` must be 1-D of the last-dim size.
 pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
     let shape = x.shape();
-    let d = *shape.last().expect("layer_norm needs >= 1 dim");
+    assert!(!shape.is_empty(), "layer_norm needs >= 1 dim");
+    let d = shape[shape.len() - 1];
     assert_eq!(gamma.shape(), vec![d], "gamma shape");
     assert_eq!(beta.shape(), vec![d], "beta shape");
     let rows = x.len() / d;
@@ -57,7 +58,7 @@ struct LayerNormOp {
 
 impl Op for LayerNormOp {
     fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
-        let d = *self.xhat.shape().last().unwrap();
+        let d = self.gamma.len();
         let rows = self.xhat.len() / d;
         let xh = self.xhat.data();
         let g = grad.data();
@@ -99,7 +100,8 @@ impl Op for LayerNormOp {
 /// L2-normalize each row of the last dimension: `y = x / max(||x||, eps)`.
 pub fn l2_normalize(x: &Tensor, eps: f32) -> Tensor {
     let shape = x.shape();
-    let d = *shape.last().expect("l2_normalize needs >= 1 dim");
+    assert!(!shape.is_empty(), "l2_normalize needs >= 1 dim");
+    let d = shape[shape.len() - 1];
     let rows = x.len() / d;
     let data = x.data();
     let src = data.data();
@@ -120,19 +122,20 @@ pub fn l2_normalize(x: &Tensor, eps: f32) -> Tensor {
     Tensor::from_op(
         out,
         vec![x.clone()],
-        Box::new(L2NormalizeOp { y, inv_norm }),
+        Box::new(L2NormalizeOp { y, inv_norm, d }),
     )
 }
 
 struct L2NormalizeOp {
     y: NdArray,
     inv_norm: Vec<f32>,
+    d: usize,
 }
 
 impl Op for L2NormalizeOp {
     fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
         // dx = (g - y * (y . g)) / ||x||
-        let d = *self.y.shape().last().unwrap();
+        let d = self.d;
         let rows = self.y.len() / d;
         let y = self.y.data();
         let g = grad.data();
@@ -159,7 +162,10 @@ mod tests {
 
     #[test]
     fn layer_norm_zero_mean_unit_var() {
-        let x = Tensor::constant(NdArray::from_vec(vec![2, 4], vec![1., 2., 3., 4., -2., 0., 2., 8.]));
+        let x = Tensor::constant(NdArray::from_vec(
+            vec![2, 4],
+            vec![1., 2., 3., 4., -2., 0., 2., 8.],
+        ));
         let gamma = Tensor::constant(NdArray::ones(vec![4]));
         let beta = Tensor::constant(NdArray::zeros(vec![4]));
         let y = layer_norm(&x, &gamma, &beta, 1e-5).value();

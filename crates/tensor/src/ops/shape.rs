@@ -190,8 +190,7 @@ impl Op for ConcatOp {
             for o in 0..self.outer {
                 let src = (o * self.total + offset) * self.inner;
                 let dst = o * sz * self.inner;
-                buf[dst..dst + sz * self.inner]
-                    .copy_from_slice(&g[src..src + sz * self.inner]);
+                buf[dst..dst + sz * self.inner].copy_from_slice(&g[src..src + sz * self.inner]);
             }
             out.push(Some(NdArray::from_vec(p.shape(), buf)));
             offset += sz;

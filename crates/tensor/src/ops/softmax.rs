@@ -12,7 +12,8 @@ pub fn softmax(x: &Tensor) -> Tensor {
 
 pub(crate) fn softmax_forward(x: &NdArray) -> NdArray {
     let shape = x.shape().to_vec();
-    let d = *shape.last().expect("softmax needs >= 1 dim");
+    assert!(!shape.is_empty(), "softmax needs >= 1 dim");
+    let d = shape[shape.len() - 1];
     let rows = x.len() / d.max(1);
     let src = x.data();
     let mut out = vec![0.0f32; x.len()];
@@ -41,6 +42,7 @@ struct SoftmaxOp {
 impl Op for SoftmaxOp {
     fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
         // dx = y * (g - sum(g * y, last))
+        // lint-allow(panic): y comes from softmax_forward, which asserts a non-empty shape
         let d = *self.y.shape().last().unwrap();
         let rows = self.y.len() / d;
         let y = self.y.data();
@@ -64,7 +66,8 @@ impl Op for SoftmaxOp {
 /// Numerically-stable log-softmax over the last dimension.
 pub fn log_softmax(x: &Tensor) -> Tensor {
     let shape = x.shape();
-    let d = *shape.last().expect("log_softmax needs >= 1 dim");
+    assert!(!shape.is_empty(), "log_softmax needs >= 1 dim");
+    let d = shape[shape.len() - 1];
     let rows = x.len() / d.max(1);
     let data = x.data();
     let src = data.data();
@@ -90,6 +93,7 @@ struct LogSoftmaxOp {
 impl Op for LogSoftmaxOp {
     fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
         // dx = g - softmax * sum(g, last)
+        // lint-allow(panic): softmax is exp of the forward output, whose shape is asserted non-empty
         let d = *self.softmax.shape().last().unwrap();
         let rows = self.softmax.len() / d;
         let s = self.softmax.data();

@@ -46,6 +46,11 @@ pub struct SpectralBranch {
 /// Apply a single learnable frequency filter (FMLP-Rec's global filter when
 /// `mask` is all ones).
 pub fn spectral_filter(x: &Tensor, w_re: &Tensor, w_im: &Tensor, mask: &[f32]) -> Tensor {
+    assert_eq!(
+        w_re.shape(),
+        w_im.shape(),
+        "spectral_filter: real/imag filter shapes must match"
+    );
     spectral_filter_mix(
         x,
         &[SpectralBranch {
@@ -276,8 +281,7 @@ impl Op for SpectralOp {
             }
         }
 
-        let mut grads: Vec<Option<NdArray>> =
-            vec![Some(NdArray::from_vec(vec![b, n, d], dx))];
+        let mut grads: Vec<Option<NdArray>> = vec![Some(NdArray::from_vec(vec![b, n, d], dx))];
         for (mask, &coef) in self.masks.iter().zip(&self.coefs) {
             let mut dwre = vec![0.0f32; m * d];
             let mut dwim = vec![0.0f32; m * d];

@@ -15,7 +15,11 @@ pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> f32 {
     let mut sq = 0.0f64;
     for p in params {
         if let Some(g) = p.grad() {
-            sq += g.data().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+            sq += g
+                .data()
+                .iter()
+                .map(|&v| (v as f64) * (v as f64))
+                .sum::<f64>();
         }
     }
     let norm = (sq as f32).sqrt();

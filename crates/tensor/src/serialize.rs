@@ -4,13 +4,13 @@ use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
+use slime_json::{obj, FromJson, JsonError, ToJson, Value};
 
 use crate::ndarray::NdArray;
 use crate::tensor::Tensor;
 
 /// One serialized array.
-#[derive(Serialize, Deserialize, Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ArrayRecord {
     /// Shape of the array.
     pub shape: Vec<usize>,
@@ -18,10 +18,42 @@ pub struct ArrayRecord {
     pub data: Vec<f32>,
 }
 
+impl ToJson for ArrayRecord {
+    fn to_json(&self) -> Value {
+        obj([
+            ("shape", self.shape.to_json()),
+            ("data", self.data.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ArrayRecord {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(ArrayRecord {
+            shape: Vec::from_json(v.field("shape")?)?,
+            data: Vec::from_json(v.field("data")?)?,
+        })
+    }
+}
+
 /// A named collection of parameter values (like a PyTorch `state_dict`).
-#[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct StateDict {
     entries: BTreeMap<String, ArrayRecord>,
+}
+
+impl ToJson for StateDict {
+    fn to_json(&self) -> Value {
+        obj([("entries", self.entries.to_json())])
+    }
+}
+
+impl FromJson for StateDict {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(StateDict {
+            entries: BTreeMap::from_json(v.field("entries")?)?,
+        })
+    }
 }
 
 impl StateDict {
@@ -81,14 +113,13 @@ impl StateDict {
 
     /// Serialize to a JSON file.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        let json = serde_json::to_string(self).map_err(io::Error::other)?;
-        std::fs::write(path, json)
+        std::fs::write(path, slime_json::to_string(self))
     }
 
     /// Deserialize from a JSON file.
     pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
         let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json).map_err(io::Error::other)
+        slime_json::from_str(&json).map_err(io::Error::other)
     }
 }
 

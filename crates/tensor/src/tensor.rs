@@ -77,7 +77,12 @@ impl std::fmt::Debug for Tensor {
             .field("requires_grad", &self.inner.requires_grad)
             .field(
                 "op",
-                &self.inner.node.as_ref().map(|n| n.op.name()).unwrap_or("leaf"),
+                &self
+                    .inner
+                    .node
+                    .as_ref()
+                    .map(|n| n.op.name())
+                    .unwrap_or("leaf"),
             )
             .finish()
     }
@@ -109,7 +114,13 @@ impl Tensor {
     /// Construct a non-leaf tensor produced by `op` from `parents`.
     ///
     /// Gradient tracking is enabled iff any parent requires grad.
+    ///
+    /// With the `sanitize` feature enabled, the freshly computed output is
+    /// scanned for NaN/Inf so numeric corruption is attributed to the op
+    /// that produced it instead of surfacing as garbage metrics downstream.
     pub fn from_op(data: NdArray, parents: Vec<Tensor>, op: Box<dyn Op>) -> Tensor {
+        #[cfg(feature = "sanitize")]
+        sanitize_check("output", op.name(), &data, &parents);
         let requires_grad = parents.iter().any(|p| p.requires_grad());
         Tensor {
             inner: Rc::new(Inner {
@@ -267,6 +278,8 @@ impl Tensor {
                 if !p.requires_grad() {
                     continue;
                 }
+                #[cfg(feature = "sanitize")]
+                sanitize_check("gradient", node.op.name(), &g, &node.parents);
                 debug_assert_eq!(
                     g.shape(),
                     p.shape().as_slice(),
@@ -282,6 +295,24 @@ impl Tensor {
             }
         }
     }
+}
+
+/// Runtime numeric sanitizer (enabled by the `sanitize` cargo feature):
+/// panic as soon as an op emits a non-finite output or gradient, naming the
+/// op and the shapes involved. See DESIGN.md "Runtime sanitizer".
+#[cfg(feature = "sanitize")]
+fn sanitize_check(kind: &str, op: &str, data: &NdArray, parents: &[Tensor]) {
+    let Some(idx) = data.data().iter().position(|v| !v.is_finite()) else {
+        return;
+    };
+    let bad = data.data()[idx];
+    let parent_shapes: Vec<Vec<usize>> = parents.iter().map(Tensor::shape).collect();
+    panic!(
+        "sanitize: non-finite {kind} ({bad}) at index {idx} produced by op '{op}' \
+         ({kind} shape {:?}, operand shapes {:?})",
+        data.shape(),
+        parent_shapes
+    );
 }
 
 /// Iterative post-order topological sort (parents before children).

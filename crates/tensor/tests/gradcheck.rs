@@ -1,9 +1,11 @@
 //! Finite-difference validation of every autodiff op, including
 //! property-based checks over random shapes and values.
+//!
+//! Formerly proptest-driven; the `prop_*` tests now sweep seeded shape/value
+//! grids (offline-purity: no external dev dependencies).
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use slime_rng::rngs::StdRng;
+use slime_rng::{Rng, SeedableRng};
 use slime_tensor::gradcheck::assert_gradients_match;
 use slime_tensor::{ops, NdArray, Tensor};
 
@@ -26,14 +28,18 @@ fn gradcheck_elementwise_binary() {
 }
 
 #[test]
+fn gradcheck_scalar_ops() {
+    let a = rand_param(&[2, 3], 11);
+    assert_gradients_match(&[&a], || ops::mean_all(&ops::neg(&a)), TOL);
+    assert_gradients_match(&[&a], || ops::mean_all(&ops::scale(&a, 2.5)), TOL);
+    assert_gradients_match(&[&a], || ops::mean_all(&ops::add_scalar(&a, -1.7)), TOL);
+}
+
+#[test]
 fn gradcheck_broadcast_middle_axis() {
     let a = rand_param(&[2, 1, 3], 3);
     let b = rand_param(&[2, 4, 1], 4);
-    assert_gradients_match(
-        &[&a, &b],
-        || ops::mean_all(&ops::mul(&a, &b)),
-        TOL,
-    );
+    assert_gradients_match(&[&a, &b], || ops::mean_all(&ops::mul(&a, &b)), TOL);
 }
 
 #[test]
@@ -149,21 +155,9 @@ fn gradcheck_shape_ops() {
         || ops::mean_all(&ops::mul(&ops::permute(&x, &[2, 1, 0]), &w)),
         TOL,
     );
-    assert_gradients_match(
-        &[&x],
-        || ops::mean_all(&ops::reshape(&x, vec![6, 4])),
-        TOL,
-    );
-    assert_gradients_match(
-        &[&x],
-        || ops::mean_all(&ops::index_axis(&x, 1, 2)),
-        TOL,
-    );
-    assert_gradients_match(
-        &[&x],
-        || ops::mean_all(&ops::slice_axis(&x, 1, 1, 2)),
-        TOL,
-    );
+    assert_gradients_match(&[&x], || ops::mean_all(&ops::reshape(&x, vec![6, 4])), TOL);
+    assert_gradients_match(&[&x], || ops::mean_all(&ops::index_axis(&x, 1, 2)), TOL);
+    assert_gradients_match(&[&x], || ops::mean_all(&ops::slice_axis(&x, 1, 1, 2)), TOL);
     assert_gradients_match(&[&x], || ops::mean_all(&ops::unfold_time(&x, 2)), TOL);
     assert_gradients_match(
         &[&x],
@@ -261,52 +255,69 @@ fn gradcheck_spectral_single_filter_quadratic_loss() {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Broadcast add/mul gradients hold for arbitrary compatible shapes.
-    #[test]
-    fn prop_broadcast_mul_gradients(rows in 1usize..4, cols in 1usize..4, seed in 0u64..1000) {
-        let a = rand_param(&[rows, cols], seed);
-        let b = rand_param(&[cols], seed + 1);
-        assert_gradients_match(&[&a, &b], || ops::mean_all(&ops::mul(&a, &b)), TOL);
-    }
-
-    /// Matmul gradients hold for arbitrary small shapes.
-    #[test]
-    fn prop_matmul_gradients(m in 1usize..4, k in 1usize..4, n in 1usize..4, seed in 0u64..1000) {
-        let a = rand_param(&[m, k], seed);
-        let b = rand_param(&[k, n], seed + 7);
-        assert_gradients_match(&[&a, &b], || ops::mean_all(&ops::matmul(&a, &b)), TOL);
-    }
-
-    /// The spectral identity: a unit filter reproduces the input for any
-    /// length, and round-trips gradients exactly like identity.
-    #[test]
-    fn prop_spectral_identity(n in 2usize..12, seed in 0u64..1000) {
-        let d = 2;
-        let m = n / 2 + 1;
-        let x = rand_param(&[1, n, d], seed);
-        let w_re = Tensor::constant(NdArray::ones(vec![m, d]));
-        let w_im = Tensor::constant(NdArray::zeros(vec![m, d]));
-        let y = ops::spectral_filter(&x, &w_re, &w_im, &vec![1.0; m]);
-        let xv = x.value();
-        let yv = y.value();
-        for (a, b) in yv.data().iter().zip(xv.data()) {
-            prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+/// Broadcast add/mul gradients hold for arbitrary compatible shapes.
+#[test]
+fn prop_broadcast_mul_gradients() {
+    for rows in 1usize..4 {
+        for cols in 1usize..4 {
+            let seed = (rows * 101 + cols * 13) as u64;
+            let a = rand_param(&[rows, cols], seed);
+            let b = rand_param(&[cols], seed + 1);
+            assert_gradients_match(&[&a, &b], || ops::mean_all(&ops::mul(&a, &b)), TOL);
         }
     }
+}
 
-    /// Cross-entropy gradient rows always sum to ~0 (softmax minus one-hot).
-    #[test]
-    fn prop_cross_entropy_grad_rows_sum_zero(b in 1usize..4, v in 2usize..6, seed in 0u64..1000) {
-        let logits = rand_param(&[b, v], seed);
-        let targets: Vec<usize> = (0..b).map(|i| (seed as usize + i) % v).collect();
-        ops::cross_entropy(&logits, &targets).backward();
-        let g = logits.grad().unwrap();
-        for r in 0..b {
-            let s: f32 = g.data()[r * v..(r + 1) * v].iter().sum();
-            prop_assert!(s.abs() < 1e-5);
+/// Matmul gradients hold for arbitrary small shapes.
+#[test]
+fn prop_matmul_gradients() {
+    for m in 1usize..4 {
+        for k in 1usize..4 {
+            for n in 1usize..4 {
+                let seed = (m * 307 + k * 53 + n * 11) as u64;
+                let a = rand_param(&[m, k], seed);
+                let b = rand_param(&[k, n], seed + 7);
+                assert_gradients_match(&[&a, &b], || ops::mean_all(&ops::matmul(&a, &b)), TOL);
+            }
+        }
+    }
+}
+
+/// The spectral identity: a unit filter reproduces the input for any
+/// length, and round-trips gradients exactly like identity.
+#[test]
+fn prop_spectral_identity() {
+    for n in 2usize..12 {
+        for seed in [0u64, 421, 997] {
+            let d = 2;
+            let m = n / 2 + 1;
+            let x = rand_param(&[1, n, d], seed + n as u64);
+            let w_re = Tensor::constant(NdArray::ones(vec![m, d]));
+            let w_im = Tensor::constant(NdArray::zeros(vec![m, d]));
+            let y = ops::spectral_filter(&x, &w_re, &w_im, &vec![1.0; m]);
+            let xv = x.value();
+            let yv = y.value();
+            for (a, b) in yv.data().iter().zip(xv.data()) {
+                assert!((a - b).abs() < 1e-3, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+}
+
+/// Cross-entropy gradient rows always sum to ~0 (softmax minus one-hot).
+#[test]
+fn prop_cross_entropy_grad_rows_sum_zero() {
+    for b in 1usize..4 {
+        for v in 2usize..6 {
+            let seed = (b * 173 + v * 29) as u64;
+            let logits = rand_param(&[b, v], seed);
+            let targets: Vec<usize> = (0..b).map(|i| (seed as usize + i) % v).collect();
+            ops::cross_entropy(&logits, &targets).backward();
+            let g = logits.grad().unwrap();
+            for r in 0..b {
+                let s: f32 = g.data()[r * v..(r + 1) * v].iter().sum();
+                assert!(s.abs() < 1e-5);
+            }
         }
     }
 }
@@ -315,8 +326,8 @@ proptest! {
 fn gradcheck_dropout_mask_is_consistent() {
     // Dropout is stochastic, so finite differences can't apply directly;
     // instead verify the backward mask equals the forward mask exactly.
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use slime_rng::rngs::StdRng;
+    use slime_rng::SeedableRng;
     let x = Tensor::param(NdArray::ones(vec![64]));
     let mut rng = StdRng::seed_from_u64(5);
     let y = ops::dropout(&x, 0.5, &mut rng);

@@ -1,0 +1,44 @@
+//! Runtime-sanitizer behaviour: a planted non-finite value must be caught
+//! at the op that produced it, with the op named in the panic message.
+//!
+//! These tests only exist under `--features sanitize`; without the feature
+//! the file compiles to nothing (and planted NaNs propagate silently, which
+//! is exactly what the feature is for).
+#![cfg(feature = "sanitize")]
+
+use slime_tensor::{ops, NdArray, Tensor};
+
+#[test]
+#[should_panic(expected = "produced by op 'scale'")]
+fn nan_output_names_the_producing_op() {
+    // A NaN smuggled in through a leaf is attributed to the FIRST op whose
+    // output contains it — `scale` here — not to anything downstream.
+    let x = Tensor::param(NdArray::from_vec(vec![2], vec![f32::NAN, 2.0]));
+    let y = ops::scale(&x, 2.0);
+    let _ = ops::add(&y, &y);
+}
+
+#[test]
+#[should_panic(expected = "non-finite output")]
+fn inf_output_is_caught() {
+    let x = Tensor::param(NdArray::from_vec(vec![1], vec![800.0]));
+    let _ = ops::exp(&x); // e^800 overflows f32 -> +Inf
+}
+
+#[test]
+#[should_panic(expected = "non-finite gradient")]
+fn nan_gradient_is_caught_in_backward() {
+    // Forward is finite; the corruption enters through the seed gradient,
+    // so the first backward step (the `scale` op's vjp) must trip the check.
+    let x = Tensor::param(NdArray::from_vec(vec![2], vec![1.0, 2.0]));
+    let y = ops::scale(&x, 2.0);
+    y.backward_with(NdArray::from_vec(vec![2], vec![f32::NAN, 1.0]));
+}
+
+#[test]
+fn finite_graphs_pass_untouched() {
+    let x = Tensor::param(NdArray::from_vec(vec![2, 2], vec![0.5, 1.0, 2.0, 3.0]));
+    let y = ops::mul(&ops::log(&x), &x);
+    ops::mean_all(&y).backward();
+    assert!(x.grad().unwrap().data().iter().all(|v| v.is_finite()));
+}

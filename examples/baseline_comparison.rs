@@ -29,7 +29,13 @@ fn main() {
     // A representative slice of Table II's model families: MF, RNN, CNN,
     // attention, frequency-MLP, contrastive-attention, and SLIME4Rec.
     let models = [
-        "bprmf", "gru4rec", "caser", "sasrec", "fmlp", "duorec", "slime4rec",
+        "bprmf",
+        "gru4rec",
+        "caser",
+        "sasrec",
+        "fmlp",
+        "duorec",
+        "slime4rec",
     ];
     println!(
         "{:<12}{:>8}{:>8}{:>9}{:>9}{:>8}",

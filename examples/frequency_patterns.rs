@@ -42,7 +42,11 @@ fn main() {
     let max = mags[1..].iter().copied().fold(0.0f32, f32::max);
     println!("frequency spectrum |X_k| (bins 1..{}):", mags.len() - 1);
     for (k, &m) in mags.iter().enumerate().skip(1) {
-        println!("  k={k:>2} (period {:>5.1})  {}", n as f32 / k as f32, bar(m, max));
+        println!(
+            "  k={k:>2} (period {:>5.1})  {}",
+            n as f32 / k as f32,
+            bar(m, max)
+        );
     }
     println!(
         "\nexpected spikes: k = {} (the period-32 drift) and k = {} (the period-4 habit).\n",
@@ -55,10 +59,15 @@ fn main() {
     let m = n / 2 + 1;
     println!("frequency ramp, L={layers}, alpha={alpha}, slide mode 4 (high -> low):");
     for l in 0..layers {
-        let dm = window_mask(dfs_window(l, layers, m, alpha, SlideDirection::HighToLow), m);
+        let dm = window_mask(
+            dfs_window(l, layers, m, alpha, SlideDirection::HighToLow),
+            m,
+        );
         let sm = window_mask(sfs_window(l, layers, m, SlideDirection::HighToLow), m);
         let render = |mask: &[f32]| -> String {
-            mask.iter().map(|&v| if v > 0.0 { '#' } else { '.' }).collect()
+            mask.iter()
+                .map(|&v| if v > 0.0 { '#' } else { '.' })
+                .collect()
         };
         println!("  layer {l} dynamic |{}|", render(&dm));
         println!("  layer {l} static  |{}|", render(&sm));

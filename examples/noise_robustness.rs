@@ -21,7 +21,10 @@ fn main() {
         ..TrainConfig::default()
     };
 
-    println!("{:<10}{:<16}{:<16}", "epsilon", "DuoRec HR@5", "SLIME4Rec HR@5");
+    println!(
+        "{:<10}{:<16}{:<16}",
+        "epsilon", "DuoRec HR@5", "SLIME4Rec HR@5"
+    );
     for eps in [0.0f32, 0.1, 0.3] {
         let enc = EncoderConfig {
             hidden: 32,

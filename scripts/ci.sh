@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 gate. Every step must pass; any nonzero exit fails the run.
+#
+#   1. formatting        (skipped with a notice if rustfmt is absent)
+#   2. release build     (the artifact we actually ship)
+#   3. full test suite   (includes the lint's fixture + self-check tests)
+#   4. sanitizer tests   (NaN/Inf attribution under --features sanitize)
+#   5. slime-lint check  (offline purity, op coverage, panic freedom,
+#                         shape asserts — exits 1 on any finding)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "==> cargo fmt --check"
+    cargo fmt --check
+else
+    echo "==> rustfmt unavailable; skipping format check"
+fi
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test -q -p slime-tensor --features sanitize"
+cargo test -q -p slime-tensor --features sanitize
+
+echo "==> cargo run -p slime-lint -- check"
+cargo run -q -p slime-lint -- check
+
+echo "CI: all gates passed"

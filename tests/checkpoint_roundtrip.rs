@@ -33,7 +33,9 @@ fn trained_slime_survives_disk_roundtrip() {
     let (hist, _) = ds.eval_example(0, Split::Test).unwrap();
     let input = pad_truncate(hist, cfg.max_len);
     let mut ctx = TrainContext::eval();
-    let a = model.score_all(&model.user_repr(&input, 1, &mut ctx)).value();
+    let a = model
+        .score_all(&model.user_repr(&input, 1, &mut ctx))
+        .value();
     let b = loaded
         .score_all(&loaded.user_repr(&input, 1, &mut ctx))
         .value();

@@ -55,6 +55,13 @@ fn tiny_tc(epochs: usize) -> TrainConfig {
     TrainConfig {
         epochs,
         batch_size: 64,
+        // Keep the best-validation checkpoint (the paper's protocol) rather
+        // than whatever the final epoch happens to be.
+        valid_every: 2,
+        // The paper's lr (1e-3) is tuned for tens of thousands of steps on
+        // real datasets; on this ~550-step budget the loss curves show clear
+        // undertraining at 1e-3, while 2e-3 converges within the budget.
+        lr: 2e-3,
         ..TrainConfig::default()
     }
 }
@@ -93,8 +100,10 @@ fn sequential_models_beat_popularity() {
     let ds = planted_ds(22);
     let pop = popularity_baseline(&ds);
     let spec = tiny_spec();
+    // 8 epochs, not 5: the GRU's BPTT needs the extra steps to pull ahead
+    // of popularity on this tiny budget (the transformers clear it by 5).
     for name in ["gru4rec", "sasrec", "fmlp"] {
-        let m = run_baseline(name, &ds, &spec, &tiny_tc(5));
+        let m = run_baseline(name, &ds, &spec, &tiny_tc(8));
         assert!(
             m.ndcg(10) > pop.ndcg(10),
             "{name}: {} !> popularity {}",
