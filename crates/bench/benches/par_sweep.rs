@@ -1,0 +1,82 @@
+//! Threads-vs-throughput sweep over the slime-par-parallelized hot paths:
+//! a full optimizer step (embedding forward/backward, spectral filter
+//! forward/backward, matmul, full-catalog cross-entropy) and full-ranking
+//! inference, at paper-ish scale. Emits `BENCH_par.json` at the workspace
+//! root alongside the printed table.
+//!
+//! The routine is identical at every thread count — slime-par's fixed chunk
+//! grids make the results bitwise identical — so the sweep isolates
+//! wall-clock scaling.
+
+use slime4rec::{ContrastiveMode, NextItemModel, Slime4Rec, SlimeConfig};
+use slime_bench::harness::{thread_sweep, write_sweep_json, SweepResult};
+use slime_bench::random_inputs;
+use slime_nn::{Module, TrainContext};
+use slime_tensor::ops;
+use slime_tensor::optim::{Adam, Optimizer};
+use std::hint::black_box;
+use std::time::Duration;
+
+// Paper-scale-ish dims: Amazon Beauty-sized catalog, max_len 50, hidden 64.
+const BATCH: usize = 64;
+const N: usize = 50;
+const HIDDEN: usize = 64;
+const VOCAB: usize = 4000;
+
+const THREADS: &[usize] = &[1, 2, 4];
+const SAMPLES: usize = 5;
+const WARM_UP: Duration = Duration::from_millis(300);
+const MEASURE: Duration = Duration::from_millis(1500);
+
+fn model() -> Slime4Rec {
+    let mut cfg = SlimeConfig::new(VOCAB);
+    cfg.hidden = HIDDEN;
+    cfg.max_len = N;
+    cfg.layers = 2;
+    cfg.contrastive = ContrastiveMode::None;
+    Slime4Rec::new(cfg)
+}
+
+fn sweep_train_step() -> SweepResult {
+    let inputs = random_inputs(BATCH, N, VOCAB, 3);
+    let targets: Vec<usize> = random_inputs(BATCH, 1, VOCAB, 4);
+    let slime = model();
+    let mut opt = Adam::new(slime.parameters(), 1e-3);
+    let mut ctx = TrainContext::train(1);
+    thread_sweep("train_step", THREADS, SAMPLES, WARM_UP, MEASURE, || {
+        opt.zero_grad();
+        let repr = slime.user_repr(black_box(&inputs), BATCH, &mut ctx);
+        let loss = ops::cross_entropy(&slime.score_all(&repr), &targets);
+        loss.backward();
+        opt.step();
+    })
+}
+
+fn sweep_inference() -> SweepResult {
+    let inputs = random_inputs(BATCH, N, VOCAB, 5);
+    let slime = model();
+    thread_sweep(
+        "full_ranking_inference",
+        THREADS,
+        SAMPLES,
+        WARM_UP,
+        MEASURE,
+        || {
+            let mut ctx = TrainContext::eval();
+            let repr = slime.user_repr(black_box(&inputs), BATCH, &mut ctx);
+            black_box(slime.score_all(&repr).value())
+        },
+    )
+}
+
+fn main() {
+    let sweeps = vec![sweep_train_step(), sweep_inference()];
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_par.json");
+    write_sweep_json(out, &sweeps).expect("write BENCH_par.json");
+    for s in &sweeps {
+        if let Some(x) = s.speedup(4) {
+            println!("{}: 4-thread speedup {x:.2}x", s.name);
+        }
+    }
+    println!("wrote {out}");
+}

@@ -175,6 +175,137 @@ impl Bencher {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Threads-vs-throughput sweeps (no criterion analogue)
+// ---------------------------------------------------------------------------
+
+/// One measured point of a threads-vs-throughput sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Thread count the pool was capped at for this measurement.
+    pub threads: usize,
+    /// Fastest sample (per iteration).
+    pub min: Duration,
+    /// Median sample (per iteration).
+    pub median: Duration,
+    /// Mean over samples (per iteration).
+    pub mean: Duration,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
+/// A named sweep: the same routine timed under each thread count.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Routine name, e.g. `train_step`.
+    pub name: String,
+    /// One point per requested thread count, in request order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepResult {
+    /// Median-time speedup of the `threads = n` point relative to the
+    /// `threads = 1` point, if both were measured.
+    pub fn speedup(&self, n: usize) -> Option<f64> {
+        let base = self.points.iter().find(|p| p.threads == 1)?;
+        let at = self.points.iter().find(|p| p.threads == n)?;
+        Some(base.median.as_secs_f64() / at.median.as_secs_f64().max(1e-12))
+    }
+
+    /// JSON rendering for `BENCH_par.json`.
+    pub fn to_json(&self) -> slime_json::Value {
+        use slime_json::Value;
+        let points: Vec<Value> = self
+            .points
+            .iter()
+            .map(|p| {
+                slime_json::obj([
+                    ("threads", Value::Int(p.threads as i64)),
+                    ("min_ns", Value::Int(p.min.as_nanos() as i64)),
+                    ("median_ns", Value::Int(p.median.as_nanos() as i64)),
+                    ("mean_ns", Value::Int(p.mean.as_nanos() as i64)),
+                    ("iters", Value::Int(p.iters as i64)),
+                    (
+                        "speedup_vs_1_thread",
+                        self.speedup(p.threads)
+                            .map(Value::Float)
+                            .unwrap_or(Value::Null),
+                    ),
+                ])
+            })
+            .collect();
+        slime_json::obj([
+            ("name", Value::Str(self.name.clone())),
+            ("points", Value::Arr(points)),
+        ])
+    }
+}
+
+/// Time `routine` once per entry of `thread_counts`, capping the slime-par
+/// pool before each measurement. The routine itself is unchanged across
+/// points — slime-par guarantees its results are bitwise identical at every
+/// thread count, so the sweep varies wall-clock time only.
+pub fn thread_sweep<O, R: FnMut() -> O>(
+    name: &str,
+    thread_counts: &[usize],
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    mut routine: R,
+) -> SweepResult {
+    println!("\nsweep {name}");
+    let mut points = Vec::with_capacity(thread_counts.len());
+    for &t in thread_counts {
+        slime_par::set_threads(t);
+        let mut b = Bencher {
+            cfg: BenchConfig {
+                sample_size,
+                warm_up_time,
+                measurement_time,
+            },
+            report: None,
+        };
+        b.iter(|| routine());
+        let r = b.report.as_ref().expect("iter ran");
+        println!(
+            "  {name}/threads={t:<3} min {:>12?}  median {:>12?}  mean {:>12?}  ({} iters)",
+            r.min, r.median, r.mean, r.iters
+        );
+        points.push(SweepPoint {
+            threads: t,
+            min: r.min,
+            median: r.median,
+            mean: r.mean,
+            iters: r.iters,
+        });
+    }
+    SweepResult {
+        name: name.into(),
+        points,
+    }
+}
+
+/// Write the sweep report consumed by the repo's perf tracking
+/// (`BENCH_par.json`): machine parallelism plus every sweep's points.
+pub fn write_sweep_json(
+    path: impl AsRef<std::path::Path>,
+    sweeps: &[SweepResult],
+) -> std::io::Result<()> {
+    use slime_json::Value;
+    let report = slime_json::obj([
+        ("bench", Value::Str("par_sweep".into())),
+        (
+            "available_cores",
+            Value::Int(slime_par::available_threads() as i64),
+        ),
+        (
+            "sweeps",
+            Value::Arr(sweeps.iter().map(SweepResult::to_json).collect()),
+        ),
+    ]);
+    std::fs::write(path, report.to_pretty() + "\n")
+}
+
 /// Collect benchmark functions into one runner (stand-in for
 /// `criterion::criterion_group!`).
 #[macro_export]

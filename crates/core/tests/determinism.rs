@@ -1,0 +1,81 @@
+//! Thread-count determinism: training the full model is bitwise identical
+//! with 1 thread and 4 threads.
+//!
+//! This is the contract slime-par sells: every parallel kernel either keeps
+//! floating-point accumulation inside one chunk of a thread-count-independent
+//! grid, or folds per-chunk partials in chunk order. If any kernel raced its
+//! accumulation order, two epochs of SGD would amplify the ULP differences
+//! into visibly different losses and weights.
+
+use slime4rec::{run_slime, ContrastiveMode, SlimeConfig, TrainConfig};
+use slime_data::synthetic::{generate_with_core, SyntheticConfig};
+use slime_data::SeqDataset;
+use slime_nn::Module;
+use slime_tensor::StateDict;
+
+fn tiny_ds() -> SeqDataset {
+    let cfg = SyntheticConfig {
+        name: "determinism-test".into(),
+        users: 60,
+        clusters: 4,
+        items_per_cluster: 5,
+        noise_items: 4,
+        min_len: 8,
+        max_len: 14,
+        low_period: 5,
+        high_cycle: 3,
+        p_high: 0.6,
+        p_noise: 0.1,
+    };
+    generate_with_core(&cfg, 11, 0)
+}
+
+fn train_once(ds: &SeqDataset, threads: usize) -> (Vec<f32>, StateDict) {
+    slime_par::set_threads(threads);
+    let mut cfg = SlimeConfig::small(ds.num_items());
+    cfg.hidden = 16;
+    cfg.max_len = 10;
+    cfg.layers = 2;
+    cfg.contrastive = ContrastiveMode::Unsupervised;
+    let tc = TrainConfig {
+        epochs: 2,
+        batch_size: 32,
+        ..TrainConfig::default()
+    };
+    let (model, report, _) = run_slime(ds, &cfg, &tc);
+    (report.epoch_losses, model.state_dict())
+}
+
+#[test]
+fn one_thread_and_four_threads_train_bitwise_identically() {
+    let ds = tiny_ds();
+    let (losses_1, params_1) = train_once(&ds, 1);
+    let (losses_4, params_4) = train_once(&ds, 4);
+
+    assert_eq!(losses_1.len(), losses_4.len());
+    for (e, (a, b)) in losses_1.iter().zip(&losses_4).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "epoch {e} loss differs: {a} (1 thread) vs {b} (4 threads)"
+        );
+    }
+
+    let names_1: Vec<&str> = params_1.names().collect();
+    let names_4: Vec<&str> = params_4.names().collect();
+    assert_eq!(names_1, names_4);
+    assert!(!names_1.is_empty());
+    for name in names_1 {
+        let a = params_1.get(name).unwrap();
+        let b = params_4.get(name).unwrap();
+        assert_eq!(a.shape, b.shape, "{name} shape");
+        assert_eq!(a.data.len(), b.data.len(), "{name} length");
+        for (i, (x, y)) in a.data.iter().zip(&b.data).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{name}[{i}] differs: {x} (1 thread) vs {y} (4 threads)"
+            );
+        }
+    }
+}

@@ -116,14 +116,16 @@ impl TrainSet {
     }
 
     /// Shuffled mini-batches for one epoch.
+    ///
+    /// The shuffle stays serial (it owns the RNG stream), then the batches —
+    /// pure functions of their id chunks — are assembled in parallel. Output
+    /// order matches the serial construction exactly.
     pub fn epoch_batches(&self, n: usize, batch_size: usize, rng: &mut impl Rng) -> Vec<Batch> {
         assert!(batch_size >= 1);
         let mut order: Vec<usize> = (0..self.examples.len()).collect();
         order.shuffle(rng);
-        order
-            .chunks(batch_size)
-            .map(|chunk| self.make_batch(chunk, n))
-            .collect()
+        let chunks: Vec<&[usize]> = order.chunks(batch_size).collect();
+        slime_par::parallel_map(&chunks, 1, |_, ids| self.make_batch(ids, n))
     }
 
     /// Build one batch from explicit example ids.
@@ -155,22 +157,21 @@ pub fn eval_batches(ds: &SeqDataset, split: Split, n: usize, batch_size: usize) 
             all.push((pad_truncate(input, n), target));
         }
     }
-    all.chunks(batch_size)
-        .map(|chunk| {
-            let mut inputs = Vec::with_capacity(chunk.len() * n);
-            let mut targets = Vec::with_capacity(chunk.len());
-            for (i, t) in chunk {
-                inputs.extend_from_slice(i);
-                targets.push(*t);
-            }
-            EvalBatch {
-                inputs,
-                targets,
-                batch: chunk.len(),
-                n,
-            }
-        })
-        .collect()
+    let chunks: Vec<&[(Vec<usize>, usize)]> = all.chunks(batch_size).collect();
+    slime_par::parallel_map(&chunks, 1, |_, chunk| {
+        let mut inputs = Vec::with_capacity(chunk.len() * n);
+        let mut targets = Vec::with_capacity(chunk.len());
+        for (i, t) in chunk.iter() {
+            inputs.extend_from_slice(i);
+            targets.push(*t);
+        }
+        EvalBatch {
+            inputs,
+            targets,
+            batch: chunk.len(),
+            n,
+        }
+    })
 }
 
 #[cfg(test)]

@@ -37,7 +37,7 @@ mod real;
 
 pub use complex::Complex32;
 pub use dft::{dft, idft};
-pub use plan::FftPlan;
+pub use plan::{with_cached_plan, FftPlan};
 pub use real::{irfft, rfft, rfft_len};
 
 /// Compute an in-place forward FFT (negative-exponent convention, unnormalized).

@@ -1,0 +1,8 @@
+// Fixture: crates/par is the sanctioned home of raw spawning — exempt.
+
+use std::thread;
+
+pub fn spawn_worker() {
+    let _ = thread::Builder::new().name("pool".into()).spawn(|| {});
+    thread::spawn(|| {});
+}

@@ -1,0 +1,28 @@
+// Fixture: two violations, one tolerated allow, plus string/comment and
+// test code that must be ignored entirely.
+
+use std::thread;
+
+pub fn fire_and_forget() {
+    thread::spawn(|| {});
+}
+
+pub fn named_worker() {
+    let _ = thread::Builder::new().name("rogue".into()).spawn(|| {});
+}
+
+pub fn watchdog() {
+    // lint-allow(thread-discipline): process-lifetime watchdog, not a data-parallel loop
+    thread::spawn(|| loop {});
+}
+
+// The string/comment forms must NOT fire: "thread::spawn" in prose.
+pub const DOC: &str = "never call thread::spawn outside crates/par";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_spawn() {
+        std::thread::spawn(|| {}).join().unwrap();
+    }
+}

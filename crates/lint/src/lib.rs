@@ -1,6 +1,6 @@
 //! slime-lint: a zero-dependency static-analysis pass for this workspace.
 //!
-//! Four rules, each calibrated against the real tree and enforced in CI
+//! Five rules, each calibrated against the real tree and enforced in CI
 //! (`scripts/ci.sh`):
 //!
 //! - **offline-purity (L1)** — every dependency in every manifest must
@@ -15,6 +15,9 @@
 //!   forward code) unless justified with a `lint-allow`.
 //! - **shape-assert (L4)** — public tensor ops taking multiple tensor
 //!   operands must validate operand shapes before computing.
+//! - **thread-discipline (L5)** — raw `thread::spawn` / `thread::Builder`
+//!   is confined to `crates/par`; all other parallelism must go through
+//!   the deterministic `slime_par` pool.
 //!
 //! Escape hatch: `// lint-allow(<rule>): <reason>` on the offending line,
 //! or on a standalone comment line directly above it. The reason is

@@ -1,4 +1,4 @@
-//! The four lint rules. Each rule is a pure function from a discovered
+//! The five lint rules. Each rule is a pure function from a discovered
 //! [`Workspace`] to a list of [`Finding`]s, so the fixture tests can point
 //! a rule at a miniature workspace tree and assert exactly what fires.
 
@@ -17,6 +17,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Finding> {
     out.extend(l2_op_coverage(ws));
     out.extend(l3_panic_freedom(ws));
     out.extend(l4_shape_assert(ws));
+    out.extend(l5_thread_discipline(ws));
     out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     out
 }
@@ -389,6 +390,54 @@ pub fn l4_shape_assert(ws: &Workspace) -> Vec<Finding> {
                     item.name
                 ),
             });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// L5: thread discipline
+// ---------------------------------------------------------------------------
+
+/// Raw thread spawning — `thread::spawn` / `thread::Builder` — is confined
+/// to `crates/par`, the deterministic worker pool. Everything else must go
+/// through `slime_par::parallel_for` and friends: ad-hoc threads dodge the
+/// pool's fixed chunk grids (breaking the bitwise-determinism contract),
+/// miss the persistent workers' thread-local FFT plan caches, and ignore
+/// the `SLIME_THREADS` budget. Test code is exempt.
+const SPAWN_TOKENS: &[&str] = &["thread::spawn", "thread::Builder"];
+
+pub fn l5_thread_discipline(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &ws.rs_files {
+        let rel = ws.rel(f);
+        if rel.starts_with("crates/par/") {
+            continue;
+        }
+        let Some(src) = read_source(f) else { continue };
+        for (idx, l) in src.lines.iter().enumerate() {
+            if l.in_test {
+                continue;
+            }
+            for tok in SPAWN_TOKENS {
+                if !l.code.contains(tok) {
+                    continue;
+                }
+                if src.allowed("thread-discipline", idx + 1) {
+                    continue;
+                }
+                out.push(Finding {
+                    rule: "thread-discipline",
+                    file: rel.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "`{tok}` outside crates/par; spawn work through \
+                         `slime_par::parallel_for` so it respects the thread budget and \
+                         the deterministic chunk grid, or justify with \
+                         `// lint-allow(thread-discipline): <why>`"
+                    ),
+                });
+            }
         }
     }
     out

@@ -69,6 +69,20 @@ fn l4_fires_on_unchecked_multi_operand_op() {
 }
 
 #[test]
+fn l5_fires_on_raw_spawns_outside_crates_par() {
+    let ws = fixture("l5_raw_spawn");
+    let findings = rules::l5_thread_discipline(&ws);
+    let msgs: Vec<String> = findings.iter().map(|f| f.render()).collect();
+    // thread::spawn + thread::Builder in crates/worker fire; the
+    // lint-allow'd spawn, the string literal, the comment, the
+    // #[cfg(test)] spawn, and everything in crates/par do not.
+    assert_eq!(findings.len(), 2, "got: {msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("`thread::spawn`")));
+    assert!(msgs.iter().any(|m| m.contains("`thread::Builder`")));
+    assert!(msgs.iter().all(|m| m.contains("crates/worker/")));
+}
+
+#[test]
 fn real_workspace_is_clean() {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
     let ws = Workspace::discover(&root).expect("real workspace discovers");

@@ -1,0 +1,223 @@
+//! The persistent worker pool: lazily spawned `std::thread` workers, a
+//! one-slot job board guarded by a mutex/condvar pair, and an atomic chunk
+//! queue.
+//!
+//! Design constraints (see DESIGN.md "Threading model"):
+//!
+//! * **Scoped execution over persistent workers.** Jobs borrow the caller's
+//!   stack (the task closure is handed out by reference), yet workers are
+//!   long-lived so their thread-local state — most importantly the FFT plan
+//!   cache in `slime-fft` — survives across jobs. Soundness comes from
+//!   `run` blocking until every chunk has completed before it returns: the
+//!   erased `'static` pointer in [`Job`] is never dereferenced after the
+//!   borrow it came from ends.
+//! * **Chunk grid fixed by the caller.** The pool executes chunk indices
+//!   `0..n_chunks`; which thread runs which chunk is racy, but chunk
+//!   boundaries never depend on the thread count, so any accumulation that
+//!   stays inside one chunk (or folds chunk results in index order) is
+//!   bitwise identical from 1 to N threads.
+//! * **Caller participates.** The publishing thread is worker zero; with
+//!   `SLIME_THREADS=1` (or a single-chunk grid, or a nested call from
+//!   inside a job) no pool machinery is touched at all and the chunks run
+//!   inline on the caller, in index order.
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// One published job: a chunk-indexed task plus its progress counters.
+///
+/// The task pointer is lifetime-erased; [`Pool::run`] guarantees the
+/// referent outlives every dereference by blocking until `pending` hits
+/// zero before returning (or unwinding).
+struct Job {
+    task: *const (dyn Fn(usize) + Sync),
+    /// Next chunk index to claim.
+    next: AtomicUsize,
+    /// Total chunks in the grid.
+    n_chunks: usize,
+    /// Chunks not yet completed; the publisher waits for this to hit 0.
+    pending: AtomicUsize,
+    /// Number of pool workers that have joined this job so far; workers
+    /// beyond `worker_cap` bow out so `set_threads` can shrink effective
+    /// parallelism below the number of already-spawned threads.
+    workers: AtomicUsize,
+    worker_cap: usize,
+    /// Set if any chunk panicked; the publisher re-panics after the join.
+    panicked: AtomicBool,
+}
+
+// SAFETY: the raw task pointer is only dereferenced while the publisher of
+// the job is blocked inside `run`, which keeps the referent alive; all
+// counters are atomics.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+/// The one-slot job board. `seq` bumps on every publish so sleeping
+/// workers can tell a fresh job from the one they already drained.
+struct Slot {
+    seq: u64,
+    job: Option<Arc<Job>>,
+}
+
+struct Shared {
+    slot: Mutex<Slot>,
+    /// Workers sleep here between jobs.
+    work_cv: Condvar,
+    /// The publisher sleeps here until `pending` reaches zero.
+    done_cv: Condvar,
+}
+
+pub(crate) struct Pool {
+    shared: Arc<Shared>,
+    /// Serializes top-level `run` calls (the job board holds one job).
+    run_lock: Mutex<()>,
+    /// Persistent workers spawned so far (grows lazily, never shrinks).
+    spawned: Mutex<usize>,
+}
+
+thread_local! {
+    /// True while this thread is executing chunks of some job. Nested
+    /// `parallel_for` calls observe it and run inline instead of
+    /// deadlocking on the single job slot.
+    static IN_JOB: Cell<bool> = const { Cell::new(false) };
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+pub(crate) fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        shared: Arc::new(Shared {
+            slot: Mutex::new(Slot { seq: 0, job: None }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        }),
+        run_lock: Mutex::new(()),
+        spawned: Mutex::new(0),
+    })
+}
+
+/// Whether the current thread is already inside a pool job.
+pub(crate) fn in_job() -> bool {
+    IN_JOB.with(Cell::get)
+}
+
+impl Pool {
+    /// Spawn persistent workers until `want` exist. Workers are daemon-like:
+    /// they block on the job board forever and die with the process.
+    fn ensure_workers(&self, want: usize) {
+        let mut spawned = self.spawned.lock().unwrap_or_else(|e| e.into_inner());
+        while *spawned < want {
+            let shared = Arc::clone(&self.shared);
+            let id = *spawned;
+            thread::Builder::new()
+                .name(format!("slime-par-{id}"))
+                .spawn(move || worker_loop(shared))
+                .expect("slime-par: failed to spawn worker thread");
+            *spawned += 1;
+        }
+    }
+
+    /// Execute `task(i)` for every chunk index `i in 0..n_chunks`, using up
+    /// to [`crate::num_threads`] threads (publisher included). Blocks until
+    /// all chunks are done; re-panics on the caller if any chunk panicked.
+    pub(crate) fn run(&self, n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
+        let threads = crate::num_threads();
+        if n_chunks <= 1 || threads <= 1 || in_job() {
+            // Serial fast path: same chunk grid, index order, zero dispatch.
+            for i in 0..n_chunks {
+                task(i);
+            }
+            return;
+        }
+
+        let _top = self.run_lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.ensure_workers(threads - 1);
+
+        // SAFETY: the erased pointer outlives every dereference because this
+        // function does not return (or unwind) until `pending` reaches zero,
+        // and workers never touch `task` once all chunks are claimed.
+        let task: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+        let job = Arc::new(Job {
+            task,
+            next: AtomicUsize::new(0),
+            n_chunks,
+            pending: AtomicUsize::new(n_chunks),
+            workers: AtomicUsize::new(0),
+            worker_cap: threads - 1,
+            panicked: AtomicBool::new(false),
+        });
+        {
+            let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+            slot.seq += 1;
+            slot.job = Some(Arc::clone(&job));
+            self.shared.work_cv.notify_all();
+        }
+
+        // The publisher is worker zero.
+        execute(&self.shared, &job);
+
+        let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+        while job.pending.load(Ordering::Acquire) != 0 {
+            slot = self
+                .shared
+                .done_cv
+                .wait(slot)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        slot.job = None;
+        drop(slot);
+
+        if job.panicked.load(Ordering::Relaxed) {
+            panic!("slime-par: a parallel task panicked (see worker backtrace above)");
+        }
+    }
+}
+
+/// Claim and run chunks until the queue is exhausted.
+fn execute(shared: &Shared, job: &Job) {
+    IN_JOB.with(|c| c.set(true));
+    loop {
+        let i = job.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.n_chunks {
+            break;
+        }
+        // SAFETY: see `Job::task`.
+        let task = unsafe { &*job.task };
+        if panic::catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
+            job.panicked.store(true, Ordering::Relaxed);
+        }
+        if job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last chunk: wake the publisher. Taking the slot lock first
+            // closes the check-then-wait race on `done_cv`.
+            let _g = shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+            shared.done_cv.notify_all();
+        }
+    }
+    IN_JOB.with(|c| c.set(false));
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if slot.seq != seen {
+                    seen = slot.seq;
+                    if let Some(j) = slot.job.clone() {
+                        break j;
+                    }
+                }
+                slot = shared.work_cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // Respect the job's thread budget: late workers beyond the cap go
+        // back to sleep instead of adding parallelism the caller turned off.
+        if job.workers.fetch_add(1, Ordering::Relaxed) < job.worker_cap {
+            execute(&shared, &job);
+        }
+    }
+}

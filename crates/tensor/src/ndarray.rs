@@ -284,15 +284,25 @@ impl NdArray {
         assert_eq!(b, b2, "bmm batch dims");
         assert_eq!(k, k2, "bmm inner dims");
         let mut out = vec![0.0f32; b * m * n];
-        for i in 0..b {
-            matmul_kernel(
-                &self.data[i * m * k..(i + 1) * m * k],
-                &rhs.data[i * k * n..(i + 1) * k * n],
-                &mut out[i * m * n..(i + 1) * m * n],
-                m,
-                k,
-                n,
-            );
+        {
+            // Parallelize over independent batch planes; the per-plane
+            // kernel runs inline when called from a pool worker.
+            let (a, r) = (self.data(), rhs.data());
+            let w = slime_par::UnsafeSlice::new(&mut out);
+            slime_par::parallel_for(b, 1, |b0, b1| {
+                for i in b0..b1 {
+                    // SAFETY: batch planes are disjoint.
+                    let o = unsafe { w.slice_mut(i * m * n, m * n) };
+                    matmul_kernel(
+                        &a[i * m * k..(i + 1) * m * k],
+                        &r[i * k * n..(i + 1) * k * n],
+                        o,
+                        m,
+                        k,
+                        n,
+                    );
+                }
+            });
         }
         NdArray::from_vec(vec![b, m, n], out)
     }
@@ -319,21 +329,38 @@ impl NdArray {
         let out_shape: Vec<usize> = axes.iter().map(|&a| self.shape[a]).collect();
         let src_strides: Vec<usize> = axes.iter().map(|&a| in_strides[a]).collect();
         let n = self.len();
-        let mut out = Vec::with_capacity(n);
-        let mut idx = vec![0usize; nd];
-        let mut off = 0usize;
-        for _ in 0..n {
-            out.push(self.data[off]);
+        // Pure gather (each output element written once), parallel over
+        // output ranges; each task re-seeds the odometer at its chunk start.
+        // This sits on the full-catalog scoring path (`[V, D] -> [D, V]`).
+        let mut out = vec![0.0f32; n];
+        let src = self.data();
+        let (out_shape_r, src_strides_r) = (&out_shape, &src_strides);
+        let w = slime_par::UnsafeSlice::new(&mut out);
+        slime_par::parallel_for(n, 1 << 14, |lo, hi| {
+            let (out_shape, src_strides) = (out_shape_r, src_strides_r);
+            // SAFETY: output chunks are disjoint.
+            let dst = unsafe { w.slice_mut(lo, hi - lo) };
+            let mut idx = vec![0usize; nd];
+            let mut off = 0usize;
+            let mut rem = lo;
             for d in (0..nd).rev() {
-                idx[d] += 1;
-                off += src_strides[d];
-                if idx[d] < out_shape[d] {
-                    break;
-                }
-                off -= src_strides[d] * out_shape[d];
-                idx[d] = 0;
+                idx[d] = rem % out_shape[d];
+                rem /= out_shape[d];
+                off += idx[d] * src_strides[d];
             }
-        }
+            for slot in dst.iter_mut() {
+                *slot = src[off];
+                for d in (0..nd).rev() {
+                    idx[d] += 1;
+                    off += src_strides[d];
+                    if idx[d] < out_shape[d] {
+                        break;
+                    }
+                    off -= src_strides[d] * out_shape[d];
+                    idx[d] = 0;
+                }
+            }
+        });
         NdArray::from_vec(out_shape, out)
     }
 
@@ -404,20 +431,73 @@ fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usize> {
     strides
 }
 
-/// Cache-friendly `i-k-j` matmul kernel writing into `out` (must be zeroed).
+/// Multiply-adds per parallel chunk of the matmul kernel. Sized so pool
+/// dispatch (~µs) is amortized; products smaller than one chunk run inline
+/// on the caller.
+const MATMUL_CHUNK_FLOPS: usize = 1 << 16;
+
+/// Row-parallel, register-blocked `i-k-j` matmul kernel writing into `out`
+/// (must be zeroed).
+///
+/// Rows are partitioned into chunks sized by shape alone — never by thread
+/// count — and every output element accumulates over `k` in ascending
+/// order in both the blocked and remainder paths, so results are bitwise
+/// identical from 1 to N threads (the slime-par determinism contract).
+///
+/// The former `av == 0.0` skip is gone: on dense inputs (everything this
+/// workspace multiplies — activations, weights, gradients) the inner-loop
+/// branch cost more than it saved and blocked vectorization.
 fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let o_row = &mut out[i * n..(i + 1) * n];
-        for (kk, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+    if m == 0 || n == 0 {
+        return;
+    }
+    let rows_per_chunk = (MATMUL_CHUNK_FLOPS / (k * n).max(1)).clamp(1, m);
+    let w = slime_par::UnsafeSlice::new(out);
+    slime_par::parallel_for(m, rows_per_chunk, |r0, r1| {
+        // SAFETY: chunk row ranges are disjoint, so each task owns its
+        // slice of `out`.
+        let o = unsafe { w.slice_mut(r0 * n, (r1 - r0) * n) };
+        matmul_rows(&a[r0 * k..r1 * k], b, o, k, n);
+    });
+}
+
+/// Multiply a block of rows (`rows x k` times `k x n`) into `out`
+/// (row-major, zeroed, `rows * n` long). Four-row register blocking shares
+/// each loaded `b` row across four accumulator rows.
+fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    let rows = out.len() / n.max(1);
+    let mut r = 0usize;
+    while r + 4 <= rows {
+        let (o0, rest) = out[r * n..(r + 4) * n].split_at_mut(n);
+        let (o1, rest) = rest.split_at_mut(n);
+        let (o2, o3) = rest.split_at_mut(n);
+        let a0 = &a[r * k..(r + 1) * k];
+        let a1 = &a[(r + 1) * k..(r + 2) * k];
+        let a2 = &a[(r + 2) * k..(r + 3) * k];
+        let a3 = &a[(r + 3) * k..(r + 4) * k];
+        for kk in 0..k {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            let (v0, v1, v2, v3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+            for j in 0..n {
+                let bv = b_row[j];
+                o0[j] += v0 * bv;
+                o1[j] += v1 * bv;
+                o2[j] += v2 * bv;
+                o3[j] += v3 * bv;
             }
+        }
+        r += 4;
+    }
+    while r < rows {
+        let a_row = &a[r * k..(r + 1) * k];
+        let o_row = &mut out[r * n..(r + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
             let b_row = &b[kk * n..(kk + 1) * n];
             for (o, &bv) in o_row.iter_mut().zip(b_row) {
                 *o += av * bv;
             }
         }
+        r += 1;
     }
 }
 

@@ -45,15 +45,45 @@ struct EmbeddingOp {
 impl Op for EmbeddingOp {
     fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
         let g = grad.data();
-        let mut dw = vec![0.0f32; self.v * self.d];
-        for (row, &idx) in self.indices.iter().enumerate() {
-            let src = row * self.d;
-            let dst = idx * self.d;
-            for j in 0..self.d {
-                dw[dst + j] += g[src + j];
-            }
+        let (v, d) = (self.v, self.d);
+        // Stable counting sort of gradient rows by target vocab index. Each
+        // vocab row's contributions are then applied in ascending gradient-row
+        // order — exactly the order the serial scatter-add used — so the
+        // parallel scatter below is bitwise identical to it at any thread
+        // count (grid and order depend only on the data, never on threads).
+        let mut starts = vec![0usize; v + 1];
+        for &idx in &self.indices {
+            starts[idx + 1] += 1;
         }
-        vec![Some(NdArray::from_vec(vec![self.v, self.d], dw))]
+        for u in 0..v {
+            starts[u + 1] += starts[u];
+        }
+        let mut cursor = starts.clone();
+        let mut order = vec![0usize; self.indices.len()];
+        for (row, &idx) in self.indices.iter().enumerate() {
+            order[cursor[idx]] = row;
+            cursor[idx] += 1;
+        }
+        let mut dw = vec![0.0f32; v * d];
+        {
+            let w = slime_par::UnsafeSlice::new(&mut dw);
+            let (starts, order) = (&starts, &order);
+            slime_par::parallel_for(v, (4096 / d.max(1)).max(1), |v0, v1| {
+                // SAFETY: vocab ranges partition `0..v`, so the row slices
+                // are disjoint across chunks.
+                let rows = unsafe { w.slice_mut(v0 * d, (v1 - v0) * d) };
+                for u in v0..v1 {
+                    let dst = (u - v0) * d;
+                    for &row in &order[starts[u]..starts[u + 1]] {
+                        let src = row * d;
+                        for j in 0..d {
+                            rows[dst + j] += g[src + j];
+                        }
+                    }
+                }
+            });
+        }
+        vec![Some(NdArray::from_vec(vec![v, d], dw))]
     }
     fn name(&self) -> &'static str {
         "embedding"

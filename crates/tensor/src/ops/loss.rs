@@ -3,6 +3,15 @@
 use crate::ndarray::NdArray;
 use crate::tensor::{Op, Tensor};
 
+/// Logit elements per parallel chunk of the cross-entropy row loop. Chunking
+/// depends only on the `[B, V]` shape, so the per-chunk `f64` partial losses
+/// — and their in-order fold — are bitwise identical at any thread count.
+const CE_CHUNK_ELEMS: usize = 1 << 16;
+
+fn rows_per_chunk(v: usize) -> usize {
+    (CE_CHUNK_ELEMS / v.max(1)).max(1)
+}
+
 /// Mean softmax cross-entropy of `logits` (`[B, V]`) against integer
 /// `targets`.
 ///
@@ -15,28 +24,46 @@ pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> Tensor {
     assert_eq!(shape.len(), 2, "cross_entropy expects [B, V] logits");
     let (b, v) = (shape[0], shape[1]);
     assert_eq!(targets.len(), b, "one target per row");
+    for &t in targets {
+        assert!(t < v, "target {t} out of range {v}");
+    }
     let data = logits.data();
     let src = data.data();
-    let mut loss = 0.0f64;
+    // Row-parallel softmax + loss: each chunk writes its own softmax rows
+    // and returns an f64 partial loss; partials are folded in chunk order.
     let mut softmax = vec![0.0f32; b * v];
-    for r in 0..b {
-        let row = &src[r * v..(r + 1) * v];
-        let t = targets[r];
-        assert!(t < v, "target {t} out of range {v}");
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0f32;
-        for (o, &x) in softmax[r * v..(r + 1) * v].iter_mut().zip(row) {
-            let e = (x - max).exp();
-            *o = e;
-            sum += e;
-        }
-        let inv = 1.0 / sum;
-        for o in softmax[r * v..(r + 1) * v].iter_mut() {
-            *o *= inv;
-        }
-        let lse = max + sum.ln();
-        loss += (lse - row[t]) as f64;
-    }
+    let loss = {
+        let w = slime_par::UnsafeSlice::new(&mut softmax);
+        slime_par::parallel_map_reduce(
+            b,
+            rows_per_chunk(v),
+            |r0, r1| {
+                // SAFETY: row ranges partition `0..b`, disjoint across chunks.
+                let sm = unsafe { w.slice_mut(r0 * v, (r1 - r0) * v) };
+                let mut part = 0.0f64;
+                for r in r0..r1 {
+                    let row = &src[r * v..(r + 1) * v];
+                    let out = &mut sm[(r - r0) * v..(r - r0 + 1) * v];
+                    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let mut sum = 0.0f32;
+                    for (o, &x) in out.iter_mut().zip(row) {
+                        let e = (x - max).exp();
+                        *o = e;
+                        sum += e;
+                    }
+                    let inv = 1.0 / sum;
+                    for o in out.iter_mut() {
+                        *o *= inv;
+                    }
+                    let lse = max + sum.ln();
+                    part += (lse - row[targets[r]]) as f64;
+                }
+                part
+            },
+            |a, b| a + b,
+        )
+        .unwrap_or(0.0)
+    };
     drop(data);
     let loss = (loss / b as f64) as f32;
     Tensor::from_op(
@@ -60,12 +87,22 @@ impl Op for CrossEntropyOp {
         let shape = self.softmax.shape().to_vec();
         let (b, v) = (shape[0], shape[1]);
         let scale = g / b as f32;
-        let mut dx = self.softmax.data().to_vec();
-        for (r, &t) in self.targets.iter().enumerate() {
-            dx[r * v + t] -= 1.0;
-        }
-        for d in dx.iter_mut() {
-            *d *= scale;
+        let sm = self.softmax.data();
+        let targets = &self.targets;
+        let mut dx = vec![0.0f32; b * v];
+        {
+            let w = slime_par::UnsafeSlice::new(&mut dx);
+            slime_par::parallel_for(b, rows_per_chunk(v), |r0, r1| {
+                // SAFETY: row ranges partition `0..b`, disjoint across chunks.
+                let out = unsafe { w.slice_mut(r0 * v, (r1 - r0) * v) };
+                out.copy_from_slice(&sm[r0 * v..r1 * v]);
+                for r in r0..r1 {
+                    out[(r - r0) * v + targets[r]] -= 1.0;
+                }
+                for o in out.iter_mut() {
+                    *o *= scale;
+                }
+            });
         }
         vec![Some(NdArray::from_vec(shape, dx))]
     }

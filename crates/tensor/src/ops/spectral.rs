@@ -25,10 +25,21 @@
 //! grad_x[b,:,c]= Re( unnormalized-inverse-FFT( zero-pad(grad_X[b,:,c], N) ) )
 //! ```
 
-use slime_fft::{Complex32, FftPlan};
+use slime_fft::{with_cached_plan, Complex32};
+use slime_par::UnsafeSlice;
 
 use crate::ndarray::NdArray;
 use crate::tensor::{Op, Tensor};
+
+/// FFT points per parallel task: each chunk covers roughly this many time
+/// samples' worth of (batch, channel) transforms. A pure function of the
+/// shape, so the chunk grid — and therefore the result bits — never depend
+/// on the thread count.
+const FFT_POINTS_PER_CHUNK: usize = 4096;
+
+fn pairs_per_chunk(n: usize) -> usize {
+    (FFT_POINTS_PER_CHUNK / n.max(1)).max(1)
+}
 
 /// One learnable filter branch of the mixer.
 #[derive(Clone)]
@@ -78,58 +89,81 @@ pub fn spectral_filter_mix(x: &Tensor, branches: &[SpectralBranch]) -> Tensor {
         assert_eq!(br.mask.len(), m, "branch {i} mask length");
     }
 
-    let plan = FftPlan::new(n);
-
     // X = rfft(x) along the time axis, stored as [B, M, D] real/imag planes.
+    // Parallel over flattened (batch, channel) pairs: each pair's transform
+    // is independent and writes a disjoint set of spectrum slots. Workers
+    // fetch the length-n plan from their thread-local cache once per chunk;
+    // because pool workers are persistent, the plan survives across calls.
     let data = x.data();
     let src = data.data();
     let mut xre = vec![0.0f32; b * m * d];
     let mut xim = vec![0.0f32; b * m * d];
-    let mut buf = vec![Complex32::ZERO; n];
-    for bi in 0..b {
-        for c in 0..d {
-            for (t, slot) in buf.iter_mut().enumerate() {
-                *slot = Complex32::new(src[(bi * n + t) * d + c], 0.0);
-            }
-            plan.forward(&mut buf);
-            for k in 0..m {
-                xre[(bi * m + k) * d + c] = buf[k].re;
-                xim[(bi * m + k) * d + c] = buf[k].im;
-            }
-        }
+    {
+        let wre = UnsafeSlice::new(&mut xre);
+        let wim = UnsafeSlice::new(&mut xim);
+        slime_par::parallel_for(b * d, pairs_per_chunk(n), |lo, hi| {
+            with_cached_plan(n, |plan| {
+                let mut buf = vec![Complex32::ZERO; n];
+                for p in lo..hi {
+                    let (bi, c) = (p / d, p % d);
+                    for (t, slot) in buf.iter_mut().enumerate() {
+                        *slot = Complex32::new(src[(bi * n + t) * d + c], 0.0);
+                    }
+                    plan.forward(&mut buf);
+                    for k in 0..m {
+                        // SAFETY: distinct (bi, c) pairs touch disjoint
+                        // (bi, k, c) slots, and each pair is claimed by
+                        // exactly one chunk.
+                        unsafe {
+                            wre.write((bi * m + k) * d + c, buf[k].re);
+                            wim.write((bi * m + k) * d + c, buf[k].im);
+                        }
+                    }
+                }
+            });
+        });
     }
     drop(data);
 
     // Effective filter F[k,c].
     let (fre, fim) = effective_filter(branches, m, d);
 
-    // Y = X * F, then y = irfft(Y).
+    // Y = X * F, then y = irfft(Y). Same (batch, channel) decomposition.
     let mut out = vec![0.0f32; b * n * d];
-    for bi in 0..b {
-        for c in 0..d {
-            for k in 0..m {
-                let xi = (bi * m + k) * d + c;
-                let wi = k * d + c;
-                buf[k] = Complex32::new(
-                    xre[xi] * fre[wi] - xim[xi] * fim[wi],
-                    xre[xi] * fim[wi] + xim[xi] * fre[wi],
-                );
-            }
-            // Conjugate-symmetric extension with DC/Nyquist projection.
-            buf[0] = Complex32::new(buf[0].re, 0.0);
-            if n % 2 == 0 {
-                buf[m - 1] = Complex32::new(buf[m - 1].re, 0.0);
-            }
-            for k in 1..m {
-                if n - k >= m {
-                    buf[n - k] = buf[k].conj();
+    {
+        let wout = UnsafeSlice::new(&mut out);
+        let (xre, xim, fre, fim) = (&xre, &xim, &fre, &fim);
+        slime_par::parallel_for(b * d, pairs_per_chunk(n), |lo, hi| {
+            with_cached_plan(n, |plan| {
+                let mut buf = vec![Complex32::ZERO; n];
+                for p in lo..hi {
+                    let (bi, c) = (p / d, p % d);
+                    for k in 0..m {
+                        let xi = (bi * m + k) * d + c;
+                        let wi = k * d + c;
+                        buf[k] = Complex32::new(
+                            xre[xi] * fre[wi] - xim[xi] * fim[wi],
+                            xre[xi] * fim[wi] + xim[xi] * fre[wi],
+                        );
+                    }
+                    // Conjugate-symmetric extension with DC/Nyquist projection.
+                    buf[0] = Complex32::new(buf[0].re, 0.0);
+                    if n % 2 == 0 {
+                        buf[m - 1] = Complex32::new(buf[m - 1].re, 0.0);
+                    }
+                    for k in 1..m {
+                        if n - k >= m {
+                            buf[n - k] = buf[k].conj();
+                        }
+                    }
+                    plan.inverse(&mut buf);
+                    for t in 0..n {
+                        // SAFETY: disjoint (bi, t, c) slots per pair.
+                        unsafe { wout.write((bi * n + t) * d + c, buf[t].re) };
+                    }
                 }
-            }
-            plan.inverse(&mut buf);
-            for t in 0..n {
-                out[(bi * n + t) * d + c] = buf[t].re;
-            }
-        }
+            });
+        });
     }
 
     let mut parents = Vec::with_capacity(1 + branches.len() * 2);
@@ -206,7 +240,6 @@ impl Op for SpectralOp {
     fn backward(&self, grad: &NdArray, parents: &[Tensor]) -> Vec<Option<NdArray>> {
         let (b, n, d) = (self.b, self.n, self.d);
         let m = n / 2 + 1;
-        let plan = FftPlan::new(n);
         let g = grad.data();
 
         // Recompute F from the (unchanged) parent weights.
@@ -223,62 +256,97 @@ impl Op for SpectralOp {
             ck[m - 1] = 1.0 / n as f32;
         }
 
-        // G = (c_k/N) rfft(grad_y), grad_F accumulator, grad_X, grad_x.
+        // G = (c_k/N) rfft(grad_y), parallel over (batch, channel) pairs
+        // exactly like the forward transform.
         let mut gre = vec![0.0f32; b * m * d];
         let mut gim = vec![0.0f32; b * m * d];
-        let mut buf = vec![Complex32::ZERO; n];
-        for bi in 0..b {
-            for c in 0..d {
-                for (t, slot) in buf.iter_mut().enumerate() {
-                    *slot = Complex32::new(g[(bi * n + t) * d + c], 0.0);
-                }
-                plan.forward(&mut buf);
-                for k in 0..m {
-                    let gi = (bi * m + k) * d + c;
-                    gre[gi] = buf[k].re * ck[k];
-                    gim[gi] = buf[k].im * ck[k];
-                }
-                // Imaginary parts of the DC and even-N Nyquist bins were
-                // discarded by irfft, so no gradient flows to them.
-                gim[(bi * m) * d + c] = 0.0;
-                if n % 2 == 0 {
-                    gim[(bi * m + m - 1) * d + c] = 0.0;
-                }
-            }
+        {
+            let wre = UnsafeSlice::new(&mut gre);
+            let wim = UnsafeSlice::new(&mut gim);
+            let ck = &ck;
+            slime_par::parallel_for(b * d, pairs_per_chunk(n), |lo, hi| {
+                with_cached_plan(n, |plan| {
+                    let mut buf = vec![Complex32::ZERO; n];
+                    for p in lo..hi {
+                        let (bi, c) = (p / d, p % d);
+                        for (t, slot) in buf.iter_mut().enumerate() {
+                            *slot = Complex32::new(g[(bi * n + t) * d + c], 0.0);
+                        }
+                        plan.forward(&mut buf);
+                        for k in 0..m {
+                            let gi = (bi * m + k) * d + c;
+                            // Imaginary parts of the DC and even-N Nyquist
+                            // bins were discarded by irfft, so no gradient
+                            // flows to them.
+                            let drop_im = k == 0 || (n % 2 == 0 && k == m - 1);
+                            // SAFETY: disjoint (bi, k, c) slots per pair.
+                            unsafe {
+                                wre.write(gi, buf[k].re * ck[k]);
+                                wim.write(gi, if drop_im { 0.0 } else { buf[k].im * ck[k] });
+                            }
+                        }
+                    }
+                });
+            });
         }
 
-        // grad_F[k,c] = sum_b G * conj(X)
+        // grad_F[k,c] = sum_b G * conj(X). Parallel over frequency-bin rows:
+        // each chunk owns the rows `k0..k1` of the accumulator outright and
+        // sums its batch contributions in ascending-`bi` order — the same
+        // order as the serial loop — so the reduction is bitwise stable
+        // regardless of thread count.
         let mut dfre = vec![0.0f32; m * d];
         let mut dfim = vec![0.0f32; m * d];
-        for bi in 0..b {
-            for k in 0..m {
-                for c in 0..d {
-                    let i = (bi * m + k) * d + c;
-                    let w = k * d + c;
-                    dfre[w] += gre[i] * self.xre[i] + gim[i] * self.xim[i];
-                    dfim[w] += gim[i] * self.xre[i] - gre[i] * self.xim[i];
+        {
+            let wdre = UnsafeSlice::new(&mut dfre);
+            let wdim = UnsafeSlice::new(&mut dfim);
+            let (gre, gim) = (&gre, &gim);
+            let rows_per_chunk = (FFT_POINTS_PER_CHUNK / (b * d).max(1)).max(1);
+            slime_par::parallel_for(m, rows_per_chunk, |k0, k1| {
+                // SAFETY: chunks partition `0..m`, so these row ranges are
+                // disjoint across tasks.
+                let dre = unsafe { wdre.slice_mut(k0 * d, (k1 - k0) * d) };
+                let dim = unsafe { wdim.slice_mut(k0 * d, (k1 - k0) * d) };
+                for bi in 0..b {
+                    for k in k0..k1 {
+                        for c in 0..d {
+                            let i = (bi * m + k) * d + c;
+                            let w = (k - k0) * d + c;
+                            dre[w] += gre[i] * self.xre[i] + gim[i] * self.xim[i];
+                            dim[w] += gim[i] * self.xre[i] - gre[i] * self.xim[i];
+                        }
+                    }
                 }
-            }
+            });
         }
 
-        // grad_x via grad_X = G * conj(F), then the rfft adjoint.
+        // grad_x via grad_X = G * conj(F), then the rfft adjoint; parallel
+        // over (batch, channel) pairs again.
         let mut dx = vec![0.0f32; b * n * d];
-        for bi in 0..b {
-            for c in 0..d {
-                buf.iter_mut().for_each(|s| *s = Complex32::ZERO);
-                for k in 0..m {
-                    let i = (bi * m + k) * d + c;
-                    let w = k * d + c;
-                    buf[k] = Complex32::new(
-                        gre[i] * fre[w] + gim[i] * fim[w],
-                        gim[i] * fre[w] - gre[i] * fim[w],
-                    );
+        {
+            let wdx = UnsafeSlice::new(&mut dx);
+            let (gre, gim, fre, fim) = (&gre, &gim, &fre, &fim);
+            slime_par::parallel_for(b * d, pairs_per_chunk(n), |lo, hi| {
+                let mut buf = vec![Complex32::ZERO; n];
+                for p in lo..hi {
+                    let (bi, c) = (p / d, p % d);
+                    buf.iter_mut().for_each(|s| *s = Complex32::ZERO);
+                    for k in 0..m {
+                        let i = (bi * m + k) * d + c;
+                        let w = k * d + c;
+                        buf[k] = Complex32::new(
+                            gre[i] * fre[w] + gim[i] * fim[w],
+                            gim[i] * fre[w] - gre[i] * fim[w],
+                        );
+                    }
+                    // `ifft_unscaled` reuses this worker's cached plan.
+                    slime_fft::ifft_unscaled(&mut buf);
+                    for t in 0..n {
+                        // SAFETY: disjoint (bi, t, c) slots per pair.
+                        unsafe { wdx.write((bi * n + t) * d + c, buf[t].re) };
+                    }
                 }
-                slime_fft::ifft_unscaled(&mut buf);
-                for t in 0..n {
-                    dx[(bi * n + t) * d + c] = buf[t].re;
-                }
-            }
+            });
         }
 
         let mut grads: Vec<Option<NdArray>> = vec![Some(NdArray::from_vec(vec![b, n, d], dx))];

@@ -3,10 +3,14 @@
 #
 #   1. formatting        (skipped with a notice if rustfmt is absent)
 #   2. release build     (the artifact we actually ship)
-#   3. full test suite   (includes the lint's fixture + self-check tests)
+#   3. full test suite   under SLIME_THREADS=1 (serial fast paths) and
+#                        SLIME_THREADS=4 (pool dispatch) — results must be
+#                        bitwise identical, and the determinism test in
+#                        crates/core checks exactly that
 #   4. sanitizer tests   (NaN/Inf attribution under --features sanitize)
 #   5. slime-lint check  (offline purity, op coverage, panic freedom,
-#                         shape asserts — exits 1 on any finding)
+#                         shape asserts, thread discipline — exits 1 on
+#                         any finding)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,8 +24,11 @@ fi
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> SLIME_THREADS=1 cargo test -q"
+SLIME_THREADS=1 cargo test -q
+
+echo "==> SLIME_THREADS=4 cargo test -q"
+SLIME_THREADS=4 cargo test -q
 
 echo "==> cargo test -q -p slime-tensor --features sanitize"
 cargo test -q -p slime-tensor --features sanitize
