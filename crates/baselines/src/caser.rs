@@ -76,7 +76,7 @@ impl NextItemModel for Caser {
     }
 
     fn score_all(&self, repr: &Tensor) -> Tensor {
-        ops::matmul(repr, &ops::permute(&self.item_emb.weight, &[1, 0]))
+        ops::matmul_nt(repr, &self.item_emb.weight)
     }
 }
 

@@ -54,7 +54,7 @@ impl NextItemModel for Gru4Rec {
     }
 
     fn score_all(&self, repr: &Tensor) -> Tensor {
-        ops::matmul(repr, &ops::permute(&self.item_emb.weight, &[1, 0]))
+        ops::matmul_nt(repr, &self.item_emb.weight)
     }
 }
 

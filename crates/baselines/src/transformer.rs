@@ -246,7 +246,7 @@ impl NextItemModel for TransformerRec {
     fn score_all(&self, repr: &Tensor) -> Tensor {
         // Score only real vocabulary rows (exclude BERT's mask token row).
         let w = ops::slice_axis(&self.item_emb.weight, 0, 0, self.num_scored);
-        ops::matmul(repr, &ops::permute(&w, &[1, 0]))
+        ops::matmul_nt(repr, &w)
     }
 }
 

@@ -1,0 +1,205 @@
+//! Memory-subsystem sweep: the train-step and full-ranking-inference
+//! routines timed with the NdArray buffer pool off and on, plus the pool
+//! hit rate after a warmup epoch and peak-RSS snapshots. Emits
+//! `BENCH_mem.json` at the workspace root alongside the printed table.
+//!
+//! The routine is identical in both modes — pooling never changes values —
+//! so the A/B isolates allocator traffic. Read the timings against
+//! `available_cores` (as with `BENCH_par.json`): a single-core container
+//! shows the allocator win without any parallel speedup on top.
+//!
+//! Peak-RSS caveat: `VmHWM` in `/proc/self/status` is a process-lifetime
+//! high-water mark — it only ratchets upward. The pool-off phase therefore
+//! runs first; the pool-on snapshot shows how much (if any) headroom the
+//! pool adds on top of that baseline.
+
+use slime4rec::{ContrastiveMode, NextItemModel, Slime4Rec, SlimeConfig};
+use slime_bench::harness::{measure_routine, Measurement};
+use slime_bench::random_inputs;
+use slime_nn::{Module, TrainContext};
+use slime_tensor::optim::{Adam, Optimizer};
+use slime_tensor::{ops, pool};
+use std::hint::black_box;
+use std::time::Duration;
+
+// Same paper-scale-ish dims as par_sweep: Beauty-sized catalog, max_len 50.
+const BATCH: usize = 64;
+const N: usize = 50;
+const HIDDEN: usize = 64;
+const VOCAB: usize = 4000;
+
+const SAMPLES: usize = 5;
+const WARM_UP: Duration = Duration::from_millis(300);
+const MEASURE: Duration = Duration::from_millis(1500);
+
+/// Warmup-epoch length used for the hit-rate measurement: enough steps for
+/// the free lists to reach steady state before counters reset.
+const WARMUP_STEPS: usize = 3;
+const MEASURED_STEPS: usize = 5;
+
+fn model() -> Slime4Rec {
+    let mut cfg = SlimeConfig::new(VOCAB);
+    cfg.hidden = HIDDEN;
+    cfg.max_len = N;
+    cfg.layers = 2;
+    cfg.contrastive = ContrastiveMode::None;
+    Slime4Rec::new(cfg)
+}
+
+fn measure_train_step() -> Measurement {
+    let inputs = random_inputs(BATCH, N, VOCAB, 3);
+    let targets: Vec<usize> = random_inputs(BATCH, 1, VOCAB, 4);
+    let slime = model();
+    let mut opt = Adam::new(slime.parameters(), 1e-3);
+    let mut ctx = TrainContext::train(1);
+    measure_routine(SAMPLES, WARM_UP, MEASURE, || {
+        opt.zero_grad();
+        let repr = slime.user_repr(black_box(&inputs), BATCH, &mut ctx);
+        let loss = ops::cross_entropy(&slime.score_all(&repr), &targets);
+        loss.backward();
+        opt.step();
+    })
+}
+
+fn measure_inference() -> Measurement {
+    let inputs = random_inputs(BATCH, N, VOCAB, 5);
+    let slime = model();
+    measure_routine(SAMPLES, WARM_UP, MEASURE, || {
+        let mut ctx = TrainContext::eval();
+        let repr = slime.user_repr(black_box(&inputs), BATCH, &mut ctx);
+        black_box(slime.score_all(&repr).value())
+    })
+}
+
+/// Pool hit rate over a measured epoch, after `WARMUP_STEPS` of warmup have
+/// populated the free lists and the counters were reset.
+fn measure_hit_rate() -> pool::PoolStats {
+    let inputs = random_inputs(BATCH, N, VOCAB, 7);
+    let targets: Vec<usize> = random_inputs(BATCH, 1, VOCAB, 8);
+    let slime = model();
+    let mut opt = Adam::new(slime.parameters(), 1e-3);
+    let mut ctx = TrainContext::train(1);
+    let mut step = || {
+        opt.zero_grad();
+        let repr = slime.user_repr(&inputs, BATCH, &mut ctx);
+        let loss = ops::cross_entropy(&slime.score_all(&repr), &targets);
+        loss.backward();
+        opt.step();
+    };
+    for _ in 0..WARMUP_STEPS {
+        step();
+    }
+    pool::reset_stats();
+    for _ in 0..MEASURED_STEPS {
+        step();
+    }
+    pool::stats()
+}
+
+/// `VmHWM` (peak resident set, kB) from `/proc/self/status`; `None` off
+/// Linux or if the field is missing.
+fn peak_rss_kb() -> Option<i64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn print_pair(name: &str, off: &Measurement, on: &Measurement) {
+    let ratio = off.median.as_secs_f64() / on.median.as_secs_f64().max(1e-12);
+    println!(
+        "  {name:<28} pool-off median {:>12?}   pool-on median {:>12?}   ({ratio:.2}x)",
+        off.median, on.median
+    );
+}
+
+fn main() {
+    use slime_json::Value;
+
+    slime_par::set_threads(1);
+    println!("mem_sweep: pool off vs on at 1 thread");
+
+    // Pool-off phase first: VmHWM only ratchets up, so the baseline
+    // snapshot must precede any pooled run.
+    pool::set_enabled(false);
+    let train_off = measure_train_step();
+    let infer_off = measure_inference();
+    let rss_off = peak_rss_kb();
+
+    pool::set_enabled(true);
+    let train_on = measure_train_step();
+    let infer_on = measure_inference();
+    let stats = measure_hit_rate();
+    let rss_on = peak_rss_kb();
+
+    print_pair("train_step", &train_off, &train_on);
+    print_pair("full_ranking_inference", &infer_off, &infer_on);
+    println!(
+        "  pool hit rate after warmup: {:.1}% ({} hits / {} misses, {:.1} MB reused)",
+        stats.hit_rate() * 100.0,
+        stats.hits,
+        stats.misses,
+        stats.bytes_reused as f64 / 1e6
+    );
+
+    let pair = |off: &Measurement, on: &Measurement| {
+        Value::Arr(vec![
+            slime_json::obj([("pool", Value::Bool(false)), ("timing", off.to_json())]),
+            slime_json::obj([("pool", Value::Bool(true)), ("timing", on.to_json())]),
+        ])
+    };
+    let report = slime_json::obj([
+        ("bench", Value::Str("mem_sweep".into())),
+        (
+            "available_cores",
+            Value::Int(slime_par::available_threads() as i64),
+        ),
+        ("threads", Value::Int(1)),
+        (
+            "sweeps",
+            Value::Arr(vec![
+                slime_json::obj([
+                    ("name", Value::Str("train_step".into())),
+                    ("points", pair(&train_off, &train_on)),
+                ]),
+                slime_json::obj([
+                    ("name", Value::Str("full_ranking_inference".into())),
+                    ("points", pair(&infer_off, &infer_on)),
+                ]),
+            ]),
+        ),
+        (
+            "pool_stats_after_warmup",
+            slime_json::obj([
+                ("hits", Value::Int(stats.hits as i64)),
+                ("misses", Value::Int(stats.misses as i64)),
+                ("bytes_reused", Value::Int(stats.bytes_reused as i64)),
+                ("hit_rate", Value::Float(stats.hit_rate())),
+            ]),
+        ),
+        (
+            "peak_rss_kb",
+            slime_json::obj([
+                (
+                    "after_pool_off_phase",
+                    rss_off.map(Value::Int).unwrap_or(Value::Null),
+                ),
+                (
+                    "after_pool_on_phase",
+                    rss_on.map(Value::Int).unwrap_or(Value::Null),
+                ),
+                (
+                    "note",
+                    Value::Str(
+                        "VmHWM is a process-lifetime high-water mark; the pool-off \
+                         phase runs first, so the second snapshot shows pooled \
+                         headroom on top of the unpooled baseline"
+                            .into(),
+                    ),
+                ),
+            ]),
+        ),
+    ]);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mem.json");
+    std::fs::write(out, report.to_pretty() + "\n").expect("write BENCH_mem.json");
+    println!("wrote {out}");
+}

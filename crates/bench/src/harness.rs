@@ -241,6 +241,59 @@ impl SweepResult {
     }
 }
 
+/// A single timed routine outside any sweep structure — the A/B benches
+/// (pool on vs off) pair these up themselves.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Fastest sample (per iteration).
+    pub min: Duration,
+    /// Median sample (per iteration).
+    pub median: Duration,
+    /// Mean over samples (per iteration).
+    pub mean: Duration,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
+impl Measurement {
+    /// JSON rendering used by `BENCH_mem.json`.
+    pub fn to_json(&self) -> slime_json::Value {
+        use slime_json::Value;
+        slime_json::obj([
+            ("min_ns", Value::Int(self.min.as_nanos() as i64)),
+            ("median_ns", Value::Int(self.median.as_nanos() as i64)),
+            ("mean_ns", Value::Int(self.mean.as_nanos() as i64)),
+            ("iters", Value::Int(self.iters as i64)),
+        ])
+    }
+}
+
+/// Time `routine` with the same warmup/sampling scheme as [`Bencher::iter`]
+/// and return the numbers instead of printing them inside a group.
+pub fn measure_routine<O, R: FnMut() -> O>(
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    mut routine: R,
+) -> Measurement {
+    let mut b = Bencher {
+        cfg: BenchConfig {
+            sample_size,
+            warm_up_time,
+            measurement_time,
+        },
+        report: None,
+    };
+    b.iter(|| routine());
+    let r = b.report.as_ref().expect("iter ran");
+    Measurement {
+        min: r.min,
+        median: r.median,
+        mean: r.mean,
+        iters: r.iters,
+    }
+}
+
 /// Time `routine` once per entry of `thread_counts`, capping the slime-par
 /// pool before each measurement. The routine itself is unchanged across
 /// points — slime-par guarantees its results are bitwise identical at every

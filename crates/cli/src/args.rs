@@ -22,9 +22,13 @@ impl std::fmt::Display for ArgError {
 
 impl std::error::Error for ArgError {}
 
+/// Options that take no value token: presence alone means "true". Every
+/// other option still requires a value (`--data` alone stays an error).
+const BOOLEAN_FLAGS: &[&str] = &["no-pool"];
+
 impl Args {
     /// Parse `argv[1..]`: the first token is the subcommand, the rest must
-    /// be `--key value` pairs.
+    /// be `--key value` pairs or known boolean flags.
     pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
         let mut it = argv.iter();
         let command = it
@@ -41,14 +45,24 @@ impl Args {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(ArgError(format!("expected --option, got {key:?}")));
             };
-            let value = it
-                .next()
-                .ok_or_else(|| ArgError(format!("--{name} requires a value")))?;
-            if options.insert(name.to_string(), value.clone()).is_some() {
+            let value = if BOOLEAN_FLAGS.contains(&name) {
+                "true".to_string()
+            } else {
+                it.next()
+                    .ok_or_else(|| ArgError(format!("--{name} requires a value")))?
+                    .clone()
+            };
+            if options.insert(name.to_string(), value).is_some() {
                 return Err(ArgError(format!("--{name} given twice")));
             }
         }
         Ok(Args { command, options })
+    }
+
+    /// Whether a boolean flag was provided.
+    pub fn flag(&self, name: &str) -> bool {
+        debug_assert!(BOOLEAN_FLAGS.contains(&name), "{name} is not a flag");
+        self.options.contains_key(name)
     }
 
     /// A string option.
@@ -129,5 +143,17 @@ mod tests {
     fn typed_parse_errors_are_reported() {
         let a = Args::parse(&argv("train --epochs five")).unwrap();
         assert!(a.get_or("epochs", 1usize).is_err());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        // A flag can sit between valued options without eating the next token.
+        let a = Args::parse(&argv("train --no-pool --data d.json")).unwrap();
+        assert!(a.flag("no-pool"));
+        assert_eq!(a.get("data"), Some("d.json"));
+        let b = Args::parse(&argv("train --data d.json")).unwrap();
+        assert!(!b.flag("no-pool"));
+        // Duplicate flags are still rejected.
+        assert!(Args::parse(&argv("train --no-pool --no-pool")).is_err());
     }
 }

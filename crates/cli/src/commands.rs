@@ -37,19 +37,23 @@ pub fn usage() -> String {
      \x20            [--epochs 8] [--batch 128] [--lr 0.001] [--hidden 32]\n\
      \x20            [--max-len 20] [--layers 2] [--alpha 0.4] [--gamma 0.5]\n\
      \x20            [--lambda 0.1] [--temperature 0.2] [--seed 42] [--threads N]\n\
+     \x20            [--no-pool]\n\
      \x20 evaluate   --data <data.json> --model <model-dir> [--split test|valid]\n\
-     \x20            [--threads N]\n\
+     \x20            [--threads N] [--no-pool]\n\
      \x20 recommend  --data <data.json> --model <model-dir> --user <idx> [--k 10]\n\
-     \x20            [--exclude-history true] [--threads N]\n\
+     \x20            [--exclude-history true] [--threads N] [--no-pool]\n\
      \n\
      --threads N caps the slime-par worker pool (default: SLIME_THREADS env\n\
-     var, else all cores). Results are bitwise identical at any thread count."
+     var, else all cores). --no-pool disables the NdArray buffer pool\n\
+     (equivalently SLIME_POOL=0). Both are pure throughput knobs: results\n\
+     are bitwise identical at any setting."
         .to_string()
 }
 
-/// Apply `--threads N` (if given) to the global slime-par pool. Mirrors the
-/// `SLIME_THREADS` environment variable; the explicit flag wins.
-fn apply_threads(args: &Args) -> Result<(), ArgError> {
+/// Apply the runtime knobs shared by train/evaluate/recommend: `--threads N`
+/// (mirrors `SLIME_THREADS`; the explicit flag wins) and `--no-pool`
+/// (mirrors `SLIME_POOL=0`).
+fn apply_runtime(args: &Args) -> Result<(), ArgError> {
     if let Some(v) = args.get("threads") {
         let n: usize = v
             .parse()
@@ -58,6 +62,9 @@ fn apply_threads(args: &Args) -> Result<(), ArgError> {
             return Err(ArgError("--threads must be >= 1".into()));
         }
         slime_par::set_threads(n);
+    }
+    if args.flag("no-pool") {
+        slime_tensor::pool::set_enabled(false);
     }
     Ok(())
 }
@@ -118,8 +125,9 @@ fn cmd_train(args: &Args) -> Result<Vec<String>, ArgError> {
         "temperature",
         "seed",
         "threads",
+        "no-pool",
     ])?;
-    apply_threads(args)?;
+    apply_runtime(args)?;
     let ds = load_dataset(args.require("data")?)?;
     let out = args.require("out")?;
 
@@ -164,8 +172,8 @@ fn cmd_train(args: &Args) -> Result<Vec<String>, ArgError> {
 }
 
 fn cmd_evaluate(args: &Args) -> Result<Vec<String>, ArgError> {
-    args.reject_unknown(&["data", "model", "split", "batch", "threads"])?;
-    apply_threads(args)?;
+    args.reject_unknown(&["data", "model", "split", "batch", "threads", "no-pool"])?;
+    apply_runtime(args)?;
     let ds = load_dataset(args.require("data")?)?;
     let (_, model) = load_model(args.require("model")?)?;
     let split = match args.get("split").unwrap_or("test") {
@@ -187,8 +195,16 @@ fn cmd_evaluate(args: &Args) -> Result<Vec<String>, ArgError> {
 }
 
 fn cmd_recommend(args: &Args) -> Result<Vec<String>, ArgError> {
-    args.reject_unknown(&["data", "model", "user", "k", "exclude-history", "threads"])?;
-    apply_threads(args)?;
+    args.reject_unknown(&[
+        "data",
+        "model",
+        "user",
+        "k",
+        "exclude-history",
+        "threads",
+        "no-pool",
+    ])?;
+    apply_runtime(args)?;
     let ds = load_dataset(args.require("data")?)?;
     let (_, model) = load_model(args.require("model")?)?;
     let user: usize = args.get_or("user", 0usize)?;

@@ -283,8 +283,9 @@ impl NextItemModel for Slime4Rec {
     }
 
     fn score_all(&self, repr: &Tensor) -> Tensor {
-        let wt = ops::permute(&self.item_emb.weight, &[1, 0]); // [d, V]
-        ops::matmul(repr, &wt)
+        // [B, d] x [V, d]^T, reading the embedding table in place — the old
+        // permute copied the whole [d, V] table on every scoring call.
+        ops::matmul_nt(repr, &self.item_emb.weight)
     }
 }
 

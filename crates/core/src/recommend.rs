@@ -63,13 +63,23 @@ pub fn recommend_batch<M: NextItemModel>(
                 .filter(|(item, _)| !exclude_history || !history.contains(item))
                 .map(|(item, &score)| Recommendation { item, score })
                 .collect();
-            ranked.sort_by(|a, b| {
+            // Deterministic ranking order: score descending, ties broken by
+            // item id ascending. The tie-break is total (item ids are
+            // unique), so partial selection below cannot reorder results
+            // relative to a full sort.
+            let by_rank = |a: &Recommendation, b: &Recommendation| {
                 b.score
                     .partial_cmp(&a.score)
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then(a.item.cmp(&b.item))
-            });
-            ranked.truncate(k);
+            };
+            // O(V) selection of the k winners, then sort only those —
+            // full-vocab `sort_by` was O(V log V) per user.
+            if ranked.len() > k {
+                ranked.select_nth_unstable_by(k - 1, by_rank);
+                ranked.truncate(k);
+            }
+            ranked.sort_by(by_rank);
             ranked
         })
         .collect()
@@ -139,5 +149,73 @@ mod tests {
         let m = tiny_model();
         let recs = recommend_top_k(&m, &[], 3, false);
         assert_eq!(recs.len(), 3);
+    }
+
+    /// Scores every item with a fixed per-item score, independent of the
+    /// history — lets the tests pin exact ranking outcomes.
+    struct FixedScores {
+        scores: Vec<f32>,
+    }
+
+    impl slime_nn::Module for FixedScores {
+        fn collect(&self, _out: &mut slime_nn::ParamCollector) {}
+    }
+
+    impl NextItemModel for FixedScores {
+        fn max_len(&self) -> usize {
+            4
+        }
+        fn user_repr(&self, _inputs: &[usize], batch: usize, _ctx: &mut TrainContext) -> Tensor {
+            Tensor::constant(NdArray::zeros(vec![batch, 1]))
+        }
+        fn score_all(&self, repr: &Tensor) -> Tensor {
+            let batch = repr.shape()[0];
+            let mut data = Vec::with_capacity(batch * self.scores.len());
+            for _ in 0..batch {
+                data.extend_from_slice(&self.scores);
+            }
+            Tensor::constant(NdArray::from_vec(vec![batch, self.scores.len()], data))
+        }
+    }
+
+    use slime_tensor::{NdArray, Tensor};
+
+    #[test]
+    fn ties_break_by_item_id_ascending() {
+        // Items 2, 3, 5 share the top score; 1 and 4 share the next one.
+        let m = FixedScores {
+            scores: vec![9.0, 1.0, 2.0, 2.0, 1.0, 2.0],
+        };
+        let recs = recommend_top_k(&m, &[1], 4, false);
+        let items: Vec<usize> = recs.iter().map(|r| r.item).collect();
+        assert_eq!(items, vec![2, 3, 5, 1]);
+        // The cut itself can land inside a tie group: top-2 of the three
+        // score-2.0 items must be the two smallest ids.
+        let top2: Vec<usize> = recommend_top_k(&m, &[1], 2, false)
+            .iter()
+            .map(|r| r.item)
+            .collect();
+        assert_eq!(top2, vec![2, 3]);
+    }
+
+    #[test]
+    fn partial_selection_matches_full_sort() {
+        // Pseudo-random scores with planted duplicates; the k winners must
+        // be exactly the first k of the fully sorted ranking.
+        let scores: Vec<f32> = (0..97).map(|i| ((i * 37 + 11) % 23) as f32 / 4.0).collect();
+        let m = FixedScores {
+            scores: scores.clone(),
+        };
+        let mut reference: Vec<(usize, f32)> = scores.iter().copied().enumerate().skip(1).collect();
+        reference.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        for k in [1, 5, 23, 96] {
+            let recs = recommend_top_k(&m, &[1], k, false);
+            let got: Vec<(usize, f32)> = recs.iter().map(|r| (r.item, r.score)).collect();
+            assert_eq!(got, reference[..k], "k = {k}");
+        }
     }
 }

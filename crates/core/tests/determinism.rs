@@ -1,11 +1,14 @@
-//! Thread-count determinism: training the full model is bitwise identical
-//! with 1 thread and 4 threads.
+//! Runtime-knob determinism: training the full model is bitwise identical
+//! across thread counts (1 vs 4) and with the buffer pool on vs off.
 //!
-//! This is the contract slime-par sells: every parallel kernel either keeps
-//! floating-point accumulation inside one chunk of a thread-count-independent
-//! grid, or folds per-chunk partials in chunk order. If any kernel raced its
-//! accumulation order, two epochs of SGD would amplify the ULP differences
-//! into visibly different losses and weights.
+//! This is the contract slime-par and the slime-tensor buffer pool sell:
+//! every parallel kernel either keeps floating-point accumulation inside one
+//! chunk of a thread-count-independent grid, or folds per-chunk partials in
+//! chunk order; and a pooled buffer is either fully overwritten or handed
+//! out empty before any value is read from it. If any kernel raced its
+//! accumulation order — or any code path read recycled bytes — two epochs
+//! of SGD would amplify the differences into visibly different losses and
+//! weights.
 
 use slime4rec::{run_slime, ContrastiveMode, SlimeConfig, TrainConfig};
 use slime_data::synthetic::{generate_with_core, SyntheticConfig};
@@ -30,8 +33,9 @@ fn tiny_ds() -> SeqDataset {
     generate_with_core(&cfg, 11, 0)
 }
 
-fn train_once(ds: &SeqDataset, threads: usize) -> (Vec<f32>, StateDict) {
+fn train_once(ds: &SeqDataset, threads: usize, pool_on: bool) -> (Vec<f32>, StateDict) {
     slime_par::set_threads(threads);
+    slime_tensor::pool::set_enabled(pool_on);
     let mut cfg = SlimeConfig::small(ds.num_items());
     cfg.hidden = 16;
     cfg.max_len = 10;
@@ -43,39 +47,56 @@ fn train_once(ds: &SeqDataset, threads: usize) -> (Vec<f32>, StateDict) {
         ..TrainConfig::default()
     };
     let (model, report, _) = run_slime(ds, &cfg, &tc);
+    slime_tensor::pool::set_enabled(true);
     (report.epoch_losses, model.state_dict())
 }
 
-#[test]
-fn one_thread_and_four_threads_train_bitwise_identically() {
-    let ds = tiny_ds();
-    let (losses_1, params_1) = train_once(&ds, 1);
-    let (losses_4, params_4) = train_once(&ds, 4);
-
-    assert_eq!(losses_1.len(), losses_4.len());
-    for (e, (a, b)) in losses_1.iter().zip(&losses_4).enumerate() {
+fn assert_bitwise_eq(
+    (losses_a, params_a): &(Vec<f32>, StateDict),
+    (losses_b, params_b): &(Vec<f32>, StateDict),
+    what: &str,
+) {
+    assert_eq!(losses_a.len(), losses_b.len(), "{what}: epoch count");
+    for (e, (a, b)) in losses_a.iter().zip(losses_b).enumerate() {
         assert_eq!(
             a.to_bits(),
             b.to_bits(),
-            "epoch {e} loss differs: {a} (1 thread) vs {b} (4 threads)"
+            "{what}: epoch {e} loss differs: {a} vs {b}"
         );
     }
 
-    let names_1: Vec<&str> = params_1.names().collect();
-    let names_4: Vec<&str> = params_4.names().collect();
-    assert_eq!(names_1, names_4);
-    assert!(!names_1.is_empty());
-    for name in names_1 {
-        let a = params_1.get(name).unwrap();
-        let b = params_4.get(name).unwrap();
-        assert_eq!(a.shape, b.shape, "{name} shape");
-        assert_eq!(a.data.len(), b.data.len(), "{name} length");
+    let names_a: Vec<&str> = params_a.names().collect();
+    let names_b: Vec<&str> = params_b.names().collect();
+    assert_eq!(names_a, names_b, "{what}: parameter names");
+    assert!(!names_a.is_empty());
+    for name in names_a {
+        let a = params_a.get(name).unwrap();
+        let b = params_b.get(name).unwrap();
+        assert_eq!(a.shape, b.shape, "{what}: {name} shape");
+        assert_eq!(a.data.len(), b.data.len(), "{what}: {name} length");
         for (i, (x, y)) in a.data.iter().zip(&b.data).enumerate() {
             assert_eq!(
                 x.to_bits(),
                 y.to_bits(),
-                "{name}[{i}] differs: {x} (1 thread) vs {y} (4 threads)"
+                "{what}: {name}[{i}] differs: {x} vs {y}"
             );
         }
+    }
+}
+
+#[test]
+fn training_is_bitwise_identical_across_threads_and_pool() {
+    let ds = tiny_ds();
+    let baseline = train_once(&ds, 1, true);
+    for (threads, pool_on) in [(4, true), (1, false), (4, false)] {
+        let run = train_once(&ds, threads, pool_on);
+        assert_bitwise_eq(
+            &baseline,
+            &run,
+            &format!(
+                "1 thread/pool-on vs {threads} threads/pool-{}",
+                if pool_on { "on" } else { "off" }
+            ),
+        );
     }
 }

@@ -75,8 +75,9 @@ impl MultiHeadAttention {
         let k = split(&self.wk.forward(x));
         let v = split(&self.wv.forward(x));
 
-        let kt = ops::permute(&k, &[0, 2, 1]);
-        let mut scores = ops::scale(&ops::bmm(&q, &kt), 1.0 / (dk as f32).sqrt());
+        // Q K^T straight off the row-major projections — bmm_nt reads K
+        // in place instead of materializing a [B*h, dk, N] copy per layer.
+        let mut scores = ops::scale(&ops::bmm_nt(&q, &k), 1.0 / (dk as f32).sqrt());
         if let Some(m) = mask {
             assert_eq!(m.shape(), &[n, n], "mask shape");
             scores = ops::add(&scores, &Tensor::constant(m.clone()));

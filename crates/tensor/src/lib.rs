@@ -27,6 +27,7 @@ pub mod init;
 mod ndarray;
 pub mod ops;
 pub mod optim;
+pub mod pool;
 pub mod serialize;
 mod tensor;
 

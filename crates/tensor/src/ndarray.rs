@@ -5,7 +5,65 @@
 //! (`Rc`-shared buffer, copy-on-write on mutation) so ops can save forward
 //! values for their backward pass without duplicating memory.
 
+use crate::pool;
 use std::rc::Rc;
+
+/// Owner of an `NdArray`'s backing buffer that returns it to the
+/// thread-local recycling pool (`crate::pool`) on drop instead of freeing
+/// it. Transparent everywhere else: derefs to `[f32]`, clones through the
+/// pool, compares and prints as the underlying slice.
+pub(crate) struct Buf {
+    v: Vec<f32>,
+}
+
+impl Buf {
+    /// Take ownership of a buffer (pool-served or caller-allocated).
+    #[inline]
+    pub(crate) fn adopt(v: Vec<f32>) -> Buf {
+        Buf { v }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.v
+    }
+}
+
+impl Drop for Buf {
+    fn drop(&mut self) {
+        pool::recycle(std::mem::take(&mut self.v));
+    }
+}
+
+impl Clone for Buf {
+    fn clone(&self) -> Buf {
+        // `Rc::make_mut` copy-on-write lands here; serve the copy from the
+        // pool like any other allocation.
+        let mut v = pool::take_empty(self.v.len());
+        v.extend_from_slice(&self.v);
+        Buf { v }
+    }
+}
+
+impl std::ops::Deref for Buf {
+    type Target = [f32];
+    #[inline]
+    fn deref(&self) -> &[f32] {
+        &self.v
+    }
+}
+
+impl PartialEq for Buf {
+    fn eq(&self, other: &Buf) -> bool {
+        self.v == other.v
+    }
+}
+
+impl std::fmt::Debug for Buf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.v.fmt(f)
+    }
+}
 
 /// A dense, row-major, `f32` n-dimensional array.
 ///
@@ -13,7 +71,7 @@ use std::rc::Rc;
 #[derive(Clone, Debug, PartialEq)]
 pub struct NdArray {
     shape: Vec<usize>,
-    data: Rc<Vec<f32>>,
+    data: Rc<Buf>,
 }
 
 /// Number of elements implied by a shape (empty shape = scalar = 1 element).
@@ -36,7 +94,7 @@ impl NdArray {
         );
         NdArray {
             shape,
-            data: Rc::new(data),
+            data: Rc::new(Buf::adopt(data)),
         }
     }
 
@@ -46,7 +104,7 @@ impl NdArray {
         let n = numel(&shape);
         NdArray {
             shape,
-            data: Rc::new(vec![value; n]),
+            data: Rc::new(Buf::adopt(pool::take_filled(n, value))),
         }
     }
 
@@ -130,9 +188,11 @@ impl NdArray {
 
     /// Apply `f` elementwise, producing a new array.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> NdArray {
+        let mut out = pool::take_empty(self.len());
+        out.extend(self.data.iter().map(|&v| f(v)));
         NdArray {
             shape: self.shape.clone(),
-            data: Rc::new(self.data.iter().map(|&v| f(v)).collect()),
+            data: Rc::new(Buf::adopt(out)),
         }
     }
 
@@ -146,15 +206,16 @@ impl NdArray {
     /// Combine with `other` elementwise; shapes must match exactly.
     pub fn zip_map(&self, other: &NdArray, f: impl Fn(f32, f32) -> f32) -> NdArray {
         assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
+        let mut out = pool::take_empty(self.len());
+        out.extend(
+            self.data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b)),
+        );
         NdArray {
             shape: self.shape.clone(),
-            data: Rc::new(
-                self.data
-                    .iter()
-                    .zip(other.data.iter())
-                    .map(|(&a, &b)| f(a, b))
-                    .collect(),
-            ),
+            data: Rc::new(Buf::adopt(out)),
         }
     }
 
@@ -207,7 +268,7 @@ impl NdArray {
         let n = numel(&out_shape);
         let sa = broadcast_strides(&self.shape, &out_shape);
         let sb = broadcast_strides(&other.shape, &out_shape);
-        let mut out = Vec::with_capacity(n);
+        let mut out = pool::take_empty(n);
         let mut idx = vec![0usize; out_shape.len()];
         let (mut off_a, mut off_b) = (0usize, 0usize);
         for _ in 0..n {
@@ -245,7 +306,7 @@ impl NdArray {
         );
         let n = self.len();
         let strides = broadcast_strides(target, &self.shape);
-        let mut out = vec![0.0f32; numel(target)];
+        let mut out = pool::take_filled(numel(target), 0.0);
         let mut idx = vec![0usize; self.shape.len()];
         let mut off = 0usize;
         for i in 0..n {
@@ -270,8 +331,42 @@ impl NdArray {
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (rhs.shape[0], rhs.shape[1]);
         assert_eq!(k, k2, "matmul2d inner dims: {k} vs {k2}");
-        let mut out = vec![0.0f32; m * n];
+        let mut out = pool::take_filled(m * n, 0.0);
         matmul_kernel(&self.data, &rhs.data, &mut out, m, k, n);
+        NdArray::from_vec(vec![m, n], out)
+    }
+
+    /// Transpose-free right product: `[m, k] x [n, k]^T -> [m, n]`.
+    ///
+    /// Reads `rhs` row-major as-is — no `[k, n]` transpose is ever
+    /// materialized. Every output element is a single k-ascending dot
+    /// product, so the result is bitwise identical to
+    /// `self.matmul2d(&rhs.transpose_last2())`.
+    pub fn matmul2d_nt(&self, rhs: &NdArray) -> NdArray {
+        assert_eq!(self.ndim(), 2, "matmul2d_nt lhs must be 2-D");
+        assert_eq!(rhs.ndim(), 2, "matmul2d_nt rhs must be 2-D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "matmul2d_nt inner dims: {k} vs {k2}");
+        let mut out = pool::take_filled(m * n, 0.0);
+        matmul_nt_kernel(&self.data, &rhs.data, &mut out, m, k, n);
+        NdArray::from_vec(vec![m, n], out)
+    }
+
+    /// Transpose-free left product: `[k, m]^T x [k, n] -> [m, n]`.
+    ///
+    /// Reads `self` row-major as-is (column `i` of `self` becomes row `i`
+    /// of the product) — no `[m, k]` transpose is ever materialized.
+    /// Accumulation runs k-ascending per output element, so the result is
+    /// bitwise identical to `self.transpose_last2().matmul2d(&rhs)`.
+    pub fn matmul2d_tn(&self, rhs: &NdArray) -> NdArray {
+        assert_eq!(self.ndim(), 2, "matmul2d_tn lhs must be 2-D");
+        assert_eq!(rhs.ndim(), 2, "matmul2d_tn rhs must be 2-D");
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "matmul2d_tn inner dims: {k} vs {k2}");
+        let mut out = pool::take_filled(m * n, 0.0);
+        matmul_tn_kernel(&self.data, &rhs.data, &mut out, m, k, n);
         NdArray::from_vec(vec![m, n], out)
     }
 
@@ -283,7 +378,7 @@ impl NdArray {
         let (b2, k2, n) = (rhs.shape[0], rhs.shape[1], rhs.shape[2]);
         assert_eq!(b, b2, "bmm batch dims");
         assert_eq!(k, k2, "bmm inner dims");
-        let mut out = vec![0.0f32; b * m * n];
+        let mut out = pool::take_filled(b * m * n, 0.0);
         {
             // Parallelize over independent batch planes; the per-plane
             // kernel runs inline when called from a pool worker.
@@ -295,6 +390,68 @@ impl NdArray {
                     let o = unsafe { w.slice_mut(i * m * n, m * n) };
                     matmul_kernel(
                         &a[i * m * k..(i + 1) * m * k],
+                        &r[i * k * n..(i + 1) * k * n],
+                        o,
+                        m,
+                        k,
+                        n,
+                    );
+                }
+            });
+        }
+        NdArray::from_vec(vec![b, m, n], out)
+    }
+
+    /// Batched transpose-free right product:
+    /// `[b, m, k] x [b, n, k]^T -> [b, m, n]` (per-plane [`Self::matmul2d_nt`]).
+    pub fn bmm_nt(&self, rhs: &NdArray) -> NdArray {
+        assert_eq!(self.ndim(), 3, "bmm_nt lhs must be 3-D");
+        assert_eq!(rhs.ndim(), 3, "bmm_nt rhs must be 3-D");
+        let (b, m, k) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (b2, n, k2) = (rhs.shape[0], rhs.shape[1], rhs.shape[2]);
+        assert_eq!(b, b2, "bmm_nt batch dims");
+        assert_eq!(k, k2, "bmm_nt inner dims");
+        let mut out = pool::take_filled(b * m * n, 0.0);
+        {
+            let (a, r) = (self.data(), rhs.data());
+            let w = slime_par::UnsafeSlice::new(&mut out);
+            slime_par::parallel_for(b, 1, |b0, b1| {
+                for i in b0..b1 {
+                    // SAFETY: batch planes are disjoint.
+                    let o = unsafe { w.slice_mut(i * m * n, m * n) };
+                    matmul_nt_kernel(
+                        &a[i * m * k..(i + 1) * m * k],
+                        &r[i * n * k..(i + 1) * n * k],
+                        o,
+                        m,
+                        k,
+                        n,
+                    );
+                }
+            });
+        }
+        NdArray::from_vec(vec![b, m, n], out)
+    }
+
+    /// Batched transpose-free left product:
+    /// `[b, k, m]^T x [b, k, n] -> [b, m, n]` (per-plane [`Self::matmul2d_tn`]).
+    pub fn bmm_tn(&self, rhs: &NdArray) -> NdArray {
+        assert_eq!(self.ndim(), 3, "bmm_tn lhs must be 3-D");
+        assert_eq!(rhs.ndim(), 3, "bmm_tn rhs must be 3-D");
+        let (b, k, m) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (b2, k2, n) = (rhs.shape[0], rhs.shape[1], rhs.shape[2]);
+        assert_eq!(b, b2, "bmm_tn batch dims");
+        assert_eq!(k, k2, "bmm_tn inner dims");
+        let mut out = pool::take_filled(b * m * n, 0.0);
+        {
+            let (a, r) = (self.data(), rhs.data());
+            let w = slime_par::UnsafeSlice::new(&mut out);
+            slime_par::parallel_for(b, 1, |b0, b1| {
+                for i in b0..b1 {
+                    // SAFETY: batch planes are disjoint.
+                    let o = unsafe { w.slice_mut(i * m * n, m * n) };
+                    matmul_tn_kernel(
+                        &a[i * k * m..(i + 1) * k * m],
                         &r[i * k * n..(i + 1) * k * n],
                         o,
                         m,
@@ -331,8 +488,7 @@ impl NdArray {
         let n = self.len();
         // Pure gather (each output element written once), parallel over
         // output ranges; each task re-seeds the odometer at its chunk start.
-        // This sits on the full-catalog scoring path (`[V, D] -> [D, V]`).
-        let mut out = vec![0.0f32; n];
+        let mut out = pool::take_filled(n, 0.0);
         let src = self.data();
         let (out_shape_r, src_strides_r) = (&out_shape, &src_strides);
         let w = slime_par::UnsafeSlice::new(&mut out);
@@ -371,7 +527,7 @@ impl NdArray {
         let outer: usize = self.shape[..axis].iter().product();
         let mid = self.shape[axis];
         let inner: usize = self.shape[axis + 1..].iter().product();
-        let mut out = vec![0.0f32; outer * inner];
+        let mut out = pool::take_filled(outer * inner, 0.0);
         for o in 0..outer {
             for m in 0..mid {
                 let base = (o * mid + m) * inner;
@@ -464,8 +620,13 @@ fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: u
 /// Multiply a block of rows (`rows x k` times `k x n`) into `out`
 /// (row-major, zeroed, `rows * n` long). Four-row register blocking shares
 /// each loaded `b` row across four accumulator rows.
-fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
-    let rows = out.len() / n.max(1);
+pub(crate) fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    // Degenerate shapes must be handled by the caller's early-out: a zero
+    // `n` here would silently compute 0 rows out of a non-empty `out`.
+    debug_assert!(n > 0, "matmul_rows called with n == 0");
+    debug_assert_eq!(out.len() % n, 0, "matmul_rows: out not a whole row count");
+    debug_assert_eq!(a.len(), (out.len() / n) * k, "matmul_rows: a/out mismatch");
+    let rows = out.len() / n;
     let mut r = 0usize;
     while r + 4 <= rows {
         let (o0, rest) = out[r * n..(r + 4) * n].split_at_mut(n);
@@ -492,6 +653,188 @@ fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
         let a_row = &a[r * k..(r + 1) * k];
         let o_row = &mut out[r * n..(r + 1) * n];
         for (kk, &av) in a_row.iter().enumerate() {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+        r += 1;
+    }
+}
+
+/// Row-parallel `A x B^T` kernel: `a` is `[m, k]`, `b` is `[n, k]`, both
+/// row-major, writing `[m, n]` into `out` (must be zeroed).
+///
+/// Same determinism contract as `matmul_kernel`: the chunk grid is a pure
+/// function of the shape, and each output element is one k-ascending dot
+/// product confined to a single chunk.
+fn matmul_nt_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    // Each chunk packs the `b` tiles it reads, so chunks carry a fixed
+    // O(k * n) packing cost on top of their rows * k * n multiply-adds:
+    // keep at least NT_PACK_AMORTIZE_ROWS rows per chunk to amortize it.
+    let rows_per_chunk = (MATMUL_CHUNK_FLOPS / (k * n).max(1))
+        .max(NT_PACK_AMORTIZE_ROWS)
+        .clamp(1, m);
+    let w = slime_par::UnsafeSlice::new(out);
+    slime_par::parallel_for(m, rows_per_chunk, |r0, r1| {
+        // SAFETY: chunk row ranges are disjoint.
+        let o = unsafe { w.slice_mut(r0 * n, (r1 - r0) * n) };
+        matmul_nt_rows(&a[r0 * k..r1 * k], b, o, k, n);
+    });
+}
+
+/// Column-tile width of the `A x B^T` kernel: a packed tile is at most
+/// `NT_TILE_COLS * k` floats (64 KiB at `k = 128`), small enough to stay
+/// cache-resident while every row of the chunk streams against it.
+const NT_TILE_COLS: usize = 128;
+
+/// Minimum rows per `matmul_nt_kernel` chunk, so the per-chunk tile packing
+/// (`O(k * n)`) stays a small fraction of the chunk's `rows * k * n` work.
+const NT_PACK_AMORTIZE_ROWS: usize = 16;
+
+/// A block of rows of `A x B^T`: `rows x k` times `(n x k)^T` into `out`
+/// (`rows * n` long, zeroed).
+///
+/// The rows of `b` covering a tile of at most [`NT_TILE_COLS`] output
+/// columns are packed transposed into a pooled cache-resident scratch, then
+/// every row of the block runs the same vectorized `i-k-j` loop as
+/// `matmul_rows` against the packed tile. Tiling splits only the output
+/// columns — never `k` — so each output element is still one k-ascending
+/// single-accumulator sum: the exact operation sequence `matmul_rows`
+/// performs on a materialized transpose, hence bitwise-identical results.
+fn matmul_nt_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    debug_assert!(n > 0, "matmul_nt_rows called with n == 0");
+    debug_assert_eq!(out.len() % n, 0, "matmul_nt_rows: out not whole rows");
+    debug_assert_eq!(
+        a.len(),
+        (out.len() / n) * k,
+        "matmul_nt_rows: a/out mismatch"
+    );
+    let rows = out.len() / n;
+    let jt_max = NT_TILE_COLS.min(n);
+    let mut pack = crate::pool::take_filled(k * jt_max, 0.0);
+    let mut j0 = 0usize;
+    while j0 < n {
+        let jt = jt_max.min(n - j0);
+        // Pack b[j0..j0+jt, :] transposed: pack[kk * jt + jj] = b[j0+jj][kk].
+        // Rows of `b` are read contiguously; the strided writes land in a
+        // tile small enough to stay in cache.
+        for jj in 0..jt {
+            let b_row = &b[(j0 + jj) * k..(j0 + jj + 1) * k];
+            for (kk, &bv) in b_row.iter().enumerate() {
+                pack[kk * jt + jj] = bv;
+            }
+        }
+        let tile = &pack[..k * jt];
+        let mut r = 0usize;
+        while r + 4 <= rows {
+            let block = &mut out[r * n..(r + 4) * n];
+            let (b0, rest) = block.split_at_mut(n);
+            let (b1, rest) = rest.split_at_mut(n);
+            let (b2, b3) = rest.split_at_mut(n);
+            let o0 = &mut b0[j0..j0 + jt];
+            let o1 = &mut b1[j0..j0 + jt];
+            let o2 = &mut b2[j0..j0 + jt];
+            let o3 = &mut b3[j0..j0 + jt];
+            let a0 = &a[r * k..(r + 1) * k];
+            let a1 = &a[(r + 1) * k..(r + 2) * k];
+            let a2 = &a[(r + 2) * k..(r + 3) * k];
+            let a3 = &a[(r + 3) * k..(r + 4) * k];
+            for kk in 0..k {
+                let t_row = &tile[kk * jt..(kk + 1) * jt];
+                let (v0, v1, v2, v3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+                for (j, &bv) in t_row.iter().enumerate() {
+                    o0[j] += v0 * bv;
+                    o1[j] += v1 * bv;
+                    o2[j] += v2 * bv;
+                    o3[j] += v3 * bv;
+                }
+            }
+            r += 4;
+        }
+        while r < rows {
+            let a_row = &a[r * k..(r + 1) * k];
+            let o_row = &mut out[r * n + j0..r * n + j0 + jt];
+            for kk in 0..k {
+                let t_row = &tile[kk * jt..(kk + 1) * jt];
+                let av = a_row[kk];
+                for (o, &bv) in o_row.iter_mut().zip(t_row) {
+                    *o += av * bv;
+                }
+            }
+            r += 1;
+        }
+        j0 += jt;
+    }
+    crate::pool::recycle(pack);
+}
+
+/// Row-parallel `A^T x B` kernel: `a` is `[k, m]`, `b` is `[k, n]`, both
+/// row-major, writing `[m, n]` into `out` (must be zeroed).
+///
+/// Parallelism is over *output* rows (columns of `a`); chunk grid depends
+/// only on the shape and accumulation stays k-ascending per element.
+fn matmul_tn_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let rows_per_chunk = (MATMUL_CHUNK_FLOPS / (k * n).max(1)).clamp(1, m);
+    let w = slime_par::UnsafeSlice::new(out);
+    slime_par::parallel_for(m, rows_per_chunk, |r0, r1| {
+        // SAFETY: chunk row ranges are disjoint.
+        let o = unsafe { w.slice_mut(r0 * n, (r1 - r0) * n) };
+        matmul_tn_rows(a, b, o, r0, k, m, n);
+    });
+}
+
+/// Output rows `r0..r0 + rows` of `A^T x B`, where `a` is the *untransposed*
+/// `[k, m]` operand (so output row `i` reads column `r0 + i` of `a`, stride
+/// `m`). Mirrors `matmul_rows`' four-row `i-k-j` blocking — each loaded `b`
+/// row is shared across four accumulator rows, and accumulation order per
+/// element is identical to running `matmul_rows` on a materialized `A^T`.
+pub(crate) fn matmul_tn_rows(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    r0: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    debug_assert!(n > 0, "matmul_tn_rows called with n == 0");
+    debug_assert_eq!(out.len() % n, 0, "matmul_tn_rows: out not whole rows");
+    debug_assert_eq!(a.len(), k * m, "matmul_tn_rows: a is not [k, m]");
+    debug_assert_eq!(b.len(), k * n, "matmul_tn_rows: b is not [k, n]");
+    let rows = out.len() / n;
+    debug_assert!(r0 + rows <= m, "matmul_tn_rows: row range exceeds m");
+    let mut r = 0usize;
+    while r + 4 <= rows {
+        let (o0, rest) = out[r * n..(r + 4) * n].split_at_mut(n);
+        let (o1, rest) = rest.split_at_mut(n);
+        let (o2, o3) = rest.split_at_mut(n);
+        let col = r0 + r;
+        for kk in 0..k {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            let a_row = &a[kk * m..(kk + 1) * m];
+            let (v0, v1, v2, v3) = (a_row[col], a_row[col + 1], a_row[col + 2], a_row[col + 3]);
+            for j in 0..n {
+                let bv = b_row[j];
+                o0[j] += v0 * bv;
+                o1[j] += v1 * bv;
+                o2[j] += v2 * bv;
+                o3[j] += v3 * bv;
+            }
+        }
+        r += 4;
+    }
+    while r < rows {
+        let col = r0 + r;
+        let o_row = &mut out[r * n..(r + 1) * n];
+        for kk in 0..k {
+            let av = a[kk * m + col];
             let b_row = &b[kk * n..(kk + 1) * n];
             for (o, &bv) in o_row.iter_mut().zip(b_row) {
                 *o += av * bv;
@@ -583,6 +926,67 @@ mod tests {
         let c = a.matmul2d(&b);
         assert_eq!(c.shape(), &[2, 2]);
         assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul2d_nt_matches_materialized_transpose() {
+        let a = NdArray::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        // b is [n, k] = [2, 3]; nt multiplies by its transpose.
+        let b = NdArray::from_vec(vec![2, 3], vec![7., 9., 11., 8., 10., 12.]);
+        let c = a.matmul2d_nt(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), a.matmul2d(&b.transpose_last2()).data());
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul2d_tn_matches_materialized_transpose() {
+        // a is [k, m] = [3, 2]; tn multiplies its transpose by b.
+        let a = NdArray::from_vec(vec![3, 2], vec![1., 4., 2., 5., 3., 6.]);
+        let b = NdArray::from_vec(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul2d_tn(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), a.transpose_last2().matmul2d(&b).data());
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_degenerate_dims_early_out() {
+        // m == 0, n == 0, and k == 0 must all produce well-formed outputs
+        // instead of silently mis-shaping (the old `n.max(1)` row count).
+        let a0 = NdArray::zeros(vec![0, 3]);
+        let b = NdArray::zeros(vec![3, 2]);
+        assert_eq!(a0.matmul2d(&b).shape(), &[0, 2]);
+        let a = NdArray::zeros(vec![2, 3]);
+        let b0 = NdArray::zeros(vec![3, 0]);
+        assert_eq!(a.matmul2d(&b0).shape(), &[2, 0]);
+        let ak0 = NdArray::zeros(vec![2, 0]);
+        let bk0 = NdArray::zeros(vec![0, 2]);
+        assert_eq!(ak0.matmul2d(&bk0).data(), &[0.0; 4]);
+        // Same early-outs for the transpose-free variants.
+        assert_eq!(a0.matmul2d_nt(&NdArray::zeros(vec![2, 3])).shape(), &[0, 2]);
+        assert_eq!(a.matmul2d_nt(&NdArray::zeros(vec![0, 3])).shape(), &[2, 0]);
+        assert_eq!(NdArray::zeros(vec![3, 0]).matmul2d_tn(&b).shape(), &[0, 2]);
+        let a_tn = NdArray::zeros(vec![2, 3]);
+        assert_eq!(
+            a_tn.matmul2d_tn(&NdArray::zeros(vec![2, 0])).shape(),
+            &[3, 0]
+        );
+    }
+
+    #[test]
+    fn bmm_nt_tn_known_values() {
+        // Two planes of [1, 2] x ([2, 2]^T in nt layout).
+        let a = NdArray::from_vec(vec![2, 1, 2], vec![1., 2., 3., 4.]);
+        let bt = NdArray::from_vec(vec![2, 2, 2], vec![5., 6., 7., 8., 1., 0., 0., 1.]);
+        let c = a.bmm_nt(&bt);
+        assert_eq!(c.shape(), &[2, 1, 2]);
+        assert_eq!(c.data(), a.bmm(&bt.transpose_last2()).data());
+        let at = NdArray::from_vec(vec![2, 2, 1], vec![1., 2., 3., 4.]);
+        let b = NdArray::from_vec(vec![2, 2, 3], (0..12).map(|v| v as f32).collect());
+        let d = at.bmm_tn(&b);
+        assert_eq!(d.shape(), &[2, 1, 3]);
+        assert_eq!(d.data(), at.transpose_last2().bmm(&b).data());
     }
 
     #[test]

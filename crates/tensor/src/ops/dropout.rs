@@ -25,8 +25,8 @@ pub fn dropout(x: &Tensor, p: f32, rng: &mut impl Rng) -> Tensor {
     let scale = 1.0 / keep;
     let data = x.data();
     let src = data.data();
-    let mut mask = vec![0.0f32; x.len()];
-    let mut out = vec![0.0f32; x.len()];
+    let mut mask = crate::pool::take_filled(x.len(), 0.0);
+    let mut out = crate::pool::take_filled(x.len(), 0.0);
     for i in 0..src.len() {
         if rng.gen::<f32>() < keep {
             mask[i] = scale;

@@ -17,7 +17,7 @@ pub fn embedding(weight: &Tensor, indices: &[usize], batch_shape: &[usize]) -> T
     assert_eq!(indices.len(), n, "indices length vs batch shape");
     let data = weight.data();
     let w = data.data();
-    let mut out = Vec::with_capacity(n * d);
+    let mut out = crate::pool::take_empty(n * d);
     for &idx in indices {
         assert!(idx < v, "embedding index {idx} out of vocab {v}");
         out.extend_from_slice(&w[idx * d..(idx + 1) * d]);
@@ -64,7 +64,7 @@ impl Op for EmbeddingOp {
             order[cursor[idx]] = row;
             cursor[idx] += 1;
         }
-        let mut dw = vec![0.0f32; v * d];
+        let mut dw = crate::pool::take_filled(v * d, 0.0);
         {
             let w = slime_par::UnsafeSlice::new(&mut dw);
             let (starts, order) = (&starts, &order);

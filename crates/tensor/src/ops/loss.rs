@@ -31,7 +31,7 @@ pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> Tensor {
     let src = data.data();
     // Row-parallel softmax + loss: each chunk writes its own softmax rows
     // and returns an f64 partial loss; partials are folded in chunk order.
-    let mut softmax = vec![0.0f32; b * v];
+    let mut softmax = crate::pool::take_filled(b * v, 0.0);
     let loss = {
         let w = slime_par::UnsafeSlice::new(&mut softmax);
         slime_par::parallel_map_reduce(
@@ -89,7 +89,7 @@ impl Op for CrossEntropyOp {
         let scale = g / b as f32;
         let sm = self.softmax.data();
         let targets = &self.targets;
-        let mut dx = vec![0.0f32; b * v];
+        let mut dx = crate::pool::take_filled(b * v, 0.0);
         {
             let w = slime_par::UnsafeSlice::new(&mut dx);
             slime_par::parallel_for(b, rows_per_chunk(v), |r0, r1| {

@@ -21,9 +21,9 @@ pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor
     let gw = gdata.data();
     let bdata = beta.data();
     let bw = bdata.data();
-    let mut out = vec![0.0f32; x.len()];
-    let mut xhat = vec![0.0f32; x.len()];
-    let mut inv_std = vec![0.0f32; rows];
+    let mut out = crate::pool::take_filled(x.len(), 0.0);
+    let mut xhat = crate::pool::take_filled(x.len(), 0.0);
+    let mut inv_std = crate::pool::take_filled(rows, 0.0);
     for r in 0..rows {
         let row = &src[r * d..(r + 1) * d];
         let mean = row.iter().sum::<f32>() / d as f32;
@@ -63,9 +63,9 @@ impl Op for LayerNormOp {
         let xh = self.xhat.data();
         let g = grad.data();
         let gw = self.gamma.data();
-        let mut dx = vec![0.0f32; self.xhat.len()];
-        let mut dgamma = vec![0.0f32; d];
-        let mut dbeta = vec![0.0f32; d];
+        let mut dx = crate::pool::take_filled(self.xhat.len(), 0.0);
+        let mut dgamma = crate::pool::take_filled(d, 0.0);
+        let mut dbeta = crate::pool::take_filled(d, 0.0);
         for r in 0..rows {
             let base = r * d;
             // dxhat = g * gamma
@@ -105,8 +105,8 @@ pub fn l2_normalize(x: &Tensor, eps: f32) -> Tensor {
     let rows = x.len() / d;
     let data = x.data();
     let src = data.data();
-    let mut out = vec![0.0f32; x.len()];
-    let mut inv_norm = vec![0.0f32; rows];
+    let mut out = crate::pool::take_filled(x.len(), 0.0);
+    let mut inv_norm = crate::pool::take_filled(rows, 0.0);
     for r in 0..rows {
         let row = &src[r * d..(r + 1) * d];
         let norm = row.iter().map(|&v| v * v).sum::<f32>().sqrt().max(eps);
@@ -139,7 +139,7 @@ impl Op for L2NormalizeOp {
         let rows = self.y.len() / d;
         let y = self.y.data();
         let g = grad.data();
-        let mut dx = vec![0.0f32; self.y.len()];
+        let mut dx = crate::pool::take_filled(self.y.len(), 0.0);
         for r in 0..rows {
             let base = r * d;
             let dot: f32 = (0..d).map(|j| y[base + j] * g[base + j]).sum();

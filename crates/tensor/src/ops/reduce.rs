@@ -93,7 +93,7 @@ impl Op for AxisReduceOp {
         let mid = self.shape[self.axis];
         let inner: usize = self.shape[self.axis + 1..].iter().product();
         let gdata = grad.data();
-        let mut out = vec![0.0f32; numel(&self.shape)];
+        let mut out = crate::pool::take_filled(numel(&self.shape), 0.0);
         for o in 0..outer {
             let src = &gdata[o * inner..(o + 1) * inner];
             for m in 0..mid {

@@ -73,7 +73,7 @@ fn slice_axis_impl(x: &Tensor, axis: usize, start: usize, len: usize, squeeze: b
     let inner: usize = shape[axis + 1..].iter().product();
     let data = x.data();
     let src = data.data();
-    let mut out = Vec::with_capacity(outer * len * inner);
+    let mut out = crate::pool::take_empty(outer * len * inner);
     for o in 0..outer {
         let base = (o * mid + start) * inner;
         out.extend_from_slice(&src[base..base + len * inner]);
@@ -109,7 +109,7 @@ impl Op for SliceOp {
         let outer: usize = self.shape[..self.axis].iter().product();
         let mid = self.shape[self.axis];
         let inner: usize = self.shape[self.axis + 1..].iter().product();
-        let mut out = vec![0.0f32; numel(&self.shape)];
+        let mut out = crate::pool::take_filled(numel(&self.shape), 0.0);
         let g = grad.data();
         for o in 0..outer {
             let dst_base = (o * mid + self.start) * inner;
@@ -147,7 +147,7 @@ pub fn concat(xs: &[Tensor], axis: usize) -> Tensor {
     let inner: usize = first_shape[axis + 1..].iter().product();
     let mut out_shape = first_shape.clone();
     out_shape[axis] = total;
-    let mut out = vec![0.0f32; numel(&out_shape)];
+    let mut out = crate::pool::take_filled(numel(&out_shape), 0.0);
     let mut offset = 0usize;
     for (x, &sz) in xs.iter().zip(&sizes) {
         let data = x.data();
@@ -186,7 +186,7 @@ impl Op for ConcatOp {
         let mut out = Vec::with_capacity(parents.len());
         let mut offset = 0usize;
         for (p, &sz) in parents.iter().zip(&self.sizes) {
-            let mut buf = vec![0.0f32; p.len()];
+            let mut buf = crate::pool::take_filled(p.len(), 0.0);
             for o in 0..self.outer {
                 let src = (o * self.total + offset) * self.inner;
                 let dst = o * sz * self.inner;
@@ -216,7 +216,7 @@ pub fn unfold_time(x: &Tensor, window: usize) -> Tensor {
     let steps = n - window + 1;
     let data = x.data();
     let src = data.data();
-    let mut out = Vec::with_capacity(b * steps * window * d);
+    let mut out = crate::pool::take_empty(b * steps * window * d);
     for bi in 0..b {
         for t in 0..steps {
             let base = (bi * n + t) * d;
@@ -242,7 +242,7 @@ impl Op for UnfoldOp {
     fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
         let steps = self.n - self.window + 1;
         let g = grad.data();
-        let mut out = vec![0.0f32; self.b * self.n * self.d];
+        let mut out = crate::pool::take_filled(self.b * self.n * self.d, 0.0);
         for bi in 0..self.b {
             for t in 0..steps {
                 let src = (bi * steps + t) * self.window * self.d;
@@ -269,7 +269,7 @@ pub fn gather_positions(x: &Tensor, positions: &[(usize, usize)]) -> Tensor {
     let (b, n, d) = (shape[0], shape[1], shape[2]);
     let data = x.data();
     let src = data.data();
-    let mut out = Vec::with_capacity(positions.len() * d);
+    let mut out = crate::pool::take_empty(positions.len() * d);
     for &(bi, t) in positions {
         assert!(bi < b && t < n, "position ({bi},{t}) out of range");
         let base = (bi * n + t) * d;
@@ -298,7 +298,7 @@ struct GatherPositionsOp {
 impl Op for GatherPositionsOp {
     fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
         let g = grad.data();
-        let mut out = vec![0.0f32; self.b * self.n * self.d];
+        let mut out = crate::pool::take_filled(self.b * self.n * self.d, 0.0);
         for (p, &(bi, t)) in self.positions.iter().enumerate() {
             let dst = (bi * self.n + t) * self.d;
             for j in 0..self.d {

@@ -16,7 +16,7 @@ pub(crate) fn softmax_forward(x: &NdArray) -> NdArray {
     let d = shape[shape.len() - 1];
     let rows = x.len() / d.max(1);
     let src = x.data();
-    let mut out = vec![0.0f32; x.len()];
+    let mut out = crate::pool::take_filled(x.len(), 0.0);
     for r in 0..rows {
         let row = &src[r * d..(r + 1) * d];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -47,7 +47,7 @@ impl Op for SoftmaxOp {
         let rows = self.y.len() / d;
         let y = self.y.data();
         let g = grad.data();
-        let mut out = vec![0.0f32; self.y.len()];
+        let mut out = crate::pool::take_filled(self.y.len(), 0.0);
         for r in 0..rows {
             let yr = &y[r * d..(r + 1) * d];
             let gr = &g[r * d..(r + 1) * d];
@@ -71,7 +71,7 @@ pub fn log_softmax(x: &Tensor) -> Tensor {
     let rows = x.len() / d.max(1);
     let data = x.data();
     let src = data.data();
-    let mut out = vec![0.0f32; x.len()];
+    let mut out = crate::pool::take_filled(x.len(), 0.0);
     for r in 0..rows {
         let row = &src[r * d..(r + 1) * d];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -98,7 +98,7 @@ impl Op for LogSoftmaxOp {
         let rows = self.softmax.len() / d;
         let s = self.softmax.data();
         let g = grad.data();
-        let mut out = vec![0.0f32; self.softmax.len()];
+        let mut out = crate::pool::take_filled(self.softmax.len(), 0.0);
         for r in 0..rows {
             let gr = &g[r * d..(r + 1) * d];
             let sr = &s[r * d..(r + 1) * d];

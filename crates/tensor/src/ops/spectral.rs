@@ -41,6 +41,95 @@ fn pairs_per_chunk(n: usize) -> usize {
     (FFT_POINTS_PER_CHUNK / n.max(1)).max(1)
 }
 
+/// Sequence lengths up to this run the rfft/irfft pair as small matmuls
+/// against cached trig tables instead of per-(batch, channel) FFTs.
+///
+/// At recommendation lengths (`max_len` ~ 50) the transform is a `[M, N]`
+/// contraction with `M = N/2 + 1` ~ 26 rows: the blocked `i-k-j` matmul
+/// kernel streams it at vector width, while Bluestein's algorithm (needed
+/// for non-power-of-two `N`) costs two length-128 complex FFTs *and a
+/// scratch allocation* per transform — and one `[B, N, D]` pass runs
+/// `B * D` of them. The matmul path is O(N^2) per pair versus the FFT's
+/// O(N log N), so long sequences stay on the FFT path.
+const DFT_MATMUL_MAX_N: usize = 128;
+
+/// Cached rfft/irfft coefficient tables for one sequence length.
+///
+/// With `theta(k, t) = 2 pi (k * t mod n) / n` (reduced mod `n` in f64 so
+/// the angle stays accurate) and the irfft fold weights `c_k / n`
+/// (`c_k = 1` at DC and the even-`n` Nyquist bin, else 2):
+///
+/// * `cre[k * n + t] =  cos(theta)`, `cim[k * n + t] = -sin(theta)`:
+///   `X = rfft(x)` is `Xre = cre @ x`, `Xim = cim @ x` per `[N, D]` plane.
+/// * `dre[t * m + k] = (c_k / n) cos(theta)`, `dim[t * m + k] =
+///   -(c_k / n) sin(theta)`: `y = irfft(Y)` is `dre @ Yre + dim @ Yim`.
+///   The `dim` columns at DC and the even-`n` Nyquist bin are exactly
+///   zero — that *is* the conjugate-symmetry projection the FFT path
+///   applies by zeroing those imaginary parts.
+///
+/// The backward transforms are the transposes of these same tables (see
+/// `SpectralOp::backward`), which the `matmul_tn_rows` kernel reads in
+/// place.
+struct DftTables {
+    cre: Vec<f32>,
+    cim: Vec<f32>,
+    dre: Vec<f32>,
+    dim: Vec<f32>,
+}
+
+impl DftTables {
+    fn new(n: usize) -> DftTables {
+        let m = n / 2 + 1;
+        let mut cre = vec![0.0f32; m * n];
+        let mut cim = vec![0.0f32; m * n];
+        let mut dre = vec![0.0f32; n * m];
+        let mut dim = vec![0.0f32; n * m];
+        for k in 0..m {
+            let ck = if k == 0 || (n % 2 == 0 && k == m - 1) {
+                1.0
+            } else {
+                2.0
+            };
+            let fold = ck / n as f64;
+            // Imaginary parts of the DC and even-n Nyquist bins are
+            // discarded by irfft; their fold columns are exactly zero.
+            let im_dropped = k == 0 || (n % 2 == 0 && k == m - 1);
+            for t in 0..n {
+                let theta = 2.0 * std::f64::consts::PI * ((k * t) % n) as f64 / n as f64;
+                let (sin, cos) = theta.sin_cos();
+                cre[k * n + t] = cos as f32;
+                cim[k * n + t] = -sin as f32;
+                dre[t * m + k] = (fold * cos) as f32;
+                dim[t * m + k] = if im_dropped {
+                    0.0
+                } else {
+                    (-fold * sin) as f32
+                };
+            }
+        }
+        DftTables { cre, cim, dre, dim }
+    }
+}
+
+std::thread_local! {
+    static DFT_TABLES: std::cell::RefCell<std::collections::HashMap<usize, std::rc::Rc<DftTables>>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+/// Run `f` with the cached tables for length `n`, building them on first
+/// use (a few KiB per length; lengths in a process are few).
+fn with_dft_tables<R>(n: usize, f: impl FnOnce(&DftTables) -> R) -> R {
+    let tables = DFT_TABLES.with(|cache| {
+        std::rc::Rc::clone(
+            cache
+                .borrow_mut()
+                .entry(n)
+                .or_insert_with(|| std::rc::Rc::new(DftTables::new(n))),
+        )
+    });
+    f(&tables)
+}
+
 /// One learnable filter branch of the mixer.
 #[derive(Clone)]
 pub struct SpectralBranch {
@@ -90,15 +179,36 @@ pub fn spectral_filter_mix(x: &Tensor, branches: &[SpectralBranch]) -> Tensor {
     }
 
     // X = rfft(x) along the time axis, stored as [B, M, D] real/imag planes.
-    // Parallel over flattened (batch, channel) pairs: each pair's transform
-    // is independent and writes a disjoint set of spectrum slots. Workers
-    // fetch the length-n plan from their thread-local cache once per chunk;
-    // because pool workers are persistent, the plan survives across calls.
+    //
+    // Short sequences (the recommendation case) run the transform as two
+    // cached-table matmuls per [N, D] batch plane through the blocked row
+    // kernel; long ones fall back to per-(batch, channel) FFTs. Both grids
+    // are pure functions of the shape, so results never depend on the
+    // thread count.
     let data = x.data();
     let src = data.data();
-    let mut xre = vec![0.0f32; b * m * d];
-    let mut xim = vec![0.0f32; b * m * d];
-    {
+    let mut xre = crate::pool::take_filled(b * m * d, 0.0);
+    let mut xim = crate::pool::take_filled(b * m * d, 0.0);
+    if n <= DFT_MATMUL_MAX_N && d > 0 {
+        let wre = UnsafeSlice::new(&mut xre);
+        let wim = UnsafeSlice::new(&mut xim);
+        slime_par::parallel_for(b, 1, |lo, hi| {
+            with_dft_tables(n, |tab| {
+                for bi in lo..hi {
+                    let x_plane = &src[bi * n * d..(bi + 1) * n * d];
+                    // SAFETY: each batch plane is claimed by exactly one
+                    // chunk, so these [M, D] slices are disjoint.
+                    let ore = unsafe { wre.slice_mut(bi * m * d, m * d) };
+                    let oim = unsafe { wim.slice_mut(bi * m * d, m * d) };
+                    crate::ndarray::matmul_rows(&tab.cre, x_plane, ore, n, d);
+                    crate::ndarray::matmul_rows(&tab.cim, x_plane, oim, n, d);
+                }
+            });
+        });
+    } else {
+        // Workers fetch the length-n plan from their thread-local cache
+        // once per chunk; because pool workers are persistent, the plan
+        // survives across calls.
         let wre = UnsafeSlice::new(&mut xre);
         let wim = UnsafeSlice::new(&mut xim);
         slime_par::parallel_for(b * d, pairs_per_chunk(n), |lo, hi| {
@@ -128,9 +238,42 @@ pub fn spectral_filter_mix(x: &Tensor, branches: &[SpectralBranch]) -> Tensor {
     // Effective filter F[k,c].
     let (fre, fim) = effective_filter(branches, m, d);
 
-    // Y = X * F, then y = irfft(Y). Same (batch, channel) decomposition.
-    let mut out = vec![0.0f32; b * n * d];
-    {
+    // Y = X * F, then y = irfft(Y). Same decomposition as the forward
+    // transform in each path.
+    let mut out = crate::pool::take_filled(b * n * d, 0.0);
+    if n <= DFT_MATMUL_MAX_N && d > 0 {
+        // Elementwise complex product into pooled [B, M, D] planes, then
+        // y[bi] = dre @ Yre[bi] + dim @ Yim[bi]: the row kernel accumulates
+        // into the zeroed output, so the two matmuls fold in a fixed order.
+        let mut yre = crate::pool::take_filled(b * m * d, 0.0);
+        let mut yim = crate::pool::take_filled(b * m * d, 0.0);
+        {
+            let pre = UnsafeSlice::new(&mut yre);
+            let pim = UnsafeSlice::new(&mut yim);
+            let wout = UnsafeSlice::new(&mut out);
+            let (xre, xim, fre, fim) = (&xre, &xim, &fre, &fim);
+            slime_par::parallel_for(b, 1, |lo, hi| {
+                with_dft_tables(n, |tab| {
+                    for bi in lo..hi {
+                        // SAFETY: disjoint per-plane slices (one chunk per
+                        // batch index).
+                        let yre = unsafe { pre.slice_mut(bi * m * d, m * d) };
+                        let yim = unsafe { pim.slice_mut(bi * m * d, m * d) };
+                        let o = unsafe { wout.slice_mut(bi * n * d, n * d) };
+                        for i in 0..m * d {
+                            let xi = bi * m * d + i;
+                            yre[i] = xre[xi] * fre[i] - xim[xi] * fim[i];
+                            yim[i] = xre[xi] * fim[i] + xim[xi] * fre[i];
+                        }
+                        crate::ndarray::matmul_rows(&tab.dre, yre, o, m, d);
+                        crate::ndarray::matmul_rows(&tab.dim, yim, o, m, d);
+                    }
+                });
+            });
+        }
+        crate::pool::recycle(yre);
+        crate::pool::recycle(yim);
+    } else {
         let wout = UnsafeSlice::new(&mut out);
         let (xre, xim, fre, fim) = (&xre, &xim, &fre, &fim);
         slime_par::parallel_for(b * d, pairs_per_chunk(n), |lo, hi| {
@@ -166,6 +309,10 @@ pub fn spectral_filter_mix(x: &Tensor, branches: &[SpectralBranch]) -> Tensor {
         });
     }
 
+    // F is pure scratch — hand it straight back to the buffer pool.
+    crate::pool::recycle(fre);
+    crate::pool::recycle(fim);
+
     let mut parents = Vec::with_capacity(1 + branches.len() * 2);
     parents.push(x.clone());
     for br in branches {
@@ -195,8 +342,8 @@ fn effective_filter_from(
     m: usize,
     d: usize,
 ) -> (Vec<f32>, Vec<f32>) {
-    let mut fre = vec![0.0f32; m * d];
-    let mut fim = vec![0.0f32; m * d];
+    let mut fre = crate::pool::take_filled(m * d, 0.0);
+    let mut fim = crate::pool::take_filled(m * d, 0.0);
     for ((mask, &coef), (wre, wim)) in masks.iter().zip(coefs).zip(weights) {
         let wre = wre.data();
         let wim = wim.data();
@@ -256,11 +403,29 @@ impl Op for SpectralOp {
             ck[m - 1] = 1.0 / n as f32;
         }
 
-        // G = (c_k/N) rfft(grad_y), parallel over (batch, channel) pairs
-        // exactly like the forward transform.
-        let mut gre = vec![0.0f32; b * m * d];
-        let mut gim = vec![0.0f32; b * m * d];
-        {
+        // G = (c_k/N) rfft(grad_y). On the matmul path this is exactly the
+        // transpose of the irfft fold tables — `Gre = dre^T @ grad_y`,
+        // `Gim = dim^T @ grad_y` per plane, with the zeroed `dim` columns
+        // supplying the "no gradient to discarded imaginary parts" rule —
+        // which `matmul_tn_rows` reads in place, no transpose materialized.
+        let mut gre = crate::pool::take_filled(b * m * d, 0.0);
+        let mut gim = crate::pool::take_filled(b * m * d, 0.0);
+        if n <= DFT_MATMUL_MAX_N && d > 0 {
+            let wre = UnsafeSlice::new(&mut gre);
+            let wim = UnsafeSlice::new(&mut gim);
+            slime_par::parallel_for(b, 1, |lo, hi| {
+                with_dft_tables(n, |tab| {
+                    for bi in lo..hi {
+                        let g_plane = &g[bi * n * d..(bi + 1) * n * d];
+                        // SAFETY: disjoint per-plane slices.
+                        let ore = unsafe { wre.slice_mut(bi * m * d, m * d) };
+                        let oim = unsafe { wim.slice_mut(bi * m * d, m * d) };
+                        crate::ndarray::matmul_tn_rows(&tab.dre, g_plane, ore, 0, n, m, d);
+                        crate::ndarray::matmul_tn_rows(&tab.dim, g_plane, oim, 0, n, m, d);
+                    }
+                });
+            });
+        } else {
             let wre = UnsafeSlice::new(&mut gre);
             let wim = UnsafeSlice::new(&mut gim);
             let ck = &ck;
@@ -295,8 +460,8 @@ impl Op for SpectralOp {
         // sums its batch contributions in ascending-`bi` order — the same
         // order as the serial loop — so the reduction is bitwise stable
         // regardless of thread count.
-        let mut dfre = vec![0.0f32; m * d];
-        let mut dfim = vec![0.0f32; m * d];
+        let mut dfre = crate::pool::take_filled(m * d, 0.0);
+        let mut dfim = crate::pool::take_filled(m * d, 0.0);
         {
             let wdre = UnsafeSlice::new(&mut dfre);
             let wdim = UnsafeSlice::new(&mut dfim);
@@ -320,10 +485,40 @@ impl Op for SpectralOp {
             });
         }
 
-        // grad_x via grad_X = G * conj(F), then the rfft adjoint; parallel
-        // over (batch, channel) pairs again.
-        let mut dx = vec![0.0f32; b * n * d];
-        {
+        // grad_x via grad_X = G * conj(F), then the rfft adjoint. On the
+        // matmul path the adjoint is the transposed forward tables:
+        // `grad_x = cre^T @ Zre + cim^T @ Zim` per plane, again read in
+        // place by the tn kernel and accumulated in a fixed order.
+        let mut dx = crate::pool::take_filled(b * n * d, 0.0);
+        if n <= DFT_MATMUL_MAX_N && d > 0 {
+            let mut zre = crate::pool::take_filled(b * m * d, 0.0);
+            let mut zim = crate::pool::take_filled(b * m * d, 0.0);
+            {
+                let pre = UnsafeSlice::new(&mut zre);
+                let pim = UnsafeSlice::new(&mut zim);
+                let wdx = UnsafeSlice::new(&mut dx);
+                let (gre, gim, fre, fim) = (&gre, &gim, &fre, &fim);
+                slime_par::parallel_for(b, 1, |lo, hi| {
+                    with_dft_tables(n, |tab| {
+                        for bi in lo..hi {
+                            // SAFETY: disjoint per-plane slices.
+                            let zre = unsafe { pre.slice_mut(bi * m * d, m * d) };
+                            let zim = unsafe { pim.slice_mut(bi * m * d, m * d) };
+                            let o = unsafe { wdx.slice_mut(bi * n * d, n * d) };
+                            for i in 0..m * d {
+                                let gi = bi * m * d + i;
+                                zre[i] = gre[gi] * fre[i] + gim[gi] * fim[i];
+                                zim[i] = gim[gi] * fre[i] - gre[gi] * fim[i];
+                            }
+                            crate::ndarray::matmul_tn_rows(&tab.cre, zre, o, 0, m, n, d);
+                            crate::ndarray::matmul_tn_rows(&tab.cim, zim, o, 0, m, n, d);
+                        }
+                    });
+                });
+            }
+            crate::pool::recycle(zre);
+            crate::pool::recycle(zim);
+        } else {
             let wdx = UnsafeSlice::new(&mut dx);
             let (gre, gim, fre, fim) = (&gre, &gim, &fre, &fim);
             slime_par::parallel_for(b * d, pairs_per_chunk(n), |lo, hi| {
@@ -351,8 +546,8 @@ impl Op for SpectralOp {
 
         let mut grads: Vec<Option<NdArray>> = vec![Some(NdArray::from_vec(vec![b, n, d], dx))];
         for (mask, &coef) in self.masks.iter().zip(&self.coefs) {
-            let mut dwre = vec![0.0f32; m * d];
-            let mut dwim = vec![0.0f32; m * d];
+            let mut dwre = crate::pool::take_filled(m * d, 0.0);
+            let mut dwim = crate::pool::take_filled(m * d, 0.0);
             for k in 0..m {
                 let a = coef * mask[k];
                 if a != 0.0 {
@@ -365,10 +560,23 @@ impl Op for SpectralOp {
             grads.push(Some(NdArray::from_vec(vec![m, d], dwre)));
             grads.push(Some(NdArray::from_vec(vec![m, d], dwim)));
         }
+        // Everything else was backward-local scratch; recycle it.
+        for buf in [gre, gim, fre, fim, dfre, dfim] {
+            crate::pool::recycle(buf);
+        }
         grads
     }
     fn name(&self) -> &'static str {
         "spectral_filter_mix"
+    }
+}
+
+impl Drop for SpectralOp {
+    fn drop(&mut self) {
+        // The saved spectrum planes are plain `Vec`s (not `NdArray`s), so
+        // recycle them by hand when the graph node dies.
+        crate::pool::recycle(std::mem::take(&mut self.xre));
+        crate::pool::recycle(std::mem::take(&mut self.xim));
     }
 }
 
@@ -492,6 +700,55 @@ mod tests {
         assert_eq!(g.data()[3], 0.0);
         assert_eq!(g.data()[4], 0.0);
         assert!(g.data()[1].abs() > 0.0 || g.data()[2].abs() > 0.0);
+    }
+
+    #[test]
+    fn dft_tables_match_fft_plan_and_roundtrip() {
+        // The cached-table matmul path computes the same rfft as the FFT
+        // plan, and its irfft fold tables invert it (even and odd n, so
+        // both Nyquist conventions are covered).
+        for n in [4usize, 7, 50] {
+            let m = n / 2 + 1;
+            let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.7).sin()).collect();
+            let tab = DftTables::new(n);
+            let mut xre = vec![0.0f32; m];
+            let mut xim = vec![0.0f32; m];
+            crate::ndarray::matmul_rows(&tab.cre, &x, &mut xre, n, 1);
+            crate::ndarray::matmul_rows(&tab.cim, &x, &mut xim, n, 1);
+            with_cached_plan(n, |plan| {
+                let mut buf: Vec<Complex32> = x.iter().map(|&v| Complex32::new(v, 0.0)).collect();
+                plan.forward(&mut buf);
+                for k in 0..m {
+                    assert!((xre[k] - buf[k].re).abs() < 1e-3, "n={n} re bin {k}");
+                    assert!((xim[k] - buf[k].im).abs() < 1e-3, "n={n} im bin {k}");
+                }
+            });
+            let mut y = vec![0.0f32; n];
+            crate::ndarray::matmul_rows(&tab.dre, &xre, &mut y, m, 1);
+            crate::ndarray::matmul_rows(&tab.dim, &xim, &mut y, m, 1);
+            for (t, (a, b)) in y.iter().zip(&x).enumerate() {
+                assert!((a - b).abs() < 1e-4, "n={n} roundtrip t={t}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn long_sequences_use_fft_path() {
+        // n > DFT_MATMUL_MAX_N exercises the Bluestein/FFT branch end to
+        // end: the identity filter must still be the identity and gradients
+        // must still flow.
+        let (bsz, n, d) = (1, DFT_MATMUL_MAX_N + 22, 2);
+        let m = n / 2 + 1;
+        let x = Tensor::param(NdArray::from_vec(
+            vec![bsz, n, d],
+            (0..bsz * n * d).map(|i| (i as f32 * 0.13).sin()).collect(),
+        ));
+        let y = spectral_filter_mix(&x, &[ones_branch(m, d)]);
+        for (a, b) in y.value().data().iter().zip(x.value().data()) {
+            assert!((a - b).abs() < 2e-3, "{a} vs {b}");
+        }
+        sum_all(&mul(&y, &y)).backward();
+        assert!(x.grad().is_some());
     }
 
     #[test]

@@ -79,6 +79,22 @@ fn gradcheck_bmm() {
 }
 
 #[test]
+fn gradcheck_matmul_nt() {
+    // Right operand stays in [n, k] layout; the op multiplies by its
+    // transpose without materializing it.
+    let a = rand_param(&[3, 4], 70);
+    let b = rand_param(&[5, 4], 71);
+    assert_gradients_match(&[&a, &b], || ops::mean_all(&ops::matmul_nt(&a, &b)), TOL);
+}
+
+#[test]
+fn gradcheck_bmm_nt() {
+    let a = rand_param(&[2, 3, 4], 72);
+    let b = rand_param(&[2, 5, 4], 73);
+    assert_gradients_match(&[&a, &b], || ops::mean_all(&ops::bmm_nt(&a, &b)), TOL);
+}
+
+#[test]
 fn gradcheck_softmax_and_log_softmax() {
     let x = rand_param(&[2, 5], 11);
     let w = Tensor::constant(NdArray::from_vec(
@@ -233,6 +249,26 @@ fn gradcheck_spectral_filter_mix() {
         };
         assert_gradients_match(&[&x, &wd_re, &wd_im, &ws_re, &ws_im], build, TOL);
     }
+}
+
+#[test]
+fn gradcheck_spectral_filter_long_sequence_fft_path() {
+    // Sequence lengths past the cached-table matmul threshold run the
+    // Bluestein/FFT branch of spectral_filter_mix; check its backward too.
+    let (n, d) = (150usize, 1usize);
+    let m = n / 2 + 1;
+    let x = rand_param(&[1, n, d], 80);
+    let w_re = rand_param(&[m, d], 81);
+    let w_im = rand_param(&[m, d], 82);
+    let mask = vec![1.0f32; m];
+    assert_gradients_match(
+        &[&x, &w_re, &w_im],
+        || {
+            let y = ops::spectral_filter(&x, &w_re, &w_im, &mask);
+            ops::mean_all(&ops::mul(&y, &y))
+        },
+        TOL,
+    );
 }
 
 #[test]

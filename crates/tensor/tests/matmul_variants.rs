@@ -1,0 +1,103 @@
+//! Bitwise parity of the transpose-free matmul kernels against the
+//! materialize-then-multiply reference, plus pool-invariance of results.
+//!
+//! The `nt`/`tn` kernels promise more than numerical closeness: every
+//! output element accumulates over `k` in ascending order with a single
+//! accumulator — the exact operation sequence `matmul2d` performs on a
+//! materialized transpose — so the results must match bit for bit, at any
+//! shape, including the register-blocking remainders (rows/cols not
+//! divisible by 4).
+
+use slime_rng::rngs::StdRng;
+use slime_rng::{Rng, SeedableRng};
+use slime_tensor::{pool, NdArray};
+
+fn rand_array(shape: &[usize], seed: u64) -> NdArray {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n: usize = shape.iter().product();
+    let data: Vec<f32> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    NdArray::from_vec(shape.to_vec(), data)
+}
+
+fn assert_bits_eq(got: &NdArray, want: &NdArray, what: &str) {
+    assert_eq!(got.shape(), want.shape(), "{what}: shape");
+    for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "{what}: element {i}: {g} vs {w}");
+    }
+}
+
+/// Shapes that exercise the 1-row path, the 4-row blocked path, and every
+/// remainder class (4n±r) on rows, columns, and the k axis.
+const SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (1, 7, 1),
+    (1, 3, 9),
+    (3, 5, 2),
+    (4, 4, 4),
+    (5, 4, 3),
+    (7, 1, 6),
+    (8, 16, 12),
+    (9, 6, 11),
+    (13, 10, 17),
+    (16, 33, 5),
+];
+
+#[test]
+fn matmul2d_nt_bitwise_matches_reference() {
+    for &(m, k, n) in SHAPES {
+        let a = rand_array(&[m, k], (m * 1000 + k * 10 + n) as u64);
+        let bt = rand_array(&[n, k], (n * 1000 + k * 10 + m) as u64 + 1);
+        let got = a.matmul2d_nt(&bt);
+        let want = a.matmul2d(&bt.transpose_last2());
+        assert_bits_eq(&got, &want, &format!("nt {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn matmul2d_tn_bitwise_matches_reference() {
+    for &(m, k, n) in SHAPES {
+        let at = rand_array(&[k, m], (m * 991 + k * 7 + n) as u64);
+        let b = rand_array(&[k, n], (n * 991 + k * 7 + m) as u64 + 1);
+        let got = at.matmul2d_tn(&b);
+        let want = at.transpose_last2().matmul2d(&b);
+        assert_bits_eq(&got, &want, &format!("tn {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn bmm_nt_tn_bitwise_match_reference() {
+    for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (5, 4, 3), (9, 6, 11)] {
+        for b in [1usize, 2, 5] {
+            let a = rand_array(&[b, m, k], (b * 31 + m * 7 + k + n) as u64);
+            let bt = rand_array(&[b, n, k], (b * 37 + n * 5 + k + m) as u64);
+            assert_bits_eq(
+                &a.bmm_nt(&bt),
+                &a.bmm(&bt.transpose_last2()),
+                &format!("bmm_nt {b}x{m}x{k}x{n}"),
+            );
+            let at = rand_array(&[b, k, m], (b * 41 + m * 3 + k + n) as u64);
+            let bb = rand_array(&[b, k, n], (b * 43 + n * 3 + k + m) as u64);
+            assert_bits_eq(
+                &at.bmm_tn(&bb),
+                &at.transpose_last2().bmm(&bb),
+                &format!("bmm_tn {b}x{m}x{k}x{n}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn results_identical_with_pool_on_and_off() {
+    // The pool must be invisible to values: run the same product with the
+    // pool warm, then disabled, and require bitwise-equal outputs.
+    let a = rand_array(&[9, 17], 600);
+    let bt = rand_array(&[13, 17], 601);
+    pool::set_enabled(true);
+    // Warm the pool so the second iteration actually reuses buffers.
+    let _ = a.matmul2d_nt(&bt);
+    let warm = a.matmul2d_nt(&bt);
+    pool::set_enabled(false);
+    let cold = a.matmul2d_nt(&bt);
+    pool::set_enabled(true);
+    assert_bits_eq(&warm, &cold, "pool on/off");
+}

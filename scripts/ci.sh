@@ -7,8 +7,12 @@
 #                        SLIME_THREADS=4 (pool dispatch) — results must be
 #                        bitwise identical, and the determinism test in
 #                        crates/core checks exactly that
-#   4. sanitizer tests   (NaN/Inf attribution under --features sanitize)
-#   5. slime-lint check  (offline purity, op coverage, panic freedom,
+#   4. runtime knobs     the determinism test re-run across the full
+#                        SLIME_POOL={0,1} x SLIME_THREADS={1,4} matrix:
+#                        the buffer pool and the thread count are pure
+#                        throughput knobs, never value knobs
+#   5. sanitizer tests   (NaN/Inf attribution under --features sanitize)
+#   6. slime-lint check  (offline purity, op coverage, panic freedom,
 #                         shape asserts, thread discipline — exits 1 on
 #                         any finding)
 set -euo pipefail
@@ -29,6 +33,18 @@ SLIME_THREADS=1 cargo test -q
 
 echo "==> SLIME_THREADS=4 cargo test -q"
 SLIME_THREADS=4 cargo test -q
+
+# The determinism test internally sweeps thread counts and pool modes, but
+# the *ambient* environment each sweep starts from matters too: run it from
+# every corner of the knob matrix so an env-dependent default can never
+# mask a divergence.
+for pool in 0 1; do
+    for threads in 1 4; do
+        echo "==> SLIME_POOL=$pool SLIME_THREADS=$threads determinism test"
+        SLIME_POOL=$pool SLIME_THREADS=$threads \
+            cargo test -q -p slime4rec --test determinism
+    done
+done
 
 echo "==> cargo test -q -p slime-tensor --features sanitize"
 cargo test -q -p slime-tensor --features sanitize
