@@ -1,0 +1,166 @@
+//! Tracing-overhead guard: the train-step routine timed with slime-trace
+//! fully off (the default), at `summary` (metrics + per-op profiling), and
+//! at `info` (spans/events on top). Emits `BENCH_trace.json` at the
+//! workspace root and FAILS if the traced run costs more than the budget.
+//!
+//! The routine is identical in every mode — tracing is a pure observer, and
+//! `trace_determinism.rs` proves the outputs stay bitwise identical — so the
+//! A/B isolates the instrumentation cost: one relaxed atomic load per hook
+//! when off, two `Instant::now` calls plus an atomic accumulate per op when
+//! profiling.
+//!
+//! Budgets are deliberately loose for noisy CI containers: the traced
+//! overhead is computed on the min-of-samples (the most repeatable
+//! statistic) and must stay under 3%; the disabled hook is timed directly
+//! in a tight loop and must stay under 100 ns/call (it is ~1-2 ns in
+//! practice).
+
+use slime4rec::{ContrastiveMode, NextItemModel, Slime4Rec, SlimeConfig};
+use slime_bench::harness::{measure_routine, Measurement};
+use slime_bench::random_inputs;
+use slime_nn::{Module, TrainContext};
+use slime_tensor::ops;
+use slime_tensor::optim::{Adam, Optimizer};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+// Same paper-scale-ish dims as mem_sweep: Beauty-sized catalog, max_len 50.
+const BATCH: usize = 64;
+const N: usize = 50;
+const HIDDEN: usize = 64;
+const VOCAB: usize = 4000;
+
+const SAMPLES: usize = 5;
+const WARM_UP: Duration = Duration::from_millis(300);
+const MEASURE: Duration = Duration::from_millis(1500);
+
+const MAX_TRACED_OVERHEAD_PCT: f64 = 3.0;
+const MAX_DISABLED_HOOK_NS: f64 = 100.0;
+
+fn measure_train_step() -> Measurement {
+    let inputs = random_inputs(BATCH, N, VOCAB, 3);
+    let targets: Vec<usize> = random_inputs(BATCH, 1, VOCAB, 4);
+    let mut cfg = SlimeConfig::new(VOCAB);
+    cfg.hidden = HIDDEN;
+    cfg.max_len = N;
+    cfg.layers = 2;
+    cfg.contrastive = ContrastiveMode::None;
+    let slime = Slime4Rec::new(cfg);
+    let mut opt = Adam::new(slime.parameters(), 1e-3);
+    let mut ctx = TrainContext::train(1);
+    measure_routine(SAMPLES, WARM_UP, MEASURE, || {
+        opt.zero_grad();
+        let repr = slime.user_repr(black_box(&inputs), BATCH, &mut ctx);
+        let loss = ops::cross_entropy(&slime.score_all(&repr), &targets);
+        loss.backward();
+        opt.step();
+    })
+}
+
+fn measure_at(level: slime_trace::Level) -> Measurement {
+    slime_trace::set_level(level);
+    let m = measure_train_step();
+    slime_trace::set_level(slime_trace::Level::Off);
+    // Drop whatever the run recorded so the next mode starts clean and the
+    // event buffers never approach their per-thread cap.
+    slime_trace::reset();
+    m
+}
+
+/// Nanoseconds per disabled `prof::timer` call: the cost every op pays on
+/// every forward/backward when tracing is off.
+fn disabled_hook_ns() -> f64 {
+    const CALLS: u64 = 4_000_000;
+    slime_trace::set_level(slime_trace::Level::Off);
+    let start = Instant::now();
+    for _ in 0..CALLS {
+        black_box(slime_trace::prof::timer(
+            "bench.noop",
+            slime_trace::prof::Phase::Forward,
+        ));
+    }
+    start.elapsed().as_nanos() as f64 / CALLS as f64
+}
+
+fn overhead_pct(base: &Measurement, traced: &Measurement) -> f64 {
+    (traced.min.as_secs_f64() / base.min.as_secs_f64().max(1e-12) - 1.0) * 100.0
+}
+
+fn print_mode(name: &str, m: &Measurement, base: &Measurement) {
+    println!(
+        "  train_step/{name:<10} min {:>12?}  median {:>12?}  mean {:>12?}  ({:+.2}% vs off)",
+        m.min,
+        m.median,
+        m.mean,
+        overhead_pct(base, m)
+    );
+}
+
+fn main() {
+    use slime_json::Value;
+
+    slime_par::set_threads(4);
+    println!("trace_overhead: train step at 4 threads, tracing off vs summary vs info");
+
+    let off = measure_at(slime_trace::Level::Off);
+    let summary = measure_at(slime_trace::Level::Summary);
+    let info = measure_at(slime_trace::Level::Info);
+    let hook_ns = disabled_hook_ns();
+
+    print_mode("off", &off, &off);
+    print_mode("summary", &summary, &off);
+    print_mode("info", &info, &off);
+    println!("  disabled prof hook: {hook_ns:.2} ns/call");
+
+    let summary_pct = overhead_pct(&off, &summary);
+    let info_pct = overhead_pct(&off, &info);
+
+    let mode = |name: &str, m: &Measurement, pct: f64| {
+        slime_json::obj([
+            ("level", Value::Str(name.into())),
+            ("timing", m.to_json()),
+            ("overhead_pct_vs_off", Value::Float(pct)),
+        ])
+    };
+    let report = slime_json::obj([
+        ("bench", Value::Str("trace_overhead".into())),
+        (
+            "available_cores",
+            Value::Int(slime_par::available_threads() as i64),
+        ),
+        ("threads", Value::Int(4)),
+        (
+            "modes",
+            Value::Arr(vec![
+                mode("off", &off, 0.0),
+                mode("summary", &summary, summary_pct),
+                mode("info", &info, info_pct),
+            ]),
+        ),
+        ("disabled_hook_ns_per_call", Value::Float(hook_ns)),
+        (
+            "budgets",
+            slime_json::obj([
+                (
+                    "max_traced_overhead_pct",
+                    Value::Float(MAX_TRACED_OVERHEAD_PCT),
+                ),
+                ("max_disabled_hook_ns", Value::Float(MAX_DISABLED_HOOK_NS)),
+            ]),
+        ),
+    ]);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
+    std::fs::write(out, report.to_pretty() + "\n").expect("write BENCH_trace.json");
+    println!("wrote {out}");
+
+    let worst = summary_pct.max(info_pct);
+    assert!(
+        worst < MAX_TRACED_OVERHEAD_PCT,
+        "traced train step is {worst:.2}% slower than untraced (budget {MAX_TRACED_OVERHEAD_PCT}%)"
+    );
+    assert!(
+        hook_ns < MAX_DISABLED_HOOK_NS,
+        "disabled prof hook costs {hook_ns:.2} ns/call (budget {MAX_DISABLED_HOOK_NS} ns)"
+    );
+    println!("  within budget: traced < {MAX_TRACED_OVERHEAD_PCT}%, disabled hook < {MAX_DISABLED_HOOK_NS} ns");
+}

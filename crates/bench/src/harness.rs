@@ -19,6 +19,7 @@ pub struct Criterion {}
 impl Criterion {
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        // lint-allow(raw-print): bench harness reports to the operator's terminal
         println!("\ngroup {name}");
         BenchmarkGroup {
             sample_size: 20,
@@ -166,10 +167,12 @@ impl Bencher {
 
     fn print(&self, name: &str) {
         match &self.report {
+            // lint-allow(raw-print): bench harness reports to the operator's terminal
             Some(r) => println!(
                 "  {name:<40} min {:>12?}  median {:>12?}  mean {:>12?}  ({} iters)",
                 r.min, r.median, r.mean, r.iters
             ),
+            // lint-allow(raw-print): bench harness reports to the operator's terminal
             None => println!("  {name:<40} (no measurement)"),
         }
     }
@@ -306,6 +309,7 @@ pub fn thread_sweep<O, R: FnMut() -> O>(
     measurement_time: Duration,
     mut routine: R,
 ) -> SweepResult {
+    // lint-allow(raw-print): bench harness reports to the operator's terminal
     println!("\nsweep {name}");
     let mut points = Vec::with_capacity(thread_counts.len());
     for &t in thread_counts {
@@ -320,6 +324,7 @@ pub fn thread_sweep<O, R: FnMut() -> O>(
         };
         b.iter(|| routine());
         let r = b.report.as_ref().expect("iter ran");
+        // lint-allow(raw-print): bench harness reports to the operator's terminal
         println!(
             "  {name}/threads={t:<3} min {:>12?}  median {:>12?}  mean {:>12?}  ({} iters)",
             r.min, r.median, r.mean, r.iters

@@ -24,7 +24,17 @@ impl std::error::Error for ArgError {}
 
 /// Options that take no value token: presence alone means "true". Every
 /// other option still requires a value (`--data` alone stays an error).
-const BOOLEAN_FLAGS: &[&str] = &["no-pool"];
+const BOOLEAN_FLAGS: &[&str] = &["no-pool", "profile"];
+
+/// Whether `--name` is a boolean flag under `command`. `--profile` is the
+/// per-op profiler switch everywhere except `generate`, where it is the
+/// (valued) synthetic dataset profile name.
+fn is_boolean_flag(command: &str, name: &str) -> bool {
+    match name {
+        "profile" => command != "generate",
+        _ => BOOLEAN_FLAGS.contains(&name),
+    }
+}
 
 impl Args {
     /// Parse `argv[1..]`: the first token is the subcommand, the rest must
@@ -45,7 +55,7 @@ impl Args {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(ArgError(format!("expected --option, got {key:?}")));
             };
-            let value = if BOOLEAN_FLAGS.contains(&name) {
+            let value = if is_boolean_flag(&command, name) {
                 "true".to_string()
             } else {
                 it.next()
@@ -61,7 +71,11 @@ impl Args {
 
     /// Whether a boolean flag was provided.
     pub fn flag(&self, name: &str) -> bool {
-        debug_assert!(BOOLEAN_FLAGS.contains(&name), "{name} is not a flag");
+        debug_assert!(
+            is_boolean_flag(&self.command, name),
+            "{name} is not a flag for {}",
+            self.command
+        );
         self.options.contains_key(name)
     }
 
@@ -155,5 +169,14 @@ mod tests {
         assert!(!b.flag("no-pool"));
         // Duplicate flags are still rejected.
         assert!(Args::parse(&argv("train --no-pool --no-pool")).is_err());
+    }
+
+    #[test]
+    fn profile_is_a_flag_except_under_generate() {
+        let t = Args::parse(&argv("train --profile --data d.json")).unwrap();
+        assert!(t.flag("profile"));
+        assert_eq!(t.get("data"), Some("d.json"));
+        let g = Args::parse(&argv("generate --profile beauty --out d.json")).unwrap();
+        assert_eq!(g.get("profile"), Some("beauty"));
     }
 }

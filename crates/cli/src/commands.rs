@@ -13,17 +13,23 @@ use crate::args::{ArgError, Args};
 
 /// Dispatch a parsed command; returns printable output lines.
 pub fn run(args: &Args) -> Result<Vec<String>, ArgError> {
-    match args.command.as_str() {
+    let mut out = match args.command.as_str() {
         "generate" => cmd_generate(args),
         "train" => cmd_train(args),
         "evaluate" => cmd_evaluate(args),
         "recommend" => cmd_recommend(args),
         "help" | "--help" | "-h" => Ok(vec![usage()]),
-        other => Err(ArgError(format!(
-            "unknown subcommand {other:?}\n{}",
-            usage()
-        ))),
+        other => {
+            return Err(ArgError(format!(
+                "unknown subcommand {other:?}\n{}",
+                usage()
+            )))
+        }
+    }?;
+    if matches!(args.command.as_str(), "train" | "evaluate" | "recommend") {
+        finish_observability(args, &mut out)?;
     }
+    Ok(out)
 }
 
 /// Usage text.
@@ -37,22 +43,32 @@ pub fn usage() -> String {
      \x20            [--epochs 8] [--batch 128] [--lr 0.001] [--hidden 32]\n\
      \x20            [--max-len 20] [--layers 2] [--alpha 0.4] [--gamma 0.5]\n\
      \x20            [--lambda 0.1] [--temperature 0.2] [--seed 42] [--threads N]\n\
-     \x20            [--no-pool]\n\
+     \x20            [--no-pool] [--trace <dir|auto>] [--trace-level L] [--profile]\n\
      \x20 evaluate   --data <data.json> --model <model-dir> [--split test|valid]\n\
-     \x20            [--threads N] [--no-pool]\n\
+     \x20            [--threads N] [--no-pool] [--trace <dir|auto>] [--profile]\n\
      \x20 recommend  --data <data.json> --model <model-dir> --user <idx> [--k 10]\n\
      \x20            [--exclude-history true] [--threads N] [--no-pool]\n\
+     \x20            [--trace <dir|auto>] [--profile]\n\
      \n\
      --threads N caps the slime-par worker pool (default: SLIME_THREADS env\n\
      var, else all cores). --no-pool disables the NdArray buffer pool\n\
      (equivalently SLIME_POOL=0). Both are pure throughput knobs: results\n\
-     are bitwise identical at any setting."
+     are bitwise identical at any setting.\n\
+     \n\
+     --trace DIR writes a structured run record to DIR/trace.jsonl (one\n\
+     JSON event per line: spans + events) and DIR/metrics.json (counters,\n\
+     gauges, histograms, per-op profile); DIR 'auto' picks runs/<unix-ts>.\n\
+     --trace-level off|summary|info|debug (mirrors SLIME_TRACE) controls\n\
+     how much is recorded. --profile prints a per-op forward/backward time\n\
+     table after the command. Tracing never changes results: traced runs\n\
+     are bitwise identical to untraced ones."
         .to_string()
 }
 
 /// Apply the runtime knobs shared by train/evaluate/recommend: `--threads N`
-/// (mirrors `SLIME_THREADS`; the explicit flag wins) and `--no-pool`
-/// (mirrors `SLIME_POOL=0`).
+/// (mirrors `SLIME_THREADS`; the explicit flag wins), `--no-pool`
+/// (mirrors `SLIME_POOL=0`), and the observability knobs `--trace`,
+/// `--trace-level` (mirrors `SLIME_TRACE`), and `--profile`.
 fn apply_runtime(args: &Args) -> Result<(), ArgError> {
     if let Some(v) = args.get("threads") {
         let n: usize = v
@@ -65,6 +81,49 @@ fn apply_runtime(args: &Args) -> Result<(), ArgError> {
     }
     if args.flag("no-pool") {
         slime_tensor::pool::set_enabled(false);
+    }
+    if let Some(spec) = args.get("trace-level") {
+        let level = slime_trace::parse_level(spec).ok_or_else(|| {
+            ArgError(format!(
+                "--trace-level: unknown level {spec:?} (want off|summary|info|debug)"
+            ))
+        })?;
+        slime_trace::set_level(level);
+    } else {
+        // --trace needs the event stream; --profile alone only needs the
+        // per-op profiler, which records from Summary up. Never lower a
+        // level the user already raised via SLIME_TRACE.
+        let want = if args.get("trace").is_some() {
+            slime_trace::Level::Info
+        } else if args.flag("profile") {
+            slime_trace::Level::Summary
+        } else {
+            slime_trace::Level::Off
+        };
+        if want > slime_trace::level() {
+            slime_trace::set_level(want);
+        }
+    }
+    Ok(())
+}
+
+/// End-of-command observability output: the `--profile` per-op table and
+/// the `--trace` run artifacts (`trace.jsonl` + `metrics.json`).
+fn finish_observability(args: &Args, out: &mut Vec<String>) -> Result<(), ArgError> {
+    if args.flag("profile") {
+        out.extend(slime_trace::prof::render_table(&slime_trace::prof::table()));
+    }
+    if let Some(dir) = args.get("trace") {
+        slime4rec::obs::publish_runtime_gauges();
+        let dir = if dir == "auto" {
+            slime_trace::sink::default_run_dir()
+        } else {
+            std::path::PathBuf::from(dir)
+        };
+        let arts = slime_trace::sink::write_run(&dir)
+            .map_err(|e| ArgError(format!("cannot write trace to {}: {e}", dir.display())))?;
+        out.push(format!("wrote {}", arts.trace_jsonl.display()));
+        out.push(format!("wrote {}", arts.metrics_json.display()));
     }
     Ok(())
 }
@@ -126,6 +185,9 @@ fn cmd_train(args: &Args) -> Result<Vec<String>, ArgError> {
         "seed",
         "threads",
         "no-pool",
+        "trace",
+        "trace-level",
+        "profile",
     ])?;
     apply_runtime(args)?;
     let ds = load_dataset(args.require("data")?)?;
@@ -172,7 +234,17 @@ fn cmd_train(args: &Args) -> Result<Vec<String>, ArgError> {
 }
 
 fn cmd_evaluate(args: &Args) -> Result<Vec<String>, ArgError> {
-    args.reject_unknown(&["data", "model", "split", "batch", "threads", "no-pool"])?;
+    args.reject_unknown(&[
+        "data",
+        "model",
+        "split",
+        "batch",
+        "threads",
+        "no-pool",
+        "trace",
+        "trace-level",
+        "profile",
+    ])?;
     apply_runtime(args)?;
     let ds = load_dataset(args.require("data")?)?;
     let (_, model) = load_model(args.require("model")?)?;
@@ -203,6 +275,9 @@ fn cmd_recommend(args: &Args) -> Result<Vec<String>, ArgError> {
         "exclude-history",
         "threads",
         "no-pool",
+        "trace",
+        "trace-level",
+        "profile",
     ])?;
     apply_runtime(args)?;
     let ds = load_dataset(args.require("data")?)?;
@@ -280,6 +355,53 @@ mod tests {
         assert_eq!(out.len(), 4); // header + 3 recommendations
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_with_trace_and_profile_writes_artifacts() {
+        let dir = std::env::temp_dir().join(format!("slime_cli_trace_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.json").display().to_string();
+        let model = dir.join("model").display().to_string();
+        let trace = dir.join("run").display().to_string();
+
+        run(&argv(&format!(
+            "generate --profile beauty --scale 0.1 --seed 3 --out {data}"
+        )))
+        .unwrap();
+        let out = run(&argv(&format!(
+            "train --data {data} --out {model} --epochs 1 --hidden 8 --max-len 8 \
+             --layers 1 --trace {trace} --profile"
+        )))
+        .unwrap();
+        slime_trace::set_level(slime_trace::Level::Off);
+        slime_trace::reset();
+
+        // The profile table made it into the output...
+        assert!(
+            out.iter().any(|l| l.contains("total ms")),
+            "no profile header in {out:?}"
+        );
+        assert!(out.iter().any(|l| l.contains("spectral_filter_mix")));
+        // ...and both artifacts exist and parse line-by-line via slime-json.
+        let jsonl = std::fs::read_to_string(Path::new(&trace).join("trace.jsonl")).unwrap();
+        assert!(jsonl.lines().count() >= 4, "too few events");
+        for line in jsonl.lines() {
+            slime_json::parse(line).expect("trace.jsonl line parses");
+        }
+        assert!(jsonl.contains("\"train\""), "missing train span");
+        let metrics = std::fs::read_to_string(Path::new(&trace).join("metrics.json")).unwrap();
+        let parsed = slime_json::parse(&metrics).unwrap();
+        assert!(parsed.field("histograms").is_ok());
+        assert!(parsed.field("gauges").unwrap().get("par.threads").is_some());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_level_is_validated() {
+        let err = run(&argv("evaluate --data x.json --model m --trace-level loud")).unwrap_err();
+        assert!(err.0.contains("unknown level"));
     }
 
     #[test]

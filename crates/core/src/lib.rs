@@ -28,6 +28,7 @@
 mod config;
 pub mod contrastive;
 mod model;
+pub mod obs;
 pub mod ramp;
 pub mod recommend;
 mod trainer;

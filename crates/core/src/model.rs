@@ -126,6 +126,10 @@ impl FilterMixerBlock {
 
     /// One block: Eqs. 21/25/26/27/28/29/30.
     pub fn forward(&self, h: &Tensor, ctx: &mut TrainContext) -> Tensor {
+        // Block-level timing on top of the per-op timers: one row for the
+        // whole mixer block (filters + norms + FFN).
+        let _prof =
+            slime_trace::prof::timer("filter_mixer.forward", slime_trace::prof::Phase::Forward);
         let filtered = match &self.gamma_logit {
             // Learnable gamma: run each branch separately and mix in-graph
             // so the coefficient receives gradient.

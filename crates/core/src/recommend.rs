@@ -40,6 +40,7 @@ pub fn recommend_batch<M: NextItemModel>(
     if histories.is_empty() {
         return Vec::new();
     }
+    let _span = slime_trace::span!("recommend", {"users": histories.len(), "k": k});
     let n = model.max_len();
     let mut inputs = Vec::with_capacity(histories.len() * n);
     for h in histories {

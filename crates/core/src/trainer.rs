@@ -9,6 +9,7 @@ use slime_rng::rngs::StdRng;
 use slime_rng::SeedableRng;
 use slime_tensor::optim::{Adam, Optimizer};
 use slime_tensor::{ops, StateDict};
+use slime_trace::{event, span};
 
 use crate::config::{ContrastiveMode, SlimeConfig, TrainConfig};
 use crate::contrastive::info_nce_with_targets;
@@ -34,6 +35,7 @@ pub fn evaluate<M: NextItemModel>(
     batches: &[EvalBatch],
     cutoffs: &[usize],
 ) -> MetricSet {
+    let _span = span!("eval", {"batches": batches.len()});
     let mut acc = MetricAccumulator::new(cutoffs);
     let mut ctx = TrainContext::eval();
     for b in batches {
@@ -100,6 +102,13 @@ pub fn train_model<M: NextItemModel>(
     strategy: ViewStrategy<'_>,
 ) -> TrainReport {
     assert!(!ts.is_empty(), "no training examples");
+    let _train_span = span!("train", {
+        "epochs": tc.epochs,
+        "batch_size": tc.batch_size,
+        "lr": tc.lr as f64,
+        "lambda": lambda as f64,
+        "examples": ts.len()
+    });
     let mut opt = Adam::new(model.parameters(), tc.lr);
     let mut batch_rng = StdRng::seed_from_u64(tc.seed ^ 0x5eed);
     let mut ctx = TrainContext::train(tc.seed);
@@ -114,16 +123,21 @@ pub fn train_model<M: NextItemModel>(
     let mut bad_streak = 0usize;
 
     for epoch in 0..tc.epochs {
+        let _epoch_span = span!("epoch", {"n": epoch});
         let mut total = 0.0f64;
         let mut rec_total = 0.0f64;
         let mut cl_total = 0.0f64;
         let mut count = 0usize;
         for batch in ts.epoch_batches(n, tc.batch_size, &mut batch_rng) {
+            // Step timing goes to a histogram rather than the event stream:
+            // one event per step would swamp trace.jsonl on real runs.
+            let step_start = slime_trace::enabled().then(std::time::Instant::now);
             opt.zero_grad();
             let repr = model.user_repr(&batch.inputs, batch.batch, &mut ctx);
             let logits = model.score_all(&repr);
             let rec_loss = ops::cross_entropy(&logits, &batch.targets);
             rec_total += rec_loss.item() as f64;
+            let cl_before = cl_total;
             let loss = match (&strategy, batch.batch >= 2 && lambda > 0.0) {
                 (ViewStrategy::None, _) | (_, false) => rec_loss,
                 (ViewStrategy::Unsupervised, true) => {
@@ -147,23 +161,43 @@ pub fn train_model<M: NextItemModel>(
                     ops::add(&rec_loss, &ops::scale(&cl, lambda))
                 }
             };
-            total += loss.item() as f64;
+            let loss_value = loss.item() as f64;
+            total += loss_value;
             count += 1;
             loss.backward();
             if let Some(max_norm) = tc.clip_norm {
-                slime_tensor::optim::clip_grad_norm(opt.params(), max_norm);
+                let norm = slime_tensor::optim::clip_grad_norm(opt.params(), max_norm);
+                slime_trace::metrics::hist_record("train.grad_norm", norm as f64);
             }
             opt.step();
+            slime_trace::metrics::hist_record("train.loss", loss_value);
+            if cl_total != cl_before {
+                slime_trace::metrics::hist_record("train.cl_loss", cl_total - cl_before);
+            }
+            if let Some(t0) = step_start {
+                slime_trace::metrics::hist_record(
+                    "train.step_ms",
+                    t0.elapsed().as_secs_f64() * 1e3,
+                );
+            }
         }
         let epoch_loss = (total / count.max(1) as f64) as f32;
         report.epoch_losses.push(epoch_loss);
+        let denom = count.max(1) as f64;
+        event!("epoch_done", {
+            "epoch": epoch,
+            "loss": epoch_loss as f64,
+            "rec": rec_total / denom,
+            "cl": cl_total / denom,
+            "steps": count
+        });
+        crate::obs::publish_runtime_gauges();
         if tc.verbose {
-            let denom = count.max(1) as f64;
-            eprintln!(
+            slime_trace::echo(&format!(
                 "epoch {epoch}: loss {epoch_loss:.4} (rec {:.4}, cl {:.4})",
                 rec_total / denom,
                 cl_total / denom
-            );
+            ));
         }
 
         // Periodic validation with best-checkpoint keeping.
@@ -171,6 +205,7 @@ pub fn train_model<M: NextItemModel>(
             let m = evaluate_split(model, ds, Split::Valid, tc);
             let key = *tc.cutoffs.last().unwrap();
             let score = m.ndcg(key);
+            event!("valid", {"epoch": epoch, "cutoff": key, "ndcg": score});
             report.valid_history.push((epoch, m));
             let improved = best.as_ref().is_none_or(|(b, _, _)| score > *b);
             if improved {
@@ -179,8 +214,9 @@ pub fn train_model<M: NextItemModel>(
             } else {
                 bad_streak += 1;
                 if tc.patience > 0 && bad_streak >= tc.patience {
+                    event!("early_stop", {"epoch": epoch});
                     if tc.verbose {
-                        eprintln!("early stop at epoch {epoch}");
+                        slime_trace::echo(&format!("early stop at epoch {epoch}"));
                     }
                     break;
                 }

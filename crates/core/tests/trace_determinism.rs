@@ -1,0 +1,99 @@
+//! Tracing must be a pure observer: turning it on (at full event level,
+//! with the per-op profiler live and runtime gauges publishing) must leave
+//! training bitwise identical to an untraced run — same epoch losses, same
+//! final weights — at SLIME_THREADS=4.
+//!
+//! This is the determinism half of the observability contract; the
+//! performance half (<3% overhead traced, ~0% disabled) lives in
+//! `crates/bench/benches/trace_overhead.rs`.
+
+use slime4rec::{run_slime, ContrastiveMode, SlimeConfig, TrainConfig};
+use slime_data::synthetic::{generate_with_core, SyntheticConfig};
+use slime_data::SeqDataset;
+use slime_nn::Module;
+use slime_tensor::StateDict;
+
+fn tiny_ds() -> SeqDataset {
+    let cfg = SyntheticConfig {
+        name: "trace-determinism-test".into(),
+        users: 60,
+        clusters: 4,
+        items_per_cluster: 5,
+        noise_items: 4,
+        min_len: 8,
+        max_len: 14,
+        low_period: 5,
+        high_cycle: 3,
+        p_high: 0.6,
+        p_noise: 0.1,
+    };
+    generate_with_core(&cfg, 11, 0)
+}
+
+fn train_once(ds: &SeqDataset) -> (Vec<f32>, StateDict) {
+    let mut cfg = SlimeConfig::small(ds.num_items());
+    cfg.hidden = 16;
+    cfg.max_len = 10;
+    cfg.layers = 2;
+    cfg.contrastive = ContrastiveMode::Unsupervised;
+    let tc = TrainConfig {
+        epochs: 2,
+        batch_size: 32,
+        ..TrainConfig::default()
+    };
+    let (model, report, _) = run_slime(ds, &cfg, &tc);
+    (report.epoch_losses, model.state_dict())
+}
+
+#[test]
+fn tracing_does_not_perturb_training() {
+    slime_par::set_threads(4);
+    let ds = tiny_ds();
+
+    slime_trace::set_level(slime_trace::Level::Off);
+    let untraced = train_once(&ds);
+
+    slime_trace::set_level(slime_trace::Level::Info);
+    let traced = train_once(&ds);
+    let events = slime_trace::drain_events();
+    let snap = slime_trace::metrics::snapshot();
+    slime_trace::set_level(slime_trace::Level::Off);
+    slime_trace::reset();
+
+    // The traced run actually recorded: spans, step metrics, per-op rows.
+    assert!(
+        events.iter().any(|e| e.name == "train"),
+        "missing train span"
+    );
+    assert!(
+        events.iter().filter(|e| e.name == "epoch").count() >= 2,
+        "missing epoch spans"
+    );
+    assert!(
+        snap.hists.contains_key("train.loss"),
+        "missing loss histogram"
+    );
+    assert!(
+        snap.profile.iter().any(|r| r.name == "spectral_filter_mix"),
+        "missing per-op profile rows: {:?}",
+        snap.profile.iter().map(|r| &r.name).collect::<Vec<_>>()
+    );
+
+    // ...and changed nothing about the computation.
+    let (losses_a, params_a) = &untraced;
+    let (losses_b, params_b) = &traced;
+    assert_eq!(losses_a.len(), losses_b.len(), "epoch count");
+    for (e, (a, b)) in losses_a.iter().zip(losses_b.iter()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "epoch {e} loss: {a} vs {b}");
+    }
+    let names: Vec<&str> = params_a.names().collect();
+    assert!(!names.is_empty());
+    for name in names {
+        let a = params_a.get(name).unwrap();
+        let b = params_b.get(name).unwrap();
+        assert_eq!(a.shape, b.shape, "{name} shape");
+        for (i, (x, y)) in a.data.iter().zip(&b.data).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{name}[{i}]: {x} vs {y}");
+        }
+    }
+}

@@ -37,7 +37,9 @@ mod real;
 
 pub use complex::Complex32;
 pub use dft::{dft, idft};
-pub use plan::{with_cached_plan, FftPlan};
+pub use plan::{
+    plan_cache_stats, reset_plan_cache_stats, with_cached_plan, FftPlan, PlanCacheStats,
+};
 pub use real::{irfft, rfft, rfft_len};
 
 /// Compute an in-place forward FFT (negative-exponent convention, unnormalized).

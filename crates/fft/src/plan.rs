@@ -4,6 +4,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::complex::Complex32;
 
@@ -213,14 +214,48 @@ thread_local! {
     static PLAN_CACHE: RefCell<HashMap<usize, Rc<FftPlan>>> = RefCell::new(HashMap::new());
 }
 
+static PLAN_HITS: AtomicU64 = AtomicU64::new(0);
+static PLAN_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Plan-cache counters, summed across threads since process start (or the
+/// last [`reset_plan_cache_stats`]). slime-fft stays dependency-free, so
+/// observability layers read these and publish them as gauges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served by an already-built plan.
+    pub hits: u64,
+    /// Lookups that had to build a plan.
+    pub misses: u64,
+}
+
+/// Snapshot the plan-cache counters.
+pub fn plan_cache_stats() -> PlanCacheStats {
+    PlanCacheStats {
+        hits: PLAN_HITS.load(Ordering::Relaxed),
+        misses: PLAN_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the plan-cache counters (tests; per-run deltas).
+pub fn reset_plan_cache_stats() {
+    PLAN_HITS.store(0, Ordering::Relaxed);
+    PLAN_MISSES.store(0, Ordering::Relaxed);
+}
+
 /// Run `f` with a cached plan for length `n`, creating it on first use.
 pub fn with_cached_plan<R>(n: usize, f: impl FnOnce(&FftPlan) -> R) -> R {
     let plan = PLAN_CACHE.with(|cache| {
-        cache
-            .borrow_mut()
-            .entry(n)
-            .or_insert_with(|| Rc::new(FftPlan::new(n)))
-            .clone()
+        let mut cache = cache.borrow_mut();
+        match cache.entry(n) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                PLAN_HITS.fetch_add(1, Ordering::Relaxed);
+                e.get().clone()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                PLAN_MISSES.fetch_add(1, Ordering::Relaxed);
+                e.insert(Rc::new(FftPlan::new(n))).clone()
+            }
+        }
     });
     f(&plan)
 }
@@ -274,6 +309,19 @@ mod tests {
         let a = with_cached_plan(40, |p| p as *const FftPlan as usize);
         let b = with_cached_plan(40, |p| p as *const FftPlan as usize);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plan_cache_stats_count_hits_and_misses() {
+        // Counters are process-global; measure deltas on a length no other
+        // test uses so parallel test threads can't interfere.
+        let before = plan_cache_stats();
+        with_cached_plan(4096, |_| ());
+        with_cached_plan(4096, |_| ());
+        with_cached_plan(4096, |_| ());
+        let after = plan_cache_stats();
+        assert!(after.misses >= before.misses + 1);
+        assert!(after.hits >= before.hits + 2);
     }
 
     #[test]

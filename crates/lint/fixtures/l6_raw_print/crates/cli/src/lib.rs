@@ -1,0 +1,8 @@
+// Fixture: crates/cli is the sanctioned home of terminal output — exempt.
+
+pub fn report(lines: &[String]) {
+    for l in lines {
+        println!("{l}");
+    }
+    eprintln!("done");
+}

@@ -1,0 +1,31 @@
+// Fixture: two violations, two tolerated allows (one per spelling), plus
+// string/comment and test code that must be ignored entirely.
+
+pub fn log_progress(epoch: usize, loss: f32) {
+    println!("epoch {epoch}: loss {loss}");
+}
+
+pub fn warn_user() {
+    eprintln!("something looks off");
+}
+
+pub fn sanctioned_startup_warning() {
+    // lint-allow(raw-print): one-time startup warning, no trace sink exists yet
+    eprintln!("resolving environment");
+}
+
+pub fn sanctioned_by_issue_spelling() {
+    // lint-allow(l6): diagnostic printed before the trace level is resolved
+    println!("bootstrapping");
+}
+
+// The string/comment forms must NOT fire: never write println! in library code.
+pub const DOC: &str = "route output through slime_trace, not println!";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("debug output in tests is fine");
+    }
+}

@@ -1,6 +1,6 @@
 //! slime-lint: a zero-dependency static-analysis pass for this workspace.
 //!
-//! Five rules, each calibrated against the real tree and enforced in CI
+//! Six rules, each calibrated against the real tree and enforced in CI
 //! (`scripts/ci.sh`):
 //!
 //! - **offline-purity (L1)** — every dependency in every manifest must
@@ -18,6 +18,11 @@
 //! - **thread-discipline (L5)** — raw `thread::spawn` / `thread::Builder`
 //!   is confined to `crates/par`; all other parallelism must go through
 //!   the deterministic `slime_par` pool.
+//! - **raw-print (L6)** — `println!` / `eprintln!` in library crates must
+//!   route through slime-trace (`event!` or `echo`); only the CLI, the
+//!   lint tool, slime-trace itself, `src/bin/` binaries, benches, and
+//!   test code may print directly. `lint-allow(l6)` is accepted as an
+//!   alias for `lint-allow(raw-print)`.
 //!
 //! Escape hatch: `// lint-allow(<rule>): <reason>` on the offending line,
 //! or on a standalone comment line directly above it. The reason is

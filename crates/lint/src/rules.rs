@@ -18,6 +18,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Finding> {
     out.extend(l3_panic_freedom(ws));
     out.extend(l4_shape_assert(ws));
     out.extend(l5_thread_discipline(ws));
+    out.extend(l6_raw_print(ws));
     out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     out
 }
@@ -435,6 +436,81 @@ pub fn l5_thread_discipline(ws: &Workspace) -> Vec<Finding> {
                          `slime_par::parallel_for` so it respects the thread budget and \
                          the deterministic chunk grid, or justify with \
                          `// lint-allow(thread-discipline): <why>`"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// L6: raw printing
+// ---------------------------------------------------------------------------
+
+/// `println!` / `eprintln!` in library crates bypass the structured
+/// observability layer: the output carries no timestamps, can't be captured
+/// into `trace.jsonl`, and interleaves arbitrarily with the trace summary.
+/// Library code must emit `slime_trace::event!` (structured) or
+/// `slime_trace::echo` (sanctioned human-readable stderr). Exempt: the CLI
+/// and the lint tool themselves (printing is their job), slime-trace (it
+/// owns the stderr sink), `src/bin/` user-facing binaries, runnable
+/// examples, bench harness benches, and test code.
+const PRINT_TOKENS: &[&str] = &["println!", "eprintln!"];
+
+const PRINT_EXEMPT_PREFIXES: &[&str] =
+    &["crates/cli/", "crates/lint/", "crates/trace/", "examples/"];
+const PRINT_EXEMPT_SEGMENTS: &[&str] = &["/src/bin/", "/benches/", "/examples/"];
+
+/// Does `tok` occur in `code` starting at a non-identifier boundary?
+/// (`eprintln!` must not double-count as a `println!` hit.)
+fn print_token_in(code: &str, tok: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(tok) {
+        let at = from + pos;
+        let boundary = code[..at]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if boundary {
+            return true;
+        }
+        from = at + tok.len();
+    }
+    false
+}
+
+pub fn l6_raw_print(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &ws.rs_files {
+        let rel = ws.rel(f);
+        if PRINT_EXEMPT_PREFIXES.iter().any(|p| rel.starts_with(p))
+            || PRINT_EXEMPT_SEGMENTS.iter().any(|s| rel.contains(s))
+        {
+            continue;
+        }
+        let Some(src) = read_source(f) else { continue };
+        for (idx, l) in src.lines.iter().enumerate() {
+            if l.in_test {
+                continue;
+            }
+            for tok in PRINT_TOKENS {
+                if !print_token_in(&l.code, tok) {
+                    continue;
+                }
+                // The ISSUE-facing name is L6; accept both spellings in the
+                // escape hatch.
+                if src.allowed("raw-print", idx + 1) || src.allowed("l6", idx + 1) {
+                    continue;
+                }
+                out.push(Finding {
+                    rule: "raw-print",
+                    file: rel.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "`{tok}` in library code bypasses slime-trace; emit a structured \
+                         `slime_trace::event!` or route human-readable text through \
+                         `slime_trace::echo`, or justify with `// lint-allow(raw-print): <why>`"
                     ),
                 });
             }

@@ -83,6 +83,21 @@ fn l5_fires_on_raw_spawns_outside_crates_par() {
 }
 
 #[test]
+fn l6_fires_on_raw_prints_outside_cli_and_lint() {
+    let ws = fixture("l6_raw_print");
+    let findings = rules::l6_raw_print(&ws);
+    let msgs: Vec<String> = findings.iter().map(|f| f.render()).collect();
+    // println! + eprintln! in crates/core fire; the two lint-allow'd sites
+    // (one per rule spelling), the string literal, the comment, the
+    // #[cfg(test)] print, and everything in crates/cli do not.
+    assert_eq!(findings.len(), 2, "got: {msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("`println!`")));
+    assert!(msgs.iter().any(|m| m.contains("`eprintln!`")));
+    assert!(msgs.iter().all(|m| m.contains("crates/core/")));
+    assert!(msgs.iter().all(|m| m.contains("slime_trace")));
+}
+
+#[test]
 fn real_workspace_is_clean() {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
     let ws = Workspace::discover(&root).expect("real workspace discovers");

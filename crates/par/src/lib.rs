@@ -50,6 +50,7 @@ fn resolve_from_env() -> usize {
         Ok(v) => match v.trim().parse::<usize>() {
             Ok(n) if n >= 1 => n.min(MAX_THREADS),
             _ => {
+                // lint-allow(raw-print): one-time startup warning about a bad env var
                 eprintln!("slime-par: ignoring invalid SLIME_THREADS={v:?} (want an integer >= 1)");
                 available_threads()
             }
@@ -78,6 +79,44 @@ pub fn num_threads() -> usize {
 /// calls; already-spawned workers beyond the new count idle harmlessly.
 pub fn set_threads(n: usize) {
     THREADS.store(n.clamp(1, MAX_THREADS), Ordering::Relaxed);
+}
+
+/// Cumulative pool counters since process start (or the last
+/// [`reset_pool_stats`]). The pool has no dependencies, so trace layers
+/// poll this and republish the numbers as gauges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParStats {
+    /// Jobs dispatched to the worker pool.
+    pub jobs_published: u64,
+    /// Grids that ran on the serial fast path (single chunk, one thread,
+    /// or a nested call).
+    pub jobs_serial: u64,
+    /// Total chunks executed across all jobs.
+    pub chunks_executed: u64,
+    /// Largest chunk grid seen (the peak queue depth of the job board).
+    pub max_grid: u64,
+    /// Persistent workers spawned (monotone; workers never exit).
+    pub workers_spawned: u64,
+}
+
+/// Snapshot the pool counters.
+pub fn pool_stats() -> ParStats {
+    ParStats {
+        jobs_published: pool::JOBS_PUBLISHED.load(Ordering::Relaxed),
+        jobs_serial: pool::JOBS_SERIAL.load(Ordering::Relaxed),
+        chunks_executed: pool::CHUNKS_EXECUTED.load(Ordering::Relaxed),
+        max_grid: pool::MAX_GRID.load(Ordering::Relaxed),
+        workers_spawned: pool::WORKERS_SPAWNED.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the pool counters except `workers_spawned` (workers persist, so
+/// that count reflects live state rather than a per-run delta).
+pub fn reset_pool_stats() {
+    pool::JOBS_PUBLISHED.store(0, Ordering::Relaxed);
+    pool::JOBS_SERIAL.store(0, Ordering::Relaxed);
+    pool::CHUNKS_EXECUTED.store(0, Ordering::Relaxed);
+    pool::MAX_GRID.store(0, Ordering::Relaxed);
 }
 
 /// Run `f(start, end)` over every chunk of `0..n`, in parallel.
@@ -381,6 +420,24 @@ mod tests {
         set_threads(100_000);
         assert_eq!(num_threads(), MAX_THREADS);
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_stats_count_jobs_and_chunks() {
+        let k = knob(4);
+        let before = pool_stats();
+        parallel_for(64, 1, |_, _| {});
+        let after = pool_stats();
+        assert!(after.jobs_published > before.jobs_published);
+        assert!(after.chunks_executed >= before.chunks_executed + 64);
+        assert!(after.max_grid >= 64);
+        drop(k);
+
+        let _k1 = knob(1);
+        let before = pool_stats();
+        parallel_for(8, 1, |_, _| {});
+        let after = pool_stats();
+        assert!(after.jobs_serial > before.jobs_serial);
     }
 
     #[test]

@@ -23,9 +23,24 @@
 
 use std::cell::Cell;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
+
+/// Cumulative pool counters (see [`crate::pool_stats`]). The pool stays
+/// dependency-free, so observability layers poll these and republish them
+/// as trace gauges; all updates are relaxed and off the chunk fast path.
+pub(crate) static JOBS_PUBLISHED: AtomicU64 = AtomicU64::new(0);
+pub(crate) static JOBS_SERIAL: AtomicU64 = AtomicU64::new(0);
+pub(crate) static CHUNKS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+pub(crate) static MAX_GRID: AtomicU64 = AtomicU64::new(0);
+pub(crate) static WORKERS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+
+fn note_grid(n_chunks: usize) {
+    let n = n_chunks as u64;
+    CHUNKS_EXECUTED.fetch_add(n, Ordering::Relaxed);
+    MAX_GRID.fetch_max(n, Ordering::Relaxed);
+}
 
 /// One published job: a chunk-indexed task plus its progress counters.
 ///
@@ -117,6 +132,7 @@ impl Pool {
                 .spawn(move || worker_loop(shared))
                 .expect("slime-par: failed to spawn worker thread");
             *spawned += 1;
+            WORKERS_SPAWNED.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -127,12 +143,16 @@ impl Pool {
         let threads = crate::num_threads();
         if n_chunks <= 1 || threads <= 1 || in_job() {
             // Serial fast path: same chunk grid, index order, zero dispatch.
+            JOBS_SERIAL.fetch_add(1, Ordering::Relaxed);
+            note_grid(n_chunks);
             for i in 0..n_chunks {
                 task(i);
             }
             return;
         }
 
+        JOBS_PUBLISHED.fetch_add(1, Ordering::Relaxed);
+        note_grid(n_chunks);
         let _top = self.run_lock.lock().unwrap_or_else(|e| e.into_inner());
         self.ensure_workers(threads - 1);
 

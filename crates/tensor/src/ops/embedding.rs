@@ -10,6 +10,7 @@ use crate::tensor::{Op, Tensor};
 /// scatter-adds the output gradient into the rows of the weight gradient, so
 /// repeated indices accumulate.
 pub fn embedding(weight: &Tensor, indices: &[usize], batch_shape: &[usize]) -> Tensor {
+    let _prof = super::fwd_prof("embedding");
     let wshape = weight.shape();
     assert_eq!(wshape.len(), 2, "embedding weight must be [V, D]");
     let (v, d) = (wshape[0], wshape[1]);

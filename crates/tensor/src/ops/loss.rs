@@ -20,6 +20,7 @@ fn rows_per_chunk(v: usize) -> usize {
 /// item) and also the InfoNCE objective of Eq. 34 when `logits` are
 /// similarity scores and `targets` index the positive column.
 pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> Tensor {
+    let _prof = super::fwd_prof("cross_entropy");
     let shape = logits.shape();
     assert_eq!(shape.len(), 2, "cross_entropy expects [B, V] logits");
     let (b, v) = (shape[0], shape[1]);

@@ -11,6 +11,7 @@ use crate::tensor::{Op, Tensor};
 
 /// 2-D matrix multiply `[m,k] x [k,n] -> [m,n]`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let _prof = super::fwd_prof("matmul");
     let (sa, sb) = (a.shape(), b.shape());
     assert!(
         sa.len() == 2 && sb.len() == 2 && sa[1] == sb[0],
@@ -50,6 +51,7 @@ impl Op for MatMulOp {
 /// This is the full-catalog scoring shape — `repr [B,d] x item_emb [V,d]^T`
 /// — and attention-style similarity against a row-major table in general.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let _prof = super::fwd_prof("matmul_nt");
     let (sa, sb) = (a.shape(), b.shape());
     assert!(
         sa.len() == 2 && sb.len() == 2 && sa[1] == sb[1],
@@ -85,6 +87,7 @@ impl Op for MatMulNtOp {
 
 /// Batched matrix multiply `[b,m,k] x [b,k,n] -> [b,m,n]`.
 pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
+    let _prof = super::fwd_prof("bmm");
     let (sa, sb) = (a.shape(), b.shape());
     assert!(
         sa.len() == 3 && sb.len() == 3 && sa[0] == sb[0] && sa[2] == sb[1],
@@ -125,6 +128,7 @@ impl Op for BmmOp {
 /// layers row-major, and the old `permute`-then-`bmm` route copied the full
 /// key tensor per layer per step just to feed the `i-k-j` kernel.
 pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let _prof = super::fwd_prof("bmm_nt");
     let (sa, sb) = (a.shape(), b.shape());
     assert!(
         sa.len() == 3 && sb.len() == 3 && sa[0] == sb[0] && sa[2] == sb[2],

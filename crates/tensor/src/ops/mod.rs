@@ -16,6 +16,14 @@ mod shape;
 mod softmax;
 mod spectral;
 
+/// Forward-profiling guard for the heavy op constructors, matching the
+/// generic backward timer in `Tensor::backward_with` so each op gets one
+/// merged profile row under its tape name. `None` (no clock read, no
+/// allocation) while tracing is off — the zero-overhead default.
+pub(crate) fn fwd_prof(name: &'static str) -> Option<slime_trace::prof::Timer> {
+    slime_trace::prof::timer(name, slime_trace::prof::Phase::Forward)
+}
+
 pub use dropout::dropout;
 pub use elementwise::{
     add, add_scalar, exp, gelu, log, mul, neg, relu, scale, sigmoid, softplus, sub, tanh,

@@ -9,6 +9,7 @@ use crate::tensor::{Op, Tensor};
 ///
 /// `gamma` and `beta` must be 1-D of the last-dim size.
 pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
+    let _prof = super::fwd_prof("layer_norm");
     let shape = x.shape();
     assert!(!shape.is_empty(), "layer_norm needs >= 1 dim");
     let d = shape[shape.len() - 1];
@@ -99,6 +100,7 @@ impl Op for LayerNormOp {
 
 /// L2-normalize each row of the last dimension: `y = x / max(||x||, eps)`.
 pub fn l2_normalize(x: &Tensor, eps: f32) -> Tensor {
+    let _prof = super::fwd_prof("l2_normalize");
     let shape = x.shape();
     assert!(!shape.is_empty(), "l2_normalize needs >= 1 dim");
     let d = shape[shape.len() - 1];

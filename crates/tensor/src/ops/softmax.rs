@@ -5,6 +5,7 @@ use crate::tensor::{Op, Tensor};
 
 /// Numerically-stable softmax over the last dimension.
 pub fn softmax(x: &Tensor) -> Tensor {
+    let _prof = super::fwd_prof("softmax");
     let out = softmax_forward(&x.data());
     let saved = out.clone();
     Tensor::from_op(out, vec![x.clone()], Box::new(SoftmaxOp { y: saved }))
@@ -65,6 +66,7 @@ impl Op for SoftmaxOp {
 
 /// Numerically-stable log-softmax over the last dimension.
 pub fn log_softmax(x: &Tensor) -> Tensor {
+    let _prof = super::fwd_prof("log_softmax");
     let shape = x.shape();
     assert!(!shape.is_empty(), "log_softmax needs >= 1 dim");
     let d = shape[shape.len() - 1];

@@ -166,11 +166,19 @@ pub fn spectral_filter(x: &Tensor, w_re: &Tensor, w_im: &Tensor, mask: &[f32]) -
 /// of a `[B, N, D]` tensor.
 #[allow(clippy::needless_range_loop)] // strided gather/scatter over (b, k, c) planes
 pub fn spectral_filter_mix(x: &Tensor, branches: &[SpectralBranch]) -> Tensor {
+    let _prof = super::fwd_prof("spectral_filter_mix");
     assert!(!branches.is_empty(), "need at least one filter branch");
     let shape = x.shape();
     assert_eq!(shape.len(), 3, "spectral filter expects [B, N, D]");
     let (b, n, d) = (shape[0], shape[1], shape[2]);
     assert!(n >= 1, "empty time axis");
+    // Which transform path this shape takes (trig-matmul for short
+    // sequences, per-channel FFT otherwise) — counted once per op call.
+    if n <= DFT_MATMUL_MAX_N && d > 0 {
+        slime_trace::metrics::counter_add("spectral.matmul_path", 1);
+    } else {
+        slime_trace::metrics::counter_add("spectral.fft_path", 1);
+    }
     let m = n / 2 + 1;
     for (i, br) in branches.iter().enumerate() {
         assert_eq!(br.w_re.shape(), vec![m, d], "branch {i} w_re shape");

@@ -266,7 +266,14 @@ impl Tensor {
                 continue;
             }
             let node = t.inner.node.as_ref().expect("non-leaf has node");
-            let parent_grads = node.op.backward(&grad, &node.parents);
+            // Generic backward profiling hook: one timer per op application,
+            // keyed by the op's static name. Free when tracing is off (the
+            // timer constructor is a single relaxed atomic load).
+            let parent_grads = {
+                let _prof =
+                    slime_trace::prof::timer(node.op.name(), slime_trace::prof::Phase::Backward);
+                node.op.backward(&grad, &node.parents)
+            };
             assert_eq!(
                 parent_grads.len(),
                 node.parents.len(),

@@ -1,0 +1,594 @@
+//! # slime-trace
+//!
+//! Zero-dependency structured observability for the SLIME4Rec stack:
+//! hierarchical spans, typed metrics (counters / gauges / fixed-bucket
+//! histograms), a per-op profiler, and two sinks — a human-readable stderr
+//! summary and a JSONL event stream written through `slime-json`.
+//!
+//! Design constraints (DESIGN.md §10):
+//!
+//! * **Off means off.** The whole crate is gated on one relaxed atomic
+//!   ([`enabled`]); when tracing is off every entry point is a load+branch
+//!   and allocates nothing. The `trace_overhead` bench asserts this.
+//! * **Observation never perturbs computation.** Recording captures clock
+//!   readings and copies of already-computed values; it never touches
+//!   tensor data, RNG state, thread scheduling, or the buffer pool. The
+//!   `trace_determinism` test in `crates/core` proves training is bitwise
+//!   identical with tracing on and off at `SLIME_THREADS=4`.
+//! * **Thread-safe without a global hot lock.** Events and per-op profile
+//!   cells accumulate in per-thread buffers (each behind its own
+//!   uncontended mutex, registered globally so [`drain_events`] and
+//!   [`snapshot`] can merge them from any thread). Low-frequency metrics
+//!   (counters/gauges/histograms) share one global store.
+//!
+//! Activation: [`set_level`] at runtime (the CLI's `--trace`/`--profile`
+//! flags), or the `SLIME_TRACE` environment variable — `0`/`off` disables,
+//! `summary` keeps metrics only, `1`/`on`/`info` records spans and events,
+//! `2`/`debug` additionally records debug-level events.
+
+pub mod metrics;
+pub mod prof;
+pub mod sink;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use slime_json::Value;
+
+// ---------------------------------------------------------------------------
+// Level resolution
+// ---------------------------------------------------------------------------
+
+/// Trace verbosity, ordered: each level includes everything below it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Nothing is recorded; every API call is a load+branch no-op.
+    Off,
+    /// Metrics and the per-op profiler only — no span/event stream.
+    Summary,
+    /// Spans, info events, metrics, profiler. The `--trace` default.
+    Info,
+    /// Everything, including debug-level events.
+    Debug,
+}
+
+const LVL_UNRESOLVED: u8 = 0;
+
+fn level_to_u8(l: Level) -> u8 {
+    match l {
+        Level::Off => 1,
+        Level::Summary => 2,
+        Level::Info => 3,
+        Level::Debug => 4,
+    }
+}
+
+fn level_from_u8(v: u8) -> Level {
+    match v {
+        2 => Level::Summary,
+        3 => Level::Info,
+        4 => Level::Debug,
+        _ => Level::Off,
+    }
+}
+
+/// Parse a level name (`SLIME_TRACE` / `--trace-level` values).
+pub fn parse_level(s: &str) -> Option<Level> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "" | "0" | "off" | "false" | "none" => Some(Level::Off),
+        "summary" | "metrics" => Some(Level::Summary),
+        "1" | "on" | "true" | "info" => Some(Level::Info),
+        "2" | "debug" | "all" => Some(Level::Debug),
+        _ => None,
+    }
+}
+
+/// Tri-state + level flag, resolved lazily from `SLIME_TRACE` on first use.
+static LEVEL: AtomicU8 = AtomicU8::new(LVL_UNRESOLVED);
+
+/// Current trace level, resolving `SLIME_TRACE` on first call.
+pub fn level() -> Level {
+    let v = LEVEL.load(Ordering::Relaxed);
+    if v != LVL_UNRESOLVED {
+        return level_from_u8(v);
+    }
+    let resolved = std::env::var("SLIME_TRACE")
+        .ok()
+        .and_then(|v| parse_level(&v))
+        .unwrap_or(Level::Off);
+    // A racing set_level wins; both derive from explicit user intent.
+    let _ = LEVEL.compare_exchange(
+        LVL_UNRESOLVED,
+        level_to_u8(resolved),
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    );
+    level_from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// Force the trace level (wins over `SLIME_TRACE`).
+pub fn set_level(l: Level) {
+    LEVEL.store(level_to_u8(l), Ordering::Relaxed);
+}
+
+/// Fast path: is anything being recorded at all?
+#[inline]
+pub fn enabled() -> bool {
+    level() > Level::Off
+}
+
+/// Are spans/events recorded (level >= Info)?
+#[inline]
+pub fn events_enabled() -> bool {
+    level() >= Level::Info
+}
+
+// ---------------------------------------------------------------------------
+// Clock and ids
+// ---------------------------------------------------------------------------
+
+static START: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds on the monotonic clock since the first trace call in this
+/// process. Wall-clock time is deliberately absent: runs must be
+/// reproducible and diffable, and the monotonic origin makes every event
+/// timestamp a duration, not a date.
+pub fn now_ns() -> u64 {
+    START.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+// ---------------------------------------------------------------------------
+// Events and per-thread buffers
+// ---------------------------------------------------------------------------
+
+/// What an [`Event`] row represents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened.
+    SpanStart,
+    /// A span closed; `dur_ns` holds its wall-clock duration.
+    SpanEnd,
+    /// A point event with no duration.
+    Point,
+}
+
+impl EventKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            EventKind::SpanStart => "span_start",
+            EventKind::SpanEnd => "span_end",
+            EventKind::Point => "event",
+        }
+    }
+}
+
+/// One recorded trace event (a line of `trace.jsonl`).
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Monotonic nanoseconds since trace start.
+    pub ts_ns: u64,
+    /// Recording thread (sequential id assigned on first use).
+    pub tid: u64,
+    /// Row kind.
+    pub kind: EventKind,
+    /// Span or event name.
+    pub name: &'static str,
+    /// Span id (0 for point events outside any span id space).
+    pub id: u64,
+    /// Enclosing span id on the recording thread (0 = root).
+    pub parent: u64,
+    /// Structured payload.
+    pub fields: Vec<(String, Value)>,
+    /// Span duration, for `SpanEnd` rows.
+    pub dur_ns: Option<u64>,
+}
+
+impl Event {
+    /// The JSONL rendering (one compact object per line).
+    pub fn to_json(&self) -> Value {
+        let mut m = BTreeMap::new();
+        m.insert("ts_ns".to_string(), Value::Int(self.ts_ns as i64));
+        m.insert("tid".to_string(), Value::Int(self.tid as i64));
+        m.insert("kind".to_string(), Value::Str(self.kind.as_str().into()));
+        m.insert("name".to_string(), Value::Str(self.name.into()));
+        if self.id != 0 {
+            m.insert("id".to_string(), Value::Int(self.id as i64));
+        }
+        if self.parent != 0 {
+            m.insert("parent".to_string(), Value::Int(self.parent as i64));
+        }
+        if let Some(d) = self.dur_ns {
+            m.insert("dur_ns".to_string(), Value::Int(d as i64));
+        }
+        if !self.fields.is_empty() {
+            let mut f = BTreeMap::new();
+            for (k, v) in &self.fields {
+                f.insert(k.clone(), v.clone());
+            }
+            m.insert("fields".to_string(), Value::Obj(f));
+        }
+        Value::Obj(m)
+    }
+}
+
+/// Hard cap on buffered events per thread; beyond it events are counted in
+/// `trace.events_dropped` instead of retained, so an unflushed long run
+/// cannot grow without bound.
+const MAX_EVENTS_PER_THREAD: usize = 1 << 18;
+
+pub(crate) struct LocalBuf {
+    tid: u64,
+    events: Vec<Event>,
+    dropped: u64,
+    pub(crate) prof: BTreeMap<(&'static str, u8), prof::ProfCell>,
+}
+
+static REGISTRY: Mutex<Vec<Arc<Mutex<LocalBuf>>>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static LOCAL: RefCell<Option<Arc<Mutex<LocalBuf>>>> = const { RefCell::new(None) };
+    /// Stack of open span ids on this thread (parent linkage).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with this thread's buffer, registering it globally on first use.
+pub(crate) fn with_local<R>(f: impl FnOnce(&mut LocalBuf) -> R) -> Option<R> {
+    LOCAL
+        .try_with(|slot| {
+            let arc = {
+                let mut slot = slot.borrow_mut();
+                if slot.is_none() {
+                    let buf = Arc::new(Mutex::new(LocalBuf {
+                        tid: NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed),
+                        events: Vec::new(),
+                        dropped: 0,
+                        prof: BTreeMap::new(),
+                    }));
+                    REGISTRY
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(Arc::clone(&buf));
+                    *slot = Some(buf);
+                }
+                Arc::clone(slot.as_ref().expect("just set"))
+            };
+            let mut guard = arc.lock().unwrap_or_else(|e| e.into_inner());
+            f(&mut guard)
+        })
+        .ok()
+}
+
+fn push_event(mut ev: Event) {
+    with_local(|buf| {
+        ev.tid = buf.tid;
+        if buf.events.len() >= MAX_EVENTS_PER_THREAD {
+            buf.dropped += 1;
+        } else {
+            buf.events.push(ev);
+        }
+    });
+}
+
+/// Drain every thread's buffered events, merged and sorted by timestamp.
+/// Dropped-event counts are folded into the `trace.events_dropped` counter.
+pub fn drain_events() -> Vec<Event> {
+    let registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = Vec::new();
+    let mut dropped = 0u64;
+    for buf in registry.iter() {
+        let mut b = buf.lock().unwrap_or_else(|e| e.into_inner());
+        out.append(&mut b.events);
+        dropped += std::mem::take(&mut b.dropped);
+    }
+    drop(registry);
+    if dropped > 0 {
+        metrics::counter_add_forced("trace.events_dropped", dropped);
+    }
+    out.sort_by_key(|e| (e.ts_ns, e.tid, e.id));
+    out
+}
+
+/// Visit every thread's profile cells (merging for [`prof::table`]).
+pub(crate) fn for_each_buf(mut f: impl FnMut(&BTreeMap<(&'static str, u8), prof::ProfCell>)) {
+    let registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    for buf in registry.iter() {
+        let b = buf.lock().unwrap_or_else(|e| e.into_inner());
+        f(&b.prof);
+    }
+}
+
+/// Reset every recording surface: events, profiler cells, metrics, span
+/// stacks stay untouched (open spans keep working). Tests use this to
+/// isolate assertions; the CLI never needs it.
+pub fn reset() {
+    let registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    for buf in registry.iter() {
+        let mut b = buf.lock().unwrap_or_else(|e| e.into_inner());
+        b.events.clear();
+        b.dropped = 0;
+        b.prof.clear();
+    }
+    drop(registry);
+    metrics::reset();
+}
+
+// ---------------------------------------------------------------------------
+// Spans and point events
+// ---------------------------------------------------------------------------
+
+/// An open span; closing (dropping) it records the `span_end` event with
+/// the measured duration. Obtain one through the [`span!`] macro.
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct Span {
+    id: u64,
+    name: &'static str,
+    start_ns: u64,
+    active: bool,
+}
+
+impl Span {
+    /// The no-op span handed out while tracing is disabled.
+    pub fn disabled() -> Span {
+        Span {
+            id: 0,
+            name: "",
+            start_ns: 0,
+            active: false,
+        }
+    }
+
+    /// This span's id (0 when tracing is off).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let end = now_ns();
+        let parent = SPAN_STACK
+            .try_with(|s| {
+                let mut s = s.borrow_mut();
+                // Pop back to (and including) this span; defends against
+                // out-of-order drops without unwinding the world.
+                while let Some(top) = s.pop() {
+                    if top == self.id {
+                        break;
+                    }
+                }
+                s.last().copied().unwrap_or(0)
+            })
+            .unwrap_or(0);
+        push_event(Event {
+            ts_ns: end,
+            tid: 0,
+            kind: EventKind::SpanEnd,
+            name: self.name,
+            id: self.id,
+            parent,
+            fields: Vec::new(),
+            dur_ns: Some(end.saturating_sub(self.start_ns)),
+        });
+    }
+}
+
+/// Open a span (used by the [`span!`] macro; prefer the macro).
+pub fn span_start(name: &'static str, fields: Vec<(String, Value)>) -> Span {
+    if !events_enabled() {
+        return Span::disabled();
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let start_ns = now_ns();
+    let parent = SPAN_STACK
+        .try_with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied().unwrap_or(0);
+            s.push(id);
+            parent
+        })
+        .unwrap_or(0);
+    push_event(Event {
+        ts_ns: start_ns,
+        tid: 0,
+        kind: EventKind::SpanStart,
+        name,
+        id,
+        parent,
+        fields,
+        dur_ns: None,
+    });
+    Span {
+        id,
+        name,
+        start_ns,
+        active: true,
+    }
+}
+
+/// Record a point event at `min_level` (used by the [`event!`] and
+/// [`debug_event!`] macros).
+pub fn record_event(name: &'static str, fields: Vec<(String, Value)>, min_level: Level) {
+    if level() < min_level {
+        return;
+    }
+    let parent = SPAN_STACK
+        .try_with(|s| s.borrow().last().copied().unwrap_or(0))
+        .unwrap_or(0);
+    push_event(Event {
+        ts_ns: now_ns(),
+        tid: 0,
+        kind: EventKind::Point,
+        name,
+        id: 0,
+        parent,
+        fields,
+        dur_ns: None,
+    });
+}
+
+/// Write a human-facing line to stderr. This is the sanctioned escape for
+/// library crates (lint rule L6 bans raw `println!`/`eprintln!` outside the
+/// CLI): progress output flows through the trace crate so there is exactly
+/// one place that owns the terminal.
+pub fn echo(line: &str) {
+    eprintln!("{line}");
+}
+
+// ---------------------------------------------------------------------------
+// Field conversion + macros
+// ---------------------------------------------------------------------------
+
+/// Convert a field value into a JSON value (span/event payloads).
+pub trait IntoField {
+    /// The JSON representation.
+    fn into_field(self) -> Value;
+}
+
+macro_rules! impl_into_field_int {
+    ($($t:ty),*) => {$(
+        impl IntoField for $t {
+            fn into_field(self) -> Value { Value::Int(self as i64) }
+        }
+    )*};
+}
+impl_into_field_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl IntoField for f32 {
+    fn into_field(self) -> Value {
+        Value::Float(self as f64)
+    }
+}
+impl IntoField for f64 {
+    fn into_field(self) -> Value {
+        Value::Float(self)
+    }
+}
+impl IntoField for bool {
+    fn into_field(self) -> Value {
+        Value::Bool(self)
+    }
+}
+impl IntoField for &str {
+    fn into_field(self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl IntoField for String {
+    fn into_field(self) -> Value {
+        Value::Str(self)
+    }
+}
+impl IntoField for Value {
+    fn into_field(self) -> Value {
+        self
+    }
+}
+
+/// Build the `Vec<(String, Value)>` payload from `{ "k": v, ... }` syntax.
+#[macro_export]
+macro_rules! fields {
+    () => { ::std::vec::Vec::new() };
+    ({ $($k:literal : $v:expr),* $(,)? }) => {
+        vec![ $( (($k).to_string(), $crate::IntoField::into_field($v)) ),* ]
+    };
+}
+
+/// Open a hierarchical span: `let _s = span!("epoch", {"n": e});`.
+/// The span closes (recording its duration) when the guard drops.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        if $crate::events_enabled() {
+            $crate::span_start($name, ::std::vec::Vec::new())
+        } else {
+            $crate::Span::disabled()
+        }
+    };
+    ($name:expr, $f:tt) => {
+        if $crate::events_enabled() {
+            $crate::span_start($name, $crate::fields!($f))
+        } else {
+            $crate::Span::disabled()
+        }
+    };
+}
+
+/// Record an info-level point event: `event!("epoch", {"loss": l});`.
+#[macro_export]
+macro_rules! event {
+    ($name:expr) => {
+        if $crate::events_enabled() {
+            $crate::record_event($name, ::std::vec::Vec::new(), $crate::Level::Info);
+        }
+    };
+    ($name:expr, $f:tt) => {
+        if $crate::events_enabled() {
+            $crate::record_event($name, $crate::fields!($f), $crate::Level::Info);
+        }
+    };
+}
+
+/// Record a debug-level point event (kept only at `--trace-level debug`).
+#[macro_export]
+macro_rules! debug_event {
+    ($name:expr) => {
+        if $crate::level() >= $crate::Level::Debug {
+            $crate::record_event($name, ::std::vec::Vec::new(), $crate::Level::Debug);
+        }
+    };
+    ($name:expr, $f:tt) => {
+        if $crate::level() >= $crate::Level::Debug {
+            $crate::record_event($name, $crate::fields!($f), $crate::Level::Debug);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_level_names() {
+        assert_eq!(parse_level("0"), Some(Level::Off));
+        assert_eq!(parse_level("off"), Some(Level::Off));
+        assert_eq!(parse_level("summary"), Some(Level::Summary));
+        assert_eq!(parse_level("1"), Some(Level::Info));
+        assert_eq!(parse_level("debug"), Some(Level::Debug));
+        assert_eq!(parse_level("bogus"), None);
+        assert!(Level::Debug > Level::Info && Level::Info > Level::Summary);
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let s = Span::disabled();
+        assert_eq!(s.id(), 0);
+        drop(s); // must not record or panic
+    }
+
+    #[test]
+    fn event_json_shape() {
+        let ev = Event {
+            ts_ns: 42,
+            tid: 1,
+            kind: EventKind::SpanEnd,
+            name: "epoch",
+            id: 7,
+            parent: 3,
+            fields: vec![("n".to_string(), Value::Int(2))],
+            dur_ns: Some(1000),
+        };
+        let j = ev.to_json().to_compact();
+        assert!(j.contains("\"kind\":\"span_end\""));
+        assert!(j.contains("\"dur_ns\":1000"));
+        assert!(j.contains("\"fields\":{\"n\":2}"));
+    }
+}

@@ -1,0 +1,280 @@
+//! Typed metrics: monotonic counters, last-value gauges, and fixed-bucket
+//! histograms, all merged into one [`MetricsSnapshot`].
+//!
+//! These are low-frequency instruments (per step / per epoch / per run),
+//! so they share a single global store behind one mutex; the per-op
+//! profiler in [`crate::prof`] handles the high-frequency path with
+//! per-thread cells instead.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use slime_json::Value;
+
+/// A histogram with caller-fixed bucket bounds.
+///
+/// `counts` has `bounds.len() + 1` entries: `counts[i]` holds observations
+/// `v <= bounds[i]`, and the final entry is the overflow bucket. Bounds are
+/// fixed at registration so two runs of the same binary always bucket
+/// identically — histograms are diffable artifacts, not adaptive sketches.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    /// Ascending upper bounds of the finite buckets.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` long).
+    pub counts: Vec<u64>,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (`f64::INFINITY` when empty).
+    pub min: f64,
+    /// Largest observation (`f64::NEG_INFINITY` when empty).
+    pub max: f64,
+}
+
+impl Histogram {
+    /// An empty histogram over `bounds` (must be ascending).
+    pub fn new(bounds: &[f64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds ascending");
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The JSON rendering used in `metrics.json`.
+    pub fn to_json(&self) -> Value {
+        slime_json::obj([
+            (
+                "bounds",
+                Value::Arr(self.bounds.iter().map(|&b| Value::Float(b)).collect()),
+            ),
+            (
+                "counts",
+                Value::Arr(self.counts.iter().map(|&c| Value::Int(c as i64)).collect()),
+            ),
+            ("count", Value::Int(self.count as i64)),
+            ("sum", Value::Float(self.sum)),
+            (
+                "min",
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.min)
+                },
+            ),
+            (
+                "max",
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.max)
+                },
+            ),
+        ])
+    }
+}
+
+/// Default bounds: powers of 4 spanning `1e-3 .. ~1e12`. Wide enough for
+/// losses (~1e0), milliseconds (~1e1), and nanosecond timings (~1e9) alike
+/// while staying at 26 buckets.
+pub fn default_bounds() -> Vec<f64> {
+    (0..26).map(|i| 1e-3 * 4f64.powi(i)).collect()
+}
+
+#[derive(Default)]
+struct Store {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+static STORE: Mutex<Option<Store>> = Mutex::new(None);
+
+fn with_store<R>(f: impl FnOnce(&mut Store) -> R) -> R {
+    let mut guard = STORE.lock().unwrap_or_else(|e| e.into_inner());
+    f(guard.get_or_insert_with(Store::default))
+}
+
+/// Add `delta` to a named counter (no-op while tracing is off).
+pub fn counter_add(name: &str, delta: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    counter_add_forced(name, delta);
+}
+
+/// Add to a counter even while tracing is off (internal bookkeeping like
+/// dropped-event counts must survive a level change).
+pub(crate) fn counter_add_forced(name: &str, delta: u64) {
+    with_store(|s| *s.counters.entry(name.to_string()).or_insert(0) += delta);
+}
+
+/// Set a named gauge to its latest value (no-op while tracing is off).
+pub fn gauge_set(name: &str, v: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_store(|s| {
+        s.gauges.insert(name.to_string(), v);
+    });
+}
+
+/// Record into a named histogram with [`default_bounds`] (no-op while
+/// tracing is off). The bounds are fixed by the first record.
+pub fn hist_record(name: &str, v: f64) {
+    hist_record_with(name, &[], v);
+}
+
+/// Record into a named histogram, registering it with `bounds` on first
+/// use (empty `bounds` means [`default_bounds`]). Later calls ignore
+/// `bounds` — the registration is fixed.
+pub fn hist_record_with(name: &str, bounds: &[f64], v: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_store(|s| {
+        let h = s.hists.entry(name.to_string()).or_insert_with(|| {
+            if bounds.is_empty() {
+                Histogram::new(&default_bounds())
+            } else {
+                Histogram::new(bounds)
+            }
+        });
+        h.record(v);
+    });
+}
+
+/// Merged view of every metric surface at one moment.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-value gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Fixed-bucket histograms.
+    pub hists: BTreeMap<String, Histogram>,
+    /// Per-op profile rows, sorted by total time descending.
+    pub profile: Vec<crate::prof::ProfRow>,
+}
+
+impl MetricsSnapshot {
+    /// The `metrics.json` rendering.
+    pub fn to_json(&self) -> Value {
+        let counters: BTreeMap<String, Value> = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), Value::Int(v as i64)))
+            .collect();
+        let gauges: BTreeMap<String, Value> = self
+            .gauges
+            .iter()
+            .map(|(k, &v)| (k.clone(), Value::Float(v)))
+            .collect();
+        let hists: BTreeMap<String, Value> = self
+            .hists
+            .iter()
+            .map(|(k, h)| (k.clone(), h.to_json()))
+            .collect();
+        slime_json::obj([
+            ("counters", Value::Obj(counters)),
+            ("gauges", Value::Obj(gauges)),
+            ("histograms", Value::Obj(hists)),
+            (
+                "profile",
+                Value::Arr(self.profile.iter().map(|r| r.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+/// Snapshot every metric surface (counters, gauges, histograms, profiler).
+/// Non-destructive: recording continues afterwards.
+pub fn snapshot() -> MetricsSnapshot {
+    let (counters, gauges, hists) =
+        with_store(|s| (s.counters.clone(), s.gauges.clone(), s.hists.clone()));
+    MetricsSnapshot {
+        counters,
+        gauges,
+        hists,
+        profile: crate::prof::table(),
+    }
+}
+
+/// Clear counters, gauges, and histograms (tests and benches).
+pub fn reset() {
+    with_store(|s| {
+        s.counters.clear();
+        s.gauges.clear();
+        s.hists.clear();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 5.0, 5.0, 50.0, 5000.0] {
+            h.record(v);
+        }
+        assert_eq!(h.counts, vec![1, 2, 1, 1]);
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 5000.0);
+        assert!((h.mean() - 1012.1).abs() < 1e-9);
+        // Boundary values land in the bucket they bound (v <= bound).
+        let mut b = Histogram::new(&[1.0]);
+        b.record(1.0);
+        assert_eq!(b.counts, vec![1, 0]);
+    }
+
+    #[test]
+    fn default_bounds_are_ascending_and_wide() {
+        let b = default_bounds();
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert!(b[0] <= 1e-3 && *b.last().unwrap() >= 1e11);
+    }
+
+    #[test]
+    fn histogram_json_has_all_fields() {
+        let mut h = Histogram::new(&[2.0]);
+        h.record(1.0);
+        let j = h.to_json().to_compact();
+        for key in ["bounds", "counts", "count", "sum", "min", "max"] {
+            assert!(j.contains(key), "{key} missing from {j}");
+        }
+        let empty = Histogram::new(&[2.0]).to_json().to_compact();
+        assert!(empty.contains("\"min\":null"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Sinks: the JSONL event stream + `metrics.json` snapshot written into a
+//! run directory, and the human-readable stderr summary.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::metrics::MetricsSnapshot;
+use crate::Event;
+
+/// Artifacts written by [`write_run`].
+#[derive(Clone, Debug)]
+pub struct RunArtifacts {
+    /// The run directory.
+    pub dir: PathBuf,
+    /// `<dir>/trace.jsonl` — one compact JSON event per line.
+    pub trace_jsonl: PathBuf,
+    /// `<dir>/metrics.json` — the final metrics snapshot, pretty-printed.
+    pub metrics_json: PathBuf,
+}
+
+/// The conventional run directory for an unnamed run:
+/// `runs/<unix-seconds>`. Purely a naming default — callers that want
+/// reproducible paths (tests, `--trace <path>`) pass their own.
+pub fn default_run_dir() -> PathBuf {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    PathBuf::from("runs").join(secs.to_string())
+}
+
+/// Drain all buffered events and write the run artifacts under `dir`:
+/// `trace.jsonl` (event stream) and `metrics.json` (snapshot). Creates
+/// `dir` and parents as needed.
+pub fn write_run(dir: &Path) -> std::io::Result<RunArtifacts> {
+    let events = crate::drain_events();
+    let snap = crate::metrics::snapshot();
+    write_run_with(dir, &events, &snap)
+}
+
+/// [`write_run`] with an explicit event list and snapshot (tests).
+pub fn write_run_with(
+    dir: &Path,
+    events: &[Event],
+    snap: &MetricsSnapshot,
+) -> std::io::Result<RunArtifacts> {
+    std::fs::create_dir_all(dir)?;
+    let trace_jsonl = dir.join("trace.jsonl");
+    let metrics_json = dir.join("metrics.json");
+
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&trace_jsonl)?);
+    for ev in events {
+        f.write_all(ev.to_json().to_compact().as_bytes())?;
+        f.write_all(b"\n")?;
+    }
+    f.flush()?;
+
+    std::fs::write(&metrics_json, snap.to_json().to_pretty() + "\n")?;
+    Ok(RunArtifacts {
+        dir: dir.to_path_buf(),
+        trace_jsonl,
+        metrics_json,
+    })
+}
+
+/// Render the human-readable summary: top counters/gauges, histogram
+/// digests, and the head of the profile table.
+pub fn render_summary(snap: &MetricsSnapshot) -> Vec<String> {
+    let mut out = Vec::new();
+    out.push("trace summary".to_string());
+    if !snap.counters.is_empty() {
+        out.push("  counters:".to_string());
+        for (k, v) in &snap.counters {
+            out.push(format!("    {k:<40} {v}"));
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push("  gauges:".to_string());
+        for (k, v) in &snap.gauges {
+            out.push(format!("    {k:<40} {v:.4}"));
+        }
+    }
+    if !snap.hists.is_empty() {
+        out.push("  histograms:".to_string());
+        for (k, h) in &snap.hists {
+            if h.count == 0 {
+                out.push(format!("    {k:<40} (empty)"));
+            } else {
+                out.push(format!(
+                    "    {k:<40} n={} mean={:.4} min={:.4} max={:.4}",
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
+                ));
+            }
+        }
+    }
+    if !snap.profile.is_empty() {
+        out.push("  top ops by total time:".to_string());
+        for r in snap.profile.iter().take(8) {
+            out.push(format!(
+                "    {:<24} {:>10.3} ms  (fwd {}x, bwd {}x)",
+                r.name,
+                r.total_ns() as f64 / 1e6,
+                r.fwd.count,
+                r.bwd.count
+            ));
+        }
+    }
+    out
+}
+
+/// Print the summary to stderr (the CLI's end-of-run report when tracing
+/// is enabled).
+pub fn summary_to_stderr(snap: &MetricsSnapshot) {
+    for line in render_summary(snap) {
+        crate::echo(&line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_dir_is_under_runs() {
+        let d = default_run_dir();
+        assert!(d.starts_with("runs"));
+    }
+
+    #[test]
+    fn summary_renders_every_surface() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("spectral.fft_path".into(), 3);
+        snap.gauges.insert("pool.hit_rate".into(), 0.97);
+        let mut h = crate::metrics::Histogram::new(&[1.0]);
+        h.record(0.5);
+        snap.hists.insert("loss".into(), h);
+        let text = render_summary(&snap).join("\n");
+        assert!(text.contains("spectral.fft_path"));
+        assert!(text.contains("pool.hit_rate"));
+        assert!(text.contains("n=1"));
+    }
+}

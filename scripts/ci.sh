@@ -11,10 +11,15 @@
 #                        SLIME_POOL={0,1} x SLIME_THREADS={1,4} matrix:
 #                        the buffer pool and the thread count are pure
 #                        throughput knobs, never value knobs
-#   5. sanitizer tests   (NaN/Inf attribution under --features sanitize)
-#   6. slime-lint check  (offline purity, op coverage, panic freedom,
-#                         shape asserts, thread discipline — exits 1 on
-#                         any finding)
+#   5. traced tests      one full pass with SLIME_TRACE=1: tracing is a
+#                        pure observer, so every test must still pass with
+#                        the instrumentation live
+#   6. sanitizer tests   (NaN/Inf attribution under --features sanitize)
+#   7. slime-lint check  (offline purity, op coverage, panic freedom,
+#                         shape asserts, thread discipline, raw prints —
+#                         exits 1 on any finding)
+#   8. trace overhead    the trace_overhead bench: asserts traced training
+#                        costs <3% and the disabled hooks ~0
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,10 +51,16 @@ for pool in 0 1; do
     done
 done
 
+echo "==> SLIME_TRACE=1 SLIME_THREADS=4 cargo test -q"
+SLIME_TRACE=1 SLIME_THREADS=4 cargo test -q
+
 echo "==> cargo test -q -p slime-tensor --features sanitize"
 cargo test -q -p slime-tensor --features sanitize
 
 echo "==> cargo run -p slime-lint -- check"
 cargo run -q -p slime-lint -- check
+
+echo "==> cargo bench --bench trace_overhead -p slime-bench"
+cargo bench --bench trace_overhead -p slime-bench
 
 echo "CI: all gates passed"
