@@ -1,0 +1,310 @@
+//! SIMD-backend sweep: the hot kernels and the end-to-end routines timed
+//! with the runtime-dispatched backend (AVX2+FMA where the CPU probe finds
+//! it) versus the portable scalar kernels forced via
+//! `slime_tensor::simd::set_enabled(false)`. Emits `BENCH_simd.json` at the
+//! workspace root alongside the printed table.
+//!
+//! The routine is identical in both modes — the backend is a throughput
+//! knob, never a value knob (within a backend; the two backends may differ
+//! in the last float bits) — so the A/B isolates the vector win. On a host
+//! without AVX2+FMA both columns run the scalar table and every ratio is
+//! ~1.0x; `detected.avx2_fma` in the JSON says which world the numbers
+//! came from.
+//!
+//! For cross-PR context the report also folds in the pool-on end-to-end
+//! medians from `BENCH_mem.json` (the PR 3 memory sweep) when that file is
+//! present, as `end_to_end.*.vs_bench_mem` deltas.
+
+use slime4rec::{ContrastiveMode, NextItemModel, Slime4Rec, SlimeConfig};
+use slime_bench::harness::{measure_routine, Measurement};
+use slime_bench::random_inputs;
+use slime_nn::{Module, TrainContext};
+use slime_tensor::optim::{Adam, Optimizer};
+use slime_tensor::{ops, simd, NdArray, Tensor};
+use std::hint::black_box;
+use std::time::Duration;
+
+// Same paper-scale-ish dims as par_sweep/mem_sweep: Beauty-sized catalog,
+// max_len 50 — so the end-to-end rows compare directly with BENCH_mem.json.
+const BATCH: usize = 64;
+const N: usize = 50;
+const HIDDEN: usize = 64;
+const VOCAB: usize = 4000;
+
+const SAMPLES: usize = 5;
+const WARM_UP: Duration = Duration::from_millis(300);
+const MEASURE: Duration = Duration::from_millis(1500);
+
+// Per-kernel measurements are microseconds-scale; a shorter window keeps
+// the whole sweep under a minute without hurting the median.
+const KERNEL_WARM_UP: Duration = Duration::from_millis(200);
+const KERNEL_MEASURE: Duration = Duration::from_millis(500);
+
+/// FFT length for the butterfly timing: big enough that the radix-2 passes
+/// dominate (the model's own N = 50 spectral path goes through the small-N
+/// matmul fallback, which the matmul row already covers).
+const FFT_LEN: usize = 512;
+
+fn filled(shape: &[usize], seed: u64) -> NdArray {
+    let n: usize = shape.iter().product();
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    let data: Vec<f32> = (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) * 4.0 - 2.0
+        })
+        .collect();
+    NdArray::from_vec(shape.to_vec(), data)
+}
+
+fn measure_matmul2d() -> Measurement {
+    // The hidden-projection shape: [B*N, H] @ [H, H] — every FFN and mixer
+    // projection runs this, once per token. The weight tile is L1-resident,
+    // so this row shows the compute-bound vector win.
+    let a = Tensor::constant(filled(&[BATCH * N, HIDDEN], 1));
+    let b = Tensor::constant(filled(&[HIDDEN, HIDDEN], 2));
+    measure_routine(SAMPLES, KERNEL_WARM_UP, KERNEL_MEASURE, || {
+        black_box(ops::matmul(black_box(&a), black_box(&b)).value())
+    })
+}
+
+fn measure_matmul2d_ranking() -> Measurement {
+    // The full-ranking projection shape: [B, H] @ [H, V]. The [H, V] operand
+    // is ~1 MB and streams from L2 per row chunk, so this row is partly
+    // bandwidth-bound and shows a smaller ratio than the L1-resident tile.
+    let a = Tensor::constant(filled(&[BATCH, HIDDEN], 1));
+    let b = Tensor::constant(filled(&[HIDDEN, VOCAB], 2));
+    measure_routine(SAMPLES, KERNEL_WARM_UP, KERNEL_MEASURE, || {
+        black_box(ops::matmul(black_box(&a), black_box(&b)).value())
+    })
+}
+
+fn measure_softmax() -> Measurement {
+    let x = Tensor::constant(filled(&[BATCH, VOCAB], 3));
+    measure_routine(SAMPLES, KERNEL_WARM_UP, KERNEL_MEASURE, || {
+        black_box(ops::softmax(black_box(&x)).value())
+    })
+}
+
+fn measure_gelu() -> Measurement {
+    let x = Tensor::constant(filled(&[BATCH, N * HIDDEN], 4));
+    measure_routine(SAMPLES, KERNEL_WARM_UP, KERNEL_MEASURE, || {
+        black_box(ops::gelu(black_box(&x)).value())
+    })
+}
+
+fn measure_adam() -> Measurement {
+    // One optimizer step over an embedding-table-sized parameter.
+    let p = Tensor::param(filled(&[VOCAB, HIDDEN], 5));
+    let g = filled(&[VOCAB, HIDDEN], 6);
+    let mut opt = Adam::new(vec![p.clone()], 1e-3);
+    measure_routine(SAMPLES, KERNEL_WARM_UP, KERNEL_MEASURE, || {
+        p.with_grad_mut(|slot| *slot = Some(g.clone()));
+        opt.step();
+    })
+}
+
+fn measure_fft() -> Measurement {
+    let x: Vec<f32> = filled(&[FFT_LEN], 7).data().to_vec();
+    measure_routine(SAMPLES, KERNEL_WARM_UP, KERNEL_MEASURE, || {
+        let spec = slime_fft::rfft(black_box(&x));
+        black_box(slime_fft::irfft(&spec, FFT_LEN))
+    })
+}
+
+fn model() -> Slime4Rec {
+    let mut cfg = SlimeConfig::new(VOCAB);
+    cfg.hidden = HIDDEN;
+    cfg.max_len = N;
+    cfg.layers = 2;
+    cfg.contrastive = ContrastiveMode::None;
+    Slime4Rec::new(cfg)
+}
+
+fn measure_train_step() -> Measurement {
+    let inputs = random_inputs(BATCH, N, VOCAB, 3);
+    let targets: Vec<usize> = random_inputs(BATCH, 1, VOCAB, 4);
+    let slime = model();
+    let mut opt = Adam::new(slime.parameters(), 1e-3);
+    let mut ctx = TrainContext::train(1);
+    measure_routine(SAMPLES, WARM_UP, MEASURE, || {
+        opt.zero_grad();
+        let repr = slime.user_repr(black_box(&inputs), BATCH, &mut ctx);
+        let loss = ops::cross_entropy(&slime.score_all(&repr), &targets);
+        loss.backward();
+        opt.step();
+    })
+}
+
+fn measure_inference() -> Measurement {
+    let inputs = random_inputs(BATCH, N, VOCAB, 5);
+    let slime = model();
+    measure_routine(SAMPLES, WARM_UP, MEASURE, || {
+        let mut ctx = TrainContext::eval();
+        let repr = slime.user_repr(black_box(&inputs), BATCH, &mut ctx);
+        black_box(slime.score_all(&repr).value())
+    })
+}
+
+/// Run `f` once per backend: scalar first, then whatever the dispatcher
+/// resolves to with SIMD enabled (the same scalar table on hosts without
+/// AVX2+FMA).
+fn ab<T>(f: impl Fn() -> T) -> (T, T) {
+    simd::set_enabled(false);
+    let scalar = f();
+    simd::set_enabled(true);
+    let dispatched = f();
+    (scalar, dispatched)
+}
+
+fn ratio(scalar: &Measurement, dispatched: &Measurement) -> f64 {
+    scalar.median.as_secs_f64() / dispatched.median.as_secs_f64().max(1e-12)
+}
+
+fn print_pair(name: &str, scalar: &Measurement, dispatched: &Measurement) {
+    println!(
+        "  {name:<28} scalar median {:>12?}   dispatched median {:>12?}   ({:.2}x)",
+        scalar.median,
+        dispatched.median,
+        ratio(scalar, dispatched)
+    );
+}
+
+/// The pool-on median for `sweep` from `BENCH_mem.json`, if the file from
+/// the PR 3 memory sweep is present and has the expected shape.
+fn bench_mem_median_ns(report: Option<&slime_json::Value>, sweep: &str) -> Option<i64> {
+    let sweeps = report?.get("sweeps")?.as_arr()?;
+    let entry = sweeps
+        .iter()
+        .find(|s| s.get("name").and_then(|n| n.as_str()) == Some(sweep))?;
+    let point = entry
+        .get("points")?
+        .as_arr()?
+        .iter()
+        .find(|p| p.get("pool").and_then(|b| b.as_bool()) == Some(true))?;
+    point.get("timing")?.get("median_ns")?.as_i64()
+}
+
+fn main() {
+    use slime_json::Value;
+
+    slime_par::set_threads(1);
+    let simd_was = simd::enabled();
+    println!(
+        "simd_sweep: scalar vs dispatched at 1 thread (avx2+fma detected: {})",
+        simd::avx2_fma_detected()
+    );
+
+    let (mm_s, mm_d) = ab(measure_matmul2d);
+    let (mmr_s, mmr_d) = ab(measure_matmul2d_ranking);
+    let (sm_s, sm_d) = ab(measure_softmax);
+    let (ge_s, ge_d) = ab(measure_gelu);
+    let (ad_s, ad_d) = ab(measure_adam);
+    let (fft_s, fft_d) = ab(measure_fft);
+    let (train_s, train_d) = ab(measure_train_step);
+    let (infer_s, infer_d) = ab(measure_inference);
+    let dispatched_backend = simd::backend().name();
+    simd::set_enabled(simd_was);
+
+    print_pair("matmul2d", &mm_s, &mm_d);
+    print_pair("matmul2d_ranking", &mmr_s, &mmr_d);
+    print_pair("softmax", &sm_s, &sm_d);
+    print_pair("gelu", &ge_s, &ge_d);
+    print_pair("adam_step", &ad_s, &ad_d);
+    print_pair("rfft_irfft_512", &fft_s, &fft_d);
+    print_pair("train_step", &train_s, &train_d);
+    print_pair("full_ranking_inference", &infer_s, &infer_d);
+
+    let mem_report =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mem.json"))
+            .ok()
+            .and_then(|s| slime_json::parse(&s).ok());
+
+    let pair = |name: &str, scalar: &Measurement, dispatched: &Measurement| {
+        slime_json::obj([
+            ("name", Value::Str(name.into())),
+            (
+                "points",
+                Value::Arr(vec![
+                    slime_json::obj([("simd", Value::Bool(false)), ("timing", scalar.to_json())]),
+                    slime_json::obj([
+                        ("simd", Value::Bool(true)),
+                        ("timing", dispatched.to_json()),
+                    ]),
+                ]),
+            ),
+            ("speedup_vs_scalar", Value::Float(ratio(scalar, dispatched))),
+        ])
+    };
+    let end_to_end = |name: &str, scalar: &Measurement, dispatched: &Measurement| {
+        let prior = bench_mem_median_ns(mem_report.as_ref(), name);
+        slime_json::obj([
+            ("name", Value::Str(name.into())),
+            (
+                "points",
+                Value::Arr(vec![
+                    slime_json::obj([("simd", Value::Bool(false)), ("timing", scalar.to_json())]),
+                    slime_json::obj([
+                        ("simd", Value::Bool(true)),
+                        ("timing", dispatched.to_json()),
+                    ]),
+                ]),
+            ),
+            ("speedup_vs_scalar", Value::Float(ratio(scalar, dispatched))),
+            (
+                "vs_bench_mem",
+                match prior {
+                    Some(prior_ns) => slime_json::obj([
+                        ("pool_on_median_ns", Value::Int(prior_ns)),
+                        (
+                            "speedup_vs_bench_mem",
+                            Value::Float(
+                                prior_ns as f64 / (dispatched.median.as_nanos() as f64).max(1.0),
+                            ),
+                        ),
+                    ]),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    };
+
+    let report = slime_json::obj([
+        ("bench", Value::Str("simd_sweep".into())),
+        (
+            "available_cores",
+            Value::Int(slime_par::available_threads() as i64),
+        ),
+        ("threads", Value::Int(1)),
+        (
+            "detected",
+            slime_json::obj([
+                ("avx2_fma", Value::Bool(simd::avx2_fma_detected())),
+                ("dispatched_backend", Value::Str(dispatched_backend.into())),
+            ]),
+        ),
+        (
+            "kernels",
+            Value::Arr(vec![
+                pair("matmul2d", &mm_s, &mm_d),
+                pair("matmul2d_ranking", &mmr_s, &mmr_d),
+                pair("softmax", &sm_s, &sm_d),
+                pair("gelu", &ge_s, &ge_d),
+                pair("adam_step", &ad_s, &ad_d),
+                pair("rfft_irfft_512", &fft_s, &fft_d),
+            ]),
+        ),
+        (
+            "end_to_end",
+            Value::Arr(vec![
+                end_to_end("train_step", &train_s, &train_d),
+                end_to_end("full_ranking_inference", &infer_s, &infer_d),
+            ]),
+        ),
+    ]);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simd.json");
+    std::fs::write(out, report.to_pretty() + "\n").expect("write BENCH_simd.json");
+    println!("wrote {out}");
+}

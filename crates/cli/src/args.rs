@@ -24,7 +24,7 @@ impl std::error::Error for ArgError {}
 
 /// Options that take no value token: presence alone means "true". Every
 /// other option still requires a value (`--data` alone stays an error).
-const BOOLEAN_FLAGS: &[&str] = &["no-pool", "profile"];
+const BOOLEAN_FLAGS: &[&str] = &["no-pool", "no-simd", "profile"];
 
 /// Whether `--name` is a boolean flag under `command`. `--profile` is the
 /// per-op profiler switch everywhere except `generate`, where it is the
@@ -167,6 +167,8 @@ mod tests {
         assert_eq!(a.get("data"), Some("d.json"));
         let b = Args::parse(&argv("train --data d.json")).unwrap();
         assert!(!b.flag("no-pool"));
+        let c = Args::parse(&argv("evaluate --no-simd --data d.json")).unwrap();
+        assert!(c.flag("no-simd"));
         // Duplicate flags are still rejected.
         assert!(Args::parse(&argv("train --no-pool --no-pool")).is_err());
     }

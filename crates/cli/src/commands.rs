@@ -43,17 +43,23 @@ pub fn usage() -> String {
      \x20            [--epochs 8] [--batch 128] [--lr 0.001] [--hidden 32]\n\
      \x20            [--max-len 20] [--layers 2] [--alpha 0.4] [--gamma 0.5]\n\
      \x20            [--lambda 0.1] [--temperature 0.2] [--seed 42] [--threads N]\n\
-     \x20            [--no-pool] [--trace <dir|auto>] [--trace-level L] [--profile]\n\
+     \x20            [--no-pool] [--no-simd] [--trace <dir|auto>] [--trace-level L]\n\
+     \x20            [--profile]\n\
      \x20 evaluate   --data <data.json> --model <model-dir> [--split test|valid]\n\
-     \x20            [--threads N] [--no-pool] [--trace <dir|auto>] [--profile]\n\
+     \x20            [--threads N] [--no-pool] [--no-simd] [--trace <dir|auto>]\n\
+     \x20            [--profile]\n\
      \x20 recommend  --data <data.json> --model <model-dir> --user <idx> [--k 10]\n\
-     \x20            [--exclude-history true] [--threads N] [--no-pool]\n\
+     \x20            [--exclude-history true] [--threads N] [--no-pool] [--no-simd]\n\
      \x20            [--trace <dir|auto>] [--profile]\n\
      \n\
      --threads N caps the slime-par worker pool (default: SLIME_THREADS env\n\
      var, else all cores). --no-pool disables the NdArray buffer pool\n\
      (equivalently SLIME_POOL=0). Both are pure throughput knobs: results\n\
-     are bitwise identical at any setting.\n\
+     are bitwise identical at any setting. --no-simd forces the portable\n\
+     scalar kernels even when AVX2+FMA is available (equivalently\n\
+     SLIME_SIMD=0); results are deterministic within each backend, but the\n\
+     two backends may differ in the last float bits (FMA contraction and\n\
+     vector-lane reduction order).\n\
      \n\
      --trace DIR writes a structured run record to DIR/trace.jsonl (one\n\
      JSON event per line: spans + events) and DIR/metrics.json (counters,\n\
@@ -67,8 +73,9 @@ pub fn usage() -> String {
 
 /// Apply the runtime knobs shared by train/evaluate/recommend: `--threads N`
 /// (mirrors `SLIME_THREADS`; the explicit flag wins), `--no-pool`
-/// (mirrors `SLIME_POOL=0`), and the observability knobs `--trace`,
-/// `--trace-level` (mirrors `SLIME_TRACE`), and `--profile`.
+/// (mirrors `SLIME_POOL=0`), `--no-simd` (mirrors `SLIME_SIMD=0`), and the
+/// observability knobs `--trace`, `--trace-level` (mirrors `SLIME_TRACE`),
+/// and `--profile`.
 fn apply_runtime(args: &Args) -> Result<(), ArgError> {
     if let Some(v) = args.get("threads") {
         let n: usize = v
@@ -81,6 +88,9 @@ fn apply_runtime(args: &Args) -> Result<(), ArgError> {
     }
     if args.flag("no-pool") {
         slime_tensor::pool::set_enabled(false);
+    }
+    if args.flag("no-simd") {
+        slime_tensor::simd::set_enabled(false);
     }
     if let Some(spec) = args.get("trace-level") {
         let level = slime_trace::parse_level(spec).ok_or_else(|| {
@@ -185,6 +195,7 @@ fn cmd_train(args: &Args) -> Result<Vec<String>, ArgError> {
         "seed",
         "threads",
         "no-pool",
+        "no-simd",
         "trace",
         "trace-level",
         "profile",
@@ -241,6 +252,7 @@ fn cmd_evaluate(args: &Args) -> Result<Vec<String>, ArgError> {
         "batch",
         "threads",
         "no-pool",
+        "no-simd",
         "trace",
         "trace-level",
         "profile",
@@ -275,6 +287,7 @@ fn cmd_recommend(args: &Args) -> Result<Vec<String>, ArgError> {
         "exclude-history",
         "threads",
         "no-pool",
+        "no-simd",
         "trace",
         "trace-level",
         "profile",
@@ -396,6 +409,22 @@ mod tests {
         assert!(parsed.field("gauges").unwrap().get("par.threads").is_some());
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn no_simd_flag_forces_scalar_backend() {
+        // apply_runtime runs before dataset IO, so the backend flips even
+        // though the command then fails on the missing file.
+        let was = slime_tensor::simd::enabled();
+        let err = run(&argv("evaluate --data missing.json --model m --no-simd")).unwrap_err();
+        assert!(err.0.contains("cannot read"));
+        assert_eq!(
+            slime_tensor::simd::backend(),
+            slime_tensor::simd::Backend::Scalar
+        );
+        // Restore whatever the environment resolved so the other tests in
+        // this binary are unaffected.
+        slime_tensor::simd::set_enabled(was);
     }
 
     #[test]

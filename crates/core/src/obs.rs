@@ -31,6 +31,13 @@ pub fn publish_runtime_gauges() {
     let plans = slime_fft::plan_cache_stats();
     gauge_set("fft.plan_hits", plans.hits as f64);
     gauge_set("fft.plan_misses", plans.misses as f64);
+
+    // 0 = scalar, 1 = avx2+fma (see `slime_tensor::simd::Backend::code`).
+    gauge_set("simd.backend", slime_tensor::simd::backend().code() as f64);
+    gauge_set(
+        "simd.avx2_fma_detected",
+        slime_tensor::simd::avx2_fma_detected() as u8 as f64,
+    );
 }
 
 #[cfg(test)]
@@ -54,6 +61,7 @@ mod tests {
             "par.threads",
             "par.chunks_executed",
             "fft.plan_hits",
+            "simd.backend",
         ] {
             assert!(snap.gauges.contains_key(key), "missing gauge {key}");
         }

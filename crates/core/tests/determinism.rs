@@ -1,5 +1,7 @@
 //! Runtime-knob determinism: training the full model is bitwise identical
-//! across thread counts (1 vs 4) and with the buffer pool on vs off.
+//! across thread counts (1 vs 4) and with the buffer pool on vs off — and
+//! that holds within each SIMD backend (scalar and, where detected,
+//! AVX2+FMA).
 //!
 //! This is the contract slime-par and the slime-tensor buffer pool sell:
 //! every parallel kernel either keeps floating-point accumulation inside one
@@ -9,6 +11,12 @@
 //! accumulation order — or any code path read recycled bytes — two epochs
 //! of SGD would amplify the differences into visibly different losses and
 //! weights.
+//!
+//! The SIMD dimension is deliberately *inside* the matrix, not across it:
+//! the two backends may differ from each other in the last float bits (FMA
+//! contraction, 8-lane tree reductions), but each backend is a pure
+//! function of the input values — so threads × pool sweeps must stay
+//! bitwise stable under both.
 
 use slime4rec::{run_slime, ContrastiveMode, SlimeConfig, TrainConfig};
 use slime_data::synthetic::{generate_with_core, SyntheticConfig};
@@ -33,9 +41,15 @@ fn tiny_ds() -> SeqDataset {
     generate_with_core(&cfg, 11, 0)
 }
 
-fn train_once(ds: &SeqDataset, threads: usize, pool_on: bool) -> (Vec<f32>, StateDict) {
+fn train_once(
+    ds: &SeqDataset,
+    threads: usize,
+    pool_on: bool,
+    simd_on: bool,
+) -> (Vec<f32>, StateDict) {
     slime_par::set_threads(threads);
     slime_tensor::pool::set_enabled(pool_on);
+    slime_tensor::simd::set_enabled(simd_on);
     let mut cfg = SlimeConfig::small(ds.num_items());
     cfg.hidden = 16;
     cfg.max_len = 10;
@@ -87,16 +101,24 @@ fn assert_bitwise_eq(
 #[test]
 fn training_is_bitwise_identical_across_threads_and_pool() {
     let ds = tiny_ds();
-    let baseline = train_once(&ds, 1, true);
-    for (threads, pool_on) in [(4, true), (1, false), (4, false)] {
-        let run = train_once(&ds, threads, pool_on);
-        assert_bitwise_eq(
-            &baseline,
-            &run,
-            &format!(
-                "1 thread/pool-on vs {threads} threads/pool-{}",
-                if pool_on { "on" } else { "off" }
-            ),
-        );
+    let was = slime_tensor::simd::enabled();
+    // Sweep the dispatched backend first (whatever SLIME_SIMD + the CPU
+    // probe resolve to when on), then force the scalar backend; both must
+    // be internally bitwise stable across threads × pool.
+    for simd_on in [true, false] {
+        let label = if simd_on { "simd-on" } else { "scalar" };
+        let baseline = train_once(&ds, 1, true, simd_on);
+        for (threads, pool_on) in [(4, true), (1, false), (4, false)] {
+            let run = train_once(&ds, threads, pool_on, simd_on);
+            assert_bitwise_eq(
+                &baseline,
+                &run,
+                &format!(
+                    "[{label}] 1 thread/pool-on vs {threads} threads/pool-{}",
+                    if pool_on { "on" } else { "off" }
+                ),
+            );
+        }
     }
+    slime_tensor::simd::set_enabled(was);
 }

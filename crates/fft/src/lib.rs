@@ -34,6 +34,7 @@ mod complex;
 mod dft;
 mod plan;
 mod real;
+pub mod simd;
 
 pub use complex::Complex32;
 pub use dft::{dft, idft};

@@ -117,17 +117,13 @@ impl FftPlan {
             } => {
                 let n = self.n;
                 let mut a = vec![Complex32::ZERO; *m];
-                for k in 0..n {
-                    a[k] = buf[k] * chirp[k];
-                }
+                a[..n].copy_from_slice(buf);
+                crate::simd::cmul_inplace(&mut a[..n], chirp);
                 inner.forward(&mut a);
-                for (ai, ki) in a.iter_mut().zip(kernel_fft.iter()) {
-                    *ai *= *ki;
-                }
+                crate::simd::cmul_inplace(&mut a, kernel_fft);
                 inner.inverse(&mut a);
-                for k in 0..n {
-                    buf[k] = a[k] * chirp[k];
-                }
+                buf.copy_from_slice(&a[..n]);
+                crate::simd::cmul_inplace(buf, chirp);
             }
         }
     }
@@ -181,11 +177,14 @@ fn stage_twiddles(n: usize) -> Vec<Complex32> {
 }
 
 /// Iterative in-place radix-2 Cooley-Tukey with precomputed tables.
-#[allow(clippy::needless_range_loop)] // index math mirrors the textbook butterfly
+///
+/// Each stage segment splits into disjoint lower/upper halves and runs
+/// through the dispatched butterfly kernel (`crate::simd::butterfly_pass`);
+/// the scalar backend reproduces the textbook loop operation for operation.
 fn radix2_inplace(buf: &mut [Complex32], rev: &[u32], twiddles: &[Complex32]) {
     let n = buf.len();
-    for i in 0..n {
-        let j = rev[i] as usize;
+    for (i, &r) in rev.iter().enumerate() {
+        let j = r as usize;
         if i < j {
             buf.swap(i, j);
         }
@@ -197,12 +196,8 @@ fn radix2_inplace(buf: &mut [Complex32], rev: &[u32], twiddles: &[Complex32]) {
         let tw = &twiddles[tw_offset..tw_offset + half];
         let mut start = 0;
         while start < n {
-            for j in 0..half {
-                let u = buf[start + j];
-                let v = buf[start + j + half] * tw[j];
-                buf[start + j] = u + v;
-                buf[start + j + half] = u - v;
-            }
+            let (u, v) = buf[start..start + step].split_at_mut(half);
+            crate::simd::butterfly_pass(u, v, tw);
             start += step;
         }
         tw_offset += half;

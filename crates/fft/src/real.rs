@@ -21,7 +21,8 @@ pub fn rfft(x: &[f32]) -> Vec<Complex32> {
     if n == 0 {
         return Vec::new();
     }
-    let mut buf: Vec<Complex32> = x.iter().map(|&v| Complex32::new(v, 0.0)).collect();
+    let mut buf = vec![Complex32::ZERO; n];
+    crate::simd::widen(x, &mut buf);
     with_cached_plan(n, |p| p.forward(&mut buf));
     buf.truncate(rfft_len(n));
     buf
@@ -56,7 +57,9 @@ pub fn irfft(spec: &[Complex32], n: usize) -> Vec<f32> {
         full[n - k] = v.conj();
     }
     with_cached_plan(n, |p| p.inverse(&mut full));
-    full.into_iter().map(|c| c.re).collect()
+    let mut out = vec![0f32; n];
+    crate::simd::extract_re(&full, &mut out);
+    out
 }
 
 #[cfg(test)]

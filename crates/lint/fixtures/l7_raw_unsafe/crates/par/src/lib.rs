@@ -1,0 +1,17 @@
+// Fixture: crates/par is a sanctioned unsafe home — nothing here may fire.
+
+pub struct UnsafeSlice<'a, T>(&'a [T]);
+
+unsafe impl<T: Send> Send for UnsafeSlice<'_, T> {}
+
+impl<T> UnsafeSlice<'_, T> {
+    /// # Safety
+    /// Caller guarantees no two threads touch index `i`.
+    pub unsafe fn write(&self, _i: usize, _value: T) {
+        unimplemented!("fixture only")
+    }
+}
+
+pub fn erase_lifetime(task: &dyn Fn(usize)) -> *const dyn Fn(usize) {
+    unsafe { std::mem::transmute(task) }
+}

@@ -1,0 +1,23 @@
+// Fixture: the UnsafeSlice disjoint-writer idiom is sanctioned anywhere —
+// hot loops scatter disjoint outputs through slime-par with it — but any
+// other unsafe outside the two homes must justify itself.
+
+use slime_par::UnsafeSlice;
+
+pub fn scatter_rows(w: &UnsafeSlice<f32>, lo: usize, hi: usize) {
+    // SAFETY: disjoint [lo, hi) ranges per chunk — the idiom, no finding.
+    let dst = unsafe { w.slice_mut(lo, hi - lo) };
+    dst.fill(0.0);
+}
+
+pub fn scatter_pair(wre: &UnsafeSlice<f32>, wim: &UnsafeSlice<f32>, i: usize) {
+    // SAFETY: disjoint slots per chunk — multi-statement idiom, no finding.
+    unsafe {
+        wre.write(i, 1.0);
+        wim.write(i, 2.0);
+    }
+}
+
+pub fn reinterpret(v: &[u8]) -> &[i8] {
+    unsafe { std::mem::transmute(v) }
+}

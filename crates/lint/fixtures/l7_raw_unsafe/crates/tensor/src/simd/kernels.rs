@@ -1,0 +1,13 @@
+// Fixture: crates/tensor/src/simd/ is the other sanctioned unsafe home —
+// raw `#[target_feature]` entry points here must not fire.
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn saxpy_impl(dst: &mut [f32], src: &[f32], a: f32) {
+    for (o, &v) in dst.iter_mut().zip(src) {
+        *o += a * v;
+    }
+}
+
+pub fn saxpy(dst: &mut [f32], src: &[f32], a: f32) {
+    unsafe { saxpy_impl(dst, src, a) }
+}

@@ -1,0 +1,38 @@
+// Fixture: three violations (raw deref block, unsafe impl, unsafe fn), two
+// tolerated allows (one per spelling), plus string/comment and test code
+// that must be ignored entirely.
+
+pub struct Handle(*mut f32);
+
+unsafe impl Send for Handle {}
+
+pub fn raw_deref(p: *const f32) -> f32 {
+    unsafe { *p }
+}
+
+pub unsafe fn caller_beware(p: *mut f32) {
+    *p = 0.0;
+}
+
+pub fn sanctioned() -> f32 {
+    // lint-allow(unsafe): vetted pointer read, fixture demonstration
+    unsafe { core::ptr::read(&1.0f32) }
+}
+
+pub fn sanctioned_by_issue_spelling() -> f32 {
+    // lint-allow(l7): same demonstration via the L7 spelling
+    unsafe { core::ptr::read(&2.0f32) }
+}
+
+// The string/comment forms must NOT fire: never write unsafe { } in app code.
+pub const DOC: &str = "confine unsafe to crates/par and the simd tree";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_unsafe() {
+        let x = 5u32;
+        let y = unsafe { core::ptr::read(&x) };
+        assert_eq!(y, 5);
+    }
+}

@@ -1,6 +1,6 @@
 //! slime-lint: a zero-dependency static-analysis pass for this workspace.
 //!
-//! Six rules, each calibrated against the real tree and enforced in CI
+//! Seven rules, each calibrated against the real tree and enforced in CI
 //! (`scripts/ci.sh`):
 //!
 //! - **offline-purity (L1)** — every dependency in every manifest must
@@ -23,6 +23,11 @@
 //!   lint tool, slime-trace itself, `src/bin/` binaries, benches, and
 //!   test code may print directly. `lint-allow(l6)` is accepted as an
 //!   alias for `lint-allow(raw-print)`.
+//! - **unsafe-confinement (L7)** — `unsafe` is confined to `crates/par`
+//!   and `crates/tensor/src/simd/`. Elsewhere only the UnsafeSlice
+//!   disjoint-writer idiom (blocks made solely of `.slice_mut(…)` /
+//!   `.write(…)` calls) passes without a justification; `lint-allow(l7)`
+//!   is accepted as an alias for `lint-allow(unsafe)`.
 //!
 //! Escape hatch: `// lint-allow(<rule>): <reason>` on the offending line,
 //! or on a standalone comment line directly above it. The reason is

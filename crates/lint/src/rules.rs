@@ -1,4 +1,4 @@
-//! The five lint rules. Each rule is a pure function from a discovered
+//! The lint rules. Each rule is a pure function from a discovered
 //! [`Workspace`] to a list of [`Finding`]s, so the fixture tests can point
 //! a rule at a miniature workspace tree and assert exactly what fires.
 
@@ -19,6 +19,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Finding> {
     out.extend(l4_shape_assert(ws));
     out.extend(l5_thread_discipline(ws));
     out.extend(l6_raw_print(ws));
+    out.extend(l7_unsafe_confinement(ws));
     out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     out
 }
@@ -519,6 +520,149 @@ pub fn l6_raw_print(ws: &Workspace) -> Vec<Finding> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// L7: unsafe confinement
+// ---------------------------------------------------------------------------
+
+/// `unsafe` is confined to its two sanctioned homes: `crates/par` (the
+/// deterministic thread pool — channeling shared-memory writes is its whole
+/// job) and `crates/tensor/src/simd/` (the runtime-dispatched vector
+/// kernels, where `#[target_feature]` entry points are inherently unsafe).
+/// Everywhere else an `unsafe` must be one of:
+///
+/// - the UnsafeSlice disjoint-writer idiom — a block whose statements are
+///   solely `<ident>.slice_mut(…)` / `<ident>.write(…)` calls, the
+///   sanctioned way hot loops scatter disjoint outputs through slime-par;
+/// - justified with `// lint-allow(unsafe): <why>` (or the `l7` spelling).
+///
+/// Test code is exempt.
+const UNSAFE_ALLOWED_PREFIXES: &[&str] = &["crates/par/", "crates/tensor/src/simd/"];
+
+pub fn l7_unsafe_confinement(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &ws.rs_files {
+        let rel = ws.rel(f);
+        if UNSAFE_ALLOWED_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+            continue;
+        }
+        let Some(src) = read_source(f) else { continue };
+        for idx in 0..src.lines.len() {
+            let l = &src.lines[idx];
+            if l.in_test {
+                continue;
+            }
+            let Some(pos) = word_pos(&l.code, "unsafe") else {
+                continue;
+            };
+            if src.allowed("unsafe", idx + 1) || src.allowed("l7", idx + 1) {
+                continue;
+            }
+            if unsafe_block_content(&src, idx, pos + "unsafe".len())
+                .is_some_and(|body| body.split(';').all(is_disjoint_writer_stmt))
+            {
+                continue;
+            }
+            out.push(Finding {
+                rule: "unsafe-confinement",
+                file: rel.clone(),
+                line: idx + 1,
+                message: "`unsafe` outside crates/par and crates/tensor/src/simd/; \
+                          route disjoint parallel writes through the UnsafeSlice \
+                          `slice_mut`/`write` idiom, move the kernel into the simd \
+                          module tree, or justify with `// lint-allow(unsafe): <why>`"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+/// Like [`word_in`], but returns the byte offset of the first whole-word
+/// occurrence.
+fn word_pos(haystack: &str, name: &str) -> Option<usize> {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(name) {
+        let start = from + pos;
+        let end = start + name.len();
+        let before_ok = start == 0 || !haystack[..start].chars().next_back().is_some_and(is_ident);
+        let after_ok = !haystack[end..].chars().next().is_some_and(is_ident);
+        if before_ok && after_ok {
+            return Some(start);
+        }
+        from = end;
+    }
+    None
+}
+
+/// If the `unsafe` keyword ending at `(line, col)` opens a block
+/// (`unsafe { … }`), return the block's interior text (joined across lines).
+/// `unsafe fn` / `unsafe impl` / trait forms return `None`.
+fn unsafe_block_content(src: &Source, line: usize, col: usize) -> Option<String> {
+    let mut content = String::new();
+    let mut depth = 0i64;
+    let mut opened = false;
+    let mut j = line;
+    let mut from = col;
+    while j < src.lines.len() {
+        for c in src.lines[j].code[from..].chars() {
+            if !opened {
+                match c {
+                    '{' => {
+                        opened = true;
+                        depth = 1;
+                    }
+                    c if c.is_whitespace() => {}
+                    _ => return None,
+                }
+            } else {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        content.push(c);
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some(content);
+                        }
+                        content.push(c);
+                    }
+                    _ => content.push(c),
+                }
+            }
+        }
+        content.push('\n');
+        j += 1;
+        from = 0;
+    }
+    None
+}
+
+/// One `;`-separated piece of an unsafe block: empty, or a bare
+/// `<ident>.slice_mut(…)` / `<ident>.write(…)` call (possibly bound with
+/// `let <pat> = …`). Anything else disqualifies the disjoint-writer idiom.
+fn is_disjoint_writer_stmt(stmt: &str) -> bool {
+    let mut s = stmt.trim();
+    if s.is_empty() {
+        return true;
+    }
+    if let Some(rest) = s.strip_prefix("let ") {
+        match rest.find('=') {
+            Some(eq) => s = rest[eq + 1..].trim_start(),
+            None => return false,
+        }
+    }
+    let ident_len = s
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(0);
+    if ident_len == 0 {
+        return false;
+    }
+    let rest = &s[ident_len..];
+    (rest.starts_with(".slice_mut(") || rest.starts_with(".write(")) && s.ends_with(')')
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -552,6 +696,36 @@ mod tests {
         assert_eq!(fns[0].line, 1);
         assert_eq!(fns[0].signature.matches("&Tensor").count(), 2);
         assert!(fns[0].body.contains("assert"));
+    }
+
+    #[test]
+    fn disjoint_writer_stmts_are_recognized() {
+        assert!(is_disjoint_writer_stmt(" w.slice_mut(lo, hi - lo) "));
+        assert!(is_disjoint_writer_stmt(
+            "wre.write((bi * m + k) * d + c, buf[k].re)"
+        ));
+        assert!(is_disjoint_writer_stmt("let o = w.slice_mut(i * n, n)"));
+        assert!(is_disjoint_writer_stmt(""));
+        assert!(!is_disjoint_writer_stmt("std::mem::transmute(x)"));
+        assert!(!is_disjoint_writer_stmt("*p"));
+        assert!(!is_disjoint_writer_stmt("let o = other(w)"));
+    }
+
+    #[test]
+    fn unsafe_block_extraction_spans_lines_and_rejects_items() {
+        let src = Source::scan("let o = unsafe { w.slice_mut(a, b) };\n");
+        let pos = word_pos(&src.lines[0].code, "unsafe").unwrap();
+        let body = unsafe_block_content(&src, 0, pos + "unsafe".len()).unwrap();
+        assert_eq!(body.trim(), "w.slice_mut(a, b)");
+
+        let src = Source::scan("unsafe {\n    a.write(i, x);\n    b.write(i, y);\n}\n");
+        let pos = word_pos(&src.lines[0].code, "unsafe").unwrap();
+        let body = unsafe_block_content(&src, 0, pos + "unsafe".len()).unwrap();
+        assert!(body.split(';').all(is_disjoint_writer_stmt));
+
+        let src = Source::scan("unsafe fn f() {}\n");
+        let pos = word_pos(&src.lines[0].code, "unsafe").unwrap();
+        assert!(unsafe_block_content(&src, 0, pos + "unsafe".len()).is_none());
     }
 
     #[test]

@@ -98,6 +98,34 @@ fn l6_fires_on_raw_prints_outside_cli_and_lint() {
 }
 
 #[test]
+fn l7_fires_on_raw_unsafe_outside_sanctioned_homes() {
+    let ws = fixture("l7_raw_unsafe");
+    let findings = rules::l7_unsafe_confinement(&ws);
+    let msgs: Vec<String> = findings.iter().map(|f| f.render()).collect();
+    // The raw-deref block, the `unsafe impl Send`, the `unsafe fn`, and the
+    // transmute fire; the two lint-allow'd sites (one per rule spelling),
+    // both UnsafeSlice disjoint-writer idiom sites, the string, the comment,
+    // the #[cfg(test)] unsafe, and everything in crates/par and
+    // crates/tensor/src/simd/ do not.
+    assert_eq!(findings.len(), 4, "got: {msgs:?}");
+    assert_eq!(
+        msgs.iter()
+            .filter(|m| m.contains("crates/worker/src/lib.rs"))
+            .count(),
+        3,
+        "got: {msgs:?}"
+    );
+    assert_eq!(
+        msgs.iter()
+            .filter(|m| m.contains("crates/tensor/src/ops.rs"))
+            .count(),
+        1,
+        "got: {msgs:?}"
+    );
+    assert!(msgs.iter().all(|m| m.contains("UnsafeSlice")));
+}
+
+#[test]
 fn real_workspace_is_clean() {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
     let ws = Workspace::discover(&root).expect("real workspace discovers");

@@ -29,6 +29,7 @@ pub mod ops;
 pub mod optim;
 pub mod pool;
 pub mod serialize;
+pub mod simd;
 mod tensor;
 
 pub use ndarray::{contiguous_strides, numel, NdArray};

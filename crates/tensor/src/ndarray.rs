@@ -223,9 +223,7 @@ impl NdArray {
     pub fn add_scaled_assign(&mut self, other: &NdArray, scale: f32) {
         assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
         let dst = self.data_mut();
-        for (d, s) in dst.iter_mut().zip(other.data.iter()) {
-            *d += s * scale;
-        }
+        (crate::simd::kernels().saxpy)(dst, &other.data, scale);
     }
 
     /// Broadcast shape of two operands under NumPy rules.
@@ -619,7 +617,9 @@ fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: u
 
 /// Multiply a block of rows (`rows x k` times `k x n`) into `out`
 /// (row-major, zeroed, `rows * n` long). Four-row register blocking shares
-/// each loaded `b` row across four accumulator rows.
+/// each loaded `b` row across four accumulator rows; the whole `k` loop is
+/// one fused `matmul4` kernel call so the vector backend can keep the output
+/// tile in registers.
 pub(crate) fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
     // Degenerate shapes must be handled by the caller's early-out: a zero
     // `n` here would silently compute 0 rows out of a non-empty `out`.
@@ -627,6 +627,7 @@ pub(crate) fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: us
     debug_assert_eq!(out.len() % n, 0, "matmul_rows: out not a whole row count");
     debug_assert_eq!(a.len(), (out.len() / n) * k, "matmul_rows: a/out mismatch");
     let rows = out.len() / n;
+    let kn = crate::simd::kernels();
     let mut r = 0usize;
     while r + 4 <= rows {
         let (o0, rest) = out[r * n..(r + 4) * n].split_at_mut(n);
@@ -636,17 +637,7 @@ pub(crate) fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: us
         let a1 = &a[(r + 1) * k..(r + 2) * k];
         let a2 = &a[(r + 2) * k..(r + 3) * k];
         let a3 = &a[(r + 3) * k..(r + 4) * k];
-        for kk in 0..k {
-            let b_row = &b[kk * n..(kk + 1) * n];
-            let (v0, v1, v2, v3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
-            for j in 0..n {
-                let bv = b_row[j];
-                o0[j] += v0 * bv;
-                o1[j] += v1 * bv;
-                o2[j] += v2 * bv;
-                o3[j] += v3 * bv;
-            }
-        }
+        (kn.matmul4)(o0, o1, o2, o3, a0, a1, a2, a3, b, n);
         r += 4;
     }
     while r < rows {
@@ -654,9 +645,7 @@ pub(crate) fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: us
         let o_row = &mut out[r * n..(r + 1) * n];
         for (kk, &av) in a_row.iter().enumerate() {
             let b_row = &b[kk * n..(kk + 1) * n];
-            for (o, &bv) in o_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
+            (kn.saxpy)(o_row, b_row, av);
         }
         r += 1;
     }
@@ -729,6 +718,7 @@ fn matmul_nt_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
             }
         }
         let tile = &pack[..k * jt];
+        let kn = crate::simd::kernels();
         let mut r = 0usize;
         while r + 4 <= rows {
             let block = &mut out[r * n..(r + 4) * n];
@@ -743,16 +733,7 @@ fn matmul_nt_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
             let a1 = &a[(r + 1) * k..(r + 2) * k];
             let a2 = &a[(r + 2) * k..(r + 3) * k];
             let a3 = &a[(r + 3) * k..(r + 4) * k];
-            for kk in 0..k {
-                let t_row = &tile[kk * jt..(kk + 1) * jt];
-                let (v0, v1, v2, v3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
-                for (j, &bv) in t_row.iter().enumerate() {
-                    o0[j] += v0 * bv;
-                    o1[j] += v1 * bv;
-                    o2[j] += v2 * bv;
-                    o3[j] += v3 * bv;
-                }
-            }
+            (kn.matmul4)(o0, o1, o2, o3, a0, a1, a2, a3, tile, jt);
             r += 4;
         }
         while r < rows {
@@ -760,10 +741,7 @@ fn matmul_nt_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
             let o_row = &mut out[r * n + j0..r * n + j0 + jt];
             for kk in 0..k {
                 let t_row = &tile[kk * jt..(kk + 1) * jt];
-                let av = a_row[kk];
-                for (o, &bv) in o_row.iter_mut().zip(t_row) {
-                    *o += av * bv;
-                }
+                (kn.saxpy)(o_row, t_row, a_row[kk]);
             }
             r += 1;
         }
@@ -810,6 +788,11 @@ pub(crate) fn matmul_tn_rows(
     debug_assert_eq!(b.len(), k * n, "matmul_tn_rows: b is not [k, n]");
     let rows = out.len() / n;
     debug_assert!(r0 + rows <= m, "matmul_tn_rows: row range exceeds m");
+    let kn = crate::simd::kernels();
+    // The four coefficient columns of `a` are strided by `m`; gather them
+    // once per block (O(4k), amortized over the block's k*n multiply-adds)
+    // so the fused kernel sees contiguous coefficient rows.
+    let mut cols = crate::pool::take_filled(4 * k, 0.0);
     let mut r = 0usize;
     while r + 4 <= rows {
         let (o0, rest) = out[r * n..(r + 4) * n].split_at_mut(n);
@@ -817,28 +800,25 @@ pub(crate) fn matmul_tn_rows(
         let (o2, o3) = rest.split_at_mut(n);
         let col = r0 + r;
         for kk in 0..k {
-            let b_row = &b[kk * n..(kk + 1) * n];
-            let a_row = &a[kk * m..(kk + 1) * m];
-            let (v0, v1, v2, v3) = (a_row[col], a_row[col + 1], a_row[col + 2], a_row[col + 3]);
-            for j in 0..n {
-                let bv = b_row[j];
-                o0[j] += v0 * bv;
-                o1[j] += v1 * bv;
-                o2[j] += v2 * bv;
-                o3[j] += v3 * bv;
-            }
+            let quad = &a[kk * m + col..kk * m + col + 4];
+            cols[kk] = quad[0];
+            cols[k + kk] = quad[1];
+            cols[2 * k + kk] = quad[2];
+            cols[3 * k + kk] = quad[3];
         }
+        let (c0, rest) = cols.split_at(k);
+        let (c1, rest) = rest.split_at(k);
+        let (c2, c3) = rest.split_at(k);
+        (kn.matmul4)(o0, o1, o2, o3, c0, c1, c2, c3, b, n);
         r += 4;
     }
+    crate::pool::recycle(cols);
     while r < rows {
         let col = r0 + r;
         let o_row = &mut out[r * n..(r + 1) * n];
         for kk in 0..k {
-            let av = a[kk * m + col];
             let b_row = &b[kk * n..(kk + 1) * n];
-            for (o, &bv) in o_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
+            (kn.saxpy)(o_row, b_row, a[kk * m + col]);
         }
         r += 1;
     }

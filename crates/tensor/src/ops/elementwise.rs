@@ -5,10 +5,38 @@ use super::{assert_broadcastable, unary};
 use crate::ndarray::NdArray;
 use crate::tensor::{Op, Tensor};
 
+/// Same-shape binary fast path through the SIMD dispatch table; mismatched
+/// shapes fall back to the general broadcasting walk. The scalar backend's
+/// kernels compute the identical per-element expressions, so routing through
+/// the table never changes values.
+fn binary_dispatch(
+    a: &NdArray,
+    b: &NdArray,
+    kernel: fn(&[f32], &[f32], &mut [f32]),
+    fallback: impl Fn(f32, f32) -> f32,
+) -> NdArray {
+    if a.shape() == b.shape() {
+        let mut out = crate::pool::take_filled(a.len(), 0.0);
+        kernel(a.data(), b.data(), &mut out);
+        NdArray::from_vec(a.shape().to_vec(), out)
+    } else {
+        a.broadcast_zip(b, fallback)
+    }
+}
+
+/// `src * c` through the dispatch table.
+fn scale_arr(a: &NdArray, c: f32) -> NdArray {
+    let mut out = crate::pool::take_filled(a.len(), 0.0);
+    (crate::simd::kernels().scale)(a.data(), c, &mut out);
+    NdArray::from_vec(a.shape().to_vec(), out)
+}
+
 /// `a + b` with broadcasting.
 pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
     assert_broadcastable(&a.shape(), &b.shape(), "add");
-    let out = a.data().broadcast_zip(&b.data(), |x, y| x + y);
+    let out = binary_dispatch(&a.data(), &b.data(), crate::simd::kernels().add, |x, y| {
+        x + y
+    });
     Tensor::from_op(
         out,
         vec![a.clone(), b.clone()],
@@ -23,7 +51,9 @@ pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
 /// `a - b` with broadcasting.
 pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
     assert_broadcastable(&a.shape(), &b.shape(), "sub");
-    let out = a.data().broadcast_zip(&b.data(), |x, y| x - y);
+    let out = binary_dispatch(&a.data(), &b.data(), crate::simd::kernels().sub, |x, y| {
+        x - y
+    });
     Tensor::from_op(
         out,
         vec![a.clone(), b.clone()],
@@ -59,7 +89,9 @@ impl Op for AddOp {
 /// `a * b` elementwise with broadcasting.
 pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_broadcastable(&a.shape(), &b.shape(), "mul");
-    let out = a.data().broadcast_zip(&b.data(), |x, y| x * y);
+    let out = binary_dispatch(&a.data(), &b.data(), crate::simd::kernels().mul, |x, y| {
+        x * y
+    });
     Tensor::from_op(
         out,
         vec![a.clone(), b.clone()],
@@ -77,12 +109,11 @@ struct MulOp {
 
 impl Op for MulOp {
     fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
-        let ga = grad
-            .broadcast_zip(&self.b, |g, b| g * b)
-            .reduce_to_shape(self.a.shape());
-        let gb = grad
-            .broadcast_zip(&self.a, |g, a| g * a)
-            .reduce_to_shape(self.b.shape());
+        let k = crate::simd::kernels();
+        let ga =
+            binary_dispatch(grad, &self.b, k.mul, |g, b| g * b).reduce_to_shape(self.a.shape());
+        let gb =
+            binary_dispatch(grad, &self.a, k.mul, |g, a| g * a).reduce_to_shape(self.b.shape());
         vec![Some(ga), Some(gb)]
     }
     fn name(&self) -> &'static str {
@@ -97,10 +128,9 @@ pub fn neg(a: &Tensor) -> Tensor {
 
 /// `c * a` for a constant scalar `c`.
 pub fn scale(a: &Tensor, c: f32) -> Tensor {
-    let out = a.data().map(|v| v * c);
+    let out = scale_arr(&a.data(), c);
     unary("scale", a, out, NdArray::scalar(c), |g, saved| {
-        let c = saved.scalar_value();
-        g.map(|v| v * c)
+        scale_arr(g, saved.scalar_value())
     })
 }
 
@@ -153,54 +183,19 @@ pub fn relu(a: &Tensor) -> Tensor {
 }
 
 /// GELU activation (tanh approximation, as used by BERT/the paper's FFN,
-/// Eq. 29).
+/// Eq. 29). The branch-free `fast_tanh` inner loop lives in
+/// `crate::simd::scalar`, with an 8-wide FMA variant dispatched at runtime;
+/// both forward and backward route through the table.
 pub fn gelu(a: &Tensor) -> Tensor {
-    let out = a.data().map(gelu_scalar);
+    let data = a.data();
+    let mut out = crate::pool::take_filled(data.len(), 0.0);
+    (crate::simd::kernels().gelu_fwd)(data.data(), &mut out);
+    let out = NdArray::from_vec(data.shape().to_vec(), out);
     unary("gelu", a, out, a.value(), |g, x| {
-        g.zip_map(x, |g, x| g * gelu_grad_scalar(x))
+        let mut dx = crate::pool::take_filled(g.len(), 0.0);
+        (crate::simd::kernels().gelu_bwd)(x.data(), g.data(), &mut dx);
+        NdArray::from_vec(g.shape().to_vec(), dx)
     })
-}
-
-const SQRT_2_OVER_PI: f32 = 0.797_884_6;
-const GELU_C: f32 = 0.044_715;
-
-/// Branch-free rational `tanh` for the GELU hot loop.
-///
-/// libm's `tanhf` is an accurate but scalar, branchy routine; called once
-/// per element of a `[batch * len, 4 * hidden]` activation it dominates the
-/// FFN's runtime. This is the classic odd-polynomial-over-even-polynomial
-/// fit on the clamped range `[-9, 9]` (the same shape Eigen and XLA use):
-/// straight-line mul/add/div that the compiler vectorizes, with absolute
-/// error below `1e-6` — far inside the tanh-GELU approximation error.
-/// Only `gelu` routes through it; the public `tanh` op keeps libm.
-fn fast_tanh(x: f32) -> f32 {
-    const A1: f32 = 4.893_525e-3;
-    const A3: f32 = 6.372_619e-4;
-    const A5: f32 = 1.485_722_4e-5;
-    const A7: f32 = 5.122_297e-8;
-    const A9: f32 = -8.604_672e-11;
-    const A11: f32 = 2.000_188e-13;
-    const A13: f32 = -2.760_768_5e-16;
-    const B0: f32 = 4.893_525e-3;
-    const B2: f32 = 2.268_434_6e-3;
-    const B4: f32 = 1.185_347e-4;
-    const B6: f32 = 1.198_258_4e-6;
-    let x = x.clamp(-9.0, 9.0);
-    let x2 = x * x;
-    let p = x * (A1 + x2 * (A3 + x2 * (A5 + x2 * (A7 + x2 * (A9 + x2 * (A11 + x2 * A13))))));
-    let q = B0 + x2 * (B2 + x2 * (B4 + x2 * B6));
-    p / q
-}
-
-fn gelu_scalar(x: f32) -> f32 {
-    0.5 * x * (1.0 + fast_tanh(SQRT_2_OVER_PI * (x + GELU_C * x * x * x)))
-}
-
-fn gelu_grad_scalar(x: f32) -> f32 {
-    let u = SQRT_2_OVER_PI * (x + GELU_C * x * x * x);
-    let t = fast_tanh(u);
-    let du = SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_C * x * x);
-    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
 }
 
 /// Numerically-stable `softplus(a) = ln(1 + e^a)`.
@@ -224,6 +219,7 @@ fn softplus_scalar(x: f32) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::simd::scalar::fast_tanh;
 
     fn t(shape: &[usize], data: &[f32]) -> Tensor {
         Tensor::param(NdArray::from_vec(shape.to_vec(), data.to_vec()))

@@ -25,17 +25,21 @@ pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor
     let mut out = crate::pool::take_filled(x.len(), 0.0);
     let mut xhat = crate::pool::take_filled(x.len(), 0.0);
     let mut inv_std = crate::pool::take_filled(rows, 0.0);
+    let k = crate::simd::kernels();
     for r in 0..rows {
         let row = &src[r * d..(r + 1) * d];
-        let mean = row.iter().sum::<f32>() / d as f32;
-        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let (mean, var) = (k.mean_var)(row);
         let istd = 1.0 / (var + eps).sqrt();
         inv_std[r] = istd;
-        for j in 0..d {
-            let xh = (row[j] - mean) * istd;
-            xhat[r * d + j] = xh;
-            out[r * d + j] = xh * gw[j] + bw[j];
-        }
+        (k.layernorm_affine)(
+            row,
+            mean,
+            istd,
+            gw,
+            bw,
+            &mut xhat[r * d..(r + 1) * d],
+            &mut out[r * d..(r + 1) * d],
+        );
     }
     drop(data);
     drop(gdata);
@@ -109,14 +113,13 @@ pub fn l2_normalize(x: &Tensor, eps: f32) -> Tensor {
     let src = data.data();
     let mut out = crate::pool::take_filled(x.len(), 0.0);
     let mut inv_norm = crate::pool::take_filled(rows, 0.0);
+    let k = crate::simd::kernels();
     for r in 0..rows {
         let row = &src[r * d..(r + 1) * d];
-        let norm = row.iter().map(|&v| v * v).sum::<f32>().sqrt().max(eps);
+        let norm = (k.dot)(row, row).sqrt().max(eps);
         let inv = 1.0 / norm;
         inv_norm[r] = inv;
-        for j in 0..d {
-            out[r * d + j] = row[j] * inv;
-        }
+        (k.scale)(row, inv, &mut out[r * d..(r + 1) * d]);
     }
     drop(data);
     let out = NdArray::from_vec(shape, out);
@@ -142,9 +145,10 @@ impl Op for L2NormalizeOp {
         let y = self.y.data();
         let g = grad.data();
         let mut dx = crate::pool::take_filled(self.y.len(), 0.0);
+        let k = crate::simd::kernels();
         for r in 0..rows {
             let base = r * d;
-            let dot: f32 = (0..d).map(|j| y[base + j] * g[base + j]).sum();
+            let dot = (k.dot)(&y[base..base + d], &g[base..base + d]);
             let inv = self.inv_norm[r];
             for j in 0..d {
                 dx[base + j] = (g[base + j] - y[base + j] * dot) * inv;

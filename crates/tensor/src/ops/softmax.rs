@@ -18,20 +18,13 @@ pub(crate) fn softmax_forward(x: &NdArray) -> NdArray {
     let rows = x.len() / d.max(1);
     let src = x.data();
     let mut out = crate::pool::take_filled(x.len(), 0.0);
+    let k = crate::simd::kernels();
     for r in 0..rows {
         let row = &src[r * d..(r + 1) * d];
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0f32;
         let dst = &mut out[r * d..(r + 1) * d];
-        for (o, &v) in dst.iter_mut().zip(row) {
-            let e = (v - max).exp();
-            *o = e;
-            sum += e;
-        }
-        let inv = 1.0 / sum;
-        for o in dst.iter_mut() {
-            *o *= inv;
-        }
+        let max = (k.row_max)(row);
+        let sum = (k.exp_shift_sum)(row, max, dst);
+        (k.scale_inplace)(dst, 1.0 / sum);
     }
     NdArray::from_vec(shape, out)
 }
@@ -49,13 +42,12 @@ impl Op for SoftmaxOp {
         let y = self.y.data();
         let g = grad.data();
         let mut out = crate::pool::take_filled(self.y.len(), 0.0);
+        let k = crate::simd::kernels();
         for r in 0..rows {
             let yr = &y[r * d..(r + 1) * d];
             let gr = &g[r * d..(r + 1) * d];
-            let dot: f32 = yr.iter().zip(gr).map(|(&a, &b)| a * b).sum();
-            for ((o, &yv), &gv) in out[r * d..(r + 1) * d].iter_mut().zip(yr).zip(gr) {
-                *o = yv * (gv - dot);
-            }
+            let dot = (k.dot)(yr, gr);
+            (k.softmax_bwd_row)(yr, gr, dot, &mut out[r * d..(r + 1) * d]);
         }
         vec![Some(NdArray::from_vec(self.y.shape().to_vec(), out))]
     }
@@ -74,13 +66,15 @@ pub fn log_softmax(x: &Tensor) -> Tensor {
     let data = x.data();
     let src = data.data();
     let mut out = crate::pool::take_filled(x.len(), 0.0);
+    let k = crate::simd::kernels();
     for r in 0..rows {
         let row = &src[r * d..(r + 1) * d];
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let lse = max + row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln();
-        for (o, &v) in out[r * d..(r + 1) * d].iter_mut().zip(row) {
-            *o = v - lse;
-        }
+        let dst = &mut out[r * d..(r + 1) * d];
+        let max = (k.row_max)(row);
+        // The exponentials land in `dst` as scratch and are overwritten by
+        // the shift below; only their sum feeds the result.
+        let lse = max + (k.exp_shift_sum)(row, max, dst).ln();
+        (k.sub_scalar)(row, lse, dst);
     }
     drop(data);
     let out = NdArray::from_vec(shape, out);

@@ -157,26 +157,34 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self) {
         self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        // One fused pass per parameter through the dispatched kernel: the
+        // moment EMAs update in place (no per-step m_hat/v_hat allocations)
+        // and the scalar backend performs the exact per-element operation
+        // sequence of the historical zip_map/map chain.
+        let c = crate::simd::AdamCoeffs {
+            b1: self.beta1,
+            b2: self.beta2,
+            bc1: 1.0 - self.beta1.powi(self.t as i32),
+            bc2: 1.0 - self.beta2.powi(self.t as i32),
+            lr: self.lr,
+            eps: self.eps,
+            wd: self.weight_decay,
+        };
+        let k = crate::simd::kernels();
         for p in &self.params {
             let Some(grad) = p.grad() else { continue };
             let st = self.state.entry(p.id()).or_insert_with(|| AdamState {
                 m: NdArray::zeros(p.shape()),
                 v: NdArray::zeros(p.shape()),
             });
-            let (b1, b2, eps, lr, wd) =
-                (self.beta1, self.beta2, self.eps, self.lr, self.weight_decay);
-            st.m = st.m.zip_map(&grad, |m, g| b1 * m + (1.0 - b1) * g);
-            st.v = st.v.zip_map(&grad, |v, g| b2 * v + (1.0 - b2) * g * g);
-            let m_hat = st.m.map(|m| m / bc1);
-            let v_hat = st.v.map(|v| v / bc2);
             p.with_data_mut(|d| {
-                let dst = d.data_mut();
-                for ((x, m), v) in dst.iter_mut().zip(m_hat.data()).zip(v_hat.data()) {
-                    let decayed = if wd > 0.0 { *x * wd } else { 0.0 };
-                    *x -= lr * (m / (v.sqrt() + eps) + decayed);
-                }
+                (k.adam_update)(
+                    d.data_mut(),
+                    st.m.data_mut(),
+                    st.v.data_mut(),
+                    grad.data(),
+                    &c,
+                )
             });
         }
     }

@@ -1,0 +1,237 @@
+//! Portable scalar kernels — the reference backend.
+//!
+//! Every function here reproduces the pre-SIMD loop body operation for
+//! operation (same expression shapes, same accumulation order), so routing
+//! the hot paths through this module under `SLIME_SIMD=0` is bitwise
+//! identical to the historical code. The AVX2 backend in [`super::avx2`] is
+//! parity-tested against these functions.
+
+use super::AdamCoeffs;
+
+/// `dst[j] += a * src[j]` — the matmul single-row remainder and
+/// `add_scaled_assign` loop.
+pub fn saxpy(dst: &mut [f32], src: &[f32], a: f32) {
+    for (o, &bv) in dst.iter_mut().zip(src) {
+        *o += a * bv;
+    }
+}
+
+/// Four-row fused saxpy: the register-blocked matmul inner loop. Each loaded
+/// `b` element feeds four accumulator rows.
+#[allow(clippy::too_many_arguments)] // mirrors the 4-row register block
+pub fn saxpy4(
+    o0: &mut [f32],
+    o1: &mut [f32],
+    o2: &mut [f32],
+    o3: &mut [f32],
+    b: &[f32],
+    v0: f32,
+    v1: f32,
+    v2: f32,
+    v3: f32,
+) {
+    for (j, &bv) in b.iter().enumerate() {
+        o0[j] += v0 * bv;
+        o1[j] += v1 * bv;
+        o2[j] += v2 * bv;
+        o3[j] += v3 * bv;
+    }
+}
+
+/// Four-row matmul block over the whole `k` loop: for each `kk` in order,
+/// `o_r[j] += a_r[kk] * b[kk * n + j]`. Exactly `k` [`saxpy4`] calls fused —
+/// per output element the accumulation is a single k-ascending chain, so
+/// this is bitwise identical to the unfused loop it replaces.
+#[allow(clippy::too_many_arguments)] // mirrors the 4-row x k-loop block
+pub fn matmul4(
+    o0: &mut [f32],
+    o1: &mut [f32],
+    o2: &mut [f32],
+    o3: &mut [f32],
+    a0: &[f32],
+    a1: &[f32],
+    a2: &[f32],
+    a3: &[f32],
+    b: &[f32],
+    n: usize,
+) {
+    for kk in 0..a0.len() {
+        let b_row = &b[kk * n..(kk + 1) * n];
+        saxpy4(o0, o1, o2, o3, b_row, a0[kk], a1[kk], a2[kk], a3[kk]);
+    }
+}
+
+/// `out[j] = a[j] + b[j]`.
+pub fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x + y;
+    }
+}
+
+/// `out[j] = a[j] - b[j]`.
+pub fn sub(a: &[f32], b: &[f32], out: &mut [f32]) {
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x - y;
+    }
+}
+
+/// `out[j] = a[j] * b[j]`.
+pub fn mul(a: &[f32], b: &[f32], out: &mut [f32]) {
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x * y;
+    }
+}
+
+/// `out[j] = src[j] * c`.
+pub fn scale(src: &[f32], c: f32, out: &mut [f32]) {
+    for (o, &v) in out.iter_mut().zip(src) {
+        *o = v * c;
+    }
+}
+
+/// `dst[j] *= c` — the softmax normalize loop.
+pub fn scale_inplace(dst: &mut [f32], c: f32) {
+    for o in dst.iter_mut() {
+        *o *= c;
+    }
+}
+
+/// `out[j] = src[j] - c` — the log-softmax shift loop.
+pub fn sub_scalar(src: &[f32], c: f32, out: &mut [f32]) {
+    for (o, &v) in out.iter_mut().zip(src) {
+        *o = v - c;
+    }
+}
+
+pub(crate) const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+pub(crate) const GELU_C: f32 = 0.044_715;
+
+/// Branch-free rational `tanh` for the GELU hot loop.
+///
+/// libm's `tanhf` is an accurate but scalar, branchy routine; called once
+/// per element of a `[batch * len, 4 * hidden]` activation it dominates the
+/// FFN's runtime. This is the classic odd-polynomial-over-even-polynomial
+/// fit on the clamped range `[-9, 9]` (the same shape Eigen and XLA use):
+/// straight-line mul/add/div that vectorizes, with absolute error below
+/// `1e-6` — far inside the tanh-GELU approximation error (the bound is
+/// pinned by `fast_tanh_abs_error_bound` in `tests/simd_parity.rs`). Only
+/// `gelu` routes through it; the public `tanh` op keeps libm.
+pub fn fast_tanh(x: f32) -> f32 {
+    const A1: f32 = 4.893_525e-3;
+    const A3: f32 = 6.372_619e-4;
+    const A5: f32 = 1.485_722_4e-5;
+    const A7: f32 = 5.122_297e-8;
+    const A9: f32 = -8.604_672e-11;
+    const A11: f32 = 2.000_188e-13;
+    const A13: f32 = -2.760_768_5e-16;
+    const B0: f32 = 4.893_525e-3;
+    const B2: f32 = 2.268_434_6e-3;
+    const B4: f32 = 1.185_347e-4;
+    const B6: f32 = 1.198_258_4e-6;
+    let x = x.clamp(-9.0, 9.0);
+    let x2 = x * x;
+    let p = x * (A1 + x2 * (A3 + x2 * (A5 + x2 * (A7 + x2 * (A9 + x2 * (A11 + x2 * A13))))));
+    let q = B0 + x2 * (B2 + x2 * (B4 + x2 * B6));
+    p / q
+}
+
+/// GELU (tanh approximation, BERT / paper Eq. 29) of one element.
+pub fn gelu_scalar(x: f32) -> f32 {
+    0.5 * x * (1.0 + fast_tanh(SQRT_2_OVER_PI * (x + GELU_C * x * x * x)))
+}
+
+/// Derivative of [`gelu_scalar`].
+pub fn gelu_grad_scalar(x: f32) -> f32 {
+    let u = SQRT_2_OVER_PI * (x + GELU_C * x * x * x);
+    let t = fast_tanh(u);
+    let du = SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_C * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+/// `out[j] = gelu(src[j])`.
+pub fn gelu_fwd(src: &[f32], out: &mut [f32]) {
+    for (o, &v) in out.iter_mut().zip(src) {
+        *o = gelu_scalar(v);
+    }
+}
+
+/// `out[j] = g[j] * gelu'(x[j])` — the GELU backward pass.
+pub fn gelu_bwd(x: &[f32], g: &[f32], out: &mut [f32]) {
+    for ((o, &xv), &gv) in out.iter_mut().zip(x).zip(g) {
+        *o = gv * gelu_grad_scalar(xv);
+    }
+}
+
+/// Row maximum (softmax shift).
+pub fn row_max(row: &[f32]) -> f32 {
+    row.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+}
+
+/// `out[j] = exp(row[j] - max)`, returning the sum of the exponentials —
+/// the softmax accumulation loop.
+pub fn exp_shift_sum(row: &[f32], max: f32, out: &mut [f32]) -> f32 {
+    let mut sum = 0.0f32;
+    for (o, &v) in out.iter_mut().zip(row) {
+        let e = (v - max).exp();
+        *o = e;
+        sum += e;
+    }
+    sum
+}
+
+/// Sequential dot product (softmax backward, l2-normalize norms).
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// `out[j] = y[j] * (g[j] - dot)` — the softmax backward row update.
+pub fn softmax_bwd_row(y: &[f32], g: &[f32], dot: f32, out: &mut [f32]) {
+    for ((o, &yv), &gv) in out.iter_mut().zip(y).zip(g) {
+        *o = yv * (gv - dot);
+    }
+}
+
+/// Per-row mean and (biased) variance — the layer-norm reductions.
+pub fn mean_var(row: &[f32]) -> (f32, f32) {
+    let d = row.len() as f32;
+    let mean = row.iter().sum::<f32>() / d;
+    let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d;
+    (mean, var)
+}
+
+/// The layer-norm normalize + affine loop: `xhat[j] = (row[j] - mean) *
+/// istd; out[j] = xhat[j] * gw[j] + bw[j]`.
+#[allow(clippy::too_many_arguments)] // the layer-norm row contract
+pub fn layernorm_affine(
+    row: &[f32],
+    mean: f32,
+    istd: f32,
+    gw: &[f32],
+    bw: &[f32],
+    xhat: &mut [f32],
+    out: &mut [f32],
+) {
+    for j in 0..row.len() {
+        let xh = (row[j] - mean) * istd;
+        xhat[j] = xh;
+        out[j] = xh * gw[j] + bw[j];
+    }
+}
+
+/// Fused Adam update for one parameter buffer. Per element this performs
+/// exactly the operation sequence of the historical `zip_map`/`map` chain
+/// (`m`/`v` EMA, bias correction, `x -= lr * (m_hat / (sqrt(v_hat) + eps) +
+/// wd * x)`), so the scalar backend is bitwise identical to pre-SIMD Adam.
+pub fn adam_update(x: &mut [f32], m: &mut [f32], v: &mut [f32], g: &[f32], c: &AdamCoeffs) {
+    for i in 0..x.len() {
+        let gv = g[i];
+        let m2 = c.b1 * m[i] + (1.0 - c.b1) * gv;
+        let v2 = c.b2 * v[i] + (1.0 - c.b2) * gv * gv;
+        m[i] = m2;
+        v[i] = v2;
+        let mh = m2 / c.bc1;
+        let vh = v2 / c.bc2;
+        let decayed = if c.wd > 0.0 { x[i] * c.wd } else { 0.0 };
+        x[i] -= c.lr * (mh / (vh.sqrt() + c.eps) + decayed);
+    }
+}

@@ -1,0 +1,381 @@
+//! Scalar-vs-AVX2 parity for every kernel in the SIMD dispatch table, plus
+//! the fast_tanh accuracy bound and gelu gradchecks on both backends.
+//!
+//! The two backends are *not* required to agree bitwise — the AVX2 bodies
+//! contract multiplies into FMAs and fold reductions over a fixed 8-lane
+//! tree — so each comparison carries the bound its arithmetic justifies:
+//!
+//! - pure elementwise maps (add/sub/mul/scale/…): identical operations,
+//!   compared at <= 1 ulp;
+//! - FMA-contracted elementwise (saxpy, gelu, layer-norm affine, Adam):
+//!   a mixed absolute/relative bound per element (a fixed ulp distance is
+//!   meaningless where the contracted product nearly cancels the addend);
+//! - reassociated reductions (dot, exp_shift_sum, mean_var): a small
+//!   relative bound scaled by the magnitude of what was summed;
+//! - `row_max`: exact — max is associative and commutative.
+//!
+//! Every length in `1..=67` is swept so each kernel crosses its 8-lane
+//! main-loop/remainder boundary at every phase (`len % 8`).
+//!
+//! When the host lacks AVX2+FMA (or is not x86_64) the comparisons
+//! degenerate to scalar-vs-scalar and pass trivially; the fast_tanh bound
+//! and both gradchecks still run in full.
+
+use slime_tensor::gradcheck::assert_gradients_match;
+use slime_tensor::simd::{self, AdamCoeffs, Backend, Kernels};
+use slime_tensor::{ops, NdArray, Tensor};
+
+/// Deterministic values in roughly [-2, 2] (splitmix64-style).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> f32 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        ((z >> 40) as f32 / (1u64 << 24) as f32) * 4.0 - 2.0
+    }
+
+    fn vec(&mut self, n: usize) -> Vec<f32> {
+        (0..n).map(|_| self.next()).collect()
+    }
+}
+
+fn tables() -> (&'static Kernels, &'static Kernels) {
+    let reference = simd::kernels_for(Backend::Scalar);
+    let vectored = if simd::avx2_fma_detected() {
+        simd::kernels_for(Backend::Avx2Fma)
+    } else {
+        reference
+    };
+    (reference, vectored)
+}
+
+fn ulp_distance(a: f32, b: f32) -> u64 {
+    if a == b {
+        return 0;
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return u64::MAX;
+    }
+    // Map the bit patterns onto a monotone integer line so the distance is
+    // well defined across the sign boundary.
+    let key = |x: f32| {
+        let i = x.to_bits() as i64;
+        if i < 0 {
+            i64::MIN / 2 - i
+        } else {
+            i
+        }
+    };
+    key(a).abs_diff(key(b))
+}
+
+fn assert_ulps(label: &str, n: usize, a: &[f32], b: &[f32], bound: u64) {
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        let d = ulp_distance(*x, *y);
+        assert!(
+            d <= bound,
+            "{label} len={n} [{i}]: scalar {x} vs simd {y} differ by {d} ulps (bound {bound})"
+        );
+    }
+}
+
+/// For FMA-contracted kernels: a fixed ulp distance is meaningless where the
+/// contracted product nearly cancels the addend, so bound the error mixed
+/// absolutely/relatively instead.
+fn assert_mixed(label: &str, n: usize, a: &[f32], b: &[f32], tol: f32) {
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (x - y).abs() <= tol * (1.0 + x.abs()),
+            "{label} len={n} [{i}]: scalar {x} vs simd {y} (tol {tol})"
+        );
+    }
+}
+
+fn assert_close(label: &str, n: usize, a: f32, b: f32, scale: f32, rel: f32) {
+    let tol = rel * scale.max(1.0);
+    assert!(
+        (a - b).abs() <= tol,
+        "{label} len={n}: scalar {a} vs simd {b} (tol {tol})"
+    );
+}
+
+const LENS: std::ops::RangeInclusive<usize> = 1..=67;
+
+#[test]
+fn elementwise_binary_kernels_match() {
+    let (sc, vx) = tables();
+    let mut g = Gen(1);
+    for n in LENS {
+        let a = g.vec(n);
+        let b = g.vec(n);
+        let mut oa = vec![0f32; n];
+        let mut ob = vec![0f32; n];
+        for (label, ks, kv) in [
+            ("add", sc.add, vx.add),
+            ("sub", sc.sub, vx.sub),
+            ("mul", sc.mul, vx.mul),
+        ] {
+            ks(&a, &b, &mut oa);
+            kv(&a, &b, &mut ob);
+            assert_ulps(label, n, &oa, &ob, 1);
+        }
+    }
+}
+
+#[test]
+fn scale_and_shift_kernels_match() {
+    let (sc, vx) = tables();
+    let mut g = Gen(2);
+    for n in LENS {
+        let a = g.vec(n);
+        let c = g.next();
+        let mut oa = vec![0f32; n];
+        let mut ob = vec![0f32; n];
+        (sc.scale)(&a, c, &mut oa);
+        (vx.scale)(&a, c, &mut ob);
+        assert_ulps("scale", n, &oa, &ob, 1);
+        (sc.sub_scalar)(&a, c, &mut oa);
+        (vx.sub_scalar)(&a, c, &mut ob);
+        assert_ulps("sub_scalar", n, &oa, &ob, 1);
+        let mut da = a.clone();
+        let mut db = a.clone();
+        (sc.scale_inplace)(&mut da, c);
+        (vx.scale_inplace)(&mut db, c);
+        assert_ulps("scale_inplace", n, &da, &db, 1);
+    }
+}
+
+#[test]
+fn saxpy_kernels_match_within_fma_slack() {
+    let (sc, vx) = tables();
+    let mut g = Gen(3);
+    for n in LENS {
+        let b = g.vec(n);
+        let a = g.next();
+        let mut da = g.vec(n);
+        let mut db = da.clone();
+        (sc.saxpy)(&mut da, &b, a);
+        (vx.saxpy)(&mut db, &b, a);
+        assert_mixed("saxpy", n, &da, &db, 1e-6);
+
+        let (v0, v1, v2, v3) = (g.next(), g.next(), g.next(), g.next());
+        let mut rows_a: Vec<Vec<f32>> = (0..4).map(|_| g.vec(n)).collect();
+        let mut rows_b = rows_a.clone();
+        {
+            let [o0, o1, o2, o3] = rows_a.get_disjoint_mut([0, 1, 2, 3]).unwrap();
+            (sc.saxpy4)(o0, o1, o2, o3, &b, v0, v1, v2, v3);
+            let [p0, p1, p2, p3] = rows_b.get_disjoint_mut([0, 1, 2, 3]).unwrap();
+            (vx.saxpy4)(p0, p1, p2, p3, &b, v0, v1, v2, v3);
+        }
+        for r in 0..4 {
+            assert_mixed("saxpy4", n, &rows_a[r], &rows_b[r], 1e-6);
+        }
+    }
+}
+
+#[test]
+fn matmul4_kernels_match_within_fma_slack() {
+    let (sc, vx) = tables();
+    let mut g = Gen(9);
+    // Sweep n over the lane-remainder space and k over accumulation depths;
+    // the per-element error is a k-long FMA-vs-mul-add chain, so the bound
+    // is looser than single-step saxpy.
+    for n in LENS {
+        for k in [1usize, 3, 8, 33] {
+            let b = g.vec(k * n);
+            let coeffs: Vec<Vec<f32>> = (0..4).map(|_| g.vec(k)).collect();
+            let mut rows_a: Vec<Vec<f32>> = (0..4).map(|_| g.vec(n)).collect();
+            let mut rows_b = rows_a.clone();
+            {
+                let [o0, o1, o2, o3] = rows_a.get_disjoint_mut([0, 1, 2, 3]).unwrap();
+                (sc.matmul4)(
+                    o0, o1, o2, o3, &coeffs[0], &coeffs[1], &coeffs[2], &coeffs[3], &b, n,
+                );
+                let [p0, p1, p2, p3] = rows_b.get_disjoint_mut([0, 1, 2, 3]).unwrap();
+                (vx.matmul4)(
+                    p0, p1, p2, p3, &coeffs[0], &coeffs[1], &coeffs[2], &coeffs[3], &b, n,
+                );
+            }
+            for r in 0..4 {
+                assert_mixed("matmul4", n, &rows_a[r], &rows_b[r], 1e-5);
+            }
+        }
+    }
+}
+
+#[test]
+fn reduction_kernels_match_within_reassociation_slack() {
+    let (sc, vx) = tables();
+    let mut g = Gen(4);
+    for n in LENS {
+        let a = g.vec(n);
+        let b = g.vec(n);
+
+        assert_eq!((sc.row_max)(&a), (vx.row_max)(&a), "row_max len={n}");
+
+        let magnitude: f32 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+        assert_close(
+            "dot",
+            n,
+            (sc.dot)(&a, &b),
+            (vx.dot)(&a, &b),
+            magnitude,
+            1e-5,
+        );
+
+        let (ma, va) = (sc.mean_var)(&a);
+        let (mb, vb) = (vx.mean_var)(&a);
+        assert_close("mean", n, ma, mb, 2.0, 1e-6);
+        assert_close("var", n, va, vb, 4.0, 1e-5);
+
+        let max = (sc.row_max)(&a);
+        let mut ea = vec![0f32; n];
+        let mut eb = vec![0f32; n];
+        let suma = (sc.exp_shift_sum)(&a, max, &mut ea);
+        let sumb = (vx.exp_shift_sum)(&a, max, &mut eb);
+        // exp(x - max) <= 1, so per-element and sum errors are absolute.
+        for (i, (x, y)) in ea.iter().zip(&eb).enumerate() {
+            assert!(
+                (x - y).abs() <= 5e-7,
+                "exp_shift_sum len={n} [{i}]: {x} vs {y}"
+            );
+        }
+        assert_close("exp_shift_sum sum", n, suma, sumb, n as f32, 1e-6);
+
+        let dot = (sc.dot)(&a, &b);
+        let mut oa = vec![0f32; n];
+        let mut ob = vec![0f32; n];
+        (sc.softmax_bwd_row)(&a, &b, dot, &mut oa);
+        (vx.softmax_bwd_row)(&a, &b, dot, &mut ob);
+        assert_ulps("softmax_bwd_row", n, &oa, &ob, 1);
+    }
+}
+
+#[test]
+fn gelu_kernels_match_within_polynomial_slack() {
+    let (sc, vx) = tables();
+    let mut g = Gen(5);
+    for n in LENS {
+        let x = g.vec(n);
+        let grad = g.vec(n);
+        let mut oa = vec![0f32; n];
+        let mut ob = vec![0f32; n];
+        (sc.gelu_fwd)(&x, &mut oa);
+        (vx.gelu_fwd)(&x, &mut ob);
+        for (i, (p, q)) in oa.iter().zip(&ob).enumerate() {
+            assert!(
+                (p - q).abs() <= 1e-6 * (1.0 + x[i].abs()),
+                "gelu_fwd len={n} [{i}]: x={} scalar {p} vs simd {q}",
+                x[i]
+            );
+        }
+        (sc.gelu_bwd)(&x, &grad, &mut oa);
+        (vx.gelu_bwd)(&x, &grad, &mut ob);
+        for (i, (p, q)) in oa.iter().zip(&ob).enumerate() {
+            assert!(
+                (p - q).abs() <= 1e-5,
+                "gelu_bwd len={n} [{i}]: x={} scalar {p} vs simd {q}",
+                x[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn layernorm_affine_kernels_match() {
+    let (sc, vx) = tables();
+    let mut g = Gen(6);
+    for n in LENS {
+        let row = g.vec(n);
+        let gw = g.vec(n);
+        let bw = g.vec(n);
+        let (mean, var) = (sc.mean_var)(&row);
+        let istd = 1.0 / (var + 1e-5).sqrt();
+        let mut xa = vec![0f32; n];
+        let mut ya = vec![0f32; n];
+        let mut xb = vec![0f32; n];
+        let mut yb = vec![0f32; n];
+        (sc.layernorm_affine)(&row, mean, istd, &gw, &bw, &mut xa, &mut ya);
+        (vx.layernorm_affine)(&row, mean, istd, &gw, &bw, &mut xb, &mut yb);
+        assert_mixed("layernorm xhat", n, &xa, &xb, 1e-6);
+        assert_mixed("layernorm out", n, &ya, &yb, 1e-6);
+    }
+}
+
+#[test]
+fn adam_update_kernels_match_over_several_steps() {
+    let (sc, vx) = tables();
+    let mut g = Gen(7);
+    for n in [1, 7, 8, 9, 16, 33, 67] {
+        let mut xa = g.vec(n);
+        let mut ma = vec![0f32; n];
+        let mut va = vec![0f32; n];
+        let mut xb = xa.clone();
+        let mut mb = vec![0f32; n];
+        let mut vb = vec![0f32; n];
+        for t in 1..=5i32 {
+            let grad = g.vec(n);
+            let c = AdamCoeffs {
+                b1: 0.9,
+                b2: 0.999,
+                bc1: 1.0 - 0.9f32.powi(t),
+                bc2: 1.0 - 0.999f32.powi(t),
+                lr: 0.01,
+                eps: 1e-8,
+                wd: if n % 2 == 0 { 0.01 } else { 0.0 },
+            };
+            (sc.adam_update)(&mut xa, &mut ma, &mut va, &grad, &c);
+            (vx.adam_update)(&mut xb, &mut mb, &mut vb, &grad, &c);
+        }
+        for (label, a, b) in [("x", &xa, &xb), ("m", &ma, &mb), ("v", &va, &vb)] {
+            for (i, (p, q)) in a.iter().zip(b.iter()).enumerate() {
+                assert!(
+                    (p - q).abs() <= 1e-5 * (1.0 + p.abs()),
+                    "adam {label} len={n} [{i}]: scalar {p} vs simd {q}"
+                );
+            }
+        }
+    }
+}
+
+/// Pin the documented accuracy of the rational-polynomial `fast_tanh`
+/// against `f32::tanh` over the active range [-8, 8] (beyond which both
+/// saturate). `crates/tensor/src/simd/scalar.rs` cites this bound.
+#[test]
+fn fast_tanh_abs_error_bound() {
+    let mut max_err = 0f32;
+    let mut at = 0f32;
+    for i in -8000..=8000 {
+        let x = i as f32 * 1e-3;
+        let err = (simd::scalar::fast_tanh(x) - x.tanh()).abs();
+        if err > max_err {
+            max_err = err;
+            at = x;
+        }
+    }
+    // Measured ~7e-7 on this polynomial; 2e-6 is the contractual ceiling.
+    assert!(
+        max_err < 2e-6,
+        "fast_tanh max abs error {max_err} at x={at} exceeds the documented 2e-6 bound"
+    );
+}
+
+/// The gelu autodiff path must gradcheck under both the dispatched backend
+/// and the forced-scalar backend (the `--no-simd` path).
+#[test]
+fn gelu_gradchecks_on_both_backends() {
+    let was = simd::enabled();
+    for simd_on in [true, false] {
+        simd::set_enabled(simd_on);
+        let x = Tensor::param(NdArray::from_vec(
+            vec![2, 4],
+            vec![-2.1, -1.5, -0.3, -0.01, 0.0, 0.4, 1.2, 2.5],
+        ));
+        assert_gradients_match(&[&x], || ops::mean_all(&ops::gelu(&x)), 5e-2);
+    }
+    simd::set_enabled(was);
+}

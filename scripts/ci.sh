@@ -6,11 +6,16 @@
 #   3. full test suite   under SLIME_THREADS=1 (serial fast paths) and
 #                        SLIME_THREADS=4 (pool dispatch) — results must be
 #                        bitwise identical, and the determinism test in
-#                        crates/core checks exactly that
+#                        crates/core checks exactly that; then one full
+#                        pass with SLIME_SIMD=0 so every test also holds
+#                        on the portable scalar kernels
 #   4. runtime knobs     the determinism test re-run across the full
-#                        SLIME_POOL={0,1} x SLIME_THREADS={1,4} matrix:
-#                        the buffer pool and the thread count are pure
-#                        throughput knobs, never value knobs
+#                        SLIME_SIMD={0,1} x SLIME_POOL={0,1} x
+#                        SLIME_THREADS={1,4} matrix: the SIMD backend,
+#                        the buffer pool, and the thread count are pure
+#                        throughput knobs, never value knobs (within a
+#                        backend — the two backends may differ in the
+#                        last float bits)
 #   5. traced tests      one full pass with SLIME_TRACE=1: tracing is a
 #                        pure observer, so every test must still pass with
 #                        the instrumentation live
@@ -39,15 +44,20 @@ SLIME_THREADS=1 cargo test -q
 echo "==> SLIME_THREADS=4 cargo test -q"
 SLIME_THREADS=4 cargo test -q
 
-# The determinism test internally sweeps thread counts and pool modes, but
-# the *ambient* environment each sweep starts from matters too: run it from
-# every corner of the knob matrix so an env-dependent default can never
-# mask a divergence.
-for pool in 0 1; do
-    for threads in 1 4; do
-        echo "==> SLIME_POOL=$pool SLIME_THREADS=$threads determinism test"
-        SLIME_POOL=$pool SLIME_THREADS=$threads \
-            cargo test -q -p slime4rec --test determinism
+echo "==> SLIME_SIMD=0 cargo test -q"
+SLIME_SIMD=0 cargo test -q
+
+# The determinism test internally sweeps thread counts, pool modes, and
+# SIMD backends, but the *ambient* environment each sweep starts from
+# matters too: run it from every corner of the knob matrix so an
+# env-dependent default can never mask a divergence.
+for simd in 0 1; do
+    for pool in 0 1; do
+        for threads in 1 4; do
+            echo "==> SLIME_SIMD=$simd SLIME_POOL=$pool SLIME_THREADS=$threads determinism test"
+            SLIME_SIMD=$simd SLIME_POOL=$pool SLIME_THREADS=$threads \
+                cargo test -q -p slime4rec --test determinism
+        done
     done
 done
 
