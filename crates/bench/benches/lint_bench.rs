@@ -1,0 +1,139 @@
+//! Lint throughput guard: the full workspace `slime-lint` check — scan,
+//! symbol table, call graph, and every rule — timed end to end against the
+//! real repository. Emits `BENCH_lint.json` at the workspace root and FAILS
+//! if a cold check exceeds the budget.
+//!
+//! The lint runs on every `scripts/ci.sh` invocation and is meant to be
+//! cheap enough that nobody is tempted to skip it, so the budget is a wall
+//! clock ceiling, not a throughput target: a full-workspace check (146-ish
+//! files, ~11k call edges) must finish in under 2 seconds even on a noisy
+//! CI container. In practice it is tens of milliseconds.
+//!
+//! Each sample re-discovers the workspace from disk so the measurement
+//! matches what `cargo run -p slime-lint -- check` actually pays (file IO
+//! included), then re-runs the analysis; the per-rule split from the last
+//! sample is exported so regressions can be pinned to a phase (scan+graph
+//! vs an individual rule) without re-profiling.
+
+use slime_lint::rules::{run_all_timed, GraphStats, RuleTiming};
+use slime_lint::workspace::Workspace;
+use std::hint::black_box;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+const SAMPLES: usize = 5;
+const MAX_FULL_CHECK_MS: f64 = 2000.0;
+
+struct Sample {
+    total: Duration,
+    discover: Duration,
+    findings: usize,
+    timings: Vec<RuleTiming>,
+    stats: GraphStats,
+}
+
+fn run_once(root: &Path) -> Sample {
+    let start = Instant::now();
+    let ws = Workspace::discover(root).expect("workspace discovery");
+    let discover = start.elapsed();
+    let (findings, timings, stats) = run_all_timed(black_box(&ws));
+    let total = start.elapsed();
+    Sample {
+        total,
+        discover,
+        findings: findings.len(),
+        timings,
+        stats,
+    }
+}
+
+fn main() {
+    use slime_json::Value;
+
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    println!("lint_bench: full-workspace slime-lint check, {SAMPLES} cold samples");
+
+    let samples: Vec<Sample> = (0..SAMPLES).map(|_| run_once(root)).collect();
+    let best = samples
+        .iter()
+        .min_by_key(|s| s.total)
+        .expect("at least one sample");
+    let worst_ms = samples
+        .iter()
+        .map(|s| s.total.as_secs_f64() * 1e3)
+        .fold(0.0, f64::max);
+    let best_ms = best.total.as_secs_f64() * 1e3;
+
+    for (i, s) in samples.iter().enumerate() {
+        println!(
+            "  sample {i}: total {:>9.2?}  (discover {:>9.2?})  {} findings",
+            s.total, s.discover, s.findings
+        );
+    }
+    println!(
+        "  {} files, {} fns, {} edges, {} hot roots, {} reachable",
+        best.stats.files,
+        best.stats.functions,
+        best.stats.edges,
+        best.stats.hot_roots,
+        best.stats.reachable_fns
+    );
+    for t in &best.timings {
+        println!("    {:<24} {:>8.2} ms", t.rule, t.ms);
+    }
+
+    let report = slime_json::obj([
+        ("bench", Value::Str("lint_bench".into())),
+        (
+            "available_cores",
+            Value::Int(slime_par::available_threads() as i64),
+        ),
+        ("samples", Value::Int(SAMPLES as i64)),
+        ("best_total_ms", Value::Float(best_ms)),
+        ("worst_total_ms", Value::Float(worst_ms)),
+        (
+            "best_discover_ms",
+            Value::Float(best.discover.as_secs_f64() * 1e3),
+        ),
+        ("findings", Value::Int(best.findings as i64)),
+        (
+            "graph",
+            slime_json::obj([
+                ("files", Value::Int(best.stats.files as i64)),
+                ("functions", Value::Int(best.stats.functions as i64)),
+                ("edges", Value::Int(best.stats.edges as i64)),
+                ("hot_roots", Value::Int(best.stats.hot_roots as i64)),
+                ("reachable_fns", Value::Int(best.stats.reachable_fns as i64)),
+            ]),
+        ),
+        (
+            "rule_timings_ms",
+            Value::Arr(
+                best.timings
+                    .iter()
+                    .map(|t| {
+                        slime_json::obj([
+                            ("rule", Value::Str(t.rule.into())),
+                            ("ms", Value::Float(t.ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "budgets",
+            slime_json::obj([("max_full_check_ms", Value::Float(MAX_FULL_CHECK_MS))]),
+        ),
+    ]);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lint.json");
+    std::fs::write(out, report.to_pretty() + "\n").expect("write BENCH_lint.json");
+    println!("wrote {out}");
+
+    // Gate on the WORST sample: the promise is "every ci.sh run stays under
+    // budget", not "the machine can occasionally manage it".
+    assert!(
+        worst_ms < MAX_FULL_CHECK_MS,
+        "full-workspace lint check took {worst_ms:.1} ms (budget {MAX_FULL_CHECK_MS} ms)"
+    );
+    println!("  within budget: worst sample {worst_ms:.1} ms < {MAX_FULL_CHECK_MS} ms");
+}

@@ -131,6 +131,7 @@ pub fn train_model<M: NextItemModel>(
         for batch in ts.epoch_batches(n, tc.batch_size, &mut batch_rng) {
             // Step timing goes to a histogram rather than the event stream:
             // one event per step would swamp trace.jsonl on real runs.
+            // lint-allow(l9): trace-gated observability; the duration feeds a histogram, never a value or branch the model sees
             let step_start = slime_trace::enabled().then(std::time::Instant::now);
             opt.zero_grad();
             let repr = model.user_repr(&batch.inputs, batch.batch, &mut ctx);

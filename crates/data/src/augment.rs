@@ -56,8 +56,12 @@ impl ItemSimilarity {
     /// Build from raw sequences over an item space of size `num_items`
     /// (ids `1..=num_items`), counting co-occurrences within `window`.
     pub fn from_sequences(sequences: &[Vec<usize>], num_items: usize, window: usize) -> Self {
-        use std::collections::HashMap;
-        let mut counts: Vec<HashMap<usize, u32>> = vec![HashMap::new(); num_items + 1];
+        // BTreeMap, not HashMap: `most_similar` below walks each map, and
+        // the walk must not depend on SipHash order (L9). The max_by_key
+        // tiebreak made the old hash walk accidentally deterministic; the
+        // ordered map makes it structural.
+        use std::collections::BTreeMap;
+        let mut counts: Vec<BTreeMap<usize, u32>> = vec![BTreeMap::new(); num_items + 1];
         for s in sequences {
             for i in 0..s.len() {
                 let hi = (i + window).min(s.len().saturating_sub(1));

@@ -58,8 +58,10 @@ pub fn analyze(ds: &SeqDataset, window: usize, items_per_user: usize) -> Spectru
             continue;
         }
         let tail = &seq[seq.len() - window..];
-        // Most frequent items in the window.
-        let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        // Most frequent items in the window. BTreeMap, not HashMap: the
+        // iteration below must not depend on SipHash order (L9).
+        let mut counts: std::collections::BTreeMap<usize, usize> =
+            std::collections::BTreeMap::new();
         for &v in tail {
             *counts.entry(v).or_default() += 1;
         }

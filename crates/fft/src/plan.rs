@@ -59,6 +59,12 @@ impl FftPlan {
             }
         } else {
             let m = (2 * n - 1).next_power_of_two();
+            // Bounds contract for the wrap-around fills below: every index
+            // into the length-m kernel is `k` or `m - k` with `k < n <= m`.
+            debug_assert!(
+                n >= 2 && m >= 2 * n - 1,
+                "Bluestein kernel shorter than 2n-1"
+            );
             // chirp[k] = e^{-i pi k^2 / n}; compute k^2 mod 2n to keep the
             // angle argument small and accurate for large k.
             let chirp: Vec<Complex32> = (0..n)
@@ -183,6 +189,9 @@ fn stage_twiddles(n: usize) -> Vec<Complex32> {
 /// the scalar backend reproduces the textbook loop operation for operation.
 fn radix2_inplace(buf: &mut [Complex32], rev: &[u32], twiddles: &[Complex32]) {
     let n = buf.len();
+    debug_assert!(n.is_power_of_two(), "radix2 needs a power-of-two buffer");
+    debug_assert_eq!(rev.len(), n, "bit-reversal table must match the buffer");
+    debug_assert_eq!(twiddles.len() + 1, n, "stage twiddles must total n - 1");
     for (i, &r) in rev.iter().enumerate() {
         let j = r as usize;
         if i < j {
@@ -226,6 +235,8 @@ pub struct PlanCacheStats {
 /// Snapshot the plan-cache counters.
 pub fn plan_cache_stats() -> PlanCacheStats {
     PlanCacheStats {
+        // lint-allow(panic): `.load` here is AtomicU64, not the workspace's
+        // serializer `load`; this cuts a misresolved call-graph edge
         hits: PLAN_HITS.load(Ordering::Relaxed),
         misses: PLAN_MISSES.load(Ordering::Relaxed),
     }
@@ -248,6 +259,8 @@ pub fn with_cached_plan<R>(n: usize, f: impl FnOnce(&FftPlan) -> R) -> R {
             }
             std::collections::hash_map::Entry::Vacant(e) => {
                 PLAN_MISSES.fetch_add(1, Ordering::Relaxed);
+                // lint-allow(panic): `.insert` here is hash_map::Entry, not
+                // a workspace fn; this cuts a misresolved call-graph edge
                 e.insert(Rc::new(FftPlan::new(n))).clone()
             }
         }

@@ -133,6 +133,10 @@ pub fn butterfly_pass(u: &mut [Complex32], v: &mut [Complex32], tw: &[Complex32]
 
 /// Scalar butterfly pass — the exact pre-SIMD loop body.
 pub fn butterfly_pass_scalar(u: &mut [Complex32], v: &mut [Complex32], tw: &[Complex32]) {
+    debug_assert!(
+        v.len() >= u.len() && tw.len() >= u.len(),
+        "halves/twiddles shorter than u"
+    );
     for j in 0..u.len() {
         let a = u[j];
         let b = v[j] * tw[j];
@@ -214,6 +218,10 @@ mod avx2 {
     #[target_feature(enable = "avx2,fma")]
     // lint-allow(unsafe): `#[target_feature]` impl, entered only via the probed wrapper
     unsafe fn butterfly_pass_impl(u: &mut [Complex32], v: &mut [Complex32], tw: &[Complex32]) {
+        debug_assert!(
+            v.len() >= u.len() && tw.len() >= u.len(),
+            "halves/twiddles shorter than u"
+        );
         let half = u.len();
         let up = u.as_mut_ptr() as *mut f32;
         let vp = v.as_mut_ptr() as *mut f32;
@@ -246,6 +254,7 @@ mod avx2 {
     #[target_feature(enable = "avx2,fma")]
     // lint-allow(unsafe): `#[target_feature]` impl, entered only via the probed wrapper
     unsafe fn cmul_inplace_impl(a: &mut [Complex32], b: &[Complex32]) {
+        debug_assert!(b.len() >= a.len(), "cmul rhs shorter than lhs");
         let n = a.len();
         let ap = a.as_mut_ptr() as *mut f32;
         let bp = b.as_ptr() as *const f32;
@@ -271,6 +280,7 @@ mod avx2 {
     #[target_feature(enable = "avx2,fma")]
     // lint-allow(unsafe): `#[target_feature]` impl, entered only via the probed wrapper
     unsafe fn widen_impl(src: &[f32], dst: &mut [Complex32]) {
+        debug_assert!(dst.len() >= src.len(), "widen dst shorter than src");
         let n = src.len();
         let sp = src.as_ptr();
         let dp = dst.as_mut_ptr() as *mut f32;
@@ -301,6 +311,7 @@ mod avx2 {
     #[target_feature(enable = "avx2,fma")]
     // lint-allow(unsafe): `#[target_feature]` impl, entered only via the probed wrapper
     unsafe fn extract_re_impl(src: &[Complex32], dst: &mut [f32]) {
+        debug_assert!(dst.len() >= src.len(), "extract_re dst shorter than src");
         let n = src.len();
         let sp = src.as_ptr() as *const f32;
         let dp = dst.as_mut_ptr();

@@ -7,4 +7,12 @@ use demo::helpers;
 // An annotated import is tolerated.
 use rand_core::RngCore; // lint-allow(offline-purity): vendored in-tree under src/vendor
 
+// A rustfmt-split brace group must resolve across lines: `rayon` hides on
+// a continuation line and must still fire, while the workspace-internal
+// item in the same group must not.
+use {
+    demo::helpers::alpha,
+    rayon::prelude::ParallelIterator,
+};
+
 pub fn noop() {}

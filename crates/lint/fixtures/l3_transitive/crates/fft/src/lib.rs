@@ -1,0 +1,15 @@
+// Fixture: two hot roots, each calling into the cold util crate.
+//
+// `hot_root` reaches `leaf` two hops away, whose unwrap must fire WITH the
+// full call trail in the message. `hot_root_allowed` has a lint-allow on
+// its call line: that cuts the edge, so nothing in the `mid_cut`/`leaf_cut`
+// subtree may fire even though `leaf_cut` also unwraps.
+
+pub fn hot_root(n: usize) -> usize {
+    mid(n)
+}
+
+pub fn hot_root_allowed(n: usize) -> usize {
+    // lint-allow(panic): the cut subtree validates n before unwrapping
+    mid_cut(n)
+}

@@ -1,0 +1,18 @@
+// Cold crate: nothing here is a hot root, so only reachability (or its
+// absence) decides what fires.
+
+pub fn mid(n: usize) -> usize {
+    leaf(n)
+}
+
+pub fn leaf(n: usize) -> usize {
+    n.checked_sub(1).unwrap()
+}
+
+pub fn mid_cut(n: usize) -> usize {
+    leaf_cut(n)
+}
+
+pub fn leaf_cut(n: usize) -> usize {
+    n.checked_sub(1).unwrap()
+}

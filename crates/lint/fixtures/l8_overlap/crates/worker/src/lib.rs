@@ -1,0 +1,48 @@
+// Fixture: four parallel_for closures exercising the L8 obligation.
+//
+// 1. `scaled_fill` carries a valid form-1 proof: identical endpoint
+//    templates, so adjacent chunks are disjoint — must NOT fire.
+// 2. `overlapping_fill` claims `w[lo .. hi + 1]`: the right endpoint's
+//    template differs, adjacent chunks overlap by one — the proof line
+//    must fire statically.
+// 3. `unannotated_fill` writes with no proof at all — the write line must
+//    fire.
+// 4. `gather_fill` carries a valid form-2 per-element claim (discharged at
+//    runtime by sanitize-race) — must NOT fire.
+
+pub fn scaled_fill(n: usize, d: usize, w: &UnsafeSlice) {
+    parallel_for(n, 8, |lo, hi| {
+        // lint-proof(l8): w[lo * d .. hi * d]
+        let out = unsafe { w.slice_mut(lo * d, (hi - lo) * d) };
+        for v in out {
+            *v = 1.0;
+        }
+    });
+}
+
+pub fn overlapping_fill(n: usize, w: &UnsafeSlice) {
+    parallel_for(n, 8, |lo, hi| {
+        // lint-proof(l8): w[lo .. hi + 1]
+        let out = unsafe { w.slice_mut(lo, hi - lo + 1) };
+        for v in out {
+            *v = 1.0;
+        }
+    });
+}
+
+pub fn unannotated_fill(n: usize, w: &UnsafeSlice) {
+    parallel_for(n, 8, |lo, hi| {
+        for i in lo..hi {
+            unsafe { w.write(i, 0.0) };
+        }
+    });
+}
+
+pub fn gather_fill(n: usize, idx: &[usize], w: &UnsafeSlice) {
+    parallel_for(n, 8, |lo, hi| {
+        // lint-proof(l8): w[idx[i] for i in lo..hi]
+        for i in lo..hi {
+            unsafe { w.write(idx[i], 1.0) };
+        }
+    });
+}

@@ -1,0 +1,48 @@
+// Fixture: three violations, three tolerated forms, test code ignored.
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
+
+pub fn hash_iteration_fires(counts: &HashMap<usize, u32>) -> u32 {
+    // The `.values()` walk is SipHash-ordered: must fire.
+    counts.values().sum()
+}
+
+pub fn for_loop_over_hash_fires() {
+    let mut counts: HashMap<usize, u32> = HashMap::new();
+    counts.insert(1, 2);
+    for (k, v) in &counts {
+        let _ = (k, v);
+    }
+}
+
+pub fn clock_read_fires() -> f64 {
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}
+
+pub fn btree_iteration_is_fine(sorted: &BTreeMap<usize, u32>) -> u32 {
+    sorted.values().sum()
+}
+
+pub fn hash_lookup_is_fine(counts: &HashMap<usize, u32>) -> u32 {
+    *counts.get(&1).unwrap_or(&0)
+}
+
+pub fn allowed_clock_read() -> f64 {
+    // lint-allow(l9): observability only, value never feeds the model
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_do_anything() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        let _ = m.values().count();
+        let _ = Instant::now();
+    }
+}

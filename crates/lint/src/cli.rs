@@ -1,16 +1,24 @@
-//! Command-line front end: `slime-lint check [--json] [--root PATH]`.
+//! Command-line front end: `slime-lint check [--json PATH] [--root PATH]`.
 //!
 //! Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error. CI treats
 //! anything nonzero as a gate failure.
+//!
+//! `--json PATH` writes the machine-readable artifact (findings plus
+//! call-graph statistics and per-rule wall times) to PATH *in addition to*
+//! the text report — CI commits it as `lint.json` next to the `BENCH_*.json`
+//! artifacts, and like them it records `available_cores` so runs from
+//! different machines diff honestly.
 
 use std::path::PathBuf;
 
 use crate::rules;
 use crate::workspace::Workspace;
+use crate::{json_escape, Finding};
 
-const USAGE: &str = "usage: slime-lint check [--json] [--root PATH]\n\
+const USAGE: &str = "usage: slime-lint check [--json PATH] [--root PATH]\n\
   check          run all rules over the workspace\n\
-  --json         emit findings as a JSON array instead of text lines\n\
+  --json PATH    also write findings + call-graph stats + per-rule timings\n\
+                 as a JSON artifact to PATH\n\
   --root PATH    workspace root (default: current directory)";
 
 /// Run the CLI with `args` (program name already stripped); returns the
@@ -21,12 +29,18 @@ pub fn run(args: impl Iterator<Item = String>) -> i32 {
         eprintln!("{USAGE}");
         return 2;
     }
-    let mut json = false;
+    let mut json_path: Option<PathBuf> = None;
     let mut root = PathBuf::from(".");
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--json" => json = true,
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json needs an output path\n{USAGE}");
+                    return 2;
+                }
+            },
             "--root" => match it.next() {
                 Some(p) => root = PathBuf::from(p),
                 None => {
@@ -48,30 +62,78 @@ pub fn run(args: impl Iterator<Item = String>) -> i32 {
             return 2;
         }
     };
-    let findings = rules::run_all(&ws);
+    let (findings, timings, stats) = rules::run_all_timed(&ws);
 
-    if json {
-        let items: Vec<String> = findings.iter().map(|f| f.to_json()).collect();
-        println!("[{}]", items.join(","));
-    } else {
-        for f in &findings {
-            println!("{}", f.render());
+    for f in &findings {
+        println!("{}", f.render());
+    }
+    println!(
+        "slime-lint: {} finding{} across {} file{} ({} fns, {} call edges, \
+         {} hot roots, {} reachable)",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" },
+        ws.rs_files.len() + ws.manifests.len(),
+        if ws.rs_files.len() + ws.manifests.len() == 1 {
+            ""
+        } else {
+            "s"
+        },
+        stats.functions,
+        stats.edges,
+        stats.hot_roots,
+        stats.reachable_fns,
+    );
+
+    if let Some(path) = json_path {
+        let doc = render_artifact(&findings, &timings, &stats);
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("slime-lint: cannot write {}: {e}", path.display());
+            return 2;
         }
-        println!(
-            "slime-lint: {} finding{} across {} file{}",
-            findings.len(),
-            if findings.len() == 1 { "" } else { "s" },
-            ws.rs_files.len() + ws.manifests.len(),
-            if ws.rs_files.len() + ws.manifests.len() == 1 {
-                ""
-            } else {
-                "s"
-            },
-        );
     }
     if findings.is_empty() {
         0
     } else {
         1
     }
+}
+
+/// The `lint.json` document. Hand-rolled like [`Finding::to_json`]: the
+/// lint stays dependency-free so it can police the dependency policy from
+/// a clean checkout.
+fn render_artifact(
+    findings: &[Finding],
+    timings: &[rules::RuleTiming],
+    stats: &rules::GraphStats,
+) -> String {
+    let cores = std::thread::available_parallelism().map_or(0, usize::from);
+    let mut s = String::new();
+    s.push_str("{\n  \"meta\": {\n");
+    s.push_str("    \"tool\": \"slime-lint\",\n");
+    s.push_str(&format!("    \"available_cores\": {cores}\n  }},\n"));
+    s.push_str(&format!(
+        "  \"stats\": {{\n    \"files\": {},\n    \"functions\": {},\n    \
+         \"edges\": {},\n    \"hot_roots\": {},\n    \"reachable_fns\": {}\n  }},\n",
+        stats.files, stats.functions, stats.edges, stats.hot_roots, stats.reachable_fns
+    ));
+    s.push_str("  \"timings_ms\": {\n");
+    for (i, t) in timings.iter().enumerate() {
+        s.push_str(&format!(
+            "    \"{}\": {:.3}{}\n",
+            json_escape(t.rule),
+            t.ms,
+            if i + 1 < timings.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  },\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        s.push_str("    ");
+        s.push_str(&f.to_json());
+        if i + 1 < findings.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    s
 }

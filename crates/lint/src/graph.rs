@@ -1,0 +1,563 @@
+//! Workspace-wide symbol table and call graph, built on the [`crate::scan`]
+//! tokenizer — no external parser.
+//!
+//! The graph answers one question the per-line rules cannot: *what is
+//! reachable from a hot-path root?* L3 (panic freedom) walks it to flag
+//! partiality any number of hops away from a hot function; the CLI exports
+//! its size statistics into `lint.json` so analyzer growth stays visible.
+//!
+//! ## What counts as a definition
+//!
+//! Every `fn` item the scanner can see — free functions, inherent and trait
+//! methods, `pub` or private — keyed by bare name. Functions nested inside
+//! another function body are *not* separate nodes; their bodies (and any
+//! panics in them) are attributed to the enclosing function, which is the
+//! conservative direction for reachability.
+//!
+//! ## What counts as an edge
+//!
+//! A whole-word identifier followed by `(` inside a function body, when the
+//! identifier names at least one known definition. The scanner has no type
+//! information, so method calls (`.forward(`) resolve by bare name — but
+//! with *scope preference*: definitions in the caller's own file shadow
+//! same-crate ones, which shadow workspace-wide ones. Within the chosen
+//! scope the graph still over-approximates (every candidate gets an edge),
+//! which is the right failure mode for a lint — a spurious edge can only
+//! produce a finding a human reviews, never hide one. Without the scoping,
+//! ubiquitous names like `run` or `new` would merge every crate into one
+//! reachable blob and drown the report. Macro invocations (`name!`) and
+//! keywords are excluded.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::scan::Source;
+
+/// Tokens L3 treats as panics. `assert!` is deliberately absent: stated
+/// invariants are the sanctioned failure mode (L4 requires them).
+pub const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!", "todo!", "unimplemented!"];
+
+/// Keywords that look like calls (`if (`, `match (`, …) and must not
+/// produce edges.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "match", "while", "for", "loop", "return", "fn", "let", "move", "in", "as",
+    "ref", "mut", "box", "unsafe", "where", "impl", "dyn", "pub", "use", "mod", "struct", "enum",
+    "trait", "type", "const", "static", "crate", "self", "Self", "super", "true", "false",
+];
+
+/// One panic token occurrence inside a function body.
+#[derive(Debug)]
+pub struct PanicSite {
+    /// The offending token, e.g. `.unwrap()`.
+    pub token: &'static str,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// One call site inside a function body.
+#[derive(Debug)]
+pub struct CallSite {
+    /// Callee name as written (bare identifier).
+    pub callee: String,
+    /// 1-based line of the call.
+    pub line: usize,
+    /// Whether the call was written as a method (`recv.name(...)`). Method
+    /// calls never resolve workspace-wide: the receiver is usually a std or
+    /// foreign type, and a bare-name match in an unrelated crate is almost
+    /// always a false edge (`counters.load(…)` is not `serialize::load`).
+    pub method: bool,
+}
+
+/// One function definition.
+#[derive(Debug)]
+pub struct FnDef {
+    /// Bare function name.
+    pub name: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Module path derived from the file location, e.g.
+    /// `slime_tensor::ops::spectral`.
+    pub module: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// True if the definition sits inside a `#[cfg(test)]` region or a
+    /// `tests/` tree.
+    pub is_test: bool,
+    /// Call sites found in the body.
+    pub calls: Vec<CallSite>,
+    /// Panic-token occurrences in the body (non-test lines only).
+    pub panic_sites: Vec<PanicSite>,
+    /// True if the body states any invariant (`assert!`, `debug_assert!`,
+    /// `assert_eq!`, …).
+    pub has_assert: bool,
+    /// Lines with direct slice/array indexing (`xs[i]`, `xs[a..b]`).
+    pub index_lines: Vec<usize>,
+}
+
+/// The workspace call graph.
+pub struct CallGraph {
+    /// All function definitions, in file order.
+    pub fns: Vec<FnDef>,
+    /// Name → indices into `fns` (a name may have many definitions).
+    by_name: HashMap<String, Vec<usize>>,
+    /// Resolved edges (call sites whose callee names a known definition,
+    /// counted once per candidate definition).
+    pub n_edges: usize,
+}
+
+/// The result of a hot-root reachability walk.
+pub struct Reachability {
+    /// For each reached `fns` index: how it was first reached (`None` for
+    /// roots themselves).
+    pub reached: HashMap<usize, Option<(usize, usize)>>,
+    /// The root indices the walk started from.
+    pub roots: Vec<usize>,
+}
+
+impl CallGraph {
+    /// Build the graph from pre-scanned sources (`(rel_path, Source)`).
+    pub fn build(sources: &[(String, Source)]) -> CallGraph {
+        let mut fns = Vec::new();
+        for (rel, src) in sources {
+            extract_fns(rel, src, &mut fns);
+        }
+        let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        let mut g = CallGraph {
+            fns,
+            by_name,
+            n_edges: 0,
+        };
+        g.n_edges = (0..g.fns.len())
+            .flat_map(|i| {
+                let file = g.fns[i].file.clone();
+                g.fns[i]
+                    .calls
+                    .iter()
+                    .map(|c| g.resolve(&file, &c.callee, c.method).len())
+                    .collect::<Vec<_>>()
+            })
+            .sum();
+        g
+    }
+
+    /// Definitions with the given bare name.
+    pub fn defs_named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Resolve a call by bare name with scope preference: the caller's own
+    /// file, else the caller's crate, else (for free-function calls only)
+    /// the whole workspace. Method calls stop at crate scope — see
+    /// [`CallSite::method`].
+    pub fn resolve(&self, caller_file: &str, callee: &str, method: bool) -> Vec<usize> {
+        let all = self.defs_named(callee);
+        let same_file: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&j| self.fns[j].file == caller_file)
+            .collect();
+        if !same_file.is_empty() {
+            return same_file;
+        }
+        let cp = crate_prefix(caller_file);
+        let same_crate: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&j| crate_prefix(&self.fns[j].file) == cp)
+            .collect();
+        if !same_crate.is_empty() {
+            return same_crate;
+        }
+        if method {
+            return Vec::new();
+        }
+        all.to_vec()
+    }
+
+    /// Breadth-first reachability from every non-test function defined in a
+    /// file matched by `is_root_file`. `edge_allowed(file, line)` is
+    /// consulted per call site; returning `false` cuts the edge (this is
+    /// how a `lint-allow(panic)` on a call line suppresses an entire
+    /// subtree).
+    pub fn reach_from_roots(
+        &self,
+        is_root_file: impl Fn(&str) -> bool,
+        edge_allowed: impl Fn(&str, usize) -> bool,
+    ) -> Reachability {
+        let mut reached: HashMap<usize, Option<(usize, usize)>> = HashMap::new();
+        let mut queue = VecDeque::new();
+        let mut roots = Vec::new();
+        for (i, f) in self.fns.iter().enumerate() {
+            if !f.is_test && is_root_file(&f.file) {
+                reached.insert(i, None);
+                queue.push_back(i);
+                roots.push(i);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            // Split borrow: clone the light call list so we can mutate maps.
+            let caller_file = self.fns[i].file.clone();
+            for c in 0..self.fns[i].calls.len() {
+                let (callee, line, method) = {
+                    let cs = &self.fns[i].calls[c];
+                    (cs.callee.clone(), cs.line, cs.method)
+                };
+                if !edge_allowed(&caller_file, line) {
+                    continue;
+                }
+                for j in self.resolve(&caller_file, &callee, method) {
+                    if self.fns[j].is_test || reached.contains_key(&j) {
+                        continue;
+                    }
+                    reached.insert(j, Some((i, line)));
+                    queue.push_back(j);
+                }
+            }
+        }
+        Reachability { reached, roots }
+    }
+
+    /// Render the call trail that first reached `idx`, root-first:
+    /// `` `root` → `mid` (call at file:line) → `leaf` (call at file:line) ``.
+    /// Each hop names the call site in the *caller's* file — that line is
+    /// where a `lint-allow(panic)` cuts the edge. Roots render as their bare
+    /// name.
+    pub fn trail(&self, r: &Reachability, idx: usize) -> String {
+        let mut rev: Vec<(usize, usize, usize)> = Vec::new(); // (child, caller, call line)
+        let mut node = idx;
+        while let Some(Some((caller, line))) = r.reached.get(&node) {
+            rev.push((node, *caller, *line));
+            node = *caller;
+        }
+        let mut s = format!("`{}`", self.fns[node].name);
+        for (child, caller, line) in rev.iter().rev() {
+            s.push_str(&format!(
+                " → `{}` (call at {}:{})",
+                self.fns[*child].name, self.fns[*caller].file, line
+            ));
+        }
+        s
+    }
+}
+
+/// Crate prefix of a workspace-relative path (`crates/<name>`), or the
+/// leading path segment otherwise — the unit call resolution scopes to.
+fn crate_prefix(rel: &str) -> &str {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        match rest.find('/') {
+            Some(p) => &rel[.."crates/".len() + p],
+            None => rel,
+        }
+    } else {
+        rel.split('/').next().unwrap_or(rel)
+    }
+}
+
+/// Derive a module path like `slime_tensor::ops::spectral` from a
+/// workspace-relative file path.
+pub fn module_path(rel: &str) -> String {
+    let parts: Vec<&str> = rel.split('/').collect();
+    // crates/<name>/src/a/b.rs → <crate>::a::b
+    if parts.len() >= 3 && parts[0] == "crates" && parts[2] == "src" {
+        // Crate dirs are the package suffix (`tensor`, `par`, …); the lib
+        // name convention in this workspace is `slime_<dir>` except for
+        // `core` (package `slime4rec`).
+        let mut segs: Vec<String> = vec![match parts[1] {
+            "core" => "slime4rec".to_string(),
+            other => format!("slime_{}", other.replace('-', "_")),
+        }];
+        for p in &parts[3..] {
+            let stem = p.trim_end_matches(".rs");
+            if stem == "lib" || stem == "main" || stem == "mod" {
+                continue;
+            }
+            segs.push(stem.to_string());
+        }
+        return segs.join("::");
+    }
+    rel.trim_end_matches(".rs").replace('/', "::")
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Extract every `fn` definition in `src`, appending to `out`.
+fn extract_fns(rel: &str, src: &Source, out: &mut Vec<FnDef>) {
+    let in_tests_tree = rel.contains("/tests/") || rel.contains("/benches/");
+    let module = module_path(rel);
+    let mut line_idx = 0usize;
+    let mut col = 0usize;
+    while line_idx < src.lines.len() {
+        let code = &src.lines[line_idx].code;
+        let Some(pos) = fn_keyword_pos(code, col) else {
+            line_idx += 1;
+            col = 0;
+            continue;
+        };
+        // Name follows the keyword.
+        let after = &code[pos + 2..];
+        let name: String = after
+            .trim_start()
+            .chars()
+            .take_while(|&c| is_ident_char(c))
+            .collect();
+        if name.is_empty() {
+            // `fn(` type position, e.g. `dyn Fn` already filtered by case;
+            // `fn` pointer types — skip past it.
+            col = pos + 2;
+            continue;
+        }
+        let def_line = line_idx;
+        let is_test = src.lines[def_line].in_test || in_tests_tree;
+
+        // Walk to the body: a `{` at brace depth 0 opens it, a `;` before
+        // that means a bodyless declaration.
+        let (body, end_line, end_col) = collect_body(src, line_idx, pos + 2);
+        let mut def = FnDef {
+            name,
+            file: rel.to_string(),
+            module: module.clone(),
+            line: def_line + 1,
+            is_test,
+            calls: Vec::new(),
+            panic_sites: Vec::new(),
+            has_assert: false,
+            index_lines: Vec::new(),
+        };
+        for (lineno, text) in &body {
+            if src.lines[*lineno].in_test && !is_test {
+                continue;
+            }
+            analyze_body_line(&mut def, *lineno + 1, text);
+        }
+        out.push(def);
+        line_idx = end_line;
+        col = end_col;
+    }
+}
+
+/// Find the first `fn` keyword (whole word, lowercase) at or after `from`.
+fn fn_keyword_pos(code: &str, from: usize) -> Option<usize> {
+    let mut at = from;
+    while let Some(p) = code[at..].find("fn") {
+        let start = at + p;
+        let before_ok = start == 0 || !code[..start].chars().next_back().is_some_and(is_ident_char);
+        let after = code[start + 2..].chars().next();
+        let after_ok = !after.is_some_and(is_ident_char);
+        if before_ok && after_ok {
+            return Some(start);
+        }
+        at = start + 2;
+    }
+    None
+}
+
+/// From the `fn` keyword at (`line`, `col`), collect the body as
+/// `(line_index, text)` pieces. Returns the body plus the position just
+/// after the body (or after the `;` for bodyless declarations), so the
+/// caller can resume scanning there — this is what keeps nested `fn`s from
+/// being double-counted.
+fn collect_body(src: &Source, line: usize, col: usize) -> (Vec<(usize, String)>, usize, usize) {
+    let mut depth = 0i64;
+    let mut opened = false;
+    let mut body: Vec<(usize, String)> = Vec::new();
+    let mut j = line;
+    let mut from = col;
+    while j < src.lines.len() {
+        let code = &src.lines[j].code;
+        let mut current = String::new();
+        for (k, c) in code[from..].char_indices() {
+            if !opened {
+                match c {
+                    '{' => {
+                        opened = true;
+                        depth = 1;
+                    }
+                    ';' => return (body, j, from + k + 1),
+                    _ => {}
+                }
+            } else {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        current.push(c);
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            if !current.is_empty() {
+                                body.push((j, current));
+                            }
+                            return (body, j, from + k + 1);
+                        }
+                        current.push(c);
+                    }
+                    _ => current.push(c),
+                }
+            }
+        }
+        if opened && !current.is_empty() {
+            body.push((j, std::mem::take(&mut current)));
+        }
+        j += 1;
+        from = 0;
+    }
+    (body, j, 0)
+}
+
+/// Record calls, panic tokens, asserts, and indexing found on one body line.
+fn analyze_body_line(def: &mut FnDef, lineno: usize, text: &str) {
+    for tok in PANIC_TOKENS {
+        if text.contains(tok) {
+            def.panic_sites.push(PanicSite {
+                token: tok,
+                line: lineno,
+            });
+        }
+    }
+    if text.contains("assert") {
+        def.has_assert = true;
+    }
+
+    // Calls: identifier immediately (modulo spaces) followed by `(`, not a
+    // macro (`name!`) and not a keyword. Both `free_fn(` and `.method(`
+    // count; `Path::to::fn_name(` contributes its last segment.
+    let bytes: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if !is_ident_char(bytes[i]) || bytes[i].is_ascii_digit() {
+            // Indexing: `xs[i]` — an identifier (or `)`/`]`) directly
+            // followed by `[`.
+            if bytes[i] == '['
+                && i > 0
+                && (is_ident_char(bytes[i - 1]) || bytes[i - 1] == ')' || bytes[i - 1] == ']')
+                && !def.index_lines.contains(&lineno)
+            {
+                def.index_lines.push(lineno);
+            }
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && is_ident_char(bytes[i]) {
+            i += 1;
+        }
+        let ident: String = bytes[start..i].iter().collect();
+        // Skip whitespace.
+        let mut k = i;
+        while k < bytes.len() && bytes[k] == ' ' {
+            k += 1;
+        }
+        let next = bytes.get(k).copied();
+        if next == Some('(')
+            && !KEYWORDS.contains(&ident.as_str())
+            && bytes.get(i).copied() != Some('!')
+        {
+            let method =
+                start > 0 && bytes[..start].iter().rev().find(|c| **c != ' ') == Some(&'.');
+            def.calls.push(CallSite {
+                callee: ident,
+                line: lineno,
+                method,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_of(files: &[(&str, &str)]) -> CallGraph {
+        let sources: Vec<(String, Source)> = files
+            .iter()
+            .map(|(rel, text)| (rel.to_string(), Source::scan(text)))
+            .collect();
+        CallGraph::build(&sources)
+    }
+
+    #[test]
+    fn definitions_and_calls_are_extracted() {
+        let g = graph_of(&[(
+            "crates/x/src/lib.rs",
+            "pub fn a() { b(); helper_mod::c(); }\nfn b() { x.unwrap(); }\nfn c(q: usize) -> usize { q[0] }\n",
+        )]);
+        assert_eq!(g.fns.len(), 3);
+        let a = &g.fns[0];
+        assert_eq!(a.name, "a");
+        let callees: Vec<&str> = a.calls.iter().map(|c| c.callee.as_str()).collect();
+        assert_eq!(callees, vec!["b", "c"]);
+        assert_eq!(g.fns[1].panic_sites.len(), 1);
+        assert_eq!(g.fns[2].index_lines, vec![3]);
+        assert_eq!(g.n_edges, 2);
+    }
+
+    #[test]
+    fn nested_fns_are_attributed_to_the_enclosing_fn() {
+        let g = graph_of(&[(
+            "crates/x/src/lib.rs",
+            "pub fn outer() {\n    fn inner() { y.unwrap(); }\n    inner();\n}\nfn after() {}\n",
+        )]);
+        let names: Vec<&str> = g.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "after"]);
+        assert_eq!(
+            g.fns[0].panic_sites.len(),
+            1,
+            "inner panic folds into outer"
+        );
+    }
+
+    #[test]
+    fn reachability_walks_transitively_and_respects_edge_cuts() {
+        let files = [
+            (
+                "crates/hot/src/ops/k.rs",
+                "pub fn root() { mid(); }\n",
+            ),
+            (
+                "crates/cold/src/lib.rs",
+                "pub fn mid() { leaf(); }\npub fn leaf() { x.unwrap(); }\npub fn unrelated() { y.unwrap(); }\n",
+            ),
+        ];
+        let g = graph_of(&files);
+        let r = g.reach_from_roots(|f| f.starts_with("crates/hot/"), |_, _| true);
+        let reached_names: Vec<&str> = r.reached.keys().map(|&i| g.fns[i].name.as_str()).collect();
+        assert!(reached_names.contains(&"leaf"));
+        assert!(!reached_names.contains(&"unrelated"));
+        let leaf_idx = *g.defs_named("leaf").first().unwrap();
+        let trail = g.trail(&r, leaf_idx);
+        assert!(
+            trail.contains("`root`") && trail.contains("`mid`") && trail.contains("`leaf`"),
+            "trail: {trail}"
+        );
+
+        // Cutting the root→mid edge stops the walk.
+        let r2 = g.reach_from_roots(
+            |f| f.starts_with("crates/hot/"),
+            |file, line| !(file == "crates/hot/src/ops/k.rs" && line == 1),
+        );
+        assert!(!r2.reached.contains_key(&leaf_idx));
+    }
+
+    #[test]
+    fn macros_and_keywords_do_not_create_edges() {
+        let g = graph_of(&[(
+            "crates/x/src/lib.rs",
+            "fn f() { if (x) { vec![1]; println!(\"hi\"); } match (y) { _ => {} } }\nfn vec_helper() {}\n",
+        )]);
+        assert!(g.fns[0].calls.is_empty(), "calls: {:?}", g.fns[0].calls);
+    }
+
+    #[test]
+    fn module_paths_derive_from_file_location() {
+        assert_eq!(
+            module_path("crates/tensor/src/ops/spectral.rs"),
+            "slime_tensor::ops::spectral"
+        );
+        assert_eq!(module_path("crates/core/src/lib.rs"), "slime4rec");
+        assert_eq!(module_path("crates/fft/src/plan.rs"), "slime_fft::plan");
+    }
+}

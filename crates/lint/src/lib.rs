@@ -1,7 +1,9 @@
 //! slime-lint: a zero-dependency static-analysis pass for this workspace.
 //!
-//! Seven rules, each calibrated against the real tree and enforced in CI
-//! (`scripts/ci.sh`):
+//! Nine rules, each calibrated against the real tree and enforced in CI
+//! (`scripts/ci.sh`). Since v2 the rules run over a workspace-wide symbol
+//! table and call graph ([`graph`]) built on the same hand-rolled scanner —
+//! still zero dependencies:
 //!
 //! - **offline-purity (L1)** — every dependency in every manifest must
 //!   resolve by workspace path, and every `use`/`extern crate` root in the
@@ -12,7 +14,11 @@
 //!   by name from the gradcheck corpus.
 //! - **panic (L3)** — `unwrap()`, `expect(`, `panic!`, `todo!`,
 //!   `unimplemented!` are banned on hot paths (tensor ops, FFT, nn
-//!   forward code) unless justified with a `lint-allow`.
+//!   forward code) *and in every function transitively reachable from
+//!   them through the call graph*; transitive findings carry the call
+//!   trail, and a `lint-allow(panic)` on a call-site line cuts that edge.
+//!   Reachable functions that index slices without stating any
+//!   assert/debug_assert contract are flagged too.
 //! - **shape-assert (L4)** — public tensor ops taking multiple tensor
 //!   operands must validate operand shapes before computing.
 //! - **thread-discipline (L5)** — raw `thread::spawn` / `thread::Builder`
@@ -28,12 +34,24 @@
 //!   disjoint-writer idiom (blocks made solely of `.slice_mut(…)` /
 //!   `.write(…)` calls) passes without a justification; `lint-allow(l7)`
 //!   is accepted as an alias for `lint-allow(unsafe)`.
+//! - **disjoint-writer (L8)** — every `UnsafeSlice::write` / `slice_mut` /
+//!   `ptr::write` site inside a `parallel_for` closure must carry a
+//!   machine-checkable `// lint-proof(l8): target[…]` annotation tying the
+//!   written range to the chunk bounds; contiguous-range claims are proved
+//!   disjoint statically, per-element claims are discharged at runtime by
+//!   the `sanitize-race` shadow log in slime-par.
+//! - **nondeterminism (L9)** — numeric crates must not iterate
+//!   `HashMap`/`HashSet`, read `Instant::now`/`SystemTime` (clock access
+//!   belongs to crates/trace), or key logic on `thread::current().id()`.
 //!
 //! Escape hatch: `// lint-allow(<rule>): <reason>` on the offending line,
-//! or on a standalone comment line directly above it. The reason is
-//! mandatory by convention; it is what reviewers audit.
+//! or on a standalone comment line directly above it (attribute lines in
+//! between are skipped). The reason is mandatory by convention; it is what
+//! reviewers audit. L8 obligations are discharged with
+//! `// lint-proof(l8): <claim>` rather than allowed away.
 
 pub mod cli;
+pub mod graph;
 pub mod rules;
 pub mod scan;
 pub mod workspace;

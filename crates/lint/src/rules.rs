@@ -1,31 +1,123 @@
 //! The lint rules. Each rule is a pure function from a discovered
 //! [`Workspace`] to a list of [`Finding`]s, so the fixture tests can point
 //! a rule at a miniature workspace tree and assert exactly what fires.
+//!
+//! Internally every rule runs against an [`Analysis`]: the workspace with
+//! all sources scanned once and the call graph built once. The public
+//! per-rule functions build a throwaway `Analysis` (fine for fixture-sized
+//! trees); [`run_all`] / [`run_all_timed`] share one across all rules.
 
 use std::collections::HashSet;
 use std::fs;
-use std::path::Path;
+use std::time::Instant;
 
+use crate::graph::CallGraph;
 use crate::scan::Source;
 use crate::workspace::Workspace;
 use crate::Finding;
 
-/// Run every rule and return the findings sorted by (file, line, rule).
-pub fn run_all(ws: &Workspace) -> Vec<Finding> {
-    let mut out = Vec::new();
-    out.extend(l1_offline_purity(ws));
-    out.extend(l2_op_coverage(ws));
-    out.extend(l3_panic_freedom(ws));
-    out.extend(l4_shape_assert(ws));
-    out.extend(l5_thread_discipline(ws));
-    out.extend(l6_raw_print(ws));
-    out.extend(l7_unsafe_confinement(ws));
-    out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
-    out
+/// The scanned workspace every rule consumes: each `.rs` file tokenized
+/// once, plus the call graph over all of them.
+pub struct Analysis<'w> {
+    /// The discovered workspace.
+    pub ws: &'w Workspace,
+    /// `(workspace-relative path, scanned source)`, in `rs_files` order.
+    pub sources: Vec<(String, Source)>,
+    /// The workspace call graph.
+    pub graph: CallGraph,
 }
 
-fn read_source(path: &Path) -> Option<Source> {
-    fs::read_to_string(path).ok().map(|t| Source::scan(&t))
+impl<'w> Analysis<'w> {
+    /// Scan every source file and build the call graph.
+    pub fn build(ws: &'w Workspace) -> Analysis<'w> {
+        let sources: Vec<(String, Source)> = ws
+            .rs_files
+            .iter()
+            .filter_map(|f| {
+                fs::read_to_string(f)
+                    .ok()
+                    .map(|t| (ws.rel(f), Source::scan(&t)))
+            })
+            .collect();
+        let graph = CallGraph::build(&sources);
+        Analysis { ws, sources, graph }
+    }
+
+    /// The scanned source for a workspace-relative path.
+    pub fn source(&self, rel: &str) -> Option<&Source> {
+        self.sources.iter().find(|(r, _)| r == rel).map(|(_, s)| s)
+    }
+}
+
+/// Wall-clock cost of one rule inside [`run_all_timed`].
+pub struct RuleTiming {
+    /// Rule name (or `"scan+graph"` for the shared analysis build).
+    pub rule: &'static str,
+    /// Elapsed milliseconds.
+    pub ms: f64,
+}
+
+/// Call-graph size statistics, exported into `lint.json`.
+pub struct GraphStats {
+    /// Source files scanned.
+    pub files: usize,
+    /// Function definitions found.
+    pub functions: usize,
+    /// Resolved call edges.
+    pub edges: usize,
+    /// Hot-path root functions (L3 walk entry points).
+    pub hot_roots: usize,
+    /// Functions reachable from a hot root (roots included).
+    pub reachable_fns: usize,
+}
+
+/// Run every rule and return the findings sorted by (file, line, rule).
+pub fn run_all(ws: &Workspace) -> Vec<Finding> {
+    run_all_timed(ws).0
+}
+
+/// Like [`run_all`], but also reports per-rule wall time and the call-graph
+/// statistics — the payload of `lint.json`.
+pub fn run_all_timed(ws: &Workspace) -> (Vec<Finding>, Vec<RuleTiming>, GraphStats) {
+    let mut timings = Vec::new();
+    let t0 = Instant::now();
+    let a = Analysis::build(ws);
+    timings.push(RuleTiming {
+        rule: "scan+graph",
+        ms: t0.elapsed().as_secs_f64() * 1e3,
+    });
+
+    let mut out = Vec::new();
+    let rules: &[(&'static str, fn(&Analysis) -> Vec<Finding>)] = &[
+        ("offline-purity", l1_impl),
+        ("op-coverage", l2_impl),
+        ("panic", l3_impl),
+        ("shape-assert", l4_impl),
+        ("thread-discipline", l5_impl),
+        ("raw-print", l6_impl),
+        ("unsafe-confinement", l7_impl),
+        ("disjoint-writer", l8_impl),
+        ("nondeterminism", l9_impl),
+    ];
+    for (name, rule) in rules {
+        let t = Instant::now();
+        out.extend(rule(&a));
+        timings.push(RuleTiming {
+            rule: name,
+            ms: t.elapsed().as_secs_f64() * 1e3,
+        });
+    }
+    out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+
+    let reach = hot_reachability(&a);
+    let stats = GraphStats {
+        files: a.sources.len(),
+        functions: a.graph.fns.len(),
+        edges: a.graph.n_edges,
+        hot_roots: reach.roots.len(),
+        reachable_fns: reach.reached.len(),
+    };
+    (out, timings, stats)
 }
 
 /// Does `name` occur in `haystack` as a whole identifier (not as a
@@ -54,8 +146,16 @@ fn word_in(haystack: &str, name: &str) -> bool {
 /// `use`/`extern crate` root must be `std`/`core`/`alloc` or a workspace
 /// crate. Both halves matter: the manifest check catches deps the sources
 /// never name, the source check catches a path dep pointing outside the
-/// workspace or a stray `extern crate`.
+/// workspace or a stray `extern crate`. Multi-line `use` statements —
+/// including `use { a::…, b::… }` brace groups split across lines by
+/// rustfmt — are joined to the terminating `;` before roots are extracted,
+/// so an external crate cannot hide on a continuation line.
 pub fn l1_offline_purity(ws: &Workspace) -> Vec<Finding> {
+    l1_impl(&Analysis::build(ws))
+}
+
+fn l1_impl(a: &Analysis) -> Vec<Finding> {
+    let ws = a.ws;
     let mut out = Vec::new();
     for m in &ws.manifests {
         for d in &m.deps {
@@ -80,28 +180,44 @@ pub fn l1_offline_purity(ws: &Workspace) -> Vec<Finding> {
         .collect();
     allowed.extend(ws.crate_idents());
 
-    for f in &ws.rs_files {
-        let Some(src) = read_source(f) else { continue };
-        let local = local_decls(&src);
-        for (idx, l) in src.lines.iter().enumerate() {
-            let Some(root) = use_root(&l.code) else {
-                continue;
-            };
-            if root.is_empty() || allowed.contains(root) || local.contains(root) {
+    for (rel, src) in &a.sources {
+        let local = local_decls(src);
+        let mut idx = 0usize;
+        while idx < src.lines.len() {
+            if !is_use_start(&src.lines[idx].code) {
+                idx += 1;
                 continue;
             }
-            if src.allowed("offline-purity", idx + 1) {
-                continue;
+            // Join the statement to its terminating `;` so brace groups
+            // split across lines resolve as one unit.
+            let mut stmt = String::new();
+            let mut j = idx;
+            while j < src.lines.len() {
+                stmt.push_str(&src.lines[j].code);
+                stmt.push(' ');
+                if src.lines[j].code.contains(';') {
+                    break;
+                }
+                j += 1;
             }
-            out.push(Finding {
-                rule: "offline-purity",
-                file: ws.rel(f),
-                line: idx + 1,
-                message: format!(
-                    "imports non-workspace crate `{root}`; only std and workspace crates \
-                     are available offline"
-                ),
-            });
+            for root in use_roots(&stmt) {
+                if root.is_empty() || allowed.contains(&root) || local.contains(&root) {
+                    continue;
+                }
+                if src.allowed("offline-purity", idx + 1) || src.allowed("l1", idx + 1) {
+                    continue;
+                }
+                out.push(Finding {
+                    rule: "offline-purity",
+                    file: rel.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "imports non-workspace crate `{root}`; only std and workspace crates \
+                         are available offline"
+                    ),
+                });
+            }
+            idx = j + 1;
         }
     }
     out
@@ -136,8 +252,14 @@ fn local_decls(src: &Source) -> HashSet<String> {
     out
 }
 
-/// Extract the first path segment of a `use`/`pub use`/`extern crate` line.
-fn use_root(code: &str) -> Option<&str> {
+/// Does this line open a `use`/`pub use`/`extern crate` statement?
+fn is_use_start(code: &str) -> bool {
+    use_body(code).is_some()
+}
+
+/// Strip the `use `/`pub use `/`extern crate ` prefix, returning the path
+/// part (which may continue onto later lines).
+fn use_body(code: &str) -> Option<&str> {
     let t = code.trim_start();
     let t = if t.starts_with("pub") {
         // `pub use`, `pub(crate) use`, `pub(in …) use`.
@@ -148,14 +270,58 @@ fn use_root(code: &str) -> Option<&str> {
     } else {
         t
     };
-    let rest = t
-        .strip_prefix("use ")
-        .or_else(|| t.strip_prefix("extern crate "))?;
-    let rest = rest.trim_start_matches("::");
-    let end = rest
-        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
-        .unwrap_or(rest.len());
-    Some(&rest[..end])
+    t.strip_prefix("use ")
+        .or_else(|| t.strip_prefix("extern crate "))
+}
+
+/// Leading identifier of a path fragment (skipping a leading `::`).
+fn path_root(frag: &str) -> String {
+    let rest = frag.trim_start().trim_start_matches("::");
+    rest.chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect()
+}
+
+/// All top-level roots of a (joined, `;`-terminated) use statement. A plain
+/// `use a::b::c;` has one root; a brace group `use { a::x, b::y };` has one
+/// per top-level comma-separated item.
+fn use_roots(stmt: &str) -> Vec<String> {
+    let Some(body) = use_body(stmt) else {
+        return Vec::new();
+    };
+    let body = body.trim_start();
+    if !body.starts_with('{') {
+        return vec![path_root(body)];
+    }
+    // Split the outer group on top-level commas; nested groups (`a::{x,y}`)
+    // stay inside their item and contribute the item's root once.
+    let inner = &body[1..];
+    let mut roots = Vec::new();
+    let mut depth = 0i64;
+    let mut item = String::new();
+    for c in inner.chars() {
+        match c {
+            '{' => {
+                depth += 1;
+                item.push(c);
+            }
+            '}' if depth == 0 => break,
+            '}' => {
+                depth -= 1;
+                item.push(c);
+            }
+            ',' if depth == 0 => {
+                roots.push(path_root(&item));
+                item.clear();
+            }
+            _ => item.push(c),
+        }
+    }
+    if !item.trim().is_empty() {
+        roots.push(path_root(&item));
+    }
+    roots.retain(|r| !r.is_empty());
+    roots
 }
 
 // ---------------------------------------------------------------------------
@@ -246,31 +412,30 @@ fn public_fns(src: &Source) -> Vec<FnItem> {
 /// (`crates/tensor/src/gradcheck.rs`, `crates/tensor/tests/`,
 /// `tests/cross_crate_gradcheck.rs`).
 pub fn l2_op_coverage(ws: &Workspace) -> Vec<Finding> {
+    l2_impl(&Analysis::build(ws))
+}
+
+fn l2_impl(a: &Analysis) -> Vec<Finding> {
     let mut corpus = String::new();
-    for f in &ws.rs_files {
-        let r = ws.rel(f);
+    for (r, src) in &a.sources {
         if r == "crates/tensor/src/gradcheck.rs"
             || r.starts_with("crates/tensor/tests/")
             || r == "tests/cross_crate_gradcheck.rs"
         {
             // Only code counts as coverage: an op named solely in a comment
             // has no gradcheck exercising it.
-            if let Some(src) = read_source(f) {
-                for l in &src.lines {
-                    corpus.push_str(&l.code);
-                    corpus.push('\n');
-                }
+            for l in &src.lines {
+                corpus.push_str(&l.code);
+                corpus.push('\n');
             }
         }
     }
 
     let mut out = Vec::new();
-    for f in &ws.rs_files {
-        let rel = ws.rel(f);
+    for (rel, src) in &a.sources {
         if !rel.starts_with("crates/tensor/src/ops/") || rel.ends_with("/mod.rs") {
             continue;
         }
-        let Some(src) = read_source(f) else { continue };
         let registers_backward = src.code_contains("fn backward(") || src.code_contains("unary(");
         if !registers_backward && !src.allowed("op-coverage", 1) {
             out.push(Finding {
@@ -282,7 +447,7 @@ pub fn l2_op_coverage(ws: &Workspace) -> Vec<Finding> {
                     .into(),
             });
         }
-        for item in public_fns(&src) {
+        for item in public_fns(src) {
             if word_in(&corpus, &item.name) {
                 continue;
             }
@@ -318,16 +483,46 @@ const HOT_PATHS: &[&str] = &[
     "crates/nn/src/",
 ];
 
-const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!", "todo!", "unimplemented!"];
+use crate::graph::PANIC_TOKENS;
 
+/// Is the `panic` rule (either spelling) allowed on this line?
+fn panic_allowed(src: &Source, line: usize) -> bool {
+    src.allowed("panic", line) || src.allowed("l3", line)
+}
+
+/// The hot-root reachability walk L3 and the stats block share. A
+/// `lint-allow(panic)` on a *call line* cuts that edge, suppressing the
+/// whole subtree it would have reached (the per-edge escape hatch).
+fn hot_reachability(a: &Analysis) -> crate::graph::Reachability {
+    a.graph.reach_from_roots(
+        |file| HOT_PATHS.iter().any(|p| file.starts_with(p)),
+        |file, line| a.source(file).is_none_or(|src| !panic_allowed(src, line)),
+    )
+}
+
+/// L3, call-graph transitive. Three layers:
+///
+/// 1. every panic token in a hot-path file fires directly (the pre-graph
+///    behaviour, kept so module-level code outside any `fn` stays covered);
+/// 2. every panic token in any function *reachable* from a hot-path root
+///    fires, with the call trail in the message — each trail hop names the
+///    call site where a `lint-allow(panic)` would cut the edge;
+/// 3. every reachable function that indexes slices but states no invariant
+///    at all (no `assert!`/`debug_assert!` in the body) fires once at its
+///    definition: unchecked indexing is a panic path the tokens don't see.
 pub fn l3_panic_freedom(ws: &Workspace) -> Vec<Finding> {
+    l3_impl(&Analysis::build(ws))
+}
+
+fn l3_impl(a: &Analysis) -> Vec<Finding> {
     let mut out = Vec::new();
-    for f in &ws.rs_files {
-        let rel = ws.rel(f);
+    let mut seen: HashSet<(String, usize)> = HashSet::new();
+
+    // Layer 1: direct scan of hot-path files.
+    for (rel, src) in &a.sources {
         if !HOT_PATHS.iter().any(|p| rel.starts_with(p)) {
             continue;
         }
-        let Some(src) = read_source(f) else { continue };
         for (idx, l) in src.lines.iter().enumerate() {
             if l.in_test {
                 continue;
@@ -336,9 +531,10 @@ pub fn l3_panic_freedom(ws: &Workspace) -> Vec<Finding> {
                 if !l.code.contains(tok) {
                     continue;
                 }
-                if src.allowed("panic", idx + 1) {
+                if panic_allowed(src, idx + 1) {
                     continue;
                 }
+                seen.insert((rel.clone(), idx + 1));
                 out.push(Finding {
                     rule: "panic",
                     file: rel.clone(),
@@ -349,6 +545,57 @@ pub fn l3_panic_freedom(ws: &Workspace) -> Vec<Finding> {
                     ),
                 });
             }
+        }
+    }
+
+    // Layers 2 and 3: the reachability walk.
+    let reach = hot_reachability(a);
+    let mut idxs: Vec<usize> = reach.reached.keys().copied().collect();
+    idxs.sort_unstable();
+    for i in idxs {
+        let f = &a.graph.fns[i];
+        let Some(src) = a.source(&f.file) else {
+            continue;
+        };
+        for ps in &f.panic_sites {
+            if seen.contains(&(f.file.clone(), ps.line)) || panic_allowed(src, ps.line) {
+                continue;
+            }
+            seen.insert((f.file.clone(), ps.line));
+            out.push(Finding {
+                rule: "panic",
+                file: f.file.clone(),
+                line: ps.line,
+                message: format!(
+                    "`{}` in `{}` ({}) is reachable from a hot path: {}; return a Result, \
+                     cut an edge with `// lint-allow(panic): <why>` at a call site in the \
+                     trail, or justify at this line",
+                    ps.token,
+                    f.name,
+                    f.module,
+                    a.graph.trail(&reach, i)
+                ),
+            });
+        }
+        if !f.index_lines.is_empty()
+            && !f.has_assert
+            && !panic_allowed(src, f.line)
+            && seen.insert((f.file.clone(), f.line))
+        {
+            out.push(Finding {
+                rule: "panic",
+                file: f.file.clone(),
+                line: f.line,
+                message: format!(
+                    "`{}` ({}) indexes slices but states no bounds contract (no assert/\
+                     debug_assert anywhere in the body) and is reachable from a hot path: \
+                     {}; add a debug_assert tying the indices to the slice lengths, or \
+                     justify with `// lint-allow(panic): <why>`",
+                    f.name,
+                    f.module,
+                    a.graph.trail(&reach, i)
+                ),
+            });
         }
     }
     out
@@ -364,14 +611,16 @@ pub fn l3_panic_freedom(ws: &Workspace) -> Vec<Finding> {
 /// `assert_broadcastable`). Single-operand ops are exempt — there is no
 /// cross-operand contract to check.
 pub fn l4_shape_assert(ws: &Workspace) -> Vec<Finding> {
+    l4_impl(&Analysis::build(ws))
+}
+
+fn l4_impl(a: &Analysis) -> Vec<Finding> {
     let mut out = Vec::new();
-    for f in &ws.rs_files {
-        let rel = ws.rel(f);
+    for (rel, src) in &a.sources {
         if !rel.starts_with("crates/tensor/src/ops/") || rel.ends_with("/mod.rs") {
             continue;
         }
-        let Some(src) = read_source(f) else { continue };
-        for item in public_fns(&src) {
+        for item in public_fns(src) {
             let tensor_params = item.signature.matches("&Tensor").count();
             let multi = tensor_params >= 2
                 || item.signature.contains("&[Tensor]")
@@ -410,13 +659,15 @@ pub fn l4_shape_assert(ws: &Workspace) -> Vec<Finding> {
 const SPAWN_TOKENS: &[&str] = &["thread::spawn", "thread::Builder"];
 
 pub fn l5_thread_discipline(ws: &Workspace) -> Vec<Finding> {
+    l5_impl(&Analysis::build(ws))
+}
+
+fn l5_impl(a: &Analysis) -> Vec<Finding> {
     let mut out = Vec::new();
-    for f in &ws.rs_files {
-        let rel = ws.rel(f);
+    for (rel, src) in &a.sources {
         if rel.starts_with("crates/par/") {
             continue;
         }
-        let Some(src) = read_source(f) else { continue };
         for (idx, l) in src.lines.iter().enumerate() {
             if l.in_test {
                 continue;
@@ -482,15 +733,17 @@ fn print_token_in(code: &str, tok: &str) -> bool {
 }
 
 pub fn l6_raw_print(ws: &Workspace) -> Vec<Finding> {
+    l6_impl(&Analysis::build(ws))
+}
+
+fn l6_impl(a: &Analysis) -> Vec<Finding> {
     let mut out = Vec::new();
-    for f in &ws.rs_files {
-        let rel = ws.rel(f);
+    for (rel, src) in &a.sources {
         if PRINT_EXEMPT_PREFIXES.iter().any(|p| rel.starts_with(p))
             || PRINT_EXEMPT_SEGMENTS.iter().any(|s| rel.contains(s))
         {
             continue;
         }
-        let Some(src) = read_source(f) else { continue };
         for (idx, l) in src.lines.iter().enumerate() {
             if l.in_test {
                 continue;
@@ -539,13 +792,15 @@ pub fn l6_raw_print(ws: &Workspace) -> Vec<Finding> {
 const UNSAFE_ALLOWED_PREFIXES: &[&str] = &["crates/par/", "crates/tensor/src/simd/"];
 
 pub fn l7_unsafe_confinement(ws: &Workspace) -> Vec<Finding> {
+    l7_impl(&Analysis::build(ws))
+}
+
+fn l7_impl(a: &Analysis) -> Vec<Finding> {
     let mut out = Vec::new();
-    for f in &ws.rs_files {
-        let rel = ws.rel(f);
+    for (rel, src) in &a.sources {
         if UNSAFE_ALLOWED_PREFIXES.iter().any(|p| rel.starts_with(p)) {
             continue;
         }
-        let Some(src) = read_source(f) else { continue };
         for idx in 0..src.lines.len() {
             let l = &src.lines[idx];
             if l.in_test {
@@ -557,7 +812,7 @@ pub fn l7_unsafe_confinement(ws: &Workspace) -> Vec<Finding> {
             if src.allowed("unsafe", idx + 1) || src.allowed("l7", idx + 1) {
                 continue;
             }
-            if unsafe_block_content(&src, idx, pos + "unsafe".len())
+            if unsafe_block_content(src, idx, pos + "unsafe".len())
                 .is_some_and(|body| body.split(';').all(is_disjoint_writer_stmt))
             {
                 continue;
@@ -663,18 +918,644 @@ fn is_disjoint_writer_stmt(stmt: &str) -> bool {
     (rest.starts_with(".slice_mut(") || rest.starts_with(".write(")) && s.ends_with(')')
 }
 
+// ---------------------------------------------------------------------------
+// L8: disjoint-writer obligations in parallel_for closures
+// ---------------------------------------------------------------------------
+
+/// Every `UnsafeSlice::write` / `slice_mut` / `ptr::write` site inside a
+/// `parallel_for(n, chunk, |lo, hi| …)` closure must be covered by a
+/// machine-checkable proof annotation naming the written range in terms of
+/// the chunk bounds:
+///
+/// ```text
+/// // lint-proof(l8): w[lo * n .. hi * n]                 (form 1: range)
+/// // lint-proof(l8): w[(bi * m + k) * d + c for p in lo..hi]   (form 2)
+/// ```
+///
+/// Form 1 is *statically discharged*: both endpoint expressions are
+/// tokenized over the grammar `ident | integer | + | * | ( | )` (no `-`,
+/// `/`, `%` — the map from chunk bounds to offsets must be monotone), the
+/// left endpoint must use the first closure binder, the right the second,
+/// and substituting each binder with a placeholder must yield *identical*
+/// token sequences. Identical templates mean both endpoints are the same
+/// monotone affine-ish map of the shared chunk boundary, so adjacent chunks
+/// claim `f(b0)..f(b1)` and `f(b1)..f(b2)` — disjoint by construction. A
+/// claim like `w[lo .. hi + 1]` has differing templates and fails here.
+///
+/// Form 2 (`for <var> in lo..hi`) covers non-contiguous per-element writes
+/// (e.g. strided FFT scatter). Its grammar is checked statically but its
+/// disjointness is discharged *dynamically* by the `sanitize-race` shadow
+/// log (see DESIGN.md §12) — the annotation records the claim the sanitizer
+/// verifies.
+///
+/// A proof covers a write site when it sits inside the same closure body, or
+/// standalone-covers the `parallel_for` call line or the write line itself.
+/// Unannotated sites and malformed/overlapping claims both fail; test code,
+/// benches, binaries, and examples are exempt.
+const WRITE_TOKENS: &[&str] = &[".write(", ".slice_mut(", "ptr::write"];
+
+/// Shared path exemption for L8/L9: obligations protect shipped numeric
+/// code, not test harnesses, benches, binaries, or runnable examples.
+fn harness_exempt(rel: &str) -> bool {
+    rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+        || rel.contains("/src/bin/")
+        || rel.starts_with("tests/")
+        || rel.starts_with("examples/")
+}
+
+/// A `parallel_for(…, |b0, b1| { … })` call site with its closure extent.
+struct ParClosure {
+    /// 1-based line of the `parallel_for` token.
+    call_line: usize,
+    /// The two closure binders (chunk start, chunk end).
+    b0: String,
+    b1: String,
+    /// 1-based first/last line of the closure body (brace extent).
+    body_start: usize,
+    body_end: usize,
+}
+
+/// Locate every two-binder braced closure passed to `parallel_for`.
+/// Expression closures (no braces) and non-2-ary closures are skipped —
+/// the pool's `parallel_for` signature is `Fn(usize, usize)`, so real call
+/// sites always match.
+fn parallel_for_closures(src: &Source) -> Vec<ParClosure> {
+    let mut out = Vec::new();
+    for idx in 0..src.lines.len() {
+        let l = &src.lines[idx];
+        if l.in_test {
+            continue;
+        }
+        let Some(pos) = word_pos(&l.code, "parallel_for") else {
+            continue;
+        };
+        let after = pos + "parallel_for".len();
+        if !l.code[after..].trim_start().starts_with('(') {
+            continue;
+        }
+        if let Some(pc) = parse_par_closure(src, idx, after) {
+            out.push(pc);
+        }
+    }
+    out
+}
+
+/// Char-walk from just past the `parallel_for` token: find the closure's
+/// `|binders|`, then its `{`, then the matching `}`.
+fn parse_par_closure(src: &Source, line: usize, col: usize) -> Option<ParClosure> {
+    let mut j = line;
+    let mut from = col;
+    let mut state = 0u8; // 0: seek '|', 1: in binders, 2: seek '{', 3: in body
+    let mut binders = String::new();
+    let mut depth = 0i64;
+    let mut body_start = 0usize;
+    while j < src.lines.len() {
+        for c in src.lines[j].code[from..].chars() {
+            match state {
+                0 => {
+                    if c == '|' {
+                        state = 1;
+                    }
+                }
+                1 => {
+                    if c == '|' {
+                        state = 2;
+                    } else {
+                        binders.push(c);
+                    }
+                }
+                2 => match c {
+                    '{' => {
+                        depth = 1;
+                        state = 3;
+                        body_start = j + 1;
+                    }
+                    c if c.is_whitespace() => {}
+                    _ => return None,
+                },
+                _ => match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            let parts: Vec<String> = binders
+                                .split(',')
+                                .map(|b| b.trim().trim_start_matches("mut ").trim().to_string())
+                                .collect();
+                            if parts.len() != 2
+                                || parts.iter().any(|p| {
+                                    p.is_empty()
+                                        || !p.chars().all(|c| c.is_alphanumeric() || c == '_')
+                                })
+                            {
+                                return None;
+                            }
+                            return Some(ParClosure {
+                                call_line: line + 1,
+                                b0: parts[0].clone(),
+                                b1: parts[1].clone(),
+                                body_start,
+                                body_end: j + 1,
+                            });
+                        }
+                    }
+                    _ => {}
+                },
+            }
+        }
+        j += 1;
+        from = 0;
+    }
+    None
+}
+
+/// One token of an L8 claim expression.
+#[derive(PartialEq, Clone, Debug)]
+enum ClaimTok {
+    Ident(String),
+    Sym(char),
+}
+
+/// Tokenize a claim expression over `allowed` symbol characters.
+/// Identifiers and integer literals become `Ident` tokens.
+fn claim_tokens(expr: &str, allowed: &[char]) -> Result<Vec<ClaimTok>, String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in expr.chars() {
+        if c.is_alphanumeric() || c == '_' {
+            cur.push(c);
+        } else {
+            if !cur.is_empty() {
+                out.push(ClaimTok::Ident(std::mem::take(&mut cur)));
+            }
+            if c.is_whitespace() {
+                continue;
+            }
+            if !allowed.contains(&c) {
+                return Err(format!("symbol `{c}` is outside the claim grammar"));
+            }
+            out.push(ClaimTok::Sym(c));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(ClaimTok::Ident(cur));
+    }
+    Ok(out)
+}
+
+/// Substitute the binder identifier with a placeholder, yielding the
+/// endpoint *template*.
+fn claim_template(toks: &[ClaimTok], binder: &str) -> Vec<ClaimTok> {
+    toks.iter()
+        .map(|t| match t {
+            ClaimTok::Ident(i) if i == binder => ClaimTok::Ident("\u{a7}".into()),
+            t => t.clone(),
+        })
+        .collect()
+}
+
+/// Parse + statically check one `lint-proof(l8)` claim against the closure
+/// binders. Returns the claimed target identifier.
+fn check_l8_claim(claim: &str, b0: &str, b1: &str) -> Result<String, String> {
+    let claim = claim.trim();
+    let tlen = claim
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(0);
+    if tlen == 0 {
+        return Err("claim must start with the written target's identifier".into());
+    }
+    let target = claim[..tlen].to_string();
+    let rest = claim[tlen..].trim();
+    let inner = rest
+        .strip_prefix('[')
+        .and_then(|r| r.strip_suffix(']'))
+        .ok_or("claim must be `target[…]`")?;
+
+    if let Some(fpos) = inner.find(" for ") {
+        // Form 2: `target[elemExpr for var in b0..b1]` — grammar-checked
+        // here, disjointness discharged at runtime by sanitize-race.
+        let (elem, spec) = (&inner[..fpos], inner[fpos + " for ".len()..].trim());
+        claim_tokens(elem, &['+', '*', '/', '%', '(', ')', '[', ']'])?;
+        let (var, range) = spec
+            .split_once(" in ")
+            .ok_or("form-2 claim needs `for <var> in <lo>..<hi>`")?;
+        let var = var.trim();
+        if var.is_empty() || !var.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return Err("form-2 loop variable must be an identifier".into());
+        }
+        let (lo, hi) = range
+            .split_once("..")
+            .ok_or("form-2 claim needs `for <var> in <lo>..<hi>`")?;
+        if lo.trim() != b0 || hi.trim() != b1 {
+            return Err(format!(
+                "form-2 loop range `{}..{}` must be exactly the closure's chunk \
+                 bounds `{b0}..{b1}`",
+                lo.trim(),
+                hi.trim()
+            ));
+        }
+        return Ok(target);
+    }
+
+    // Form 1: `target[left .. right]`.
+    let (left, right) = inner
+        .split_once("..")
+        .ok_or("form-1 claim needs `target[<lo expr> .. <hi expr>]`")?;
+    let lt = claim_tokens(left, &['+', '*', '(', ')'])?;
+    let rt = claim_tokens(right, &['+', '*', '(', ')'])?;
+    if !lt.contains(&ClaimTok::Ident(b0.to_string())) {
+        return Err(format!(
+            "left endpoint must use the chunk-start binder `{b0}`"
+        ));
+    }
+    if !rt.contains(&ClaimTok::Ident(b1.to_string())) {
+        return Err(format!(
+            "right endpoint must use the chunk-end binder `{b1}`"
+        ));
+    }
+    if claim_template(&lt, b0) != claim_template(&rt, b1) {
+        return Err(format!(
+            "endpoint templates differ (`{}` vs `{}` after substituting the \
+             binder): adjacent chunks could claim overlapping ranges",
+            left.trim(),
+            right.trim()
+        ));
+    }
+    Ok(target)
+}
+
+/// The target identifier a claim names, even when the rest of the claim is
+/// malformed — an invalid proof still *covers* its target's write sites
+/// (the claim error is reported at the proof line instead of a second
+/// "unannotated" finding at every write).
+fn claim_target(claim: &str) -> Option<String> {
+    let claim = claim.trim();
+    let tlen = claim
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(claim.len());
+    (tlen > 0).then(|| claim[..tlen].to_string())
+}
+
+/// Trailing identifier of `code[..at]` — the receiver of a method call
+/// token found at byte offset `at`.
+fn receiver_before(code: &str, at: usize) -> String {
+    let head = &code[..at];
+    let start = head
+        .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    head[start..].to_string()
+}
+
+pub fn l8_disjoint_writer(ws: &Workspace) -> Vec<Finding> {
+    l8_impl(&Analysis::build(ws))
+}
+
+fn l8_impl(a: &Analysis) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (rel, src) in &a.sources {
+        if harness_exempt(rel) {
+            continue;
+        }
+        let mut proof_reported: HashSet<usize> = HashSet::new();
+        for pc in parallel_for_closures(src) {
+            // Proofs associated with this closure: inside its body, or
+            // standalone-covering its call line.
+            let proofs: Vec<(usize, &str, Result<String, String>)> = src
+                .proofs
+                .iter()
+                .filter(|p| p.rule == "l8")
+                .filter(|p| {
+                    (p.line >= pc.body_start && p.line <= pc.body_end)
+                        || src.covers(p.line, p.standalone, pc.call_line)
+                })
+                .map(|p| {
+                    (
+                        p.line,
+                        p.claim.as_str(),
+                        check_l8_claim(&p.claim, &pc.b0, &pc.b1),
+                    )
+                })
+                .collect();
+            for (line, claim, res) in &proofs {
+                if let Err(why) = res {
+                    if proof_reported.insert(*line) {
+                        out.push(Finding {
+                            rule: "disjoint-writer",
+                            file: rel.clone(),
+                            line: *line,
+                            message: format!("invalid lint-proof(l8) claim `{claim}`: {why}"),
+                        });
+                    }
+                }
+            }
+            for n in pc.body_start..=pc.body_end {
+                let l = &src.lines[n - 1];
+                if l.in_test {
+                    continue;
+                }
+                for tok in WRITE_TOKENS {
+                    let mut from = 0;
+                    while let Some(pos) = l.code[from..].find(tok) {
+                        let at = from + pos;
+                        from = at + tok.len();
+                        if src.allowed("disjoint-writer", n) || src.allowed("l8", n) {
+                            continue;
+                        }
+                        let recv = if *tok == "ptr::write" {
+                            "ptr".to_string()
+                        } else {
+                            receiver_before(&l.code, at)
+                        };
+                        let covered = proofs
+                            .iter()
+                            .any(|(_, claim, _)| claim_target(claim).as_deref() == Some(&recv))
+                            || src.proofs.iter().any(|p| {
+                                p.rule == "l8"
+                                    && src.covers(p.line, p.standalone, n)
+                                    && claim_target(&p.claim).as_deref() == Some(&recv)
+                            });
+                        if covered {
+                            continue;
+                        }
+                        out.push(Finding {
+                            rule: "disjoint-writer",
+                            file: rel.clone(),
+                            line: n,
+                            message: format!(
+                                "`{tok}` on `{recv}` inside a parallel_for closure carries \
+                                 no valid `// lint-proof(l8): {recv}[…]` tying the written \
+                                 range to the chunk bounds `{}..{}`; state the range (form \
+                                 1) or the per-element claim (form 2), or justify with \
+                                 `// lint-allow(l8): <why>`",
+                                pc.b0, pc.b1
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// L9: nondeterminism sources in numeric crates
+// ---------------------------------------------------------------------------
+
+/// Crates whose outputs feed the bitwise-determinism contract. Inside them:
+///
+/// - iterating a `HashMap`/`HashSet` is banned (randomized SipHash seeds
+///   make the order run-dependent; use `BTreeMap`/`BTreeSet` or sort);
+/// - `Instant::now` / `SystemTime` are banned (wall-clock values leak into
+///   values or branches; clock reads belong to `crates/trace`, which owns
+///   observability and is not a numeric crate);
+/// - `thread::current().id()`-keyed logic is banned (worker identity is not
+///   stable across runs; key per-worker state by the pool's own indices).
+///
+/// Test code, benches, binaries, and examples are exempt. Hash iteration is
+/// detected per file: identifiers bound or typed as `HashMap`/`HashSet` on
+/// any line, then flagged where iterated (`.iter()`, `.keys()`, `for … in`,
+/// …). Escape hatch: `// lint-allow(l9): <why>` (or `nondeterminism`).
+const NUMERIC_PREFIXES: &[&str] = &[
+    "crates/tensor/",
+    "crates/fft/",
+    "crates/nn/",
+    "crates/core/",
+    "crates/data/",
+    "crates/metrics/",
+    "crates/baselines/",
+    "crates/par/",
+    "crates/rng/",
+];
+
+const HASH_ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".into_iter()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".retain(",
+];
+
+/// Identifiers on this line bound or typed as a hash collection:
+/// `let [mut] <id> … = HashMap…`, or any `<id>: …HashMap…` field, param,
+/// or typed binding.
+fn hash_bound_idents(code: &str, out: &mut HashSet<String>) {
+    if !code.contains("HashMap") && !code.contains("HashSet") {
+        return;
+    }
+    if let Some(p) = code.find("let ") {
+        let rest = code[p + 4..].trim_start();
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .unwrap_or(rest.len());
+        if end > 0 {
+            out.insert(rest[..end].to_string());
+        }
+    }
+    // `<id>:` not part of `::` — fields, params, typed lets.
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b':' {
+            continue;
+        }
+        if bytes.get(i + 1) == Some(&b':') || (i > 0 && bytes[i - 1] == b':') {
+            continue;
+        }
+        let head = &code[..i];
+        let start = head
+            .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        let id = &head[start..];
+        if !id.is_empty() && !id.chars().next().is_some_and(|c| c.is_numeric()) {
+            out.insert(id.to_string());
+        }
+    }
+}
+
+pub fn l9_nondeterminism(ws: &Workspace) -> Vec<Finding> {
+    l9_impl(&Analysis::build(ws))
+}
+
+fn l9_impl(a: &Analysis) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (rel, src) in &a.sources {
+        if !NUMERIC_PREFIXES.iter().any(|p| rel.starts_with(p)) || harness_exempt(rel) {
+            continue;
+        }
+        let mut hashed: HashSet<String> = HashSet::new();
+        for l in &src.lines {
+            hash_bound_idents(&l.code, &mut hashed);
+        }
+        for (idx, l) in src.lines.iter().enumerate() {
+            if l.in_test {
+                continue;
+            }
+            let n = idx + 1;
+            if src.allowed("nondeterminism", n) || src.allowed("l9", n) {
+                continue;
+            }
+            let mut hit = |msg: String| {
+                out.push(Finding {
+                    rule: "nondeterminism",
+                    file: rel.clone(),
+                    line: n,
+                    message: msg,
+                });
+            };
+            if l.code.contains("Instant::now") || word_in(&l.code, "SystemTime") {
+                hit(
+                    "wall-clock read in a numeric crate; clock access belongs to \
+                     crates/trace — values and branches must not depend on time, or \
+                     justify with `// lint-allow(l9): <why>`"
+                        .into(),
+                );
+            }
+            if l.code.contains("thread::current") && l.code.contains(".id()") {
+                hit(
+                    "`thread::current().id()`-keyed logic is run-dependent; key \
+                     per-worker state by the pool's own worker indices, or justify \
+                     with `// lint-allow(l9): <why>`"
+                        .into(),
+                );
+            }
+            for m in HASH_ITER_METHODS {
+                let mut from = 0;
+                while let Some(pos) = l.code[from..].find(m) {
+                    let at = from + pos;
+                    from = at + m.len();
+                    let recv = receiver_before(&l.code, at);
+                    if hashed.contains(&recv) {
+                        hit(format!(
+                            "`{recv}{m}…` iterates a HashMap/HashSet: SipHash seeding \
+                             makes the order run-dependent; use BTreeMap/BTreeSet or \
+                             collect-and-sort, or justify with `// lint-allow(l9): <why>`"
+                        ));
+                    }
+                }
+            }
+            let t = l.code.trim_start();
+            if t.starts_with("for ") {
+                if let Some(p) = t.find(" in ") {
+                    let expr = t[p + 4..].trim_end().trim_end_matches('{').trim();
+                    let expr = expr
+                        .trim_start_matches('&')
+                        .trim_start_matches("mut ")
+                        .trim();
+                    if !expr.is_empty()
+                        && expr.chars().all(|c| c.is_alphanumeric() || c == '_')
+                        && hashed.contains(expr)
+                    {
+                        hit(format!(
+                            "`for … in {expr}` iterates a HashMap/HashSet: SipHash \
+                             seeding makes the order run-dependent; use \
+                             BTreeMap/BTreeSet or collect-and-sort, or justify with \
+                             `// lint-allow(l9): <why>`"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn use_root_extraction() {
-        assert_eq!(use_root("use std::fs;"), Some("std"));
-        assert_eq!(use_root("pub use crate::ops::add;"), Some("crate"));
-        assert_eq!(use_root("pub(crate) use super::unary;"), Some("super"));
-        assert_eq!(use_root("use slime_tensor::Tensor;"), Some("slime_tensor"));
-        assert_eq!(use_root("extern crate serde;"), Some("serde"));
-        assert_eq!(use_root("let x = 1;"), None);
+    fn use_roots_handles_plain_paths_and_brace_groups() {
+        assert_eq!(use_roots("use std::fs;"), vec!["std"]);
+        assert_eq!(use_roots("pub use crate::ops::add;"), vec!["crate"]);
+        assert_eq!(use_roots("pub(crate) use super::unary;"), vec!["super"]);
+        assert_eq!(use_roots("extern crate serde;"), vec!["serde"]);
+        assert!(use_roots("let x = 1;").is_empty());
+        assert_eq!(
+            use_roots("use { std::fs, slime_tensor::Tensor, rayon::prelude::* };"),
+            vec!["std", "slime_tensor", "rayon"]
+        );
+        // Nested groups stay inside their item.
+        assert_eq!(
+            use_roots("use std::{collections::{HashMap, HashSet}, fs};"),
+            vec!["std"]
+        );
+    }
+
+    #[test]
+    fn l8_form1_claims_check_statically() {
+        // Valid: identical templates after binder substitution.
+        assert_eq!(
+            check_l8_claim("w[lo * n .. hi * n]", "lo", "hi").unwrap(),
+            "w"
+        );
+        assert_eq!(
+            check_l8_claim("wre[r0 * m * d .. r1 * m * d]", "r0", "r1").unwrap(),
+            "wre"
+        );
+        // Overlap: templates differ.
+        assert!(check_l8_claim("w[lo .. hi + 1]", "lo", "hi").is_err());
+        // Wrong binder on an endpoint.
+        assert!(check_l8_claim("w[lo * n .. lo * n + n]", "lo", "hi").is_err());
+        // Grammar violations: subtraction and division are not monotone-safe.
+        assert!(check_l8_claim("w[lo * n .. hi * n - 0]", "lo", "hi").is_err());
+        assert!(check_l8_claim("w[lo / 2 .. hi / 2]", "lo", "hi").is_err());
+    }
+
+    #[test]
+    fn l8_form2_claims_check_grammar_and_range() {
+        assert_eq!(
+            check_l8_claim("wre[(bi * m + k) * d + c for p in lo..hi]", "lo", "hi").unwrap(),
+            "wre"
+        );
+        assert_eq!(
+            check_l8_claim("w[i for i in lo..hi]", "lo", "hi").unwrap(),
+            "w"
+        );
+        // Range must be exactly the chunk bounds.
+        assert!(check_l8_claim("w[i for i in 0..n]", "lo", "hi").is_err());
+        assert!(check_l8_claim("w[i for i in lo..hi + 1]", "lo", "hi").is_err());
+    }
+
+    #[test]
+    fn parallel_for_closures_are_located_with_binders_and_extent() {
+        let src = Source::scan(
+            "pub fn f(n: usize, w: &UnsafeSlice) {\n\
+             \x20   parallel_for(n, 8, |lo, hi| {\n\
+             \x20       for i in lo..hi {\n\
+             \x20           unsafe { w.write(i, 0.0) };\n\
+             \x20       }\n\
+             \x20   });\n\
+             }\n",
+        );
+        let pcs = parallel_for_closures(&src);
+        assert_eq!(pcs.len(), 1);
+        assert_eq!(pcs[0].call_line, 2);
+        assert_eq!((pcs[0].b0.as_str(), pcs[0].b1.as_str()), ("lo", "hi"));
+        assert_eq!((pcs[0].body_start, pcs[0].body_end), (2, 6));
+    }
+
+    #[test]
+    fn hash_bound_idents_catch_lets_fields_and_params() {
+        let mut h = HashSet::new();
+        hash_bound_idents(
+            "let mut counts: HashMap<usize, u32> = HashMap::new();",
+            &mut h,
+        );
+        hash_bound_idents("    by_target: HashMap<u32, Vec<usize>>,", &mut h);
+        hash_bound_idents("fn index(m: &HashMap<u32, f32>) -> f32 {", &mut h);
+        hash_bound_idents("let plain = vec![1];", &mut h);
+        assert!(h.contains("counts"));
+        assert!(h.contains("by_target"));
+        assert!(h.contains("m"));
+        assert!(!h.contains("plain"));
     }
 
     #[test]

@@ -37,6 +37,21 @@ pub struct Allow {
     pub standalone: bool,
 }
 
+/// A `// lint-proof(<rule>): <claim>` annotation — a machine-checkable
+/// obligation (L8 uses it to tie an `UnsafeSlice` write range to the chunk
+/// bounds of the enclosing `parallel_for`).
+#[derive(Debug)]
+pub struct Proof {
+    /// Rule name inside the parentheses, e.g. `l8`.
+    pub rule: String,
+    /// The claim after the colon, e.g. `w[lo * d .. hi * d]`.
+    pub claim: String,
+    /// 1-based line the annotation appears on.
+    pub line: usize,
+    /// True if the annotation's line has no code of its own.
+    pub standalone: bool,
+}
+
 /// A fully scanned source file.
 #[derive(Debug)]
 pub struct Source {
@@ -44,6 +59,8 @@ pub struct Source {
     pub lines: Vec<Line>,
     /// All `lint-allow` annotations in the file.
     pub allows: Vec<Allow>,
+    /// All `lint-proof` annotations in the file.
+    pub proofs: Vec<Proof>,
 }
 
 impl Source {
@@ -61,33 +78,39 @@ impl Source {
             .collect();
         mark_test_regions(&mut scanned);
         let allows = collect_allows(&scanned);
+        let proofs = collect_proofs(&scanned);
         Source {
             lines: scanned,
             allows,
+            proofs,
         }
     }
 
-    /// Is `rule` allowed on 1-based line `n`?
+    /// Does an annotation on `ann_line` (1-based) cover line `n`?
     ///
-    /// An annotation covers its own line when it shares the line with code,
-    /// and the next code line when it stands alone (possibly with further
-    /// standalone comment lines in between).
-    pub fn allowed(&self, rule: &str, n: usize) -> bool {
-        self.allows.iter().any(|a| {
-            if a.rule != rule && a.rule != "all" {
-                return false;
-            }
-            if !a.standalone {
-                return a.line == n;
-            }
-            // Standalone: covers the first line with code after it.
-            if n <= a.line {
-                return false;
-            }
-            self.lines[a.line..n.saturating_sub(1)]
-                .iter()
-                .all(|l| l.code.trim().is_empty())
+    /// Same-line annotations cover only their own line. Standalone
+    /// annotations cover the first *item* line after them: intervening
+    /// blank lines, further standalone comment lines, and attribute lines
+    /// (`#[inline]`, `#[must_use]`, …) are transparent, so an allow written
+    /// above an attributed function still reaches the function.
+    pub fn covers(&self, ann_line: usize, standalone: bool, n: usize) -> bool {
+        if !standalone {
+            return ann_line == n;
+        }
+        if n <= ann_line {
+            return false;
+        }
+        self.lines[ann_line..n.saturating_sub(1)].iter().all(|l| {
+            let t = l.code.trim();
+            t.is_empty() || t.starts_with("#[") || t.starts_with("#!")
         })
+    }
+
+    /// Is `rule` allowed on 1-based line `n`?
+    pub fn allowed(&self, rule: &str, n: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|a| (a.rule == rule || a.rule == "all") && self.covers(a.line, a.standalone, n))
     }
 
     /// True if any line's code contains `needle` (ignores comments/strings).
@@ -317,6 +340,31 @@ fn collect_allows(lines: &[Line]) -> Vec<Allow> {
     out
 }
 
+fn collect_proofs(lines: &[Line]) -> Vec<Proof> {
+    let mut out = Vec::new();
+    for (idx, l) in lines.iter().enumerate() {
+        let Some(pos) = l.comment.find("lint-proof(") else {
+            continue;
+        };
+        let rest = &l.comment[pos + "lint-proof(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let claim = rest[close + 1..]
+            .strip_prefix(':')
+            .map(|r| r.trim().to_string())
+            .unwrap_or_default();
+        out.push(Proof {
+            rule,
+            claim,
+            line: idx + 1,
+            standalone: l.code.trim().is_empty(),
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,6 +404,25 @@ mod tests {
         assert!(!s.lines[0].in_test);
         assert!(s.lines[3].in_test);
         assert!(!s.lines[5].in_test);
+    }
+
+    #[test]
+    fn standalone_allow_sees_through_attributes() {
+        let text = "// lint-allow(panic): attr between\n#[inline]\n#[must_use]\npub fn f() { x.unwrap() }\n\nfn g() { y.unwrap() }";
+        let s = Source::scan(text);
+        assert!(s.allowed("panic", 4), "allow must skip attribute lines");
+        assert!(!s.allowed("panic", 6), "allow must stop at the first item");
+    }
+
+    #[test]
+    fn proofs_are_collected_with_claims() {
+        let text = "// lint-proof(l8): w[lo * d .. hi * d]\nunsafe { w.slice_mut(lo * d, (hi - lo) * d) };";
+        let s = Source::scan(text);
+        assert_eq!(s.proofs.len(), 1);
+        assert_eq!(s.proofs[0].rule, "l8");
+        assert_eq!(s.proofs[0].claim, "w[lo * d .. hi * d]");
+        assert!(s.proofs[0].standalone);
+        assert!(s.covers(s.proofs[0].line, true, 2));
     }
 
     #[test]

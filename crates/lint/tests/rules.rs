@@ -19,10 +19,11 @@ fn l1_fires_on_registry_deps_and_external_imports() {
     let ws = fixture("l1_registry_dep");
     let findings = rules::l1_offline_purity(&ws);
     let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
-    // Two manifest entries (serde, proptest) plus one source import (serde);
-    // the lint-allow'd rand_core import and the workspace-internal import
-    // must not fire.
-    assert_eq!(findings.len(), 3, "got: {msgs:?}");
+    // Two manifest entries (serde, proptest) plus two source imports: the
+    // plain serde one and the rayon item hiding on a continuation line of a
+    // multi-line brace group. The lint-allow'd rand_core import and both
+    // workspace-internal imports must not fire.
+    assert_eq!(findings.len(), 4, "got: {msgs:?}");
     assert!(msgs
         .iter()
         .any(|m| m.contains("`serde`") && m.contains("[dependencies]")));
@@ -30,6 +31,9 @@ fn l1_fires_on_registry_deps_and_external_imports() {
     assert!(msgs
         .iter()
         .any(|m| m.contains("imports non-workspace crate `serde`")));
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("imports non-workspace crate `rayon`")));
     assert!(!msgs.iter().any(|m| m.contains("rand_core")));
     assert!(!msgs.iter().any(|m| m.contains("`demo`")));
 }
@@ -52,11 +56,67 @@ fn l3_fires_on_hot_path_panics_only() {
     let findings = rules::l3_panic_freedom(&ws);
     let msgs: Vec<String> = findings.iter().map(|f| f.render()).collect();
     // unwrap + panic! + todo! fire; the lint-allow'd unwrap, the string
-    // literal, the comment, and the #[cfg(test)] unwrap do not.
+    // literal, the comment, the #[cfg(test)] unwrap, and the standalone
+    // allow separated from its code by an attribute line do not.
     assert_eq!(findings.len(), 3, "got: {msgs:?}");
     assert!(msgs.iter().any(|m| m.contains("`.unwrap()`")));
     assert!(msgs.iter().any(|m| m.contains("`panic!`")));
     assert!(msgs.iter().any(|m| m.contains("`todo!`")));
+    assert!(!msgs.iter().any(|m| m.contains("attr_allowed")));
+}
+
+#[test]
+fn l3_is_call_graph_transitive_with_edge_cuts() {
+    let ws = fixture("l3_transitive");
+    let findings = rules::l3_panic_freedom(&ws);
+    let msgs: Vec<String> = findings.iter().map(|f| f.render()).collect();
+    // `leaf`'s unwrap, two hops from `hot_root`, fires with the trail; the
+    // identical `leaf_cut` subtree behind the lint-allow'd call edge in
+    // `hot_root_allowed` must not.
+    assert_eq!(findings.len(), 1, "got: {msgs:?}");
+    assert!(msgs[0].contains("crates/util/src/lib.rs"));
+    assert!(
+        msgs[0].contains("`hot_root`") && msgs[0].contains("`mid`") && msgs[0].contains("`leaf`"),
+        "trail missing: {}",
+        msgs[0]
+    );
+    assert!(
+        msgs[0].contains("crates/fft/src/lib.rs:"),
+        "call-site hop: {}",
+        msgs[0]
+    );
+    assert!(!msgs.iter().any(|m| m.contains("leaf_cut")));
+}
+
+#[test]
+fn l8_fires_on_overlapping_and_unannotated_writes() {
+    let ws = fixture("l8_overlap");
+    let findings = rules::l8_disjoint_writer(&ws);
+    let msgs: Vec<String> = findings.iter().map(|f| f.render()).collect();
+    // The overlapping `w[lo .. hi + 1]` claim fails statically at the proof
+    // line; the proof-free write fires at the write line. The valid form-1
+    // and form-2 proofs pass.
+    assert_eq!(findings.len(), 2, "got: {msgs:?}");
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("invalid lint-proof(l8)") && m.contains("overlap")));
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("no valid `// lint-proof(l8)")));
+}
+
+#[test]
+fn l9_fires_on_hash_iteration_and_clock_reads() {
+    let ws = fixture("l9_nondet");
+    let findings = rules::l9_nondeterminism(&ws);
+    let msgs: Vec<String> = findings.iter().map(|f| f.render()).collect();
+    // HashMap `.values()`, `for … in &hashmap`, and `Instant::now` fire;
+    // the BTreeMap walk, the pure lookup, the lint-allow'd clock read, and
+    // the #[cfg(test)] block do not.
+    assert_eq!(findings.len(), 3, "got: {msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("`counts.values()")));
+    assert!(msgs.iter().any(|m| m.contains("`for … in counts`")));
+    assert!(msgs.iter().any(|m| m.contains("wall-clock read")));
 }
 
 #[test]
@@ -146,19 +206,34 @@ fn real_workspace_is_clean() {
 }
 
 #[test]
-fn cli_exit_codes() {
+fn cli_exit_codes_and_json_artifact() {
     let fixture_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/l3_hot_panic");
     let real_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = std::env::temp_dir().join(format!("slime_lint_test_{}.json", std::process::id()));
     let args = |root: &PathBuf| {
         vec![
             "check".to_string(),
             "--json".to_string(),
+            out.display().to_string(),
             "--root".to_string(),
             root.display().to_string(),
         ]
         .into_iter()
     };
     assert_eq!(slime_lint::cli::run(args(&fixture_root)), 1);
+    let doc = std::fs::read_to_string(&out).expect("lint.json written");
+    assert!(doc.contains("\"available_cores\""), "meta present: {doc}");
+    assert!(doc.contains("\"scan+graph\""), "timings present");
+    assert!(doc.contains("\"hot_roots\""), "graph stats present");
+    assert!(doc.contains("\"rule\":\"panic\""), "findings present");
+
     assert_eq!(slime_lint::cli::run(args(&real_root)), 0);
+    let doc = std::fs::read_to_string(&out).expect("lint.json rewritten");
+    assert!(
+        doc.contains("\"findings\": [\n  ]"),
+        "clean tree, empty findings: {doc}"
+    );
+    std::fs::remove_file(&out).ok();
+
     assert_eq!(slime_lint::cli::run(["bogus".to_string()].into_iter()), 2);
 }

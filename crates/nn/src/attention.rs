@@ -44,6 +44,7 @@ impl MultiHeadAttention {
 
     /// Additive causal mask: position `i` may attend to positions `<= i`
     /// (the unidirectional mask of SASRec; BERT4Rec passes `None`).
+    // lint-allow(panic): fills a locally allocated n*n buffer with i, j < n
     pub fn causal_mask(n: usize) -> NdArray {
         let mut data = vec![0.0f32; n * n];
         for i in 0..n {

@@ -188,6 +188,7 @@ pub fn parallel_map<I: Sync, T: Send>(
     {
         let w = UnsafeSlice::new(&mut out);
         parallel_for(n, chunk, |lo, hi| {
+            // lint-proof(l8): w[lo .. hi]
             for i in lo..hi {
                 // SAFETY: chunks partition 0..n, so element `i` has exactly
                 // one writer.
@@ -210,10 +211,19 @@ pub fn parallel_map<I: Sync, T: Send>(
 /// while another task writes it. The kernels in `slime-tensor` uphold this
 /// by deriving every index range from the (thread-count-independent) chunk
 /// grid.
+/// With the `sanitize-race` feature the slice additionally keeps a shadow
+/// interval log: every `write`/`slice_mut` records its half-open index
+/// range (plus a stable per-thread worker tag) under a mutex, and the
+/// first claim that overlaps an earlier one panics *before* any aliasing
+/// access is created. The log never touches payload bytes, so enabling the
+/// sanitizer is bitwise-neutral — the determinism matrix must pass
+/// unchanged under it.
 pub struct UnsafeSlice<'a, T> {
     ptr: *mut T,
     len: usize,
     _marker: PhantomData<&'a mut [T]>,
+    #[cfg(feature = "sanitize-race")]
+    shadow: sanitize::ShadowLog,
 }
 
 // SAFETY: the pointer came from an exclusive borrow; disjointness of
@@ -228,6 +238,8 @@ impl<'a, T> UnsafeSlice<'a, T> {
             ptr: slice.as_mut_ptr(),
             len: slice.len(),
             _marker: PhantomData,
+            #[cfg(feature = "sanitize-race")]
+            shadow: sanitize::ShadowLog::new(),
         }
     }
 
@@ -249,6 +261,8 @@ impl<'a, T> UnsafeSlice<'a, T> {
     /// concurrently.
     pub unsafe fn write(&self, i: usize, value: T) {
         debug_assert!(i < self.len);
+        #[cfg(feature = "sanitize-race")]
+        self.shadow.claim(i, i + 1);
         self.ptr.add(i).write(value);
     }
 
@@ -260,7 +274,79 @@ impl<'a, T> UnsafeSlice<'a, T> {
     #[allow(clippy::mut_from_ref)] // the whole point: caller-proven disjointness
     pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
         debug_assert!(start + len <= self.len);
+        #[cfg(feature = "sanitize-race")]
+        self.shadow.claim(start, start + len);
         std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+    }
+}
+
+/// Shadow interval log backing the `sanitize-race` feature: a dynamic
+/// cross-check of the static `disjoint-writer` (L8) lint proofs. Form-2
+/// proofs (`target[elem for i in lo..hi]`) assert per-element disjointness
+/// the lint cannot discharge statically; this log discharges it at runtime.
+#[cfg(feature = "sanitize-race")]
+mod sanitize {
+    use std::cell::Cell;
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    /// Monotone source of worker tags. Deliberately not
+    /// `thread::current().id()`: the nondeterminism lint (L9) bans
+    /// ThreadId-keyed logic in numeric crates, and a small dense counter
+    /// reads better in panic messages anyway.
+    static NEXT_WORKER_TAG: AtomicU64 = AtomicU64::new(1);
+
+    thread_local! {
+        static WORKER_TAG: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Stable per-thread tag, assigned on first claim from that thread.
+    fn worker_tag() -> u64 {
+        WORKER_TAG.with(|t| {
+            if t.get() == 0 {
+                t.set(NEXT_WORKER_TAG.fetch_add(1, Ordering::Relaxed));
+            }
+            t.get()
+        })
+    }
+
+    /// Per-`UnsafeSlice` log of half-open claims, keyed by claim start.
+    /// The map invariant is that stored intervals are pairwise disjoint,
+    /// so the predecessor of a new claim's end is the only candidate
+    /// overlap — one `range` probe per claim.
+    pub(crate) struct ShadowLog {
+        claims: Mutex<BTreeMap<usize, (usize, u64)>>,
+    }
+
+    impl ShadowLog {
+        pub(crate) fn new() -> ShadowLog {
+            ShadowLog {
+                claims: Mutex::new(BTreeMap::new()),
+            }
+        }
+
+        /// Record `[start, end)` for the calling worker; panic on the
+        /// first overlap with any earlier claim on this slice. The panic
+        /// fires *before* the caller creates its aliasing view, so a
+        /// caught violation never executes an actual racy write.
+        pub(crate) fn claim(&self, start: usize, end: usize) {
+            if start >= end {
+                return;
+            }
+            let me = worker_tag();
+            let mut map = self.claims.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some((&s, &(e, w))) = map.range(..end).next_back() {
+                if e > start {
+                    // lint-allow(panic): panicking on overlap is the sanitizer's contract
+                    panic!(
+                        "sanitize-race: overlapping UnsafeSlice claims: \
+                         [{start}, {end}) by worker {me} overlaps [{s}, {e}) by worker {w}"
+                    );
+                }
+            }
+            map.insert(start, (end, me));
+        }
     }
 }
 

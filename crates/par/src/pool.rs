@@ -130,6 +130,7 @@ impl Pool {
             thread::Builder::new()
                 .name(format!("slime-par-{id}"))
                 .spawn(move || worker_loop(shared))
+                // lint-allow(panic): no thread means no pool; nothing to degrade to
                 .expect("slime-par: failed to spawn worker thread");
             *spawned += 1;
             WORKERS_SPAWNED.fetch_add(1, Ordering::Relaxed);
@@ -191,6 +192,7 @@ impl Pool {
         drop(slot);
 
         if job.panicked.load(Ordering::Relaxed) {
+            // lint-allow(panic): deliberate re-panic propagating a worker panic to the publisher
             panic!("slime-par: a parallel task panicked (see worker backtrace above)");
         }
     }

@@ -1,0 +1,76 @@
+//! Failure-path tests for the `sanitize-race` shadow log: a deliberate
+//! overlap must be caught, a caught overlap must not wedge the pool, and
+//! disjoint writes must pass untouched (the sanitizer is observe-only).
+//!
+//! Run with `cargo test -p slime-par --features sanitize-race`.
+#![cfg(feature = "sanitize-race")]
+
+use std::sync::Mutex;
+
+use slime_par::{parallel_for, parallel_map_reduce, set_threads, UnsafeSlice};
+
+/// Tests here mutate the global thread count; serialize them and restore
+/// the default on drop so order does not matter.
+static THREAD_KNOB: Mutex<()> = Mutex::new(());
+
+struct Knob(#[allow(dead_code)] std::sync::MutexGuard<'static, ()>);
+fn knob(n: usize) -> Knob {
+    let g = THREAD_KNOB.lock().unwrap_or_else(|e| e.into_inner());
+    set_threads(n);
+    Knob(g)
+}
+impl Drop for Knob {
+    fn drop(&mut self) {
+        set_threads(4);
+    }
+}
+
+#[test]
+#[should_panic(expected = "sanitize-race: overlapping UnsafeSlice claims")]
+fn deliberate_overlap_is_caught() {
+    let _k = knob(1);
+    let mut buf = vec![0u64; 8];
+    let w = UnsafeSlice::new(&mut buf);
+    // Two claims on element 3 from the same scope: the second one must
+    // panic at claim time, before any aliasing write happens.
+    unsafe { w.write(3, 1) };
+    unsafe { w.write(3, 2) };
+}
+
+#[test]
+fn overlap_inside_parallel_for_propagates_and_pool_recovers() {
+    let _k = knob(4);
+    let r = std::panic::catch_unwind(|| {
+        let mut buf = vec![0u64; 65];
+        let w = UnsafeSlice::new(&mut buf);
+        parallel_for(64, 8, |lo, hi| {
+            // Deliberate off-by-one: every chunk also claims its right
+            // neighbour's first element, so adjacent chunks overlap. The
+            // claim panics before `from_raw_parts_mut` runs, so no
+            // aliasing slice is ever created.
+            let _ = unsafe { w.slice_mut(lo, (hi - lo) + 1) };
+        });
+    });
+    assert!(r.is_err(), "overlapping claims must panic through the pool");
+    // No deadlock, and the pool is still usable after the unwind.
+    let total = parallel_map_reduce(100, 9, |lo, hi| (hi - lo) as u64, |a, b| a + b);
+    assert_eq!(total, Some(100));
+}
+
+#[test]
+fn disjoint_writes_pass_under_the_sanitizer() {
+    let _k = knob(4);
+    let mut buf = vec![0u64; 257];
+    {
+        let w = UnsafeSlice::new(&mut buf);
+        parallel_for(257, 10, |lo, hi| {
+            let s = unsafe { w.slice_mut(lo, hi - lo) };
+            for (off, v) in s.iter_mut().enumerate() {
+                *v = (lo + off) as u64;
+            }
+        });
+    }
+    for (i, v) in buf.iter().enumerate() {
+        assert_eq!(*v, i as u64, "sanitizer must not perturb payloads");
+    }
+}

@@ -230,6 +230,7 @@ impl NdArray {
     ///
     /// # Panics
     /// Panics if the shapes are not broadcast-compatible.
+    // lint-allow(panic): index arms are range-guarded (`i < nd - len` picks the 1 branch)
     pub fn broadcast_shape(a: &[usize], b: &[usize]) -> Vec<usize> {
         let nd = a.len().max(b.len());
         let mut out = vec![0usize; nd];
@@ -251,6 +252,7 @@ impl NdArray {
             } else if db == 1 {
                 da
             } else {
+                // lint-allow(panic): the documented incompatibility contract of this fn
                 panic!("incompatible broadcast: {a:?} vs {b:?}");
             };
         }
@@ -258,6 +260,7 @@ impl NdArray {
     }
 
     /// Elementwise binary operation with NumPy broadcasting.
+    // lint-allow(panic): odometer digits stay below out_shape, and stride tables are nd long by construction
     pub fn broadcast_zip(&self, other: &NdArray, f: impl Fn(f32, f32) -> f32) -> NdArray {
         if self.shape == other.shape {
             return self.zip_map(other, f);
@@ -383,6 +386,7 @@ impl NdArray {
             let (a, r) = (self.data(), rhs.data());
             let w = slime_par::UnsafeSlice::new(&mut out);
             slime_par::parallel_for(b, 1, |b0, b1| {
+                // lint-proof(l8): w[b0 * m * n .. b1 * m * n]
                 for i in b0..b1 {
                     // SAFETY: batch planes are disjoint.
                     let o = unsafe { w.slice_mut(i * m * n, m * n) };
@@ -414,6 +418,7 @@ impl NdArray {
             let (a, r) = (self.data(), rhs.data());
             let w = slime_par::UnsafeSlice::new(&mut out);
             slime_par::parallel_for(b, 1, |b0, b1| {
+                // lint-proof(l8): w[b0 * m * n .. b1 * m * n]
                 for i in b0..b1 {
                     // SAFETY: batch planes are disjoint.
                     let o = unsafe { w.slice_mut(i * m * n, m * n) };
@@ -445,6 +450,7 @@ impl NdArray {
             let (a, r) = (self.data(), rhs.data());
             let w = slime_par::UnsafeSlice::new(&mut out);
             slime_par::parallel_for(b, 1, |b0, b1| {
+                // lint-proof(l8): w[b0 * m * n .. b1 * m * n]
                 for i in b0..b1 {
                     // SAFETY: batch planes are disjoint.
                     let o = unsafe { w.slice_mut(i * m * n, m * n) };
@@ -493,6 +499,7 @@ impl NdArray {
         slime_par::parallel_for(n, 1 << 14, |lo, hi| {
             let (out_shape, src_strides) = (out_shape_r, src_strides_r);
             // SAFETY: output chunks are disjoint.
+            // lint-proof(l8): w[lo .. hi]
             let dst = unsafe { w.slice_mut(lo, hi - lo) };
             let mut idx = vec![0usize; nd];
             let mut off = 0usize;
@@ -542,6 +549,7 @@ impl NdArray {
 
     /// Mean over one axis, removing it.
     pub fn mean_axis(&self, axis: usize) -> NdArray {
+        debug_assert!(axis < self.ndim(), "mean_axis: axis out of range");
         let d = self.shape[axis] as f32;
         let mut s = self.sum_axis(axis);
         s.map_inplace(|v| v / d);
@@ -565,6 +573,7 @@ impl NdArray {
 }
 
 /// Row-major strides for a shape.
+// lint-allow(panic): loop range is `0..len-1`, every index is in bounds by construction
 pub fn contiguous_strides(shape: &[usize]) -> Vec<usize> {
     let mut strides = vec![1usize; shape.len()];
     for i in (0..shape.len().saturating_sub(1)).rev() {
@@ -576,6 +585,7 @@ pub fn contiguous_strides(shape: &[usize]) -> Vec<usize> {
 /// Strides of `shape` viewed through broadcast `out_shape` (0 where broadcast).
 fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usize> {
     let nd = out_shape.len();
+    debug_assert!(shape.len() <= nd, "operand rank exceeds broadcast rank");
     let offset = nd - shape.len();
     let own = contiguous_strides(shape);
     let mut strides = vec![0usize; nd];
@@ -605,11 +615,13 @@ fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: u
     if m == 0 || n == 0 {
         return;
     }
+    debug_assert!(a.len() >= m * k && b.len() >= k * n && out.len() >= m * n);
     let rows_per_chunk = (MATMUL_CHUNK_FLOPS / (k * n).max(1)).clamp(1, m);
     let w = slime_par::UnsafeSlice::new(out);
     slime_par::parallel_for(m, rows_per_chunk, |r0, r1| {
         // SAFETY: chunk row ranges are disjoint, so each task owns its
         // slice of `out`.
+        // lint-proof(l8): w[r0 * n .. r1 * n]
         let o = unsafe { w.slice_mut(r0 * n, (r1 - r0) * n) };
         matmul_rows(&a[r0 * k..r1 * k], b, o, k, n);
     });
@@ -664,12 +676,14 @@ fn matmul_nt_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n
     // Each chunk packs the `b` tiles it reads, so chunks carry a fixed
     // O(k * n) packing cost on top of their rows * k * n multiply-adds:
     // keep at least NT_PACK_AMORTIZE_ROWS rows per chunk to amortize it.
+    debug_assert!(a.len() >= m * k && b.len() >= n * k && out.len() >= m * n);
     let rows_per_chunk = (MATMUL_CHUNK_FLOPS / (k * n).max(1))
         .max(NT_PACK_AMORTIZE_ROWS)
         .clamp(1, m);
     let w = slime_par::UnsafeSlice::new(out);
     slime_par::parallel_for(m, rows_per_chunk, |r0, r1| {
         // SAFETY: chunk row ranges are disjoint.
+        // lint-proof(l8): w[r0 * n .. r1 * n]
         let o = unsafe { w.slice_mut(r0 * n, (r1 - r0) * n) };
         matmul_nt_rows(&a[r0 * k..r1 * k], b, o, k, n);
     });
@@ -763,6 +777,7 @@ fn matmul_tn_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n
     let w = slime_par::UnsafeSlice::new(out);
     slime_par::parallel_for(m, rows_per_chunk, |r0, r1| {
         // SAFETY: chunk row ranges are disjoint.
+        // lint-proof(l8): w[r0 * n .. r1 * n]
         let o = unsafe { w.slice_mut(r0 * n, (r1 - r0) * n) };
         matmul_tn_rows(a, b, o, r0, k, m, n);
     });

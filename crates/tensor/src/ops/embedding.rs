@@ -47,6 +47,7 @@ impl Op for EmbeddingOp {
     fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
         let g = grad.data();
         let (v, d) = (self.v, self.d);
+        debug_assert_eq!(g.len(), self.indices.len() * d, "grad is [rows, d]");
         // Stable counting sort of gradient rows by target vocab index. Each
         // vocab row's contributions are then applied in ascending gradient-row
         // order — exactly the order the serial scatter-add used — so the
@@ -72,6 +73,7 @@ impl Op for EmbeddingOp {
             slime_par::parallel_for(v, (4096 / d.max(1)).max(1), |v0, v1| {
                 // SAFETY: vocab ranges partition `0..v`, so the row slices
                 // are disjoint across chunks.
+                // lint-proof(l8): w[v0 * d .. v1 * d]
                 let rows = unsafe { w.slice_mut(v0 * d, (v1 - v0) * d) };
                 for u in v0..v1 {
                     let dst = (u - v0) * d;

@@ -87,6 +87,7 @@ impl Op for CrossEntropyOp {
         let g = grad.scalar_value();
         let shape = self.softmax.shape().to_vec();
         let (b, v) = (shape[0], shape[1]);
+        debug_assert_eq!(self.targets.len(), b, "one target per softmax row");
         let scale = g / b as f32;
         let sm = self.softmax.data();
         let targets = &self.targets;
@@ -95,6 +96,7 @@ impl Op for CrossEntropyOp {
             let w = slime_par::UnsafeSlice::new(&mut dx);
             slime_par::parallel_for(b, rows_per_chunk(v), |r0, r1| {
                 // SAFETY: row ranges partition `0..b`, disjoint across chunks.
+                // lint-proof(l8): w[r0 * v .. r1 * v]
                 let out = unsafe { w.slice_mut(r0 * v, (r1 - r0) * v) };
                 out.copy_from_slice(&sm[r0 * v..r1 * v]);
                 for r in r0..r1 {

@@ -67,6 +67,7 @@ impl Op for LayerNormOp {
         let rows = self.xhat.len() / d;
         let xh = self.xhat.data();
         let g = grad.data();
+        debug_assert_eq!(g.len(), self.xhat.len(), "grad matches saved xhat");
         let gw = self.gamma.data();
         let mut dx = crate::pool::take_filled(self.xhat.len(), 0.0);
         let mut dgamma = crate::pool::take_filled(d, 0.0);
@@ -144,6 +145,7 @@ impl Op for L2NormalizeOp {
         let rows = self.y.len() / d;
         let y = self.y.data();
         let g = grad.data();
+        debug_assert_eq!(g.len(), self.y.len(), "grad matches saved output");
         let mut dx = crate::pool::take_filled(self.y.len(), 0.0);
         let k = crate::simd::kernels();
         for r in 0..rows {

@@ -65,6 +65,7 @@ pub fn sum_axis(x: &Tensor, axis: usize) -> Tensor {
 
 /// Mean over `axis`, removing it.
 pub fn mean_axis(x: &Tensor, axis: usize) -> Tensor {
+    debug_assert!(axis < x.shape().len(), "mean_axis: axis out of range");
     let out = x.data().mean_axis(axis);
     let d = x.shape()[axis] as f32;
     Tensor::from_op(
@@ -93,6 +94,7 @@ impl Op for AxisReduceOp {
         let mid = self.shape[self.axis];
         let inner: usize = self.shape[self.axis + 1..].iter().product();
         let gdata = grad.data();
+        debug_assert_eq!(gdata.len(), outer * inner, "grad is the reduced shape");
         let mut out = crate::pool::take_filled(numel(&self.shape), 0.0);
         for o in 0..outer {
             let src = &gdata[o * inner..(o + 1) * inner];

@@ -30,6 +30,7 @@ impl Op for ReshapeOp {
 
 /// Permute dimensions.
 pub fn permute(x: &Tensor, axes: &[usize]) -> Tensor {
+    debug_assert_eq!(axes.len(), x.shape().len(), "one axis per dimension");
     let out = x.data().permute(axes);
     let mut inverse = vec![0usize; axes.len()];
     for (i, &a) in axes.iter().enumerate() {
@@ -109,6 +110,7 @@ impl Op for SliceOp {
         let outer: usize = self.shape[..self.axis].iter().product();
         let mid = self.shape[self.axis];
         let inner: usize = self.shape[self.axis + 1..].iter().product();
+        debug_assert!(self.start + self.len <= mid, "slice range within the axis");
         let mut out = crate::pool::take_filled(numel(&self.shape), 0.0);
         let g = grad.data();
         for o in 0..outer {
@@ -183,6 +185,11 @@ struct ConcatOp {
 impl Op for ConcatOp {
     fn backward(&self, grad: &NdArray, parents: &[Tensor]) -> Vec<Option<NdArray>> {
         let g = grad.data();
+        debug_assert_eq!(
+            g.len(),
+            self.outer * self.total * self.inner,
+            "grad is the concat shape"
+        );
         let mut out = Vec::with_capacity(parents.len());
         let mut offset = 0usize;
         for (p, &sz) in parents.iter().zip(&self.sizes) {
@@ -242,6 +249,11 @@ impl Op for UnfoldOp {
     fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
         let steps = self.n - self.window + 1;
         let g = grad.data();
+        debug_assert_eq!(
+            g.len(),
+            self.b * steps * self.window * self.d,
+            "grad is [b, steps, window, d]"
+        );
         let mut out = crate::pool::take_filled(self.b * self.n * self.d, 0.0);
         for bi in 0..self.b {
             for t in 0..steps {
@@ -298,6 +310,11 @@ struct GatherPositionsOp {
 impl Op for GatherPositionsOp {
     fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
         let g = grad.data();
+        debug_assert_eq!(
+            g.len(),
+            self.positions.len() * self.d,
+            "one grad row per gathered position"
+        );
         let mut out = crate::pool::take_filled(self.b * self.n * self.d, 0.0);
         for (p, &(bi, t)) in self.positions.iter().enumerate() {
             let dst = (bi * self.n + t) * self.d;

@@ -41,6 +41,7 @@ impl Op for SoftmaxOp {
         let rows = self.y.len() / d;
         let y = self.y.data();
         let g = grad.data();
+        debug_assert_eq!(g.len(), self.y.len(), "grad matches saved output");
         let mut out = crate::pool::take_filled(self.y.len(), 0.0);
         let k = crate::simd::kernels();
         for r in 0..rows {
@@ -94,6 +95,7 @@ impl Op for LogSoftmaxOp {
         let rows = self.softmax.len() / d;
         let s = self.softmax.data();
         let g = grad.data();
+        debug_assert_eq!(g.len(), self.softmax.len(), "grad matches saved softmax");
         let mut out = crate::pool::take_filled(self.softmax.len(), 0.0);
         for r in 0..rows {
             let gr = &g[r * d..(r + 1) * d];

@@ -79,6 +79,7 @@ struct DftTables {
 
 impl DftTables {
     fn new(n: usize) -> DftTables {
+        debug_assert!(n >= 1, "DFT tables need a non-empty signal");
         let m = n / 2 + 1;
         let mut cre = vec![0.0f32; m * n];
         let mut cim = vec![0.0f32; m * n];
@@ -206,6 +207,8 @@ pub fn spectral_filter_mix(x: &Tensor, branches: &[SpectralBranch]) -> Tensor {
                     let x_plane = &src[bi * n * d..(bi + 1) * n * d];
                     // SAFETY: each batch plane is claimed by exactly one
                     // chunk, so these [M, D] slices are disjoint.
+                    // lint-proof(l8): wre[lo * m * d .. hi * m * d]
+                    // lint-proof(l8): wim[lo * m * d .. hi * m * d]
                     let ore = unsafe { wre.slice_mut(bi * m * d, m * d) };
                     let oim = unsafe { wim.slice_mut(bi * m * d, m * d) };
                     crate::ndarray::matmul_rows(&tab.cre, x_plane, ore, n, d);
@@ -232,6 +235,8 @@ pub fn spectral_filter_mix(x: &Tensor, branches: &[SpectralBranch]) -> Tensor {
                         // SAFETY: distinct (bi, c) pairs touch disjoint
                         // (bi, k, c) slots, and each pair is claimed by
                         // exactly one chunk.
+                        // lint-proof(l8): wre[(p / d * m + k) * d + p % d for p in lo..hi]
+                        // lint-proof(l8): wim[(p / d * m + k) * d + p % d for p in lo..hi]
                         unsafe {
                             wre.write((bi * m + k) * d + c, buf[k].re);
                             wim.write((bi * m + k) * d + c, buf[k].im);
@@ -265,6 +270,9 @@ pub fn spectral_filter_mix(x: &Tensor, branches: &[SpectralBranch]) -> Tensor {
                     for bi in lo..hi {
                         // SAFETY: disjoint per-plane slices (one chunk per
                         // batch index).
+                        // lint-proof(l8): pre[lo * m * d .. hi * m * d]
+                        // lint-proof(l8): pim[lo * m * d .. hi * m * d]
+                        // lint-proof(l8): wout[lo * n * d .. hi * n * d]
                         let yre = unsafe { pre.slice_mut(bi * m * d, m * d) };
                         let yim = unsafe { pim.slice_mut(bi * m * d, m * d) };
                         let o = unsafe { wout.slice_mut(bi * n * d, n * d) };
@@ -308,6 +316,7 @@ pub fn spectral_filter_mix(x: &Tensor, branches: &[SpectralBranch]) -> Tensor {
                         }
                     }
                     plan.inverse(&mut buf);
+                    // lint-proof(l8): wout[(p / d * n + t) * d + p % d for p in lo..hi]
                     for t in 0..n {
                         // SAFETY: disjoint (bi, t, c) slots per pair.
                         unsafe { wout.write((bi * n + t) * d + c, buf[t].re) };
@@ -350,6 +359,7 @@ fn effective_filter_from(
     m: usize,
     d: usize,
 ) -> (Vec<f32>, Vec<f32>) {
+    debug_assert_eq!(masks.len(), coefs.len(), "one coefficient per branch mask");
     let mut fre = crate::pool::take_filled(m * d, 0.0);
     let mut fim = crate::pool::take_filled(m * d, 0.0);
     for ((mask, &coef), (wre, wim)) in masks.iter().zip(coefs).zip(weights) {
@@ -396,6 +406,7 @@ impl Op for SpectralOp {
         let (b, n, d) = (self.b, self.n, self.d);
         let m = n / 2 + 1;
         let g = grad.data();
+        debug_assert_eq!(g.len(), b * n * d, "grad is [b, n, d]");
 
         // Recompute F from the (unchanged) parent weights.
         let weights: Vec<(NdArray, NdArray)> = parents[1..]
@@ -426,6 +437,8 @@ impl Op for SpectralOp {
                     for bi in lo..hi {
                         let g_plane = &g[bi * n * d..(bi + 1) * n * d];
                         // SAFETY: disjoint per-plane slices.
+                        // lint-proof(l8): wre[lo * m * d .. hi * m * d]
+                        // lint-proof(l8): wim[lo * m * d .. hi * m * d]
                         let ore = unsafe { wre.slice_mut(bi * m * d, m * d) };
                         let oim = unsafe { wim.slice_mut(bi * m * d, m * d) };
                         crate::ndarray::matmul_tn_rows(&tab.dre, g_plane, ore, 0, n, m, d);
@@ -453,6 +466,8 @@ impl Op for SpectralOp {
                             // flows to them.
                             let drop_im = k == 0 || (n % 2 == 0 && k == m - 1);
                             // SAFETY: disjoint (bi, k, c) slots per pair.
+                            // lint-proof(l8): wre[(p / d * m + k) * d + p % d for p in lo..hi]
+                            // lint-proof(l8): wim[(p / d * m + k) * d + p % d for p in lo..hi]
                             unsafe {
                                 wre.write(gi, buf[k].re * ck[k]);
                                 wim.write(gi, if drop_im { 0.0 } else { buf[k].im * ck[k] });
@@ -478,6 +493,8 @@ impl Op for SpectralOp {
             slime_par::parallel_for(m, rows_per_chunk, |k0, k1| {
                 // SAFETY: chunks partition `0..m`, so these row ranges are
                 // disjoint across tasks.
+                // lint-proof(l8): wdre[k0 * d .. k1 * d]
+                // lint-proof(l8): wdim[k0 * d .. k1 * d]
                 let dre = unsafe { wdre.slice_mut(k0 * d, (k1 - k0) * d) };
                 let dim = unsafe { wdim.slice_mut(k0 * d, (k1 - k0) * d) };
                 for bi in 0..b {
@@ -510,6 +527,9 @@ impl Op for SpectralOp {
                     with_dft_tables(n, |tab| {
                         for bi in lo..hi {
                             // SAFETY: disjoint per-plane slices.
+                            // lint-proof(l8): pre[lo * m * d .. hi * m * d]
+                            // lint-proof(l8): pim[lo * m * d .. hi * m * d]
+                            // lint-proof(l8): wdx[lo * n * d .. hi * n * d]
                             let zre = unsafe { pre.slice_mut(bi * m * d, m * d) };
                             let zim = unsafe { pim.slice_mut(bi * m * d, m * d) };
                             let o = unsafe { wdx.slice_mut(bi * n * d, n * d) };
@@ -544,6 +564,7 @@ impl Op for SpectralOp {
                     }
                     // `ifft_unscaled` reuses this worker's cached plan.
                     slime_fft::ifft_unscaled(&mut buf);
+                    // lint-proof(l8): wdx[(p / d * n + t) * d + p % d for p in lo..hi]
                     for t in 0..n {
                         // SAFETY: disjoint (bi, t, c) slots per pair.
                         unsafe { wdx.write((bi * n + t) * d + c, buf[t].re) };

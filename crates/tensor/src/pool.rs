@@ -99,6 +99,7 @@ impl PoolStats {
 
 /// Whether pooling is active, resolving `SLIME_POOL` on first call.
 pub fn enabled() -> bool {
+    // lint-allow(panic): `.load` is AtomicU8, not serialize::load; cuts a misresolved call edge
     match STATE.load(Ordering::Relaxed) {
         STATE_ON => true,
         STATE_OFF => false,
@@ -200,6 +201,7 @@ pub fn take_filled(n: usize, value: f32) -> Vec<f32> {
 
 /// Return a buffer to the current thread's free list (or drop it if the
 /// pool is off, the bucket is full, or the size is out of range).
+// lint-allow(panic): the free-list Vec is resized to bucket + 1 right before the index
 pub fn recycle(v: Vec<f32>) {
     let capacity = v.capacity();
     if capacity < MIN_POOLED_LEN || capacity > MAX_POOLED_LEN || !enabled() {

@@ -344,6 +344,7 @@ binary_kernel!(mul, mul_impl, _mm256_mul_ps, *);
 
 #[target_feature(enable = "avx2,fma")]
 unsafe fn scale_impl(src: &[f32], c: f32, out: &mut [f32]) {
+    debug_assert!(src.len() >= out.len(), "scale src shorter than out");
     let n = out.len();
     let (sp, op) = (src.as_ptr(), out.as_mut_ptr());
     let cv = _mm256_set1_ps(c);

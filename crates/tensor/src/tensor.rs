@@ -308,12 +308,15 @@ impl Tensor {
 /// panic as soon as an op emits a non-finite output or gradient, naming the
 /// op and the shapes involved. See DESIGN.md "Runtime sanitizer".
 #[cfg(feature = "sanitize")]
+// lint-allow(panic): panicking on the first non-finite value is the sanitizer's contract
 fn sanitize_check(kind: &str, op: &str, data: &NdArray, parents: &[Tensor]) {
     let Some(idx) = data.data().iter().position(|v| !v.is_finite()) else {
         return;
     };
+    // lint-allow(panic): `idx` came from `position` on this same buffer
     let bad = data.data()[idx];
     let parent_shapes: Vec<Vec<usize>> = parents.iter().map(Tensor::shape).collect();
+    // lint-allow(panic): loud first-failure diagnosis is the sanitizer's contract
     panic!(
         "sanitize: non-finite {kind} ({bad}) at index {idx} produced by op '{op}' \
          ({kind} shape {:?}, operand shapes {:?})",

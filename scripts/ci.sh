@@ -20,11 +20,19 @@
 #                        pure observer, so every test must still pass with
 #                        the instrumentation live
 #   6. sanitizer tests   (NaN/Inf attribution under --features sanitize)
-#   7. slime-lint check  (offline purity, op coverage, panic freedom,
-#                         shape asserts, thread discipline, raw prints —
-#                         exits 1 on any finding)
-#   8. trace overhead    the trace_overhead bench: asserts traced training
+#   7. race sanitizer    slime-par under --features sanitize-race (the
+#                        UnsafeSlice shadow interval log), plus the
+#                        determinism test with the sanitizer live — the
+#                        shadow log must be bitwise-neutral
+#   8. slime-lint check  (offline purity, op coverage, transitive panic
+#                         freedom, shape asserts, thread discipline, raw
+#                         prints, disjoint-writer proofs, nondeterminism —
+#                         exits 1 on any finding; artifact in lint.json)
+#   9. trace overhead    the trace_overhead bench: asserts traced training
 #                        costs <3% and the disabled hooks ~0
+#  10. lint throughput   the lint_bench bench: asserts a full-workspace
+#                        lint check stays under 2 s (artifact in
+#                        BENCH_lint.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -67,10 +75,21 @@ SLIME_TRACE=1 SLIME_THREADS=4 cargo test -q
 echo "==> cargo test -q -p slime-tensor --features sanitize"
 cargo test -q -p slime-tensor --features sanitize
 
-echo "==> cargo run -p slime-lint -- check"
-cargo run -q -p slime-lint -- check
+echo "==> cargo test -q -p slime-par --features sanitize-race"
+cargo test -q -p slime-par --features sanitize-race
+
+# The shadow log observes claims, never payloads: training must stay
+# bitwise identical with the race sanitizer armed.
+echo "==> cargo test -q -p slime4rec --features sanitize-race --test determinism"
+cargo test -q -p slime4rec --features sanitize-race --test determinism
+
+echo "==> cargo run -p slime-lint -- check --json lint.json"
+cargo run -q -p slime-lint -- check --json lint.json
 
 echo "==> cargo bench --bench trace_overhead -p slime-bench"
 cargo bench --bench trace_overhead -p slime-bench
+
+echo "==> cargo bench --bench lint_bench -p slime-bench"
+cargo bench --bench lint_bench -p slime-bench
 
 echo "CI: all gates passed"
