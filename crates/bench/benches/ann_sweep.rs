@@ -1,0 +1,360 @@
+//! Two-stage retrieval vs exact full-catalog ranking across catalog scales
+//! (10³ / 10⁵ / 10⁶ items). Emits `BENCH_ann.json` at the workspace root.
+//!
+//! Per scale the sweep reports:
+//! - serving latency: exact f32 ranking (nt-kernel matmul over the whole
+//!   table + top-k select) vs two-stage (probe the k-means cell index,
+//!   re-rank the shortlist);
+//! - recall@10/@20 of the two-stage top-k against the exact top-k, with
+//!   both the f32 and the int8 re-rank;
+//! - the re-rank stage alone, f32 gather+matmul vs int8 `dot_i8`, on the
+//!   same fixed shortlist;
+//! - int8-vs-f32 score error over the shortlist.
+//!
+//! Two floors are enforced here and by `scripts/ci.sh`: recall@10 ≥ 0.95
+//! at 10⁵ and 10⁶ items, and two-stage ≥ 10× faster than exact at 10⁶.
+
+use slime4rec::retrieval::{RetrievalConfig, RetrievalMode, Retriever};
+use slime_bench::harness::{measure_routine, Measurement};
+use slime_rng::rngs::StdRng;
+use slime_rng::{Rng, SeedableRng};
+use slime_tensor::pool;
+use slime_tensor::NdArray;
+use std::hint::black_box;
+use std::time::Duration;
+
+const DIM: usize = 32;
+const SAMPLES: usize = 5;
+const WARM_UP: Duration = Duration::from_millis(150);
+const MEASURE: Duration = Duration::from_millis(700);
+
+struct Scale {
+    n_items: usize,
+    n_clusters: usize,
+    cells: usize,
+    nprobe: usize,
+    queries: usize,
+}
+
+const SCALES: &[Scale] = &[
+    Scale {
+        n_items: 1_000,
+        n_clusters: 16,
+        cells: 32,
+        nprobe: 8,
+        queries: 25,
+    },
+    Scale {
+        n_items: 100_000,
+        n_clusters: 256,
+        cells: 256,
+        nprobe: 16,
+        queries: 15,
+    },
+    Scale {
+        n_items: 1_000_000,
+        n_clusters: 1024,
+        cells: 1024,
+        nprobe: 16,
+        queries: 8,
+    },
+];
+
+/// A `(n_items+1) × DIM` clustered table (row 0 = padding zeros): Gaussian
+/// cluster centers plus 0.25·noise, the shape a trained embedding table
+/// takes. Returns the table and the centers (used as query stand-ins).
+fn catalog(scale: &Scale, seed: u64) -> (NdArray, Vec<Vec<f32>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut normal = || {
+        let u1: f64 = rng.gen::<f64>().max(1e-12);
+        let u2: f64 = rng.gen();
+        ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+    };
+    let centers: Vec<Vec<f32>> = (0..scale.n_clusters)
+        .map(|_| (0..DIM).map(|_| normal()).collect())
+        .collect();
+    let mut data = vec![0.0f32; (scale.n_items + 1) * DIM];
+    for item in 1..=scale.n_items {
+        let c = &centers[(item - 1) % scale.n_clusters];
+        let row = &mut data[item * DIM..(item + 1) * DIM];
+        for (j, slot) in row.iter_mut().enumerate() {
+            *slot = c[j] + 0.25 * normal();
+        }
+    }
+    (
+        NdArray::from_vec(vec![scale.n_items + 1, DIM], data),
+        centers,
+    )
+}
+
+/// Exact top-k item ids by f32 dot over the full table (the ground truth
+/// the recall numbers are measured against).
+fn exact_top_k(emb: &NdArray, query: &[f32], k: usize) -> Vec<u32> {
+    let vocab = emb.shape()[0];
+    let data = emb.data();
+    let mut top: Vec<(f32, u32)> = Vec::with_capacity(k + 1);
+    for item in 1..vocab {
+        let row = &data[item * DIM..(item + 1) * DIM];
+        let s: f32 = query.iter().zip(row).map(|(&a, &b)| a * b).sum();
+        let worse = top.len() == k
+            && top
+                .last()
+                .is_none_or(|&(ws, wi)| s < ws || (s == ws && item as u32 > wi));
+        if worse {
+            continue;
+        }
+        let pos = top.partition_point(|&(ts, ti)| ts > s || (ts == s && ti < item as u32));
+        top.insert(pos, (s, item as u32));
+        top.truncate(k);
+    }
+    top.iter().map(|&(_, id)| id).collect()
+}
+
+/// Two-stage top-k through `r` (shortlist + re-rank + select), honouring
+/// the retriever's current `quantize` setting.
+fn two_stage_top_k(r: &Retriever, query: &[f32], k: usize) -> Vec<u32> {
+    let cands = r.shortlist(query, k);
+    let mut scores = Vec::new();
+    r.score_items(query, &cands, &mut scores);
+    let cmp = |&a: &usize, &b: &usize| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(cands[a].cmp(&cands[b]))
+    };
+    let mut order: Vec<usize> = (0..cands.len()).collect();
+    let kk = k.min(order.len());
+    if kk > 0 && kk < order.len() {
+        // Partial select then sort the head — full sorts of a 10⁴–10⁵ item
+        // shortlist would dominate the serving time being measured.
+        order.select_nth_unstable_by(kk - 1, cmp);
+        order.truncate(kk);
+    }
+    order.sort_by(cmp);
+    order.iter().take(kk).map(|&i| cands[i]).collect()
+}
+
+fn recall(exact: &[Vec<u32>], approx: &[Vec<u32>], k: usize) -> f64 {
+    let mut hits = 0usize;
+    let mut want = 0usize;
+    for (e, a) in exact.iter().zip(approx) {
+        let e = &e[..k.min(e.len())];
+        let a = &a[..k.min(a.len())];
+        want += e.len();
+        hits += e.iter().filter(|id| a.contains(id)).count();
+    }
+    hits as f64 / want.max(1) as f64
+}
+
+fn measure_exact(emb: &NdArray, query: &[f32]) -> Measurement {
+    let q = NdArray::from_vec(vec![1, DIM], query.to_vec());
+    measure_routine(SAMPLES, WARM_UP, MEASURE, || {
+        let scores = q.matmul2d_nt(black_box(emb));
+        let data = scores.data();
+        let mut top: Vec<(f32, u32)> = Vec::with_capacity(11);
+        for (item, &s) in data.iter().enumerate().skip(1) {
+            if top.len() == 10 && top.last().is_none_or(|&(ws, _)| s <= ws) {
+                continue;
+            }
+            let pos = top.partition_point(|&(ts, _)| ts >= s);
+            top.insert(pos, (s, item as u32));
+            top.truncate(10);
+        }
+        black_box(top)
+    })
+}
+
+fn measure_two_stage(r: &Retriever, query: &[f32]) -> Measurement {
+    measure_routine(SAMPLES, WARM_UP, MEASURE, || {
+        black_box(two_stage_top_k(r, black_box(query), 10))
+    })
+}
+
+/// The re-rank stage alone, on a fixed shortlist.
+fn measure_rerank(r: &Retriever, query: &[f32], cands: &[u32]) -> Measurement {
+    let mut scores = Vec::new();
+    measure_routine(SAMPLES, WARM_UP, MEASURE, || {
+        r.score_items(black_box(query), black_box(cands), &mut scores);
+        black_box(scores.last().copied())
+    })
+}
+
+fn ratio(a: &Measurement, b: &Measurement) -> f64 {
+    a.median.as_secs_f64() / b.median.as_secs_f64().max(1e-12)
+}
+
+fn main() {
+    use slime_json::Value;
+
+    pool::set_enabled(true);
+    println!(
+        "ann_sweep: exact vs two-stage retrieval, dim {DIM}, {} cores",
+        slime_par::available_threads()
+    );
+
+    let mut scale_reports = Vec::new();
+    let mut floors_ok = true;
+    for (si, scale) in SCALES.iter().enumerate() {
+        let (emb, centers) = catalog(scale, 1000 + si as u64);
+        let cfg = RetrievalConfig {
+            mode: RetrievalMode::TwoStage,
+            quantize: false,
+            cells: scale.cells,
+            nprobe: scale.nprobe,
+            ..RetrievalConfig::default()
+        };
+        let build_t = std::time::Instant::now();
+        let mut r = Retriever::build(&emb, cfg);
+        let build_ms = build_t.elapsed().as_secs_f64() * 1e3;
+
+        // Queries near cluster centers, the shape of a trained user repr.
+        let mut rng = StdRng::seed_from_u64(33 + si as u64);
+        let queries: Vec<Vec<f32>> = (0..scale.queries)
+            .map(|qi| {
+                centers[(qi * 37) % centers.len()]
+                    .iter()
+                    .map(|&v| v + 0.1 * (rng.gen::<f32>() - 0.5))
+                    .collect()
+            })
+            .collect();
+
+        let exact20: Vec<Vec<u32>> = queries.iter().map(|q| exact_top_k(&emb, q, 20)).collect();
+        let f32_20: Vec<Vec<u32>> = queries.iter().map(|q| two_stage_top_k(&r, q, 20)).collect();
+        r.cfg.quantize = true;
+        let int8_20: Vec<Vec<u32>> = queries.iter().map(|q| two_stage_top_k(&r, q, 20)).collect();
+        r.cfg.quantize = false;
+
+        let recalls = [
+            (
+                "f32",
+                recall(&exact20, &f32_20, 10),
+                recall(&exact20, &f32_20, 20),
+            ),
+            (
+                "int8",
+                recall(&exact20, &int8_20, 10),
+                recall(&exact20, &int8_20, 20),
+            ),
+        ];
+
+        // int8-vs-f32 score error over one query's shortlist.
+        let q0 = &queries[0];
+        let cands = r.shortlist(q0, 10);
+        let mut s_f32 = Vec::new();
+        r.score_items(q0, &cands, &mut s_f32);
+        r.cfg.quantize = true;
+        let mut s_int8 = Vec::new();
+        r.score_items(q0, &cands, &mut s_int8);
+        r.cfg.quantize = false;
+        let (mut err_sum, mut mag_sum) = (0.0f64, 0.0f64);
+        for (a, b) in s_f32.iter().zip(&s_int8) {
+            err_sum += f64::from((a - b).abs());
+            mag_sum += f64::from(a.abs());
+        }
+        let rel_err = err_sum / mag_sum.max(1e-12);
+
+        let exact_m = measure_exact(&emb, q0);
+        let two_f32_m = measure_two_stage(&r, q0);
+        r.cfg.quantize = true;
+        let two_int8_m = measure_two_stage(&r, q0);
+        r.cfg.quantize = false;
+        let rerank_f32_m = measure_rerank(&r, q0, &cands);
+        r.cfg.quantize = true;
+        let rerank_int8_m = measure_rerank(&r, q0, &cands);
+        r.cfg.quantize = false;
+
+        let speedup = ratio(&exact_m, &two_int8_m);
+        println!(
+            "  {:>9} items: build {build_ms:>8.1} ms, shortlist {:>6}, \
+             recall@10 f32 {:.3} int8 {:.3}, rel score err {rel_err:.2e}",
+            scale.n_items,
+            cands.len(),
+            recalls[0].1,
+            recalls[1].1
+        );
+        println!(
+            "             exact {:>10?}  two-stage f32 {:>10?}  int8 {:>10?}  \
+             ({speedup:.1}x)  rerank f32 {:>9?} int8 {:>9?} ({:.2}x)",
+            exact_m.median,
+            two_f32_m.median,
+            two_int8_m.median,
+            rerank_f32_m.median,
+            rerank_int8_m.median,
+            ratio(&rerank_f32_m, &rerank_int8_m)
+        );
+
+        // CI floors (also asserted below once all scales are in).
+        if scale.n_items >= 100_000 {
+            floors_ok &= recalls[0].1 >= 0.95 && recalls[1].1 >= 0.95;
+        }
+        if scale.n_items >= 1_000_000 {
+            floors_ok &= speedup >= 10.0;
+        }
+
+        scale_reports.push(slime_json::obj([
+            ("n_items", Value::Int(scale.n_items as i64)),
+            ("dim", Value::Int(DIM as i64)),
+            ("cells", Value::Int(scale.cells as i64)),
+            ("nprobe", Value::Int(scale.nprobe as i64)),
+            ("queries", Value::Int(scale.queries as i64)),
+            ("shortlist_len", Value::Int(cands.len() as i64)),
+            ("index_build_ms", Value::Float(build_ms)),
+            (
+                "recall",
+                Value::Arr(
+                    recalls
+                        .iter()
+                        .map(|&(rerank, at10, at20)| {
+                            slime_json::obj([
+                                ("rerank", Value::Str(rerank.into())),
+                                ("at10", Value::Float(at10)),
+                                ("at20", Value::Float(at20)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("int8_rel_score_error", Value::Float(rel_err)),
+            (
+                "latency",
+                slime_json::obj([
+                    ("exact_f32", exact_m.to_json()),
+                    ("two_stage_f32", two_f32_m.to_json()),
+                    ("two_stage_int8", two_int8_m.to_json()),
+                    ("rerank_f32", rerank_f32_m.to_json()),
+                    ("rerank_int8", rerank_int8_m.to_json()),
+                    ("speedup_exact_over_two_stage_int8", Value::Float(speedup)),
+                    (
+                        "rerank_speedup_f32_over_int8",
+                        Value::Float(ratio(&rerank_f32_m, &rerank_int8_m)),
+                    ),
+                ]),
+            ),
+        ]));
+    }
+
+    let report = slime_json::obj([
+        ("bench", Value::Str("ann_sweep".into())),
+        (
+            "available_cores",
+            Value::Int(slime_par::available_threads() as i64),
+        ),
+        (
+            "floors",
+            slime_json::obj([
+                ("recall_at_10_min", Value::Float(0.95)),
+                ("speedup_at_1e6_min", Value::Float(10.0)),
+                ("passed", Value::Bool(floors_ok)),
+            ]),
+        ),
+        ("scales", Value::Arr(scale_reports)),
+    ]);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ann.json");
+    std::fs::write(out, report.to_pretty() + "\n").expect("write BENCH_ann.json");
+    println!("wrote {out}");
+    assert!(
+        floors_ok,
+        "ann_sweep floors failed: recall@10 >= 0.95 at 1e5/1e6 items and \
+         two-stage >= 10x exact at 1e6 (see BENCH_ann.json)"
+    );
+}

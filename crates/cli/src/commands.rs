@@ -2,7 +2,8 @@
 
 use std::path::Path;
 
-use slime4rec::recommend::recommend_top_k;
+use slime4rec::recommend::recommend_top_k_with;
+use slime4rec::retrieval::{RetrievalConfig, RetrievalMode, Retriever};
 use slime4rec::{evaluate_split, run_slime, Slime4Rec, SlimeConfig, TrainConfig};
 use slime_data::synthetic::{generate, profile};
 use slime_data::{SeqDataset, Split};
@@ -49,7 +50,8 @@ pub fn usage() -> String {
      \x20            [--threads N] [--no-pool] [--no-simd] [--trace <dir|auto>]\n\
      \x20            [--profile]\n\
      \x20 recommend  --data <data.json> --model <model-dir> --user <idx> [--k 10]\n\
-     \x20            [--exclude-history true] [--threads N] [--no-pool] [--no-simd]\n\
+     \x20            [--exclude-history true] [--retrieval exact|two-stage|spectral]\n\
+     \x20            [--quantize] [--threads N] [--no-pool] [--no-simd]\n\
      \x20            [--trace <dir|auto>] [--profile]\n\
      \n\
      --threads N caps the slime-par worker pool (default: SLIME_THREADS env\n\
@@ -60,6 +62,14 @@ pub fn usage() -> String {
      SLIME_SIMD=0); results are deterministic within each backend, but the\n\
      two backends may differ in the last float bits (FMA contraction and\n\
      vector-lane reduction order).\n\
+     \n\
+     --retrieval picks the serving candidate generator: 'exact' scores the\n\
+     whole catalog, 'two-stage' probes a k-means cell index and re-ranks\n\
+     the shortlist, 'spectral' buckets by spectral sign signatures. The\n\
+     SLIME_RETRIEVAL env var sets the default; the flag wins. --quantize\n\
+     scores candidates through the int8 embedding table (per-row symmetric\n\
+     scales) instead of the f32 kernels — faster on large catalogs, scores\n\
+     may differ from f32 in low bits.\n\
      \n\
      --trace DIR writes a structured run record to DIR/trace.jsonl (one\n\
      JSON event per line: spans + events) and DIR/metrics.json (counters,\n\
@@ -285,6 +295,8 @@ fn cmd_recommend(args: &Args) -> Result<Vec<String>, ArgError> {
         "user",
         "k",
         "exclude-history",
+        "retrieval",
+        "quantize",
         "threads",
         "no-pool",
         "no-simd",
@@ -293,6 +305,20 @@ fn cmd_recommend(args: &Args) -> Result<Vec<String>, ArgError> {
         "profile",
     ])?;
     apply_runtime(args)?;
+    // Serving knobs, validated before any IO: `--retrieval` picks the
+    // candidate-generation mode (`SLIME_RETRIEVAL` is the env fallback;
+    // omitting both stays exact), `--quantize` scores through the int8
+    // table instead of the f32 kernels.
+    let mode = match args.get("retrieval") {
+        Some(spec) => RetrievalMode::parse(spec).ok_or_else(|| {
+            ArgError(format!(
+                "--retrieval: unknown mode {spec:?} (want exact|two-stage|spectral)"
+            ))
+        })?,
+        None => RetrievalMode::from_env().unwrap_or(RetrievalMode::Exact),
+    };
+    let quantize = args.flag("quantize");
+
     let ds = load_dataset(args.require("data")?)?;
     let (_, model) = load_model(args.require("model")?)?;
     let user: usize = args.get_or("user", 0usize)?;
@@ -304,11 +330,24 @@ fn cmd_recommend(args: &Args) -> Result<Vec<String>, ArgError> {
     }
     let k: usize = args.get_or("k", 10usize)?;
     let exclude: bool = args.get_or("exclude-history", true)?;
+    let retriever = if mode != RetrievalMode::Exact || quantize {
+        let rcfg = RetrievalConfig {
+            mode,
+            quantize,
+            ..RetrievalConfig::default()
+        };
+        Some(Retriever::build(&model.item_emb.weight.value(), rcfg))
+    } else {
+        None
+    };
+
     let history = ds.user(user);
-    let recs = recommend_top_k(&model, history, k, exclude);
+    let recs = recommend_top_k_with(&model, history, k, exclude, retriever.as_ref());
     let mut out = vec![format!(
-        "user {user}: history {:?}",
-        &history[history.len().saturating_sub(10)..]
+        "user {user}: history {:?} [{}{}]",
+        &history[history.len().saturating_sub(10)..],
+        mode.as_str(),
+        if quantize { ", int8" } else { "" }
     )];
     for (i, r) in recs.iter().enumerate() {
         out.push(format!(
@@ -366,8 +405,25 @@ mod tests {
         )))
         .unwrap();
         assert_eq!(out.len(), 4); // header + 3 recommendations
+        assert!(out[0].contains("[exact]"));
+
+        // The serving knobs ride the same trained model: two-stage +
+        // int8 re-rank still returns k valid items.
+        let out = run(&argv(&format!(
+            "recommend --data {data} --model {model} --user 0 --k 3 \
+             --retrieval two-stage --quantize"
+        )))
+        .unwrap();
+        assert_eq!(out.len(), 4);
+        assert!(out[0].contains("[two-stage, int8]"));
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recommend_validates_retrieval_mode() {
+        let err = run(&argv("recommend --data x.json --model m --retrieval fuzzy")).unwrap_err();
+        assert!(err.0.contains("unknown mode"), "got: {}", err.0);
     }
 
     #[test]

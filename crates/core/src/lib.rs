@@ -31,6 +31,7 @@ mod model;
 pub mod obs;
 pub mod ramp;
 pub mod recommend;
+pub mod retrieval;
 mod trainer;
 
 pub use config::{ContrastiveMode, SlideDirection, SlideMode, SlimeConfig, TrainConfig};

@@ -1,8 +1,19 @@
 //! Convenience inference API: top-K recommendations from raw histories.
+//!
+//! Serving-scale notes: candidate selection works on a pooled `f32` id
+//! buffer (4 bytes/candidate instead of a 16-byte `Recommendation` per
+//! vocab row — ids are exact in `f32` up to catalogs of 2²⁴ items, with a
+//! plain `u32` fallback above that), and exclude-history filtering goes
+//! through a per-user seen-bitmap built once per user instead of an
+//! O(|history|) scan per candidate. With a [`Retriever`] the full-vocab
+//! scoring is replaced by the two-stage shortlist + exact re-rank path
+//! (see `crate::retrieval`).
 
 use slime_data::batch::pad_truncate;
 use slime_nn::TrainContext;
+use slime_tensor::pool;
 
+use crate::retrieval::{RetrievalMode, Retriever};
 use crate::NextItemModel;
 
 /// One scored recommendation.
@@ -12,6 +23,112 @@ pub struct Recommendation {
     pub item: usize,
     /// Raw model score (higher = better; not a probability).
     pub score: f32,
+}
+
+/// Deterministic ranking order: score descending, ties broken by item id
+/// ascending. The tie-break is total (item ids are unique), so partial
+/// selection cannot reorder results relative to a full sort.
+#[inline]
+fn rank_order(score_a: f32, item_a: usize, score_b: f32, item_b: usize) -> std::cmp::Ordering {
+    score_b
+        .partial_cmp(&score_a)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(item_a.cmp(&item_b))
+}
+
+/// A reusable per-user bitmap over item ids. Setting and clearing are
+/// O(|history|), membership is O(1) — replacing the old
+/// `history.contains(item)` scan that made exclude-history filtering
+/// O(V·|history|) per user.
+struct SeenBitmap {
+    words: Vec<u64>,
+    vocab: usize,
+}
+
+impl SeenBitmap {
+    fn new(vocab: usize) -> SeenBitmap {
+        SeenBitmap {
+            words: vec![0u64; vocab.div_ceil(64)],
+            vocab,
+        }
+    }
+
+    /// Mark the history items (ids outside the vocab are ignored).
+    fn set(&mut self, history: &[usize]) {
+        for &item in history {
+            if item < self.vocab {
+                self.words[item / 64] |= 1u64 << (item % 64);
+            }
+        }
+    }
+
+    #[inline]
+    fn contains(&self, item: usize) -> bool {
+        self.words[item / 64] & (1u64 << (item % 64)) != 0
+    }
+
+    /// Unmark the same items — O(|history|), so the batch loop reuses one
+    /// allocation instead of zeroing O(V/64) words per user.
+    fn clear(&mut self, history: &[usize]) {
+        for &item in history {
+            if item < self.vocab {
+                self.words[item / 64] &= !(1u64 << (item % 64));
+            }
+        }
+    }
+}
+
+/// Select the top-k of `scores` (indexed by item id, slot 0 = padding,
+/// never recommended), skipping items marked in `seen`. Candidate ids are
+/// staged in a pooled `f32` buffer when they fit exactly (vocab ≤ 2²⁴),
+/// falling back to a transient `u32` vec for larger catalogs.
+fn select_top_k(scores: &[f32], seen: Option<&SeenBitmap>, k: usize) -> Vec<Recommendation> {
+    let vocab = scores.len();
+    let eligible = (1..vocab).filter(|&i| seen.is_none_or(|s| !s.contains(i)));
+    if vocab <= (1usize << 24) {
+        let mut cand = pool::take_empty(vocab);
+        cand.extend(eligible.map(|i| i as f32));
+        let by_rank = |a: &f32, b: &f32| {
+            let (ia, ib) = (*a as usize, *b as usize);
+            rank_order(scores[ia], ia, scores[ib], ib)
+        };
+        if cand.len() > k {
+            // O(V) selection of the k winners, then sort only those —
+            // full-vocab `sort_by` was O(V log V) per user.
+            cand.select_nth_unstable_by(k - 1, by_rank);
+            cand.truncate(k);
+        }
+        cand.sort_by(by_rank);
+        let out = cand
+            .iter()
+            .map(|&id| {
+                let item = id as usize;
+                Recommendation {
+                    item,
+                    score: scores[item],
+                }
+            })
+            .collect();
+        pool::recycle(cand);
+        out
+    } else {
+        let mut cand: Vec<u32> = eligible.map(|i| i as u32).collect();
+        let by_rank = |a: &u32, b: &u32| {
+            let (ia, ib) = (*a as usize, *b as usize);
+            rank_order(scores[ia], ia, scores[ib], ib)
+        };
+        if cand.len() > k {
+            cand.select_nth_unstable_by(k - 1, by_rank);
+            cand.truncate(k);
+        }
+        cand.sort_by(by_rank);
+        cand.iter()
+            .map(|&id| Recommendation {
+                item: id as usize,
+                score: scores[id as usize],
+            })
+            .collect()
+    }
 }
 
 /// Top-K next-item recommendations for a single interaction history.
@@ -29,6 +146,18 @@ pub fn recommend_top_k<M: NextItemModel>(
     batch.into_iter().next().unwrap_or_default()
 }
 
+/// [`recommend_top_k`] through an optional retrieval stack.
+pub fn recommend_top_k_with<M: NextItemModel>(
+    model: &M,
+    history: &[usize],
+    k: usize,
+    exclude_history: bool,
+    retriever: Option<&Retriever>,
+) -> Vec<Recommendation> {
+    let batch = recommend_batch_with(model, &[history], k, exclude_history, retriever);
+    batch.into_iter().next().unwrap_or_default()
+}
+
 /// Top-K recommendations for several histories in one forward pass.
 pub fn recommend_batch<M: NextItemModel>(
     model: &M,
@@ -36,11 +165,37 @@ pub fn recommend_batch<M: NextItemModel>(
     k: usize,
     exclude_history: bool,
 ) -> Vec<Vec<Recommendation>> {
+    recommend_batch_with(model, histories, k, exclude_history, None)
+}
+
+/// Top-K recommendations for several histories, optionally served through
+/// a [`Retriever`]:
+///
+/// - `None`, or `Some` in [`RetrievalMode::Exact`] without quantization:
+///   the dense baseline — score every item via `score_all`.
+/// - `Exact` with `quantize`: full-catalog int8 scoring through the
+///   `dot_i8` kernel (no float matmul, no f32 table traffic).
+/// - `TwoStage` / `Spectral`: coarse shortlist from the index, exact
+///   re-rank of the survivors. The shortlist is asked for enough
+///   candidates to cover `k` plus the user's history, so exclusion can
+///   never starve the result; small catalogs degrade to exact ranking.
+pub fn recommend_batch_with<M: NextItemModel>(
+    model: &M,
+    histories: &[&[usize]],
+    k: usize,
+    exclude_history: bool,
+    retriever: Option<&Retriever>,
+) -> Vec<Vec<Recommendation>> {
     assert!(k >= 1, "k must be positive");
     if histories.is_empty() {
         return Vec::new();
     }
-    let _span = slime_trace::span!("recommend", {"users": histories.len(), "k": k});
+    let mode = retriever.map(|r| (r.cfg.mode, r.cfg.quantize));
+    let _span = slime_trace::span!("recommend", {
+        "users": histories.len(),
+        "k": k,
+        "mode": mode.map_or("dense", |(m, _)| m.as_str())
+    });
     let n = model.max_len();
     let mut inputs = Vec::with_capacity(histories.len() * n);
     for h in histories {
@@ -48,47 +203,99 @@ pub fn recommend_batch<M: NextItemModel>(
     }
     let mut ctx = TrainContext::eval();
     let repr = model.user_repr(&inputs, histories.len(), &mut ctx);
-    let scores = model.score_all(&repr);
-    let v = scores.value();
-    let vocab = v.shape()[1];
 
-    histories
-        .iter()
-        .enumerate()
-        .map(|(row, history)| {
-            let slice = &v.data()[row * vocab..(row + 1) * vocab];
-            let mut ranked: Vec<Recommendation> = slice
+    match (retriever, mode) {
+        (Some(r), Some((RetrievalMode::TwoStage | RetrievalMode::Spectral, _))) => {
+            let rv = repr.value();
+            let dim = rv.shape()[1];
+            let mut seen = exclude_history.then(|| SeenBitmap::new(r.vocab()));
+            let mut scores = Vec::new();
+            histories
                 .iter()
                 .enumerate()
-                .skip(1) // never recommend the padding pseudo-item
-                .filter(|(item, _)| !exclude_history || !history.contains(item))
-                .map(|(item, &score)| Recommendation { item, score })
+                .map(|(row, history)| {
+                    let query = &rv.data()[row * dim..(row + 1) * dim];
+                    let need = k + if exclude_history { history.len() } else { 0 };
+                    let mut cands = r.shortlist(query, need);
+                    if let Some(s) = &mut seen {
+                        s.set(history);
+                        cands.retain(|&it| !s.contains(it as usize));
+                        s.clear(history);
+                    }
+                    r.score_items(query, &cands, &mut scores);
+                    let mut ranked: Vec<Recommendation> = cands
+                        .iter()
+                        .zip(&scores)
+                        .map(|(&item, &score)| Recommendation {
+                            item: item as usize,
+                            score,
+                        })
+                        .collect();
+                    let by_rank = |a: &Recommendation, b: &Recommendation| {
+                        rank_order(a.score, a.item, b.score, b.item)
+                    };
+                    if ranked.len() > k {
+                        ranked.select_nth_unstable_by(k - 1, by_rank);
+                        ranked.truncate(k);
+                    }
+                    ranked.sort_by(by_rank);
+                    ranked
+                })
+                .collect()
+        }
+        (Some(r), Some((RetrievalMode::Exact, true))) => {
+            let rv = repr.value();
+            let dim = rv.shape()[1];
+            let vocab = r.vocab();
+            let mut seen = exclude_history.then(|| SeenBitmap::new(vocab));
+            let mut scores = pool::take_filled(vocab, 0.0);
+            let out = histories
+                .iter()
+                .enumerate()
+                .map(|(row, history)| {
+                    let query = &rv.data()[row * dim..(row + 1) * dim];
+                    r.score_all_quantized(query, &mut scores);
+                    if let Some(s) = &mut seen {
+                        s.set(history);
+                    }
+                    let recs = select_top_k(&scores, seen.as_ref(), k);
+                    if let Some(s) = &mut seen {
+                        s.clear(history);
+                    }
+                    recs
+                })
                 .collect();
-            // Deterministic ranking order: score descending, ties broken by
-            // item id ascending. The tie-break is total (item ids are
-            // unique), so partial selection below cannot reorder results
-            // relative to a full sort.
-            let by_rank = |a: &Recommendation, b: &Recommendation| {
-                b.score
-                    .partial_cmp(&a.score)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.item.cmp(&b.item))
-            };
-            // O(V) selection of the k winners, then sort only those —
-            // full-vocab `sort_by` was O(V log V) per user.
-            if ranked.len() > k {
-                ranked.select_nth_unstable_by(k - 1, by_rank);
-                ranked.truncate(k);
-            }
-            ranked.sort_by(by_rank);
-            ranked
-        })
-        .collect()
+            pool::recycle(scores);
+            out
+        }
+        _ => {
+            let scores = model.score_all(&repr);
+            let v = scores.value();
+            let vocab = v.shape()[1];
+            let mut seen = exclude_history.then(|| SeenBitmap::new(vocab));
+            histories
+                .iter()
+                .enumerate()
+                .map(|(row, history)| {
+                    let slice = &v.data()[row * vocab..(row + 1) * vocab];
+                    if let Some(s) = &mut seen {
+                        s.set(history);
+                    }
+                    let recs = select_top_k(slice, seen.as_ref(), k);
+                    if let Some(s) = &mut seen {
+                        s.clear(history);
+                    }
+                    recs
+                })
+                .collect()
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::retrieval::RetrievalConfig;
     use crate::{ContrastiveMode, Slime4Rec, SlimeConfig};
 
     fn tiny_model() -> Slime4Rec {
@@ -217,6 +424,89 @@ mod tests {
             let recs = recommend_top_k(&m, &[1], k, false);
             let got: Vec<(usize, f32)> = recs.iter().map(|r| (r.item, r.score)).collect();
             assert_eq!(got, reference[..k], "k = {k}");
+        }
+    }
+
+    /// The seen-bitmap + pooled-candidate path must reproduce the old
+    /// per-candidate `history.contains` filter exactly, at a catalog size
+    /// where the O(V·|history|) scan actually hurt.
+    #[test]
+    fn large_catalog_exclusion_matches_naive_filter() {
+        let vocab = 5000usize;
+        let scores: Vec<f32> = (0..vocab)
+            .map(|i| ((i * 131 + 7) % 997) as f32 / 8.0)
+            .collect();
+        let m = FixedScores {
+            scores: scores.clone(),
+        };
+        // A long, gappy history with duplicates and an out-of-vocab id.
+        let mut history: Vec<usize> = (1..vocab).step_by(3).collect();
+        history.push(1);
+        history.push(vocab + 17);
+        for k in [1usize, 10, 100] {
+            let recs = recommend_top_k(&m, &history, k, true);
+            // Reference: the pre-bitmap implementation, verbatim.
+            let mut naive: Vec<Recommendation> = scores
+                .iter()
+                .enumerate()
+                .skip(1)
+                .filter(|(item, _)| !history.contains(item))
+                .map(|(item, &score)| Recommendation { item, score })
+                .collect();
+            naive.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.item.cmp(&b.item))
+            });
+            naive.truncate(k);
+            assert_eq!(recs, naive, "k = {k}");
+        }
+    }
+
+    /// Two-stage retrieval through a real model: results must be top-k of
+    /// the exact ranking restricted to the shortlist — and with a widened
+    /// shortlist covering the whole tiny catalog, identical items to the
+    /// exact path.
+    #[test]
+    fn two_stage_on_tiny_catalog_degrades_to_exact_items() {
+        let m = tiny_model();
+        let emb = m.item_emb.weight.value();
+        let cfg = RetrievalConfig {
+            cells: 3,
+            nprobe: 3,
+            iters: 2,
+            ..RetrievalConfig::default()
+        };
+        let r = crate::retrieval::Retriever::build(&emb, cfg);
+        let exact = recommend_top_k(&m, &[1, 2, 3], 4, true);
+        let two_stage = recommend_top_k_with(&m, &[1, 2, 3], 4, true, Some(&r));
+        let e: Vec<usize> = exact.iter().map(|x| x.item).collect();
+        let t: Vec<usize> = two_stage.iter().map(|x| x.item).collect();
+        assert_eq!(e, t, "nprobe = all cells must reproduce exact item set");
+    }
+
+    /// Quantized exact mode ranks via int8 scores; on a toy model the
+    /// returned items must be valid, unique, and history-free.
+    #[test]
+    fn quantized_exact_mode_serves_valid_items() {
+        let m = tiny_model();
+        let emb = m.item_emb.weight.value();
+        let cfg = RetrievalConfig {
+            mode: RetrievalMode::Exact,
+            quantize: true,
+            ..RetrievalConfig::default()
+        };
+        let r = crate::retrieval::Retriever::build(&emb, cfg);
+        let history = [1usize, 2, 3];
+        let recs = recommend_top_k_with(&m, &history, 5, true, Some(&r));
+        assert_eq!(recs.len(), 5);
+        let mut items: Vec<usize> = recs.iter().map(|x| x.item).collect();
+        items.sort_unstable();
+        items.dedup();
+        assert_eq!(items.len(), 5);
+        for &it in &items {
+            assert!((1..=12).contains(&it) && !history.contains(&it));
         }
     }
 }

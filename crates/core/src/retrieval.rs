@@ -1,0 +1,632 @@
+//! Two-stage sublinear retrieval over large item catalogs.
+//!
+//! Full ranking scores `repr · E^T` against every catalog row — fine at a
+//! few hundred items, hopeless at the 10⁵–10⁶ the ROADMAP targets. This
+//! module adds the serving-side answer:
+//!
+//! 1. **Coarse candidate generation.** Item embeddings are partitioned
+//!    into IVF-style cells by a deterministic k-means ([`KMeansIndex`]),
+//!    or bucketed by frequency-domain sign signatures
+//!    ([`SpectralIndex`] — the paper's slide filter mixer already lives in
+//!    the spectral domain, so the first DFT bins of an embedding row are a
+//!    natural locality key). A query probes the nearest `nprobe` cells and
+//!    collects their items as a shortlist.
+//! 2. **Exact re-rank.** The shortlist is scored exactly — either in f32
+//!    through the existing nt matmul kernels, or against the int8 table
+//!    via the widening [`dot_i8`](slime_tensor::simd::Kernels::dot_i8)
+//!    kernel when quantization is on — and the top-k is selected with the
+//!    same total order the dense path uses.
+//!
+//! # Determinism
+//!
+//! The *index build* is knob-invariant bitwise: it consumes only the
+//! [`QuantizedTable`] codes (themselves SIMD/thread/pool-invariant, see
+//! `slime_tensor::quant`), accumulates centroid assignments with the exact
+//! integer `dot_i8` kernel, folds centroid means sequentially in ascending
+//! item order, and breaks every argmin tie toward the lower id. Lloyd
+//! initialization draws from a PCG32 seeded by [`RetrievalConfig::seed`].
+//! The determinism matrix (`tests/determinism.rs`,
+//! `tests/retrieval.rs`) pins both the build and the end-to-end
+//! recommendation output across `SLIME_SIMD` × `SLIME_POOL` ×
+//! `SLIME_THREADS`.
+
+use slime_rng::rngs::StdRng;
+use slime_rng::seq::SliceRandom;
+use slime_rng::SeedableRng;
+use slime_tensor::quant::QuantizedTable;
+use slime_tensor::{simd, NdArray};
+
+/// Which candidate-generation strategy serves a recommendation request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrievalMode {
+    /// Score every catalog item (the dense baseline).
+    Exact,
+    /// K-means cells + exact re-rank of the probed shortlist.
+    TwoStage,
+    /// Spectral sign-signature buckets + exact re-rank.
+    Spectral,
+}
+
+impl RetrievalMode {
+    /// Parse a CLI/env spelling (`exact`, `two-stage`, `spectral`).
+    pub fn parse(s: &str) -> Option<RetrievalMode> {
+        match s {
+            "exact" => Some(RetrievalMode::Exact),
+            "two-stage" | "two_stage" | "twostage" => Some(RetrievalMode::TwoStage),
+            "spectral" => Some(RetrievalMode::Spectral),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling, as accepted by [`RetrievalMode::parse`].
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RetrievalMode::Exact => "exact",
+            RetrievalMode::TwoStage => "two-stage",
+            RetrievalMode::Spectral => "spectral",
+        }
+    }
+
+    /// The `SLIME_RETRIEVAL` environment default, if set and valid.
+    pub fn from_env() -> Option<RetrievalMode> {
+        std::env::var("SLIME_RETRIEVAL")
+            .ok()
+            .and_then(|v| RetrievalMode::parse(v.trim()))
+    }
+}
+
+/// Tuning knobs for [`Retriever::build`]. `0` means "auto" where noted.
+#[derive(Debug, Clone)]
+pub struct RetrievalConfig {
+    /// Candidate-generation strategy.
+    pub mode: RetrievalMode,
+    /// Score through the int8 table (`true`) or f32 nt kernels (`false`).
+    pub quantize: bool,
+    /// Number of k-means cells; 0 = `√n_items` (clamped to `[1, n]`).
+    pub cells: usize,
+    /// Cells probed per query; 0 = `max(4, cells / 16)`.
+    pub nprobe: usize,
+    /// Lloyd iterations over the training sample.
+    pub iters: usize,
+    /// Max rows used to train Lloyd (evenly strided); the final assignment
+    /// pass always covers the full catalog.
+    pub sample: usize,
+    /// PCG32 seed for centroid initialization.
+    pub seed: u64,
+    /// Signature width (DFT bins) for the spectral variant, <= 32.
+    pub signature_bits: usize,
+}
+
+impl Default for RetrievalConfig {
+    fn default() -> Self {
+        RetrievalConfig {
+            mode: RetrievalMode::TwoStage,
+            quantize: false,
+            cells: 0,
+            nprobe: 0,
+            iters: 6,
+            sample: 32_768,
+            seed: 0x51_13E,
+            signature_bits: 12,
+        }
+    }
+}
+
+/// Squared-norm of a quantized row, dequantized: `s² · Σ q_i²`. Exact
+/// integer accumulation, one f32 multiply chain — knob-invariant.
+fn quant_row_norm(row: &[i8], scale: f32) -> f32 {
+    let n: i32 = row.iter().map(|&v| i32::from(v) * i32::from(v)).sum();
+    n as f32 * scale * scale
+}
+
+/// Index of the centroid minimizing `‖x − c‖²` over the quantized
+/// centroids, dropping the query-norm constant:
+/// `argmin_c cnorm[c] − 2·s_x·s_c·(x·c)`. Strict `<` with ascending scan
+/// breaks ties toward the lower cell id; `dot_i8` is exact, so the result
+/// is bitwise stable under every runtime knob.
+fn nearest_cell(cent: &QuantizedTable, cnorm: &[f32], x: &[i8], sx: f32) -> u32 {
+    let k = simd::kernels();
+    let mut best = 0u32;
+    let mut best_d = f32::INFINITY;
+    for c in 0..cent.rows() {
+        let dot = (k.dot_i8)(x, cent.row(c)) as f32;
+        let d = cnorm[c] - 2.0 * sx * cent.scale(c) * dot;
+        if d < best_d {
+            best_d = d;
+            best = c as u32;
+        }
+    }
+    best
+}
+
+/// IVF-style coarse index: k-means cells over the quantized item table.
+///
+/// Built purely from quantized codes with fixed tie-breaks (see the module
+/// docs), so two builds with the same config and table are bitwise
+/// identical regardless of SIMD backend, thread count, or pool state.
+pub struct KMeansIndex {
+    /// Quantized centroids (one row per cell).
+    cent: QuantizedTable,
+    /// Dequantized squared norm per centroid.
+    cnorm: Vec<f32>,
+    /// Item ids per cell, ascending. Indexed by cell id.
+    cells: Vec<Vec<u32>>,
+}
+
+impl KMeansIndex {
+    /// Cluster rows `1..rows` of `table` (row 0 is the padding pseudo-item
+    /// and is never indexed) into `n_cells` cells.
+    pub fn build(table: &QuantizedTable, cfg: &RetrievalConfig) -> KMeansIndex {
+        let dim = table.dim();
+        let n_items = table.rows().saturating_sub(1);
+        let n_cells = if cfg.cells == 0 {
+            ((n_items as f64).sqrt().round() as usize).clamp(1, n_items.max(1))
+        } else {
+            cfg.cells.clamp(1, n_items.max(1))
+        };
+        let _span = slime_trace::span!("retrieval.kmeans_build", {
+            "items": n_items, "cells": n_cells, "iters": cfg.iters
+        });
+        if n_items == 0 {
+            return KMeansIndex {
+                cent: QuantizedTable::from_rows(0, dim, &[]),
+                cnorm: Vec::new(),
+                cells: Vec::new(),
+            };
+        }
+
+        // Training set: an even stride over the catalog (deterministic and
+        // cluster-agnostic); Lloyd centroids start at a PCG32-shuffled
+        // draw of distinct training rows.
+        let stride = n_items.div_ceil(cfg.sample.max(1)).max(1);
+        let train: Vec<u32> = (1..=n_items as u32).step_by(stride).collect();
+        let mut order: Vec<u32> = train.clone();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        order.shuffle(&mut rng);
+        let mut centroids = vec![0.0f32; n_cells * dim];
+        for (c, &item) in order.iter().take(n_cells).enumerate() {
+            table.dequantize_row_into(item as usize, &mut centroids[c * dim..(c + 1) * dim]);
+        }
+        // Fewer training rows than cells: leave the remainder at the
+        // origin; they stay empty and never win a probe that matters.
+
+        for _ in 0..cfg.iters {
+            let cent = QuantizedTable::from_rows(n_cells, dim, &centroids);
+            let cnorm: Vec<f32> = (0..n_cells)
+                .map(|c| quant_row_norm(cent.row(c), cent.scale(c)))
+                .collect();
+            let assign: Vec<u32> = slime_par::parallel_map(&train, 512, |_, &item| {
+                nearest_cell(
+                    &cent,
+                    &cnorm,
+                    table.row(item as usize),
+                    table.scale(item as usize),
+                )
+            });
+            // Sequential accumulation in ascending training-row order:
+            // the fold order is fixed, so the means are knob-invariant.
+            let mut sums = vec![0.0f32; n_cells * dim];
+            let mut counts = vec![0u32; n_cells];
+            let mut buf = vec![0.0f32; dim];
+            for (&item, &cell) in train.iter().zip(&assign) {
+                table.dequantize_row_into(item as usize, &mut buf);
+                let acc = &mut sums[cell as usize * dim..(cell as usize + 1) * dim];
+                for (a, &v) in acc.iter_mut().zip(&buf) {
+                    *a += v;
+                }
+                counts[cell as usize] += 1;
+            }
+            for c in 0..n_cells {
+                if counts[c] > 0 {
+                    let inv = 1.0 / counts[c] as f32;
+                    for j in 0..dim {
+                        centroids[c * dim + j] = sums[c * dim + j] * inv;
+                    }
+                }
+                // Empty cell: keep the previous centroid.
+            }
+        }
+
+        let cent = QuantizedTable::from_rows(n_cells, dim, &centroids);
+        let cnorm: Vec<f32> = (0..n_cells)
+            .map(|c| quant_row_norm(cent.row(c), cent.scale(c)))
+            .collect();
+        // Final assignment covers the full catalog, not just the sample.
+        let all: Vec<u32> = (1..=n_items as u32).collect();
+        let assign: Vec<u32> = slime_par::parallel_map(&all, 2048, |_, &item| {
+            nearest_cell(
+                &cent,
+                &cnorm,
+                table.row(item as usize),
+                table.scale(item as usize),
+            )
+        });
+        let mut cells: Vec<Vec<u32>> = vec![Vec::new(); n_cells];
+        for (&item, &cell) in all.iter().zip(&assign) {
+            cells[cell as usize].push(item); // ascending by construction
+        }
+        KMeansIndex { cent, cnorm, cells }
+    }
+
+    /// Number of cells.
+    pub fn n_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The quantized centroid table (tests and benches fingerprint the
+    /// build through this).
+    pub fn centroids(&self) -> &QuantizedTable {
+        &self.cent
+    }
+
+    /// Item ids of cell `c` (ascending).
+    pub fn cell(&self, c: usize) -> &[u32] {
+        &self.cells[c]
+    }
+
+    /// Append shortlist candidates for `query` to `out`: cells in
+    /// ascending distance order (ties toward the lower id), stopping once
+    /// both `nprobe` cells are taken and at least `need` candidates are
+    /// collected.
+    pub fn probe_into(&self, query: &[f32], nprobe: usize, need: usize, out: &mut Vec<u32>) {
+        if self.cells.is_empty() {
+            return;
+        }
+        let (q, sq) = QuantizedTable::quantize_query(query);
+        let k = simd::kernels();
+        let mut order: Vec<(f32, u32)> = (0..self.cent.rows())
+            .map(|c| {
+                let dot = (k.dot_i8)(&q, self.cent.row(c)) as f32;
+                (
+                    self.cnorm[c] - 2.0 * sq * self.cent.scale(c) * dot,
+                    c as u32,
+                )
+            })
+            .collect();
+        // Distances are finite (quantized codes are bounded); the id
+        // tie-break makes the order total.
+        order.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        let nprobe = nprobe.clamp(1, order.len());
+        for (rank, &(_, c)) in order.iter().enumerate() {
+            if rank >= nprobe && out.len() >= need {
+                break;
+            }
+            out.extend_from_slice(&self.cells[c as usize]);
+        }
+    }
+}
+
+/// Spectral sign-signature buckets: item rows keyed by the signs of the
+/// first `bits` DFT bins of the embedding vector.
+///
+/// The filter mixer's premise is that behaviour lives in the frequency
+/// domain; the analogous item-side key treats an embedding row as a
+/// length-`dim` signal and takes `sign(Re X_b)` for the low bins — a
+/// locality-sensitive hash whose naive DFT is plain sequential Rust, so
+/// the build shares the k-means path's knob-invariance.
+pub struct SpectralIndex {
+    bits: usize,
+    /// `(signature, item ids ascending)`, sorted by signature.
+    buckets: Vec<(u32, Vec<u32>)>,
+}
+
+impl SpectralIndex {
+    /// Sign of the low-bin DFT spectrum of one row.
+    pub fn signature(row: &[f32], bits: usize) -> u32 {
+        let d = row.len().max(1);
+        let mut sig = 0u32;
+        for b in 0..bits.min(32) {
+            let mut re = 0.0f32;
+            for (j, &v) in row.iter().enumerate() {
+                let ang = -2.0 * std::f32::consts::PI * (b * j % d) as f32 / d as f32;
+                re += v * ang.cos();
+            }
+            if re > 0.0 {
+                sig |= 1 << b;
+            }
+        }
+        sig
+    }
+
+    /// Bucket rows `1..rows` of the f32 table `emb` (`rows × dim`).
+    pub fn build(emb: &NdArray, bits: usize) -> SpectralIndex {
+        let (rows, dim) = (emb.shape()[0], emb.shape()[1]);
+        let n_items = rows.saturating_sub(1);
+        let _span = slime_trace::span!("retrieval.spectral_build", {
+            "items": n_items, "bits": bits
+        });
+        let all: Vec<u32> = (1..=n_items as u32).collect();
+        let data = emb.data();
+        let sigs: Vec<u32> = slime_par::parallel_map(&all, 1024, |_, &item| {
+            let r = item as usize;
+            SpectralIndex::signature(&data[r * dim..(r + 1) * dim], bits)
+        });
+        let mut by_sig: std::collections::BTreeMap<u32, Vec<u32>> =
+            std::collections::BTreeMap::new();
+        for (&item, &sig) in all.iter().zip(&sigs) {
+            by_sig.entry(sig).or_default().push(item); // ascending
+        }
+        SpectralIndex {
+            bits: bits.min(32),
+            buckets: by_sig.into_iter().collect(),
+        }
+    }
+
+    /// Number of distinct signatures observed.
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Append candidates for `query` to `out`: buckets in ascending
+    /// Hamming distance from the query signature (ties toward the lower
+    /// signature), stopping once both `nprobe` buckets are taken and
+    /// `need` candidates are collected.
+    pub fn probe_into(&self, query: &[f32], nprobe: usize, need: usize, out: &mut Vec<u32>) {
+        if self.buckets.is_empty() {
+            return;
+        }
+        let sig_q = SpectralIndex::signature(query, self.bits);
+        let mut order: Vec<(u32, usize)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, (sig, _))| ((sig ^ sig_q).count_ones(), i))
+            .collect();
+        order.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then(self.buckets[a.1].0.cmp(&self.buckets[b.1].0))
+        });
+        let nprobe = nprobe.clamp(1, order.len());
+        for (rank, &(_, i)) in order.iter().enumerate() {
+            if rank >= nprobe && out.len() >= need {
+                break;
+            }
+            out.extend_from_slice(&self.buckets[i].1);
+        }
+    }
+}
+
+/// A built retrieval stack over one item embedding table: the quantized
+/// table plus whichever coarse index [`RetrievalConfig::mode`] selects.
+pub struct Retriever {
+    /// The build-time configuration (nprobe etc. are read at query time).
+    pub cfg: RetrievalConfig,
+    dim: usize,
+    vocab: usize,
+    quant: QuantizedTable,
+    emb: NdArray,
+    kmeans: Option<KMeansIndex>,
+    spectral: Option<SpectralIndex>,
+}
+
+impl Retriever {
+    /// Build from a `vocab × dim` item embedding table (row 0 = padding).
+    pub fn build(emb: &NdArray, cfg: RetrievalConfig) -> Retriever {
+        assert_eq!(
+            emb.ndim(),
+            2,
+            "Retriever::build: expected 2-D embedding table, got {:?}",
+            emb.shape()
+        );
+        let (vocab, dim) = (emb.shape()[0], emb.shape()[1]);
+        let quant = QuantizedTable::from_ndarray(emb);
+        let kmeans =
+            (cfg.mode == RetrievalMode::TwoStage).then(|| KMeansIndex::build(&quant, &cfg));
+        let spectral = (cfg.mode == RetrievalMode::Spectral)
+            .then(|| SpectralIndex::build(emb, cfg.signature_bits));
+        Retriever {
+            cfg,
+            dim,
+            vocab,
+            quant,
+            emb: emb.clone(),
+            kmeans,
+            spectral,
+        }
+    }
+
+    /// Catalog size including the padding row.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The int8 view of the table.
+    pub fn quantized(&self) -> &QuantizedTable {
+        &self.quant
+    }
+
+    /// The k-means index, when mode is `TwoStage`.
+    pub fn kmeans(&self) -> Option<&KMeansIndex> {
+        self.kmeans.as_ref()
+    }
+
+    /// The spectral index, when mode is `Spectral`.
+    pub fn spectral(&self) -> Option<&SpectralIndex> {
+        self.spectral.as_ref()
+    }
+
+    /// Effective probe width for this config.
+    pub fn nprobe(&self) -> usize {
+        if self.cfg.nprobe > 0 {
+            return self.cfg.nprobe;
+        }
+        let cells = self
+            .kmeans
+            .as_ref()
+            .map(|k| k.n_cells())
+            .or_else(|| self.spectral.as_ref().map(|s| s.n_buckets()))
+            .unwrap_or(1);
+        (cells / 16).max(4)
+    }
+
+    /// Candidate item ids for `query` (never includes the padding item 0).
+    /// `need` is the minimum shortlist the caller wants — probing widens
+    /// past `nprobe` cells until it is met or the catalog is exhausted,
+    /// so small catalogs degrade gracefully to exact ranking.
+    pub fn shortlist(&self, query: &[f32], need: usize) -> Vec<u32> {
+        assert_eq!(query.len(), self.dim, "shortlist: query dim mismatch");
+        let mut out = Vec::new();
+        match self.cfg.mode {
+            RetrievalMode::Exact => out.extend(1..self.vocab as u32),
+            RetrievalMode::TwoStage => {
+                if let Some(k) = &self.kmeans {
+                    k.probe_into(query, self.nprobe(), need, &mut out);
+                }
+            }
+            RetrievalMode::Spectral => {
+                if let Some(s) = &self.spectral {
+                    s.probe_into(query, self.nprobe(), need, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Exact scores for `items` under this retriever's scoring path:
+    /// `out[i] = score(query, E[items[i]])`, int8 when
+    /// [`RetrievalConfig::quantize`] is set, f32 through the nt matmul
+    /// kernel otherwise.
+    pub fn score_items(&self, query: &[f32], items: &[u32], out: &mut Vec<f32>) {
+        out.clear();
+        if items.is_empty() {
+            return;
+        }
+        if self.cfg.quantize {
+            let (q, sq) = QuantizedTable::quantize_query(query);
+            out.extend(
+                items
+                    .iter()
+                    .map(|&it| self.quant.score(it as usize, &q, sq)),
+            );
+        } else {
+            // Gather the candidate rows and push them through the existing
+            // nt kernel — the same arithmetic score_all uses, restricted
+            // to the shortlist.
+            let data = self.emb.data();
+            let mut gathered = slime_tensor::pool::take_empty(items.len() * self.dim);
+            for &it in items {
+                let r = it as usize;
+                gathered.extend_from_slice(&data[r * self.dim..(r + 1) * self.dim]);
+            }
+            let cand = NdArray::from_vec(vec![items.len(), self.dim], gathered);
+            let qarr = NdArray::from_vec(vec![1, self.dim], query.to_vec());
+            let scores = qarr.matmul2d_nt(&cand);
+            out.extend_from_slice(scores.data());
+        }
+    }
+
+    /// Full-catalog quantized scores (`out[item] = score`), the
+    /// `--quantize` exact path. `out` must be `vocab` long; slot 0 (the
+    /// padding item) is set to `f32::NEG_INFINITY`.
+    pub fn score_all_quantized(&self, query: &[f32], out: &mut [f32]) {
+        let (q, sq) = QuantizedTable::quantize_query(query);
+        self.quant.scores_into(&q, sq, out);
+        if !out.is_empty() {
+            out[0] = f32::NEG_INFINITY;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_table(rows: usize, dim: usize, seed: u64) -> NdArray {
+        let mut rng = StdRng::seed_from_u64(seed);
+        slime_tensor::init::normal(vec![rows, dim], 1.0, &mut rng)
+    }
+
+    #[test]
+    fn mode_parsing_round_trips() {
+        for m in [
+            RetrievalMode::Exact,
+            RetrievalMode::TwoStage,
+            RetrievalMode::Spectral,
+        ] {
+            assert_eq!(RetrievalMode::parse(m.as_str()), Some(m));
+        }
+        assert_eq!(RetrievalMode::parse("bogus"), None);
+    }
+
+    #[test]
+    fn kmeans_cells_partition_the_catalog() {
+        let emb = toy_table(101, 8, 3);
+        let quant = QuantizedTable::from_ndarray(&emb);
+        let cfg = RetrievalConfig {
+            cells: 7,
+            iters: 3,
+            ..RetrievalConfig::default()
+        };
+        let idx = KMeansIndex::build(&quant, &cfg);
+        let mut all: Vec<u32> = (0..idx.n_cells())
+            .flat_map(|c| idx.cell(c).to_vec())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (1..=100u32).collect::<Vec<_>>());
+        for c in 0..idx.n_cells() {
+            assert!(idx.cell(c).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn shortlist_widens_to_meet_need_on_small_catalogs() {
+        let emb = toy_table(30, 8, 4);
+        let cfg = RetrievalConfig {
+            cells: 5,
+            nprobe: 1,
+            iters: 2,
+            ..RetrievalConfig::default()
+        };
+        let r = Retriever::build(&emb, cfg);
+        let q: Vec<f32> = emb.data()[8..16].to_vec();
+        let sl = r.shortlist(&q, 29);
+        assert_eq!(sl.len(), 29, "must widen to the whole catalog");
+    }
+
+    #[test]
+    fn spectral_buckets_cover_the_catalog() {
+        let emb = toy_table(64, 16, 5);
+        let idx = SpectralIndex::build(&emb, 6);
+        let mut out = Vec::new();
+        let q: Vec<f32> = emb.data()[16..32].to_vec();
+        idx.probe_into(&q, idx.n_buckets(), 63, &mut out);
+        let mut all = out.clone();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all, (1..=63u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn quantized_and_f32_scoring_agree_on_ranking_scale() {
+        let emb = toy_table(50, 16, 6);
+        let mut cfg = RetrievalConfig {
+            mode: RetrievalMode::Exact,
+            ..RetrievalConfig::default()
+        };
+        cfg.quantize = true;
+        let rq = Retriever::build(&emb, cfg.clone());
+        cfg.quantize = false;
+        let rf = Retriever::build(&emb, cfg);
+        let q: Vec<f32> = emb.data()[16..32].to_vec();
+        let items: Vec<u32> = (1..50).collect();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        rq.score_items(&q, &items, &mut a);
+        rf.score_items(&q, &items, &mut b);
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert!(
+                (x - y).abs() < 0.35,
+                "item {}: int8 {x} vs f32 {y}",
+                items[i]
+            );
+        }
+    }
+}

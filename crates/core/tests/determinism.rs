@@ -98,6 +98,94 @@ fn assert_bitwise_eq(
     }
 }
 
+/// The `--quantize` × `--retrieval` serving matrix: end-to-end
+/// recommendations through a quantized two-stage retriever must be bitwise
+/// stable across threads × pool within each SIMD backend (the float
+/// user-repr forward is per-backend, like training), and the *retrieval
+/// index itself* must come out bitwise identical across **all** knobs —
+/// its build consumes only quantized codes and exact integer dots.
+#[test]
+fn quantized_two_stage_serving_is_knob_invariant() {
+    use slime4rec::recommend::recommend_batch_with;
+    use slime4rec::retrieval::{RetrievalConfig, RetrievalMode, Retriever};
+    use slime4rec::Slime4Rec;
+
+    let ds = tiny_ds();
+    let histories: Vec<Vec<usize>> = (0..6).map(|u| ds.train_seq(u).to_vec()).collect();
+    let refs: Vec<&[usize]> = histories.iter().map(Vec::as_slice).collect();
+
+    let serve =
+        |threads: usize, pool_on: bool, simd_on: bool, mode: RetrievalMode, quantize: bool| {
+            slime_par::set_threads(threads);
+            slime_tensor::pool::set_enabled(pool_on);
+            slime_tensor::simd::set_enabled(simd_on);
+            let mut cfg = SlimeConfig::small(ds.num_items());
+            cfg.hidden = 16;
+            cfg.max_len = 10;
+            cfg.layers = 1;
+            cfg.contrastive = ContrastiveMode::None;
+            // Seeded init is knob-invariant, so every run builds the retriever
+            // over the same embedding table.
+            let model = Slime4Rec::new(cfg);
+            let rcfg = RetrievalConfig {
+                mode,
+                quantize,
+                cells: 4,
+                nprobe: 2,
+                iters: 3,
+                ..RetrievalConfig::default()
+            };
+            let r = Retriever::build(&model.item_emb.weight.value(), rcfg);
+            let index_fp: Vec<Vec<u32>> = r
+                .kmeans()
+                .map(|k| (0..k.n_cells()).map(|c| k.cell(c).to_vec()).collect())
+                .unwrap_or_default();
+            let recs = recommend_batch_with(&model, &refs, 5, true, Some(&r));
+            let rec_fp: Vec<Vec<(usize, u32)>> = recs
+                .iter()
+                .map(|user| user.iter().map(|x| (x.item, x.score.to_bits())).collect())
+                .collect();
+            slime_tensor::pool::set_enabled(true);
+            (index_fp, rec_fp)
+        };
+
+    let simd_was = slime_tensor::simd::enabled();
+    for (mode, quantize) in [
+        (RetrievalMode::TwoStage, true),
+        (RetrievalMode::TwoStage, false),
+        (RetrievalMode::Exact, true),
+    ] {
+        let mut index_baseline: Option<Vec<Vec<u32>>> = None;
+        for simd_on in [true, false] {
+            let label = if simd_on { "simd-on" } else { "scalar" };
+            let baseline = serve(1, true, simd_on, mode, quantize);
+            // Index build: bitwise across *everything*, SIMD included.
+            match &index_baseline {
+                None => index_baseline = Some(baseline.0.clone()),
+                Some(b) => assert_eq!(
+                    b,
+                    &baseline.0,
+                    "[{}] index differs across SIMD backends",
+                    mode.as_str()
+                ),
+            }
+            for (threads, pool_on) in [(4, true), (1, false), (4, false)] {
+                let run = serve(threads, pool_on, simd_on, mode, quantize);
+                assert_eq!(
+                    baseline,
+                    run,
+                    "[{label} {} quantize={quantize}] differs at {threads} \
+                     threads/pool-{}",
+                    mode.as_str(),
+                    if pool_on { "on" } else { "off" }
+                );
+            }
+        }
+    }
+    slime_tensor::simd::set_enabled(simd_was);
+    slime_par::set_threads(1);
+}
+
 #[test]
 fn training_is_bitwise_identical_across_threads_and_pool() {
     let ds = tiny_ds();

@@ -1,0 +1,228 @@
+//! Retrieval quality and build-determinism properties.
+//!
+//! - **Recall:** on a seeded clustered catalog, two-stage retrieval's
+//!   top-k must recover ≥ 95% of the exact full-ranking top-k — the same
+//!   floor `scripts/ci.sh` enforces at 10⁵ items through the ann_sweep
+//!   bench.
+//! - **Build determinism:** the index build consumes only quantized codes
+//!   and exact integer dots, so it must be *bitwise identical across every
+//!   runtime knob* — SIMD backend included, which is stronger than the
+//!   per-backend guarantee the float paths give.
+
+use slime4rec::retrieval::{KMeansIndex, RetrievalConfig, RetrievalMode, Retriever, SpectralIndex};
+use slime_rng::rngs::StdRng;
+use slime_rng::{Rng, SeedableRng};
+use slime_tensor::quant::QuantizedTable;
+use slime_tensor::NdArray;
+
+/// A `vocab × dim` table (row 0 = padding zeros) of `n_clusters` Gaussian
+/// blobs: center + 0.25·noise. Returns the table and the cluster centers.
+fn clustered_table(
+    n_items: usize,
+    dim: usize,
+    n_clusters: usize,
+    seed: u64,
+) -> (NdArray, Vec<Vec<f32>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut normal = || {
+        // Box–Muller from two uniforms.
+        let u1: f64 = rng.gen::<f64>().max(1e-12);
+        let u2: f64 = rng.gen();
+        ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+    };
+    let centers: Vec<Vec<f32>> = (0..n_clusters)
+        .map(|_| (0..dim).map(|_| normal()).collect())
+        .collect();
+    let mut data = vec![0.0f32; (n_items + 1) * dim];
+    for item in 1..=n_items {
+        let c = &centers[(item - 1) % n_clusters];
+        for j in 0..dim {
+            data[item * dim + j] = c[j] + 0.25 * normal();
+        }
+    }
+    (NdArray::from_vec(vec![n_items + 1, dim], data), centers)
+}
+
+/// Exact top-k item ids by f32 dot against the full table.
+fn exact_top_k(emb: &NdArray, query: &[f32], k: usize) -> Vec<u32> {
+    let dim = emb.shape()[1];
+    let data = emb.data();
+    let mut scored: Vec<(f32, u32)> = (1..emb.shape()[0])
+        .map(|item| {
+            let row = &data[item * dim..(item + 1) * dim];
+            let s: f32 = query.iter().zip(row).map(|(&a, &b)| a * b).sum();
+            (s, item as u32)
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+    scored.iter().take(k).map(|&(_, id)| id).collect()
+}
+
+#[test]
+fn two_stage_recall_at_10_beats_95_percent_on_clustered_catalog() {
+    let (emb, centers) = clustered_table(2000, 32, 20, 77);
+    let cfg = RetrievalConfig {
+        mode: RetrievalMode::TwoStage,
+        cells: 40,
+        nprobe: 8,
+        iters: 4,
+        ..RetrievalConfig::default()
+    };
+    let r = Retriever::build(&emb, cfg);
+    let mut rng = StdRng::seed_from_u64(99);
+    let (mut hits, mut want) = (0usize, 0usize);
+    for qi in 0..25 {
+        // Queries near a cluster center — the shape of a trained user repr.
+        let c = &centers[qi % centers.len()];
+        let query: Vec<f32> = c
+            .iter()
+            .map(|&v| v + 0.1 * (rng.gen::<f32>() - 0.5))
+            .collect();
+        let exact = exact_top_k(&emb, &query, 10);
+        let mut cands = r.shortlist(&query, 10);
+        let mut scores = Vec::new();
+        r.score_items(&query, &cands, &mut scores);
+        let mut order: Vec<usize> = (0..cands.len()).collect();
+        order.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(cands[a].cmp(&cands[b]))
+        });
+        cands = order.iter().take(10).map(|&i| cands[i]).collect();
+        want += exact.len();
+        hits += exact.iter().filter(|id| cands.contains(id)).count();
+    }
+    let recall = hits as f64 / want as f64;
+    assert!(
+        recall >= 0.95,
+        "two-stage recall@10 = {recall:.3} below the 0.95 floor"
+    );
+}
+
+#[test]
+fn spectral_recall_is_meaningfully_above_random_probing() {
+    let (emb, centers) = clustered_table(1500, 32, 12, 78);
+    let idx = SpectralIndex::build(&emb, 10);
+    let mut hits = 0usize;
+    let mut want = 0usize;
+    let mut probed = 0usize;
+    for (qi, c) in centers.iter().enumerate() {
+        let exact = exact_top_k(&emb, c, 10);
+        let mut cands = Vec::new();
+        idx.probe_into(c, (idx.n_buckets() / 4).max(1), 10, &mut cands);
+        probed += cands.len();
+        want += exact.len();
+        hits += exact.iter().filter(|id| cands.contains(id)).count();
+        let _ = qi;
+    }
+    let recall = hits as f64 / want as f64;
+    let frac = probed as f64 / (centers.len() * 1500) as f64;
+    // Random buckets of the same size would recall ~frac; demand a clear
+    // locality win (signatures of same-cluster rows collide far more).
+    assert!(
+        recall > (2.0 * frac).min(0.9),
+        "spectral recall {recall:.3} no better than random probing {frac:.3}"
+    );
+}
+
+/// Fingerprint every decision the k-means build makes: the cell partition
+/// and the quantized centroid bytes + scale bits.
+fn kmeans_fingerprint(idx: &KMeansIndex) -> (Vec<Vec<u32>>, Vec<Vec<i8>>, Vec<u32>) {
+    let cells: Vec<Vec<u32>> = (0..idx.n_cells()).map(|c| idx.cell(c).to_vec()).collect();
+    let cent = idx.centroids();
+    let codes: Vec<Vec<i8>> = (0..cent.rows()).map(|c| cent.row(c).to_vec()).collect();
+    let scales: Vec<u32> = (0..cent.rows()).map(|c| cent.scale(c).to_bits()).collect();
+    (cells, codes, scales)
+}
+
+#[test]
+fn index_build_is_bitwise_identical_across_all_runtime_knobs() {
+    let (emb, _) = clustered_table(600, 16, 8, 101);
+    let quant = QuantizedTable::from_ndarray(&emb);
+    let cfg = RetrievalConfig {
+        cells: 12,
+        iters: 5,
+        sample: 256, // force the strided-sample path too
+        ..RetrievalConfig::default()
+    };
+    let simd_was = slime_tensor::simd::enabled();
+    let mut baseline: Option<(Vec<Vec<u32>>, Vec<Vec<i8>>, Vec<u32>)> = None;
+    let mut spectral_baseline: Option<Vec<Vec<u32>>> = None;
+    for simd_on in [true, false] {
+        for pool_on in [true, false] {
+            for threads in [1usize, 4] {
+                slime_par::set_threads(threads);
+                slime_tensor::pool::set_enabled(pool_on);
+                slime_tensor::simd::set_enabled(simd_on);
+                let fp = kmeans_fingerprint(&KMeansIndex::build(&quant, &cfg));
+                let sp = SpectralIndex::build(&emb, 8);
+                let mut out = Vec::new();
+                sp.probe_into(&emb.data()[16..32], 3, 1, &mut out);
+                let sfp = vec![out];
+                let label = format!("simd={simd_on} pool={pool_on} threads={threads}");
+                match &baseline {
+                    None => {
+                        baseline = Some(fp);
+                        spectral_baseline = Some(sfp);
+                    }
+                    Some(b) => {
+                        assert_eq!(b, &fp, "k-means build differs under {label}");
+                        assert_eq!(
+                            spectral_baseline.as_ref().unwrap(),
+                            &sfp,
+                            "spectral build differs under {label}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    slime_tensor::pool::set_enabled(true);
+    slime_tensor::simd::set_enabled(simd_was);
+    slime_par::set_threads(1);
+}
+
+#[test]
+fn quantized_two_stage_serving_beats_the_recall_floor_too() {
+    // Same property as the f32 re-rank test, but the re-rank itself runs
+    // through the int8 path — int8 score error must not cost recall on a
+    // clustered catalog.
+    let (emb, centers) = clustered_table(2000, 32, 20, 79);
+    let cfg = RetrievalConfig {
+        mode: RetrievalMode::TwoStage,
+        quantize: true,
+        cells: 40,
+        nprobe: 8,
+        iters: 4,
+        ..RetrievalConfig::default()
+    };
+    let r = Retriever::build(&emb, cfg);
+    let (mut hits, mut want) = (0usize, 0usize);
+    for (qi, c) in centers.iter().enumerate() {
+        let exact = exact_top_k(&emb, c, 10);
+        let mut cands = r.shortlist(c, 10);
+        let mut scores = Vec::new();
+        r.score_items(c, &cands, &mut scores);
+        let mut order: Vec<usize> = (0..cands.len()).collect();
+        order.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(cands[a].cmp(&cands[b]))
+        });
+        cands = order.iter().take(10).map(|&i| cands[i]).collect();
+        want += exact.len();
+        hits += exact.iter().filter(|id| cands.contains(id)).count();
+        let _ = qi;
+    }
+    let recall = hits as f64 / want as f64;
+    assert!(
+        recall >= 0.95,
+        "quantized two-stage recall@10 = {recall:.3} below the 0.95 floor"
+    );
+}

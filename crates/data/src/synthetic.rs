@@ -230,6 +230,108 @@ fn skewed_index(n: usize, rng: &mut impl Rng) -> usize {
     ((u * u) * n as f64) as usize % n
 }
 
+/// Parameters of the large-catalog long-tail generator
+/// ([`generate_long_tail`]).
+///
+/// Where [`SyntheticConfig`] plants frequency structure for *training*
+/// experiments at a few hundred items, this one targets the retrieval
+/// stack: catalogs of 10⁵–10⁶ items whose popularity follows a power law,
+/// partitioned into topic clusters so coarse indexes (k-means cells,
+/// spectral buckets) have real structure to find. Generation cost is
+/// O(total events) — item popularity is sampled by inverse CDF, never by
+/// materializing per-item weight tables.
+#[derive(Debug, Clone)]
+pub struct LongTailConfig {
+    /// Dataset name.
+    pub name: String,
+    /// Number of users to generate.
+    pub users: usize,
+    /// Total catalog size (item ids `1..=items`).
+    pub items: usize,
+    /// Topic clusters; each owns a contiguous id block of
+    /// `items / clusters` (the remainder goes to the last cluster).
+    pub clusters: usize,
+    /// Minimum sequence length.
+    pub min_len: usize,
+    /// Maximum sequence length.
+    pub max_len: usize,
+    /// Power-law exponent `s` of the within-cluster popularity
+    /// (`p(rank) ∝ rank^-s`); `1.0` is classic Zipf.
+    pub zipf_exponent: f64,
+    /// Probability of a draw from the *global* catalog tail instead of the
+    /// user's home cluster.
+    pub p_noise: f64,
+}
+
+impl LongTailConfig {
+    /// A ready-made profile at a given catalog size.
+    pub fn at_scale(items: usize) -> LongTailConfig {
+        LongTailConfig {
+            name: format!("long-tail-{items}"),
+            users: 512,
+            items,
+            clusters: (items / 64).clamp(1, 4096),
+            min_len: 8,
+            max_len: 40,
+            zipf_exponent: 1.05,
+            p_noise: 0.1,
+        }
+    }
+}
+
+/// One power-law rank in `1..=n` by inverse CDF of the continuous
+/// approximation `p(r) ∝ r^-s` on `[1, n+1]` — O(1) per draw, no weight
+/// table. For `s = 1` this degenerates to `r = exp(u · ln(n+1))`.
+fn zipf_rank(n: usize, s: f64, u: f64) -> usize {
+    debug_assert!(n >= 1);
+    let nf = (n + 1) as f64;
+    let r = if (s - 1.0).abs() < 1e-9 {
+        nf.powf(u)
+    } else {
+        let t = 1.0 - s;
+        ((nf.powf(t) - 1.0) * u + 1.0).powf(1.0 / t)
+    };
+    (r as usize).clamp(1, n)
+}
+
+/// Generate a long-tail large-catalog dataset (no k-core filtering — at
+/// 10⁶ items most of the tail appears a handful of times by design, which
+/// is exactly the regime two-stage retrieval must survive).
+pub fn generate_long_tail(cfg: &LongTailConfig, seed: u64) -> SeqDataset {
+    assert!(cfg.items >= 1 && cfg.users >= 1);
+    assert!(cfg.min_len >= 1 && cfg.max_len >= cfg.min_len);
+    assert!((0.0..=1.0).contains(&cfg.p_noise));
+    assert!(cfg.zipf_exponent > 0.0, "zipf exponent must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let clusters = cfg.clusters.clamp(1, cfg.items);
+    let per_cluster = cfg.items / clusters;
+    let mut sequences = Vec::with_capacity(cfg.users);
+    for _ in 0..cfg.users {
+        let len = rng.gen_range(cfg.min_len..=cfg.max_len);
+        let home = rng.gen_range(0..clusters);
+        let mut seq = Vec::with_capacity(len);
+        for _ in 0..len {
+            let noise = rng.gen_bool(cfg.p_noise);
+            let u: f64 = rng.gen();
+            let item = if noise {
+                zipf_rank(cfg.items, cfg.zipf_exponent, u)
+            } else {
+                // Rank within the home cluster's contiguous id block; the
+                // last cluster absorbs the division remainder.
+                let span = if home == clusters - 1 {
+                    cfg.items - home * per_cluster
+                } else {
+                    per_cluster
+                };
+                home * per_cluster + zipf_rank(span.max(1), cfg.zipf_exponent, u)
+            };
+            seq.push(item);
+        }
+        sequences.push(seq);
+    }
+    SeqDataset::new(cfg.name.clone(), sequences, cfg.items)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,5 +434,86 @@ mod tests {
     #[should_panic(expected = "unknown dataset")]
     fn unknown_profile_panics() {
         profile("netflix", 1.0);
+    }
+
+    #[test]
+    fn long_tail_generation_is_deterministic_under_seed() {
+        let cfg = LongTailConfig::at_scale(100_000);
+        let a = generate_long_tail(&cfg, 21);
+        let b = generate_long_tail(&cfg, 21);
+        assert_eq!(a.sequences(), b.sequences());
+        let c = generate_long_tail(&cfg, 22);
+        assert_ne!(a.sequences(), c.sequences());
+        assert_eq!(a.num_items(), 100_000);
+    }
+
+    #[test]
+    fn long_tail_popularity_is_heavy_headed() {
+        // With s ~ 1 Zipf, the top 1% of ranks should absorb a large share
+        // of events; cluster blocks all start at their block head, so
+        // measure within-block rank = (item - 1) % per_cluster.
+        let mut cfg = LongTailConfig::at_scale(100_000);
+        cfg.users = 2000;
+        let d = generate_long_tail(&cfg, 9);
+        let per_cluster = cfg.items / cfg.clusters;
+        let cut = (per_cluster / 100).max(1);
+        let (mut head, mut total) = (0usize, 0usize);
+        for s in d.sequences() {
+            for &item in s {
+                total += 1;
+                if (item - 1) % per_cluster < cut {
+                    head += 1;
+                }
+            }
+        }
+        let share = head as f64 / total as f64;
+        // Uniform popularity would put cut/per_cluster (~1.6%) of events in
+        // the head; Zipf(1.05) concentrates an order of magnitude more.
+        let uniform = cut as f64 / per_cluster as f64;
+        assert!(
+            share > 8.0 * uniform,
+            "top-rank share {share} too light for a long tail (uniform {uniform})"
+        );
+    }
+
+    #[test]
+    fn long_tail_users_stay_mostly_in_their_home_cluster() {
+        let mut cfg = LongTailConfig::at_scale(50_000);
+        cfg.users = 200;
+        cfg.p_noise = 0.1;
+        let d = generate_long_tail(&cfg, 13);
+        let per_cluster = cfg.items / cfg.clusters;
+        let mut loyal = 0usize;
+        for s in d.sequences() {
+            // Majority cluster of the sequence.
+            let mut counts: std::collections::BTreeMap<usize, usize> = Default::default();
+            for &item in s {
+                *counts
+                    .entry(((item - 1) / per_cluster).min(cfg.clusters - 1))
+                    .or_default() += 1;
+            }
+            let best = counts.values().max().copied().unwrap_or(0);
+            if best as f64 >= 0.7 * s.len() as f64 {
+                loyal += 1;
+            }
+        }
+        assert!(
+            loyal as f64 > 0.8 * d.num_users() as f64,
+            "only {loyal}/{} users cluster-loyal",
+            d.num_users()
+        );
+    }
+
+    #[test]
+    fn million_item_catalog_generates_quickly_and_in_bounds() {
+        let mut cfg = LongTailConfig::at_scale(1_000_000);
+        cfg.users = 64;
+        let d = generate_long_tail(&cfg, 3);
+        assert_eq!(d.num_items(), 1_000_000);
+        for s in d.sequences() {
+            for &item in s {
+                assert!((1..=1_000_000).contains(&item));
+            }
+        }
     }
 }

@@ -1,0 +1,46 @@
+// Fixture: the i8-dot quantization write pattern — one parallel_for
+// closure filling TWO disjoint targets (per-row codes and per-row
+// scales), each needing its own lint-proof(l8) matched by receiver.
+//
+// 1. `quantize_rows` carries a valid proof per receiver: `qd` rows are
+//    claimed as `[r0 * dim .. r1 * dim]` (form 1) and `sc` as
+//    `[r0 .. r1]` — neither may fire.
+// 2. `quantize_rows_bad_scale_claim` claims `sc[r0 .. r1 + 1]`: adjacent
+//    chunks overlap by one scale slot — the proof line must fire.
+// 3. `quantize_rows_unproven_codes` proves only the scales target; the
+//    `qd` write has no matching claim and must fire at the write line.
+
+pub fn quantize_rows(n_rows: usize, dim: usize, qd: &UnsafeSlice, sc: &UnsafeSlice) {
+    parallel_for(n_rows, 256, |r0, r1| {
+        // lint-proof(l8): qd[r0 * dim .. r1 * dim]
+        // lint-proof(l8): sc[r0 .. r1]
+        for r in r0..r1 {
+            let out = unsafe { qd.slice_mut(r * dim, dim) };
+            for v in out {
+                *v = 0;
+            }
+            unsafe { sc.write(r, 1.0) };
+        }
+    });
+}
+
+pub fn quantize_rows_bad_scale_claim(n_rows: usize, qd: &UnsafeSlice, sc: &UnsafeSlice) {
+    parallel_for(n_rows, 256, |r0, r1| {
+        // lint-proof(l8): qd[r0 .. r1]
+        // lint-proof(l8): sc[r0 .. r1 + 1]
+        for r in r0..r1 {
+            unsafe { qd.write(r, 0) };
+            unsafe { sc.write(r, 1.0) };
+        }
+    });
+}
+
+pub fn quantize_rows_unproven_codes(n_rows: usize, qd: &UnsafeSlice, sc: &UnsafeSlice) {
+    parallel_for(n_rows, 256, |r0, r1| {
+        // lint-proof(l8): sc[r0 .. r1]
+        for r in r0..r1 {
+            unsafe { qd.write(r, 0) };
+            unsafe { sc.write(r, 1.0) };
+        }
+    });
+}

@@ -106,6 +106,25 @@ fn l8_fires_on_overlapping_and_unannotated_writes() {
 }
 
 #[test]
+fn l8_matches_proofs_per_receiver_in_two_target_closures() {
+    // The int8-quantization write pattern: one closure fills both a codes
+    // buffer and a scales buffer, so it carries one proof per receiver.
+    let ws = fixture("l8_quant");
+    let findings = rules::l8_disjoint_writer(&ws);
+    let msgs: Vec<String> = findings.iter().map(|f| f.render()).collect();
+    // The fully-proven closure is silent; the overlapping `sc[r0 .. r1 + 1]`
+    // claim fires at the proof line; the codes write with only a scales
+    // proof fires at the write line.
+    assert_eq!(findings.len(), 2, "got: {msgs:?}");
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("invalid lint-proof(l8)") && m.contains("overlap")));
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("no valid `// lint-proof(l8)") && m.contains("qd")));
+}
+
+#[test]
 fn l9_fires_on_hash_iteration_and_clock_reads() {
     let ws = fixture("l9_nondet");
     let findings = rules::l9_nondeterminism(&ws);

@@ -28,6 +28,7 @@ mod ndarray;
 pub mod ops;
 pub mod optim;
 pub mod pool;
+pub mod quant;
 pub mod serialize;
 pub mod simd;
 mod tensor;

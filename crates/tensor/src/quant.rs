@@ -1,0 +1,285 @@
+//! Int8 symmetric quantization of embedding tables.
+//!
+//! The serving bottleneck at large catalogs is scoring `repr · E^T` over
+//! every item row. [`QuantizedTable`] stores the item embedding table as
+//! per-row symmetrically quantized `i8` (scale = `maxabs / 127`, no zero
+//! point) so a row costs 1 byte/dim instead of 4 and scores go through the
+//! widening integer dot kernel ([`crate::simd::Kernels::dot_i8`]) instead
+//! of the float pipeline.
+//!
+//! # Determinism
+//!
+//! Quantization and scoring here are *knob-invariant by construction*,
+//! which is a stronger guarantee than the float kernels give:
+//!
+//! - quantizing a row is an independent per-element `round`/`clamp` — no
+//!   accumulation order to vary;
+//! - the `i8` dot accumulates in exact `i32`, and integer addition is
+//!   associative, so scalar and AVX2 backends return bitwise-identical
+//!   sums (pinned by `tests/simd_parity.rs`);
+//! - the final score is one f32 multiply chain in fixed order:
+//!   `(dot as f32) * row_scale * query_scale`.
+//!
+//! A quantized score is therefore a pure function of the f32 inputs under
+//! every `SLIME_SIMD` × `SLIME_POOL` × `SLIME_THREADS` setting — the
+//! retrieval index built on top of these scores inherits bitwise stability
+//! across the whole determinism matrix.
+//!
+//! # Contract
+//!
+//! Quantized values lie in `[-127, 127]`; `-128` is never emitted. The
+//! AVX2 `maddubs` trick needs `|a|` representable in `i8`, and the bound
+//! also keeps every 2-element pair sum under `i16::MAX` so the widening
+//! multiply-add never saturates.
+
+use crate::ndarray::NdArray;
+use crate::simd;
+
+/// Quantize one value against a precomputed reciprocal scale.
+#[inline]
+fn quantize_value(v: f32, inv_scale: f32) -> i8 {
+    // `round` then clamp: maxabs maps to ±127 exactly, and the clamp
+    // guards the rounding edge (e.g. 126.5-style midpoints) without ever
+    // producing -128.
+    (v * inv_scale).round().clamp(-127.0, 127.0) as i8
+}
+
+/// Per-row scale for symmetric quantization: `maxabs / 127`, or `0.0` for
+/// an all-zero row (its quantized codes are all zero and dequantize back
+/// to exact zeros).
+#[inline]
+fn row_scale(row: &[f32]) -> f32 {
+    let maxabs = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    maxabs / 127.0
+}
+
+/// An `i8`-quantized row-major table with one f32 scale per row.
+///
+/// `data[r * dim .. (r + 1) * dim]` holds row `r`'s codes; dequantized
+/// value `j` of row `r` is `data[r * dim + j] as f32 * scales[r]`.
+#[derive(Clone, Debug)]
+pub struct QuantizedTable {
+    rows: usize,
+    dim: usize,
+    data: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl QuantizedTable {
+    /// Quantize a row-major `rows x dim` f32 slice.
+    pub fn from_rows(rows: usize, dim: usize, table: &[f32]) -> QuantizedTable {
+        assert_eq!(
+            table.len(),
+            rows * dim,
+            "QuantizedTable::from_rows: table len {} != rows {} * dim {}",
+            table.len(),
+            rows,
+            dim
+        );
+        let mut data = vec![0i8; rows * dim];
+        let mut scales = vec![0.0f32; rows];
+        {
+            let qd = slime_par::UnsafeSlice::new(&mut data);
+            let sc = slime_par::UnsafeSlice::new(&mut scales);
+            slime_par::parallel_for(rows, 256, |r0, r1| {
+                // lint-proof(l8): qd[r0 * dim .. r1 * dim]
+                // lint-proof(l8): sc[r0 .. r1]
+                for r in r0..r1 {
+                    let row = &table[r * dim..(r + 1) * dim];
+                    let s = row_scale(row);
+                    // SAFETY: row ranges are disjoint per chunk.
+                    let out = unsafe { qd.slice_mut(r * dim, dim) };
+                    if s > 0.0 {
+                        let inv = 1.0 / s;
+                        for (o, &v) in out.iter_mut().zip(row) {
+                            *o = quantize_value(v, inv);
+                        }
+                    }
+                    // SAFETY: one scale slot per row, rows disjoint per chunk.
+                    unsafe { sc.write(r, s) };
+                }
+            });
+        }
+        QuantizedTable {
+            rows,
+            dim,
+            data,
+            scales,
+        }
+    }
+
+    /// Quantize a 2-D [`NdArray`] (e.g. an embedding weight matrix).
+    pub fn from_ndarray(a: &NdArray) -> QuantizedTable {
+        assert_eq!(
+            a.ndim(),
+            2,
+            "QuantizedTable::from_ndarray: expected 2-D, got shape {:?}",
+            a.shape()
+        );
+        QuantizedTable::from_rows(a.shape()[0], a.shape()[1], a.data())
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Quantized codes of row `r`.
+    pub fn row(&self, r: usize) -> &[i8] {
+        debug_assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        &self.data[r * self.dim..(r + 1) * self.dim]
+    }
+
+    /// Scale of row `r`.
+    pub fn scale(&self, r: usize) -> f32 {
+        debug_assert!(
+            r < self.scales.len(),
+            "scale {r} out of range ({} rows)",
+            self.scales.len()
+        );
+        self.scales[r]
+    }
+
+    /// All per-row scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Dequantize row `r` into `out` (`out.len() == dim`).
+    pub fn dequantize_row_into(&self, r: usize, out: &mut [f32]) {
+        assert_eq!(
+            out.len(),
+            self.dim,
+            "dequantize_row_into: out len {} != dim {}",
+            out.len(),
+            self.dim
+        );
+        let s = self.scales[r];
+        for (o, &q) in out.iter_mut().zip(self.row(r)) {
+            *o = f32::from(q) * s;
+        }
+    }
+
+    /// Dequantize row `r` into a fresh vector.
+    pub fn dequantize_row(&self, r: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        self.dequantize_row_into(r, &mut out);
+        out
+    }
+
+    /// Quantize a query vector with its own symmetric scale, returning
+    /// `(codes, scale)` for use with [`QuantizedTable::score`].
+    pub fn quantize_query(q: &[f32]) -> (Vec<i8>, f32) {
+        let s = row_scale(q);
+        let mut codes = vec![0i8; q.len()];
+        if s > 0.0 {
+            let inv = 1.0 / s;
+            for (o, &v) in codes.iter_mut().zip(q) {
+                *o = quantize_value(v, inv);
+            }
+        }
+        (codes, s)
+    }
+
+    /// Approximate dot product of quantized query `(q, q_scale)` with row
+    /// `r`: `row_scale * q_scale * Σ q_i8 · row_i8`, accumulated exactly
+    /// in `i32` then widened to f32.
+    #[inline]
+    pub fn score(&self, r: usize, q: &[i8], q_scale: f32) -> f32 {
+        let d = (simd::kernels().dot_i8)(q, self.row(r));
+        d as f32 * self.scales[r] * q_scale
+    }
+
+    /// Score the query against every row: `out[r] = score(r, q, q_scale)`.
+    /// Parallel over row chunks; bitwise identical across backends and
+    /// thread counts (see the module docs).
+    pub fn scores_into(&self, q: &[i8], q_scale: f32, out: &mut [f32]) {
+        assert_eq!(
+            q.len(),
+            self.dim,
+            "scores_into: query len {} != dim {}",
+            q.len(),
+            self.dim
+        );
+        assert_eq!(
+            out.len(),
+            self.rows,
+            "scores_into: out len {} != rows {}",
+            out.len(),
+            self.rows
+        );
+        let k = simd::kernels();
+        let dim = self.dim;
+        let (data, scales) = (&self.data, &self.scales);
+        let w = slime_par::UnsafeSlice::new(out);
+        slime_par::parallel_for(self.rows, 4096, |r0, r1| {
+            // lint-proof(l8): w[r0 .. r1]
+            // SAFETY: row chunks are disjoint.
+            let o = unsafe { w.slice_mut(r0, r1 - r0) };
+            for (i, r) in (r0..r1).enumerate() {
+                let d = (k.dot_i8)(q, &data[r * dim..(r + 1) * dim]);
+                o[i] = d as f32 * scales[r] * q_scale;
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rows_quantize_to_zero_with_zero_scale() {
+        let t = QuantizedTable::from_rows(2, 3, &[0.0; 6]);
+        assert_eq!(t.scale(0), 0.0);
+        assert!(t.row(0).iter().all(|&q| q == 0));
+        assert_eq!(t.dequantize_row(1), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn maxabs_maps_to_127_and_never_minus_128() {
+        let t = QuantizedTable::from_rows(1, 4, &[-2.0, 1.0, 0.5, 2.0]);
+        assert_eq!(t.row(0)[0], -127);
+        assert_eq!(t.row(0)[3], 127);
+        assert!(t.row(0).iter().all(|&q| q >= -127));
+    }
+
+    #[test]
+    fn score_matches_manual_expansion() {
+        let t = QuantizedTable::from_rows(2, 3, &[1.0, -0.5, 0.25, 0.0, 2.0, -1.0]);
+        let (q, qs) = QuantizedTable::quantize_query(&[0.5, 0.5, -1.0]);
+        for r in 0..2 {
+            let manual: i32 = q
+                .iter()
+                .zip(t.row(r))
+                .map(|(&a, &b)| i32::from(a) * i32::from(b))
+                .sum();
+            let expect = manual as f32 * t.scale(r) * qs;
+            assert_eq!(t.score(r, &q, qs).to_bits(), expect.to_bits());
+        }
+    }
+
+    #[test]
+    fn scores_into_matches_single_row_score() {
+        let table: Vec<f32> = (0..40)
+            .map(|i| ((i * 37 % 17) as f32 - 8.0) / 4.0)
+            .collect();
+        let t = QuantizedTable::from_rows(10, 4, &table);
+        let (q, qs) = QuantizedTable::quantize_query(&[1.0, -2.0, 0.5, 3.0]);
+        let mut out = vec![0.0f32; 10];
+        t.scores_into(&q, qs, &mut out);
+        for r in 0..10 {
+            assert_eq!(out[r].to_bits(), t.score(r, &q, qs).to_bits());
+        }
+    }
+}

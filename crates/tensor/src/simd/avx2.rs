@@ -549,6 +549,50 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     unsafe { dot_impl(a, b) }
 }
 
+/// Widening int8 dot product via the classic `maddubs` sign trick:
+/// `a·b = |a| ·u8×i8 sign(b, a)`, pairs summed to `i16` by
+/// `_mm256_maddubs_epi16`, then to exact `i32` lanes by `_mm256_madd_epi16`.
+/// With the symmetric-quantization contract (`|a|, |b| <= 127`, never
+/// `-128`) each `i16` pair sum is at most `2 * 127^2 = 32258 < i16::MAX`,
+/// so the saturating `maddubs` step never saturates and the result is the
+/// exact integer sum — bitwise identical to [`scalar::dot_i8`].
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dot_i8_impl(a: &[i8], b: &[i8]) -> i32 {
+    let n = a.len().min(b.len());
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let ones = _mm256_set1_epi16(1);
+    let mut acc = _mm256_setzero_si256();
+    let mut j = 0usize;
+    while j + 32 <= n {
+        let av = _mm256_loadu_si256(ap.add(j) as *const __m256i);
+        let bv = _mm256_loadu_si256(bp.add(j) as *const __m256i);
+        // |a| is exact because -128 is excluded by the quantization clamp.
+        let abs_a = _mm256_abs_epi8(av);
+        let sgn_b = _mm256_sign_epi8(bv, av);
+        let pairs = _mm256_maddubs_epi16(abs_a, sgn_b);
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(pairs, ones));
+        j += 32;
+    }
+    // Integer horizontal sum: 128-bit halves, then pairwise.
+    let s = _mm_add_epi32(
+        _mm256_castsi256_si128(acc),
+        _mm256_extracti128_si256(acc, 1),
+    );
+    let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b01_00_11_10));
+    let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b00_00_00_01));
+    let mut sum = _mm_cvtsi128_si32(s);
+    while j < n {
+        sum += i32::from(a[j]) * i32::from(b[j]);
+        j += 1;
+    }
+    sum
+}
+
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    // SAFETY: dispatch verified avx2+fma.
+    unsafe { dot_i8_impl(a, b) }
+}
+
 #[target_feature(enable = "avx2,fma")]
 unsafe fn softmax_bwd_row_impl(y: &[f32], g: &[f32], dot: f32, out: &mut [f32]) {
     let n = out.len();

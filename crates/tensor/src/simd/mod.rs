@@ -105,6 +105,11 @@ pub struct Kernels {
     pub layernorm_affine: fn(&[f32], f32, f32, &[f32], &[f32], &mut [f32], &mut [f32]),
     /// Fused Adam step for one parameter buffer.
     pub adam_update: fn(&mut [f32], &mut [f32], &mut [f32], &[f32], &AdamCoeffs),
+    /// Widening int8 dot product (exact `i32` accumulate). Unlike the float
+    /// entries this one is bitwise identical across backends — integer
+    /// addition is associative — so quantized scores never depend on the
+    /// `SLIME_SIMD` knob.
+    pub dot_i8: fn(&[i8], &[i8]) -> i32,
 }
 
 static SCALAR_KERNELS: Kernels = Kernels {
@@ -126,6 +131,7 @@ static SCALAR_KERNELS: Kernels = Kernels {
     mean_var: scalar::mean_var,
     layernorm_affine: scalar::layernorm_affine,
     adam_update: scalar::adam_update,
+    dot_i8: scalar::dot_i8,
 };
 
 #[cfg(target_arch = "x86_64")]
@@ -148,6 +154,7 @@ static AVX2_KERNELS: Kernels = Kernels {
     mean_var: avx2::mean_var,
     layernorm_affine: avx2::layernorm_affine,
     adam_update: avx2::adam_update,
+    dot_i8: avx2::dot_i8,
 };
 
 /// The dispatch table for the currently active backend. One relaxed atomic

@@ -184,6 +184,24 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b).map(|(&x, &y)| x * y).sum()
 }
 
+/// Widening int8 dot product with an exact `i32` accumulator — the
+/// quantized-embedding scoring kernel. Unlike the float kernels, integer
+/// addition is associative, so every backend must return the *same* value
+/// bit for bit (pinned by `dot_i8_is_bitwise_equal_across_backends` in
+/// `tests/simd_parity.rs`); quantized scores are therefore a pure function
+/// of the quantized inputs under every runtime knob.
+///
+/// Inputs follow the symmetric-quantization contract: values lie in
+/// `[-127, 127]` (never `-128` — the AVX2 `maddubs` sign trick needs
+/// `|a|` representable). With `|a·b| <= 127^2` the `i32` accumulator is
+/// exact up to ~133k elements, far past any embedding width here.
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| i32::from(x) * i32::from(y))
+        .sum()
+}
+
 /// `out[j] = y[j] * (g[j] - dot)` — the softmax backward row update.
 pub fn softmax_bwd_row(y: &[f32], g: &[f32], dot: f32, out: &mut [f32]) {
     for ((o, &yv), &gv) in out.iter_mut().zip(y).zip(g) {

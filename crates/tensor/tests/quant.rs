@@ -1,0 +1,127 @@
+//! Int8 symmetric quantization: round-trip error bounds and score accuracy.
+//!
+//! Symmetric per-row quantization with scale `s = maxabs / 127` commits to
+//! a per-element dequantization error of at most `s / 2` (round-to-nearest
+//! on a grid of pitch `s`), and a dot-product error against f32 of at most
+//! `Σ |e_q · x| + |e_x · q|`-style cross terms — bounded here empirically
+//! at a few permille relative for embedding-scale vectors. These bounds
+//! are what DESIGN.md §13 quotes for the re-rank stage.
+
+use slime_tensor::quant::QuantizedTable;
+use slime_tensor::NdArray;
+
+/// Deterministic values in roughly [-2, 2] (splitmix64-style), matching
+/// the simd_parity generator.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> f32 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        ((z >> 40) as f32 / (1u64 << 24) as f32) * 4.0 - 2.0
+    }
+
+    fn vec(&mut self, n: usize) -> Vec<f32> {
+        (0..n).map(|_| self.next()).collect()
+    }
+}
+
+#[test]
+fn round_trip_error_is_within_half_scale_per_row() {
+    let mut g = Gen(11);
+    for &(rows, dim) in &[(1usize, 1usize), (7, 3), (40, 64), (129, 17)] {
+        let table = g.vec(rows * dim);
+        let q = QuantizedTable::from_rows(rows, dim, &table);
+        for r in 0..rows {
+            let s = q.scale(r);
+            let deq = q.dequantize_row(r);
+            let orig = &table[r * dim..(r + 1) * dim];
+            let maxabs = orig.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            assert!((s - maxabs / 127.0).abs() <= f32::EPSILON * maxabs.max(1.0));
+            for (j, (&d, &o)) in deq.iter().zip(orig).enumerate() {
+                // Half a quantization step, plus f32 rounding headroom.
+                let bound = 0.5 * s * (1.0 + 1e-5);
+                assert!(
+                    (d - o).abs() <= bound,
+                    "rows={rows} dim={dim} r={r} j={j}: |{d} - {o}| > {bound}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn quantized_scores_track_f32_dot_within_permille() {
+    let mut g = Gen(12);
+    let (rows, dim) = (200usize, 64usize);
+    let table = g.vec(rows * dim);
+    let qt = QuantizedTable::from_rows(rows, dim, &table);
+    let query = g.vec(dim);
+    let (qq, qs) = QuantizedTable::quantize_query(&query);
+    let mut scores = vec![0.0f32; rows];
+    qt.scores_into(&qq, qs, &mut scores);
+    for r in 0..rows {
+        let exact: f32 = query
+            .iter()
+            .zip(&table[r * dim..(r + 1) * dim])
+            .map(|(&a, &b)| a * b)
+            .sum();
+        // Error budget: each factor carries <= s/2 per element; for d=64
+        // values in [-2, 2] the accumulated cross terms stay well under
+        // 0.5% of the ~d * 4 magnitude scale.
+        let tol = 5e-3 * (dim as f32 * 4.0);
+        assert!(
+            (scores[r] - exact).abs() <= tol,
+            "row {r}: quantized {} vs exact {exact} (tol {tol})",
+            scores[r]
+        );
+    }
+}
+
+#[test]
+fn from_ndarray_matches_from_rows() {
+    let mut g = Gen(13);
+    let (rows, dim) = (9usize, 5usize);
+    let data = g.vec(rows * dim);
+    let a = NdArray::from_vec(vec![rows, dim], data.clone());
+    let qa = QuantizedTable::from_ndarray(&a);
+    let qb = QuantizedTable::from_rows(rows, dim, &data);
+    for r in 0..rows {
+        assert_eq!(qa.row(r), qb.row(r));
+        assert_eq!(qa.scale(r).to_bits(), qb.scale(r).to_bits());
+    }
+}
+
+/// Quantization and scoring must be invariant to every runtime knob — this
+/// is the property the retrieval index's determinism rests on. Sweep the
+/// SIMD gate here (threads/pool are exercised by the core determinism
+/// matrix; parallel_for's chunk grid is thread-count-independent).
+#[test]
+fn quantization_and_scores_are_simd_invariant() {
+    let mut g = Gen(14);
+    let (rows, dim) = (70usize, 48usize);
+    let table = g.vec(rows * dim);
+    let query = g.vec(dim);
+    let was = slime_tensor::simd::enabled();
+    let mut runs: Vec<(Vec<i8>, Vec<u32>, Vec<u32>)> = Vec::new();
+    for simd_on in [true, false] {
+        slime_tensor::simd::set_enabled(simd_on);
+        let qt = QuantizedTable::from_rows(rows, dim, &table);
+        let (qq, qs) = QuantizedTable::quantize_query(&query);
+        let mut scores = vec![0.0f32; rows];
+        qt.scores_into(&qq, qs, &mut scores);
+        runs.push((
+            qt.row(3).to_vec(),
+            qt.scales().iter().map(|s| s.to_bits()).collect(),
+            scores.iter().map(|s| s.to_bits()).collect(),
+        ));
+    }
+    slime_tensor::simd::set_enabled(was);
+    assert_eq!(
+        runs[0], runs[1],
+        "quantized pipeline differs across SIMD gate"
+    );
+}

@@ -342,6 +342,40 @@ fn adam_update_kernels_match_over_several_steps() {
     }
 }
 
+/// The int8 dot kernel is held to a stronger standard than the float
+/// kernels: *bitwise equality* across backends, since its `i32`
+/// accumulation is associative. `crates/tensor/src/simd/scalar.rs` and the
+/// quantized retrieval index both cite this test. The sweep crosses the
+/// AVX2 32-lane main-loop/remainder boundary at every phase and includes
+/// the extreme codes `±127` the symmetric quantizer can emit.
+#[test]
+fn dot_i8_is_bitwise_equal_across_backends() {
+    let (sc, vx) = tables();
+    let mut state = Gen(8);
+    let mut code = |g: &mut Gen| -> i8 {
+        // Map the float generator onto the full contract range [-127, 127].
+        (g.next() * 63.5).round().clamp(-127.0, 127.0) as i8
+    };
+    for n in 1..=131usize {
+        let mut a: Vec<i8> = (0..n).map(|_| code(&mut state)).collect();
+        let mut b: Vec<i8> = (0..n).map(|_| code(&mut state)).collect();
+        // Force worst-case magnitudes through the widening path too.
+        a[0] = -127;
+        b[0] = -127;
+        if n > 1 {
+            a[n - 1] = 127;
+            b[n - 1] = -127;
+        }
+        let reference: i32 = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| i32::from(x) * i32::from(y))
+            .sum();
+        assert_eq!((sc.dot_i8)(&a, &b), reference, "scalar dot_i8 len={n}");
+        assert_eq!((vx.dot_i8)(&a, &b), reference, "avx2 dot_i8 len={n}");
+    }
+}
+
 /// Pin the documented accuracy of the rational-polynomial `fast_tanh`
 /// against `f32::tanh` over the active range [-8, 8] (beyond which both
 /// saturate). `crates/tensor/src/simd/scalar.rs` cites this bound.

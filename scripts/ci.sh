@@ -33,6 +33,11 @@
 #  10. lint throughput   the lint_bench bench: asserts a full-workspace
 #                        lint check stays under 2 s (artifact in
 #                        BENCH_lint.json)
+#  11. retrieval floors  the ann_sweep bench: exact vs two-stage retrieval
+#                        at 10^3/10^5/10^6 items — asserts recall@10 >=
+#                        0.95 at 10^5 and 10^6 items and two-stage >= 10x
+#                        faster than exact at 10^6 (artifact in
+#                        BENCH_ann.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -91,5 +96,8 @@ cargo bench --bench trace_overhead -p slime-bench
 
 echo "==> cargo bench --bench lint_bench -p slime-bench"
 cargo bench --bench lint_bench -p slime-bench
+
+echo "==> cargo bench --bench ann_sweep -p slime-bench"
+cargo bench --bench ann_sweep -p slime-bench
 
 echo "CI: all gates passed"
