@@ -259,6 +259,24 @@ pub struct Measurement {
 }
 
 impl Measurement {
+    /// Build stats from raw per-iteration samples, for benches that manage
+    /// their own sampling loop (e.g. interleaved A/B floors, where
+    /// alternating short chunks plus min-of-samples makes ratios stable on
+    /// a loaded box — interference only ever adds time).
+    pub fn from_samples(mut samples: Vec<std::time::Duration>) -> Measurement {
+        assert!(
+            !samples.is_empty(),
+            "from_samples needs at least one sample"
+        );
+        samples.sort_unstable();
+        Measurement {
+            min: samples[0],
+            median: samples[samples.len() / 2],
+            mean: samples.iter().sum::<std::time::Duration>() / samples.len() as u32,
+            iters: samples.len() as u64,
+        }
+    }
+
     /// JSON rendering used by `BENCH_mem.json`.
     pub fn to_json(&self) -> slime_json::Value {
         use slime_json::Value;

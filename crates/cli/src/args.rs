@@ -24,7 +24,7 @@ impl std::error::Error for ArgError {}
 
 /// Options that take no value token: presence alone means "true". Every
 /// other option still requires a value (`--data` alone stays an error).
-const BOOLEAN_FLAGS: &[&str] = &["no-pool", "no-simd", "profile", "quantize"];
+const BOOLEAN_FLAGS: &[&str] = &["no-pool", "no-simd", "no-fuse", "profile", "quantize"];
 
 /// Whether `--name` is a boolean flag under `command`. `--profile` is the
 /// per-op profiler switch everywhere except `generate`, where it is the
@@ -171,6 +171,15 @@ mod tests {
         assert!(c.flag("no-simd"));
         // Duplicate flags are still rejected.
         assert!(Args::parse(&argv("train --no-pool --no-pool")).is_err());
+    }
+
+    #[test]
+    fn no_fuse_is_a_boolean_flag() {
+        let a = Args::parse(&argv("train --no-fuse --data d.json")).unwrap();
+        assert!(a.flag("no-fuse"));
+        assert_eq!(a.get("data"), Some("d.json"));
+        let b = Args::parse(&argv("evaluate --data d.json")).unwrap();
+        assert!(!b.flag("no-fuse"));
     }
 
     #[test]

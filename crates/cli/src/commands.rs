@@ -44,14 +44,14 @@ pub fn usage() -> String {
      \x20            [--epochs 8] [--batch 128] [--lr 0.001] [--hidden 32]\n\
      \x20            [--max-len 20] [--layers 2] [--alpha 0.4] [--gamma 0.5]\n\
      \x20            [--lambda 0.1] [--temperature 0.2] [--seed 42] [--threads N]\n\
-     \x20            [--no-pool] [--no-simd] [--trace <dir|auto>] [--trace-level L]\n\
-     \x20            [--profile]\n\
+     \x20            [--no-pool] [--no-simd] [--no-fuse] [--trace <dir|auto>]\n\
+     \x20            [--trace-level L] [--profile]\n\
      \x20 evaluate   --data <data.json> --model <model-dir> [--split test|valid]\n\
-     \x20            [--threads N] [--no-pool] [--no-simd] [--trace <dir|auto>]\n\
-     \x20            [--profile]\n\
+     \x20            [--threads N] [--no-pool] [--no-simd] [--no-fuse]\n\
+     \x20            [--trace <dir|auto>] [--profile]\n\
      \x20 recommend  --data <data.json> --model <model-dir> --user <idx> [--k 10]\n\
      \x20            [--exclude-history true] [--retrieval exact|two-stage|spectral]\n\
-     \x20            [--quantize] [--threads N] [--no-pool] [--no-simd]\n\
+     \x20            [--quantize] [--threads N] [--no-pool] [--no-simd] [--no-fuse]\n\
      \x20            [--trace <dir|auto>] [--profile]\n\
      \n\
      --threads N caps the slime-par worker pool (default: SLIME_THREADS env\n\
@@ -61,7 +61,10 @@ pub fn usage() -> String {
      scalar kernels even when AVX2+FMA is available (equivalently\n\
      SLIME_SIMD=0); results are deterministic within each backend, but the\n\
      two backends may differ in the last float bits (FMA contraction and\n\
-     vector-lane reduction order).\n\
+     vector-lane reduction order). --no-fuse (equivalently SLIME_FUSE=0)\n\
+     disables the fused forward epilogues and recorded step plans — the\n\
+     training fast path re-traces eagerly through unfused ops; results are\n\
+     deterministic under either setting.\n\
      \n\
      --retrieval picks the serving candidate generator: 'exact' scores the\n\
      whole catalog, 'two-stage' probes a k-means cell index and re-ranks\n\
@@ -83,9 +86,9 @@ pub fn usage() -> String {
 
 /// Apply the runtime knobs shared by train/evaluate/recommend: `--threads N`
 /// (mirrors `SLIME_THREADS`; the explicit flag wins), `--no-pool`
-/// (mirrors `SLIME_POOL=0`), `--no-simd` (mirrors `SLIME_SIMD=0`), and the
-/// observability knobs `--trace`, `--trace-level` (mirrors `SLIME_TRACE`),
-/// and `--profile`.
+/// (mirrors `SLIME_POOL=0`), `--no-simd` (mirrors `SLIME_SIMD=0`),
+/// `--no-fuse` (mirrors `SLIME_FUSE=0`), and the observability knobs
+/// `--trace`, `--trace-level` (mirrors `SLIME_TRACE`), and `--profile`.
 fn apply_runtime(args: &Args) -> Result<(), ArgError> {
     if let Some(v) = args.get("threads") {
         let n: usize = v
@@ -101,6 +104,9 @@ fn apply_runtime(args: &Args) -> Result<(), ArgError> {
     }
     if args.flag("no-simd") {
         slime_tensor::simd::set_enabled(false);
+    }
+    if args.flag("no-fuse") {
+        slime_tensor::simd::fuse::set_enabled(false);
     }
     if let Some(spec) = args.get("trace-level") {
         let level = slime_trace::parse_level(spec).ok_or_else(|| {
@@ -206,6 +212,7 @@ fn cmd_train(args: &Args) -> Result<Vec<String>, ArgError> {
         "threads",
         "no-pool",
         "no-simd",
+        "no-fuse",
         "trace",
         "trace-level",
         "profile",
@@ -263,6 +270,7 @@ fn cmd_evaluate(args: &Args) -> Result<Vec<String>, ArgError> {
         "threads",
         "no-pool",
         "no-simd",
+        "no-fuse",
         "trace",
         "trace-level",
         "profile",
@@ -300,6 +308,7 @@ fn cmd_recommend(args: &Args) -> Result<Vec<String>, ArgError> {
         "threads",
         "no-pool",
         "no-simd",
+        "no-fuse",
         "trace",
         "trace-level",
         "profile",
@@ -481,6 +490,18 @@ mod tests {
         // Restore whatever the environment resolved so the other tests in
         // this binary are unaffected.
         slime_tensor::simd::set_enabled(was);
+    }
+
+    #[test]
+    fn no_fuse_flag_disables_fusion() {
+        // Like --no-simd: apply_runtime flips the gate before the command
+        // fails on the missing dataset file.
+        let was = slime_tensor::simd::fuse::enabled();
+        slime_tensor::simd::fuse::set_enabled(true);
+        let err = run(&argv("train --data missing.json --out m --no-fuse")).unwrap_err();
+        assert!(err.0.contains("cannot read"));
+        assert!(!slime_tensor::simd::fuse::enabled());
+        slime_tensor::simd::fuse::set_enabled(was);
     }
 
     #[test]

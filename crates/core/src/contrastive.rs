@@ -48,21 +48,10 @@ pub fn info_nce_with_targets(
     info_nce_impl(h1, h2, temperature, Some(targets))
 }
 
-fn info_nce_impl(h1: &Tensor, h2: &Tensor, temperature: f32, targets: Option<&[usize]>) -> Tensor {
-    let s1 = h1.shape();
-    let s2 = h2.shape();
-    assert_eq!(s1.len(), 2, "views must be [B, d]");
-    assert_eq!(s1, s2, "view shapes must match");
-    let b = s1[0];
-    assert!(b >= 2, "contrastive batch needs >= 2 samples for negatives");
-    assert!(temperature > 0.0);
-
-    let z = ops::l2_normalize(&ops::concat(&[h1.clone(), h2.clone()], 0), 1e-8); // [2B, d]
-    let zt = ops::permute(&z, &[1, 0]);
-    let sim = ops::scale(&ops::matmul(&z, &zt), 1.0 / temperature); // [2B, 2B]
-
-    // Mask self-similarity on the diagonal, plus (when targets are known)
-    // every same-target pair that is not the anchor's designated partner.
+/// The `[2B, 2B]` additive logit mask: `-1e9` on the diagonal
+/// (self-similarity), plus — when targets are known — on every same-target
+/// pair that is not the anchor's designated partner.
+fn pair_mask(b: usize, targets: Option<&[usize]>) -> Vec<f32> {
     let n = 2 * b;
     let mut mask = vec![0.0f32; n * n];
     for i in 0..n {
@@ -81,7 +70,37 @@ fn info_nce_impl(h1: &Tensor, h2: &Tensor, temperature: f32, targets: Option<&[u
             }
         }
     }
-    let logits = ops::add(&sim, &Tensor::constant(NdArray::from_vec(vec![n, n], mask)));
+    mask
+}
+
+fn info_nce_impl(h1: &Tensor, h2: &Tensor, temperature: f32, targets: Option<&[usize]>) -> Tensor {
+    let s1 = h1.shape();
+    let s2 = h2.shape();
+    assert_eq!(s1.len(), 2, "views must be [B, d]");
+    assert_eq!(s1, s2, "view shapes must match");
+    let b = s1[0];
+    assert!(b >= 2, "contrastive batch needs >= 2 samples for negatives");
+    assert!(temperature > 0.0);
+
+    let z = ops::l2_normalize(&ops::concat(&[h1.clone(), h2.clone()], 0), 1e-8); // [2B, d]
+    let zt = ops::permute(&z, &[1, 0]);
+    let sim = ops::scale(&ops::matmul(&z, &zt), 1.0 / temperature); // [2B, 2B]
+
+    let n = 2 * b;
+    let mask_t = Tensor::constant(NdArray::from_vec(vec![n, n], pair_mask(b, targets)));
+    // The mask is the one leaf created mid-step on the SLIME path: bind a
+    // rebuild closure so recorded step plans can refresh it from the fresh
+    // targets on replay (it is a pure function of `b` and the targets).
+    if slime_tensor::plan::capturing() {
+        let masked = targets.is_some();
+        slime_tensor::plan::bind_leaf(
+            &mask_t,
+            Box::new(move |_inputs, t| {
+                NdArray::from_vec(vec![n, n], pair_mask(b, masked.then_some(t)))
+            }),
+        );
+    }
+    let logits = ops::add(&sim, &mask_t);
 
     // Row i's positive is its partner view.
     let targets: Vec<usize> = (0..n).map(|i| if i < b { i + b } else { i - b }).collect();

@@ -138,18 +138,22 @@ impl FilterMixerBlock {
                 let branches = self.branches_unit_coef();
                 let yd = ops::spectral_filter_mix(h, &branches[..1]);
                 let ys = ops::spectral_filter_mix(h, &branches[1..]);
-                let one_minus_g = ops::add_scalar(&ops::neg(&g), 1.0);
-                ops::add(&ops::mul(&yd, &one_minus_g), &ops::mul(&ys, &g))
+                if slime_tensor::simd::fuse::enabled() {
+                    slime_tensor::fusion::gate_mix(&yd, &ys, &g)
+                } else {
+                    let one_minus_g = ops::add_scalar(&ops::neg(&g), 1.0);
+                    ops::add(&ops::mul(&yd, &one_minus_g), &ops::mul(&ys, &g))
+                }
             }
             None => ops::spectral_filter_mix(h, &self.branches()),
         };
         let a = self
             .ln_filter
-            .forward(&ops::add(h, &dropout(&filtered, self.p_drop, ctx)));
+            .forward_add(h, &dropout(&filtered, self.p_drop, ctx));
         let f = self.ffn.forward(&a, ctx);
         // Densely residual: LayerNorm(H^l + \hat H^l + Dropout(FFN)).
-        let sum = ops::add(&ops::add(h, &a), &dropout(&f, self.p_drop, ctx));
-        self.ln_out.forward(&sum)
+        self.ln_out
+            .forward_add(&ops::add(h, &a), &dropout(&f, self.p_drop, ctx))
     }
 }
 

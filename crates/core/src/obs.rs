@@ -38,6 +38,17 @@ pub fn publish_runtime_gauges() {
         "simd.avx2_fma_detected",
         slime_tensor::simd::avx2_fma_detected() as u8 as f64,
     );
+
+    // Step-plan reuse: captures should stay O(epochs), replays O(steps),
+    // and nodes_allocated flat across replayed steps (DESIGN.md §14).
+    let plan = slime_tensor::plan::stats();
+    gauge_set("plan.captures", plan.captures as f64);
+    gauge_set("plan.replays", plan.replays as f64);
+    gauge_set("plan.invalidations", plan.invalidations as f64);
+    gauge_set(
+        "tape.nodes_allocated",
+        slime_tensor::nodes_allocated() as f64,
+    );
 }
 
 #[cfg(test)]
@@ -62,6 +73,10 @@ mod tests {
             "par.chunks_executed",
             "fft.plan_hits",
             "simd.backend",
+            "plan.captures",
+            "plan.replays",
+            "plan.invalidations",
+            "tape.nodes_allocated",
         ] {
             assert!(snap.gauges.contains_key(key), "missing gauge {key}");
         }

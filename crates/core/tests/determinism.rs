@@ -17,6 +17,14 @@
 //! contraction, 8-lane tree reductions), but each backend is a pure
 //! function of the input values — so threads × pool sweeps must stay
 //! bitwise stable under both.
+//!
+//! The fuse dimension (fused epilogues + recorded step plans, DESIGN.md
+//! §14) sits inside the matrix the same way: the fused fast path uses the
+//! hashed dropout sampler, so fuse on/off are two (equally deterministic)
+//! training runs — but within each fuse×SIMD configuration, threads × pool
+//! sweeps must stay bitwise identical, and plan replay must be bitwise
+//! identical to the eager trace it stands in for (pinned end to end in
+//! `tests/step_plan.rs`).
 
 use slime4rec::{run_slime, ContrastiveMode, SlimeConfig, TrainConfig};
 use slime_data::synthetic::{generate_with_core, SyntheticConfig};
@@ -46,10 +54,12 @@ fn train_once(
     threads: usize,
     pool_on: bool,
     simd_on: bool,
+    fuse_on: bool,
 ) -> (Vec<f32>, StateDict) {
     slime_par::set_threads(threads);
     slime_tensor::pool::set_enabled(pool_on);
     slime_tensor::simd::set_enabled(simd_on);
+    slime_tensor::simd::fuse::set_enabled(fuse_on);
     let mut cfg = SlimeConfig::small(ds.num_items());
     cfg.hidden = 16;
     cfg.max_len = 10;
@@ -187,26 +197,33 @@ fn quantized_two_stage_serving_is_knob_invariant() {
 }
 
 #[test]
-fn training_is_bitwise_identical_across_threads_and_pool() {
+fn training_is_bitwise_identical_across_threads_pool_and_fuse() {
     let ds = tiny_ds();
-    let was = slime_tensor::simd::enabled();
+    let simd_was = slime_tensor::simd::enabled();
+    let fuse_was = slime_tensor::simd::fuse::enabled();
     // Sweep the dispatched backend first (whatever SLIME_SIMD + the CPU
-    // probe resolve to when on), then force the scalar backend; both must
-    // be internally bitwise stable across threads × pool.
+    // probe resolve to when on), then force the scalar backend; each
+    // fuse × SIMD configuration must be internally bitwise stable across
+    // threads × pool. (Fuse on and off are different runs by design — the
+    // fused path samples dropout with the hashed kernel.)
     for simd_on in [true, false] {
         let label = if simd_on { "simd-on" } else { "scalar" };
-        let baseline = train_once(&ds, 1, true, simd_on);
-        for (threads, pool_on) in [(4, true), (1, false), (4, false)] {
-            let run = train_once(&ds, threads, pool_on, simd_on);
-            assert_bitwise_eq(
-                &baseline,
-                &run,
-                &format!(
-                    "[{label}] 1 thread/pool-on vs {threads} threads/pool-{}",
-                    if pool_on { "on" } else { "off" }
-                ),
-            );
+        for fuse_on in [true, false] {
+            let flabel = format!("{label}/fuse-{}", if fuse_on { "on" } else { "off" });
+            let baseline = train_once(&ds, 1, true, simd_on, fuse_on);
+            for (threads, pool_on) in [(4, true), (1, false), (4, false)] {
+                let run = train_once(&ds, threads, pool_on, simd_on, fuse_on);
+                assert_bitwise_eq(
+                    &baseline,
+                    &run,
+                    &format!(
+                        "[{flabel}] 1 thread/pool-on vs {threads} threads/pool-{}",
+                        if pool_on { "on" } else { "off" }
+                    ),
+                );
+            }
         }
     }
-    slime_tensor::simd::set_enabled(was);
+    slime_tensor::simd::set_enabled(simd_was);
+    slime_tensor::simd::fuse::set_enabled(fuse_was);
 }

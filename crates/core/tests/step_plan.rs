@@ -1,0 +1,149 @@
+//! End-to-end step-plan contract on the full SLIME4Rec training step:
+//!
+//! 1. the real step graph (encode → score → CE → two-view InfoNCE → total
+//!    loss) **captures successfully** — no op on the SLIME path silently
+//!    breaks replayability and drops training back to eager tracing;
+//! 2. replaying it allocates **zero** graph nodes (`tape.nodes_allocated`
+//!    stays flat) and is **bitwise identical** to re-tracing the step
+//!    eagerly from the same RNG state — forward losses and parameter
+//!    gradients alike;
+//! 3. `run_slime` actually reuses plans: captures stay O(epochs), replays
+//!    carry the bulk of the steps.
+//!
+//! Counters and the capture recorder are process-global, so everything
+//! runs inside a single test function (this file is its own process).
+
+use slime4rec::contrastive::info_nce_with_targets;
+use slime4rec::{run_slime, ContrastiveMode, NextItemModel, SlimeConfig, TrainConfig};
+use slime_data::synthetic::{generate_with_core, SyntheticConfig};
+use slime_nn::{Module, TrainContext};
+use slime_tensor::{ops, plan, NdArray, Tensor};
+
+fn tiny_cfg(vocab: usize) -> SlimeConfig {
+    let mut c = SlimeConfig::small(vocab);
+    c.hidden = 16;
+    c.max_len = 8;
+    c.layers = 2;
+    c.contrastive = ContrastiveMode::Unsupervised;
+    c
+}
+
+#[test]
+fn slime_step_captures_replays_bitwise_and_allocates_no_nodes() {
+    slime_tensor::simd::fuse::set_enabled(true);
+    let model = slime4rec::Slime4Rec::new(tiny_cfg(30));
+    let b = 4usize;
+    let n = model.cfg.max_len;
+    let mut ctx = TrainContext::train(9);
+
+    let inputs: Vec<usize> = (0..b * n).map(|i| 1 + (i * 7) % 29).collect();
+    let targets: Vec<usize> = (0..b).map(|i| 1 + (i * 11) % 29).collect();
+
+    // --- capture the full training-step graph -----------------------------
+    plan::begin_capture(&inputs, &targets);
+    let repr = model.user_repr(&inputs, b, &mut ctx);
+    let logits = model.score_all(&repr);
+    let rec = ops::cross_entropy(&logits, &targets);
+    let view2 = model.user_repr(&inputs, b, &mut ctx);
+    let cl = info_nce_with_targets(&repr, &view2, &targets, 0.2);
+    let loss = ops::add(&rec, &ops::scale(&cl, 0.1));
+    let step_plan = plan::end_capture()
+        .unwrap_or_else(|op| panic!("SLIME step must be replayable, broken by: {op}"));
+    assert!(!step_plan.is_empty());
+
+    // --- replay on fresh data: zero nodes, bitwise vs eager re-trace ------
+    let inputs2: Vec<usize> = (0..b * n).map(|i| 1 + (i * 13) % 29).collect();
+    let targets2: Vec<usize> = (0..b).map(|i| 1 + (i * 3) % 29).collect();
+    let mut eager_ctx = TrainContext::train(0);
+    eager_ctx.rng = ctx.rng.clone(); // same draw sequence for both paths
+
+    let before = slime_tensor::nodes_allocated();
+    step_plan
+        .replay(&inputs2, &targets2, Some(&mut ctx.rng))
+        .expect("replay");
+    assert_eq!(
+        slime_tensor::nodes_allocated(),
+        before,
+        "replay must allocate zero graph nodes"
+    );
+
+    let eager_repr = model.user_repr(&inputs2, b, &mut eager_ctx);
+    let eager_logits = model.score_all(&eager_repr);
+    let eager_rec = ops::cross_entropy(&eager_logits, &targets2);
+    let eager_view2 = model.user_repr(&inputs2, b, &mut eager_ctx);
+    let eager_cl = info_nce_with_targets(&eager_repr, &eager_view2, &targets2, 0.2);
+    let eager_loss = ops::add(&eager_rec, &ops::scale(&eager_cl, 0.1));
+
+    assert_eq!(loss.item().to_bits(), eager_loss.item().to_bits());
+    assert_eq!(rec.item().to_bits(), eager_rec.item().to_bits());
+    assert_eq!(cl.item().to_bits(), eager_cl.item().to_bits());
+
+    // Both RNGs must have consumed identical draw sequences.
+    use slime_rng::Rng;
+    assert_eq!(ctx.rng.gen::<u32>(), eager_ctx.rng.gen::<u32>());
+
+    // Gradients through the persistent replayed graph match the fresh one.
+    let params = model.parameters();
+    loss.backward();
+    let replay_grads: Vec<NdArray> = params.iter().map(|p| p.grad().unwrap()).collect();
+    for p in &params {
+        p.zero_grad();
+    }
+    eager_loss.backward();
+    for (i, p) in params.iter().enumerate() {
+        let eg = p.grad().unwrap();
+        for (a, b) in replay_grads[i].data().iter().zip(eg.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "param {i} grad differs");
+        }
+        p.zero_grad();
+    }
+
+    // A shape change must be rejected by the plan key.
+    let short: Vec<usize> = vec![1; n];
+    assert!(!step_plan.matches(&short, &targets2));
+
+    // --- plans carry a real training run ----------------------------------
+    let ds = generate_with_core(
+        &SyntheticConfig {
+            name: "step-plan-test".into(),
+            users: 60,
+            clusters: 4,
+            items_per_cluster: 5,
+            noise_items: 4,
+            min_len: 8,
+            max_len: 14,
+            low_period: 5,
+            high_cycle: 3,
+            p_high: 0.6,
+            p_noise: 0.1,
+        },
+        11,
+        0,
+    );
+    let stats0 = plan::stats();
+    let tc = TrainConfig {
+        epochs: 3,
+        batch_size: 32,
+        ..TrainConfig::default()
+    };
+    let (_, report, _) = run_slime(&ds, &tiny_cfg(ds.num_items()), &tc);
+    let stats1 = plan::stats();
+    assert!(report.epoch_losses[2].is_finite());
+    let captures = stats1.captures - stats0.captures;
+    let replays = stats1.replays - stats0.replays;
+    assert!(captures >= 1, "training never captured a plan");
+    assert!(
+        replays > captures,
+        "most steps should replay (captures {captures}, replays {replays})"
+    );
+
+    // --- Tensor::constant leaves mid-step still break unbound plans -------
+    let x = Tensor::param(NdArray::ones(vec![4]));
+    plan::begin_capture(&[0; 4], &[0; 1]);
+    let noise = Tensor::constant(NdArray::ones(vec![4]));
+    let _y = ops::add(&x, &noise);
+    assert!(
+        plan::end_capture().is_err(),
+        "ad-hoc leaf must break capture"
+    );
+}

@@ -109,6 +109,55 @@ pub fn backend() -> Backend {
     }
 }
 
+/// The workspace-wide `SLIME_FUSE` gate: one switch for the fused SIMD
+/// epilogues (bias+gelu, add+layernorm, filter×gate) *and* the recorded
+/// step-plan replay in `slime-tensor`. Lives next to the `SLIME_SIMD` gate
+/// because it is the same kind of control plane: a tri-state flag resolved
+/// lazily from the environment, overridable at runtime (`--no-fuse`).
+///
+/// Fusion is a pure throughput knob within a backend: every fused kernel
+/// computes the exact per-element expressions of the unfused composition it
+/// replaces, in the same accumulation order, so flipping the gate never
+/// changes values (see DESIGN.md §14 "Fusion legality").
+pub mod fuse {
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    const STATE_UNRESOLVED: u8 = 0;
+    const STATE_ON: u8 = 1;
+    const STATE_OFF: u8 = 2;
+
+    /// Tri-state enabled flag: resolved lazily from `SLIME_FUSE` on first
+    /// use, overridable at runtime via [`set_enabled`].
+    static STATE: AtomicU8 = AtomicU8::new(STATE_UNRESOLVED);
+
+    /// Whether fusion is requested (env/CLI), resolving `SLIME_FUSE` on
+    /// first call.
+    pub fn enabled() -> bool {
+        match STATE.load(Ordering::Relaxed) {
+            STATE_ON => true,
+            STATE_OFF => false,
+            _ => resolve_from_env(),
+        }
+    }
+
+    fn resolve_from_env() -> bool {
+        let off = std::env::var("SLIME_FUSE")
+            .map(|v| matches!(v.trim(), "0" | "false" | "off"))
+            .unwrap_or(false);
+        let state = if off { STATE_OFF } else { STATE_ON };
+        // A concurrent set_enabled may race this store; last writer wins,
+        // which is fine — both derive from explicit user intent.
+        STATE.store(state, Ordering::Relaxed);
+        !off
+    }
+
+    /// Force fusion on or off (wins over `SLIME_FUSE`). The CLI's
+    /// `--no-fuse` calls this; parity tests use it to pin each path.
+    pub fn set_enabled(on: bool) {
+        STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // FFT kernels: radix-2 butterflies and Bluestein pointwise products over
 // interleaved `(re, im)` f32 pairs.
@@ -346,6 +395,14 @@ mod tests {
         (0..n)
             .map(|i| Complex32::new((i as f32 * 0.7).sin(), (i as f32 * 0.3).cos()))
             .collect()
+    }
+
+    #[test]
+    fn fuse_gate_flips() {
+        fuse::set_enabled(false);
+        assert!(!fuse::enabled());
+        fuse::set_enabled(true);
+        assert!(fuse::enabled());
     }
 
     #[test]

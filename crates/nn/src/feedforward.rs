@@ -1,7 +1,7 @@
 //! Point-wise feed-forward network (paper Eq. 29).
 
 use slime_rng::Rng;
-use slime_tensor::{ops, Tensor};
+use slime_tensor::Tensor;
 
 use crate::linear::Linear;
 use crate::module::{Module, ParamCollector, TrainContext};
@@ -32,9 +32,10 @@ impl FeedForward {
         }
     }
 
-    /// Apply the MLP position-wise.
+    /// Apply the MLP position-wise. The first projection's bias-add + GELU
+    /// runs as one fused node when fusion is enabled.
     pub fn forward(&self, x: &Tensor, ctx: &mut TrainContext) -> Tensor {
-        let h = ops::gelu(&self.w1.forward(x));
+        let h = self.w1.forward_gelu(x);
         let h = crate::dropout(&h, self.dropout, ctx);
         self.w2.forward(&h)
     }

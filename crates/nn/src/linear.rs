@@ -52,6 +52,31 @@ impl Linear {
         out_shape[last] = self.out_dim;
         ops::reshape(&y, out_shape)
     }
+
+    /// `gelu(x W + b)` — one fused graph node when fusion is enabled
+    /// (`SLIME_FUSE` / `--no-fuse`), the plain matmul → add → gelu chain
+    /// otherwise. Layers whose activation is GELU-on-a-biased-projection
+    /// (the FFN's first half) route through here.
+    pub fn forward_gelu(&self, x: &Tensor) -> Tensor {
+        let fused = slime_tensor::simd::fuse::enabled();
+        let Some(b) = self.b.as_ref().filter(|_| fused) else {
+            return ops::gelu(&self.forward(x));
+        };
+        let shape = x.shape();
+        assert!(!shape.is_empty(), "linear input needs >= 1 dim");
+        assert_eq!(
+            shape[shape.len() - 1],
+            self.in_dim,
+            "linear input dim mismatch"
+        );
+        let rows: usize = shape[..shape.len() - 1].iter().product();
+        let flat = ops::reshape(x, vec![rows, self.in_dim]);
+        let y = slime_tensor::fusion::matmul_bias_gelu(&flat, &self.w, b);
+        let mut out_shape = shape;
+        let last = out_shape.len() - 1;
+        out_shape[last] = self.out_dim;
+        ops::reshape(&y, out_shape)
+    }
 }
 
 impl Module for Linear {

@@ -34,6 +34,17 @@ impl LayerNorm {
     pub fn forward(&self, x: &Tensor) -> Tensor {
         ops::layer_norm(x, &self.gamma, &self.beta, self.eps)
     }
+
+    /// Residual form `LN(a + b)` — one fused node (sum + row statistics in
+    /// a single pass) when fusion is enabled and the operands share a shape,
+    /// the plain add → layer_norm chain otherwise.
+    pub fn forward_add(&self, a: &Tensor, b: &Tensor) -> Tensor {
+        if slime_tensor::simd::fuse::enabled() && a.shape() == b.shape() {
+            slime_tensor::fusion::add_layer_norm(a, b, &self.gamma, &self.beta, self.eps)
+        } else {
+            self.forward(&ops::add(a, b))
+        }
+    }
 }
 
 impl Module for LayerNorm {

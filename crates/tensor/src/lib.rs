@@ -22,11 +22,13 @@
 //! assert!(w.grad().is_some());
 //! ```
 
+pub mod fusion;
 pub mod gradcheck;
 pub mod init;
 mod ndarray;
 pub mod ops;
 pub mod optim;
+pub mod plan;
 pub mod pool;
 pub mod quant;
 pub mod serialize;
@@ -35,4 +37,4 @@ mod tensor;
 
 pub use ndarray::{contiguous_strides, numel, NdArray};
 pub use serialize::{ArrayRecord, StateDict};
-pub use tensor::{Op, Tensor};
+pub use tensor::{nodes_allocated, Op, Tensor};

@@ -769,11 +769,19 @@ fn matmul_nt_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
 ///
 /// Parallelism is over *output* rows (columns of `a`); chunk grid depends
 /// only on the shape and accumulation stays k-ascending per element.
+///
+/// The chunk floor is a multiple of four rows: for tall-skinny adjoints
+/// (`k*n` past the flops budget, e.g. `dW = A^T G`) the naive budget
+/// degenerates to one row per chunk, which starves [`matmul_tn_rows`] of
+/// its 4-row `matmul4` blocking and streams `b` once per output row.
+/// Values are grid-independent (each output element is one k-ascending
+/// chain inside a single chunk), so the floor only changes locality.
 fn matmul_tn_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     if m == 0 || n == 0 {
         return;
     }
-    let rows_per_chunk = (MATMUL_CHUNK_FLOPS / (k * n).max(1)).clamp(1, m);
+    let budget = (MATMUL_CHUNK_FLOPS / (k * n).max(1)).max(16);
+    let rows_per_chunk = budget.next_multiple_of(4).min(m.next_multiple_of(4));
     let w = slime_par::UnsafeSlice::new(out);
     slime_par::parallel_for(m, rows_per_chunk, |r0, r1| {
         // SAFETY: chunk row ranges are disjoint.
@@ -804,39 +812,71 @@ pub(crate) fn matmul_tn_rows(
     let rows = out.len() / n;
     debug_assert!(r0 + rows <= m, "matmul_tn_rows: row range exceeds m");
     let kn = crate::simd::kernels();
-    // The four coefficient columns of `a` are strided by `m`; gather them
-    // once per block (O(4k), amortized over the block's k*n multiply-adds)
-    // so the fused kernel sees contiguous coefficient rows.
-    let mut cols = crate::pool::take_filled(4 * k, 0.0);
-    let mut r = 0usize;
-    while r + 4 <= rows {
-        let (o0, rest) = out[r * n..(r + 4) * n].split_at_mut(n);
-        let (o1, rest) = rest.split_at_mut(n);
-        let (o2, o3) = rest.split_at_mut(n);
-        let col = r0 + r;
-        for kk in 0..k {
-            let quad = &a[kk * m + col..kk * m + col + 4];
-            cols[kk] = quad[0];
-            cols[k + kk] = quad[1];
-            cols[2 * k + kk] = quad[2];
-            cols[3 * k + kk] = quad[3];
+    // Cache-blocked over `k` and output rows: each `[kc, pr]` tile of `a`
+    // is transposed once into a contiguous panel and the matching `[kc, n]`
+    // panel of `b` stays resident while every 4-row block consumes both.
+    // Without the blocking, every 4-row block walked all `k` rows of `a`
+    // (one cache line each, 4 useful floats) and streamed all of `b` — for
+    // tall-skinny adjoints like `dW = A^T G` (k = batch·seq, m = n =
+    // hidden) that re-read both operands `rows/4` times over and the
+    // kernel went memory-bound at ~5x the cost of the equal-FLOP forward.
+    // Splitting `k` only splits each output element's k-ascending
+    // accumulation across consecutive `matmul4` calls (which accumulate in
+    // place, k-sequential), so results stay bitwise identical to the
+    // single-call form.
+    const TN_K_CHUNK: usize = 512;
+    const TN_ROW_PANEL: usize = 256;
+    let cap = k.min(TN_K_CHUNK);
+    let panel_rows = rows.min(TN_ROW_PANEL);
+    let mut panel = crate::pool::take_filled(panel_rows * cap, 0.0);
+    let mut k0 = 0usize;
+    while k0 < k {
+        let kc = (k - k0).min(TN_K_CHUNK);
+        let bp = &b[k0 * n..(k0 + kc) * n];
+        let mut p0 = 0usize;
+        while p0 < rows {
+            let pr = (rows - p0).min(TN_ROW_PANEL);
+            // Transpose a[k0..k0+kc, r0+p0..r0+p0+pr] into the panel:
+            // sequential reads, panel-resident strided writes.
+            for kk in 0..kc {
+                let arow = &a[(k0 + kk) * m + r0 + p0..][..pr];
+                for (i, &v) in arow.iter().enumerate() {
+                    panel[i * cap + kk] = v;
+                }
+            }
+            let mut r = p0;
+            while r + 4 <= p0 + pr {
+                let (o0, rest) = out[r * n..(r + 4) * n].split_at_mut(n);
+                let (o1, rest) = rest.split_at_mut(n);
+                let (o2, o3) = rest.split_at_mut(n);
+                let i = r - p0;
+                (kn.matmul4)(
+                    o0,
+                    o1,
+                    o2,
+                    o3,
+                    &panel[i * cap..][..kc],
+                    &panel[(i + 1) * cap..][..kc],
+                    &panel[(i + 2) * cap..][..kc],
+                    &panel[(i + 3) * cap..][..kc],
+                    bp,
+                    n,
+                );
+                r += 4;
+            }
+            while r < p0 + pr {
+                let o_row = &mut out[r * n..(r + 1) * n];
+                let crow = &panel[(r - p0) * cap..][..kc];
+                for kk in 0..kc {
+                    (kn.saxpy)(o_row, &bp[kk * n..(kk + 1) * n], crow[kk]);
+                }
+                r += 1;
+            }
+            p0 += pr;
         }
-        let (c0, rest) = cols.split_at(k);
-        let (c1, rest) = rest.split_at(k);
-        let (c2, c3) = rest.split_at(k);
-        (kn.matmul4)(o0, o1, o2, o3, c0, c1, c2, c3, b, n);
-        r += 4;
+        k0 += kc;
     }
-    crate::pool::recycle(cols);
-    while r < rows {
-        let col = r0 + r;
-        let o_row = &mut out[r * n..(r + 1) * n];
-        for kk in 0..k {
-            let b_row = &b[kk * n..(kk + 1) * n];
-            (kn.saxpy)(o_row, b_row, a[kk * m + col]);
-        }
-        r += 1;
-    }
+    crate::pool::recycle(panel);
 }
 
 #[cfg(test)]

@@ -13,9 +13,22 @@ use crate::tensor::{Op, Tensor};
 /// network twice with independent dropout masks yields two semantically
 /// similar but numerically different views.
 ///
+/// Two samplers, both deterministic under a seeded `rng`:
+///
+/// * **hashed** (fused fast path, [`crate::simd::fuse::enabled`]): one
+///   `u64` drawn from `rng` seeds a counter-based per-index hash
+///   ([`Kernels::dropout_mask`](crate::simd::Kernels)) — branchless, 8-lane
+///   vectorizable, and bitwise identical across SIMD backends;
+/// * **sequential** (`--no-fuse`): the historical draw-per-element walk,
+///   kept bit-exact so the escape hatch reproduces pre-fusion results.
+///
+/// The sampler is fixed at construction, so a step plan replays whichever
+/// sampler traced the capture step regardless of the current gate.
+///
 /// Callers implement eval mode by *not* applying dropout (there is no
 /// internal training flag).
 pub fn dropout(x: &Tensor, p: f32, rng: &mut impl Rng) -> Tensor {
+    let _prof = super::fwd_prof("dropout");
     assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1)");
     if p == 0.0 {
         // Identity but still a graph node, so callers can rely on a fresh tensor.
@@ -23,37 +36,95 @@ pub fn dropout(x: &Tensor, p: f32, rng: &mut impl Rng) -> Tensor {
     }
     let keep = 1.0 - p;
     let scale = 1.0 / keep;
+    let hashed = crate::simd::fuse::enabled();
     let data = x.data();
     let src = data.data();
     let mut mask = crate::pool::take_filled(x.len(), 0.0);
     let mut out = crate::pool::take_filled(x.len(), 0.0);
-    for i in 0..src.len() {
-        if rng.gen::<f32>() < keep {
-            mask[i] = scale;
-            out[i] = src[i] * scale;
-        }
-    }
+    fill_masked(hashed, keep, scale, rng, src, &mut mask, &mut out);
     let shape = x.shape();
     drop(data);
     Tensor::from_op(
         NdArray::from_vec(shape.clone(), out),
         vec![x.clone()],
         Box::new(DropoutOp {
-            mask: NdArray::from_vec(shape, mask),
+            keep,
+            scale,
+            hashed,
+            mask: std::cell::RefCell::new(NdArray::from_vec(shape, mask)),
         }),
     )
 }
 
+/// Shared mask body: one pass writing `mask` (0 or `scale`) and
+/// `out = src * mask`, consuming `rng` per the selected sampler.
+fn fill_masked(
+    hashed: bool,
+    keep: f32,
+    scale: f32,
+    rng: &mut impl Rng,
+    src: &[f32],
+    mask: &mut [f32],
+    out: &mut [f32],
+) {
+    debug_assert!(
+        mask.len() == src.len() && out.len() == src.len(),
+        "mask and out match the source length"
+    );
+    if hashed {
+        let seed = rng.gen::<u64>();
+        (crate::simd::kernels().dropout_mask)(seed, keep, scale, src, mask, out);
+    } else {
+        for i in 0..src.len() {
+            if rng.gen::<f32>() < keep {
+                mask[i] = scale;
+                out[i] = src[i] * scale;
+            }
+        }
+    }
+}
+
 struct DropoutOp {
-    mask: NdArray,
+    keep: f32,
+    scale: f32,
+    hashed: bool,
+    mask: std::cell::RefCell<NdArray>,
 }
 
 impl Op for DropoutOp {
     fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
-        vec![Some(grad.zip_map(&self.mask, |g, m| g * m))]
+        vec![Some(grad.zip_map(&self.mask.borrow(), |g, m| g * m))]
     }
     fn name(&self) -> &'static str {
         "dropout"
+    }
+    fn replayable(&self) -> bool {
+        true
+    }
+    // Re-draw the mask from the replay RNG with the exact sampler the eager
+    // constructor ran, so a replayed step consumes the same draw sequence
+    // (and produces the same mask) as re-tracing would.
+    fn replay(&self, parents: &[Tensor], ctx: &mut crate::plan::ReplayCtx) -> Option<NdArray> {
+        let _prof = super::fwd_prof("dropout");
+        debug_assert_eq!(parents.len(), 1, "dropout has one parent");
+        let rng = ctx.rng.as_deref_mut()?;
+        let data = parents[0].data();
+        let src = data.data();
+        let mut mask = crate::pool::take_filled(src.len(), 0.0);
+        let mut out = crate::pool::take_filled(src.len(), 0.0);
+        fill_masked(
+            self.hashed,
+            self.keep,
+            self.scale,
+            rng,
+            src,
+            &mut mask,
+            &mut out,
+        );
+        let shape = data.shape().to_vec();
+        drop(data);
+        *self.mask.borrow_mut() = NdArray::from_vec(shape.clone(), mask);
+        Some(NdArray::from_vec(shape, out))
     }
 }
 
@@ -98,5 +169,47 @@ mod tests {
         let y = dropout(&x, 0.3, &mut rng);
         let mean = y.value().mean_all();
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn hashed_sampler_preserves_expectation_and_seed_determinism() {
+        let was = crate::simd::fuse::enabled();
+        crate::simd::fuse::set_enabled(true);
+        let x = Tensor::constant(NdArray::ones(vec![10_000]));
+        let mut rng = StdRng::seed_from_u64(42);
+        let y = dropout(&x, 0.3, &mut rng);
+        let mean = y.value().mean_all();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        // Same rng state -> same seed draw -> identical mask.
+        let mut rng2 = StdRng::seed_from_u64(42);
+        let y2 = dropout(&x, 0.3, &mut rng2);
+        assert_eq!(y.value().data(), y2.value().data());
+        // Different state -> a different mask (two contrastive views).
+        let y3 = dropout(&x, 0.3, &mut rng2);
+        assert_ne!(y2.value().data(), y3.value().data());
+        crate::simd::fuse::set_enabled(was);
+    }
+
+    #[test]
+    fn samplers_follow_the_fuse_gate() {
+        // Sequential consumes one draw per element; hashed consumes one u64
+        // (two PCG outputs) total — observable through the rng state.
+        let was = crate::simd::fuse::enabled();
+        let x = Tensor::constant(NdArray::ones(vec![100]));
+        crate::simd::fuse::set_enabled(false);
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = dropout(&x, 0.5, &mut rng);
+        let mut reference = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let _ = reference.gen::<f32>();
+        }
+        assert_eq!(rng.gen::<u32>(), reference.gen::<u32>());
+        crate::simd::fuse::set_enabled(true);
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = dropout(&x, 0.5, &mut rng);
+        let mut reference = StdRng::seed_from_u64(7);
+        let _ = reference.gen::<u64>();
+        assert_eq!(rng.gen::<u32>(), reference.gen::<u32>());
+        crate::simd::fuse::set_enabled(was);
     }
 }

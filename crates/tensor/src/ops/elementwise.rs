@@ -1,8 +1,9 @@
 //! Elementwise arithmetic and activation ops (with NumPy broadcasting for
 //! the binary ones).
 
-use super::{assert_broadcastable, unary};
+use super::{assert_broadcastable, unary, unary_replayable};
 use crate::ndarray::NdArray;
+use crate::plan::ReplayCtx;
 use crate::tensor::{Op, Tensor};
 
 /// Same-shape binary fast path through the SIMD dispatch table; mismatched
@@ -84,6 +85,19 @@ impl Op for AddOp {
     fn name(&self) -> &'static str {
         "add"
     }
+    fn replayable(&self) -> bool {
+        true
+    }
+    fn replay(&self, parents: &[Tensor], _ctx: &mut ReplayCtx) -> Option<NdArray> {
+        debug_assert_eq!(parents.len(), 2, "add/sub has two parents");
+        let k = crate::simd::kernels();
+        let (a, b) = (parents[0].data(), parents[1].data());
+        Some(if self.sign < 0.0 {
+            binary_dispatch(&a, &b, k.sub, |x, y| x - y)
+        } else {
+            binary_dispatch(&a, &b, k.add, |x, y| x + y)
+        })
+    }
 }
 
 /// `a * b` elementwise with broadcasting.
@@ -92,32 +106,36 @@ pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
     let out = binary_dispatch(&a.data(), &b.data(), crate::simd::kernels().mul, |x, y| {
         x * y
     });
-    Tensor::from_op(
-        out,
-        vec![a.clone(), b.clone()],
-        Box::new(MulOp {
-            a: a.value(),
-            b: b.value(),
-        }),
-    )
+    Tensor::from_op(out, vec![a.clone(), b.clone()], Box::new(MulOp))
 }
 
-struct MulOp {
-    a: NdArray,
-    b: NdArray,
-}
+/// Stateless: backward reads the parents' *current* values, so it stays
+/// correct after a step-plan replay refreshes them in place.
+struct MulOp;
 
 impl Op for MulOp {
-    fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
+    fn backward(&self, grad: &NdArray, parents: &[Tensor]) -> Vec<Option<NdArray>> {
+        debug_assert_eq!(parents.len(), 2, "mul has two parents");
         let k = crate::simd::kernels();
-        let ga =
-            binary_dispatch(grad, &self.b, k.mul, |g, b| g * b).reduce_to_shape(self.a.shape());
-        let gb =
-            binary_dispatch(grad, &self.a, k.mul, |g, a| g * a).reduce_to_shape(self.b.shape());
+        let (a, b) = (parents[0].data(), parents[1].data());
+        let ga = binary_dispatch(grad, &b, k.mul, |g, b| g * b).reduce_to_shape(a.shape());
+        let gb = binary_dispatch(grad, &a, k.mul, |g, a| g * a).reduce_to_shape(b.shape());
         vec![Some(ga), Some(gb)]
     }
     fn name(&self) -> &'static str {
         "mul"
+    }
+    fn replayable(&self) -> bool {
+        true
+    }
+    fn replay(&self, parents: &[Tensor], _ctx: &mut ReplayCtx) -> Option<NdArray> {
+        debug_assert_eq!(parents.len(), 2, "mul has two parents");
+        Some(binary_dispatch(
+            &parents[0].data(),
+            &parents[1].data(),
+            crate::simd::kernels().mul,
+            |x, y| x * y,
+        ))
     }
 }
 
@@ -129,15 +147,30 @@ pub fn neg(a: &Tensor) -> Tensor {
 /// `c * a` for a constant scalar `c`.
 pub fn scale(a: &Tensor, c: f32) -> Tensor {
     let out = scale_arr(&a.data(), c);
-    unary("scale", a, out, NdArray::scalar(c), |g, saved| {
-        scale_arr(g, saved.scalar_value())
-    })
+    unary_replayable(
+        "scale",
+        a,
+        out,
+        NdArray::scalar(c),
+        |g, saved| scale_arr(g, saved.scalar_value()),
+        Box::new(|x, saved| (scale_arr(x, saved.scalar_value()), saved.clone())),
+    )
 }
 
 /// `a + c` for a constant scalar `c`.
 pub fn add_scalar(a: &Tensor, c: f32) -> Tensor {
     let out = a.data().map(|v| v + c);
-    unary("add_scalar", a, out, NdArray::scalar(0.0), |g, _| g.clone())
+    unary_replayable(
+        "add_scalar",
+        a,
+        out,
+        NdArray::scalar(c),
+        |g, _| g.clone(),
+        Box::new(|x, saved| {
+            let c = saved.scalar_value();
+            (x.map(|v| v + c), saved.clone())
+        }),
+    )
 }
 
 /// `exp(a)`.
@@ -160,26 +193,47 @@ pub fn log(a: &Tensor) -> Tensor {
 pub fn sigmoid(a: &Tensor) -> Tensor {
     let out = a.data().map(|v| 1.0 / (1.0 + (-v).exp()));
     let saved = out.clone();
-    unary("sigmoid", a, out, saved, |g, y| {
-        g.zip_map(y, |g, y| g * y * (1.0 - y))
-    })
+    unary_replayable(
+        "sigmoid",
+        a,
+        out,
+        saved,
+        |g, y| g.zip_map(y, |g, y| g * y * (1.0 - y)),
+        Box::new(|x, _| {
+            let out = x.map(|v| 1.0 / (1.0 + (-v).exp()));
+            (out.clone(), out)
+        }),
+    )
 }
 
 /// Hyperbolic tangent.
 pub fn tanh(a: &Tensor) -> Tensor {
     let out = a.data().map(f32::tanh);
     let saved = out.clone();
-    unary("tanh", a, out, saved, |g, y| {
-        g.zip_map(y, |g, y| g * (1.0 - y * y))
-    })
+    unary_replayable(
+        "tanh",
+        a,
+        out,
+        saved,
+        |g, y| g.zip_map(y, |g, y| g * (1.0 - y * y)),
+        Box::new(|x, _| {
+            let out = x.map(f32::tanh);
+            (out.clone(), out)
+        }),
+    )
 }
 
 /// Rectified linear unit.
 pub fn relu(a: &Tensor) -> Tensor {
     let out = a.data().map(|v| v.max(0.0));
-    unary("relu", a, out, a.value(), |g, x| {
-        g.zip_map(x, |g, x| if x > 0.0 { g } else { 0.0 })
-    })
+    unary_replayable(
+        "relu",
+        a,
+        out,
+        a.value(),
+        |g, x| g.zip_map(x, |g, x| if x > 0.0 { g } else { 0.0 }),
+        Box::new(|x, _| (x.map(|v| v.max(0.0)), x.clone())),
+    )
 }
 
 /// GELU activation (tanh approximation, as used by BERT/the paper's FFN,
@@ -188,14 +242,26 @@ pub fn relu(a: &Tensor) -> Tensor {
 /// both forward and backward route through the table.
 pub fn gelu(a: &Tensor) -> Tensor {
     let data = a.data();
-    let mut out = crate::pool::take_filled(data.len(), 0.0);
-    (crate::simd::kernels().gelu_fwd)(data.data(), &mut out);
-    let out = NdArray::from_vec(data.shape().to_vec(), out);
-    unary("gelu", a, out, a.value(), |g, x| {
-        let mut dx = crate::pool::take_filled(g.len(), 0.0);
-        (crate::simd::kernels().gelu_bwd)(x.data(), g.data(), &mut dx);
-        NdArray::from_vec(g.shape().to_vec(), dx)
-    })
+    let out = gelu_arr(&data);
+    drop(data);
+    unary_replayable(
+        "gelu",
+        a,
+        out,
+        a.value(),
+        |g, x| {
+            let mut dx = crate::pool::take_filled(g.len(), 0.0);
+            (crate::simd::kernels().gelu_bwd)(x.data(), g.data(), &mut dx);
+            NdArray::from_vec(g.shape().to_vec(), dx)
+        },
+        Box::new(|x, _| (gelu_arr(x), x.clone())),
+    )
+}
+
+fn gelu_arr(x: &NdArray) -> NdArray {
+    let mut out = crate::pool::take_filled(x.len(), 0.0);
+    (crate::simd::kernels().gelu_fwd)(x.data(), &mut out);
+    NdArray::from_vec(x.shape().to_vec(), out)
 }
 
 /// Numerically-stable `softplus(a) = ln(1 + e^a)`.

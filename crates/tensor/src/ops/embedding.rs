@@ -16,53 +16,63 @@ pub fn embedding(weight: &Tensor, indices: &[usize], batch_shape: &[usize]) -> T
     let (v, d) = (wshape[0], wshape[1]);
     let n: usize = batch_shape.iter().product();
     assert_eq!(indices.len(), n, "indices length vs batch shape");
-    let data = weight.data();
-    let w = data.data();
-    let mut out = crate::pool::take_empty(n * d);
-    for &idx in indices {
-        assert!(idx < v, "embedding index {idx} out of vocab {v}");
-        out.extend_from_slice(&w[idx * d..(idx + 1) * d]);
-    }
-    drop(data);
     let mut out_shape = batch_shape.to_vec();
     out_shape.push(d);
+    let out = lookup(&weight.data(), indices, v, d, out_shape.clone());
     Tensor::from_op(
-        NdArray::from_vec(out_shape, out),
+        out,
         vec![weight.clone()],
         Box::new(EmbeddingOp {
             v,
             d,
-            indices: indices.to_vec(),
+            out_shape,
+            indices: std::cell::RefCell::new(indices.to_vec()),
+            slot: crate::plan::slot_of(indices),
         }),
     )
+}
+
+/// Shared forward body (eager construction and plan replay).
+fn lookup(data: &NdArray, indices: &[usize], v: usize, d: usize, out_shape: Vec<usize>) -> NdArray {
+    let w = data.data();
+    let mut out = crate::pool::take_empty(indices.len() * d);
+    for &idx in indices {
+        assert!(idx < v, "embedding index {idx} out of vocab {v}");
+        out.extend_from_slice(&w[idx * d..(idx + 1) * d]);
+    }
+    NdArray::from_vec(out_shape, out)
 }
 
 struct EmbeddingOp {
     v: usize,
     d: usize,
-    indices: Vec<usize>,
+    out_shape: Vec<usize>,
+    indices: std::cell::RefCell<Vec<usize>>,
+    /// Which per-step buffer the indices came from (for plan rebinding).
+    slot: Option<crate::plan::Slot>,
 }
 
 impl Op for EmbeddingOp {
     fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
         let g = grad.data();
         let (v, d) = (self.v, self.d);
-        debug_assert_eq!(g.len(), self.indices.len() * d, "grad is [rows, d]");
+        let indices = self.indices.borrow();
+        debug_assert_eq!(g.len(), indices.len() * d, "grad is [rows, d]");
         // Stable counting sort of gradient rows by target vocab index. Each
         // vocab row's contributions are then applied in ascending gradient-row
         // order — exactly the order the serial scatter-add used — so the
         // parallel scatter below is bitwise identical to it at any thread
         // count (grid and order depend only on the data, never on threads).
         let mut starts = vec![0usize; v + 1];
-        for &idx in &self.indices {
+        for &idx in indices.iter() {
             starts[idx + 1] += 1;
         }
         for u in 0..v {
             starts[u + 1] += starts[u];
         }
         let mut cursor = starts.clone();
-        let mut order = vec![0usize; self.indices.len()];
-        for (row, &idx) in self.indices.iter().enumerate() {
+        let mut order = vec![0usize; indices.len()];
+        for (row, &idx) in indices.iter().enumerate() {
             order[cursor[idx]] = row;
             cursor[idx] += 1;
         }
@@ -90,6 +100,29 @@ impl Op for EmbeddingOp {
     }
     fn name(&self) -> &'static str {
         "embedding"
+    }
+    fn replayable(&self) -> bool {
+        true
+    }
+    fn bound_slot(&self) -> Option<crate::plan::Slot> {
+        self.slot
+    }
+    fn rebind(&self, data: &[usize]) {
+        let mut indices = self.indices.borrow_mut();
+        debug_assert_eq!(indices.len(), data.len(), "rebind length");
+        indices.clear();
+        indices.extend_from_slice(data);
+    }
+    fn replay(&self, parents: &[Tensor], _ctx: &mut crate::plan::ReplayCtx) -> Option<NdArray> {
+        let _prof = super::fwd_prof("embedding");
+        debug_assert_eq!(parents.len(), 1, "embedding has one parent (the table)");
+        Some(lookup(
+            &parents[0].data(),
+            &self.indices.borrow(),
+            self.v,
+            self.d,
+            self.out_shape.clone(),
+        ))
     }
 }
 

@@ -28,10 +28,27 @@ pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> Tensor {
     for &t in targets {
         assert!(t < v, "target {t} out of range {v}");
     }
-    let data = logits.data();
+    let (softmax, loss) = softmax_and_loss(&logits.data(), targets, b, v);
+    Tensor::from_op(
+        NdArray::scalar(loss),
+        vec![logits.clone()],
+        Box::new(CrossEntropyOp {
+            softmax: std::cell::RefCell::new(softmax),
+            targets: std::cell::RefCell::new(targets.to_vec()),
+            slot: crate::plan::slot_of(targets),
+        }),
+    )
+}
+
+/// Shared forward body (eager construction and plan replay): row-parallel
+/// softmax + loss. Each chunk writes its own softmax rows and returns an
+/// f64 partial loss; partials are folded in chunk order.
+fn softmax_and_loss(data: &NdArray, targets: &[usize], b: usize, v: usize) -> (NdArray, f32) {
     let src = data.data();
-    // Row-parallel softmax + loss: each chunk writes its own softmax rows
-    // and returns an f64 partial loss; partials are folded in chunk order.
+    debug_assert!(
+        src.len() == b * v && targets.len() == b,
+        "logits are [b, v] with one target per row"
+    );
     let mut softmax = crate::pool::take_filled(b * v, 0.0);
     let loss = {
         let w = slime_par::UnsafeSlice::new(&mut softmax);
@@ -65,32 +82,30 @@ pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> Tensor {
         )
         .unwrap_or(0.0)
     };
-    drop(data);
-    let loss = (loss / b as f64) as f32;
-    Tensor::from_op(
-        NdArray::scalar(loss),
-        vec![logits.clone()],
-        Box::new(CrossEntropyOp {
-            softmax: NdArray::from_vec(vec![b, v], softmax),
-            targets: targets.to_vec(),
-        }),
+    (
+        NdArray::from_vec(vec![b, v], softmax),
+        (loss / b as f64) as f32,
     )
 }
 
 struct CrossEntropyOp {
-    softmax: NdArray,
-    targets: Vec<usize>,
+    softmax: std::cell::RefCell<NdArray>,
+    targets: std::cell::RefCell<Vec<usize>>,
+    /// Which per-step buffer the targets came from (for plan rebinding).
+    slot: Option<crate::plan::Slot>,
 }
 
 impl Op for CrossEntropyOp {
     fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
         let g = grad.scalar_value();
-        let shape = self.softmax.shape().to_vec();
+        let softmax = self.softmax.borrow();
+        let shape = softmax.shape().to_vec();
         let (b, v) = (shape[0], shape[1]);
-        debug_assert_eq!(self.targets.len(), b, "one target per softmax row");
+        let targets = self.targets.borrow();
+        debug_assert_eq!(targets.len(), b, "one target per softmax row");
         let scale = g / b as f32;
-        let sm = self.softmax.data();
-        let targets = &self.targets;
+        let sm = softmax.data();
+        let targets = &targets[..];
         let mut dx = crate::pool::take_filled(b * v, 0.0);
         {
             let w = slime_par::UnsafeSlice::new(&mut dx);
@@ -111,6 +126,30 @@ impl Op for CrossEntropyOp {
     }
     fn name(&self) -> &'static str {
         "cross_entropy"
+    }
+    fn replayable(&self) -> bool {
+        true
+    }
+    fn bound_slot(&self) -> Option<crate::plan::Slot> {
+        self.slot
+    }
+    fn rebind(&self, data: &[usize]) {
+        let mut targets = self.targets.borrow_mut();
+        debug_assert_eq!(targets.len(), data.len(), "rebind length");
+        targets.clear();
+        targets.extend_from_slice(data);
+    }
+    fn replay(&self, parents: &[Tensor], _ctx: &mut crate::plan::ReplayCtx) -> Option<NdArray> {
+        let _prof = super::fwd_prof("cross_entropy");
+        debug_assert_eq!(parents.len(), 1, "cross_entropy has one parent");
+        let targets = self.targets.borrow();
+        let (b, v) = {
+            let s = self.softmax.borrow();
+            (s.shape()[0], s.shape()[1])
+        };
+        let (softmax, loss) = softmax_and_loss(&parents[0].data(), &targets, b, v);
+        *self.softmax.borrow_mut() = softmax;
+        Some(NdArray::scalar(loss))
     }
 }
 

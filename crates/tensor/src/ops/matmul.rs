@@ -18,30 +18,31 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         "matmul: incompatible shapes {sa:?} x {sb:?}"
     );
     let out = a.data().matmul2d(&b.data());
-    Tensor::from_op(
-        out,
-        vec![a.clone(), b.clone()],
-        Box::new(MatMulOp {
-            a: a.value(),
-            b: b.value(),
-        }),
-    )
+    Tensor::from_op(out, vec![a.clone(), b.clone()], Box::new(MatMulOp))
 }
 
-struct MatMulOp {
-    a: NdArray,
-    b: NdArray,
-}
+/// Stateless: backward reads the parents' *current* values (correct both
+/// eagerly and after a step-plan replay refreshes them in place).
+struct MatMulOp;
 
 impl Op for MatMulOp {
-    fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
+    fn backward(&self, grad: &NdArray, parents: &[Tensor]) -> Vec<Option<NdArray>> {
+        debug_assert_eq!(parents.len(), 2, "matmul has two parents");
         // dA = G B^T ([m,n] x [k,n]^T); dB = A^T G ([m,k]^T x [m,n]).
-        let ga = grad.matmul2d_nt(&self.b);
-        let gb = self.a.matmul2d_tn(grad);
+        let ga = grad.matmul2d_nt(&parents[1].data());
+        let gb = parents[0].data().matmul2d_tn(grad);
         vec![Some(ga), Some(gb)]
     }
     fn name(&self) -> &'static str {
         "matmul"
+    }
+    fn replayable(&self) -> bool {
+        true
+    }
+    fn replay(&self, parents: &[Tensor], _ctx: &mut crate::plan::ReplayCtx) -> Option<NdArray> {
+        let _prof = super::fwd_prof("matmul");
+        debug_assert_eq!(parents.len(), 2, "matmul has two parents");
+        Some(parents[0].data().matmul2d(&parents[1].data()))
     }
 }
 
@@ -58,30 +59,29 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
         "matmul_nt: incompatible shapes {sa:?} x {sb:?}^T"
     );
     let out = a.data().matmul2d_nt(&b.data());
-    Tensor::from_op(
-        out,
-        vec![a.clone(), b.clone()],
-        Box::new(MatMulNtOp {
-            a: a.value(),
-            b: b.value(),
-        }),
-    )
+    Tensor::from_op(out, vec![a.clone(), b.clone()], Box::new(MatMulNtOp))
 }
 
-struct MatMulNtOp {
-    a: NdArray,
-    b: NdArray,
-}
+struct MatMulNtOp;
 
 impl Op for MatMulNtOp {
-    fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
+    fn backward(&self, grad: &NdArray, parents: &[Tensor]) -> Vec<Option<NdArray>> {
+        debug_assert_eq!(parents.len(), 2, "matmul_nt has two parents");
         // Y = A B^T: dA = G B ([m,n] x [n,k]); dB = G^T A ([m,n]^T x [m,k]).
-        let ga = grad.matmul2d(&self.b);
-        let gb = grad.matmul2d_tn(&self.a);
+        let ga = grad.matmul2d(&parents[1].data());
+        let gb = grad.matmul2d_tn(&parents[0].data());
         vec![Some(ga), Some(gb)]
     }
     fn name(&self) -> &'static str {
         "matmul_nt"
+    }
+    fn replayable(&self) -> bool {
+        true
+    }
+    fn replay(&self, parents: &[Tensor], _ctx: &mut crate::plan::ReplayCtx) -> Option<NdArray> {
+        let _prof = super::fwd_prof("matmul_nt");
+        debug_assert_eq!(parents.len(), 2, "matmul_nt has two parents");
+        Some(parents[0].data().matmul2d_nt(&parents[1].data()))
     }
 }
 
@@ -94,30 +94,29 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
         "bmm: incompatible shapes {sa:?} x {sb:?}"
     );
     let out = a.data().bmm(&b.data());
-    Tensor::from_op(
-        out,
-        vec![a.clone(), b.clone()],
-        Box::new(BmmOp {
-            a: a.value(),
-            b: b.value(),
-        }),
-    )
+    Tensor::from_op(out, vec![a.clone(), b.clone()], Box::new(BmmOp))
 }
 
-struct BmmOp {
-    a: NdArray,
-    b: NdArray,
-}
+struct BmmOp;
 
 impl Op for BmmOp {
-    fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
+    fn backward(&self, grad: &NdArray, parents: &[Tensor]) -> Vec<Option<NdArray>> {
+        debug_assert_eq!(parents.len(), 2, "bmm has two parents");
         // Per plane: dA = G B^T; dB = A^T G — transpose-free as in MatMulOp.
-        let ga = grad.bmm_nt(&self.b);
-        let gb = self.a.bmm_tn(grad);
+        let ga = grad.bmm_nt(&parents[1].data());
+        let gb = parents[0].data().bmm_tn(grad);
         vec![Some(ga), Some(gb)]
     }
     fn name(&self) -> &'static str {
         "bmm"
+    }
+    fn replayable(&self) -> bool {
+        true
+    }
+    fn replay(&self, parents: &[Tensor], _ctx: &mut crate::plan::ReplayCtx) -> Option<NdArray> {
+        let _prof = super::fwd_prof("bmm");
+        debug_assert_eq!(parents.len(), 2, "bmm has two parents");
+        Some(parents[0].data().bmm(&parents[1].data()))
     }
 }
 
@@ -135,30 +134,29 @@ pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Tensor {
         "bmm_nt: incompatible shapes {sa:?} x {sb:?}^T"
     );
     let out = a.data().bmm_nt(&b.data());
-    Tensor::from_op(
-        out,
-        vec![a.clone(), b.clone()],
-        Box::new(BmmNtOp {
-            a: a.value(),
-            b: b.value(),
-        }),
-    )
+    Tensor::from_op(out, vec![a.clone(), b.clone()], Box::new(BmmNtOp))
 }
 
-struct BmmNtOp {
-    a: NdArray,
-    b: NdArray,
-}
+struct BmmNtOp;
 
 impl Op for BmmNtOp {
-    fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
+    fn backward(&self, grad: &NdArray, parents: &[Tensor]) -> Vec<Option<NdArray>> {
+        debug_assert_eq!(parents.len(), 2, "bmm_nt has two parents");
         // Per plane: Y = A B^T, so dA = G B and dB = G^T A.
-        let ga = grad.bmm(&self.b);
-        let gb = grad.bmm_tn(&self.a);
+        let ga = grad.bmm(&parents[1].data());
+        let gb = grad.bmm_tn(&parents[0].data());
         vec![Some(ga), Some(gb)]
     }
     fn name(&self) -> &'static str {
         "bmm_nt"
+    }
+    fn replayable(&self) -> bool {
+        true
+    }
+    fn replay(&self, parents: &[Tensor], _ctx: &mut crate::plan::ReplayCtx) -> Option<NdArray> {
+        let _prof = super::fwd_prof("bmm_nt");
+        debug_assert_eq!(parents.len(), 2, "bmm_nt has two parents");
+        Some(parents[0].data().bmm_nt(&parents[1].data()))
     }
 }
 

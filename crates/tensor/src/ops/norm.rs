@@ -15,13 +15,35 @@ pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor
     let d = shape[shape.len() - 1];
     assert_eq!(gamma.shape(), vec![d], "gamma shape");
     assert_eq!(beta.shape(), vec![d], "beta shape");
+    let (out, xhat, inv_std) = layer_norm_fwd(&x.data(), &gamma.data(), &beta.data(), eps, d);
+    Tensor::from_op(
+        out,
+        vec![x.clone(), gamma.clone(), beta.clone()],
+        Box::new(LayerNormOp {
+            xhat: std::cell::RefCell::new(xhat),
+            inv_std: std::cell::RefCell::new(inv_std),
+            eps,
+        }),
+    )
+}
+
+/// Shared forward body (eager construction and plan replay): returns
+/// `(out, xhat, inv_std)`.
+pub(crate) fn layer_norm_fwd(
+    x: &NdArray,
+    gamma: &NdArray,
+    beta: &NdArray,
+    eps: f32,
+    d: usize,
+) -> (NdArray, NdArray, Vec<f32>) {
     let rows = x.len() / d;
-    let data = x.data();
-    let src = data.data();
-    let gdata = gamma.data();
-    let gw = gdata.data();
-    let bdata = beta.data();
-    let bw = bdata.data();
+    let src = x.data();
+    let gw = gamma.data();
+    let bw = beta.data();
+    debug_assert!(
+        src.len() == rows * d && gw.len() == d && bw.len() == d,
+        "layer_norm rows divide evenly and affine params are [d]"
+    );
     let mut out = crate::pool::take_filled(x.len(), 0.0);
     let mut xhat = crate::pool::take_filled(x.len(), 0.0);
     let mut inv_std = crate::pool::take_filled(rows, 0.0);
@@ -41,35 +63,32 @@ pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor
             &mut out[r * d..(r + 1) * d],
         );
     }
-    drop(data);
-    drop(gdata);
-    drop(bdata);
-    Tensor::from_op(
+    let shape = x.shape().to_vec();
+    (
         NdArray::from_vec(shape.clone(), out),
-        vec![x.clone(), gamma.clone(), beta.clone()],
-        Box::new(LayerNormOp {
-            xhat: NdArray::from_vec(shape, xhat),
-            inv_std,
-            gamma: gamma.value(),
-        }),
+        NdArray::from_vec(shape, xhat),
+        inv_std,
     )
 }
 
 struct LayerNormOp {
-    xhat: NdArray,
-    inv_std: Vec<f32>,
-    gamma: NdArray,
+    xhat: std::cell::RefCell<NdArray>,
+    inv_std: std::cell::RefCell<Vec<f32>>,
+    eps: f32,
 }
 
 impl Op for LayerNormOp {
-    fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
-        let d = self.gamma.len();
-        let rows = self.xhat.len() / d;
-        let xh = self.xhat.data();
+    fn backward(&self, grad: &NdArray, parents: &[Tensor]) -> Vec<Option<NdArray>> {
+        let gamma = parents[1].data();
+        let d = gamma.len();
+        let xhat = self.xhat.borrow();
+        let inv_std = self.inv_std.borrow();
+        let rows = xhat.len() / d;
+        let xh = xhat.data();
         let g = grad.data();
-        debug_assert_eq!(g.len(), self.xhat.len(), "grad matches saved xhat");
-        let gw = self.gamma.data();
-        let mut dx = crate::pool::take_filled(self.xhat.len(), 0.0);
+        debug_assert_eq!(g.len(), xhat.len(), "grad matches saved xhat");
+        let gw = gamma.data();
+        let mut dx = crate::pool::take_filled(xhat.len(), 0.0);
         let mut dgamma = crate::pool::take_filled(d, 0.0);
         let mut dbeta = crate::pool::take_filled(d, 0.0);
         for r in 0..rows {
@@ -86,20 +105,38 @@ impl Op for LayerNormOp {
             }
             mean_dxhat /= d as f32;
             mean_dxhat_xhat /= d as f32;
-            let istd = self.inv_std[r];
+            let istd = inv_std[r];
             for j in 0..d {
                 let dxh = g[base + j] * gw[j];
                 dx[base + j] = istd * (dxh - mean_dxhat - xh[base + j] * mean_dxhat_xhat);
             }
         }
         vec![
-            Some(NdArray::from_vec(self.xhat.shape().to_vec(), dx)),
+            Some(NdArray::from_vec(xhat.shape().to_vec(), dx)),
             Some(NdArray::from_vec(vec![d], dgamma)),
             Some(NdArray::from_vec(vec![d], dbeta)),
         ]
     }
     fn name(&self) -> &'static str {
         "layer_norm"
+    }
+    fn replayable(&self) -> bool {
+        true
+    }
+    fn replay(&self, parents: &[Tensor], _ctx: &mut crate::plan::ReplayCtx) -> Option<NdArray> {
+        let _prof = super::fwd_prof("layer_norm");
+        debug_assert_eq!(parents.len(), 3, "layer_norm has x, gamma, beta");
+        let d = parents[1].len();
+        let (out, xhat, inv_std) = layer_norm_fwd(
+            &parents[0].data(),
+            &parents[1].data(),
+            &parents[2].data(),
+            self.eps,
+            d,
+        );
+        *self.xhat.borrow_mut() = xhat;
+        *self.inv_std.borrow_mut() = inv_std;
+        Some(out)
     }
 }
 
@@ -109,9 +146,25 @@ pub fn l2_normalize(x: &Tensor, eps: f32) -> Tensor {
     let shape = x.shape();
     assert!(!shape.is_empty(), "l2_normalize needs >= 1 dim");
     let d = shape[shape.len() - 1];
+    let (out, inv_norm) = l2_normalize_fwd(&x.data(), eps, d);
+    let y = out.clone();
+    Tensor::from_op(
+        out,
+        vec![x.clone()],
+        Box::new(L2NormalizeOp {
+            y: std::cell::RefCell::new(y),
+            inv_norm: std::cell::RefCell::new(inv_norm),
+            d,
+            eps,
+        }),
+    )
+}
+
+/// Shared forward body: returns `(out, inv_norm)`.
+fn l2_normalize_fwd(x: &NdArray, eps: f32, d: usize) -> (NdArray, Vec<f32>) {
     let rows = x.len() / d;
-    let data = x.data();
-    let src = data.data();
+    let src = x.data();
+    debug_assert_eq!(src.len(), rows * d, "l2_normalize rows divide evenly");
     let mut out = crate::pool::take_filled(x.len(), 0.0);
     let mut inv_norm = crate::pool::take_filled(rows, 0.0);
     let k = crate::simd::kernels();
@@ -122,44 +175,51 @@ pub fn l2_normalize(x: &Tensor, eps: f32) -> Tensor {
         inv_norm[r] = inv;
         (k.scale)(row, inv, &mut out[r * d..(r + 1) * d]);
     }
-    drop(data);
-    let out = NdArray::from_vec(shape, out);
-    let y = out.clone();
-    Tensor::from_op(
-        out,
-        vec![x.clone()],
-        Box::new(L2NormalizeOp { y, inv_norm, d }),
-    )
+    (NdArray::from_vec(x.shape().to_vec(), out), inv_norm)
 }
 
 struct L2NormalizeOp {
-    y: NdArray,
-    inv_norm: Vec<f32>,
+    y: std::cell::RefCell<NdArray>,
+    inv_norm: std::cell::RefCell<Vec<f32>>,
     d: usize,
+    eps: f32,
 }
 
 impl Op for L2NormalizeOp {
     fn backward(&self, grad: &NdArray, _parents: &[Tensor]) -> Vec<Option<NdArray>> {
         // dx = (g - y * (y . g)) / ||x||
         let d = self.d;
-        let rows = self.y.len() / d;
-        let y = self.y.data();
+        let saved = self.y.borrow();
+        let inv_norm = self.inv_norm.borrow();
+        let rows = saved.len() / d;
+        let y = saved.data();
         let g = grad.data();
-        debug_assert_eq!(g.len(), self.y.len(), "grad matches saved output");
-        let mut dx = crate::pool::take_filled(self.y.len(), 0.0);
+        debug_assert_eq!(g.len(), saved.len(), "grad matches saved output");
+        let mut dx = crate::pool::take_filled(saved.len(), 0.0);
         let k = crate::simd::kernels();
         for r in 0..rows {
             let base = r * d;
             let dot = (k.dot)(&y[base..base + d], &g[base..base + d]);
-            let inv = self.inv_norm[r];
+            let inv = inv_norm[r];
             for j in 0..d {
                 dx[base + j] = (g[base + j] - y[base + j] * dot) * inv;
             }
         }
-        vec![Some(NdArray::from_vec(self.y.shape().to_vec(), dx))]
+        vec![Some(NdArray::from_vec(saved.shape().to_vec(), dx))]
     }
     fn name(&self) -> &'static str {
         "l2_normalize"
+    }
+    fn replayable(&self) -> bool {
+        true
+    }
+    fn replay(&self, parents: &[Tensor], _ctx: &mut crate::plan::ReplayCtx) -> Option<NdArray> {
+        let _prof = super::fwd_prof("l2_normalize");
+        debug_assert_eq!(parents.len(), 1, "l2_normalize has one parent");
+        let (out, inv_norm) = l2_normalize_fwd(&parents[0].data(), self.eps, self.d);
+        *self.y.borrow_mut() = out.clone();
+        *self.inv_norm.borrow_mut() = inv_norm;
+        Some(out)
     }
 }
 

@@ -187,15 +187,60 @@ pub fn spectral_filter_mix(x: &Tensor, branches: &[SpectralBranch]) -> Tensor {
         assert_eq!(br.mask.len(), m, "branch {i} mask length");
     }
 
-    // X = rfft(x) along the time axis, stored as [B, M, D] real/imag planes.
-    //
-    // Short sequences (the recommendation case) run the transform as two
-    // cached-table matmuls per [N, D] batch plane through the blocked row
-    // kernel; long ones fall back to per-(batch, channel) FFTs. Both grids
-    // are pure functions of the shape, so results never depend on the
-    // thread count.
+    let (fre, fim) = effective_filter(branches, m, d);
     let data = x.data();
-    let src = data.data();
+    let (out, xre, xim) = spectral_transform(data.data(), &fre, &fim, b, n, d, m);
+    drop(data);
+
+    // F is pure scratch — hand it straight back to the buffer pool.
+    crate::pool::recycle(fre);
+    crate::pool::recycle(fim);
+
+    let mut parents = Vec::with_capacity(1 + branches.len() * 2);
+    parents.push(x.clone());
+    for br in branches {
+        parents.push(br.w_re.clone());
+        parents.push(br.w_im.clone());
+    }
+    Tensor::from_op(
+        NdArray::from_vec(vec![b, n, d], out),
+        parents,
+        Box::new(SpectralOp {
+            b,
+            n,
+            d,
+            xre: std::cell::RefCell::new(xre),
+            xim: std::cell::RefCell::new(xim),
+            masks: branches.iter().map(|br| br.mask.clone()).collect(),
+            coefs: branches.iter().map(|br| br.coef).collect(),
+        }),
+    )
+}
+
+/// Shared transform body (eager construction and plan replay):
+/// `y = irfft(rfft(x) * F)` along the time axis. Returns
+/// `(out, xre, xim)` — the output signal and the saved forward spectrum
+/// planes the backward pass reads.
+///
+/// Short sequences (the recommendation case) run the transform as two
+/// cached-table matmuls per [N, D] batch plane through the blocked row
+/// kernel; long ones fall back to per-(batch, channel) FFTs. Both grids
+/// are pure functions of the shape, so results never depend on the
+/// thread count.
+#[allow(clippy::needless_range_loop)] // strided gather/scatter over (b, k, c) planes
+fn spectral_transform(
+    src: &[f32],
+    fre: &[f32],
+    fim: &[f32],
+    b: usize,
+    n: usize,
+    d: usize,
+    m: usize,
+) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    debug_assert!(
+        src.len() == b * n * d && fre.len() == m * d && fim.len() == m * d,
+        "signal is [b, n, d] with [m, d] filter planes"
+    );
     let mut xre = crate::pool::take_filled(b * m * d, 0.0);
     let mut xim = crate::pool::take_filled(b * m * d, 0.0);
     if n <= DFT_MATMUL_MAX_N && d > 0 {
@@ -246,10 +291,6 @@ pub fn spectral_filter_mix(x: &Tensor, branches: &[SpectralBranch]) -> Tensor {
             });
         });
     }
-    drop(data);
-
-    // Effective filter F[k,c].
-    let (fre, fim) = effective_filter(branches, m, d);
 
     // Y = X * F, then y = irfft(Y). Same decomposition as the forward
     // transform in each path.
@@ -326,29 +367,7 @@ pub fn spectral_filter_mix(x: &Tensor, branches: &[SpectralBranch]) -> Tensor {
         });
     }
 
-    // F is pure scratch — hand it straight back to the buffer pool.
-    crate::pool::recycle(fre);
-    crate::pool::recycle(fim);
-
-    let mut parents = Vec::with_capacity(1 + branches.len() * 2);
-    parents.push(x.clone());
-    for br in branches {
-        parents.push(br.w_re.clone());
-        parents.push(br.w_im.clone());
-    }
-    Tensor::from_op(
-        NdArray::from_vec(vec![b, n, d], out),
-        parents,
-        Box::new(SpectralOp {
-            b,
-            n,
-            d,
-            xre,
-            xim,
-            masks: branches.iter().map(|br| br.mask.clone()).collect(),
-            coefs: branches.iter().map(|br| br.coef).collect(),
-        }),
-    )
+    (out, xre, xim)
 }
 
 /// `F[k,c] = sum_i coef_i * mask_i[k] * W_i[k,c]` from branch tensors.
@@ -393,9 +412,9 @@ struct SpectralOp {
     b: usize,
     n: usize,
     d: usize,
-    /// Saved forward spectrum, `[B, M, D]` planes.
-    xre: Vec<f32>,
-    xim: Vec<f32>,
+    /// Saved forward spectrum, `[B, M, D]` planes (refreshed on replay).
+    xre: std::cell::RefCell<Vec<f32>>,
+    xim: std::cell::RefCell<Vec<f32>>,
     masks: Vec<Vec<f32>>,
     coefs: Vec<f32>,
 }
@@ -485,6 +504,9 @@ impl Op for SpectralOp {
         // regardless of thread count.
         let mut dfre = crate::pool::take_filled(m * d, 0.0);
         let mut dfim = crate::pool::take_filled(m * d, 0.0);
+        let xre_guard = self.xre.borrow();
+        let xim_guard = self.xim.borrow();
+        let (xre, xim): (&[f32], &[f32]) = (&xre_guard, &xim_guard);
         {
             let wdre = UnsafeSlice::new(&mut dfre);
             let wdim = UnsafeSlice::new(&mut dfim);
@@ -502,8 +524,8 @@ impl Op for SpectralOp {
                         for c in 0..d {
                             let i = (bi * m + k) * d + c;
                             let w = (k - k0) * d + c;
-                            dre[w] += gre[i] * self.xre[i] + gim[i] * self.xim[i];
-                            dim[w] += gim[i] * self.xre[i] - gre[i] * self.xim[i];
+                            dre[w] += gre[i] * xre[i] + gim[i] * xim[i];
+                            dim[w] += gim[i] * xre[i] - gre[i] * xim[i];
                         }
                     }
                 }
@@ -598,14 +620,41 @@ impl Op for SpectralOp {
     fn name(&self) -> &'static str {
         "spectral_filter_mix"
     }
+    fn replayable(&self) -> bool {
+        true
+    }
+    fn replay(&self, parents: &[Tensor], _ctx: &mut crate::plan::ReplayCtx) -> Option<NdArray> {
+        let _prof = super::fwd_prof("spectral_filter_mix");
+        debug_assert_eq!(parents.len() % 2, 1, "signal plus (re, im) weight pairs");
+        let (b, n, d) = (self.b, self.n, self.d);
+        let m = n / 2 + 1;
+        if n <= DFT_MATMUL_MAX_N && d > 0 {
+            slime_trace::metrics::counter_add("spectral.matmul_path", 1);
+        } else {
+            slime_trace::metrics::counter_add("spectral.fft_path", 1);
+        }
+        let weights: Vec<(NdArray, NdArray)> = parents[1..]
+            .chunks(2)
+            .map(|p| (p[0].value(), p[1].value()))
+            .collect();
+        let (fre, fim) = effective_filter_from(&self.masks, &self.coefs, &weights, m, d);
+        let data = parents[0].data();
+        let (out, xre, xim) = spectral_transform(data.data(), &fre, &fim, b, n, d, m);
+        drop(data);
+        crate::pool::recycle(fre);
+        crate::pool::recycle(fim);
+        crate::pool::recycle(std::mem::replace(&mut *self.xre.borrow_mut(), xre));
+        crate::pool::recycle(std::mem::replace(&mut *self.xim.borrow_mut(), xim));
+        Some(NdArray::from_vec(vec![b, n, d], out))
+    }
 }
 
 impl Drop for SpectralOp {
     fn drop(&mut self) {
         // The saved spectrum planes are plain `Vec`s (not `NdArray`s), so
         // recycle them by hand when the graph node dies.
-        crate::pool::recycle(std::mem::take(&mut self.xre));
-        crate::pool::recycle(std::mem::take(&mut self.xim));
+        crate::pool::recycle(self.xre.take());
+        crate::pool::recycle(self.xim.take());
     }
 }
 

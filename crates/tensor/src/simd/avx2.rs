@@ -748,3 +748,293 @@ pub fn adam_update(x: &mut [f32], m: &mut [f32], v: &mut [f32], g: &[f32], c: &A
     // SAFETY: dispatch verified avx2+fma.
     unsafe { adam_update_impl(x, m, v, g, c) }
 }
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn bias_gelu_impl(pre: &mut [f32], bias: &[f32], out: &mut [f32]) {
+    // Bias add is `vaddps` (bitwise equal to the scalar `+`), then the exact
+    // 8-lane gelu body from [`gelu_fwd`]; with 8-aligned rows the lane
+    // grouping matches a flat [`gelu_fwd`] pass over the biased buffer.
+    let n = pre.len();
+    let (pp, bp, op) = (pre.as_mut_ptr(), bias.as_ptr(), out.as_mut_ptr());
+    let sqrt_2_over_pi = _mm256_set1_ps(scalar::SQRT_2_OVER_PI);
+    let gelu_c = _mm256_set1_ps(scalar::GELU_C);
+    let half = _mm256_set1_ps(0.5);
+    let one = _mm256_set1_ps(1.0);
+    let mut j = 0usize;
+    while j + 8 <= n {
+        let z = _mm256_add_ps(_mm256_loadu_ps(pp.add(j)), _mm256_loadu_ps(bp.add(j)));
+        _mm256_storeu_ps(pp.add(j), z);
+        let zz = _mm256_mul_ps(z, z);
+        let inner = _mm256_fmadd_ps(gelu_c, _mm256_mul_ps(zz, z), z);
+        let t = fast_tanh256(_mm256_mul_ps(sqrt_2_over_pi, inner));
+        let r = _mm256_mul_ps(_mm256_mul_ps(half, z), _mm256_add_ps(one, t));
+        _mm256_storeu_ps(op.add(j), r);
+        j += 8;
+    }
+    while j < n {
+        let z = pre[j] + bias[j];
+        pre[j] = z;
+        out[j] = scalar::gelu_scalar(z);
+        j += 1;
+    }
+}
+
+pub fn bias_gelu(pre: &mut [f32], bias: &[f32], out: &mut [f32]) {
+    // SAFETY: dispatch verified avx2+fma.
+    unsafe { bias_gelu_impl(pre, bias, out) }
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn bias_gelu_bwd_impl(z: &[f32], g: &[f32], dpre: &mut [f32], db: &mut [f32]) {
+    // Same 8-lane derivative body as [`gelu_bwd`]; the `db` accumulation is
+    // per-element independent, so lane-wise `vaddps` into `db` matches the
+    // scalar row-by-row `db[j] += d` chains bitwise.
+    let n = z.len();
+    let (zp, gp) = (z.as_ptr(), g.as_ptr());
+    let (dp, dbp) = (dpre.as_mut_ptr(), db.as_mut_ptr());
+    let sqrt_2_over_pi = _mm256_set1_ps(scalar::SQRT_2_OVER_PI);
+    let gelu_c = _mm256_set1_ps(scalar::GELU_C);
+    let three_c = _mm256_set1_ps(3.0 * scalar::GELU_C);
+    let half = _mm256_set1_ps(0.5);
+    let one = _mm256_set1_ps(1.0);
+    let mut j = 0usize;
+    while j + 8 <= n {
+        let xv = _mm256_loadu_ps(zp.add(j));
+        let xx = _mm256_mul_ps(xv, xv);
+        let inner = _mm256_fmadd_ps(gelu_c, _mm256_mul_ps(xx, xv), xv);
+        let t = fast_tanh256(_mm256_mul_ps(sqrt_2_over_pi, inner));
+        let du = _mm256_mul_ps(sqrt_2_over_pi, _mm256_fmadd_ps(three_c, xx, one));
+        let sech2 = _mm256_fnmadd_ps(t, t, one);
+        let dv = _mm256_fmadd_ps(
+            _mm256_mul_ps(_mm256_mul_ps(half, xv), sech2),
+            du,
+            _mm256_mul_ps(half, _mm256_add_ps(one, t)),
+        );
+        let d = _mm256_mul_ps(_mm256_loadu_ps(gp.add(j)), dv);
+        _mm256_storeu_ps(dp.add(j), d);
+        _mm256_storeu_ps(dbp.add(j), _mm256_add_ps(_mm256_loadu_ps(dbp.add(j)), d));
+        j += 8;
+    }
+    while j < n {
+        let d = g[j] * scalar::gelu_grad_scalar(z[j]);
+        dpre[j] = d;
+        db[j] += d;
+        j += 1;
+    }
+}
+
+pub fn bias_gelu_bwd(z: &[f32], g: &[f32], dpre: &mut [f32], db: &mut [f32]) {
+    // SAFETY: dispatch verified avx2+fma.
+    unsafe { bias_gelu_bwd_impl(z, g, dpre, db) }
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn add_mean_var_impl(a: &[f32], b: &[f32], sum: &mut [f32]) -> (f32, f32) {
+    // The reduction replicates [`mean_var`]'s lane structure exactly — 8-lane
+    // add accumulator → [`hsum`] → scalar tail, then the fmadd variance pass
+    // over the stored sums — so fusing the `vaddps` residual add in front
+    // leaves the result bitwise equal to `add` followed by `mean_var`.
+    let n = sum.len();
+    let (ap, bp, sp) = (a.as_ptr(), b.as_ptr(), sum.as_mut_ptr());
+    let d = n as f32;
+    let mut acc = _mm256_setzero_ps();
+    let mut j = 0usize;
+    while j + 8 <= n {
+        let v = _mm256_add_ps(_mm256_loadu_ps(ap.add(j)), _mm256_loadu_ps(bp.add(j)));
+        _mm256_storeu_ps(sp.add(j), v);
+        acc = _mm256_add_ps(acc, v);
+        j += 8;
+    }
+    let mut s = hsum(acc);
+    while j < n {
+        let v = a[j] + b[j];
+        sum[j] = v;
+        s += v;
+        j += 1;
+    }
+    let mean = s / d;
+    let mv = _mm256_set1_ps(mean);
+    let mut vacc = _mm256_setzero_ps();
+    j = 0;
+    while j + 8 <= n {
+        let c = _mm256_sub_ps(_mm256_loadu_ps(sp.add(j)), mv);
+        vacc = _mm256_fmadd_ps(c, c, vacc);
+        j += 8;
+    }
+    let mut vsum = hsum(vacc);
+    while j < n {
+        let c = sum[j] - mean;
+        vsum += c * c;
+        j += 1;
+    }
+    (mean, vsum / d)
+}
+
+pub fn add_mean_var(a: &[f32], b: &[f32], sum: &mut [f32]) -> (f32, f32) {
+    // SAFETY: dispatch verified avx2+fma.
+    unsafe { add_mean_var_impl(a, b, sum) }
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn gate_mix_impl(yd: &[f32], ys: &[f32], om: f32, g: f32, out: &mut [f32]) {
+    // vmul/vmul/vadd with NO fma: per-element mul and add are bitwise equal
+    // to their scalar counterparts, so this matches both the scalar kernel
+    // and the unfused broadcast-mul + add composition on either backend.
+    let n = out.len();
+    let (ydp, ysp, op) = (yd.as_ptr(), ys.as_ptr(), out.as_mut_ptr());
+    let omv = _mm256_set1_ps(om);
+    let gv = _mm256_set1_ps(g);
+    let mut j = 0usize;
+    while j + 8 <= n {
+        let r = _mm256_add_ps(
+            _mm256_mul_ps(_mm256_loadu_ps(ydp.add(j)), omv),
+            _mm256_mul_ps(_mm256_loadu_ps(ysp.add(j)), gv),
+        );
+        _mm256_storeu_ps(op.add(j), r);
+        j += 8;
+    }
+    while j < n {
+        out[j] = yd[j] * om + ys[j] * g;
+        j += 1;
+    }
+}
+
+pub fn gate_mix(yd: &[f32], ys: &[f32], om: f32, g: f32, out: &mut [f32]) {
+    // SAFETY: dispatch verified avx2+fma.
+    unsafe { gate_mix_impl(yd, ys, om, g, out) }
+}
+
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn gate_mix_bwd_impl(
+    grad: &[f32],
+    yd: &[f32],
+    ys: &[f32],
+    om: f32,
+    g: f32,
+    dyd: &mut [f32],
+    dys: &mut [f32],
+) -> (f32, f32) {
+    // Branch grads are vectorized `vmulps` (per-element, bitwise equal to
+    // scalar). The two gate reductions must match `reduce_to_shape`'s
+    // sequential flat fold, so the 8-lane products are spilled to a stack
+    // tile and added lane 0..7 in order to a single scalar accumulator each.
+    let n = grad.len();
+    let (gp, ydp, ysp) = (grad.as_ptr(), yd.as_ptr(), ys.as_ptr());
+    let (dydp, dysp) = (dyd.as_mut_ptr(), dys.as_mut_ptr());
+    let omv = _mm256_set1_ps(om);
+    let gv = _mm256_set1_ps(g);
+    let mut sum_gyd = 0.0f32;
+    let mut sum_gys = 0.0f32;
+    let mut tile_yd = [0.0f32; 8];
+    let mut tile_ys = [0.0f32; 8];
+    let mut j = 0usize;
+    while j + 8 <= n {
+        let gr = _mm256_loadu_ps(gp.add(j));
+        _mm256_storeu_ps(dydp.add(j), _mm256_mul_ps(gr, omv));
+        _mm256_storeu_ps(dysp.add(j), _mm256_mul_ps(gr, gv));
+        _mm256_storeu_ps(
+            tile_yd.as_mut_ptr(),
+            _mm256_mul_ps(gr, _mm256_loadu_ps(ydp.add(j))),
+        );
+        _mm256_storeu_ps(
+            tile_ys.as_mut_ptr(),
+            _mm256_mul_ps(gr, _mm256_loadu_ps(ysp.add(j))),
+        );
+        for l in 0..8 {
+            sum_gyd += tile_yd[l];
+            sum_gys += tile_ys[l];
+        }
+        j += 8;
+    }
+    while j < n {
+        let gs = grad[j];
+        dyd[j] = gs * om;
+        dys[j] = gs * g;
+        sum_gyd += gs * yd[j];
+        sum_gys += gs * ys[j];
+        j += 1;
+    }
+    (sum_gyd, sum_gys)
+}
+
+#[allow(clippy::too_many_arguments)]
+pub fn gate_mix_bwd(
+    grad: &[f32],
+    yd: &[f32],
+    ys: &[f32],
+    om: f32,
+    g: f32,
+    dyd: &mut [f32],
+    dys: &mut [f32],
+) -> (f32, f32) {
+    // SAFETY: dispatch verified avx2+fma.
+    unsafe { gate_mix_bwd_impl(grad, yd, ys, om, g, dyd, dys) }
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dropout_mask_impl(
+    seed: u64,
+    keep: f32,
+    scale: f32,
+    src: &[f32],
+    mask: &mut [f32],
+    out: &mut [f32],
+) {
+    // 8 lanes of the murmur3 finalizer over `index ^ seed_lo`, whitened
+    // with `seed_hi` — pure 32-bit integer ops (`vpmulld`, shifts, xors),
+    // so every lane equals `scalar::dropout_hash` exactly. The top 24 hash
+    // bits convert exactly to f32 (`vcvtdq2ps` on values < 2^24) and the
+    // power-of-two scale to [0, 1) is exact, so the keep decision — and
+    // therefore the whole mask — is bitwise identical to the scalar kernel.
+    let n = src.len();
+    let s0 = _mm256_set1_epi32(seed as u32 as i32);
+    let s1 = _mm256_set1_epi32((seed >> 32) as u32 as i32);
+    let c1 = _mm256_set1_epi32(0x85eb_ca6bu32 as i32);
+    let c2 = _mm256_set1_epi32(0xc2b2_ae35u32 as i32);
+    let to_unit = _mm256_set1_ps(1.0 / (1u32 << 24) as f32);
+    let keepv = _mm256_set1_ps(keep);
+    let scalev = _mm256_set1_ps(scale);
+    let iota = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    let eight = _mm256_set1_epi32(8);
+    let (sp, mp, op) = (src.as_ptr(), mask.as_mut_ptr(), out.as_mut_ptr());
+    let mut idx = iota;
+    let mut j = 0usize;
+    while j + 8 <= n {
+        let mut x = _mm256_xor_si256(idx, s0);
+        x = _mm256_xor_si256(x, _mm256_srli_epi32(x, 16));
+        x = _mm256_mullo_epi32(x, c1);
+        x = _mm256_xor_si256(x, _mm256_srli_epi32(x, 13));
+        x = _mm256_mullo_epi32(x, c2);
+        x = _mm256_xor_si256(x, _mm256_srli_epi32(x, 16));
+        x = _mm256_xor_si256(x, s1);
+        let u = _mm256_mul_ps(_mm256_cvtepi32_ps(_mm256_srli_epi32(x, 8)), to_unit);
+        let kept = _mm256_cmp_ps::<_CMP_LT_OQ>(u, keepv);
+        let m = _mm256_and_ps(kept, scalev);
+        _mm256_storeu_ps(mp.add(j), m);
+        _mm256_storeu_ps(op.add(j), _mm256_mul_ps(_mm256_loadu_ps(sp.add(j)), m));
+        idx = _mm256_add_epi32(idx, eight);
+        j += 8;
+    }
+    let (s0s, s1s) = (seed as u32, (seed >> 32) as u32);
+    while j < n {
+        let h = scalar::dropout_hash(j as u32, s0s, s1s);
+        let u = (h >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+        let m = ((u < keep) as u32 as f32) * scale;
+        mask[j] = m;
+        out[j] = src[j] * m;
+        j += 1;
+    }
+}
+
+pub fn dropout_mask(
+    seed: u64,
+    keep: f32,
+    scale: f32,
+    src: &[f32],
+    mask: &mut [f32],
+    out: &mut [f32],
+) {
+    // SAFETY: dispatch verified avx2+fma.
+    unsafe { dropout_mask_impl(seed, keep, scale, src, mask, out) }
+}

@@ -24,7 +24,7 @@
 //! under either backend, and `SLIME_SIMD=0` reproduces pre-SIMD results
 //! bitwise (`crates/core/tests/determinism.rs` enforces both).
 
-pub use slime_fft::simd::{avx2_fma_detected, backend, enabled, set_enabled, Backend};
+pub use slime_fft::simd::{avx2_fma_detected, backend, enabled, fuse, set_enabled, Backend};
 
 #[cfg(target_arch = "x86_64")]
 pub mod avx2;
@@ -105,11 +105,32 @@ pub struct Kernels {
     pub layernorm_affine: fn(&[f32], f32, f32, &[f32], &[f32], &mut [f32], &mut [f32]),
     /// Fused Adam step for one parameter buffer.
     pub adam_update: fn(&mut [f32], &mut [f32], &mut [f32], &[f32], &AdamCoeffs),
+    /// Fused bias + GELU epilogue over one matmul output row
+    /// (`pre += bias; out = gelu(pre)` in one pass).
+    pub bias_gelu: fn(&mut [f32], &[f32], &mut [f32]),
+    /// Fused backward of the bias+GELU epilogue
+    /// (`dpre = g * gelu'(z); db += dpre` per row).
+    pub bias_gelu_bwd: fn(&[f32], &[f32], &mut [f32], &mut [f32]),
+    /// Fused residual add + layer-norm reductions
+    /// (`sum = a + b`, returns the row's `(mean, var)` in the same pass).
+    pub add_mean_var: fn(&[f32], &[f32], &mut [f32]) -> (f32, f32),
+    /// Fused filter×gate mix (`out = yd * (1-g) + ys * g`, no FMA).
+    pub gate_mix: fn(&[f32], &[f32], f32, f32, &mut [f32]),
+    /// Fused backward of the filter×gate mix (writes both branch grads,
+    /// returns the two sequential gate reductions).
+    #[allow(clippy::type_complexity)] // the fused gate backward contract
+    pub gate_mix_bwd: fn(&[f32], &[f32], &[f32], f32, f32, &mut [f32], &mut [f32]) -> (f32, f32),
     /// Widening int8 dot product (exact `i32` accumulate). Unlike the float
     /// entries this one is bitwise identical across backends — integer
     /// addition is associative — so quantized scores never depend on the
     /// `SLIME_SIMD` knob.
     pub dot_i8: fn(&[i8], &[i8]) -> i32,
+    /// Counter-based dropout mask + apply (`(seed, keep, scale, src, mask,
+    /// out)`): a branchless per-index hash replaces the serial
+    /// draw-per-element RNG walk on the fused fast path. Integer hash +
+    /// exact 24-bit float conversion, so like [`Kernels::dot_i8`] the mask
+    /// is bitwise identical across backends.
+    pub dropout_mask: fn(u64, f32, f32, &[f32], &mut [f32], &mut [f32]),
 }
 
 static SCALAR_KERNELS: Kernels = Kernels {
@@ -131,7 +152,13 @@ static SCALAR_KERNELS: Kernels = Kernels {
     mean_var: scalar::mean_var,
     layernorm_affine: scalar::layernorm_affine,
     adam_update: scalar::adam_update,
+    bias_gelu: scalar::bias_gelu,
+    bias_gelu_bwd: scalar::bias_gelu_bwd,
+    add_mean_var: scalar::add_mean_var,
+    gate_mix: scalar::gate_mix,
+    gate_mix_bwd: scalar::gate_mix_bwd,
     dot_i8: scalar::dot_i8,
+    dropout_mask: scalar::dropout_mask,
 };
 
 #[cfg(target_arch = "x86_64")]
@@ -154,7 +181,13 @@ static AVX2_KERNELS: Kernels = Kernels {
     mean_var: avx2::mean_var,
     layernorm_affine: avx2::layernorm_affine,
     adam_update: avx2::adam_update,
+    bias_gelu: avx2::bias_gelu,
+    bias_gelu_bwd: avx2::bias_gelu_bwd,
+    add_mean_var: avx2::add_mean_var,
+    gate_mix: avx2::gate_mix,
+    gate_mix_bwd: avx2::gate_mix_bwd,
     dot_i8: avx2::dot_i8,
+    dropout_mask: avx2::dropout_mask,
 };
 
 /// The dispatch table for the currently active backend. One relaxed atomic

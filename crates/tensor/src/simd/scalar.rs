@@ -236,6 +236,87 @@ pub fn layernorm_affine(
     }
 }
 
+/// Fused bias + GELU epilogue over one matmul output row:
+/// `pre[j] += bias[j]; out[j] = gelu(pre[j])` in a single pass. The bias
+/// add is the exact per-element `x + y` of the unfused broadcast add, and
+/// the activation is this backend's GELU of the same value — so per row
+/// this is bitwise identical to the add-then-`gelu_fwd` composition.
+pub fn bias_gelu(pre: &mut [f32], bias: &[f32], out: &mut [f32]) {
+    for j in 0..pre.len() {
+        let z = pre[j] + bias[j];
+        pre[j] = z;
+        out[j] = gelu_scalar(z);
+    }
+}
+
+/// Fused backward of the bias+GELU epilogue over one row:
+/// `dpre[j] = g[j] * gelu'(z[j]); db[j] += dpre[j]`. The bias-gradient
+/// accumulation visits rows in ascending row order (the caller's loop), so
+/// each `db[j]` chain is exactly the flat `reduce_to_shape` order of the
+/// unfused broadcast-add backward.
+pub fn bias_gelu_bwd(z: &[f32], g: &[f32], dpre: &mut [f32], db: &mut [f32]) {
+    for j in 0..z.len() {
+        let d = g[j] * gelu_grad_scalar(z[j]);
+        dpre[j] = d;
+        db[j] += d;
+    }
+}
+
+/// Fused residual add + layer-norm reductions: `sum[j] = a[j] + b[j]` while
+/// accumulating the row sum, then a second pass for the biased variance —
+/// the same sequential accumulation order as [`add`] followed by
+/// [`mean_var`], so `(mean, var)` come out bitwise identical to the unfused
+/// composition.
+pub fn add_mean_var(a: &[f32], b: &[f32], sum: &mut [f32]) -> (f32, f32) {
+    let d = sum.len() as f32;
+    let mut s = 0.0f32;
+    for j in 0..sum.len() {
+        let v = a[j] + b[j];
+        sum[j] = v;
+        s += v;
+    }
+    let mean = s / d;
+    let var = sum.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d;
+    (mean, var)
+}
+
+/// Fused filter×gate mix: `out[j] = yd[j] * om + ys[j] * g` where
+/// `om = 1 - g` is precomputed by the caller. Two multiplies and one add
+/// per element — the exact expressions of the unfused
+/// `mul(yd, 1-g) + mul(ys, g)` chain (no FMA contraction in any backend,
+/// so the fused value is bitwise identical to the composition everywhere).
+pub fn gate_mix(yd: &[f32], ys: &[f32], om: f32, g: f32, out: &mut [f32]) {
+    for j in 0..out.len() {
+        out[j] = yd[j] * om + ys[j] * g;
+    }
+}
+
+/// Fused backward of the filter×gate mix: writes `dyd[j] = grad[j] * om`
+/// and `dys[j] = grad[j] * g`, and returns the two gate reductions
+/// `(Σ grad[j]·yd[j], Σ grad[j]·ys[j])` accumulated sequentially in flat
+/// order — the `reduce_to_shape([1])` order of the unfused `mul` backward.
+#[allow(clippy::too_many_arguments)] // the fused gate backward contract
+pub fn gate_mix_bwd(
+    grad: &[f32],
+    yd: &[f32],
+    ys: &[f32],
+    om: f32,
+    g: f32,
+    dyd: &mut [f32],
+    dys: &mut [f32],
+) -> (f32, f32) {
+    let mut sum_gyd = 0.0f32;
+    let mut sum_gys = 0.0f32;
+    for j in 0..grad.len() {
+        let gv = grad[j];
+        dyd[j] = gv * om;
+        dys[j] = gv * g;
+        sum_gyd += gv * yd[j];
+        sum_gys += gv * ys[j];
+    }
+    (sum_gyd, sum_gys)
+}
+
 /// Fused Adam update for one parameter buffer. Per element this performs
 /// exactly the operation sequence of the historical `zip_map`/`map` chain
 /// (`m`/`v` EMA, bias correction, `x -= lr * (m_hat / (sqrt(v_hat) + eps) +
@@ -251,5 +332,46 @@ pub fn adam_update(x: &mut [f32], m: &mut [f32], v: &mut [f32], g: &[f32], c: &A
         let vh = v2 / c.bc2;
         let decayed = if c.wd > 0.0 { x[i] * c.wd } else { 0.0 };
         x[i] -= c.lr * (mh / (vh.sqrt() + c.eps) + decayed);
+    }
+}
+
+/// One step of the counter-based dropout hash: murmur3's 32-bit finalizer
+/// over `index ^ seed_lo`, whitened with `seed_hi`. Pure integer — every
+/// backend computes the identical value, so hashed dropout masks are
+/// bitwise stable across `SLIME_SIMD` (pinned in `tests/fusion_parity.rs`).
+#[inline]
+pub fn dropout_hash(i: u32, s0: u32, s1: u32) -> u32 {
+    let mut x = i ^ s0;
+    x ^= x >> 16;
+    x = x.wrapping_mul(0x85eb_ca6b);
+    x ^= x >> 13;
+    x = x.wrapping_mul(0xc2b2_ae35);
+    x ^= x >> 16;
+    x ^ s1
+}
+
+/// Counter-based dropout mask + apply in one branchless pass: element `i`
+/// keeps with probability `keep` iff `hash(i) / 2^24 < keep` (the hash's
+/// top 24 bits as a `[0, 1)` float — the same conversion `Standard for
+/// f32` uses), and survivors are written as `src * scale` with the mask
+/// stored for the backward. One pass, no data-dependent branches, no
+/// serial RNG state — the fused fast path's dropout sampler (the unfused
+/// path keeps the sequential draw-per-element sampler; DESIGN.md §14).
+pub fn dropout_mask(
+    seed: u64,
+    keep: f32,
+    scale: f32,
+    src: &[f32],
+    mask: &mut [f32],
+    out: &mut [f32],
+) {
+    let s0 = seed as u32;
+    let s1 = (seed >> 32) as u32;
+    for i in 0..src.len() {
+        let h = dropout_hash(i as u32, s0, s1);
+        let u = (h >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+        let m = ((u < keep) as u32 as f32) * scale;
+        mask[i] = m;
+        out[i] = src[i] * m;
     }
 }

@@ -8,14 +8,18 @@
 #                        bitwise identical, and the determinism test in
 #                        crates/core checks exactly that; then one full
 #                        pass with SLIME_SIMD=0 so every test also holds
-#                        on the portable scalar kernels
+#                        on the portable scalar kernels, and one with
+#                        SLIME_FUSE=0 so every test also holds on the
+#                        unfused eager paths (no epilogues, no step plans)
 #   4. runtime knobs     the determinism test re-run across the full
-#                        SLIME_SIMD={0,1} x SLIME_POOL={0,1} x
-#                        SLIME_THREADS={1,4} matrix: the SIMD backend,
-#                        the buffer pool, and the thread count are pure
-#                        throughput knobs, never value knobs (within a
-#                        backend — the two backends may differ in the
-#                        last float bits)
+#                        SLIME_FUSE={0,1} x SLIME_SIMD={0,1} x
+#                        SLIME_POOL={0,1} x SLIME_THREADS={1,4} matrix:
+#                        the buffer pool and the thread count are pure
+#                        throughput knobs, never value knobs; the SIMD
+#                        backend and the fuse gate select a numeric
+#                        variant (FMA contraction / the hashed dropout
+#                        sampler) but each variant must be internally
+#                        bitwise stable
 #   5. traced tests      one full pass with SLIME_TRACE=1: tracing is a
 #                        pure observer, so every test must still pass with
 #                        the instrumentation live
@@ -38,6 +42,11 @@
 #                        0.95 at 10^5 and 10^6 items and two-stage >= 10x
 #                        faster than exact at 10^6 (artifact in
 #                        BENCH_ann.json)
+#  12. fusion floors     the fuse_sweep bench: fused fast path (epilogues
+#                        + recorded step plans + hashed dropout) vs the
+#                        unfused eager SIMD baseline — asserts train step
+#                        >= 1.25x and zero graph nodes allocated per plan
+#                        replay (artifact in BENCH_fuse.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -60,16 +69,21 @@ SLIME_THREADS=4 cargo test -q
 echo "==> SLIME_SIMD=0 cargo test -q"
 SLIME_SIMD=0 cargo test -q
 
-# The determinism test internally sweeps thread counts, pool modes, and
-# SIMD backends, but the *ambient* environment each sweep starts from
-# matters too: run it from every corner of the knob matrix so an
-# env-dependent default can never mask a divergence.
-for simd in 0 1; do
-    for pool in 0 1; do
-        for threads in 1 4; do
-            echo "==> SLIME_SIMD=$simd SLIME_POOL=$pool SLIME_THREADS=$threads determinism test"
-            SLIME_SIMD=$simd SLIME_POOL=$pool SLIME_THREADS=$threads \
-                cargo test -q -p slime4rec --test determinism
+echo "==> SLIME_FUSE=0 cargo test -q"
+SLIME_FUSE=0 cargo test -q
+
+# The determinism test internally sweeps thread counts, pool modes, SIMD
+# backends, and the fuse gate, but the *ambient* environment each sweep
+# starts from matters too: run it from every corner of the knob matrix so
+# an env-dependent default can never mask a divergence.
+for fuse in 0 1; do
+    for simd in 0 1; do
+        for pool in 0 1; do
+            for threads in 1 4; do
+                echo "==> SLIME_FUSE=$fuse SLIME_SIMD=$simd SLIME_POOL=$pool SLIME_THREADS=$threads determinism test"
+                SLIME_FUSE=$fuse SLIME_SIMD=$simd SLIME_POOL=$pool SLIME_THREADS=$threads \
+                    cargo test -q -p slime4rec --test determinism
+            done
         done
     done
 done
@@ -99,5 +113,8 @@ cargo bench --bench lint_bench -p slime-bench
 
 echo "==> cargo bench --bench ann_sweep -p slime-bench"
 cargo bench --bench ann_sweep -p slime-bench
+
+echo "==> cargo bench --bench fuse_sweep -p slime-bench"
+cargo bench --bench fuse_sweep -p slime-bench
 
 echo "CI: all gates passed"
