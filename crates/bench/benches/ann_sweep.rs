@@ -335,10 +335,7 @@ fn main() {
 
     let report = slime_json::obj([
         ("bench", Value::Str("ann_sweep".into())),
-        (
-            "available_cores",
-            Value::Int(slime_par::available_threads() as i64),
-        ),
+        ("env", slime_bench::harness::env_block()),
         (
             "floors",
             slime_json::obj([

@@ -388,7 +388,7 @@ fn main() {
 
     let report = slime_json::obj([
         ("bench", Value::Str("fuse_sweep".into())),
-        ("threads", Value::Int(1)),
+        ("env", slime_bench::harness::env_block()),
         (
             "detected",
             slime_json::obj([

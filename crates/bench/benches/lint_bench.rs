@@ -84,10 +84,7 @@ fn main() {
 
     let report = slime_json::obj([
         ("bench", Value::Str("lint_bench".into())),
-        (
-            "available_cores",
-            Value::Int(slime_par::available_threads() as i64),
-        ),
+        ("env", slime_bench::harness::env_block()),
         ("samples", Value::Int(SAMPLES as i64)),
         ("best_total_ms", Value::Float(best_ms)),
         ("worst_total_ms", Value::Float(worst_ms)),

@@ -149,11 +149,7 @@ fn main() {
     };
     let report = slime_json::obj([
         ("bench", Value::Str("mem_sweep".into())),
-        (
-            "available_cores",
-            Value::Int(slime_par::available_threads() as i64),
-        ),
-        ("threads", Value::Int(1)),
+        ("env", slime_bench::harness::env_block()),
         (
             "sweeps",
             Value::Arr(vec![

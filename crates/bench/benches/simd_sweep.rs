@@ -273,11 +273,7 @@ fn main() {
 
     let report = slime_json::obj([
         ("bench", Value::Str("simd_sweep".into())),
-        (
-            "available_cores",
-            Value::Int(slime_par::available_threads() as i64),
-        ),
-        ("threads", Value::Int(1)),
+        ("env", slime_bench::harness::env_block()),
         (
             "detected",
             slime_json::obj([

@@ -93,6 +93,37 @@ fn measure_modes() -> (Measurement, Measurement, Measurement) {
     (off, summary, info)
 }
 
+/// Slice coverage with timelines live: run a few Info-level train steps
+/// and count the per-worker timeline slices the observer recorded. The
+/// timing budget already covers the cost (Info mode measures with the
+/// observer installed); this proves the export path actually has data.
+/// Returns `(slices, distinct workers)`.
+fn timeline_probe() -> (usize, usize) {
+    let inputs = random_inputs(BATCH, N, VOCAB, 5);
+    let targets: Vec<usize> = random_inputs(BATCH, 1, VOCAB, 6);
+    let mut cfg = SlimeConfig::new(VOCAB);
+    cfg.hidden = HIDDEN;
+    cfg.max_len = N;
+    cfg.layers = 2;
+    cfg.contrastive = ContrastiveMode::None;
+    let slime = Slime4Rec::new(cfg);
+    let mut opt = Adam::new(slime.parameters(), 1e-3);
+    let mut ctx = TrainContext::train(1);
+    slime_trace::set_level(slime_trace::Level::Info);
+    for _ in 0..3 {
+        opt.zero_grad();
+        let repr = slime.user_repr(black_box(&inputs), BATCH, &mut ctx);
+        let loss = ops::cross_entropy(&slime.score_all(&repr), &targets);
+        loss.backward();
+        opt.step();
+    }
+    slime_trace::set_level(slime_trace::Level::Off);
+    let slices = slime_trace::drain_slices();
+    let workers: std::collections::BTreeSet<u32> = slices.iter().map(|s| s.worker).collect();
+    slime_trace::reset();
+    (slices.len(), workers.len())
+}
+
 /// Nanoseconds per disabled `prof::timer` call: the cost every op pays on
 /// every forward/backward when tracing is off.
 fn disabled_hook_ns() -> f64 {
@@ -130,11 +161,13 @@ fn main() {
 
     let (off, summary, info) = measure_modes();
     let hook_ns = disabled_hook_ns();
+    let (timeline_slices, timeline_workers) = timeline_probe();
 
     print_mode("off", &off, &off);
     print_mode("summary", &summary, &off);
     print_mode("info", &info, &off);
     println!("  disabled prof hook: {hook_ns:.2} ns/call");
+    println!("  timeline probe: {timeline_slices} slices across {timeline_workers} workers");
 
     let summary_pct = overhead_pct(&off, &summary);
     let info_pct = overhead_pct(&off, &info);
@@ -148,11 +181,7 @@ fn main() {
     };
     let report = slime_json::obj([
         ("bench", Value::Str("trace_overhead".into())),
-        (
-            "available_cores",
-            Value::Int(slime_par::available_threads() as i64),
-        ),
-        ("threads", Value::Int(4)),
+        ("env", slime_bench::harness::env_block()),
         (
             "modes",
             Value::Arr(vec![
@@ -162,6 +191,13 @@ fn main() {
             ]),
         ),
         ("disabled_hook_ns_per_call", Value::Float(hook_ns)),
+        (
+            "timeline",
+            slime_json::obj([
+                ("slices", Value::Int(timeline_slices as i64)),
+                ("workers", Value::Int(timeline_workers as i64)),
+            ]),
+        ),
         (
             "budgets",
             slime_json::obj([
@@ -185,6 +221,10 @@ fn main() {
     assert!(
         hook_ns < MAX_DISABLED_HOOK_NS,
         "disabled prof hook costs {hook_ns:.2} ns/call (budget {MAX_DISABLED_HOOK_NS} ns)"
+    );
+    assert!(
+        timeline_slices > 0,
+        "Info-level train steps recorded no per-worker timeline slices"
     );
     println!("  within budget: traced < {MAX_TRACED_OVERHEAD_PCT}%, disabled hook < {MAX_DISABLED_HOOK_NS} ns");
 }

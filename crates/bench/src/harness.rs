@@ -361,6 +361,40 @@ pub fn thread_sweep<O, R: FnMut() -> O>(
     }
 }
 
+/// The shared environment header every `BENCH_*.json` artifact embeds
+/// under `"env"`: machine parallelism and the state of each runtime knob
+/// at report time. One helper instead of per-bench ad-hoc fields, so two
+/// BENCH artifacts are always diffable on the same keys — `slime report
+/// --baseline` and humans alike can check "same backend? same threads?
+/// same fuse gate?" before reading any timing number.
+pub fn env_block() -> slime_json::Value {
+    use slime_json::Value;
+    slime_json::obj([
+        (
+            "available_cores",
+            Value::Int(slime_par::available_threads() as i64),
+        ),
+        ("threads", Value::Int(slime_par::num_threads() as i64)),
+        (
+            "simd_backend",
+            Value::Str(slime_tensor::simd::backend().name().into()),
+        ),
+        (
+            "avx2_fma_detected",
+            Value::Bool(slime_tensor::simd::avx2_fma_detected()),
+        ),
+        ("pool", Value::Bool(slime_tensor::pool::enabled())),
+        ("fuse", Value::Bool(slime_tensor::simd::fuse::enabled())),
+        (
+            "retrieval",
+            match std::env::var("SLIME_RETRIEVAL") {
+                Ok(v) if !v.is_empty() => Value::Str(v),
+                _ => Value::Str("exact".into()),
+            },
+        ),
+    ])
+}
+
 /// Write the sweep report consumed by the repo's perf tracking
 /// (`BENCH_par.json`): machine parallelism plus every sweep's points.
 pub fn write_sweep_json(
@@ -370,10 +404,7 @@ pub fn write_sweep_json(
     use slime_json::Value;
     let report = slime_json::obj([
         ("bench", Value::Str("par_sweep".into())),
-        (
-            "available_cores",
-            Value::Int(slime_par::available_threads() as i64),
-        ),
+        ("env", env_block()),
         (
             "sweeps",
             Value::Arr(sweeps.iter().map(SweepResult::to_json).collect()),

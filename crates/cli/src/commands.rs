@@ -19,6 +19,7 @@ pub fn run(args: &Args) -> Result<Vec<String>, ArgError> {
         "train" => cmd_train(args),
         "evaluate" => cmd_evaluate(args),
         "recommend" => cmd_recommend(args),
+        "report" => cmd_report(args),
         "help" | "--help" | "-h" => Ok(vec![usage()]),
         other => {
             return Err(ArgError(format!(
@@ -53,6 +54,8 @@ pub fn usage() -> String {
      \x20            [--exclude-history true] [--retrieval exact|two-stage|spectral]\n\
      \x20            [--quantize] [--threads N] [--no-pool] [--no-simd] [--no-fuse]\n\
      \x20            [--trace <dir|auto>] [--profile]\n\
+     \x20 report     --run <run-dir> [--baseline <run-dir>] [--threshold-pct 10]\n\
+     \x20            [--min-total-ms 1] [--out <report.json>] [--expect-workers N]\n\
      \n\
      --threads N caps the slime-par worker pool (default: SLIME_THREADS env\n\
      var, else all cores). --no-pool disables the NdArray buffer pool\n\
@@ -80,7 +83,17 @@ pub fn usage() -> String {
      --trace-level off|summary|info|debug (mirrors SLIME_TRACE) controls\n\
      how much is recorded. --profile prints a per-op forward/backward time\n\
      table after the command. Tracing never changes results: traced runs\n\
-     are bitwise identical to untraced ones."
+     are bitwise identical to untraced ones. Traced runs with events also\n\
+     get DIR/timeline.json, a Chrome trace (load it in Perfetto or\n\
+     chrome://tracing) with one lane per slime-par worker.\n\
+     \n\
+     report aggregates a run directory's artifacts into a human-readable\n\
+     summary plus <run-dir>/report.json. --baseline diffs the run against\n\
+     another run directory (per-op ns/call deltas, timing-histogram\n\
+     quantile shifts, worker-utilization change) and exits nonzero when a\n\
+     regression crosses --threshold-pct (ops under --min-total-ms in\n\
+     either run are ignored as noise). --expect-workers N fails unless\n\
+     the timeline shows slices from at least N distinct workers."
         .to_string()
 }
 
@@ -150,6 +163,9 @@ fn finish_observability(args: &Args, out: &mut Vec<String>) -> Result<(), ArgErr
             .map_err(|e| ArgError(format!("cannot write trace to {}: {e}", dir.display())))?;
         out.push(format!("wrote {}", arts.trace_jsonl.display()));
         out.push(format!("wrote {}", arts.metrics_json.display()));
+        if let Some(timeline) = &arts.timeline_json {
+            out.push(format!("wrote {}", timeline.display()));
+        }
     }
     Ok(())
 }
@@ -369,6 +385,71 @@ fn cmd_recommend(args: &Args) -> Result<Vec<String>, ArgError> {
     Ok(out)
 }
 
+fn cmd_report(args: &Args) -> Result<Vec<String>, ArgError> {
+    args.reject_unknown(&[
+        "run",
+        "baseline",
+        "threshold-pct",
+        "min-total-ms",
+        "out",
+        "expect-workers",
+    ])?;
+    use slime_trace::report;
+
+    let run_dir = std::path::PathBuf::from(args.require("run")?);
+    let run = report::load_run(&run_dir).map_err(ArgError)?;
+
+    let thresholds = report::Thresholds {
+        pct: args.get_or("threshold-pct", 10.0f64)?,
+        min_total_ns: args.get_or("min-total-ms", 1.0f64)? * 1e6,
+    };
+    let diff = match args.get("baseline") {
+        Some(dir) => {
+            let base = report::load_run(Path::new(dir)).map_err(ArgError)?;
+            Some(report::diff(&base, &run, thresholds))
+        }
+        None => None,
+    };
+
+    let mut out = report::render(&run, diff.as_ref());
+
+    // Machine-readable sibling artifact, self-checked to parse.
+    let json_path = match args.get("out") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => run_dir.join("report.json"),
+    };
+    let text = report::report_json(&run, diff.as_ref()).to_pretty() + "\n";
+    slime_json::parse(&text)
+        .map_err(|e| ArgError(format!("internal: report.json invalid: {e}")))?;
+    std::fs::write(&json_path, text)
+        .map_err(|e| ArgError(format!("cannot write {}: {e}", json_path.display())))?;
+    out.push(format!("wrote {}", json_path.display()));
+
+    if let Some(want) = args.get("expect-workers") {
+        let want: usize = want
+            .parse()
+            .map_err(|_| ArgError(format!("--expect-workers: cannot parse {want:?}")))?;
+        let have = run.workers.iter().filter(|w| w.slices > 0).count();
+        if have < want {
+            return Err(ArgError(format!(
+                "expected timeline slices from >= {want} workers, found {have} \
+                 (was the run traced at --trace-level info with SLIME_THREADS > 1?)"
+            )));
+        }
+        out.push(format!(
+            "timeline covers {have} workers (>= {want} required)"
+        ));
+    }
+
+    if let Some(d) = &diff {
+        if !d.regressions.is_empty() {
+            out.push(format!("FAIL: {} regressions", d.regressions.len()));
+            return Err(ArgError(out.join("\n")));
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -472,8 +553,39 @@ mod tests {
         let parsed = slime_json::parse(&metrics).unwrap();
         assert!(parsed.field("histograms").is_ok());
         assert!(parsed.field("gauges").unwrap().get("par.threads").is_some());
+        // A traced train also exports the Chrome-trace timeline...
+        assert!(
+            out.iter().any(|l| l.contains("timeline.json")),
+            "no timeline artifact in {out:?}"
+        );
+        let timeline = std::fs::read_to_string(Path::new(&trace).join("timeline.json")).unwrap();
+        let tl = slime_json::parse(&timeline).unwrap();
+        assert!(tl
+            .get("traceEvents")
+            .and_then(slime_json::Value::as_arr)
+            .is_some());
+
+        // ...which `report` aggregates, and a self-baseline diff is clean.
+        let out = run(&argv(&format!("report --run {trace}"))).unwrap();
+        assert!(out.iter().any(|l| l.contains("run report:")), "{out:?}");
+        assert!(out.iter().any(|l| l.contains("report.json")), "{out:?}");
+        let report = std::fs::read_to_string(Path::new(&trace).join("report.json")).unwrap();
+        slime_json::parse(&report).expect("report.json parses");
+        let out = run(&argv(&format!("report --run {trace} --baseline {trace}"))).unwrap();
+        assert!(
+            out.iter().any(|l| l.contains("regressions: none")),
+            "self-diff must be clean: {out:?}"
+        );
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_requires_a_run_directory() {
+        let err = run(&argv("report --run /nonexistent/run")).unwrap_err();
+        assert!(err.0.contains("cannot read"), "got: {}", err.0);
+        let err = run(&argv("report --run x --bogus 1")).unwrap_err();
+        assert!(err.0.contains("unknown option --bogus"));
     }
 
     #[test]

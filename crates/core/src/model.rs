@@ -128,8 +128,11 @@ impl FilterMixerBlock {
     pub fn forward(&self, h: &Tensor, ctx: &mut TrainContext) -> Tensor {
         // Block-level timing on top of the per-op timers: one row for the
         // whole mixer block (filters + norms + FFN).
-        let _prof =
-            slime_trace::prof::timer("filter_mixer.forward", slime_trace::prof::Phase::Forward);
+        let _prof = slime_trace::prof::timer_n(
+            "filter_mixer.forward",
+            slime_trace::prof::Phase::Forward,
+            h.len() as u64,
+        );
         let filtered = match &self.gamma_logit {
             // Learnable gamma: run each branch separately and mix in-graph
             // so the coefficient receives gradient.

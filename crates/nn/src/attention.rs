@@ -60,8 +60,11 @@ impl MultiHeadAttention {
     pub fn forward(&self, x: &Tensor, mask: Option<&NdArray>, ctx: &mut TrainContext) -> Tensor {
         // Layer-level timing on top of the per-op timers: attributes the
         // whole attention block (projections + bmm + softmax) to one row.
-        let _prof =
-            slime_trace::prof::timer("attention.forward", slime_trace::prof::Phase::Forward);
+        let _prof = slime_trace::prof::timer_n(
+            "attention.forward",
+            slime_trace::prof::Phase::Forward,
+            x.len() as u64,
+        );
         let shape = x.shape();
         assert_eq!(shape.len(), 3, "attention expects [B, N, D]");
         let (b, n, d) = (shape[0], shape[1], shape[2]);

@@ -30,6 +30,7 @@ mod pool;
 use std::marker::PhantomData;
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Resolved thread count; 0 means "not yet initialized".
 static THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -110,6 +111,61 @@ pub fn pool_stats() -> ParStats {
     }
 }
 
+/// Scheduling hooks for an external profiling layer (`slime-trace`).
+///
+/// slime-par is a dependency-free leaf and the nondeterminism lint (L9)
+/// bans clock reads in numeric crates, so the pool cannot time itself.
+/// Instead it reports scheduling *events* through this trait and the
+/// observer — installed once, typically by `slime-trace` when tracing is
+/// enabled — owns every clock read. With no observer installed the only
+/// cost on the dispatch path is one relaxed atomic load per job.
+///
+/// Contract for implementations:
+///
+/// * Methods must not panic and must not call back into slime-par
+///   (`worker_begin`/`worker_end` run on pool worker threads).
+/// * `job_begin` returns a token identifying the job; returning `0` means
+///   "not interested" and suppresses the per-worker hooks for that job.
+/// * For published (non-serial) jobs, every participating thread brackets
+///   its chunk-claiming loop with `worker_begin`/`worker_end` (`worker` is
+///   `0` for the publishing thread, `1..` for pool workers — see
+///   [`current_worker`]). `job_end` fires on the publishing thread after
+///   all chunks completed. Serial jobs report only `job_begin`/`job_end`.
+pub trait ParObserver: Sync {
+    /// A job grid is about to run. `elems`/`chunk` describe the caller's
+    /// request (`n_chunks = ceil(elems / chunk)` for the `parallel_*`
+    /// helpers); `serial` is true on the inline fast path.
+    fn job_begin(&self, elems: usize, chunk: usize, n_chunks: usize, serial: bool) -> u64;
+    /// A thread joined job `token` and will start claiming chunks.
+    fn worker_begin(&self, token: u64, worker: usize);
+    /// A thread finished claiming chunks for job `token` (`chunks` of them).
+    fn worker_end(&self, token: u64, worker: usize, chunks: u64);
+    /// All chunks of job `token` completed; the publisher is about to
+    /// return to its caller.
+    fn job_end(&self, token: u64);
+}
+
+static OBSERVER: OnceLock<&'static dyn ParObserver> = OnceLock::new();
+
+/// Install the process-wide scheduling observer. The first call wins;
+/// later calls are ignored (the observer is wired into running worker
+/// threads and cannot be swapped out safely).
+pub fn set_observer(obs: &'static dyn ParObserver) {
+    let _ = OBSERVER.set(obs);
+}
+
+#[inline]
+pub(crate) fn observer() -> Option<&'static dyn ParObserver> {
+    OBSERVER.get().copied()
+}
+
+/// Stable id of the calling thread within the pool: `0` for any thread
+/// that is not a pool worker (including the publisher, which participates
+/// as worker zero), `1..` for persistent pool workers.
+pub fn current_worker() -> usize {
+    pool::current_worker()
+}
+
 /// Zero the pool counters except `workers_spawned` (workers persist, so
 /// that count reflects live state rather than a per-run delta).
 pub fn reset_pool_stats() {
@@ -133,7 +189,7 @@ pub fn parallel_for(n: usize, chunk: usize, f: impl Fn(usize, usize) + Sync) {
     }
     let chunk = chunk.max(1);
     let n_chunks = n.div_ceil(chunk);
-    pool::pool().run(n_chunks, &|i| {
+    pool::pool().run(n, chunk, n_chunks, &|i| {
         let start = i * chunk;
         f(start, (start + chunk).min(n));
     });
@@ -160,7 +216,7 @@ pub fn parallel_map_reduce<T: Send>(
     let mut partials: Vec<MaybeUninit<T>> = (0..n_chunks).map(|_| MaybeUninit::uninit()).collect();
     {
         let out = UnsafeSlice::new(&mut partials);
-        pool::pool().run(n_chunks, &|i| {
+        pool::pool().run(n, chunk, n_chunks, &|i| {
             let start = i * chunk;
             let v = map(start, (start + chunk).min(n));
             // SAFETY: each chunk index is claimed exactly once, so slot `i`

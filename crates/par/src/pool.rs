@@ -62,6 +62,9 @@ struct Job {
     worker_cap: usize,
     /// Set if any chunk panicked; the publisher re-panics after the join.
     panicked: AtomicBool,
+    /// Token from [`crate::ParObserver::job_begin`]; `0` disables the
+    /// per-worker observer hooks for this job.
+    obs_token: u64,
 }
 
 // SAFETY: the raw task pointer is only dereferenced while the publisher of
@@ -98,6 +101,17 @@ thread_local! {
     /// `parallel_for` calls observe it and run inline instead of
     /// deadlocking on the single job slot.
     static IN_JOB: Cell<bool> = const { Cell::new(false) };
+
+    /// Stable pool-worker id: `spawn index + 1` on persistent workers,
+    /// `0` everywhere else (notably the publishing thread). Deliberately
+    /// not `thread::current().id()` — the nondeterminism lint (L9) bans
+    /// ThreadId-keyed logic, and a dense id doubles as a timeline lane.
+    static WORKER_ID: Cell<usize> = const { Cell::new(0) };
+}
+
+/// See [`crate::current_worker`].
+pub(crate) fn current_worker() -> usize {
+    WORKER_ID.with(Cell::get)
 }
 
 static POOL: OnceLock<Pool> = OnceLock::new();
@@ -129,7 +143,10 @@ impl Pool {
             let id = *spawned;
             thread::Builder::new()
                 .name(format!("slime-par-{id}"))
-                .spawn(move || worker_loop(shared))
+                .spawn(move || {
+                    WORKER_ID.with(|c| c.set(id + 1));
+                    worker_loop(shared)
+                })
                 // lint-allow(panic): no thread means no pool; nothing to degrade to
                 .expect("slime-par: failed to spawn worker thread");
             *spawned += 1;
@@ -140,14 +157,28 @@ impl Pool {
     /// Execute `task(i)` for every chunk index `i in 0..n_chunks`, using up
     /// to [`crate::num_threads`] threads (publisher included). Blocks until
     /// all chunks are done; re-panics on the caller if any chunk panicked.
-    pub(crate) fn run(&self, n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
+    /// `elems`/`chunk` are pure metadata forwarded to the observer.
+    pub(crate) fn run(
+        &self,
+        elems: usize,
+        chunk: usize,
+        n_chunks: usize,
+        task: &(dyn Fn(usize) + Sync),
+    ) {
         let threads = crate::num_threads();
+        let obs = crate::observer();
         if n_chunks <= 1 || threads <= 1 || in_job() {
             // Serial fast path: same chunk grid, index order, zero dispatch.
             JOBS_SERIAL.fetch_add(1, Ordering::Relaxed);
             note_grid(n_chunks);
+            let token = obs.map_or(0, |o| o.job_begin(elems, chunk, n_chunks, true));
             for i in 0..n_chunks {
                 task(i);
+            }
+            if token != 0 {
+                if let Some(o) = obs {
+                    o.job_end(token);
+                }
             }
             return;
         }
@@ -161,6 +192,7 @@ impl Pool {
         // function does not return (or unwind) until `pending` reaches zero,
         // and workers never touch `task` once all chunks are claimed.
         let task: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+        let obs_token = obs.map_or(0, |o| o.job_begin(elems, chunk, n_chunks, false));
         let job = Arc::new(Job {
             task,
             next: AtomicUsize::new(0),
@@ -169,6 +201,7 @@ impl Pool {
             workers: AtomicUsize::new(0),
             worker_cap: threads - 1,
             panicked: AtomicBool::new(false),
+            obs_token,
         });
         {
             let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
@@ -191,6 +224,12 @@ impl Pool {
         slot.job = None;
         drop(slot);
 
+        if obs_token != 0 {
+            if let Some(o) = obs {
+                o.job_end(obs_token);
+            }
+        }
+
         if job.panicked.load(Ordering::Relaxed) {
             // lint-allow(panic): deliberate re-panic propagating a worker panic to the publisher
             panic!("slime-par: a parallel task panicked (see worker backtrace above)");
@@ -200,12 +239,23 @@ impl Pool {
 
 /// Claim and run chunks until the queue is exhausted.
 fn execute(shared: &Shared, job: &Job) {
+    let obs = if job.obs_token != 0 {
+        crate::observer()
+    } else {
+        None
+    };
+    let worker = current_worker();
+    if let Some(o) = obs {
+        o.worker_begin(job.obs_token, worker);
+    }
+    let mut claimed = 0u64;
     IN_JOB.with(|c| c.set(true));
     loop {
         let i = job.next.fetch_add(1, Ordering::Relaxed);
         if i >= job.n_chunks {
             break;
         }
+        claimed += 1;
         // SAFETY: see `Job::task`.
         let task = unsafe { &*job.task };
         if panic::catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
@@ -219,6 +269,9 @@ fn execute(shared: &Shared, job: &Job) {
         }
     }
     IN_JOB.with(|c| c.set(false));
+    if let Some(o) = obs {
+        o.worker_end(job.obs_token, worker, claimed);
+    }
 }
 
 fn worker_loop(shared: Arc<Shared>) {

@@ -44,7 +44,7 @@ use crate::tensor::{Op, Tensor};
 /// One graph node replacing the matmul → broadcast-add → gelu chain; saves
 /// the pre-activation `z = x·W + b` for the backward pass.
 pub fn matmul_bias_gelu(x: &Tensor, w: &Tensor, bias: &Tensor) -> Tensor {
-    let _prof = super::ops::fwd_prof("matmul_bias_gelu");
+    let _prof = super::ops::fwd_prof("matmul_bias_gelu", x.len());
     let (sx, sw) = (x.shape(), w.shape());
     assert!(
         sx.len() == 2 && sw.len() == 2 && sx[1] == sw[0],
@@ -122,7 +122,7 @@ impl Op for MatmulBiasGeluOp {
         true
     }
     fn replay(&self, parents: &[Tensor], _ctx: &mut ReplayCtx) -> Option<NdArray> {
-        let _prof = super::ops::fwd_prof("matmul_bias_gelu");
+        let _prof = super::ops::fwd_prof("matmul_bias_gelu", parents[0].len());
         let (out, z) =
             matmul_bias_gelu_fwd(&parents[0].data(), &parents[1].data(), &parents[2].data());
         *self.z.borrow_mut() = z;
@@ -136,7 +136,7 @@ impl Op for MatmulBiasGeluOp {
 /// One graph node replacing the add → layer_norm chain; the sum and its
 /// row statistics come out of a single fused pass.
 pub fn add_layer_norm(a: &Tensor, b: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
-    let _prof = super::ops::fwd_prof("add_layer_norm");
+    let _prof = super::ops::fwd_prof("add_layer_norm", a.len());
     let shape = a.shape();
     assert_eq!(shape, b.shape(), "add_layer_norm operands must match");
     assert!(!shape.is_empty(), "add_layer_norm needs >= 1 dim");
@@ -260,7 +260,7 @@ impl Op for AddLayerNormOp {
         true
     }
     fn replay(&self, parents: &[Tensor], _ctx: &mut ReplayCtx) -> Option<NdArray> {
-        let _prof = super::ops::fwd_prof("add_layer_norm");
+        let _prof = super::ops::fwd_prof("add_layer_norm", parents[0].len());
         let d = parents[2].len();
         let (out, xhat, inv_std) = add_layer_norm_fwd(
             &parents[0].data(),
@@ -282,7 +282,7 @@ impl Op for AddLayerNormOp {
 /// One graph node replacing neg → add_scalar → two broadcast muls → add.
 /// Stateless: backward reads the parents' current values.
 pub fn gate_mix(yd: &Tensor, ys: &Tensor, g: &Tensor) -> Tensor {
-    let _prof = super::ops::fwd_prof("gate_mix");
+    let _prof = super::ops::fwd_prof("gate_mix", yd.len());
     assert_eq!(yd.shape(), ys.shape(), "gate_mix branches must match");
     assert_eq!(g.len(), 1, "gate must be one element");
     let out = gate_mix_fwd(&yd.data(), &ys.data(), &g.data());
@@ -337,7 +337,7 @@ impl Op for GateMixOp {
         true
     }
     fn replay(&self, parents: &[Tensor], _ctx: &mut ReplayCtx) -> Option<NdArray> {
-        let _prof = super::ops::fwd_prof("gate_mix");
+        let _prof = super::ops::fwd_prof("gate_mix", parents[0].len());
         Some(gate_mix_fwd(
             &parents[0].data(),
             &parents[1].data(),

@@ -28,7 +28,7 @@ use crate::tensor::{Op, Tensor};
 /// Callers implement eval mode by *not* applying dropout (there is no
 /// internal training flag).
 pub fn dropout(x: &Tensor, p: f32, rng: &mut impl Rng) -> Tensor {
-    let _prof = super::fwd_prof("dropout");
+    let _prof = super::fwd_prof("dropout", x.len());
     assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1)");
     if p == 0.0 {
         // Identity but still a graph node, so callers can rely on a fresh tensor.
@@ -105,7 +105,7 @@ impl Op for DropoutOp {
     // constructor ran, so a replayed step consumes the same draw sequence
     // (and produces the same mask) as re-tracing would.
     fn replay(&self, parents: &[Tensor], ctx: &mut crate::plan::ReplayCtx) -> Option<NdArray> {
-        let _prof = super::fwd_prof("dropout");
+        let _prof = super::fwd_prof("dropout", parents[0].len());
         debug_assert_eq!(parents.len(), 1, "dropout has one parent");
         let rng = ctx.rng.as_deref_mut()?;
         let data = parents[0].data();

@@ -10,7 +10,7 @@ use crate::tensor::{Op, Tensor};
 /// scatter-adds the output gradient into the rows of the weight gradient, so
 /// repeated indices accumulate.
 pub fn embedding(weight: &Tensor, indices: &[usize], batch_shape: &[usize]) -> Tensor {
-    let _prof = super::fwd_prof("embedding");
+    let _prof = super::fwd_prof("embedding", indices.len());
     let wshape = weight.shape();
     assert_eq!(wshape.len(), 2, "embedding weight must be [V, D]");
     let (v, d) = (wshape[0], wshape[1]);
@@ -114,7 +114,7 @@ impl Op for EmbeddingOp {
         indices.extend_from_slice(data);
     }
     fn replay(&self, parents: &[Tensor], _ctx: &mut crate::plan::ReplayCtx) -> Option<NdArray> {
-        let _prof = super::fwd_prof("embedding");
+        let _prof = super::fwd_prof("embedding", self.indices.borrow().len());
         debug_assert_eq!(parents.len(), 1, "embedding has one parent (the table)");
         Some(lookup(
             &parents[0].data(),

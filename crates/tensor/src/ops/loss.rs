@@ -20,7 +20,7 @@ fn rows_per_chunk(v: usize) -> usize {
 /// item) and also the InfoNCE objective of Eq. 34 when `logits` are
 /// similarity scores and `targets` index the positive column.
 pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> Tensor {
-    let _prof = super::fwd_prof("cross_entropy");
+    let _prof = super::fwd_prof("cross_entropy", logits.len());
     let shape = logits.shape();
     assert_eq!(shape.len(), 2, "cross_entropy expects [B, V] logits");
     let (b, v) = (shape[0], shape[1]);
@@ -140,7 +140,7 @@ impl Op for CrossEntropyOp {
         targets.extend_from_slice(data);
     }
     fn replay(&self, parents: &[Tensor], _ctx: &mut crate::plan::ReplayCtx) -> Option<NdArray> {
-        let _prof = super::fwd_prof("cross_entropy");
+        let _prof = super::fwd_prof("cross_entropy", parents[0].len());
         debug_assert_eq!(parents.len(), 1, "cross_entropy has one parent");
         let targets = self.targets.borrow();
         let (b, v) = {

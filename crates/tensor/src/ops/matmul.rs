@@ -11,7 +11,7 @@ use crate::tensor::{Op, Tensor};
 
 /// 2-D matrix multiply `[m,k] x [k,n] -> [m,n]`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    let _prof = super::fwd_prof("matmul");
+    let _prof = super::fwd_prof("matmul", a.len());
     let (sa, sb) = (a.shape(), b.shape());
     assert!(
         sa.len() == 2 && sb.len() == 2 && sa[1] == sb[0],
@@ -40,7 +40,7 @@ impl Op for MatMulOp {
         true
     }
     fn replay(&self, parents: &[Tensor], _ctx: &mut crate::plan::ReplayCtx) -> Option<NdArray> {
-        let _prof = super::fwd_prof("matmul");
+        let _prof = super::fwd_prof("matmul", parents[0].len());
         debug_assert_eq!(parents.len(), 2, "matmul has two parents");
         Some(parents[0].data().matmul2d(&parents[1].data()))
     }
@@ -52,7 +52,7 @@ impl Op for MatMulOp {
 /// This is the full-catalog scoring shape — `repr [B,d] x item_emb [V,d]^T`
 /// — and attention-style similarity against a row-major table in general.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
-    let _prof = super::fwd_prof("matmul_nt");
+    let _prof = super::fwd_prof("matmul_nt", a.len());
     let (sa, sb) = (a.shape(), b.shape());
     assert!(
         sa.len() == 2 && sb.len() == 2 && sa[1] == sb[1],
@@ -79,7 +79,7 @@ impl Op for MatMulNtOp {
         true
     }
     fn replay(&self, parents: &[Tensor], _ctx: &mut crate::plan::ReplayCtx) -> Option<NdArray> {
-        let _prof = super::fwd_prof("matmul_nt");
+        let _prof = super::fwd_prof("matmul_nt", parents[0].len());
         debug_assert_eq!(parents.len(), 2, "matmul_nt has two parents");
         Some(parents[0].data().matmul2d_nt(&parents[1].data()))
     }
@@ -87,7 +87,7 @@ impl Op for MatMulNtOp {
 
 /// Batched matrix multiply `[b,m,k] x [b,k,n] -> [b,m,n]`.
 pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
-    let _prof = super::fwd_prof("bmm");
+    let _prof = super::fwd_prof("bmm", a.len());
     let (sa, sb) = (a.shape(), b.shape());
     assert!(
         sa.len() == 3 && sb.len() == 3 && sa[0] == sb[0] && sa[2] == sb[1],
@@ -114,7 +114,7 @@ impl Op for BmmOp {
         true
     }
     fn replay(&self, parents: &[Tensor], _ctx: &mut crate::plan::ReplayCtx) -> Option<NdArray> {
-        let _prof = super::fwd_prof("bmm");
+        let _prof = super::fwd_prof("bmm", parents[0].len());
         debug_assert_eq!(parents.len(), 2, "bmm has two parents");
         Some(parents[0].data().bmm(&parents[1].data()))
     }
@@ -127,7 +127,7 @@ impl Op for BmmOp {
 /// layers row-major, and the old `permute`-then-`bmm` route copied the full
 /// key tensor per layer per step just to feed the `i-k-j` kernel.
 pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Tensor {
-    let _prof = super::fwd_prof("bmm_nt");
+    let _prof = super::fwd_prof("bmm_nt", a.len());
     let (sa, sb) = (a.shape(), b.shape());
     assert!(
         sa.len() == 3 && sb.len() == 3 && sa[0] == sb[0] && sa[2] == sb[2],
@@ -154,7 +154,7 @@ impl Op for BmmNtOp {
         true
     }
     fn replay(&self, parents: &[Tensor], _ctx: &mut crate::plan::ReplayCtx) -> Option<NdArray> {
-        let _prof = super::fwd_prof("bmm_nt");
+        let _prof = super::fwd_prof("bmm_nt", parents[0].len());
         debug_assert_eq!(parents.len(), 2, "bmm_nt has two parents");
         Some(parents[0].data().bmm_nt(&parents[1].data()))
     }

@@ -18,10 +18,25 @@ mod spectral;
 
 /// Forward-profiling guard for the heavy op constructors, matching the
 /// generic backward timer in `Tensor::backward_with` so each op gets one
-/// merged profile row under its tape name. `None` (no clock read, no
-/// allocation) while tracing is off — the zero-overhead default.
-pub(crate) fn fwd_prof(name: &'static str) -> Option<slime_trace::prof::Timer> {
-    slime_trace::prof::timer(name, slime_trace::prof::Phase::Forward)
+/// merged profile row under its tape name. `elements` is the primary
+/// operand's length, feeding the profiler's ns-per-element column.
+/// `None` (no clock read, no allocation) while tracing is off — the
+/// zero-overhead default.
+pub(crate) fn fwd_prof(name: &'static str, elements: usize) -> Option<slime_trace::prof::Timer> {
+    ensure_attr_probe();
+    slime_trace::prof::timer_n(name, slime_trace::prof::Phase::Forward, elements as u64)
+}
+
+/// Register the profiler's kernel-attribution probe exactly once. The
+/// probe lives here (not in slime-trace) because the SIMD backend and
+/// fuse gate are tensor-side state — trace cannot depend on tensor.
+pub(crate) fn ensure_attr_probe() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        slime_trace::prof::set_attr_probe(|| {
+            (crate::simd::backend().code(), crate::simd::fuse::enabled())
+        });
+    });
 }
 
 pub use dropout::dropout;

@@ -9,7 +9,7 @@ use crate::tensor::{Op, Tensor};
 ///
 /// `gamma` and `beta` must be 1-D of the last-dim size.
 pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
-    let _prof = super::fwd_prof("layer_norm");
+    let _prof = super::fwd_prof("layer_norm", x.len());
     let shape = x.shape();
     assert!(!shape.is_empty(), "layer_norm needs >= 1 dim");
     let d = shape[shape.len() - 1];
@@ -124,7 +124,7 @@ impl Op for LayerNormOp {
         true
     }
     fn replay(&self, parents: &[Tensor], _ctx: &mut crate::plan::ReplayCtx) -> Option<NdArray> {
-        let _prof = super::fwd_prof("layer_norm");
+        let _prof = super::fwd_prof("layer_norm", parents[0].len());
         debug_assert_eq!(parents.len(), 3, "layer_norm has x, gamma, beta");
         let d = parents[1].len();
         let (out, xhat, inv_std) = layer_norm_fwd(
@@ -142,7 +142,7 @@ impl Op for LayerNormOp {
 
 /// L2-normalize each row of the last dimension: `y = x / max(||x||, eps)`.
 pub fn l2_normalize(x: &Tensor, eps: f32) -> Tensor {
-    let _prof = super::fwd_prof("l2_normalize");
+    let _prof = super::fwd_prof("l2_normalize", x.len());
     let shape = x.shape();
     assert!(!shape.is_empty(), "l2_normalize needs >= 1 dim");
     let d = shape[shape.len() - 1];
@@ -214,7 +214,7 @@ impl Op for L2NormalizeOp {
         true
     }
     fn replay(&self, parents: &[Tensor], _ctx: &mut crate::plan::ReplayCtx) -> Option<NdArray> {
-        let _prof = super::fwd_prof("l2_normalize");
+        let _prof = super::fwd_prof("l2_normalize", parents[0].len());
         debug_assert_eq!(parents.len(), 1, "l2_normalize has one parent");
         let (out, inv_norm) = l2_normalize_fwd(&parents[0].data(), self.eps, self.d);
         *self.y.borrow_mut() = out.clone();

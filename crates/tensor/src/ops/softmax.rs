@@ -5,7 +5,7 @@ use crate::tensor::{Op, Tensor};
 
 /// Numerically-stable softmax over the last dimension.
 pub fn softmax(x: &Tensor) -> Tensor {
-    let _prof = super::fwd_prof("softmax");
+    let _prof = super::fwd_prof("softmax", x.len());
     let out = softmax_forward(&x.data());
     let saved = out.clone();
     Tensor::from_op(out, vec![x.clone()], Box::new(SoftmaxOp { y: saved }))
@@ -59,7 +59,7 @@ impl Op for SoftmaxOp {
 
 /// Numerically-stable log-softmax over the last dimension.
 pub fn log_softmax(x: &Tensor) -> Tensor {
-    let _prof = super::fwd_prof("log_softmax");
+    let _prof = super::fwd_prof("log_softmax", x.len());
     let shape = x.shape();
     assert!(!shape.is_empty(), "log_softmax needs >= 1 dim");
     let d = shape[shape.len() - 1];

@@ -167,7 +167,7 @@ pub fn spectral_filter(x: &Tensor, w_re: &Tensor, w_im: &Tensor, mask: &[f32]) -
 /// of a `[B, N, D]` tensor.
 #[allow(clippy::needless_range_loop)] // strided gather/scatter over (b, k, c) planes
 pub fn spectral_filter_mix(x: &Tensor, branches: &[SpectralBranch]) -> Tensor {
-    let _prof = super::fwd_prof("spectral_filter_mix");
+    let _prof = super::fwd_prof("spectral_filter_mix", x.len());
     assert!(!branches.is_empty(), "need at least one filter branch");
     let shape = x.shape();
     assert_eq!(shape.len(), 3, "spectral filter expects [B, N, D]");
@@ -624,7 +624,7 @@ impl Op for SpectralOp {
         true
     }
     fn replay(&self, parents: &[Tensor], _ctx: &mut crate::plan::ReplayCtx) -> Option<NdArray> {
-        let _prof = super::fwd_prof("spectral_filter_mix");
+        let _prof = super::fwd_prof("spectral_filter_mix", parents[0].len());
         debug_assert_eq!(parents.len() % 2, 1, "signal plus (re, im) weight pairs");
         let (b, n, d) = (self.b, self.n, self.d);
         let m = n / 2 + 1;

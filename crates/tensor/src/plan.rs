@@ -256,7 +256,11 @@ impl StepPlan {
             inputs.len(),
             targets.len()
         );
-        let _prof = slime_trace::prof::timer("plan.replay", slime_trace::prof::Phase::Forward);
+        let _prof = slime_trace::prof::timer_n(
+            "plan.replay",
+            slime_trace::prof::Phase::Forward,
+            inputs.len() as u64,
+        );
         for (leaf, builder) in &self.bound_leaves {
             leaf.set_data(builder(inputs, targets));
         }

@@ -342,11 +342,16 @@ impl Tensor {
             }
             let node = t.inner.node.as_ref().expect("non-leaf has node");
             // Generic backward profiling hook: one timer per op application,
-            // keyed by the op's static name. Free when tracing is off (the
-            // timer constructor is a single relaxed atomic load).
+            // keyed by the op's static name and carrying the output
+            // gradient's size for ns-per-element normalization. Free when
+            // tracing is off (a single relaxed atomic load).
             let parent_grads = {
-                let _prof =
-                    slime_trace::prof::timer(node.op.name(), slime_trace::prof::Phase::Backward);
+                crate::ops::ensure_attr_probe();
+                let _prof = slime_trace::prof::timer_n(
+                    node.op.name(),
+                    slime_trace::prof::Phase::Backward,
+                    grad.len() as u64,
+                );
                 node.op.backward(&grad, &node.parents)
             };
             assert_eq!(

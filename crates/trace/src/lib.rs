@@ -28,7 +28,9 @@
 
 pub mod metrics;
 pub mod prof;
+pub mod report;
 pub mod sink;
+pub mod timeline;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -106,12 +108,19 @@ pub fn level() -> Level {
         Ordering::Relaxed,
         Ordering::Relaxed,
     );
-    level_from_u8(LEVEL.load(Ordering::Relaxed))
+    let l = level_from_u8(LEVEL.load(Ordering::Relaxed));
+    if l > Level::Off {
+        timeline::install_observer();
+    }
+    l
 }
 
 /// Force the trace level (wins over `SLIME_TRACE`).
 pub fn set_level(l: Level) {
     LEVEL.store(level_to_u8(l), Ordering::Relaxed);
+    if l > Level::Off {
+        timeline::install_observer();
+    }
 }
 
 /// Fast path: is anything being recorded at all?
@@ -226,6 +235,12 @@ pub(crate) struct LocalBuf {
     tid: u64,
     events: Vec<Event>,
     dropped: u64,
+    /// Per-worker timeline slices: a ring of the most recent
+    /// [`timeline::MAX_SLICES_PER_THREAD`] entries (latest-wins).
+    slices: Vec<timeline::Slice>,
+    /// Next overwrite position once the slice ring is full.
+    slice_head: usize,
+    slices_dropped: u64,
     pub(crate) prof: BTreeMap<(&'static str, u8), prof::ProfCell>,
 }
 
@@ -248,6 +263,9 @@ pub(crate) fn with_local<R>(f: impl FnOnce(&mut LocalBuf) -> R) -> Option<R> {
                         tid: NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed),
                         events: Vec::new(),
                         dropped: 0,
+                        slices: Vec::new(),
+                        slice_head: 0,
+                        slices_dropped: 0,
                         prof: BTreeMap::new(),
                     }));
                     REGISTRY
@@ -273,6 +291,39 @@ fn push_event(mut ev: Event) {
             buf.events.push(ev);
         }
     });
+}
+
+/// Append a timeline slice to this thread's ring (latest-wins once full).
+pub(crate) fn push_slice(s: timeline::Slice) {
+    with_local(|buf| {
+        if buf.slices.len() < timeline::MAX_SLICES_PER_THREAD {
+            buf.slices.push(s);
+        } else {
+            buf.slices[buf.slice_head] = s;
+            buf.slice_head = (buf.slice_head + 1) % buf.slices.len();
+            buf.slices_dropped += 1;
+        }
+    });
+}
+
+/// Drain every thread's timeline slices, merged and sorted by start time.
+/// Ring overwrites are folded into the `trace.slices_dropped` counter.
+pub fn drain_slices() -> Vec<timeline::Slice> {
+    let registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = Vec::new();
+    let mut dropped = 0u64;
+    for buf in registry.iter() {
+        let mut b = buf.lock().unwrap_or_else(|e| e.into_inner());
+        out.append(&mut b.slices);
+        b.slice_head = 0;
+        dropped += std::mem::take(&mut b.slices_dropped);
+    }
+    drop(registry);
+    if dropped > 0 {
+        metrics::counter_add_forced("trace.slices_dropped", dropped);
+    }
+    out.sort_by_key(|s| (s.start_ns, s.worker, s.job));
+    out
 }
 
 /// Drain every thread's buffered events, merged and sorted by timestamp.
@@ -312,9 +363,13 @@ pub fn reset() {
         let mut b = buf.lock().unwrap_or_else(|e| e.into_inner());
         b.events.clear();
         b.dropped = 0;
+        b.slices.clear();
+        b.slice_head = 0;
+        b.slices_dropped = 0;
         b.prof.clear();
     }
     drop(registry);
+    timeline::reset_state();
     metrics::reset();
 }
 

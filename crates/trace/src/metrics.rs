@@ -70,6 +70,44 @@ impl Histogram {
         }
     }
 
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// inside the bucket where the cumulative count crosses `q * count`.
+    /// Bucket edges are the registered bounds, tightened to the observed
+    /// `min`/`max` so the estimate never leaves the data's range. Exact
+    /// for the extremes (`q=0` → min, `q=1` → max); elsewhere the error is
+    /// bounded by the bucket width, which is the usual price of a
+    /// fixed-bucket sketch. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if next as f64 >= rank {
+                let lower = if i == 0 {
+                    self.min
+                } else {
+                    self.bounds[i - 1].max(self.min)
+                };
+                let upper = if i < self.bounds.len() {
+                    self.bounds[i].min(self.max)
+                } else {
+                    self.max
+                };
+                let lower = lower.min(upper);
+                let frac = ((rank - cum as f64) / c as f64).clamp(0.0, 1.0);
+                return (lower + (upper - lower) * frac).clamp(self.min, self.max);
+            }
+            cum = next;
+        }
+        self.max
+    }
+
     /// The JSON rendering used in `metrics.json`.
     pub fn to_json(&self) -> Value {
         slime_json::obj([
@@ -99,7 +137,18 @@ impl Histogram {
                     Value::Float(self.max)
                 },
             ),
+            ("p50", self.quantile_json(0.50)),
+            ("p90", self.quantile_json(0.90)),
+            ("p99", self.quantile_json(0.99)),
         ])
+    }
+
+    fn quantile_json(&self, q: f64) -> Value {
+        if self.count == 0 {
+            Value::Null
+        } else {
+            Value::Float(self.quantile(q))
+        }
     }
 }
 
@@ -216,17 +265,21 @@ impl MetricsSnapshot {
     }
 }
 
-/// Snapshot every metric surface (counters, gauges, histograms, profiler).
-/// Non-destructive: recording continues afterwards.
+/// Snapshot every metric surface (counters, gauges, histograms, profiler,
+/// and the slime-par timeline aggregates — scheduling histograms plus
+/// per-worker busy/idle gauges). Non-destructive: recording continues
+/// afterwards.
 pub fn snapshot() -> MetricsSnapshot {
     let (counters, gauges, hists) =
         with_store(|s| (s.counters.clone(), s.gauges.clone(), s.hists.clone()));
-    MetricsSnapshot {
+    let mut snap = MetricsSnapshot {
         counters,
         gauges,
         hists,
         profile: crate::prof::table(),
-    }
+    };
+    crate::timeline::fold_into(&mut snap);
+    snap
 }
 
 /// Clear counters, gauges, and histograms (tests and benches).
@@ -271,10 +324,42 @@ mod tests {
         let mut h = Histogram::new(&[2.0]);
         h.record(1.0);
         let j = h.to_json().to_compact();
-        for key in ["bounds", "counts", "count", "sum", "min", "max"] {
+        for key in [
+            "bounds", "counts", "count", "sum", "min", "max", "p50", "p90", "p99",
+        ] {
             assert!(j.contains(key), "{key} missing from {j}");
         }
         let empty = Histogram::new(&[2.0]).to_json().to_compact();
         assert!(empty.contains("\"min\":null"));
+        assert!(empty.contains("\"p50\":null"));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = Histogram::new(&[10.0, 100.0]);
+        for v in 1..=10 {
+            h.record(v as f64);
+        }
+        // All ten observations sit in the first bucket, tightened to
+        // [min=1, bound=10]; rank q*10 interpolates linearly inside it.
+        assert!((h.quantile(0.5) - 5.5).abs() < 1e-9);
+        assert!((h.quantile(0.9) - 9.1).abs() < 1e-9);
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(1.0), 10.0);
+        // Tail observations pull the upper quantiles into later buckets.
+        h.record(50.0);
+        h.record(5000.0); // overflow bucket, clamped to max
+        assert!(h.quantile(0.99) <= 5000.0);
+        assert!(h.quantile(0.99) > 10.0);
+    }
+
+    #[test]
+    fn quantile_of_single_observation_is_exact() {
+        let mut h = Histogram::new(&default_bounds());
+        h.record(7.0);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 7.0, "q={q}");
+        }
+        assert_eq!(Histogram::new(&[1.0]).quantile(0.5), 0.0);
     }
 }

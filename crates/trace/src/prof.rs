@@ -2,14 +2,25 @@
 //!
 //! Instrumented call sites (tensor op forwards, the tape's backward loop,
 //! nn layer forwards) wrap their work in a [`timer`] guard. Each completed
-//! guard folds `(count += 1, total_ns += elapsed)` into a per-thread cell
-//! keyed by `(op name, phase)` — no event is recorded, so the cost per op
-//! is two clock reads and one uncontended lock, and the disabled cost is a
-//! single relaxed atomic load (the `trace_overhead` bench asserts both).
+//! guard folds `(count, total_ns, elements)` into a per-thread cell keyed
+//! by `(op name, phase | backend | fused)` — no event is recorded, so the
+//! cost per op is two clock reads and one uncontended lock, and the
+//! disabled cost is a single relaxed atomic load (the `trace_overhead`
+//! bench asserts both).
+//!
+//! **Kernel attribution.** The active SIMD backend and fuse gate live in
+//! `slime-tensor`, which this crate cannot depend on (tensor already
+//! depends on trace). The tensor crate instead registers a tiny
+//! [`AttrProbe`] function via [`set_attr_probe`]; each completed timing
+//! calls it to stamp the cell with `(backend code, fused)`. A fuse or
+//! SIMD regression is then attributable from `metrics.json` alone: the
+//! same op shows up as separate `scalar`/`avx2` × `fused`/`eager` rows
+//! with per-element normalization (`ns/el`).
 //!
 //! [`table`] merges every thread's cells into rows sorted by total time
 //! descending — the table the CLI prints under `--profile`.
 
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use slime_json::Value;
@@ -40,13 +51,53 @@ impl Phase {
     }
 }
 
-/// Accumulated time for one `(op, phase)` cell.
+/// Reports the execution attributes a timing should be stamped with:
+/// `(backend code, fused)`. Backend codes follow
+/// `slime_tensor::simd::Backend::code` (0 = scalar, 1 = avx2+fma).
+pub type AttrProbe = fn() -> (u8, bool);
+
+static ATTR_PROBE: OnceLock<AttrProbe> = OnceLock::new();
+
+/// Register the process-wide attribute probe (called once by
+/// `slime-tensor`; later calls are ignored). Without a probe, timings are
+/// stamped `(scalar, eager)`.
+pub fn set_attr_probe(probe: AttrProbe) {
+    let _ = ATTR_PROBE.set(probe);
+}
+
+fn current_attr() -> (u8, bool) {
+    match ATTR_PROBE.get() {
+        Some(p) => p(),
+        None => (0, false),
+    }
+}
+
+// Cell-key packing: bit 0 = phase, bits 1-2 = backend code, bit 3 = fused.
+fn pack_key(phase: Phase, backend: u8, fused: bool) -> u8 {
+    phase.idx() | ((backend & 0x3) << 1) | ((fused as u8) << 3)
+}
+
+fn unpack_key(key: u8) -> (u8, u8, bool) {
+    (key & 1, (key >> 1) & 0x3, key & 0b1000 != 0)
+}
+
+/// Display name for a backend code.
+pub fn backend_name(code: u8) -> &'static str {
+    match code {
+        1 => "avx2",
+        _ => "scalar",
+    }
+}
+
+/// Accumulated time for one `(op, phase, backend, fused)` cell.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ProfCell {
     /// Completed timings.
     pub count: u64,
     /// Total nanoseconds across them.
     pub total_ns: u64,
+    /// Total elements processed (0 when the site reports none).
+    pub elements: u64,
 }
 
 /// A live timing; dropping it records the elapsed time.
@@ -54,13 +105,14 @@ pub struct ProfCell {
 pub struct Timer {
     name: &'static str,
     phase: Phase,
+    elements: u64,
     start: Instant,
 }
 
 impl Drop for Timer {
     fn drop(&mut self) {
         let ns = self.start.elapsed().as_nanos() as u64;
-        record(self.name, self.phase, ns);
+        record_sized(self.name, self.phase, ns, self.elements);
     }
 }
 
@@ -69,30 +121,53 @@ impl Drop for Timer {
 /// read, no allocation.
 #[inline]
 pub fn timer(name: &'static str, phase: Phase) -> Option<Timer> {
+    timer_n(name, phase, 0)
+}
+
+/// [`timer`] carrying an element count for ns-per-element normalization
+/// (kernel sites pass the primary operand's length).
+#[inline]
+pub fn timer_n(name: &'static str, phase: Phase, elements: u64) -> Option<Timer> {
     if !crate::enabled() {
         return None;
     }
     Some(Timer {
         name,
         phase,
+        elements,
         start: Instant::now(),
     })
 }
 
 /// Fold one completed timing into this thread's profile cell.
 pub fn record(name: &'static str, phase: Phase, ns: u64) {
+    record_sized(name, phase, ns, 0);
+}
+
+/// [`record`] with an element count.
+pub fn record_sized(name: &'static str, phase: Phase, ns: u64, elements: u64) {
+    let (backend, fused) = current_attr();
     crate::with_local(|buf| {
-        let cell = buf.prof.entry((name, phase.idx())).or_default();
+        let cell = buf
+            .prof
+            .entry((name, pack_key(phase, backend, fused)))
+            .or_default();
         cell.count += 1;
         cell.total_ns += ns;
+        cell.elements += elements;
     });
 }
 
-/// One row of the profile table: an op with its forward/backward totals.
+/// One row of the profile table: an op under one `(backend, fused)`
+/// configuration, with its forward/backward totals.
 #[derive(Clone, Debug, Default)]
 pub struct ProfRow {
     /// Op name (the tape's `Op::name()` or the instrumented site's label).
     pub name: String,
+    /// SIMD backend code the timings ran under (see [`backend_name`]).
+    pub backend: u8,
+    /// Whether the fused fast path was active.
+    pub fused: bool,
     /// Forward timings.
     pub fwd: ProfCell,
     /// Backward timings.
@@ -105,30 +180,62 @@ impl ProfRow {
         self.fwd.total_ns + self.bwd.total_ns
     }
 
+    /// Total elements across both phases.
+    pub fn elements(&self) -> u64 {
+        self.fwd.elements + self.bwd.elements
+    }
+
+    /// Nanoseconds per element (`None` when no site reported elements).
+    pub fn ns_per_element(&self) -> Option<f64> {
+        let el = self.elements();
+        if el == 0 {
+            None
+        } else {
+            Some(self.total_ns() as f64 / el as f64)
+        }
+    }
+
     /// The `metrics.json` rendering.
     pub fn to_json(&self) -> Value {
         slime_json::obj([
             ("op", Value::Str(self.name.clone())),
+            ("backend", Value::Str(backend_name(self.backend).into())),
+            ("fused", Value::Bool(self.fused)),
             ("fwd_count", Value::Int(self.fwd.count as i64)),
             ("fwd_ns", Value::Int(self.fwd.total_ns as i64)),
             ("bwd_count", Value::Int(self.bwd.count as i64)),
             ("bwd_ns", Value::Int(self.bwd.total_ns as i64)),
             ("total_ns", Value::Int(self.total_ns() as i64)),
+            ("elements", Value::Int(self.elements() as i64)),
+            (
+                "ns_per_element",
+                match self.ns_per_element() {
+                    Some(v) => Value::Float(v),
+                    None => Value::Null,
+                },
+            ),
         ])
     }
 }
 
 /// Merge every thread's profile cells into rows sorted by total time
-/// descending (ties broken by name for a stable table). Non-destructive.
+/// descending (ties broken by name for a stable table). Ops that ran under
+/// several `(backend, fused)` configurations keep one row per
+/// configuration. Non-destructive.
 pub fn table() -> Vec<ProfRow> {
     use std::collections::BTreeMap;
-    let mut merged: BTreeMap<&'static str, ProfRow> = BTreeMap::new();
+    let mut merged: BTreeMap<(&'static str, u8, bool), ProfRow> = BTreeMap::new();
     crate::for_each_buf(|prof| {
-        for (&(name, phase), cell) in prof {
-            let row = merged.entry(name).or_insert_with(|| ProfRow {
-                name: name.to_string(),
-                ..ProfRow::default()
-            });
+        for (&(name, key), cell) in prof {
+            let (phase, backend, fused) = unpack_key(key);
+            let row = merged
+                .entry((name, backend, fused))
+                .or_insert_with(|| ProfRow {
+                    name: name.to_string(),
+                    backend,
+                    fused,
+                    ..ProfRow::default()
+                });
             let slot = if phase == Phase::Forward.idx() {
                 &mut row.fwd
             } else {
@@ -136,6 +243,7 @@ pub fn table() -> Vec<ProfRow> {
             };
             slot.count += cell.count;
             slot.total_ns += cell.total_ns;
+            slot.elements += cell.elements;
         }
     });
     let mut rows: Vec<ProfRow> = merged.into_values().collect();
@@ -152,13 +260,19 @@ pub fn render_table(rows: &[ProfRow]) -> Vec<String> {
     }
     let grand_total: u64 = rows.iter().map(ProfRow::total_ns).sum();
     out.push(format!(
-        "{:<24} {:>7} {:>12} {:>7} {:>12} {:>12} {:>6}",
-        "op", "fwd n", "fwd ms", "bwd n", "bwd ms", "total ms", "%"
+        "{:<24} {:>7} {:>5} {:>7} {:>10} {:>7} {:>10} {:>10} {:>6} {:>9}",
+        "op", "backend", "fused", "fwd n", "fwd ms", "bwd n", "bwd ms", "total ms", "%", "ns/el"
     ));
     for r in rows {
+        let ns_el = match r.ns_per_element() {
+            Some(v) => format!("{v:.2}"),
+            None => "-".to_string(),
+        };
         out.push(format!(
-            "{:<24} {:>7} {:>12.3} {:>7} {:>12.3} {:>12.3} {:>5.1}%",
+            "{:<24} {:>7} {:>5} {:>7} {:>10.3} {:>7} {:>10.3} {:>10.3} {:>5.1}% {:>9}",
             r.name,
+            backend_name(r.backend),
+            if r.fused { "yes" } else { "no" },
             r.fwd.count,
             r.fwd.total_ns as f64 / 1e6,
             r.bwd.count,
@@ -168,12 +282,15 @@ pub fn render_table(rows: &[ProfRow]) -> Vec<String> {
                 0.0
             } else {
                 100.0 * r.total_ns() as f64 / grand_total as f64
-            }
+            },
+            ns_el
         ));
     }
     out.push(format!(
-        "{:<24} {:>7} {:>12} {:>7} {:>12} {:>12.3}",
+        "{:<24} {:>7} {:>5} {:>7} {:>10} {:>7} {:>10} {:>10.3}",
         "(total)",
+        "",
+        "",
         "",
         "",
         "",
@@ -194,6 +311,20 @@ mod tests {
     }
 
     #[test]
+    fn key_packing_round_trips() {
+        for phase in [Phase::Forward, Phase::Backward] {
+            for backend in [0u8, 1] {
+                for fused in [false, true] {
+                    let (p, b, f) = unpack_key(pack_key(phase, backend, fused));
+                    assert_eq!((p, b, f), (phase.idx(), backend, fused));
+                }
+            }
+        }
+        assert_eq!(backend_name(0), "scalar");
+        assert_eq!(backend_name(1), "avx2");
+    }
+
+    #[test]
     fn render_handles_empty_table() {
         let lines = render_table(&[]);
         assert_eq!(lines.len(), 1);
@@ -204,18 +335,45 @@ mod tests {
     fn rows_render_with_totals() {
         let rows = vec![ProfRow {
             name: "matmul2d".into(),
+            backend: 1,
+            fused: true,
             fwd: ProfCell {
                 count: 3,
                 total_ns: 3_000_000,
+                elements: 3_000,
             },
             bwd: ProfCell {
                 count: 2,
                 total_ns: 1_000_000,
+                elements: 1_000,
             },
         }];
         let lines = render_table(&rows);
         assert!(lines.iter().any(|l| l.contains("matmul2d")));
+        assert!(lines[0].contains("total ms"));
+        assert!(lines[0].contains("ns/el"));
+        assert!(lines.iter().any(|l| l.contains("avx2")));
         assert!(lines.last().unwrap().contains("(total)"));
         assert_eq!(rows[0].total_ns(), 4_000_000);
+        assert_eq!(rows[0].ns_per_element(), Some(1_000.0));
+    }
+
+    #[test]
+    fn row_json_carries_attribution() {
+        let row = ProfRow {
+            name: "softmax".into(),
+            backend: 0,
+            fused: false,
+            fwd: ProfCell {
+                count: 1,
+                total_ns: 100,
+                elements: 0,
+            },
+            bwd: ProfCell::default(),
+        };
+        let j = row.to_json().to_compact();
+        assert!(j.contains("\"backend\":\"scalar\""));
+        assert!(j.contains("\"fused\":false"));
+        assert!(j.contains("\"ns_per_element\":null"));
     }
 }

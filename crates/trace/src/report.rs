@@ -1,0 +1,863 @@
+//! Run-report aggregation and baseline regression diffing: the engine
+//! behind the CLI's `slime report` subcommand.
+//!
+//! A traced run leaves three artifacts in its directory (`metrics.json`,
+//! `trace.jsonl`, `timeline.json` — see [`crate::sink::write_run`]). This
+//! module loads them back into a [`RunData`], renders a human-readable
+//! report, and — given a second run as a baseline — produces a [`Diff`]:
+//! per-op ns-per-call deltas, histogram quantile shifts, and the change in
+//! worker utilization, each judged against configurable [`Thresholds`].
+//! That is the missing layer between the BENCH_*.json artifacts and an
+//! actual perf-trajectory story: a BENCH floor tells you *that* a run got
+//! slower; the report diff tells you *which op, on which backend, at what
+//! per-element cost*.
+//!
+//! Regression policy (deliberately conservative, to keep `--baseline` in
+//! CI quiet on identical runs):
+//!
+//! * an **op** regresses when its ns-per-call grew more than
+//!   `threshold_pct` *and* both runs spent at least `min_total_ns` in it
+//!   (sub-millisecond ops are noise, not signal);
+//! * a **histogram** regresses only if its name ends in `_ms` or `_ns`
+//!   (timing histograms; loss curves shift for legitimate reasons) and its
+//!   p50 or p99 grew more than `threshold_pct`;
+//! * **worker utilization** is reported but never flagged — scheduling is
+//!   machine-load dependent and a utilization drop is a lead, not a fail.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use slime_json::Value;
+
+/// One profile row loaded back from `metrics.json`.
+#[derive(Clone, Debug)]
+pub struct OpStat {
+    /// Op name.
+    pub op: String,
+    /// Backend label (`scalar` / `avx2`).
+    pub backend: String,
+    /// Fused fast path?
+    pub fused: bool,
+    /// Forward/backward call counts and totals.
+    pub fwd_count: u64,
+    /// Forward nanoseconds.
+    pub fwd_ns: u64,
+    /// Backward call count.
+    pub bwd_count: u64,
+    /// Backward nanoseconds.
+    pub bwd_ns: u64,
+    /// Total nanoseconds across both phases.
+    pub total_ns: u64,
+    /// Elements processed (0 when unreported).
+    pub elements: u64,
+    /// ns per element, when elements were reported.
+    pub ns_per_element: Option<f64>,
+}
+
+impl OpStat {
+    /// Row identity for diffing: op × backend × fused.
+    pub fn key(&self) -> String {
+        format!(
+            "{}[{}{}]",
+            self.op,
+            self.backend,
+            if self.fused { "+fused" } else { "" }
+        )
+    }
+
+    /// Total calls across both phases.
+    pub fn calls(&self) -> u64 {
+        self.fwd_count + self.bwd_count
+    }
+
+    /// Mean nanoseconds per call (0 when never called).
+    pub fn ns_per_call(&self) -> f64 {
+        if self.calls() == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.calls() as f64
+        }
+    }
+}
+
+/// Digest of one histogram loaded back from `metrics.json`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HistStat {
+    /// Observation count.
+    pub count: u64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 90th percentile estimate.
+    pub p90: f64,
+    /// 99th percentile estimate.
+    pub p99: f64,
+}
+
+/// Per-worker scheduling totals, from the `par.worker.*` gauges plus the
+/// slice counts in `timeline.json`.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerStat {
+    /// Worker lane (0 = publisher).
+    pub worker: u32,
+    /// Busy nanoseconds across published jobs.
+    pub busy_ns: f64,
+    /// Idle nanoseconds while some job was in flight.
+    pub idle_ns: f64,
+    /// Chunks claimed.
+    pub chunks: f64,
+    /// Jobs participated in.
+    pub jobs: f64,
+    /// Timeline slices recorded on this lane.
+    pub slices: u64,
+}
+
+impl WorkerStat {
+    /// busy / (busy + idle), 0 when nothing was measured.
+    pub fn utilization(&self) -> f64 {
+        let denom = self.busy_ns + self.idle_ns;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            self.busy_ns / denom
+        }
+    }
+}
+
+/// Everything the report needs from one run directory.
+#[derive(Clone, Debug, Default)]
+pub struct RunData {
+    /// The run directory the data came from.
+    pub dir: PathBuf,
+    /// Profile rows, sorted by total time descending.
+    pub ops: Vec<OpStat>,
+    /// Histogram digests by name.
+    pub hists: BTreeMap<String, HistStat>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Span totals from `trace.jsonl`: name -> (count, total ns).
+    pub spans: BTreeMap<String, (u64, u64)>,
+    /// Per-worker scheduling totals, sorted by lane.
+    pub workers: Vec<WorkerStat>,
+    /// Total worker slices in `timeline.json`.
+    pub timeline_slices: u64,
+}
+
+impl RunData {
+    /// Mean utilization across worker lanes (`None` with no lanes).
+    pub fn mean_utilization(&self) -> Option<f64> {
+        if self.workers.is_empty() {
+            return None;
+        }
+        Some(
+            self.workers
+                .iter()
+                .map(WorkerStat::utilization)
+                .sum::<f64>()
+                / self.workers.len() as f64,
+        )
+    }
+}
+
+/// Regression thresholds for [`diff`].
+#[derive(Clone, Copy, Debug)]
+pub struct Thresholds {
+    /// Relative growth (percent) above which a delta is a regression.
+    pub pct: f64,
+    /// Ops with less than this much total time in either run are ignored.
+    pub min_total_ns: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Thresholds {
+        Thresholds {
+            pct: 10.0,
+            min_total_ns: 1e6,
+        }
+    }
+}
+
+/// One op's baseline-vs-run comparison.
+#[derive(Clone, Debug)]
+pub struct OpDelta {
+    /// [`OpStat::key`] identity.
+    pub key: String,
+    /// Baseline ns per call.
+    pub base_ns_per_call: f64,
+    /// This run's ns per call.
+    pub run_ns_per_call: f64,
+    /// Relative change in percent (positive = slower).
+    pub delta_pct: f64,
+    /// Baseline total ns.
+    pub base_total_ns: u64,
+    /// This run's total ns.
+    pub run_total_ns: u64,
+    /// Crossed the regression thresholds?
+    pub regression: bool,
+}
+
+/// One timing histogram's baseline-vs-run comparison.
+#[derive(Clone, Debug)]
+pub struct HistDelta {
+    /// Histogram name.
+    pub name: String,
+    /// Baseline digest.
+    pub base: HistStat,
+    /// This run's digest.
+    pub run: HistStat,
+    /// p50 relative change in percent.
+    pub p50_delta_pct: f64,
+    /// p99 relative change in percent.
+    pub p99_delta_pct: f64,
+    /// Crossed the regression threshold?
+    pub regression: bool,
+}
+
+/// The baseline comparison: deltas plus the flagged regressions.
+#[derive(Clone, Debug)]
+pub struct Diff {
+    /// Baseline run directory.
+    pub baseline_dir: PathBuf,
+    /// Thresholds the comparison used.
+    pub thresholds: Thresholds,
+    /// Per-op deltas, sorted by |delta| descending.
+    pub ops: Vec<OpDelta>,
+    /// Timing-histogram deltas.
+    pub hists: Vec<HistDelta>,
+    /// Mean worker utilization: (baseline, run), when both runs have lanes.
+    pub utilization: Option<(f64, f64)>,
+    /// Human-readable descriptions of every flagged regression.
+    pub regressions: Vec<String>,
+}
+
+fn read_json(path: &Path) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    slime_json::parse(&text).map_err(|e| format!("bad json in {}: {e}", path.display()))
+}
+
+fn get_u64(v: &Value, key: &str) -> u64 {
+    v.get(key).and_then(Value::as_i64).unwrap_or(0).max(0) as u64
+}
+
+fn get_f64(v: &Value, key: &str) -> f64 {
+    v.get(key).and_then(Value::as_f64).unwrap_or(0.0)
+}
+
+/// Load a run directory's artifacts back into a [`RunData`].
+/// `metrics.json` is required; `trace.jsonl` and `timeline.json` are
+/// optional (summary-level runs have no event stream).
+pub fn load_run(dir: &Path) -> Result<RunData, String> {
+    let metrics = read_json(&dir.join("metrics.json"))?;
+    let mut run = RunData {
+        dir: dir.to_path_buf(),
+        ..RunData::default()
+    };
+
+    if let Some(obj) = metrics.get("counters").and_then(Value::as_obj) {
+        for (k, v) in obj {
+            run.counters
+                .insert(k.clone(), v.as_i64().unwrap_or(0).max(0) as u64);
+        }
+    }
+    if let Some(obj) = metrics.get("gauges").and_then(Value::as_obj) {
+        for (k, v) in obj {
+            run.gauges.insert(k.clone(), v.as_f64().unwrap_or(0.0));
+        }
+    }
+    if let Some(obj) = metrics.get("histograms").and_then(Value::as_obj) {
+        for (k, h) in obj {
+            run.hists.insert(
+                k.clone(),
+                HistStat {
+                    count: get_u64(h, "count"),
+                    mean: if get_u64(h, "count") == 0 {
+                        0.0
+                    } else {
+                        get_f64(h, "sum") / get_u64(h, "count") as f64
+                    },
+                    p50: get_f64(h, "p50"),
+                    p90: get_f64(h, "p90"),
+                    p99: get_f64(h, "p99"),
+                },
+            );
+        }
+    }
+    if let Some(rows) = metrics.get("profile").and_then(Value::as_arr) {
+        for r in rows {
+            let total_ns = get_u64(r, "total_ns");
+            let elements = get_u64(r, "elements");
+            run.ops.push(OpStat {
+                op: r
+                    .get("op")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                backend: r
+                    .get("backend")
+                    .and_then(Value::as_str)
+                    .unwrap_or("scalar")
+                    .to_string(),
+                fused: r.get("fused").and_then(Value::as_bool).unwrap_or(false),
+                fwd_count: get_u64(r, "fwd_count"),
+                fwd_ns: get_u64(r, "fwd_ns"),
+                bwd_count: get_u64(r, "bwd_count"),
+                bwd_ns: get_u64(r, "bwd_ns"),
+                total_ns,
+                elements,
+                ns_per_element: r.get("ns_per_element").and_then(Value::as_f64),
+            });
+        }
+    }
+    run.ops.sort_by(|a, b| b.total_ns.cmp(&a.total_ns));
+
+    // Span totals from the event stream (optional artifact).
+    if let Ok(jsonl) = std::fs::read_to_string(dir.join("trace.jsonl")) {
+        for line in jsonl.lines().filter(|l| !l.trim().is_empty()) {
+            let ev = slime_json::parse(line)
+                .map_err(|e| format!("bad trace.jsonl line in {}: {e}", dir.display()))?;
+            if ev.get("kind").and_then(Value::as_str) == Some("span_end") {
+                let name = ev.get("name").and_then(Value::as_str).unwrap_or("?");
+                let entry = run.spans.entry(name.to_string()).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += get_u64(&ev, "dur_ns");
+            }
+        }
+    }
+
+    // Worker lanes: gauges carry the busy/idle aggregates, the timeline
+    // carries the slice counts.
+    let mut slice_counts: BTreeMap<u32, u64> = BTreeMap::new();
+    let timeline_path = dir.join("timeline.json");
+    if timeline_path.exists() {
+        let doc = read_json(&timeline_path)?;
+        let rows = doc
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("{}: missing traceEvents", timeline_path.display()))?;
+        for r in rows {
+            if r.get("ph").and_then(Value::as_str) == Some("X")
+                && r.get("pid").and_then(Value::as_i64) == Some(1)
+            {
+                let lane = r.get("tid").and_then(Value::as_i64).unwrap_or(0).max(0) as u32;
+                *slice_counts.entry(lane).or_insert(0) += 1;
+                run.timeline_slices += 1;
+            }
+        }
+    }
+    let mut lanes: BTreeMap<u32, WorkerStat> = BTreeMap::new();
+    for (k, &v) in &run.gauges {
+        let Some(rest) = k.strip_prefix("par.worker.") else {
+            continue;
+        };
+        let Some((lane, field)) = rest.split_once('.') else {
+            continue;
+        };
+        let Ok(lane) = lane.parse::<u32>() else {
+            continue;
+        };
+        let w = lanes.entry(lane).or_insert_with(|| WorkerStat {
+            worker: lane,
+            ..WorkerStat::default()
+        });
+        match field {
+            "busy_ns" => w.busy_ns = v,
+            "idle_ns" => w.idle_ns = v,
+            "chunks" => w.chunks = v,
+            "jobs" => w.jobs = v,
+            _ => {}
+        }
+    }
+    for (lane, n) in slice_counts {
+        lanes
+            .entry(lane)
+            .or_insert_with(|| WorkerStat {
+                worker: lane,
+                ..WorkerStat::default()
+            })
+            .slices = n;
+    }
+    run.workers = lanes.into_values().collect();
+    Ok(run)
+}
+
+fn pct_change(base: f64, run: f64) -> f64 {
+    if base <= 0.0 {
+        0.0
+    } else {
+        100.0 * (run - base) / base
+    }
+}
+
+/// Compare `run` against `base` under `thresholds`.
+pub fn diff(base: &RunData, run: &RunData, thresholds: Thresholds) -> Diff {
+    let mut out = Diff {
+        baseline_dir: base.dir.clone(),
+        thresholds,
+        ops: Vec::new(),
+        hists: Vec::new(),
+        utilization: None,
+        regressions: Vec::new(),
+    };
+
+    let base_ops: BTreeMap<String, &OpStat> = base.ops.iter().map(|o| (o.key(), o)).collect();
+    for op in &run.ops {
+        let key = op.key();
+        let Some(b) = base_ops.get(&key) else {
+            continue;
+        };
+        let delta_pct = pct_change(b.ns_per_call(), op.ns_per_call());
+        let significant = b.total_ns as f64 >= thresholds.min_total_ns
+            && op.total_ns as f64 >= thresholds.min_total_ns;
+        let regression = significant && delta_pct > thresholds.pct;
+        if regression {
+            out.regressions.push(format!(
+                "op {key}: {:.0} -> {:.0} ns/call ({delta_pct:+.1}%)",
+                b.ns_per_call(),
+                op.ns_per_call()
+            ));
+        }
+        out.ops.push(OpDelta {
+            key,
+            base_ns_per_call: b.ns_per_call(),
+            run_ns_per_call: op.ns_per_call(),
+            delta_pct,
+            base_total_ns: b.total_ns,
+            run_total_ns: op.total_ns,
+            regression,
+        });
+    }
+    out.ops.sort_by(|a, b| {
+        b.delta_pct
+            .abs()
+            .partial_cmp(&a.delta_pct.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    for (name, r) in &run.hists {
+        let Some(b) = base.hists.get(name) else {
+            continue;
+        };
+        if b.count == 0 || r.count == 0 {
+            continue;
+        }
+        let p50_delta_pct = pct_change(b.p50, r.p50);
+        let p99_delta_pct = pct_change(b.p99, r.p99);
+        let timing = name.ends_with("_ms") || name.ends_with("_ns");
+        let regression =
+            timing && (p50_delta_pct > thresholds.pct || p99_delta_pct > thresholds.pct);
+        if regression {
+            out.regressions.push(format!(
+                "hist {name}: p50 {:.3} -> {:.3} ({p50_delta_pct:+.1}%), \
+                 p99 {:.3} -> {:.3} ({p99_delta_pct:+.1}%)",
+                b.p50, r.p50, b.p99, r.p99
+            ));
+        }
+        out.hists.push(HistDelta {
+            name: name.clone(),
+            base: *b,
+            run: *r,
+            p50_delta_pct,
+            p99_delta_pct,
+            regression,
+        });
+    }
+
+    if let (Some(b), Some(r)) = (base.mean_utilization(), run.mean_utilization()) {
+        out.utilization = Some((b, r));
+    }
+    out
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Render the human-readable report (plus the baseline section when a
+/// diff is present). Returns printable lines; the CLI owns the terminal.
+pub fn render(run: &RunData, diff: Option<&Diff>) -> Vec<String> {
+    let mut out = Vec::new();
+    out.push(format!("run report: {}", run.dir.display()));
+    out.push(format!(
+        "  {} profile rows, {} histograms, {} spans, {} worker lanes, {} timeline slices",
+        run.ops.len(),
+        run.hists.len(),
+        run.spans.len(),
+        run.workers.len(),
+        run.timeline_slices
+    ));
+
+    if !run.ops.is_empty() {
+        out.push("  top ops by total time:".to_string());
+        out.push(format!(
+            "    {:<36} {:>8} {:>10} {:>12} {:>9}",
+            "op", "calls", "total ms", "ns/call", "ns/el"
+        ));
+        for op in run.ops.iter().take(12) {
+            let ns_el = match op.ns_per_element {
+                Some(v) => format!("{v:.2}"),
+                None => "-".to_string(),
+            };
+            out.push(format!(
+                "    {:<36} {:>8} {:>10.3} {:>12.0} {:>9}",
+                op.key(),
+                op.calls(),
+                ms(op.total_ns),
+                op.ns_per_call(),
+                ns_el
+            ));
+        }
+    }
+
+    let timing_hists: Vec<_> = run.hists.iter().filter(|(_, h)| h.count > 0).collect();
+    if !timing_hists.is_empty() {
+        out.push("  histograms:".to_string());
+        out.push(format!(
+            "    {:<36} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "name", "n", "mean", "p50", "p90", "p99"
+        ));
+        for (name, h) in timing_hists {
+            out.push(format!(
+                "    {:<36} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+                name, h.count, h.mean, h.p50, h.p90, h.p99
+            ));
+        }
+    }
+
+    if !run.workers.is_empty() {
+        out.push("  slime-par workers:".to_string());
+        out.push(format!(
+            "    {:<10} {:>10} {:>10} {:>6} {:>8} {:>8} {:>7}",
+            "lane", "busy ms", "idle ms", "util", "chunks", "jobs", "slices"
+        ));
+        for w in &run.workers {
+            out.push(format!(
+                "    {:<10} {:>10.3} {:>10.3} {:>5.1}% {:>8} {:>8} {:>7}",
+                if w.worker == 0 {
+                    "publisher".to_string()
+                } else {
+                    format!("worker {}", w.worker)
+                },
+                w.busy_ns / 1e6,
+                w.idle_ns / 1e6,
+                100.0 * w.utilization(),
+                w.chunks as u64,
+                w.jobs as u64,
+                w.slices
+            ));
+        }
+        if let Some(u) = run.mean_utilization() {
+            out.push(format!("    mean utilization {:.1}%", 100.0 * u));
+        }
+    }
+
+    if !run.spans.is_empty() {
+        out.push("  spans:".to_string());
+        let mut spans: Vec<_> = run.spans.iter().collect();
+        spans.sort_by(|a, b| b.1 .1.cmp(&a.1 .1));
+        for (name, (count, total)) in spans.into_iter().take(8) {
+            out.push(format!(
+                "    {:<36} {:>8}x {:>10.3} ms",
+                name,
+                count,
+                ms(*total)
+            ));
+        }
+    }
+
+    if let Some(d) = diff {
+        out.push(format!(
+            "  baseline: {} (threshold {:.0}%, min total {:.1} ms)",
+            d.baseline_dir.display(),
+            d.thresholds.pct,
+            d.thresholds.min_total_ns / 1e6
+        ));
+        if !d.ops.is_empty() {
+            out.push("  op deltas (ns/call, run vs baseline):".to_string());
+            for o in d.ops.iter().take(12) {
+                out.push(format!(
+                    "    {:<36} {:>10.0} -> {:>10.0} {:>+8.1}%{}",
+                    o.key,
+                    o.base_ns_per_call,
+                    o.run_ns_per_call,
+                    o.delta_pct,
+                    if o.regression { "  REGRESSION" } else { "" }
+                ));
+            }
+        }
+        for h in &d.hists {
+            if h.regression {
+                out.push(format!(
+                    "    hist {:<30} p50 {:>+8.1}% p99 {:>+8.1}%  REGRESSION",
+                    h.name, h.p50_delta_pct, h.p99_delta_pct
+                ));
+            }
+        }
+        if let Some((b, r)) = d.utilization {
+            out.push(format!(
+                "  worker utilization: {:.1}% -> {:.1}% ({:+.1} pts)",
+                100.0 * b,
+                100.0 * r,
+                100.0 * (r - b)
+            ));
+        }
+        if d.regressions.is_empty() {
+            out.push("  regressions: none".to_string());
+        } else {
+            out.push(format!("  regressions: {}", d.regressions.len()));
+            for r in &d.regressions {
+                out.push(format!("    {r}"));
+            }
+        }
+    }
+    out
+}
+
+/// The machine-readable `report.json` rendering.
+pub fn report_json(run: &RunData, diff: Option<&Diff>) -> Value {
+    let ops = run
+        .ops
+        .iter()
+        .map(|o| {
+            slime_json::obj([
+                ("key", Value::Str(o.key())),
+                ("calls", Value::Int(o.calls() as i64)),
+                ("total_ns", Value::Int(o.total_ns as i64)),
+                ("ns_per_call", Value::Float(o.ns_per_call())),
+                (
+                    "ns_per_element",
+                    match o.ns_per_element {
+                        Some(v) => Value::Float(v),
+                        None => Value::Null,
+                    },
+                ),
+            ])
+        })
+        .collect();
+    let hists: BTreeMap<String, Value> = run
+        .hists
+        .iter()
+        .map(|(k, h)| {
+            (
+                k.clone(),
+                slime_json::obj([
+                    ("count", Value::Int(h.count as i64)),
+                    ("mean", Value::Float(h.mean)),
+                    ("p50", Value::Float(h.p50)),
+                    ("p90", Value::Float(h.p90)),
+                    ("p99", Value::Float(h.p99)),
+                ]),
+            )
+        })
+        .collect();
+    let workers = run
+        .workers
+        .iter()
+        .map(|w| {
+            slime_json::obj([
+                ("worker", Value::Int(w.worker as i64)),
+                ("busy_ns", Value::Float(w.busy_ns)),
+                ("idle_ns", Value::Float(w.idle_ns)),
+                ("utilization", Value::Float(w.utilization())),
+                ("chunks", Value::Float(w.chunks)),
+                ("jobs", Value::Float(w.jobs)),
+                ("slices", Value::Int(w.slices as i64)),
+            ])
+        })
+        .collect();
+    let spans: BTreeMap<String, Value> = run
+        .spans
+        .iter()
+        .map(|(k, (count, total))| {
+            (
+                k.clone(),
+                slime_json::obj([
+                    ("count", Value::Int(*count as i64)),
+                    ("total_ns", Value::Int(*total as i64)),
+                ]),
+            )
+        })
+        .collect();
+    let mut fields = vec![
+        ("dir", Value::Str(run.dir.display().to_string())),
+        ("ops", Value::Arr(ops)),
+        ("histograms", Value::Obj(hists)),
+        ("workers", Value::Arr(workers)),
+        ("spans", Value::Obj(spans)),
+        ("timeline_slices", Value::Int(run.timeline_slices as i64)),
+    ];
+    if let Some(d) = diff {
+        let op_deltas = d
+            .ops
+            .iter()
+            .map(|o| {
+                slime_json::obj([
+                    ("key", Value::Str(o.key.clone())),
+                    ("base_ns_per_call", Value::Float(o.base_ns_per_call)),
+                    ("run_ns_per_call", Value::Float(o.run_ns_per_call)),
+                    ("delta_pct", Value::Float(o.delta_pct)),
+                    ("regression", Value::Bool(o.regression)),
+                ])
+            })
+            .collect();
+        let hist_deltas = d
+            .hists
+            .iter()
+            .map(|h| {
+                slime_json::obj([
+                    ("name", Value::Str(h.name.clone())),
+                    ("p50_delta_pct", Value::Float(h.p50_delta_pct)),
+                    ("p99_delta_pct", Value::Float(h.p99_delta_pct)),
+                    ("regression", Value::Bool(h.regression)),
+                ])
+            })
+            .collect();
+        let baseline = slime_json::obj([
+            ("dir", Value::Str(d.baseline_dir.display().to_string())),
+            ("threshold_pct", Value::Float(d.thresholds.pct)),
+            ("min_total_ns", Value::Float(d.thresholds.min_total_ns)),
+            ("ops", Value::Arr(op_deltas)),
+            ("histograms", Value::Arr(hist_deltas)),
+            (
+                "utilization",
+                match d.utilization {
+                    Some((b, r)) => {
+                        slime_json::obj([("base", Value::Float(b)), ("run", Value::Float(r))])
+                    }
+                    None => Value::Null,
+                },
+            ),
+            (
+                "regressions",
+                Value::Arr(
+                    d.regressions
+                        .iter()
+                        .map(|r| Value::Str(r.clone()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        fields.push(("baseline", baseline));
+    }
+    let map: BTreeMap<String, Value> = fields
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    Value::Obj(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(name: &str, backend: &str, fused: bool, calls: u64, total_ns: u64) -> OpStat {
+        OpStat {
+            op: name.to_string(),
+            backend: backend.to_string(),
+            fused,
+            fwd_count: calls,
+            fwd_ns: total_ns,
+            bwd_count: 0,
+            bwd_ns: 0,
+            total_ns,
+            elements: 0,
+            ns_per_element: None,
+        }
+    }
+
+    fn run_with(ops: Vec<OpStat>) -> RunData {
+        RunData {
+            dir: PathBuf::from("runs/x"),
+            ops,
+            ..RunData::default()
+        }
+    }
+
+    #[test]
+    fn identical_runs_have_no_regressions() {
+        let a = run_with(vec![op("matmul2d", "avx2", true, 100, 50_000_000)]);
+        let d = diff(&a, &a.clone(), Thresholds::default());
+        assert_eq!(d.ops.len(), 1);
+        assert_eq!(d.ops[0].delta_pct, 0.0);
+        assert!(d.regressions.is_empty());
+    }
+
+    #[test]
+    fn slower_significant_op_is_flagged() {
+        let base = run_with(vec![op("matmul2d", "avx2", true, 100, 50_000_000)]);
+        let run = run_with(vec![op("matmul2d", "avx2", true, 100, 75_000_000)]);
+        let d = diff(&base, &run, Thresholds::default());
+        assert!(d.ops[0].regression, "{:?}", d.ops[0]);
+        assert_eq!(d.regressions.len(), 1);
+        assert!(d.regressions[0].contains("matmul2d"));
+    }
+
+    #[test]
+    fn tiny_ops_and_different_backends_are_ignored() {
+        // Below min_total_ns: a 3x blowup on a 10µs op is noise.
+        let base = run_with(vec![op("softmax", "avx2", true, 10, 10_000)]);
+        let run = run_with(vec![op("softmax", "avx2", true, 10, 30_000)]);
+        let d = diff(&base, &run, Thresholds::default());
+        assert!(!d.ops[0].regression);
+        // Different backend = different key: no pairing, no delta row.
+        let base = run_with(vec![op("softmax", "scalar", false, 10, 10_000_000)]);
+        let run = run_with(vec![op("softmax", "avx2", true, 10, 30_000_000)]);
+        let d = diff(&base, &run, Thresholds::default());
+        assert!(d.ops.is_empty());
+    }
+
+    #[test]
+    fn timing_hist_shift_is_flagged_but_loss_is_not() {
+        let mut base = run_with(vec![]);
+        let mut run = run_with(vec![]);
+        let h = |p50: f64| HistStat {
+            count: 10,
+            mean: p50,
+            p50,
+            p90: p50,
+            p99: p50,
+        };
+        base.hists.insert("train.step_ms".into(), h(10.0));
+        run.hists.insert("train.step_ms".into(), h(20.0));
+        base.hists.insert("train.loss".into(), h(1.0));
+        run.hists.insert("train.loss".into(), h(2.0));
+        let d = diff(&base, &run, Thresholds::default());
+        assert_eq!(d.regressions.len(), 1);
+        assert!(d.regressions[0].contains("train.step_ms"));
+    }
+
+    #[test]
+    fn report_json_round_trips_through_slime_json() {
+        let mut run = run_with(vec![op("matmul2d", "avx2", true, 100, 50_000_000)]);
+        run.workers.push(WorkerStat {
+            worker: 0,
+            busy_ns: 8e6,
+            idle_ns: 2e6,
+            chunks: 64.0,
+            jobs: 4.0,
+            slices: 4,
+        });
+        let d = diff(&run.clone(), &run, Thresholds::default());
+        let text = report_json(&run, Some(&d)).to_pretty();
+        let parsed = slime_json::parse(&text).expect("report.json parses");
+        assert!(parsed.get("baseline").is_some());
+        let lines = render(&run, Some(&d));
+        assert!(lines.iter().any(|l| l.contains("regressions: none")));
+        assert!(lines.iter().any(|l| l.contains("matmul2d")));
+    }
+
+    #[test]
+    fn worker_utilization_math() {
+        let w = WorkerStat {
+            worker: 1,
+            busy_ns: 75.0,
+            idle_ns: 25.0,
+            ..WorkerStat::default()
+        };
+        assert!((w.utilization() - 0.75).abs() < 1e-12);
+        assert_eq!(WorkerStat::default().utilization(), 0.0);
+    }
+}

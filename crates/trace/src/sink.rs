@@ -1,8 +1,10 @@
-//! Sinks: the JSONL event stream + `metrics.json` snapshot written into a
-//! run directory, and the human-readable stderr summary.
+//! Sinks: the JSONL event stream + `metrics.json` snapshot +
+//! `timeline.json` Chrome trace written into a run directory, and the
+//! human-readable stderr summary.
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::metrics::MetricsSnapshot;
 use crate::Event;
@@ -16,26 +18,55 @@ pub struct RunArtifacts {
     pub trace_jsonl: PathBuf,
     /// `<dir>/metrics.json` — the final metrics snapshot, pretty-printed.
     pub metrics_json: PathBuf,
+    /// `<dir>/timeline.json` — Chrome trace-event export (spans + worker
+    /// slices); absent when the run recorded neither.
+    pub timeline_json: Option<PathBuf>,
 }
 
+/// Per-process sequence number for [`default_run_dir`].
+static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+
 /// The conventional run directory for an unnamed run:
-/// `runs/<unix-seconds>`. Purely a naming default — callers that want
-/// reproducible paths (tests, `--trace <path>`) pass their own.
+/// `runs/<unix-seconds>-<seq>`, where `<seq>` is a monotonic per-process
+/// sequence number. The suffix keeps two runs in the same second from
+/// clobbering each other: repeat runs in one process get distinct
+/// sequence numbers, and a concurrent process landing on the same second
+/// is skipped past because an already-existing candidate directory bumps
+/// the sequence. Purely a naming default — callers that want reproducible
+/// paths (tests, `--trace <path>`) pass their own.
 pub fn default_run_dir() -> PathBuf {
     let secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
-    PathBuf::from("runs").join(secs.to_string())
+    loop {
+        let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = PathBuf::from("runs").join(format!("{secs}-{seq:03}"));
+        if !dir.exists() {
+            return dir;
+        }
+    }
 }
 
-/// Drain all buffered events and write the run artifacts under `dir`:
-/// `trace.jsonl` (event stream) and `metrics.json` (snapshot). Creates
-/// `dir` and parents as needed.
+/// Drain all buffered events and timeline slices and write the run
+/// artifacts under `dir`: `trace.jsonl` (event stream), `metrics.json`
+/// (snapshot), and — when anything was recorded — `timeline.json` (the
+/// Chrome trace-event export, see [`crate::timeline::chrome_trace`]).
+/// Creates `dir` and parents as needed.
 pub fn write_run(dir: &Path) -> std::io::Result<RunArtifacts> {
     let events = crate::drain_events();
+    let slices = crate::drain_slices();
     let snap = crate::metrics::snapshot();
-    write_run_with(dir, &events, &snap)
+    let mut artifacts = write_run_with(dir, &events, &snap)?;
+    if !events.is_empty() || !slices.is_empty() {
+        let timeline_json = dir.join("timeline.json");
+        std::fs::write(
+            &timeline_json,
+            crate::timeline::chrome_trace(&events, &slices).to_compact() + "\n",
+        )?;
+        artifacts.timeline_json = Some(timeline_json);
+    }
+    Ok(artifacts)
 }
 
 /// [`write_run`] with an explicit event list and snapshot (tests).
@@ -60,6 +91,7 @@ pub fn write_run_with(
         dir: dir.to_path_buf(),
         trace_jsonl,
         metrics_json,
+        timeline_json: None,
     })
 }
 
@@ -87,9 +119,12 @@ pub fn render_summary(snap: &MetricsSnapshot) -> Vec<String> {
                 out.push(format!("    {k:<40} (empty)"));
             } else {
                 out.push(format!(
-                    "    {k:<40} n={} mean={:.4} min={:.4} max={:.4}",
+                    "    {k:<40} n={} mean={:.4} p50={:.4} p90={:.4} p99={:.4} min={:.4} max={:.4}",
                     h.count,
                     h.mean(),
+                    h.quantile(0.50),
+                    h.quantile(0.90),
+                    h.quantile(0.99),
                     h.min,
                     h.max
                 ));
@@ -130,6 +165,18 @@ mod tests {
     }
 
     #[test]
+    fn default_dirs_never_collide_within_a_second() {
+        // Back-to-back calls land in the same wall-clock second; the
+        // per-process sequence suffix must still keep them distinct.
+        let a = default_run_dir();
+        let b = default_run_dir();
+        let c = default_run_dir();
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
     fn summary_renders_every_surface() {
         let mut snap = MetricsSnapshot::default();
         snap.counters.insert("spectral.fft_path".into(), 3);
@@ -141,5 +188,7 @@ mod tests {
         assert!(text.contains("spectral.fft_path"));
         assert!(text.contains("pool.hit_rate"));
         assert!(text.contains("n=1"));
+        assert!(text.contains("p50="));
+        assert!(text.contains("p99="));
     }
 }

@@ -47,6 +47,12 @@
 #                        unfused eager SIMD baseline — asserts train step
 #                        >= 1.25x and zero graph nodes allocated per plan
 #                        replay (artifact in BENCH_fuse.json)
+#  13. report round-trip a 4-thread traced training run, then
+#                        `slime report` over the run dir (asserting >= 2
+#                        worker lanes left timeline slices and that
+#                        report.json / timeline.json parse — the report
+#                        command self-checks both) and a `--baseline`
+#                        self-diff that must report zero regressions
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -116,5 +122,28 @@ cargo bench --bench ann_sweep -p slime-bench
 
 echo "==> cargo bench --bench fuse_sweep -p slime-bench"
 cargo bench --bench fuse_sweep -p slime-bench
+
+echo "==> traced run + slime report round-trip"
+CI_RUN=$(mktemp -d)
+trap 'rm -rf "$CI_RUN"' EXIT
+./target/release/slime4rec generate --profile beauty --scale 0.1 --seed 3 \
+    --out "$CI_RUN/data.json"
+SLIME_THREADS=4 ./target/release/slime4rec train --data "$CI_RUN/data.json" \
+    --out "$CI_RUN/model" --epochs 1 --hidden 16 --max-len 16 --layers 1 \
+    --trace "$CI_RUN/run" --trace-level info
+test -s "$CI_RUN/run/timeline.json" || {
+    echo "traced run wrote no timeline.json" >&2
+    exit 1
+}
+# The report command re-parses the report.json it writes and the run's
+# timeline, so this step also asserts both artifacts are valid JSON.
+./target/release/slime4rec report --run "$CI_RUN/run" --expect-workers 2
+# A run diffed against itself must be regression-free — pins the diff
+# policy (thresholds, op pairing, histogram filtering) every commit.
+./target/release/slime4rec report --run "$CI_RUN/run" --baseline "$CI_RUN/run" \
+    | grep -q "regressions: none" || {
+    echo "self-baseline diff reported regressions" >&2
+    exit 1
+}
 
 echo "CI: all gates passed"
