@@ -19,6 +19,7 @@ pub fn run(args: &Args) -> Result<Vec<String>, ArgError> {
         "train" => cmd_train(args),
         "evaluate" => cmd_evaluate(args),
         "recommend" => cmd_recommend(args),
+        "serve" => cmd_serve(args),
         "report" => cmd_report(args),
         "help" | "--help" | "-h" => Ok(vec![usage()]),
         other => {
@@ -28,7 +29,10 @@ pub fn run(args: &Args) -> Result<Vec<String>, ArgError> {
             )))
         }
     }?;
-    if matches!(args.command.as_str(), "train" | "evaluate" | "recommend") {
+    if matches!(
+        args.command.as_str(),
+        "train" | "evaluate" | "recommend" | "serve"
+    ) {
         finish_observability(args, &mut out)?;
     }
     Ok(out)
@@ -54,8 +58,26 @@ pub fn usage() -> String {
      \x20            [--exclude-history true] [--retrieval exact|two-stage|spectral]\n\
      \x20            [--quantize] [--threads N] [--no-pool] [--no-simd] [--no-fuse]\n\
      \x20            [--trace <dir|auto>] [--profile]\n\
+     \x20 serve      --model <model-dir> [--port 0] [--serve-workers N]\n\
+     \x20            [--max-batch 32] [--linger-us 500] [--queue-cap 1024]\n\
+     \x20            [--retrieval exact|two-stage|spectral] [--quantize]\n\
+     \x20            [--smoke N] [--smoke-clients 4] [--k 10] [--threads N]\n\
+     \x20            [--no-pool] [--no-simd] [--no-fuse] [--trace <dir|auto>]\n\
      \x20 report     --run <run-dir> [--baseline <run-dir>] [--threshold-pct 10]\n\
      \x20            [--min-total-ms 1] [--out <report.json>] [--expect-workers N]\n\
+     \n\
+     serve boots a persistent daemon on 127.0.0.1:<port> (0 = ephemeral;\n\
+     the bound address is printed). Model, int8 table, and retrieval index\n\
+     are built once at startup; concurrent requests are gathered by a\n\
+     cross-request micro-batcher (--max-batch requests per forward pass,\n\
+     waiting at most --linger-us microseconds for a batch to fill) with a\n\
+     bounded admission queue (--queue-cap; excess requests get an explicit\n\
+     overload reject). Clients speak a length-prefixed binary protocol or\n\
+     plain HTTP: GET /recommend?h=1,2,3&k=10&exclude=1, /healthz, /stats.\n\
+     --serve-workers caps the slime-par pool used by the forward pass.\n\
+     --smoke N serves N closed-loop requests from --smoke-clients in-process\n\
+     clients, prints a latency/occupancy summary, verifies zero errors and\n\
+     at least one multi-request batch, then exits — used by scripts/ci.sh.\n\
      \n\
      --threads N caps the slime-par worker pool (default: SLIME_THREADS env\n\
      var, else all cores). --no-pool disables the NdArray buffer pool\n\
@@ -385,6 +407,136 @@ fn cmd_recommend(args: &Args) -> Result<Vec<String>, ArgError> {
     Ok(out)
 }
 
+fn cmd_serve(args: &Args) -> Result<Vec<String>, ArgError> {
+    args.reject_unknown(&[
+        "model",
+        "port",
+        "serve-workers",
+        "max-batch",
+        "linger-us",
+        "queue-cap",
+        "retrieval",
+        "quantize",
+        "smoke",
+        "smoke-clients",
+        "k",
+        "threads",
+        "no-pool",
+        "no-simd",
+        "no-fuse",
+        "trace",
+        "trace-level",
+        "profile",
+    ])?;
+    apply_runtime(args)?;
+    let mode = match args.get("retrieval") {
+        Some(spec) => RetrievalMode::parse(spec).ok_or_else(|| {
+            ArgError(format!(
+                "--retrieval: unknown mode {spec:?} (want exact|two-stage|spectral)"
+            ))
+        })?,
+        None => RetrievalMode::from_env().unwrap_or(RetrievalMode::Exact),
+    };
+    let quantize = args.flag("quantize");
+    let model_dir = args.require("model")?.to_string();
+    // The engine is built on the batcher thread (tensors are not Send),
+    // where load errors can only surface as a panic — validate the model
+    // artifacts here first so a bad --model is a clean CLI error.
+    load_model(&model_dir)?;
+
+    let cfg = slime_serve::ServeConfig {
+        port: args.get_or("port", 0u16)?,
+        workers: args.get_or("serve-workers", 0usize)?,
+        max_batch: args.get_or("max-batch", 32usize)?,
+        linger_us: args.get_or("linger-us", 500u64)?,
+        queue_cap: args.get_or("queue-cap", 1024usize)?,
+    };
+    let smoke: usize = args.get_or("smoke", 0usize)?;
+    if cfg.max_batch == 0 {
+        return Err(ArgError("--max-batch must be >= 1".into()));
+    }
+
+    let (max_batch, linger_us) = (cfg.max_batch, cfg.linger_us);
+    let dir = model_dir.clone();
+    let server = slime_serve::Server::start(cfg, move || {
+        let (_, model) = load_model(&dir).expect("model artifacts validated at startup");
+        let retriever = if mode != RetrievalMode::Exact || quantize {
+            let rcfg = RetrievalConfig {
+                mode,
+                quantize,
+                ..RetrievalConfig::default()
+            };
+            Some(Retriever::build(&model.item_emb.weight.value(), rcfg))
+        } else {
+            None
+        };
+        Box::new(slime_serve::ModelEngine::new(model, retriever)) as Box<dyn slime_serve::RecEngine>
+    })
+    .map_err(|e| ArgError(format!("cannot start daemon: {e}")))?;
+
+    let addr = server.addr();
+    let banner = format!(
+        "serving on {addr} [{}{}] vocab {} max-batch {max_batch} linger {linger_us}us",
+        mode.as_str(),
+        if quantize { ", int8" } else { "" },
+        server.vocab(),
+    );
+
+    if smoke == 0 {
+        // Long-running daemon mode: announce the address immediately (the
+        // run() output machinery only prints after the command returns,
+        // which this mode never does) and serve until killed.
+        println!("{banner}");
+        println!("endpoints: binary SLM1 framing, GET /recommend?h=..&k=.., /healthz, /stats");
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+
+    let clients = args.get_or("smoke-clients", 4usize)?.max(1);
+    let load_cfg = slime_serve::load::LoadConfig {
+        addr,
+        clients,
+        requests_per_client: smoke.div_ceil(clients),
+        k: args.get_or("k", 10usize)?,
+        ..slime_serve::load::LoadConfig::default()
+    };
+    let report = slime_serve::load::run_load(&load_cfg)
+        .map_err(|e| ArgError(format!("smoke load failed: {e}")))?;
+    let snap = server.stats();
+    server.shutdown();
+
+    if report.errors > 0 {
+        return Err(ArgError(format!(
+            "smoke: {} of {} requests errored",
+            report.errors, report.sent
+        )));
+    }
+    if max_batch > 1 && clients > 1 && snap.max_occupancy <= 1 {
+        return Err(ArgError(format!(
+            "smoke: no batched pass formed (max occupancy {}, {} batches) — \
+             micro-batching is not engaging",
+            snap.max_occupancy, snap.batches
+        )));
+    }
+    Ok(vec![
+        banner,
+        format!(
+            "smoke ok: {} sent, {} ok, {} rejected, 0 errors ({} clients, closed loop)",
+            report.sent, report.ok, report.rejected, clients
+        ),
+        format!(
+            "  qps {:.0}  p50 {}us  p99 {}us  batches {}  mean occupancy {:.2}  max occupancy {}",
+            report.qps,
+            report.quantile_us(0.50),
+            report.quantile_us(0.99),
+            snap.batches,
+            snap.mean_occupancy(),
+            snap.max_occupancy
+        ),
+    ])
+}
+
 fn cmd_report(args: &Args) -> Result<Vec<String>, ArgError> {
     args.reject_unknown(&[
         "run",
@@ -507,7 +659,30 @@ mod tests {
         assert_eq!(out.len(), 4);
         assert!(out[0].contains("[two-stage, int8]"));
 
+        // The same trained model boots the daemon; smoke mode serves a
+        // short closed-loop load in-process and verifies batching engaged.
+        let out = run(&argv(&format!(
+            "serve --model {model} --port 0 --max-batch 8 --linger-us 2000 \
+             --smoke 64 --smoke-clients 4 --k 3"
+        )))
+        .unwrap();
+        assert!(
+            out.iter().any(|l| l.contains("smoke ok")),
+            "no smoke summary in {out:?}"
+        );
+        assert!(out.iter().any(|l| l.contains("max occupancy")));
+
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_validates_model_dir_and_flags() {
+        let err = run(&argv("serve --model /nonexistent/model --smoke 8")).unwrap_err();
+        assert!(err.0.contains("cannot read"), "got: {}", err.0);
+        let err = run(&argv("serve --model m --bogus 1")).unwrap_err();
+        assert!(err.0.contains("unknown option --bogus"));
+        let err = run(&argv("serve --model m --retrieval fuzzy")).unwrap_err();
+        assert!(err.0.contains("unknown mode"));
     }
 
     #[test]

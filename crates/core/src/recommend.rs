@@ -9,12 +9,84 @@
 //! scoring is replaced by the two-stage shortlist + exact re-rank path
 //! (see `crate::retrieval`).
 
-use slime_data::batch::pad_truncate;
 use slime_nn::TrainContext;
 use slime_tensor::pool;
 
 use crate::retrieval::{RetrievalMode, Retriever};
 use crate::NextItemModel;
+
+/// Reusable per-thread serving scratch: the seen-bitmap word buffer and
+/// the padded-input staging buffer. Steady-state serving (same batch
+/// shape, same catalog) touches the heap zero times per request — both
+/// buffers are clear-and-reuse, mirroring the f32 pool in
+/// `slime_tensor::pool`.
+struct Scratch {
+    seen_words: Vec<u64>,
+    inputs: Vec<usize>,
+    reuses: u64,
+    allocs: u64,
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<Scratch> = const {
+        std::cell::RefCell::new(Scratch {
+            seen_words: Vec::new(),
+            inputs: Vec::new(),
+            reuses: 0,
+            allocs: 0,
+        })
+    };
+}
+
+/// This thread's scratch-buffer acquisition counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Acquisitions served from an already-large-enough buffer.
+    pub reuses: u64,
+    /// Acquisitions that had to (re)allocate.
+    pub allocs: u64,
+}
+
+/// Snapshot this thread's scratch counters.
+pub fn scratch_stats() -> ScratchStats {
+    SCRATCH.with(|s| {
+        let s = s.borrow();
+        ScratchStats {
+            reuses: s.reuses,
+            allocs: s.allocs,
+        }
+    })
+}
+
+/// Zero this thread's scratch counters (the buffers keep their capacity).
+pub fn reset_scratch_stats() {
+    SCRATCH.with(|s| {
+        let mut s = s.borrow_mut();
+        s.reuses = 0;
+        s.allocs = 0;
+    });
+}
+
+/// Take the input staging buffer, sized (and zeroed) to `len`.
+fn acquire_inputs(len: usize) -> Vec<usize> {
+    SCRATCH.with(|s| {
+        let mut s = s.borrow_mut();
+        let mut buf = std::mem::take(&mut s.inputs);
+        if buf.capacity() < len {
+            s.allocs += 1;
+        } else {
+            s.reuses += 1;
+        }
+        buf.clear();
+        buf.resize(len, 0);
+        buf
+    })
+}
+
+/// Return the input staging buffer for the next request.
+fn release_inputs(buf: Vec<usize>) {
+    SCRATCH.with(|s| s.borrow_mut().inputs = buf);
+}
 
 /// One scored recommendation.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,11 +118,32 @@ struct SeenBitmap {
 }
 
 impl SeenBitmap {
-    fn new(vocab: usize) -> SeenBitmap {
-        SeenBitmap {
-            words: vec![0u64; vocab.div_ceil(64)],
-            vocab,
-        }
+    /// Build over the thread's reusable word buffer; pair with
+    /// [`SeenBitmap::release`] to give the buffer back. The buffer only
+    /// grows when the catalog does, so steady-state serving reuses one
+    /// allocation forever.
+    fn acquire(vocab: usize) -> SeenBitmap {
+        let need = vocab.div_ceil(64);
+        let words = SCRATCH.with(|s| {
+            let mut s = s.borrow_mut();
+            let mut buf = std::mem::take(&mut s.seen_words);
+            if buf.capacity() < need {
+                s.allocs += 1;
+            } else {
+                s.reuses += 1;
+            }
+            buf.clear();
+            buf.resize(need, 0);
+            buf
+        });
+        SeenBitmap { words, vocab }
+    }
+
+    /// Return the word buffer to the thread scratch. The set/clear
+    /// discipline in the batch loop leaves it all-zero, and `acquire`
+    /// re-zeroes defensively anyway.
+    fn release(self) {
+        SCRATCH.with(|s| s.borrow_mut().seen_words = self.words);
     }
 
     /// Mark the history items (ids outside the vocab are ignored).
@@ -197,20 +290,25 @@ pub fn recommend_batch_with<M: NextItemModel>(
         "mode": mode.map_or("dense", |(m, _)| m.as_str())
     });
     let n = model.max_len();
-    let mut inputs = Vec::with_capacity(histories.len() * n);
-    for h in histories {
-        inputs.extend(pad_truncate(h, n));
+    // Ragged histories are staged straight into the reusable scratch
+    // buffer: row `i` is `history[i]`'s tail, left-padded in place — the
+    // serving path does no per-request `pad_truncate` Vec.
+    let mut inputs = acquire_inputs(histories.len() * n);
+    for (row, h) in histories.iter().enumerate() {
+        let tail = if h.len() > n { &h[h.len() - n..] } else { h };
+        inputs[(row + 1) * n - tail.len()..(row + 1) * n].copy_from_slice(tail);
     }
     let mut ctx = TrainContext::eval();
     let repr = model.user_repr(&inputs, histories.len(), &mut ctx);
+    release_inputs(inputs);
 
     match (retriever, mode) {
         (Some(r), Some((RetrievalMode::TwoStage | RetrievalMode::Spectral, _))) => {
             let rv = repr.value();
             let dim = rv.shape()[1];
-            let mut seen = exclude_history.then(|| SeenBitmap::new(r.vocab()));
+            let mut seen = exclude_history.then(|| SeenBitmap::acquire(r.vocab()));
             let mut scores = Vec::new();
-            histories
+            let out: Vec<Vec<Recommendation>> = histories
                 .iter()
                 .enumerate()
                 .map(|(row, history)| {
@@ -241,13 +339,17 @@ pub fn recommend_batch_with<M: NextItemModel>(
                     ranked.sort_by(by_rank);
                     ranked
                 })
-                .collect()
+                .collect();
+            if let Some(s) = seen {
+                s.release();
+            }
+            out
         }
         (Some(r), Some((RetrievalMode::Exact, true))) => {
             let rv = repr.value();
             let dim = rv.shape()[1];
             let vocab = r.vocab();
-            let mut seen = exclude_history.then(|| SeenBitmap::new(vocab));
+            let mut seen = exclude_history.then(|| SeenBitmap::acquire(vocab));
             let mut scores = pool::take_filled(vocab, 0.0);
             let out = histories
                 .iter()
@@ -266,14 +368,17 @@ pub fn recommend_batch_with<M: NextItemModel>(
                 })
                 .collect();
             pool::recycle(scores);
+            if let Some(s) = seen {
+                s.release();
+            }
             out
         }
         _ => {
             let scores = model.score_all(&repr);
             let v = scores.value();
             let vocab = v.shape()[1];
-            let mut seen = exclude_history.then(|| SeenBitmap::new(vocab));
-            histories
+            let mut seen = exclude_history.then(|| SeenBitmap::acquire(vocab));
+            let out: Vec<Vec<Recommendation>> = histories
                 .iter()
                 .enumerate()
                 .map(|(row, history)| {
@@ -287,7 +392,11 @@ pub fn recommend_batch_with<M: NextItemModel>(
                     }
                     recs
                 })
-                .collect()
+                .collect();
+            if let Some(s) = seen {
+                s.release();
+            }
+            out
         }
     }
 }
@@ -343,6 +452,57 @@ mod tests {
         let batch = recommend_batch(&m, &[h1, h2], 3, false);
         assert_eq!(batch[0], recommend_top_k(&m, h1, 3, false));
         assert_eq!(batch[1], recommend_top_k(&m, h2, 3, false));
+    }
+
+    /// The in-place ragged assembly must be byte-for-byte equivalent to
+    /// the old path that materialized `pad_truncate(h, n)` per history:
+    /// feeding pre-padded histories through the same API has to produce
+    /// bitwise-identical rankings (pad id 0 is never recommended, so
+    /// padding cannot leak into results).
+    #[test]
+    fn ragged_batch_matches_padded_naive_assembly() {
+        let m = tiny_model(); // max_len = 6
+        let ragged: Vec<Vec<usize>> = vec![
+            vec![],
+            vec![7],
+            vec![2, 3, 4],
+            vec![1, 2, 3, 4, 5, 6],
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 9], // longer than max_len
+        ];
+        let padded: Vec<Vec<usize>> = ragged
+            .iter()
+            .map(|h| slime_data::batch::pad_truncate(h, 6))
+            .collect();
+        let r_refs: Vec<&[usize]> = ragged.iter().map(|h| h.as_slice()).collect();
+        let p_refs: Vec<&[usize]> = padded.iter().map(|h| h.as_slice()).collect();
+        for k in [1usize, 3, 8] {
+            let got = recommend_batch(&m, &r_refs, k, false);
+            let naive = recommend_batch(&m, &p_refs, k, false);
+            for (row, (g, nv)) in got.iter().zip(&naive).enumerate() {
+                let gb: Vec<(usize, u32)> = g.iter().map(|r| (r.item, r.score.to_bits())).collect();
+                let nb: Vec<(usize, u32)> =
+                    nv.iter().map(|r| (r.item, r.score.to_bits())).collect();
+                assert_eq!(gb, nb, "row {row}, k {k}");
+            }
+        }
+    }
+
+    /// Ragged batches with exclusion must match the single-query path —
+    /// exclusion uses the *full* history, including items truncated out
+    /// of the model input.
+    #[test]
+    fn ragged_batch_exclusion_matches_single_queries() {
+        let m = tiny_model();
+        let ragged: Vec<Vec<usize>> = vec![
+            vec![1],
+            vec![4, 5, 6, 7],
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+        ];
+        let refs: Vec<&[usize]> = ragged.iter().map(|h| h.as_slice()).collect();
+        let batch = recommend_batch(&m, &refs, 2, true);
+        for (row, h) in ragged.iter().enumerate() {
+            assert_eq!(batch[row], recommend_top_k(&m, h, 2, true), "row {row}");
+        }
     }
 
     #[test]

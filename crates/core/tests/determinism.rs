@@ -26,11 +26,19 @@
 //! identical to the eager trace it stands in for (pinned end to end in
 //! `tests/step_plan.rs`).
 
+use std::sync::Mutex;
+
 use slime4rec::{run_slime, ContrastiveMode, SlimeConfig, TrainConfig};
 use slime_data::synthetic::{generate_with_core, SyntheticConfig};
 use slime_data::SeqDataset;
 use slime_nn::Module;
 use slime_tensor::StateDict;
+
+/// Every test in this binary mutates process-global runtime knobs
+/// (thread count, pool, SIMD backend, fuse) and compares results bitwise
+/// — two tests sweeping concurrently would flip each other's knobs
+/// mid-run. Serialize them.
+static KNOB_LOCK: Mutex<()> = Mutex::new(());
 
 fn tiny_ds() -> SeqDataset {
     let cfg = SyntheticConfig {
@@ -120,6 +128,7 @@ fn quantized_two_stage_serving_is_knob_invariant() {
     use slime4rec::retrieval::{RetrievalConfig, RetrievalMode, Retriever};
     use slime4rec::Slime4Rec;
 
+    let _knobs = KNOB_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let ds = tiny_ds();
     let histories: Vec<Vec<usize>> = (0..6).map(|u| ds.train_seq(u).to_vec()).collect();
     let refs: Vec<&[usize]> = histories.iter().map(Vec::as_slice).collect();
@@ -196,8 +205,123 @@ fn quantized_two_stage_serving_is_knob_invariant() {
     slime_par::set_threads(1);
 }
 
+/// Concurrent serving determinism: N client threads hammering the daemon
+/// must receive bitwise-identical responses to the same requests issued
+/// serially over one connection — swept across SIMD × serve-workers ×
+/// quantize. This is batch-composition invariance end to end: the
+/// micro-batcher gathers arbitrary request mixes under concurrency (the
+/// serial pass gathers mostly singletons), so any cross-row leakage in
+/// the batched forward pass, the seen-bitmap reuse, or the shared scratch
+/// buffers would show up as a flipped bit here.
+#[test]
+fn concurrent_serving_is_bitwise_identical_to_serial() {
+    use slime4rec::retrieval::{RetrievalConfig, RetrievalMode, Retriever};
+    use slime4rec::Slime4Rec;
+    use slime_serve::{Client, ModelEngine, RecEngine, ServeConfig, Server};
+
+    let _knobs = KNOB_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let ds = tiny_ds();
+    // A request mix that exercises ragged histories, varying k, and both
+    // exclude settings.
+    let requests: Vec<(Vec<usize>, usize, bool)> = (0..24)
+        .map(|i| {
+            let h = ds.train_seq(i % ds.num_users()).to_vec();
+            (h, 1 + i % 7, i % 2 == 0)
+        })
+        .collect();
+    let fingerprint = |items: Vec<(u32, f32)>| -> Vec<(u32, u32)> {
+        items
+            .into_iter()
+            .map(|(it, sc)| (it, sc.to_bits()))
+            .collect()
+    };
+
+    let simd_was = slime_tensor::simd::enabled();
+    for quantize in [false, true] {
+        for simd_on in [true, false] {
+            for workers in [1usize, 4] {
+                slime_tensor::simd::set_enabled(simd_on);
+                let label = format!(
+                    "simd={} workers={workers} quantize={quantize}",
+                    if simd_on { "on" } else { "off" }
+                );
+                let num_items = ds.num_items();
+                let server = Server::start(
+                    ServeConfig {
+                        port: 0,
+                        workers,
+                        max_batch: 8,
+                        linger_us: 1000,
+                        queue_cap: 256,
+                    },
+                    move || {
+                        // Seeded init: every boot serves the same weights.
+                        let mut cfg = SlimeConfig::small(num_items);
+                        cfg.hidden = 16;
+                        cfg.max_len = 10;
+                        cfg.layers = 1;
+                        cfg.contrastive = ContrastiveMode::None;
+                        let model = Slime4Rec::new(cfg);
+                        let retriever = quantize.then(|| {
+                            Retriever::build(
+                                &model.item_emb.weight.value(),
+                                RetrievalConfig {
+                                    mode: RetrievalMode::Exact,
+                                    quantize: true,
+                                    ..RetrievalConfig::default()
+                                },
+                            )
+                        });
+                        Box::new(ModelEngine::new(model, retriever)) as Box<dyn RecEngine>
+                    },
+                )
+                .expect("daemon boots");
+
+                // Serial pass: one connection, one request at a time.
+                let mut serial_client = Client::connect(server.addr()).unwrap();
+                let serial: Vec<Vec<(u32, u32)>> = requests
+                    .iter()
+                    .map(|(h, k, ex)| fingerprint(serial_client.recommend(h, *k, *ex).unwrap()))
+                    .collect();
+
+                // Concurrent pass: 4 threads each replay the full request
+                // list against the same daemon, interleaving freely so the
+                // batcher gathers mixed-composition batches.
+                let concurrent: Vec<Vec<Vec<(u32, u32)>>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..4)
+                        .map(|_| {
+                            scope.spawn(|| {
+                                let mut c = Client::connect(server.addr()).unwrap();
+                                requests
+                                    .iter()
+                                    .map(|(h, k, ex)| fingerprint(c.recommend(h, *k, *ex).unwrap()))
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                });
+                let snap = server.stats();
+                server.shutdown();
+
+                for (t, got) in concurrent.iter().enumerate() {
+                    assert_eq!(got, &serial, "[{label}] client thread {t} diverged");
+                }
+                // The sweep only proves something if batching engaged.
+                assert!(
+                    snap.max_occupancy > 1,
+                    "[{label}] concurrent pass never formed a multi-request batch"
+                );
+            }
+        }
+    }
+    slime_tensor::simd::set_enabled(simd_was);
+    slime_par::set_threads(1);
+}
+
 #[test]
 fn training_is_bitwise_identical_across_threads_pool_and_fuse() {
+    let _knobs = KNOB_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let ds = tiny_ds();
     let simd_was = slime_tensor::simd::enabled();
     let fuse_was = slime_tensor::simd::fuse::enabled();

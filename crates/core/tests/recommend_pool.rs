@@ -8,7 +8,7 @@
 //! serving recycles its allocations and the pool hit-rate stays above
 //! 95%.
 
-use slime4rec::recommend::{recommend_batch, Recommendation};
+use slime4rec::recommend::{recommend_batch, reset_scratch_stats, scratch_stats, Recommendation};
 use slime4rec::NextItemModel;
 use slime_nn::TrainContext;
 use slime_tensor::{pool, NdArray, Tensor};
@@ -56,10 +56,23 @@ fn steady_state_serving_keeps_pool_hit_rate_above_95_percent() {
         let _ = recommend_batch(&m, &refs, 10, true);
     }
     pool::reset_stats();
+    reset_scratch_stats();
     let mut last: Vec<Vec<Recommendation>> = Vec::new();
     for _ in 0..20 {
         last = recommend_batch(&m, &refs, 10, true);
     }
+    // Zero per-request heap growth: after warm-up, every scratch
+    // acquisition (seen-bitmap words + input staging) reuses capacity.
+    let scratch = scratch_stats();
+    assert_eq!(
+        scratch.allocs, 0,
+        "steady-state serving reallocated scratch ({} reuses)",
+        scratch.reuses
+    );
+    assert_eq!(
+        scratch.reuses, 40,
+        "expected 2 scratch acquisitions per call over 20 calls"
+    );
     let stats = pool::stats();
     assert!(
         stats.hits + stats.misses > 0,

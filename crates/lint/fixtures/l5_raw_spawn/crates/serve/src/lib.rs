@@ -1,0 +1,12 @@
+// Fixture: crates/serve hosts the daemon's acceptor/batcher/connection
+// threads — sanctioned, so none of these spawns may fire.
+
+use std::thread;
+
+pub fn spawn_acceptor() {
+    let _ = thread::Builder::new().name("slime-serve-acceptor".into()).spawn(|| {});
+}
+
+pub fn spawn_batcher() {
+    thread::spawn(|| {});
+}

@@ -651,12 +651,16 @@ fn l4_impl(a: &Analysis) -> Vec<Finding> {
 // ---------------------------------------------------------------------------
 
 /// Raw thread spawning — `thread::spawn` / `thread::Builder` — is confined
-/// to `crates/par`, the deterministic worker pool. Everything else must go
-/// through `slime_par::parallel_for` and friends: ad-hoc threads dodge the
-/// pool's fixed chunk grids (breaking the bitwise-determinism contract),
-/// miss the persistent workers' thread-local FFT plan caches, and ignore
-/// the `SLIME_THREADS` budget. Test code is exempt.
+/// to its sanctioned homes: `crates/par` (the deterministic worker pool)
+/// and `crates/serve` (the daemon's acceptor/batcher/connection threads,
+/// which are I/O-lifetime threads, not data-parallel compute). Everything
+/// else must go through `slime_par::parallel_for` and friends: ad-hoc
+/// threads dodge the pool's fixed chunk grids (breaking the
+/// bitwise-determinism contract), miss the persistent workers'
+/// thread-local FFT plan caches, and ignore the `SLIME_THREADS` budget.
+/// Test code is exempt.
 const SPAWN_TOKENS: &[&str] = &["thread::spawn", "thread::Builder"];
+const SPAWN_ALLOWED_PREFIXES: &[&str] = &["crates/par/", "crates/serve/"];
 
 pub fn l5_thread_discipline(ws: &Workspace) -> Vec<Finding> {
     l5_impl(&Analysis::build(ws))
@@ -665,7 +669,7 @@ pub fn l5_thread_discipline(ws: &Workspace) -> Vec<Finding> {
 fn l5_impl(a: &Analysis) -> Vec<Finding> {
     let mut out = Vec::new();
     for (rel, src) in &a.sources {
-        if rel.starts_with("crates/par/") {
+        if SPAWN_ALLOWED_PREFIXES.iter().any(|p| rel.starts_with(p)) {
             continue;
         }
         for (idx, l) in src.lines.iter().enumerate() {
@@ -684,7 +688,7 @@ fn l5_impl(a: &Analysis) -> Vec<Finding> {
                     file: rel.clone(),
                     line: idx + 1,
                     message: format!(
-                        "`{tok}` outside crates/par; spawn work through \
+                        "`{tok}` outside crates/par or crates/serve; spawn work through \
                          `slime_par::parallel_for` so it respects the thread budget and \
                          the deterministic chunk grid, or justify with \
                          `// lint-allow(thread-discipline): <why>`"

@@ -1,0 +1,479 @@
+//! Cross-request micro-batching.
+//!
+//! Connection threads enqueue decoded `recommend` requests; one batcher
+//! thread owns the model (Tensors are `Rc`-based and deliberately not
+//! `Send`, so the engine is *built on* the batcher thread) and drains the
+//! queue into bounded batches:
+//!
+//! * **Gather.** Pop the oldest request, then keep collecting until either
+//!   `max_batch` requests are in hand or `linger` has elapsed since the
+//!   gather began. The linger wait rides the queue condvar, so arrivals
+//!   cut it short the moment the batch fills — an idle daemon adds zero
+//!   latency and a busy one amortizes one forward pass over the whole
+//!   batch.
+//! * **Admission control.** The queue is bounded ([`Queue::push`] rejects
+//!   at capacity with an explicit overload status instead of building an
+//!   unbounded backlog); a rejected request never reaches the engine.
+//! * **Respond.** Each request carries a [`ResponseSlot`]; the batcher
+//!   validates, runs the engine once per gathered batch, and fills every
+//!   slot — on engine panic the whole batch is answered with
+//!   [`Status::Internal`] and the daemon keeps serving.
+//!
+//! Request latency (enqueue → response ready), batch occupancy, and queue
+//! depth are recorded as slime-trace histograms when tracing is on; the
+//! always-on [`crate::stats::StatsCell`] atomics feed `/stats`, the smoke
+//! gate, and `BENCH_serve.json` regardless of trace level.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crate::protocol::{RecRequest, Status};
+use crate::stats::StatsCell;
+use crate::RecEngine;
+
+/// Latency histogram bounds (microseconds): sub-ms steps where serving
+/// should live, stretching to 1 s so pathological stalls stay visible.
+const LATENCY_BOUNDS_US: &[f64] = &[
+    100.0,
+    250.0,
+    500.0,
+    1000.0,
+    2500.0,
+    5000.0,
+    10_000.0,
+    25_000.0,
+    50_000.0,
+    100_000.0,
+    250_000.0,
+    1_000_000.0,
+];
+
+/// Batch occupancy bounds: powers of two up to the largest supported cap.
+const OCCUPANCY_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+/// Queue depth bounds.
+const DEPTH_BOUNDS: &[f64] = &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+
+/// A filled response: status plus the ranked `(item, score)` list.
+pub type Response = (Status, Vec<(u32, f32)>);
+
+/// One-shot rendezvous between a connection thread and the batcher.
+pub struct ResponseSlot {
+    cell: Mutex<Option<Response>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    /// An empty slot.
+    pub fn new() -> ResponseSlot {
+        ResponseSlot {
+            cell: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Deposit the response and wake the waiter.
+    pub fn fill(&self, resp: Response) {
+        let mut g = self.cell.lock().unwrap_or_else(|e| e.into_inner());
+        *g = Some(resp);
+        self.ready.notify_all();
+    }
+
+    /// Block until the response arrives. The batcher fills every accepted
+    /// slot (panics included), so this only needs a defensive timeout
+    /// against the daemon being torn down mid-request.
+    pub fn wait(&self, timeout: Duration) -> Option<Response> {
+        let deadline = Instant::now() + timeout;
+        let mut g = self.cell.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(r) = g.take() {
+                return Some(r);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (ng, _) = self
+                .ready
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            g = ng;
+        }
+    }
+}
+
+impl Default for ResponseSlot {
+    fn default() -> Self {
+        ResponseSlot::new()
+    }
+}
+
+/// A queued request: the decoded payload, its response slot, and the
+/// enqueue instant for the latency histogram.
+pub struct Pending {
+    /// Decoded recommend request.
+    pub req: RecRequest,
+    /// Where the batcher deposits the answer.
+    pub slot: Arc<ResponseSlot>,
+    /// When admission accepted the request.
+    pub enqueued: Instant,
+}
+
+struct QueueInner {
+    pending: VecDeque<Pending>,
+}
+
+/// The bounded request queue shared by connection threads and the batcher.
+pub struct Queue {
+    inner: Mutex<QueueInner>,
+    arrived: Condvar,
+    cap: usize,
+    shutdown: AtomicBool,
+}
+
+impl Queue {
+    /// A queue admitting at most `cap` waiting requests.
+    pub fn new(cap: usize) -> Queue {
+        Queue {
+            inner: Mutex::new(QueueInner {
+                pending: VecDeque::new(),
+            }),
+            arrived: Condvar::new(),
+            cap: cap.max(1),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Admission control: enqueue, or reject when the daemon is saturated
+    /// or shutting down. Returns whether the request was accepted.
+    pub fn push(&self, p: Pending, stats: &StatsCell) -> bool {
+        if self.shutdown.load(Ordering::Acquire) {
+            stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let depth = {
+            let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if g.pending.len() >= self.cap {
+                stats.rejected.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            g.pending.push_back(p);
+            g.pending.len()
+        };
+        stats.accepted.fetch_add(1, Ordering::Relaxed);
+        stats
+            .max_queue_depth
+            .fetch_max(depth as u64, Ordering::Relaxed);
+        slime_trace::metrics::hist_record_with("serve.queue_depth", DEPTH_BOUNDS, depth as f64);
+        self.arrived.notify_one();
+        true
+    }
+
+    /// Ask the batcher to drain and exit; wakes it if it is lingering.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.arrived.notify_all();
+    }
+
+    /// Whether shutdown was requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Batching knobs, resolved from [`crate::ServeConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPolicy {
+    /// Most requests gathered into one engine call.
+    pub max_batch: usize,
+    /// How long the batcher waits for the batch to fill once the first
+    /// request is in hand. Zero still batches whatever is already queued
+    /// (natural batching under backlog) but never waits.
+    pub linger: Duration,
+}
+
+/// Gather the next batch: block for the first request, then linger for
+/// more. Returns an empty vec only when shutdown was requested and the
+/// queue is fully drained.
+fn gather(queue: &Queue, policy: BatchPolicy) -> Vec<Pending> {
+    let mut g = queue.lock();
+    loop {
+        if !g.pending.is_empty() {
+            break;
+        }
+        if queue.is_shutdown() {
+            return Vec::new();
+        }
+        g = queue
+            .arrived
+            .wait_timeout(g, Duration::from_millis(50))
+            .unwrap_or_else(|e| e.into_inner())
+            .0;
+    }
+    let cap = policy.max_batch.max(1);
+    let mut batch = Vec::with_capacity(cap.min(64));
+    while batch.len() < cap {
+        match g.pending.pop_front() {
+            Some(p) => batch.push(p),
+            None => break,
+        }
+    }
+    if batch.len() < cap && !policy.linger.is_zero() {
+        let deadline = Instant::now() + policy.linger;
+        loop {
+            while batch.len() < cap {
+                match g.pending.pop_front() {
+                    Some(p) => batch.push(p),
+                    None => break,
+                }
+            }
+            if batch.len() >= cap || queue.is_shutdown() {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            g = queue
+                .arrived
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+    batch
+}
+
+/// Validate a request against the engine's catalog. The daemon never
+/// forwards an out-of-contract request to the model: an id at or above
+/// the vocab would index past the embedding table.
+fn validate(req: &RecRequest, vocab: usize) -> Result<(), Status> {
+    if req.k == 0 {
+        return Err(Status::BadRequest);
+    }
+    if req.history.iter().any(|&id| id >= vocab) {
+        return Err(Status::BadRequest);
+    }
+    Ok(())
+}
+
+/// The batcher main loop: drain `queue` through `engine` until shutdown,
+/// then finish whatever is still queued so every accepted request gets an
+/// answer. Runs on the thread that built `engine`.
+pub fn run(queue: &Queue, engine: &mut dyn RecEngine, policy: BatchPolicy, stats: &StatsCell) {
+    let vocab = engine.vocab();
+    loop {
+        let batch = gather(queue, policy);
+        if batch.is_empty() {
+            // Only returned once shutdown drained the queue dry.
+            return;
+        }
+        let _span = slime_trace::span!("serve.batch", { "n": batch.len() });
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        stats
+            .batched_requests
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        stats
+            .max_occupancy
+            .fetch_max(batch.len() as u64, Ordering::Relaxed);
+        slime_trace::metrics::hist_record_with(
+            "serve.batch_occupancy",
+            OCCUPANCY_BOUNDS,
+            batch.len() as f64,
+        );
+
+        // Partition into servable requests and immediate rejects.
+        let mut live = Vec::with_capacity(batch.len());
+        for p in &batch {
+            match validate(&p.req, vocab) {
+                Ok(()) => live.push(true),
+                Err(status) => {
+                    stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    p.slot.fill((status, Vec::new()));
+                    live.push(false);
+                }
+            }
+        }
+        let reqs: Vec<&RecRequest> = batch
+            .iter()
+            .zip(&live)
+            .filter(|(_, ok)| **ok)
+            .map(|(p, _)| &p.req)
+            .collect();
+        if reqs.is_empty() {
+            continue;
+        }
+
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.recommend(&reqs)));
+        match result {
+            Ok(responses) => {
+                debug_assert_eq!(responses.len(), reqs.len());
+                let mut it = responses.into_iter();
+                for (p, ok) in batch.iter().zip(&live) {
+                    if !*ok {
+                        continue;
+                    }
+                    let items = it.next().unwrap_or_default();
+                    stats.served.fetch_add(1, Ordering::Relaxed);
+                    let us = p.enqueued.elapsed().as_secs_f64() * 1e6;
+                    slime_trace::metrics::hist_record_with(
+                        "serve.latency_us",
+                        LATENCY_BOUNDS_US,
+                        us,
+                    );
+                    p.slot.fill((Status::Ok, items));
+                }
+            }
+            Err(_) => {
+                // The engine panicked: answer the whole batch and keep
+                // the daemon alive for subsequent requests.
+                stats
+                    .internal_errors
+                    .fetch_add(reqs.len() as u64, Ordering::Relaxed);
+                for (p, ok) in batch.iter().zip(&live) {
+                    if *ok {
+                        p.slot.fill((Status::Internal, Vec::new()));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct EchoEngine {
+        vocab: usize,
+    }
+
+    impl RecEngine for EchoEngine {
+        fn vocab(&self) -> usize {
+            self.vocab
+        }
+        fn recommend(&mut self, reqs: &[&RecRequest]) -> Vec<Vec<(u32, f32)>> {
+            reqs.iter()
+                .map(|r| {
+                    (0..r.k)
+                        .map(|i| {
+                            (
+                                r.history.first().copied().unwrap_or(0) as u32 + i as u32,
+                                1.0,
+                            )
+                        })
+                        .collect()
+                })
+                .collect()
+        }
+    }
+
+    fn pend(history: Vec<usize>, k: usize) -> (Pending, Arc<ResponseSlot>) {
+        let slot = Arc::new(ResponseSlot::new());
+        (
+            Pending {
+                req: RecRequest {
+                    history,
+                    k,
+                    exclude: false,
+                },
+                slot: Arc::clone(&slot),
+                enqueued: Instant::now(),
+            },
+            slot,
+        )
+    }
+
+    #[test]
+    fn queue_admission_rejects_at_capacity() {
+        let q = Queue::new(2);
+        let stats = StatsCell::new();
+        let (p1, _s1) = pend(vec![1], 1);
+        let (p2, _s2) = pend(vec![2], 1);
+        let (p3, s3) = pend(vec![3], 1);
+        assert!(q.push(p1, &stats));
+        assert!(q.push(p2, &stats));
+        assert!(!q.push(p3, &stats));
+        assert_eq!(stats.accepted.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.rejected.load(Ordering::Relaxed), 1);
+        // The rejected slot was never handed to a batcher: still empty.
+        assert!(s3.wait(Duration::from_millis(1)).is_none());
+    }
+
+    #[test]
+    fn batcher_drains_validates_and_answers_everything() {
+        let q = Queue::new(16);
+        let stats = StatsCell::new();
+        let (p1, s1) = pend(vec![3], 2);
+        let (p2, s2) = pend(vec![999], 2); // id >= vocab -> bad request
+        let (p3, s3) = pend(vec![4], 0); // k = 0 -> bad request
+        assert!(q.push(p1, &stats));
+        assert!(q.push(p2, &stats));
+        assert!(q.push(p3, &stats));
+        q.begin_shutdown();
+        let mut engine = EchoEngine { vocab: 10 };
+        run(
+            &q,
+            &mut engine,
+            BatchPolicy {
+                max_batch: 8,
+                linger: Duration::from_micros(200),
+            },
+            &stats,
+        );
+        let (st, items) = s1.wait(Duration::from_secs(1)).unwrap();
+        assert_eq!(st, Status::Ok);
+        assert_eq!(items, vec![(3, 1.0), (4, 1.0)]);
+        assert_eq!(
+            s2.wait(Duration::from_secs(1)).unwrap().0,
+            Status::BadRequest
+        );
+        assert_eq!(
+            s3.wait(Duration::from_secs(1)).unwrap().0,
+            Status::BadRequest
+        );
+        assert_eq!(stats.served.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.bad_requests.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.batches.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.batched_requests.load(Ordering::Relaxed), 3);
+    }
+
+    struct PanicEngine;
+
+    impl RecEngine for PanicEngine {
+        fn vocab(&self) -> usize {
+            100
+        }
+        fn recommend(&mut self, _reqs: &[&RecRequest]) -> Vec<Vec<(u32, f32)>> {
+            panic!("engine exploded");
+        }
+    }
+
+    #[test]
+    fn engine_panic_answers_internal_and_loop_survives() {
+        let q = Queue::new(16);
+        let stats = StatsCell::new();
+        let (p1, s1) = pend(vec![1], 1);
+        assert!(q.push(p1, &stats));
+        q.begin_shutdown();
+        let mut engine = PanicEngine;
+        run(
+            &q,
+            &mut engine,
+            BatchPolicy {
+                max_batch: 4,
+                linger: Duration::ZERO,
+            },
+            &stats,
+        );
+        assert_eq!(s1.wait(Duration::from_secs(1)).unwrap().0, Status::Internal);
+        assert_eq!(stats.internal_errors.load(Ordering::Relaxed), 1);
+    }
+}

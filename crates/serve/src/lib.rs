@@ -1,0 +1,233 @@
+//! slime-serve: a persistent recommendation daemon.
+//!
+//! The CLI's `recommend` path pays model construction, weight loading,
+//! quantization, and index building on every invocation. This crate keeps
+//! a process alive instead: state is built **once** at startup and every
+//! subsequent request costs only its share of a forward pass.
+//!
+//! Architecture (DESIGN.md §16):
+//!
+//! * [`protocol`] — length-prefixed binary frames over `TcpListener`
+//!   (std only; offline-purity-compatible) with an HTTP/1.1 fallback so
+//!   `curl http://host:port/recommend?h=1,2,3&k=10` works.
+//! * [`batcher`] — the perf core. Connection threads decode and enqueue;
+//!   a single batcher thread owns the model (Tensors are `Rc`-based and
+//!   not `Send`, so the engine is built *on* that thread via a `Send`
+//!   builder closure) and gathers pending requests into one
+//!   `recommend_batch` pass under a batch-size cap and a sub-millisecond
+//!   linger deadline. Intra-batch parallelism still flows through
+//!   slime-par inside the forward pass, so one gathered batch uses every
+//!   worker core.
+//! * [`server`] — listener, connection handling, graceful shutdown.
+//! * [`load`] — an in-process open-/closed-loop load generator for the
+//!   smoke gate and the `load_sweep` bench (`BENCH_serve.json`).
+//! * [`stats`] — always-on atomic counters backing `/stats` and the CI
+//!   floors; richer histograms ride slime-trace when tracing is enabled.
+
+pub mod batcher;
+pub mod load;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+use slime4rec::recommend::recommend_batch_with;
+use slime4rec::retrieval::Retriever;
+use slime4rec::NextItemModel;
+use slime_nn::TrainContext;
+
+pub use protocol::{Client, ClientError, RecRequest, Status};
+pub use server::Server;
+pub use stats::{StatsCell, StatsSnapshot};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// TCP port to bind on 127.0.0.1 (0 = ephemeral, reported by
+    /// [`Server::addr`]).
+    pub port: u16,
+    /// slime-par worker threads for the forward pass (0 = leave the
+    /// global/runtime setting untouched).
+    pub workers: usize,
+    /// Most requests gathered into one engine pass (1 = unbatched).
+    pub max_batch: usize,
+    /// Linger deadline in microseconds: how long the batcher waits for a
+    /// partial batch to fill once its first request is in hand.
+    pub linger_us: u64,
+    /// Admission-control bound on queued requests; arrivals beyond this
+    /// are rejected with [`Status::Overloaded`].
+    pub queue_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            port: 0,
+            workers: 0,
+            max_batch: 32,
+            linger_us: 500,
+            queue_cap: 1024,
+        }
+    }
+}
+
+/// What the batcher drives: anything that can answer a batch of decoded
+/// requests. `&mut self` because engines may keep scratch state; the
+/// batcher is single-threaded so no locking is needed.
+pub trait RecEngine {
+    /// Catalog size; requests with ids at or above this are rejected as
+    /// bad requests before they reach [`RecEngine::recommend`].
+    fn vocab(&self) -> usize;
+
+    /// Answer every request, in order. `reqs` is non-empty and
+    /// pre-validated (`k >= 1`, all ids `< vocab`).
+    fn recommend(&mut self, reqs: &[&RecRequest]) -> Vec<Vec<(u32, f32)>>;
+}
+
+/// [`RecEngine`] over any [`NextItemModel`], optionally through a
+/// retrieval stack (two-stage / quantized exact).
+///
+/// Gathered batches are heterogeneous: requests may disagree on `k` and
+/// on the exclude flag. The engine partitions by exclude (two forward
+/// passes at most), serves each partition at the partition's max `k`, and
+/// truncates per request — valid because the ranking order is total
+/// (score desc, item id asc), so the top-`k` of a top-`k_max` list *is*
+/// the top-`k`.
+pub struct ModelEngine<M: NextItemModel> {
+    model: M,
+    retriever: Option<Retriever>,
+    vocab: usize,
+}
+
+impl<M: NextItemModel> ModelEngine<M> {
+    /// Wrap a model. Runs one single-row probe forward pass to discover
+    /// the score dimension (vocab) the model actually serves.
+    pub fn new(model: M, retriever: Option<Retriever>) -> ModelEngine<M> {
+        let vocab = match &retriever {
+            Some(r) => r.vocab(),
+            None => {
+                let mut ctx = TrainContext::eval();
+                let inputs = vec![0usize; model.max_len()];
+                let repr = model.user_repr(&inputs, 1, &mut ctx);
+                model.score_all(&repr).value().shape()[1]
+            }
+        };
+        ModelEngine {
+            model,
+            retriever,
+            vocab,
+        }
+    }
+
+    fn serve_group(&self, idx: &[usize], reqs: &[&RecRequest], out: &mut [Vec<(u32, f32)>]) {
+        if idx.is_empty() {
+            return;
+        }
+        let exclude = reqs[idx[0]].exclude;
+        let k_max = idx.iter().map(|&i| reqs[i].k).max().unwrap_or(1);
+        let histories: Vec<&[usize]> = idx.iter().map(|&i| reqs[i].history.as_slice()).collect();
+        let ranked = recommend_batch_with(
+            &self.model,
+            &histories,
+            k_max,
+            exclude,
+            self.retriever.as_ref(),
+        );
+        for (&i, recs) in idx.iter().zip(ranked) {
+            out[i] = recs
+                .into_iter()
+                .take(reqs[i].k)
+                .map(|r| (r.item as u32, r.score))
+                .collect();
+        }
+    }
+}
+
+impl<M: NextItemModel> RecEngine for ModelEngine<M> {
+    fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    fn recommend(&mut self, reqs: &[&RecRequest]) -> Vec<Vec<(u32, f32)>> {
+        let mut out: Vec<Vec<(u32, f32)>> = vec![Vec::new(); reqs.len()];
+        let (mut plain, mut excl) = (Vec::new(), Vec::new());
+        for (i, r) in reqs.iter().enumerate() {
+            if r.exclude {
+                excl.push(i);
+            } else {
+                plain.push(i);
+            }
+        }
+        self.serve_group(&plain, reqs, &mut out);
+        self.serve_group(&excl, reqs, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slime4rec::recommend::recommend_top_k_with;
+    use slime4rec::{ContrastiveMode, Slime4Rec, SlimeConfig};
+
+    fn tiny_model() -> Slime4Rec {
+        let mut cfg = SlimeConfig::small(24);
+        cfg.hidden = 8;
+        cfg.max_len = 6;
+        cfg.layers = 1;
+        cfg.contrastive = ContrastiveMode::None;
+        Slime4Rec::new(cfg)
+    }
+
+    #[test]
+    fn model_engine_probes_vocab() {
+        let engine = ModelEngine::new(tiny_model(), None);
+        // score_all emits [batch, vocab+1] including the pad column.
+        assert_eq!(engine.vocab(), 25);
+    }
+
+    #[test]
+    fn mixed_batch_matches_individual_queries() {
+        let model = tiny_model();
+        let reference: Vec<Vec<(u32, f32)>> = [
+            (vec![1usize, 2, 3], 5usize, false),
+            (vec![4, 5], 2, true),
+            (vec![9], 7, false),
+            (vec![1, 2, 3, 4, 5, 6, 7, 8], 3, true),
+        ]
+        .iter()
+        .map(|(h, k, ex)| {
+            recommend_top_k_with(&model, h, *k, *ex, None)
+                .into_iter()
+                .map(|r| (r.item as u32, r.score))
+                .collect()
+        })
+        .collect();
+
+        let mut engine = ModelEngine::new(model, None);
+        let reqs = [
+            RecRequest {
+                history: vec![1, 2, 3],
+                k: 5,
+                exclude: false,
+            },
+            RecRequest {
+                history: vec![4, 5],
+                k: 2,
+                exclude: true,
+            },
+            RecRequest {
+                history: vec![9],
+                k: 7,
+                exclude: false,
+            },
+            RecRequest {
+                history: vec![1, 2, 3, 4, 5, 6, 7, 8],
+                k: 3,
+                exclude: true,
+            },
+        ];
+        let refs: Vec<&RecRequest> = reqs.iter().collect();
+        let got = engine.recommend(&refs);
+        assert_eq!(got, reference, "batched heterogeneous results must match");
+    }
+}

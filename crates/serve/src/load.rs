@@ -1,0 +1,300 @@
+//! In-process load generator for the daemon.
+//!
+//! Two modes, selected by [`LoadConfig::target_qps`]:
+//!
+//! * **Closed loop** (`target_qps = 0`): every client fires its next
+//!   request the moment the previous one answers. Measures peak
+//!   throughput at a given concurrency — this is the mode the
+//!   batched-vs-unbatched A/B floor uses.
+//! * **Open loop** (`target_qps > 0`): requests are released on a global
+//!   arrival schedule (request `i` of client `c` is due at
+//!   `(i·clients + c) / target_qps` seconds), and latency is measured
+//!   from the *scheduled* arrival, not the send — so queueing delay from
+//!   a saturated daemon shows up in the percentiles instead of being
+//!   hidden by coordinated omission. A client that falls behind sends
+//!   immediately (it never skips work).
+//!
+//! Histories are synthetic but deterministic: client `c` draws from a
+//! PCG stream seeded with `seed ^ c`, so two runs against the same daemon
+//! issue byte-identical request sequences.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use slime_rng::rngs::StdRng;
+use slime_rng::{Rng, SeedableRng};
+
+use crate::protocol::{Client, ClientError, Status};
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Daemon address.
+    pub addr: SocketAddr,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Aggregate open-loop arrival rate; 0 = closed loop.
+    pub target_qps: f64,
+    /// Top-k asked of every request.
+    pub k: usize,
+    /// Exclude-history flag on every request.
+    pub exclude: bool,
+    /// Item-id range for synthetic histories (ids drawn from
+    /// `1..vocab`); 0 = discover via ping.
+    pub vocab: usize,
+    /// History length per request.
+    pub hist_len: usize,
+    /// Base seed; client `c` uses `seed ^ c`.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            clients: 4,
+            requests_per_client: 64,
+            target_qps: 0.0,
+            k: 10,
+            exclude: false,
+            vocab: 0,
+            hist_len: 16,
+            seed: 0x51_13_E5,
+        }
+    }
+}
+
+/// Aggregated outcome of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests issued (= clients × requests_per_client unless connect
+    /// failed outright).
+    pub sent: u64,
+    /// Answered `Ok`.
+    pub ok: u64,
+    /// Explicitly rejected by admission control (`Overloaded`).
+    pub rejected: u64,
+    /// Transport/protocol/engine failures — anything else.
+    pub errors: u64,
+    /// Wall-clock span of the whole run in seconds.
+    pub wall_s: f64,
+    /// Completed-request throughput (`ok / wall_s`).
+    pub qps: f64,
+    /// Per-request latency samples in microseconds, sorted ascending.
+    pub latencies_us: Vec<u64>,
+}
+
+impl LoadReport {
+    /// Latency quantile (`q` in `[0, 1]`) by nearest-rank on the sorted
+    /// samples; 0 when no request succeeded.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = ((self.latencies_us.len() as f64) * q).ceil() as usize;
+        self.latencies_us[rank.clamp(1, self.latencies_us.len()) - 1]
+    }
+}
+
+struct ClientOutcome {
+    sent: u64,
+    ok: u64,
+    rejected: u64,
+    errors: u64,
+    latencies_us: Vec<u64>,
+}
+
+fn run_client(cfg: &LoadConfig, client_idx: usize, vocab: usize, start: Instant) -> ClientOutcome {
+    let mut out = ClientOutcome {
+        sent: 0,
+        ok: 0,
+        rejected: 0,
+        errors: 0,
+        latencies_us: Vec::with_capacity(cfg.requests_per_client),
+    };
+    let mut client = match Client::connect(cfg.addr) {
+        Ok(c) => c,
+        Err(_) => {
+            out.errors = cfg.requests_per_client as u64;
+            return out;
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ client_idx as u64);
+    let mut history = vec![0usize; cfg.hist_len.max(1)];
+    for i in 0..cfg.requests_per_client {
+        for slot in history.iter_mut() {
+            *slot = rng.gen_range(1..vocab.max(2));
+        }
+        // Open loop: wait for this request's scheduled arrival and
+        // measure from it (anti-coordinated-omission); closed loop:
+        // measure from the send.
+        let measured_from = if cfg.target_qps > 0.0 {
+            let due = start
+                + Duration::from_secs_f64((i * cfg.clients + client_idx) as f64 / cfg.target_qps);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+            due
+        } else {
+            Instant::now()
+        };
+        out.sent += 1;
+        match client.recommend(&history, cfg.k, cfg.exclude) {
+            Ok(_) => {
+                out.ok += 1;
+                out.latencies_us
+                    .push(measured_from.elapsed().as_micros() as u64);
+            }
+            Err(ClientError::Rejected(Status::Overloaded)) => out.rejected += 1,
+            Err(_) => out.errors += 1,
+        }
+    }
+    out
+}
+
+/// Run the load described by `cfg` and aggregate the outcome.
+///
+/// Client threads live in this crate (not the callers') so the CLI smoke
+/// mode and the `load_sweep` bench stay within the thread-discipline
+/// lint's sanctioned spawn sites.
+pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
+    let vocab = if cfg.vocab > 0 {
+        cfg.vocab
+    } else {
+        Client::connect(cfg.addr)?.ping()?
+    };
+    let start = Instant::now();
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients.max(1))
+            .map(|c| scope.spawn(move || run_client(cfg, c, vocab, start)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or(ClientOutcome {
+                    sent: 0,
+                    ok: 0,
+                    rejected: 0,
+                    errors: cfg.requests_per_client as u64,
+                    latencies_us: Vec::new(),
+                })
+            })
+            .collect()
+    });
+    let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+    let mut report = LoadReport {
+        sent: 0,
+        ok: 0,
+        rejected: 0,
+        errors: 0,
+        wall_s,
+        qps: 0.0,
+        latencies_us: Vec::new(),
+    };
+    for o in outcomes {
+        report.sent += o.sent;
+        report.ok += o.ok;
+        report.rejected += o.rejected;
+        report.errors += o.errors;
+        report.latencies_us.extend(o.latencies_us);
+    }
+    report.latencies_us.sort_unstable();
+    report.qps = report.ok as f64 / wall_s;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::RecRequest;
+    use crate::{RecEngine, ServeConfig, Server};
+
+    struct CountEngine {
+        vocab: usize,
+    }
+
+    impl RecEngine for CountEngine {
+        fn vocab(&self) -> usize {
+            self.vocab
+        }
+        fn recommend(&mut self, reqs: &[&RecRequest]) -> Vec<Vec<(u32, f32)>> {
+            reqs.iter()
+                .map(|r| (1..=r.k as u32).map(|i| (i, 1.0)).collect())
+                .collect()
+        }
+    }
+
+    #[test]
+    fn closed_loop_run_completes_without_errors() {
+        let server = Server::start(
+            ServeConfig {
+                max_batch: 8,
+                linger_us: 200,
+                ..ServeConfig::default()
+            },
+            || Box::new(CountEngine { vocab: 100 }),
+        )
+        .unwrap();
+        let cfg = LoadConfig {
+            addr: server.addr(),
+            clients: 3,
+            requests_per_client: 20,
+            k: 5,
+            hist_len: 4,
+            ..LoadConfig::default()
+        };
+        let report = run_load(&cfg).unwrap();
+        assert_eq!(report.sent, 60);
+        assert_eq!(report.ok, 60);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.latencies_us.len(), 60);
+        assert!(report.qps > 0.0);
+        assert!(report.quantile_us(0.5) <= report.quantile_us(0.99));
+        server.shutdown();
+    }
+
+    #[test]
+    fn open_loop_schedule_is_honoured() {
+        let server = Server::start(ServeConfig::default(), || {
+            Box::new(CountEngine { vocab: 100 })
+        })
+        .unwrap();
+        let cfg = LoadConfig {
+            addr: server.addr(),
+            clients: 2,
+            requests_per_client: 10,
+            target_qps: 400.0,
+            k: 3,
+            hist_len: 2,
+            ..LoadConfig::default()
+        };
+        let report = run_load(&cfg).unwrap();
+        assert_eq!(report.ok, 20);
+        // 20 requests at 400 qps need at least ~47.5 ms of schedule.
+        assert!(
+            report.wall_s >= 0.04,
+            "open loop finished too fast: {}s",
+            report.wall_s
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let r = LoadReport {
+            sent: 4,
+            ok: 4,
+            rejected: 0,
+            errors: 0,
+            wall_s: 1.0,
+            qps: 4.0,
+            latencies_us: vec![10, 20, 30, 40],
+        };
+        assert_eq!(r.quantile_us(0.5), 20);
+        assert_eq!(r.quantile_us(0.99), 40);
+        assert_eq!(r.quantile_us(0.0), 10);
+    }
+}

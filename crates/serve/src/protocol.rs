@@ -1,0 +1,409 @@
+//! Wire protocol for the recommendation daemon.
+//!
+//! A connection opens in one of two modes, distinguished by its first four
+//! bytes:
+//!
+//! * **Binary** — the client sends the magic `b"SLM1"`, then a stream of
+//!   length-prefixed frames. Compact, allocation-light, and persistent
+//!   (many requests per connection); this is what the load harness and the
+//!   in-process [`Client`] speak.
+//! * **HTTP/1.1 fallback** — anything starting with `GET `/`POST`/`HEAD`
+//!   is treated as a one-shot HTTP exchange so the daemon stays
+//!   curl-able: `GET /recommend?h=1,2,3&k=10`, `GET /healthz`,
+//!   `GET /stats`.
+//!
+//! Every frame is `u32-LE payload length` followed by the payload; both
+//! directions use the same framing. Integers are little-endian throughout.
+//!
+//! Request payloads (`op` is the first byte):
+//!
+//! | op | meaning   | payload after `op`                                   |
+//! |----|-----------|------------------------------------------------------|
+//! | 1  | recommend | `k:u16`, `flags:u8` (bit0 = exclude history), `hist_len:u32`, `hist_len × u32` item ids |
+//! | 2  | ping      | —                                                    |
+//!
+//! Response payload: `status:u8`, `count:u16`, `count × (item:u32,
+//! score:f32)`. A ping response reuses the same shape with `count = 1` and
+//! the "item" carrying the catalog size (vocab) so load generators can
+//! discover the id range.
+
+use std::io::{Read, Write};
+
+/// Binary-mode connection preamble.
+pub const MAGIC: [u8; 4] = *b"SLM1";
+
+/// Hard cap on any frame payload; larger prefixes are a protocol error.
+pub const MAX_FRAME: usize = 1 << 23;
+
+/// Hard cap on a request's history length.
+pub const MAX_HISTORY: usize = 1 << 20;
+
+/// Response status byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Request served; items follow.
+    Ok,
+    /// Admission control rejected the request (queue full) — back off.
+    Overloaded,
+    /// Malformed or out-of-contract request (bad op, k = 0, id >= vocab).
+    BadRequest,
+    /// The serving engine failed while handling the batch.
+    Internal,
+}
+
+impl Status {
+    /// Wire encoding.
+    pub fn code(self) -> u8 {
+        match self {
+            Status::Ok => 0,
+            Status::Overloaded => 1,
+            Status::BadRequest => 2,
+            Status::Internal => 3,
+        }
+    }
+
+    /// Decode a wire byte.
+    pub fn from_code(c: u8) -> Option<Status> {
+        match c {
+            0 => Some(Status::Ok),
+            1 => Some(Status::Overloaded),
+            2 => Some(Status::BadRequest),
+            3 => Some(Status::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// One `recommend` request as decoded off the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecRequest {
+    /// Interaction history, most recent last (raw item ids).
+    pub history: Vec<usize>,
+    /// How many recommendations to return.
+    pub k: usize,
+    /// Filter out items already in the history.
+    pub exclude: bool,
+}
+
+/// A decoded request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Score a history and return top-k items.
+    Recommend(RecRequest),
+    /// Liveness probe; the response carries the catalog size.
+    Ping,
+}
+
+/// Protocol-level failure (framing or field decoding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn u16_at(b: &[u8], at: usize) -> Result<u16, ProtoError> {
+    b.get(at..at + 2)
+        .map(|s| u16::from_le_bytes([s[0], s[1]]))
+        .ok_or_else(|| ProtoError("truncated u16".into()))
+}
+
+fn u32_at(b: &[u8], at: usize) -> Result<u32, ProtoError> {
+    b.get(at..at + 4)
+        .map(|s| u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+        .ok_or_else(|| ProtoError("truncated u32".into()))
+}
+
+/// Encode a `recommend` request payload.
+pub fn encode_recommend(history: &[usize], k: usize, exclude: bool) -> Vec<u8> {
+    let mut p = Vec::with_capacity(8 + history.len() * 4);
+    p.push(1u8);
+    p.extend_from_slice(&(k.min(u16::MAX as usize) as u16).to_le_bytes());
+    p.push(u8::from(exclude));
+    p.extend_from_slice(&(history.len() as u32).to_le_bytes());
+    for &it in history {
+        p.extend_from_slice(&(it.min(u32::MAX as usize) as u32).to_le_bytes());
+    }
+    p
+}
+
+/// Encode a `ping` request payload.
+pub fn encode_ping() -> Vec<u8> {
+    vec![2u8]
+}
+
+/// Decode a request payload into an [`Op`].
+pub fn decode_request(p: &[u8]) -> Result<Op, ProtoError> {
+    match p.first() {
+        Some(1) => {
+            let k = u16_at(p, 1)? as usize;
+            let flags = *p
+                .get(3)
+                .ok_or_else(|| ProtoError("truncated flags".into()))?;
+            let n = u32_at(p, 4)? as usize;
+            if n > MAX_HISTORY {
+                return Err(ProtoError(format!("history length {n} exceeds cap")));
+            }
+            if p.len() != 8 + n * 4 {
+                return Err(ProtoError(format!(
+                    "recommend payload length {} != {} for hist_len {n}",
+                    p.len(),
+                    8 + n * 4
+                )));
+            }
+            let history = (0..n)
+                .map(|i| u32_at(p, 8 + i * 4).map(|v| v as usize))
+                .collect::<Result<Vec<usize>, ProtoError>>()?;
+            Ok(Op::Recommend(RecRequest {
+                history,
+                k,
+                exclude: flags & 1 != 0,
+            }))
+        }
+        Some(2) => Ok(Op::Ping),
+        Some(op) => Err(ProtoError(format!("unknown op {op}"))),
+        None => Err(ProtoError("empty request payload".into())),
+    }
+}
+
+/// Encode a response payload.
+pub fn encode_response(status: Status, items: &[(u32, f32)]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(3 + items.len() * 8);
+    p.push(status.code());
+    p.extend_from_slice(&(items.len().min(u16::MAX as usize) as u16).to_le_bytes());
+    for &(item, score) in items {
+        p.extend_from_slice(&item.to_le_bytes());
+        p.extend_from_slice(&score.to_le_bytes());
+    }
+    p
+}
+
+/// Decode a response payload.
+pub fn decode_response(p: &[u8]) -> Result<(Status, Vec<(u32, f32)>), ProtoError> {
+    let status = p
+        .first()
+        .and_then(|&c| Status::from_code(c))
+        .ok_or_else(|| ProtoError("bad response status".into()))?;
+    let n = u16_at(p, 1)? as usize;
+    if p.len() != 3 + n * 8 {
+        return Err(ProtoError(format!(
+            "response payload length {} != {} for count {n}",
+            p.len(),
+            3 + n * 8
+        )));
+    }
+    let mut items = Vec::with_capacity(n);
+    for i in 0..n {
+        let item = u32_at(p, 3 + i * 8)?;
+        let score = f32::from_le_bytes(p[7 + i * 8..11 + i * 8].try_into().unwrap_or([0; 4]));
+        items.push((item, score));
+    }
+    Ok((status, items))
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary (the peer hung up between requests).
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match read_full(r, &mut len)? {
+        0 => return Ok(None),
+        4 => {}
+        _ => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "eof inside frame header",
+            ))
+        }
+    }
+    let n = u32::from_le_bytes(len) as usize;
+    if n > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {n} bytes exceeds cap"),
+        ));
+    }
+    let mut payload = vec![0u8; n];
+    if read_full(r, &mut payload)? != n {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "eof inside frame payload",
+        ));
+    }
+    Ok(Some(payload))
+}
+
+/// `read_exact` that reports how many bytes arrived before EOF instead of
+/// failing, so a boundary EOF can be told apart from a truncated frame.
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(got)
+}
+
+/// Client-side failure: transport, protocol, or an explicit server status.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The bytes did not decode.
+    Proto(ProtoError),
+    /// The server answered with a non-`Ok` status.
+    Rejected(Status),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol: {e}"),
+            ClientError::Rejected(s) => write!(f, "rejected: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// A blocking binary-protocol client over one persistent connection.
+pub struct Client {
+    stream: std::net::TcpStream,
+}
+
+impl Client {
+    /// Connect and send the binary preamble.
+    pub fn connect(addr: std::net::SocketAddr) -> std::io::Result<Client> {
+        let mut stream = std::net::TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.write_all(&MAGIC)?;
+        Ok(Client { stream })
+    }
+
+    fn roundtrip(&mut self, payload: &[u8]) -> Result<(Status, Vec<(u32, f32)>), ClientError> {
+        write_frame(&mut self.stream, payload)?;
+        let resp = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed connection before responding",
+            ))
+        })?;
+        Ok(decode_response(&resp)?)
+    }
+
+    /// One recommendation round-trip. Non-`Ok` statuses come back as
+    /// [`ClientError::Rejected`] so callers can count overload explicitly.
+    pub fn recommend(
+        &mut self,
+        history: &[usize],
+        k: usize,
+        exclude: bool,
+    ) -> Result<Vec<(u32, f32)>, ClientError> {
+        let (status, items) = self.roundtrip(&encode_recommend(history, k, exclude))?;
+        match status {
+            Status::Ok => Ok(items),
+            other => Err(ClientError::Rejected(other)),
+        }
+    }
+
+    /// Liveness probe; returns the server's catalog size (vocab).
+    pub fn ping(&mut self) -> Result<usize, ClientError> {
+        let (status, items) = self.roundtrip(&encode_ping())?;
+        match (status, items.as_slice()) {
+            (Status::Ok, [(vocab, _)]) => Ok(*vocab as usize),
+            (Status::Ok, _) => Err(ClientError::Proto(ProtoError(
+                "ping response missing vocab".into(),
+            ))),
+            (other, _) => Err(ClientError::Rejected(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_payloads_round_trip() {
+        let p = encode_recommend(&[1, 2, 300_000], 10, true);
+        match decode_request(&p).unwrap() {
+            Op::Recommend(r) => {
+                assert_eq!(r.history, vec![1, 2, 300_000]);
+                assert_eq!(r.k, 10);
+                assert!(r.exclude);
+            }
+            other => panic!("wrong op: {other:?}"),
+        }
+        assert_eq!(decode_request(&encode_ping()).unwrap(), Op::Ping);
+    }
+
+    #[test]
+    fn response_payloads_round_trip() {
+        for status in [
+            Status::Ok,
+            Status::Overloaded,
+            Status::BadRequest,
+            Status::Internal,
+        ] {
+            let items = vec![(7u32, 1.25f32), (9, -3.5)];
+            let p = encode_response(status, &items);
+            let (s, got) = decode_response(&p).unwrap();
+            assert_eq!(s, status);
+            assert_eq!(got, items);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected_not_panicked() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[9]).is_err());
+        assert!(decode_request(&[1, 0]).is_err()); // truncated k
+        let mut p = encode_recommend(&[1, 2, 3], 5, false);
+        p.truncate(p.len() - 1); // truncated last id
+        assert!(decode_request(&p).is_err());
+        assert!(decode_response(&[42]).is_err());
+        let mut r = encode_response(Status::Ok, &[(1, 1.0)]);
+        r.truncate(r.len() - 2);
+        assert!(decode_response(&r).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_and_eof_is_clean_at_boundaries() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none()); // clean EOF
+        let mut partial = std::io::Cursor::new(vec![5u8, 0, 0, 0, b'x']);
+        assert!(read_frame(&mut partial).is_err()); // truncated payload
+    }
+}

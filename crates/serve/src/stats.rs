@@ -1,0 +1,139 @@
+//! Always-on serving counters.
+//!
+//! slime-trace histograms are rich but vanish when tracing is off; the
+//! smoke gate in CI and the load bench need a dependable source of truth
+//! either way. [`StatsCell`] is a bundle of relaxed atomics updated on
+//! the serving path (one `fetch_add` each — negligible next to a forward
+//! pass) and snapshotted losslessly for `/stats`, the CLI summary, and
+//! `BENCH_serve.json`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared serving counters. All fields are monotonic except the two
+/// `max_*` high-water marks.
+#[derive(Debug, Default)]
+pub struct StatsCell {
+    /// Requests admitted to the queue.
+    pub accepted: AtomicU64,
+    /// Requests refused by admission control (queue full or shutdown).
+    pub rejected: AtomicU64,
+    /// Requests answered `Ok` by the engine.
+    pub served: AtomicU64,
+    /// Requests answered `BadRequest` (k = 0 or out-of-vocab ids).
+    pub bad_requests: AtomicU64,
+    /// Requests answered `Internal` (engine panic).
+    pub internal_errors: AtomicU64,
+    /// Engine invocations (one per gathered batch).
+    pub batches: AtomicU64,
+    /// Requests that went through those invocations; `batched_requests /
+    /// batches` is the mean batch occupancy.
+    pub batched_requests: AtomicU64,
+    /// Largest single batch observed.
+    pub max_occupancy: AtomicU64,
+    /// Deepest the queue has been at admission time.
+    pub max_queue_depth: AtomicU64,
+    /// Connections accepted by the listener.
+    pub connections: AtomicU64,
+    /// HTTP-fallback requests handled.
+    pub http_requests: AtomicU64,
+}
+
+/// A point-in-time copy of [`StatsCell`], safe to hold across await-free
+/// formatting code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub accepted: u64,
+    pub rejected: u64,
+    pub served: u64,
+    pub bad_requests: u64,
+    pub internal_errors: u64,
+    pub batches: u64,
+    pub batched_requests: u64,
+    pub max_occupancy: u64,
+    pub max_queue_depth: u64,
+    pub connections: u64,
+    pub http_requests: u64,
+}
+
+impl StatsCell {
+    /// Fresh, all-zero counters.
+    pub fn new() -> StatsCell {
+        StatsCell::default()
+    }
+
+    /// Copy every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            internal_errors: self.internal_errors.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            max_occupancy: self.max_occupancy.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            http_requests: self.http_requests.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Mean requests per engine invocation (0.0 before the first batch).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Render as a flat JSON object (keys sorted by construction order).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"accepted\":{},\"rejected\":{},\"served\":{},",
+                "\"bad_requests\":{},\"internal_errors\":{},\"batches\":{},",
+                "\"batched_requests\":{},\"mean_occupancy\":{:.3},",
+                "\"max_occupancy\":{},\"max_queue_depth\":{},",
+                "\"connections\":{},\"http_requests\":{}}}"
+            ),
+            self.accepted,
+            self.rejected,
+            self.served,
+            self.bad_requests,
+            self.internal_errors,
+            self.batches,
+            self.batched_requests,
+            self.mean_occupancy(),
+            self.max_occupancy,
+            self.max_queue_depth,
+            self.connections,
+            self.http_requests,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_occupancy() {
+        let s = StatsCell::new();
+        s.batches.store(4, Ordering::Relaxed);
+        s.batched_requests.store(10, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.batches, 4);
+        assert!((snap.mean_occupancy() - 2.5).abs() < 1e-12);
+        let js = snap.to_json();
+        assert!(js.contains("\"mean_occupancy\":2.500"));
+        assert!(js.starts_with('{') && js.ends_with('}'));
+    }
+
+    #[test]
+    fn empty_occupancy_is_zero() {
+        assert_eq!(StatsCell::new().snapshot().mean_occupancy(), 0.0);
+    }
+}

@@ -47,12 +47,24 @@
 #                        unfused eager SIMD baseline — asserts train step
 #                        >= 1.25x and zero graph nodes allocated per plan
 #                        replay (artifact in BENCH_fuse.json)
-#  13. report round-trip a 4-thread traced training run, then
+#  13. serving floors    the load_sweep bench: the slime-serve daemon
+#                        under an 8-client closed-loop A/B plus an
+#                        open-loop latency sweep — asserts batched >=
+#                        1.05x unbatched QPS, zero transport/engine
+#                        errors, and batch occupancy > 1 (artifact in
+#                        BENCH_serve.json)
+#  14. report round-trip a 4-thread traced training run, then
 #                        `slime report` over the run dir (asserting >= 2
 #                        worker lanes left timeline slices and that
 #                        report.json / timeline.json parse — the report
 #                        command self-checks both) and a `--baseline`
 #                        self-diff that must report zero regressions
+#  15. daemon smoke      `slime4rec serve --smoke` against the step-14
+#                        trained model: 64 requests from 4 concurrent
+#                        clients through the real TCP daemon — the CLI
+#                        exits nonzero unless every request succeeds and
+#                        at least one micro-batch gathered more than one
+#                        request; also asserts clean daemon termination
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -123,6 +135,13 @@ cargo bench --bench ann_sweep -p slime-bench
 echo "==> cargo bench --bench fuse_sweep -p slime-bench"
 cargo bench --bench fuse_sweep -p slime-bench
 
+echo "==> cargo bench --bench load_sweep -p slime-bench"
+cargo bench --bench load_sweep -p slime-bench
+test -s BENCH_serve.json || {
+    echo "load_sweep wrote no BENCH_serve.json" >&2
+    exit 1
+}
+
 echo "==> traced run + slime report round-trip"
 CI_RUN=$(mktemp -d)
 trap 'rm -rf "$CI_RUN"' EXIT
@@ -143,6 +162,18 @@ test -s "$CI_RUN/run/timeline.json" || {
 ./target/release/slime4rec report --run "$CI_RUN/run" --baseline "$CI_RUN/run" \
     | grep -q "regressions: none" || {
     echo "self-baseline diff reported regressions" >&2
+    exit 1
+}
+
+# Boot the daemon on the model just trained and drive it over real TCP:
+# the smoke exits nonzero on any failed request, if no micro-batch ever
+# gathered more than one request, or if shutdown hangs (the command only
+# returns after joining the acceptor, batcher, and connection threads).
+echo "==> slime4rec serve --smoke (daemon smoke over TCP)"
+./target/release/slime4rec serve --model "$CI_RUN/model" --port 0 \
+    --max-batch 8 --linger-us 2000 --smoke 64 --smoke-clients 4 --k 5 \
+    | grep -q "smoke ok" || {
+    echo "daemon smoke did not report 'smoke ok'" >&2
     exit 1
 }
 
